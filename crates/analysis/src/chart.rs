@@ -1,0 +1,121 @@
+//! Minimal ASCII charts for experiment reports.
+//!
+//! Terminal-friendly renderings of the paper's figures: log-x line charts
+//! (Fig. 3) and step charts (penalty/reward evolution).
+
+/// Renders series of `(x, y)` points as an ASCII chart with linear y and
+/// the x values taken as already spaced (one column per point).
+///
+/// Each series gets a glyph from `glyphs` (cycled). Returns a chart of
+/// `height` rows plus an x-axis line.
+pub fn line_chart(
+    series: &[(&str, Vec<f64>)],
+    height: usize,
+    glyphs: &str,
+) -> String {
+    assert!(height >= 2, "chart too short");
+    assert!(!glyphs.is_empty(), "need at least one glyph");
+    let width = series.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+    if width == 0 {
+        return String::from("(no data)\n");
+    }
+    let y_max = series
+        .iter()
+        .flat_map(|(_, s)| s.iter())
+        .cloned()
+        .fold(f64::MIN, f64::max);
+    let y_min = series
+        .iter()
+        .flat_map(|(_, s)| s.iter())
+        .cloned()
+        .fold(f64::MAX, f64::min);
+    let span = (y_max - y_min).max(f64::MIN_POSITIVE);
+    let mut grid = vec![vec![' '; width]; height];
+    let glyph_vec: Vec<char> = glyphs.chars().collect();
+    for (si, (_, points)) in series.iter().enumerate() {
+        let glyph = glyph_vec[si % glyph_vec.len()];
+        for (x, &y) in points.iter().enumerate() {
+            let level = ((y - y_min) / span * (height - 1) as f64).round() as usize;
+            let row = height - 1 - level.min(height - 1);
+            grid[row][x] = glyph;
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{y_max:>9.3} |")
+        } else if i == height - 1 {
+            format!("{y_min:>9.3} |")
+        } else {
+            format!("{:>9} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>9} +{}\n", "", "-".repeat(width)));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(si, (name, _))| format!("{} {name}", glyph_vec[si % glyph_vec.len()]))
+        .collect();
+    out.push_str(&format!("{:>11}{}\n", "", legend.join("   ")));
+    out
+}
+
+/// Renders an integer step series (e.g. a penalty counter per round) as a
+/// compact bar chart: one column per sample, height scaled to `height`.
+pub fn step_chart(label: &str, values: &[u64], height: usize) -> String {
+    assert!(height >= 1, "chart too short");
+    if values.is_empty() {
+        return format!("{label}: (no data)\n");
+    }
+    let max = *values.iter().max().expect("non-empty") as f64;
+    let mut out = format!("{label} (max {max})\n");
+    for row in (1..=height).rev() {
+        let threshold = max * row as f64 / height as f64;
+        out.push_str("  |");
+        for &v in values {
+            out.push(if v as f64 >= threshold && v > 0 { '#' } else { ' ' });
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("  +{}\n", "-".repeat(values.len())));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_chart_spans_min_to_max() {
+        let s = vec![("up", vec![0.0, 1.0, 2.0, 3.0]), ("flat", vec![1.5; 4])];
+        let chart = line_chart(&s, 5, "*o");
+        assert!(chart.contains("3.000 |"), "{chart}");
+        assert!(chart.contains("0.000 |"), "{chart}");
+        assert!(chart.contains("* up"), "{chart}");
+        assert!(chart.contains("o flat"), "{chart}");
+        // The rising series occupies all corners.
+        let lines: Vec<&str> = chart.lines().collect();
+        assert!(lines[0].ends_with('*'));
+        assert!(lines[4].starts_with("    0.000 |*"));
+    }
+
+    #[test]
+    fn step_chart_shapes_bars() {
+        let chart = step_chart("penalty", &[0, 1, 2, 3, 3, 0], 3);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // Top row: only the max values.
+        assert_eq!(lines[1], "  |   ## ");
+        // Bottom row: every non-zero value.
+        assert_eq!(lines[3], "  | #### ");
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        assert!(line_chart(&[], 3, "*").contains("no data"));
+        assert!(step_chart("x", &[], 3).contains("no data"));
+    }
+}

@@ -1,0 +1,173 @@
+//! The reward-threshold trade-off model (paper Fig. 3).
+//!
+//! The p/r algorithm correlates two faults of the same node when the second
+//! appears within `R` rounds (i.e. `R × T` time) of the first. Choosing `R`
+//! trades off two risks (Sec. 9):
+//!
+//! * a *small* `R` fails to correlate genuine intermittent faults with a
+//!   large time to reappearance (an unhealthy node escapes);
+//! * a *large* `R` falsely correlates independent external transients (a
+//!   healthy node accumulates penalties).
+//!
+//! Modelling independent external transients as a Poisson process with rate
+//! `λ`, the probability of falsely correlating a second transient within
+//! the window is `1 − exp(−λ·R·T)`. The paper's operating point — `R =
+//! 10^6`, `T = 2.5 ms`, window `R·T ≈ 42 min` — keeps this probability
+//! below 1 % for the transient rates of its environments, which pins
+//! `λ ≲ 1.4 × 10⁻² faults/hour`; the default rate sweep below brackets that
+//! regime.
+
+use serde::{Deserialize, Serialize};
+
+use tt_sim::Nanos;
+
+/// One point of a Fig. 3 curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorrelationPoint {
+    /// The reward threshold `R` (rounds).
+    pub reward_threshold: u64,
+    /// The correlation window `R × T`.
+    pub window: Nanos,
+    /// Probability of falsely correlating a second independent transient.
+    pub probability: f64,
+}
+
+/// Probability that a second independent transient arrives within the
+/// window `R × T`, for Poisson arrivals at `rate_per_hour`.
+///
+/// # Panics
+///
+/// Panics if `rate_per_hour` is negative or not finite.
+pub fn correlation_probability(rate_per_hour: f64, reward_threshold: u64, round: Nanos) -> f64 {
+    assert!(
+        rate_per_hour.is_finite() && rate_per_hour >= 0.0,
+        "invalid rate: {rate_per_hour}"
+    );
+    let window_hours = round.as_secs_f64() * reward_threshold as f64 / 3600.0;
+    1.0 - (-rate_per_hour * window_hours).exp()
+}
+
+/// The largest reward threshold keeping the false-correlation probability
+/// at or below `target` for the given transient rate.
+///
+/// Returns 0 if even `R = 1` exceeds the target.
+///
+/// # Panics
+///
+/// Panics if `target` is not within `(0, 1)` or the rate is invalid.
+pub fn max_reward_threshold(rate_per_hour: f64, round: Nanos, target: f64) -> u64 {
+    assert!((0.0..1.0).contains(&target) && target > 0.0, "bad target");
+    assert!(
+        rate_per_hour.is_finite() && rate_per_hour > 0.0,
+        "invalid rate: {rate_per_hour}"
+    );
+    // 1 - exp(-λ·R·T) <= target  ⇔  R <= -ln(1 - target) / (λ·T)
+    let t_hours = round.as_secs_f64() / 3600.0;
+    let r = -(1.0 - target).ln() / (rate_per_hour * t_hours);
+    r.floor() as u64
+}
+
+/// Generates one Fig. 3 curve: false-correlation probability as a function
+/// of `R` (log-spaced through `r_values`) for a fixed transient rate.
+pub fn curve(
+    rate_per_hour: f64,
+    round: Nanos,
+    r_values: impl IntoIterator<Item = u64>,
+) -> Vec<CorrelationPoint> {
+    r_values
+        .into_iter()
+        .map(|r| CorrelationPoint {
+            reward_threshold: r,
+            window: round * r,
+            probability: correlation_probability(rate_per_hour, r, round),
+        })
+        .collect()
+}
+
+/// The default log-spaced `R` sweep used by the Fig. 3 bench (10^2…10^8,
+/// three points per decade).
+pub fn default_r_sweep() -> Vec<u64> {
+    let mut out = Vec::new();
+    for exp in 2..=8u32 {
+        let base = 10u64.pow(exp);
+        for mult in [1, 2, 5] {
+            let r = base * mult;
+            if r <= 10u64.pow(8) {
+                out.push(r);
+            }
+        }
+    }
+    out.push(10u64.pow(8));
+    out.dedup();
+    out
+}
+
+/// The default transient-rate sweep (faults/hour) bracketing the paper's
+/// implied operating regime.
+pub fn default_rates() -> Vec<f64> {
+    vec![0.001, 0.005, 0.014, 0.05, 0.2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: Nanos = Nanos::from_micros(2_500);
+
+    #[test]
+    fn paper_operating_point_is_below_one_percent() {
+        // R = 10^6 rounds of 2.5 ms => 2500 s ≈ 41.7 min, as in Sec. 9.
+        let window = T * 1_000_000;
+        assert_eq!(window.as_secs_f64(), 2500.0);
+        assert!((window.as_secs_f64() / 60.0 - 41.7).abs() < 0.1);
+        // At the implied rate the false-correlation probability is < 1 %.
+        let p = correlation_probability(0.014, 1_000_000, T);
+        assert!(p < 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn probability_is_monotone_in_r_and_rate() {
+        let p1 = correlation_probability(0.01, 10_000, T);
+        let p2 = correlation_probability(0.01, 1_000_000, T);
+        let p3 = correlation_probability(0.1, 1_000_000, T);
+        assert!(p1 < p2 && p2 < p3);
+        assert_eq!(correlation_probability(0.0, 1_000_000, T), 0.0);
+    }
+
+    #[test]
+    fn probability_saturates_at_one() {
+        let p = correlation_probability(1e6, u64::MAX / 2, T);
+        assert!((p - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_reward_threshold_inverts_probability() {
+        for rate in [0.01, 0.1, 1.0] {
+            let r = max_reward_threshold(rate, T, 0.01);
+            assert!(correlation_probability(rate, r, T) <= 0.01);
+            assert!(correlation_probability(rate, r + r / 10 + 1, T) > 0.01);
+        }
+    }
+
+    #[test]
+    fn curve_is_well_formed() {
+        let c = curve(0.014, T, default_r_sweep());
+        assert!(c.len() > 15);
+        assert!(c.windows(2).all(|w| {
+            w[0].reward_threshold < w[1].reward_threshold
+                && w[0].probability <= w[1].probability
+        }));
+        // The point nearest the paper's choice sits below 1 %.
+        let near = c
+            .iter()
+            .find(|p| p.reward_threshold == 1_000_000)
+            .expect("10^6 in sweep");
+        assert!(near.probability < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rate")]
+    fn negative_rate_rejected() {
+        let _ = correlation_probability(-1.0, 10, T);
+    }
+}

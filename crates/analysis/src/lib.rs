@@ -1,0 +1,48 @@
+//! # tt-analysis — tuning procedures, statistics and report rendering
+//!
+//! The experimental-analysis layer of the reproduction (paper Sec. 9):
+//!
+//! * [`correlation`] — the probabilistic model behind **Fig. 3**: the
+//!   trade-off in choosing the reward threshold `R` between correlating
+//!   intermittent faults and falsely correlating independent transients;
+//! * [`tuning`] — the experimental procedure behind **Table 2**: measuring
+//!   the penalty budget available within each criticality class's tolerated
+//!   outage and deriving the penalty threshold `P` and criticality levels
+//!   `s_i`;
+//! * [`isolation`] — the measurement behind **Table 4**: time to incorrect
+//!   isolation of healthy nodes under the abnormal transient scenarios of
+//!   Table 3;
+//! * [`availability`] — per-node and system availability metrics derived
+//!   from isolation events;
+//! * [`sensitivity`] — ablation sweeps over `P`, `R` and burst length
+//!   around the paper's operating points;
+//! * [`stats`] — summary statistics for repeated seeded experiments;
+//! * [`table`] — paper-style ASCII table rendering;
+//! * [`report`] — serializable paper-vs-measured records backing
+//!   EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod availability;
+pub mod chart;
+pub mod correlation;
+pub mod isolation;
+pub mod report;
+pub mod sensitivity;
+pub mod stats;
+pub mod table;
+pub mod tuning;
+
+pub use availability::{availability_from_isolations, availability_of, AvailabilityReport};
+pub use chart::{line_chart, step_chart};
+pub use correlation::{correlation_probability, max_reward_threshold, CorrelationPoint};
+pub use isolation::{measure_time_to_isolation, IsolationMeasurement};
+pub use report::{ExperimentRecord, ReportBuilder};
+pub use sensitivity::{burst_length_sweep, penalty_sweep, reward_sweep};
+pub use stats::Summary;
+pub use table::Table;
+pub use tuning::{
+    aerospace_setup, automotive_setup, tune, CriticalityClass, DomainSetup, TunedClass,
+    TuningResult,
+};

@@ -1,0 +1,124 @@
+//! Paper-vs-measured experiment records (the backing data of
+//! EXPERIMENTS.md).
+
+use serde::{Deserialize, Serialize};
+
+use crate::table::Table;
+
+/// One paper-vs-measured comparison line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Experiment id, e.g. "Table 4 / Automotive SC".
+    pub id: String,
+    /// The value the paper reports (free text, e.g. "0.518 s").
+    pub paper: String,
+    /// The value this reproduction measures.
+    pub measured: String,
+    /// Whether the measured value matches the paper's within the stated
+    /// tolerance ("shape" agreement).
+    pub matches: bool,
+    /// Free-text note on deviations or substitutions.
+    pub note: String,
+}
+
+/// Collects experiment records and renders them.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ReportBuilder {
+    records: Vec<ExperimentRecord>,
+}
+
+impl ReportBuilder {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one comparison line.
+    pub fn record(
+        &mut self,
+        id: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+        matches: bool,
+        note: impl Into<String>,
+    ) -> &mut Self {
+        self.records.push(ExperimentRecord {
+            id: id.into(),
+            paper: paper.into(),
+            measured: measured.into(),
+            matches,
+            note: note.into(),
+        });
+        self
+    }
+
+    /// All records, in insertion order.
+    pub fn records(&self) -> &[ExperimentRecord] {
+        &self.records
+    }
+
+    /// True iff every record matched.
+    pub fn all_match(&self) -> bool {
+        self.records.iter().all(|r| r.matches)
+    }
+
+    /// Renders the report as an ASCII table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec!["Experiment", "Paper", "Measured", "OK", "Note"]);
+        for r in &self.records {
+            t.row(vec![
+                r.id.clone(),
+                r.paper.clone(),
+                r.measured.clone(),
+                if r.matches { "yes" } else { "NO" }.to_string(),
+                r.note.clone(),
+            ]);
+        }
+        t.render()
+    }
+
+    /// Renders the report as a GitHub-flavoured markdown table.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::from("| Experiment | Paper | Measured | Match | Note |\n");
+        out.push_str("|---|---|---|---|---|\n");
+        for r in &self.records {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} |\n",
+                r.id,
+                r.paper,
+                r.measured,
+                if r.matches { "✓" } else { "✗" },
+                r.note
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_and_renders() {
+        let mut b = ReportBuilder::new();
+        b.record("Table 2 / P (auto)", "197", "197", true, "exact")
+            .record("Table 4 / SR", "4.595 s", "4.09 s", true, "one burst period off");
+        assert_eq!(b.records().len(), 2);
+        assert!(b.all_match());
+        let ascii = b.render();
+        assert!(ascii.contains("Table 2 / P (auto)"));
+        let md = b.render_markdown();
+        assert!(md.starts_with("| Experiment |"));
+        assert!(md.contains("| ✓ |"));
+    }
+
+    #[test]
+    fn mismatches_are_flagged() {
+        let mut b = ReportBuilder::new();
+        b.record("x", "1", "2", false, "");
+        assert!(!b.all_match());
+        assert!(b.render().contains("NO"));
+        assert!(b.render_markdown().contains("✗"));
+    }
+}

@@ -1,0 +1,253 @@
+//! Sensitivity sweeps over the protocol's tuning knobs.
+//!
+//! The paper tunes `P`, `R` and `s_i` at single operating points (Table 2).
+//! These sweeps chart the neighbourhoods of those points — the ablation
+//! data behind the design choices:
+//!
+//! * [`penalty_sweep`] — time to incorrect isolation under a transient
+//!   scenario as a function of the penalty threshold `P` (availability
+//!   grows with `P`);
+//! * [`reward_sweep`] — whether an intermittent fault of a given period is
+//!   still correlated, as a function of the reward threshold `R` (the
+//!   empirical counterpart of Fig. 3's model);
+//! * [`burst_length_sweep`] — detection completeness and penalty growth as
+//!   bursts lengthen from one slot to multiple rounds (the Sec. 8
+//!   injection axis).
+
+use serde::{Deserialize, Serialize};
+
+use tt_core::{DiagJob, PenaltyReward, ProtocolConfig, ReintegrationPolicy};
+use tt_fault::{Burst, DisturbanceNode, SenderBurst, TransientScenario};
+use tt_sim::{ClusterBuilder, Nanos, NodeId, RoundIndex, TraceMode};
+
+use crate::isolation::measure_time_to_isolation;
+
+/// One point of a penalty-threshold sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PenaltySweepPoint {
+    /// The penalty threshold `P` tried.
+    pub penalty_threshold: u64,
+    /// Time to incorrect isolation under the scenario (`None` = survived).
+    pub time_to_isolation: Option<Nanos>,
+}
+
+/// Sweeps `P` against a transient scenario at fixed criticality.
+pub fn penalty_sweep(
+    scenario: &TransientScenario,
+    criticality: u64,
+    reward_threshold: u64,
+    round: Nanos,
+    n: usize,
+    thresholds: impl IntoIterator<Item = u64>,
+) -> Vec<PenaltySweepPoint> {
+    thresholds
+        .into_iter()
+        .map(|p| PenaltySweepPoint {
+            penalty_threshold: p,
+            time_to_isolation: measure_time_to_isolation(
+                scenario,
+                criticality,
+                p,
+                reward_threshold,
+                round,
+                n,
+            )
+            .time_to_isolation,
+        })
+        .collect()
+}
+
+/// One point of a reward-threshold sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RewardSweepPoint {
+    /// The reward threshold `R` tried.
+    pub reward_threshold: u64,
+    /// Whether faults recurring at the probed period were correlated all
+    /// the way to isolation.
+    pub correlated: bool,
+    /// Rounds until isolation (when correlated).
+    pub rounds_to_isolation: Option<u64>,
+}
+
+/// Sweeps `R` against an intermittent fault of the given `period` (rounds),
+/// with `P = faults_to_isolate - 1` so that `faults_to_isolate` correlated
+/// faults trigger isolation.
+///
+/// Empirically reproduces the boundary `R >= period - 1`: smaller `R`
+/// forgets between faults (the paper's Fig. 3 trade-off, measured rather
+/// than modelled).
+pub fn reward_sweep(
+    period: u64,
+    faults_to_isolate: u64,
+    n: usize,
+    rewards: impl IntoIterator<Item = u64>,
+) -> Vec<RewardSweepPoint> {
+    let faulty = NodeId::new(2);
+    let start = 8u64;
+    let total = start + period * (faults_to_isolate + 2) + 16;
+    rewards
+        .into_iter()
+        .map(|r| {
+            let config = ProtocolConfig::builder(n)
+                .penalty_threshold(faults_to_isolate - 1)
+                .reward_threshold(r)
+                .build()
+                .expect("valid");
+            let mut pipeline = DisturbanceNode::new(0);
+            let mut r0 = start;
+            while r0 < total {
+                pipeline.push(SenderBurst::new(faulty, RoundIndex::new(r0), 1));
+                r0 += period;
+            }
+            let mut cluster = ClusterBuilder::new(n)
+                .trace_mode(TraceMode::Off)
+                .build_with_jobs(
+                    |id| Box::new(DiagJob::with_logging(id, config.clone(), false)),
+                    Box::new(pipeline),
+                );
+            cluster.run_rounds(total);
+            let job: &DiagJob = cluster.job_as(NodeId::new(1)).expect("diag job");
+            let rounds_to_isolation = job
+                .isolations()
+                .first()
+                .map(|iso| iso.decided_at.as_u64() - start);
+            RewardSweepPoint {
+                reward_threshold: r,
+                correlated: rounds_to_isolation.is_some(),
+                rounds_to_isolation,
+            }
+        })
+        .collect()
+}
+
+/// One point of a burst-length sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BurstSweepPoint {
+    /// Burst length in slots.
+    pub len_slots: u64,
+    /// Number of (node, round) convictions recorded by the protocol.
+    pub convictions: u64,
+    /// Ground-truth faulty slots on the wire.
+    pub faulty_slots: u64,
+    /// Maximum penalty reached by any node.
+    pub max_penalty: u64,
+}
+
+/// Sweeps burst length (starting at slot 0 of round 10) and reports
+/// detection completeness and counter growth.
+pub fn burst_length_sweep(
+    n: usize,
+    lengths: impl IntoIterator<Item = u64>,
+) -> Vec<BurstSweepPoint> {
+    lengths
+        .into_iter()
+        .map(|len| {
+            let config = ProtocolConfig::builder(n)
+                .penalty_threshold(u64::MAX / 2)
+                .reward_threshold(u64::MAX / 2)
+                .build()
+                .expect("valid");
+            let pipeline = DisturbanceNode::new(0)
+                .with(Burst::in_round(RoundIndex::new(10), 0, len, n));
+            let total = 10 + len.div_ceil(n as u64) + 10;
+            let mut cluster = ClusterBuilder::new(n).build_with_jobs(
+                |id| Box::new(DiagJob::new(id, config.clone())),
+                Box::new(pipeline),
+            );
+            cluster.run_rounds(total);
+            let job: &DiagJob = cluster.job_as(NodeId::new(1)).expect("diag job");
+            let convictions = job
+                .health_log()
+                .iter()
+                .flat_map(|h| h.health.iter())
+                .filter(|&&ok| !ok)
+                .count() as u64;
+            let max_penalty = NodeId::all(n).map(|i| job.penalty(i)).max().unwrap_or(0);
+            BurstSweepPoint {
+                len_slots: len,
+                convictions,
+                faulty_slots: cluster.trace().records().len() as u64,
+                max_penalty,
+            }
+        })
+        .collect()
+}
+
+/// Replays Alg. 2 analytically on a fault pattern — used to cross-validate
+/// the sweeps against the pure counter semantics without a simulator.
+pub fn replay_pr(
+    pattern: impl IntoIterator<Item = bool>, // true = faulty this round
+    criticality: u64,
+    p: u64,
+    r: u64,
+) -> Option<u64> {
+    let mut pr = PenaltyReward::new(1, vec![criticality], p, r, ReintegrationPolicy::Never);
+    for (round, faulty) in pattern.into_iter().enumerate() {
+        if !pr.update(&[!faulty]).is_empty() {
+            return Some(round as u64);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn penalty_sweep_is_monotone() {
+        let scenario = TransientScenario::blinking_light();
+        let points = penalty_sweep(
+            &scenario,
+            40,
+            1_000_000,
+            Nanos::from_micros(2_500),
+            4,
+            [50, 197, 700],
+        );
+        let times: Vec<f64> = points
+            .iter()
+            .map(|p| p.time_to_isolation.expect("isolated").as_secs_f64())
+            .collect();
+        assert!(
+            times.windows(2).all(|w| w[0] <= w[1]),
+            "larger P buys availability: {times:?}"
+        );
+        // P = 197 reproduces the Table 4 SC point inside the sweep.
+        assert!((times[1] - 0.5175).abs() < 0.01);
+    }
+
+    #[test]
+    fn reward_sweep_finds_the_correlation_boundary() {
+        // Faults every 10 rounds; 3 correlated faults isolate (P = 2).
+        let points = reward_sweep(10, 3, 4, [5, 8, 9, 10, 50]);
+        // R < period: decorrelated, survives. R >= period: isolated.
+        // The boundary sits at R = period - 1 = 9: with 9 clean rounds
+        // between faults the reward reaches R and resets the counters.
+        assert!(!points[0].correlated, "R=5 forgets");
+        assert!(!points[1].correlated, "R=8 forgets");
+        assert!(!points[2].correlated, "R=9 forgets (exactly 9 clean rounds)");
+        assert!(points[3].correlated, "R=10 correlates");
+        assert!(points[4].correlated, "R=50 correlates");
+        // Cross-check against the analytic counter replay.
+        let pattern = (0..200u64).map(|r| r % 10 == 0);
+        assert_eq!(replay_pr(pattern, 1, 2, 10), Some(20));
+        let pattern = (0..200u64).map(|r| r % 10 == 0);
+        assert_eq!(replay_pr(pattern, 1, 2, 9), None);
+    }
+
+    #[test]
+    fn burst_sweep_detects_every_faulty_slot() {
+        let points = burst_length_sweep(4, [1, 2, 4, 8, 16]);
+        for p in &points {
+            assert_eq!(p.faulty_slots, p.len_slots, "trace records the burst");
+            assert_eq!(
+                p.convictions, p.len_slots,
+                "one conviction per faulty slot (completeness)"
+            );
+        }
+        // Penalty growth: a 2-round burst costs each node 2 penalties.
+        assert_eq!(points[4].max_penalty, 4);
+        assert_eq!(points[0].max_penalty, 1);
+    }
+}

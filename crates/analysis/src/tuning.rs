@@ -1,0 +1,255 @@
+//! The experimental tuning procedure of the p/r algorithm (paper Table 2).
+//!
+//! For each criticality class the paper injects a *continuous faulty
+//! burst* into a node and observes the penalty counter value reached when
+//! the class's maximum tolerated diagnostic latency expires (recovery is
+//! assumed instantaneous). With classes `c_1 … c_i` yielding penalties
+//! `p_1 … p_i`, the parameters are set to `P = max(p_1, …, p_i)` and
+//! `s_i = ⌈P / p_i⌉`.
+//!
+//! Reproducing this procedure on the simulator with the paper's inputs
+//! (Table 2's tolerated outages, 2.5 ms rounds) regenerates the paper's
+//! constants exactly: automotive `P = 197`, `s = 40/6/1`; aerospace
+//! `P = 17`, `s = 1`.
+
+use serde::{Deserialize, Serialize};
+
+use tt_core::{DiagJob, ProtocolConfig};
+use tt_fault::{ContinuousFault, DisturbanceNode};
+use tt_sim::{ClusterBuilder, Nanos, NodeId, RoundIndex, TraceMode};
+
+/// One criticality class and its availability requirement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CriticalityClass {
+    /// Class name, e.g. "Safety Critical (SC)".
+    pub name: String,
+    /// Example functionality from the paper, e.g. "X-by-wire".
+    pub example: String,
+    /// Lower bound of the tolerated transient outage (the binding budget).
+    pub tolerated_outage: Nanos,
+    /// Optional upper bound (Table 2 reports ranges for automotive).
+    pub tolerated_outage_hi: Option<Nanos>,
+}
+
+/// A domain configuration to tune: classes, cluster size, round length.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DomainSetup {
+    /// Domain name ("Automotive" / "Aerospace").
+    pub domain: String,
+    /// The criticality classes integrated on the platform.
+    pub classes: Vec<CriticalityClass>,
+    /// Cluster size.
+    pub n_nodes: usize,
+    /// TDMA round length `T`.
+    pub round: Nanos,
+    /// The reward threshold chosen from the Fig. 3 analysis.
+    pub reward_threshold: u64,
+}
+
+/// The paper's automotive setup (Table 2).
+pub fn automotive_setup() -> DomainSetup {
+    DomainSetup {
+        domain: "Automotive".into(),
+        classes: vec![
+            CriticalityClass {
+                name: "Safety Critical (SC)".into(),
+                example: "X-by-wire".into(),
+                tolerated_outage: Nanos::from_millis(20),
+                tolerated_outage_hi: Some(Nanos::from_millis(50)),
+            },
+            CriticalityClass {
+                name: "Safety Relevant (SR)".into(),
+                example: "Stability control".into(),
+                tolerated_outage: Nanos::from_millis(100),
+                tolerated_outage_hi: Some(Nanos::from_millis(200)),
+            },
+            CriticalityClass {
+                name: "Non Safety Relevant (NSR)".into(),
+                example: "Door control".into(),
+                tolerated_outage: Nanos::from_millis(500),
+                tolerated_outage_hi: Some(Nanos::from_millis(1000)),
+            },
+        ],
+        n_nodes: 4,
+        round: Nanos::from_micros(2_500),
+        reward_threshold: 1_000_000,
+    }
+}
+
+/// The paper's aerospace setup (Table 2).
+pub fn aerospace_setup() -> DomainSetup {
+    DomainSetup {
+        domain: "Aerospace".into(),
+        classes: vec![CriticalityClass {
+            name: "Safety Critical (SC)".into(),
+            example: "High Lift, Landing Gear".into(),
+            tolerated_outage: Nanos::from_millis(50),
+            tolerated_outage_hi: None,
+        }],
+        n_nodes: 4,
+        round: Nanos::from_micros(2_500),
+        reward_threshold: 1_000_000,
+    }
+}
+
+/// The tuned outcome for one class.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TunedClass {
+    /// The class this row belongs to.
+    pub class: CriticalityClass,
+    /// The penalty counter value observed when the class's tolerated
+    /// outage expired (`p_i` in the paper's procedure).
+    pub penalty_budget: u64,
+    /// The derived criticality level `s_i = ⌈P / p_i⌉`.
+    pub criticality: u64,
+}
+
+/// The tuned parameters of one domain (one block of Table 2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TuningResult {
+    /// The domain that was tuned.
+    pub domain: String,
+    /// Per-class measurements and criticality levels.
+    pub rows: Vec<TunedClass>,
+    /// The derived penalty threshold `P = max(p_i)`.
+    pub penalty_threshold: u64,
+    /// The reward threshold (input, from the Fig. 3 analysis).
+    pub reward_threshold: u64,
+    /// The TDMA round length used.
+    pub round: Nanos,
+}
+
+/// Measures the penalty counter reachable within `outage` of a fault's
+/// occurrence: injects a continuous faulty burst into one node and reads an
+/// obedient node's penalty counter when the outage budget expires.
+///
+/// The counter uses criticality 1, so the value is the number of faulty
+/// rounds diagnosed within the budget — the class's *penalty budget*.
+pub fn measure_penalty_budget(setup: &DomainSetup, outage: Nanos) -> u64 {
+    let faulty = NodeId::new(1);
+    let observer = NodeId::new(2);
+    let fault_round = RoundIndex::new(8); // clear of protocol warm-up
+    let config = ProtocolConfig::builder(setup.n_nodes)
+        .penalty_threshold(u64::MAX / 2) // never isolate while measuring
+        .reward_threshold(setup.reward_threshold)
+        .uniform_criticality(1)
+        .build()
+        .expect("static tuning config is valid");
+    let pipeline = DisturbanceNode::new(0).with(ContinuousFault::new(faulty, fault_round));
+    let mut cluster = ClusterBuilder::new(setup.n_nodes)
+        .round_length(setup.round)
+        .trace_mode(TraceMode::Off)
+        .build_with_jobs(
+            |id| Box::new(DiagJob::with_logging(id, config.clone(), false)),
+            Box::new(pipeline),
+        );
+    // Run until the outage budget expires, then read the counter. The
+    // activation at the start of round k has processed diagnosed rounds up
+    // to k - lag, so the counter reflects the detections available to a
+    // recovery action triggered at the deadline.
+    let budget_rounds = outage.as_nanos() / setup.round.as_nanos();
+    cluster.run_rounds(fault_round.as_u64() + budget_rounds);
+    let job: &DiagJob = cluster.job_as(observer).expect("observer runs DiagJob");
+    job.penalty(faulty)
+}
+
+/// Runs the full tuning procedure for a domain: measure every class's
+/// penalty budget, set `P = max(p_i)` and `s_i = ⌈P / p_i⌉`.
+///
+/// # Panics
+///
+/// Panics if a class's tolerated outage is shorter than the protocol's
+/// detection latency (no penalty budget at all).
+pub fn tune(setup: &DomainSetup) -> TuningResult {
+    let budgets: Vec<u64> = setup
+        .classes
+        .iter()
+        .map(|c| {
+            let p = measure_penalty_budget(setup, c.tolerated_outage);
+            assert!(
+                p > 0,
+                "tolerated outage {} of class {} is below the detection latency",
+                c.tolerated_outage,
+                c.name
+            );
+            p
+        })
+        .collect();
+    let penalty_threshold = *budgets.iter().max().expect("at least one class");
+    let rows = setup
+        .classes
+        .iter()
+        .zip(&budgets)
+        .map(|(class, &p)| TunedClass {
+            class: class.clone(),
+            penalty_budget: p,
+            criticality: penalty_threshold.div_ceil(p),
+        })
+        .collect();
+    TuningResult {
+        domain: setup.domain.clone(),
+        rows,
+        penalty_threshold,
+        reward_threshold: setup.reward_threshold,
+        round: setup.round,
+    }
+}
+
+impl TuningResult {
+    /// The criticality level tuned for the class named `name`.
+    pub fn criticality_of(&self, name: &str) -> Option<u64> {
+        self.rows
+            .iter()
+            .find(|r| r.class.name.contains(name))
+            .map(|r| r.criticality)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn automotive_tuning_reproduces_table2() {
+        let result = tune(&automotive_setup());
+        assert_eq!(result.penalty_threshold, 197, "paper: P = 197");
+        let s: Vec<u64> = result.rows.iter().map(|r| r.criticality).collect();
+        assert_eq!(s, vec![40, 6, 1], "paper: s = 40 / 6 / 1");
+        assert_eq!(result.reward_threshold, 1_000_000);
+    }
+
+    #[test]
+    fn aerospace_tuning_reproduces_table2() {
+        let result = tune(&aerospace_setup());
+        assert_eq!(result.penalty_threshold, 17, "paper: P = 17");
+        assert_eq!(result.rows[0].criticality, 1);
+    }
+
+    #[test]
+    fn penalty_budget_equals_outage_rounds_minus_latency() {
+        // With a 2.5 ms round and 3-round diagnosis lag, an outage budget
+        // of m rounds leaves m - 3 diagnosable faulty rounds.
+        let setup = automotive_setup();
+        for (outage_ms, expect) in [(20u64, 5u64), (100, 37), (500, 197)] {
+            let p = measure_penalty_budget(&setup, Nanos::from_millis(outage_ms));
+            assert_eq!(p, expect, "{outage_ms} ms");
+        }
+    }
+
+    #[test]
+    fn criticality_of_lookup() {
+        let result = tune(&automotive_setup());
+        assert_eq!(result.criticality_of("SC"), Some(40));
+        assert_eq!(result.criticality_of("SR"), Some(6));
+        assert_eq!(result.criticality_of("NSR"), Some(1));
+        assert_eq!(result.criticality_of("bogus"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "below the detection latency")]
+    fn outage_below_latency_is_rejected() {
+        let mut setup = aerospace_setup();
+        setup.classes[0].tolerated_outage = Nanos::from_millis_f64(7.5); // = 3 rounds
+        let _ = tune(&setup);
+    }
+}

@@ -1,0 +1,211 @@
+//! The α-count fault filter (Bondavalli et al., the paper's refs \[5, 6\]).
+//!
+//! α-count is the count-and-threshold mechanism the paper's
+//! penalty/reward algorithm generalizes. One real-valued score per node:
+//!
+//! ```text
+//! α(t) = α(t-1) + 1    if the node was judged faulty at round t
+//! α(t) = α(t-1) · K    otherwise                (0 ≤ K < 1)
+//! ```
+//!
+//! The node is isolated when `α ≥ α_T`. The decay factor `K` plays the role
+//! of the paper's reward threshold `R` (memory of past faults), `α_T` plays
+//! the role of `P` — but with one knob fewer: the *rate* of forgetting and
+//! the *amount* of tolerated correlated faults cannot be tuned
+//! independently, and there is no per-node criticality weighting. The
+//! comparison benches quantify the consequences on the paper's scenarios.
+
+use serde::{Deserialize, Serialize};
+
+use tt_sim::NodeId;
+
+/// α-count state for all nodes of a cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlphaCount {
+    scores: Vec<f64>,
+    k: f64,
+    threshold: f64,
+    active: Vec<bool>,
+}
+
+impl AlphaCount {
+    /// Creates an α-count filter for `n` nodes with decay `k` (in `[0, 1)`)
+    /// and isolation threshold `threshold` (> 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is outside `[0, 1)` or `threshold` is not positive.
+    pub fn new(n: usize, k: f64, threshold: f64) -> Self {
+        assert!((0.0..1.0).contains(&k), "decay factor out of range: {k}");
+        assert!(
+            threshold > 0.0 && threshold.is_finite(),
+            "invalid threshold: {threshold}"
+        );
+        AlphaCount {
+            scores: vec![0.0; n],
+            k,
+            threshold,
+            active: vec![true; n],
+        }
+    }
+
+    /// Applies one health vector (`true` = healthy); returns the nodes
+    /// newly isolated by this update.
+    pub fn update(&mut self, health: &[bool]) -> Vec<NodeId> {
+        assert_eq!(health.len(), self.scores.len(), "health vector size");
+        let mut newly = Vec::new();
+        for (i, &ok) in health.iter().enumerate() {
+            if !self.active[i] {
+                continue;
+            }
+            if ok {
+                self.scores[i] *= self.k;
+            } else {
+                self.scores[i] += 1.0;
+                if self.scores[i] >= self.threshold {
+                    self.active[i] = false;
+                    newly.push(NodeId::from_slot(i));
+                }
+            }
+        }
+        newly
+    }
+
+    /// The current score of `node`.
+    pub fn score(&self, node: NodeId) -> f64 {
+        self.scores[node.index()]
+    }
+
+    /// Whether `node` is still active.
+    pub fn is_active(&self, node: NodeId) -> bool {
+        self.active[node.index()]
+    }
+
+    /// The decay factor `K`.
+    pub fn k(&self) -> f64 {
+        self.k
+    }
+
+    /// The isolation threshold `α_T`.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The steady-state score, measured right after a fault, of a node
+    /// failing exactly once every `period` rounds (so the score decays
+    /// `period - 1` times between faults): `α* = 1 / (1 - K^(period-1))` —
+    /// the analytic handle used when tuning `K` to correlate intermittent
+    /// faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period < 2` (an always-faulty node never decays).
+    pub fn steady_state_score(k: f64, period: u64) -> f64 {
+        assert!(period >= 2, "period must leave room for decay");
+        1.0 / (1.0 - k.powi(period as i32 - 1))
+    }
+
+    /// The largest decay factor that *fails to correlate* (stays below the
+    /// threshold forever) faults recurring every `period` rounds — the
+    /// α-count analogue of choosing the reward threshold `R` in Fig. 3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period < 2`.
+    pub fn max_uncorrelating_k(threshold: f64, period: u64) -> f64 {
+        assert!(period >= 2, "period must leave room for decay");
+        // α* = 1 / (1 - K^(p-1)) < α_T  ⇔  K < (1 - 1/α_T)^(1/(p-1))
+        (1.0 - 1.0 / threshold).powf(1.0 / (period - 1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scores_grow_on_faults_and_decay_on_health() {
+        let mut a = AlphaCount::new(3, 0.5, 10.0);
+        a.update(&[false, true, true]);
+        assert_eq!(a.score(NodeId::new(1)), 1.0);
+        a.update(&[true, true, true]);
+        assert_eq!(a.score(NodeId::new(1)), 0.5);
+        assert_eq!(a.score(NodeId::new(2)), 0.0);
+    }
+
+    #[test]
+    fn threshold_isolates() {
+        let mut a = AlphaCount::new(2, 0.9, 3.0);
+        assert!(a.update(&[false, true]).is_empty());
+        assert!(a.update(&[false, true]).is_empty());
+        // Third consecutive fault: score 0.9*... grows past 3? 1, 1.9... no:
+        // consecutive faults add 1 with no decay: 1, 2, 3 >= 3 -> isolate.
+        let newly = a.update(&[false, true]);
+        assert_eq!(newly, vec![NodeId::new(1)]);
+        assert!(!a.is_active(NodeId::new(1)));
+        assert!(a.is_active(NodeId::new(2)));
+        // Frozen nodes stop accumulating.
+        let before = a.score(NodeId::new(1));
+        a.update(&[false, true]);
+        assert_eq!(a.score(NodeId::new(1)), before);
+    }
+
+    #[test]
+    fn k_zero_degenerates_to_consecutive_counting() {
+        // K = 0 forgets instantly: equivalent to p/r with R = 1.
+        let mut a = AlphaCount::new(1, 0.0, 2.0);
+        a.update(&[false]);
+        a.update(&[true]);
+        assert_eq!(a.score(NodeId::new(1)), 0.0);
+        a.update(&[false]);
+        let newly = a.update(&[false]);
+        assert_eq!(newly, vec![NodeId::new(1)]);
+    }
+
+    #[test]
+    fn steady_state_matches_simulation() {
+        let k: f64 = 0.9;
+        let period = 7u64;
+        let mut a = AlphaCount::new(1, k, f64::INFINITY.min(1e12));
+        // Hammer the recurrence long enough to converge.
+        for round in 0..10_000u64 {
+            let faulty = round % period == 0;
+            a.update(&[!faulty]);
+        }
+        // Score right after a fault approaches the steady state.
+        let mut just_after = 0.0;
+        for round in 10_000..10_000 + period {
+            let faulty = round % period == 0;
+            a.update(&[!faulty]);
+            if faulty {
+                just_after = a.score(NodeId::new(1));
+            }
+        }
+        let predicted = AlphaCount::steady_state_score(k, period);
+        assert!(
+            (just_after - predicted).abs() < 1e-6,
+            "sim {just_after} vs analytic {predicted}"
+        );
+    }
+
+    #[test]
+    fn max_uncorrelating_k_is_tight() {
+        let threshold = 10.0;
+        let period = 5;
+        let k_max = AlphaCount::max_uncorrelating_k(threshold, period);
+        assert!(AlphaCount::steady_state_score(k_max * 0.999, period) < threshold);
+        assert!(AlphaCount::steady_state_score(k_max * 1.001, period) > threshold);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay factor")]
+    fn rejects_bad_k() {
+        let _ = AlphaCount::new(1, 1.0, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid threshold")]
+    fn rejects_bad_threshold() {
+        let _ = AlphaCount::new(1, 0.5, 0.0);
+    }
+}

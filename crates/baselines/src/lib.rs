@@ -1,0 +1,26 @@
+//! # tt-baselines — the protocols the paper compares against
+//!
+//! The paper positions its add-on protocol against two families of prior
+//! work (Sec. 2); both are implemented here so the comparisons in the
+//! evaluation harness run against real code rather than citations:
+//!
+//! * [`ttpc`] — a TTP/C-style **built-in membership protocol** in the
+//!   tradition of Kopetz & Grünsteidl \[2\] and Bauer & Paulitsch \[14\]:
+//!   membership agreement enforced per frame, accept/reject clique
+//!   counters, immediate exclusion and node freeze. It relies on the
+//!   **single-fault assumption** and reacts to transients by killing
+//!   (restarting) nodes — the two weaknesses the paper's protocol is
+//!   designed to remove.
+//! * [`alpha`] — the **α-count** fault-filtering mechanism of Bondavalli
+//!   et al. \[5, 6\], the count-and-threshold ancestor of the paper's
+//!   penalty/reward algorithm: a single exponentially-decayed score per
+//!   node instead of the p/r pair of counters.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alpha;
+pub mod ttpc;
+
+pub use alpha::AlphaCount;
+pub use ttpc::{TtpcCluster, TtpcNodeState};

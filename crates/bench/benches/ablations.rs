@@ -1,0 +1,32 @@
+//! Ablation benches: the sensitivity sweeps around the paper's tuned
+//! operating points (P, R, burst length), each iteration running the full
+//! sweep on the simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use tt_analysis::{burst_length_sweep, penalty_sweep, reward_sweep};
+use tt_fault::TransientScenario;
+use tt_sim::Nanos;
+
+fn bench_ablations(c: &mut Criterion) {
+    let t = Nanos::from_micros(2_500);
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("penalty_sweep_5_points", |b| {
+        let scenario = TransientScenario::blinking_light();
+        b.iter(|| penalty_sweep(&scenario, 40, 1_000_000, t, 4, [50u64, 100, 197, 400, 700]))
+    });
+    group.bench_function("reward_sweep_boundary", |b| {
+        b.iter(|| reward_sweep(10, 3, 4, [5u64, 8, 9, 10, 20, 100]))
+    });
+    group.bench_function("burst_length_sweep", |b| {
+        b.iter(|| burst_length_sweep(4, [1u64, 2, 4, 8, 16]))
+    });
+    group.finish();
+    // Correctness guards: the correlation boundary sits at R = period - 1.
+    let points = reward_sweep(10, 3, 4, [9u64, 10]);
+    assert!(!points[0].correlated && points[1].correlated);
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

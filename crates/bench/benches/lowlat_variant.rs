@@ -1,0 +1,59 @@
+//! Bench for the Sec. 10 system-level variant: per-round cost at slot
+//! granularity, with and without the membership composition, compared to
+//! the add-on protocol on the same fault pattern.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tt_core::lowlat::LowLatCluster;
+use tt_core::{DiagJob, ProtocolConfig};
+use tt_sim::{ClusterBuilder, SlotEffect, TraceMode, TxCtx};
+
+fn pattern(ctx: &TxCtx) -> SlotEffect {
+    if ctx.abs_slot % 13 == 5 {
+        SlotEffect::Benign
+    } else {
+        SlotEffect::Correct
+    }
+}
+
+fn bench_lowlat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lowlat_100_rounds");
+    for n in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("diagnosis", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut cl = LowLatCluster::new(n, false, Box::new(pattern));
+                cl.run_rounds(100);
+                cl.verdicts(tt_sim::NodeId::new(1)).len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("with_membership", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut cl = LowLatCluster::new(n, true, Box::new(pattern));
+                cl.run_rounds(100);
+                cl.verdicts(tt_sim::NodeId::new(1)).len()
+            })
+        });
+    }
+    // Baseline: the portable add-on on the same pattern and size.
+    group.bench_function("addon_baseline_n4", |b| {
+        let cfg = ProtocolConfig::builder(4)
+            .penalty_threshold(u64::MAX / 2)
+            .reward_threshold(u64::MAX / 2)
+            .build()
+            .unwrap();
+        b.iter(|| {
+            let mut cluster = ClusterBuilder::new(4)
+                .trace_mode(TraceMode::Off)
+                .build_with_jobs(
+                    |id| Box::new(DiagJob::with_logging(id, cfg.clone(), false)),
+                    Box::new(pattern),
+                );
+            cluster.run_rounds(100);
+            cluster.round().as_u64()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lowlat);
+criterion_main!(benches);

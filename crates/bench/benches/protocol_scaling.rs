@@ -1,0 +1,84 @@
+//! Scaling benches for the add-on protocol itself: per-round cost of the
+//! full five-phase pipeline as the cluster grows, plus micro-benches for
+//! the voting and alignment primitives, and an ablation comparing the
+//! conservative and `all_send_curr_round` configurations.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use tt_core::alignment::read_align;
+use tt_core::voting::h_maj;
+use tt_core::{DiagJob, ProtocolConfig};
+use tt_sim::{ClusterBuilder, Nanos, SlotEffect, TraceMode, TxCtx};
+
+fn cluster_rounds(n: usize, rounds: u64, all_curr: bool) -> u64 {
+    let cfg = ProtocolConfig::builder(n)
+        .penalty_threshold(u64::MAX / 2)
+        .reward_threshold(u64::MAX / 2)
+        .all_send_curr_round(all_curr)
+        .build()
+        .unwrap();
+    // A sparse benign pattern keeps the matrices non-trivial.
+    let pipeline = |ctx: &TxCtx| {
+        if ctx.abs_slot % 17 == 3 {
+            SlotEffect::Benign
+        } else {
+            SlotEffect::Correct
+        }
+    };
+    let round_len = Nanos::from_nanos(2_560_000); // divisible by all n used
+    let mut cluster = ClusterBuilder::new(n)
+        .round_length(round_len)
+        .trace_mode(TraceMode::Off)
+        .build(Box::new(pipeline))
+        .unwrap();
+    for id in tt_sim::NodeId::all(n) {
+        cluster
+            .add_job(id, 0, Box::new(DiagJob::with_logging(id, cfg.clone(), false)))
+            .unwrap();
+    }
+    cluster.run_rounds(rounds);
+    cluster.round().as_u64()
+}
+
+fn bench_protocol_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_rounds");
+    for n in [4usize, 8, 16, 32] {
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::new("100_rounds", n), &n, |b, &n| {
+            b.iter(|| cluster_rounds(n, 100, false))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("alignment_ablation");
+    group.bench_function("conservative_lag3_n8", |b| {
+        b.iter(|| cluster_rounds(8, 100, false))
+    });
+    group.bench_function("all_send_curr_lag2_n8", |b| {
+        b.iter(|| cluster_rounds(8, 100, true))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("primitives");
+    for n in [4usize, 16, 64, 256] {
+        let votes: Vec<Option<bool>> = (0..n)
+            .map(|i| match i % 5 {
+                0 => None,
+                1 => Some(false),
+                _ => Some(true),
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("h_maj", n), &votes, |b, votes| {
+            b.iter(|| h_maj(black_box(votes.iter().copied())))
+        });
+        let prev: Vec<u64> = (0..n as u64).collect();
+        let curr: Vec<u64> = (0..n as u64).map(|x| x + 1).collect();
+        group.bench_with_input(BenchmarkId::new("read_align", n), &n, |b, &n| {
+            b.iter(|| read_align(black_box(&prev), black_box(&curr), n / 2))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocol_scaling);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Bench for the Sec. 8 validation campaign: cost of one experiment per
+//! class, plus a small end-to-end campaign.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tt_fault::{run_experiment, sec8_classes, ExperimentClass};
+use tt_sim::NodeId;
+
+fn bench_validation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec8_validation");
+    group.sample_size(20);
+    let representative = [
+        ExperimentClass::Burst {
+            len_slots: 1,
+            start_slot: 0,
+        },
+        ExperimentClass::Burst {
+            len_slots: 2,
+            start_slot: 3,
+        },
+        ExperimentClass::Burst {
+            len_slots: 8,
+            start_slot: 0,
+        },
+        ExperimentClass::PenaltyRewardStepping {
+            node: NodeId::new(2),
+        },
+        ExperimentClass::MaliciousSyndromes {
+            node: NodeId::new(3),
+        },
+        ExperimentClass::CliqueFormation {
+            victim: NodeId::new(1),
+        },
+    ];
+    for class in representative {
+        group.bench_with_input(
+            BenchmarkId::new("experiment", class.label()),
+            &class,
+            |b, &class| {
+                b.iter(|| {
+                    let o = run_experiment(class, 4, 5);
+                    assert!(o.passed, "{:?}", o.notes);
+                    o
+                })
+            },
+        );
+    }
+    group.bench_function("campaign_1rep_all_classes", |b| {
+        let classes = sec8_classes(4);
+        b.iter(|| {
+            let r = tt_fault::run_campaign(&classes, 4, 1, 42);
+            assert!(r.all_passed());
+            r.total()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_validation);
+criterion_main!(benches);

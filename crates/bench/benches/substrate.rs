@@ -1,0 +1,88 @@
+//! Substrate benches: raw engine slot throughput, frame codec, syndrome
+//! codec, clock resynchronization — the costs under every protocol number.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use tt_core::syndrome::Syndrome;
+use tt_sim::{
+    crc32, ClockConfig, ClockEnsemble, ClusterBuilder, Frame, Nanos, NodeId, RoundIndex,
+    TraceMode,
+};
+
+fn bench_substrate(c: &mut Criterion) {
+    // Engine: rounds/second with an idle job on every node.
+    let mut group = c.benchmark_group("engine");
+    for n in [4usize, 16, 64] {
+        group.throughput(Throughput::Elements(1_000));
+        group.bench_with_input(BenchmarkId::new("1000_idle_rounds", n), &n, |b, &n| {
+            struct Idle;
+            impl tt_sim::Job for Idle {
+                fn execute(&mut self, ctx: &mut tt_sim::JobCtx<'_>) {
+                    ctx.write_iface(vec![0u8]);
+                }
+                fn as_any(&self) -> &dyn std::any::Any {
+                    self
+                }
+            }
+            b.iter(|| {
+                let mut cluster = ClusterBuilder::new(n)
+                    .round_length(Nanos::from_nanos(2_560_000))
+                    .trace_mode(TraceMode::Off)
+                    .build_with_jobs(|_| Box::new(Idle), Box::new(tt_sim::NoFaults));
+                cluster.run_rounds(1_000);
+                cluster.round().as_u64()
+            })
+        });
+    }
+    group.finish();
+
+    // Frame codec and CRC.
+    let mut group = c.benchmark_group("frame_codec");
+    let frame = Frame {
+        sender: NodeId::new(3),
+        round: RoundIndex::new(1_000),
+        payload: bytes::Bytes::from(vec![0xA5u8; 8]),
+    };
+    let wire = frame.encode();
+    group.bench_function("encode", |b| b.iter(|| black_box(&frame).encode()));
+    group.bench_function("decode", |b| {
+        b.iter(|| Frame::decode(black_box(&wire), NodeId::new(3), RoundIndex::new(1_000)))
+    });
+    group.bench_function("crc32_64bytes", |b| {
+        let data = vec![0x5Au8; 64];
+        b.iter(|| crc32(black_box(&data)))
+    });
+    group.finish();
+
+    // Syndrome codec across cluster sizes.
+    let mut group = c.benchmark_group("syndrome_codec");
+    for n in [4usize, 16, 64, 256] {
+        let s = Syndrome::all_ok(n);
+        let enc = s.encode();
+        group.bench_with_input(BenchmarkId::new("encode", n), &s, |b, s| {
+            b.iter(|| s.encode())
+        });
+        group.bench_with_input(BenchmarkId::new("decode", n), &n, |b, &n| {
+            b.iter(|| Syndrome::decode(black_box(&enc), n))
+        });
+    }
+    group.finish();
+
+    // Clock resynchronization step.
+    let mut group = c.benchmark_group("clock");
+    for n in [4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("resync_round", n), &n, |b, &n| {
+            let mut cfg = ClockConfig::healthy(n);
+            cfg.fta_drop = 1;
+            let mut ensemble = ClockEnsemble::new(cfg, 1);
+            b.iter(|| {
+                ensemble.advance_round();
+                ensemble.precision_ns()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Bench for Table 1: building a diagnostic matrix and voting it into a
+//! consistent health vector, across cluster sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tt_core::matrix::matrix_with_benign_faulty;
+use tt_sim::NodeId;
+
+fn bench_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_matrix");
+    for n in [4usize, 8, 16, 32, 64] {
+        let faulty: Vec<NodeId> = (1..=n as u32 / 4).map(NodeId::new).collect();
+        group.bench_with_input(BenchmarkId::new("build_and_vote", n), &n, |b, &n| {
+            b.iter(|| {
+                let m = matrix_with_benign_faulty(black_box(n), &faulty);
+                m.consistent_health_vector(|_| None)
+            })
+        });
+        let m = matrix_with_benign_faulty(n, &faulty);
+        group.bench_with_input(BenchmarkId::new("vote_only", n), &n, |b, _| {
+            b.iter(|| m.consistent_health_vector(|_| None))
+        });
+    }
+    // The paper's exact instance for reference.
+    let m4 = matrix_with_benign_faulty(4, &[NodeId::new(3), NodeId::new(4)]);
+    group.bench_function("paper_4node_instance", |b| {
+        b.iter(|| m4.consistent_health_vector(|_| None))
+    });
+    group.finish();
+    assert_eq!(
+        matrix_with_benign_faulty(4, &[NodeId::new(3), NodeId::new(4)])
+            .consistent_health_vector(|_| None),
+        vec![true, true, false, false]
+    );
+}
+
+criterion_group!(benches, bench_matrix);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Bench for Table 2: the continuous-burst tuning procedure.
+//!
+//! Each iteration runs the full penalty-budget measurement on the
+//! simulator (hundreds of TDMA rounds with the protocol active on every
+//! node).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tt_analysis::tuning::{automotive_setup, measure_penalty_budget};
+use tt_analysis::{aerospace_setup, tune};
+use tt_sim::Nanos;
+
+fn bench_tuning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_tuning");
+    group.sample_size(20);
+    let setup = automotive_setup();
+    for (label, outage_ms) in [("SC_20ms", 20u64), ("SR_100ms", 100), ("NSR_500ms", 500)] {
+        group.bench_with_input(
+            BenchmarkId::new("penalty_budget", label),
+            &outage_ms,
+            |b, &ms| b.iter(|| measure_penalty_budget(&setup, Nanos::from_millis(ms))),
+        );
+    }
+    group.bench_function("tune_automotive_full", |b| {
+        b.iter(|| tune(&automotive_setup()).penalty_threshold)
+    });
+    group.bench_function("tune_aerospace_full", |b| {
+        b.iter(|| tune(&aerospace_setup()).penalty_threshold)
+    });
+    group.finish();
+    // Correctness guard: the paper's constants.
+    assert_eq!(tune(&automotive_setup()).penalty_threshold, 197);
+    assert_eq!(tune(&aerospace_setup()).penalty_threshold, 17);
+}
+
+criterion_group!(benches, bench_tuning);
+criterion_main!(benches);

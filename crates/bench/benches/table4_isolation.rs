@@ -1,0 +1,42 @@
+//! Bench for Tables 3 & 4: replaying the abnormal transient scenarios until
+//! incorrect isolation.
+//!
+//! The automotive SC and aerospace rows are short (hundreds of simulated
+//! rounds); the NSR row simulates ~25 simulated seconds (~10k rounds) per
+//! iteration and runs with a reduced sample count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use tt_analysis::measure_time_to_isolation;
+use tt_fault::TransientScenario;
+use tt_sim::Nanos;
+
+const T: Nanos = Nanos::from_micros(2_500);
+
+fn bench_isolation(c: &mut Criterion) {
+    let blinking = TransientScenario::blinking_light();
+    let lightning = TransientScenario::lightning_bolt();
+    let mut group = c.benchmark_group("table4_isolation");
+    group.sample_size(10);
+    group.bench_function("auto_SC_s40", |b| {
+        b.iter(|| measure_time_to_isolation(&blinking, 40, 197, 1_000_000, T, 4))
+    });
+    group.bench_function("auto_SR_s6", |b| {
+        b.iter(|| measure_time_to_isolation(&blinking, 6, 197, 1_000_000, T, 4))
+    });
+    group.bench_function("auto_NSR_s1", |b| {
+        b.iter(|| measure_time_to_isolation(&blinking, 1, 197, 1_000_000, T, 4))
+    });
+    group.bench_function("aero_SC_s1", |b| {
+        b.iter(|| measure_time_to_isolation(&lightning, 1, 17, 1_000_000, T, 4))
+    });
+    group.finish();
+    // Correctness guards: SC ~0.518 s, aero ~0.205 s.
+    let sc = measure_time_to_isolation(&blinking, 40, 197, 1_000_000, T, 4);
+    assert!((sc.time_to_isolation.unwrap().as_secs_f64() - 0.518).abs() < 0.01);
+    let aero = measure_time_to_isolation(&lightning, 1, 17, 1_000_000, T, 4);
+    assert!((aero.time_to_isolation.unwrap().as_secs_f64() - 0.205).abs() < 0.01);
+}
+
+criterion_group!(benches, bench_isolation);
+criterion_main!(benches);

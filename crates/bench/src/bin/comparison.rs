@@ -1,0 +1,6 @@
+//! Quantitative comparison against the baseline mechanisms: availability
+//! under abnormal transients and detection of unhealthy nodes.
+
+fn main() {
+    println!("{}", tt_bench::comparison_report());
+}

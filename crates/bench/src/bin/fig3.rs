@@ -1,0 +1,5 @@
+//! Regenerates the paper's Fig. 3 (reward-threshold tuning trade-off).
+
+fn main() {
+    println!("{}", tt_bench::fig3_report());
+}

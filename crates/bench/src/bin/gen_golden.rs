@@ -1,0 +1,19 @@
+//! Regenerates the golden snapshots under `tests/golden/` (run from the
+//! repository root after an intentional report change).
+
+fn main() {
+    let dir = std::path::Path::new("tests/golden");
+    for (name, content) in [
+        ("fig1.txt", tt_bench::fig1_report()),
+        ("fig2.txt", tt_bench::fig2_report()),
+        ("table1.txt", tt_bench::table1_report()),
+        ("fig3.txt", tt_bench::fig3_report()),
+        ("table2.txt", tt_bench::table2_report()),
+        ("table3.txt", tt_bench::table3_report()),
+        ("bandwidth.txt", tt_bench::bandwidth_report()),
+        ("lowlat.txt", tt_bench::lowlat_report()),
+    ] {
+        std::fs::write(dir.join(name), content).unwrap();
+        println!("wrote {name}");
+    }
+}

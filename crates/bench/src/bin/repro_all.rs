@@ -1,0 +1,27 @@
+//! Regenerates every table and figure of the paper in one run.
+//!
+//! Usage: `repro_all [validation-repetitions]` (default 100).
+
+fn main() {
+    let reps: u64 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("repetitions must be a number"))
+        .unwrap_or(100);
+    let sep = "=".repeat(78);
+    for (name, report) in [
+        ("Fig. 1", tt_bench::fig1_report()),
+        ("Fig. 2", tt_bench::fig2_report()),
+        ("Table 1", tt_bench::table1_report()),
+        ("Fig. 3", tt_bench::fig3_report()),
+        ("Table 2", tt_bench::table2_report()),
+        ("Table 3", tt_bench::table3_report()),
+        ("Table 4", tt_bench::table4_report()),
+        ("Sec. 8 validation", tt_bench::validation_report(reps, 8)),
+        ("Sec. 10 variants", tt_bench::lowlat_report()),
+        ("Bandwidth", tt_bench::bandwidth_report()),
+        ("Ablations", tt_bench::ablation_report()),
+        ("Baseline comparison", tt_bench::comparison_report()),
+    ] {
+        println!("{sep}\n{name}\n{sep}\n{report}");
+    }
+}

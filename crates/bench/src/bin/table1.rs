@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table 1 (example diagnostic matrix).
+
+fn main() {
+    println!("{}", tt_bench::table1_report());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table 2 (experimental tuning of the p/r
+//! algorithm) by running the continuous-burst tuning procedure.
+
+fn main() {
+    println!("{}", tt_bench::table2_report());
+}

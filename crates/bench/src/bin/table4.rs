@@ -1,0 +1,7 @@
+//! Regenerates the paper's Tables 3 and 4 (abnormal transient scenarios and
+//! the resulting time to incorrect isolation).
+
+fn main() {
+    println!("{}", tt_bench::table3_report());
+    println!("{}", tt_bench::table4_report());
+}

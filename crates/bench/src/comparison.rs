@@ -1,0 +1,302 @@
+//! Quantitative comparison against the baselines (paper Sec. 2 & Sec. 9).
+//!
+//! Three mechanisms face the same environments:
+//!
+//! * the paper's **diagnostic protocol + p/r algorithm** (tuned per
+//!   Table 2);
+//! * the same diagnostic protocol filtered by **α-count** (Bondavalli et
+//!   al., the paper's refs \[5, 6\]) instead of p/r;
+//! * a **TTP/C-style built-in membership** with clique avoidance (refs
+//!   \[2, 14\]), which has no transient filtering at all.
+//!
+//! Two axes are measured, mirroring the paper's argument:
+//!
+//! 1. **availability under abnormal external transients** (Table 3
+//!    scenarios): how long healthy nodes survive, and how many nodes the
+//!    cluster loses;
+//! 2. **detection of unhealthy nodes**: how quickly a genuinely
+//!    intermittent node is isolated.
+
+use tt_analysis::{automotive_setup, measure_time_to_isolation, tune, Table};
+use tt_baselines::{AlphaCount, TtpcCluster};
+use tt_core::{DiagJob, ProtocolConfig};
+use tt_fault::{DisturbanceNode, SenderBurst, TransientScenario};
+use tt_sim::{ClusterBuilder, Nanos, NodeId, RoundIndex, TraceMode};
+
+/// Time until α-count (decay `k`, threshold `t`) first isolates a node when
+/// fed the consistent health vectors of a cluster living through
+/// `scenario`. Returns `None` if the scenario ends without an isolation.
+pub fn alpha_time_to_isolation(
+    scenario: &TransientScenario,
+    k: f64,
+    threshold: f64,
+    round: Nanos,
+    n: usize,
+) -> Option<Nanos> {
+    let health = scenario_health_log(scenario, round, n);
+    let mut alpha = AlphaCount::new(n, k, threshold);
+    for rec in &health {
+        if !alpha.update(&rec.health).is_empty() {
+            // The verdict lands `lag` rounds after the diagnosed round; the
+            // decision time matches the p/r measurement convention.
+            return Some(rec.decided_at.start_time(round).saturating_sub(offset_time(round)));
+        }
+    }
+    None
+}
+
+fn offset_time(round: Nanos) -> Nanos {
+    round * SCENARIO_OFFSET_ROUNDS
+}
+
+/// Warm-up rounds before the scenario starts (same as the p/r measurement).
+const SCENARIO_OFFSET_ROUNDS: u64 = 8;
+
+/// Runs a protocol cluster through `scenario` and returns its health log
+/// (node 1's view — consistent everywhere).
+fn scenario_health_log(
+    scenario: &TransientScenario,
+    round: Nanos,
+    n: usize,
+) -> Vec<tt_core::HealthRecord> {
+    let config = ProtocolConfig::builder(n)
+        .penalty_threshold(u64::MAX / 2)
+        .reward_threshold(u64::MAX / 2)
+        .build()
+        .expect("valid");
+    let sched = tt_sim::CommunicationSchedule::new(n, round).expect("valid schedule");
+    let offset = offset_time(round);
+    let pipeline = scenario.install(DisturbanceNode::new(0), &sched, offset);
+    let mut cluster = ClusterBuilder::new(n)
+        .round_length(round)
+        .trace_mode(TraceMode::Off)
+        .build_with_jobs(
+            |id| Box::new(DiagJob::new(id, config.clone())),
+            Box::new(pipeline),
+        );
+    let end = scenario.duration(offset) + round * 16;
+    cluster.run_rounds(end.as_nanos().div_ceil(round.as_nanos()));
+    let job: &DiagJob = cluster.job_as(NodeId::new(1)).expect("diag job");
+    job.health_log().to_vec()
+}
+
+/// Survival of a TTP/C-style cluster under `scenario`: returns
+/// `(time of first freeze, nodes alive at the end)`.
+pub fn ttpc_survival(
+    scenario: &TransientScenario,
+    round: Nanos,
+    n: usize,
+) -> (Option<Nanos>, usize) {
+    let sched = tt_sim::CommunicationSchedule::new(n, round).expect("valid schedule");
+    let offset = offset_time(round);
+    let pipeline = scenario.install(DisturbanceNode::new(0), &sched, offset);
+    let mut cluster = TtpcCluster::new(n, Box::new(pipeline));
+    let end = scenario.duration(offset) + round * 16;
+    cluster.run_rounds(end.as_nanos().div_ceil(round.as_nanos()));
+    let slot_len = round / n as u64;
+    let first_freeze = NodeId::all(n)
+        .filter_map(|id| cluster.frozen_at(id))
+        .min()
+        .map(|abs| (slot_len * abs).saturating_sub(offset));
+    (first_freeze, cluster.alive())
+}
+
+/// Rounds until each mechanism isolates a genuinely *unhealthy* node whose
+/// internal fault manifests intermittently every `period` rounds.
+/// Returns `(p/r rounds, α-count rounds, ttpc rounds)` (`None` = never).
+pub fn intermittent_detection(
+    period: u64,
+    p: u64,
+    r: u64,
+    alpha_k: f64,
+    alpha_t: f64,
+    n: usize,
+) -> (Option<u64>, Option<u64>, Option<u64>) {
+    let faulty = NodeId::new(2);
+    let start = RoundIndex::new(8);
+    let total = 8 + period * (p + 4) + 16;
+    // p/r and α-count share the protocol's health log.
+    let config = ProtocolConfig::builder(n)
+        .penalty_threshold(u64::MAX / 2)
+        .reward_threshold(u64::MAX / 2)
+        .build()
+        .expect("valid");
+    let mk_pipeline = || {
+        let mut d = DisturbanceNode::new(0);
+        let mut r0 = start.as_u64();
+        while r0 < total {
+            d.push(SenderBurst::new(faulty, RoundIndex::new(r0), 1));
+            r0 += period;
+        }
+        d
+    };
+    let mut cluster = ClusterBuilder::new(n).build_with_jobs(
+        |id| Box::new(DiagJob::new(id, config.clone())),
+        Box::new(mk_pipeline()),
+    );
+    cluster.run_rounds(total);
+    let job: &DiagJob = cluster.job_as(NodeId::new(1)).expect("diag job");
+    let mut pr = tt_core::PenaltyReward::new(
+        n,
+        vec![1; n],
+        p,
+        r,
+        tt_core::ReintegrationPolicy::Never,
+    );
+    let mut alpha = AlphaCount::new(n, alpha_k, alpha_t);
+    let mut pr_at = None;
+    let mut alpha_at = None;
+    for rec in job.health_log() {
+        if pr_at.is_none() && !pr.update(&rec.health).is_empty() {
+            pr_at = Some(rec.decided_at.as_u64() - start.as_u64());
+        }
+        if alpha_at.is_none() && !alpha.update(&rec.health).is_empty() {
+            alpha_at = Some(rec.decided_at.as_u64() - start.as_u64());
+        }
+    }
+    // TTP/C: first fault kills the node (no filtering to wait out).
+    let mut ttpc = TtpcCluster::new(n, Box::new(mk_pipeline()));
+    ttpc.run_rounds(total);
+    let ttpc_at = ttpc
+        .frozen_at(faulty)
+        .map(|abs| abs / n as u64 - start.as_u64());
+    (pr_at, alpha_at, ttpc_at)
+}
+
+/// The full baseline-comparison report.
+pub fn comparison_report() -> String {
+    let t = Nanos::from_micros(2_500);
+    let n = 4;
+    let tuned = tune(&automotive_setup());
+    let blinking = TransientScenario::blinking_light();
+    let mut out = String::from(
+        "Baseline comparison — p/r (paper) vs alpha-count [5,6] vs TTP/C-style [2,14]\n\n\
+         Axis 1: availability under the blinking-light scenario (all nodes healthy)\n\n",
+    );
+    // α-count tuned to the same requirements: threshold = SC penalty
+    // budget; decay chosen so faults recurring within R x T = 10^6 rounds
+    // still correlate (K just above the uncorrelating bound).
+    let alpha_t = tuned.rows[0].penalty_budget as f64; // 5, the SC budget
+    let alpha_k = AlphaCount::max_uncorrelating_k(alpha_t, 1_000_000).min(0.999_999_9);
+    let mut table = Table::new(vec![
+        "Mechanism",
+        "Config (SC-equivalent)",
+        "First healthy node lost",
+        "Nodes lost",
+    ]);
+    let pr_m = measure_time_to_isolation(
+        &blinking,
+        tuned.rows[0].criticality,
+        tuned.penalty_threshold,
+        tuned.reward_threshold,
+        t,
+        n,
+    );
+    table.row(vec![
+        "Diagnosis + p/r (paper)".to_string(),
+        format!("P={}, s=40, R=1e6", tuned.penalty_threshold),
+        pr_m.time_to_isolation
+            .map(|d| format!("{:.3} s", d.as_secs_f64()))
+            .unwrap_or_else(|| "never".into()),
+        "1 (per threshold design)".to_string(),
+    ]);
+    let alpha_at = alpha_time_to_isolation(&blinking, alpha_k, alpha_t, t, n);
+    table.row(vec![
+        "Diagnosis + alpha-count".to_string(),
+        format!("alpha_T={alpha_t}, K={alpha_k:.7}"),
+        alpha_at
+            .map(|d| format!("{:.3} s", d.as_secs_f64()))
+            .unwrap_or_else(|| "never".into()),
+        "1 (same detection layer)".to_string(),
+    ]);
+    let (ttpc_first, ttpc_alive) = ttpc_survival(&blinking, t, n);
+    table.row(vec![
+        "TTP/C-style membership".to_string(),
+        "no transient filtering".to_string(),
+        ttpc_first
+            .map(|d| format!("{:.3} s", d.as_secs_f64()))
+            .unwrap_or_else(|| "never".into()),
+        format!("{} of {n} (whole cluster)", n - ttpc_alive),
+    ]);
+    out.push_str(&table.render());
+
+    out.push_str("\nAxis 2: rounds to isolate an unhealthy node (intermittent fault, one per 20 rounds)\n\n");
+    let (pr_at, a_at, ttpc_at) = intermittent_detection(20, 5, 1_000_000, alpha_k, alpha_t, n);
+    let mut table = Table::new(vec!["Mechanism", "Rounds to isolation", "Notes"]);
+    table.row(vec![
+        "Diagnosis + p/r".to_string(),
+        pr_at.map(|r| r.to_string()).unwrap_or_else(|| "never".into()),
+        "P/s = 5 correlated faults needed; R = 1e6 keeps them correlated".to_string(),
+    ]);
+    table.row(vec![
+        "Diagnosis + alpha-count".to_string(),
+        a_at.map(|r| r.to_string()).unwrap_or_else(|| "never".into()),
+        "same shape: decay over 19 clean rounds is negligible at K ~ 1".to_string(),
+    ]);
+    table.row(vec![
+        "TTP/C-style membership".to_string(),
+        ttpc_at.map(|r| r.to_string()).unwrap_or_else(|| "never".into()),
+        "instant — but it treats healthy transients identically".to_string(),
+    ]);
+    out.push_str(&table.render());
+    out.push_str(
+        "\nReading: all three detect the unhealthy node; only the tunable filters\n\
+         (p/r, alpha-count) survive the abnormal transient scenario, and only p/r\n\
+         offers independent knobs for correlation horizon (R), tolerated faults (P)\n\
+         and per-function criticality (s_i) — the paper's tunability argument.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ttpc_loses_whole_cluster_on_first_burst() {
+        let (first, alive) = ttpc_survival(
+            &TransientScenario::blinking_light(),
+            Nanos::from_micros(2_500),
+            4,
+        );
+        assert_eq!(alive, 0, "blackout burst freezes everyone");
+        let t = first.expect("frozen").as_secs_f64();
+        assert!(t < 0.02, "within the first 10 ms burst + one round, got {t}");
+    }
+
+    #[test]
+    fn alpha_and_pr_survive_similarly_under_sc_tuning() {
+        let t = Nanos::from_micros(2_500);
+        let alpha_at = alpha_time_to_isolation(
+            &TransientScenario::blinking_light(),
+            AlphaCount::max_uncorrelating_k(5.0, 1_000_000).min(0.999_999_9),
+            5.0,
+            t,
+            4,
+        )
+        .expect("eventually isolated")
+        .as_secs_f64();
+        // Equivalent tuning: isolation in the second burst, like p/r SC.
+        assert!((0.4..0.7).contains(&alpha_at), "got {alpha_at}");
+    }
+
+    #[test]
+    fn intermittent_node_detected_by_all_mechanisms() {
+        let k = AlphaCount::max_uncorrelating_k(5.0, 1_000_000).min(0.999_999_9);
+        let (pr, alpha, ttpc) = intermittent_detection(20, 5, 1_000_000, k, 5.0, 4);
+        // p/r: 6th fault exceeds P = 5 -> 5 * 20 rounds + lag.
+        let pr = pr.expect("p/r isolates");
+        assert!((100..=110).contains(&pr), "pr at {pr}");
+        let alpha = alpha.expect("alpha isolates");
+        assert!((80..=110).contains(&alpha), "alpha at {alpha}");
+        let ttpc = ttpc.expect("ttpc freezes the node");
+        assert!(ttpc <= 2, "ttpc at {ttpc}");
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = comparison_report();
+        assert!(r.contains("TTP/C-style membership"), "{r}");
+        assert!(r.contains("alpha-count"), "{r}");
+    }
+}

@@ -1,0 +1,25 @@
+//! # tt-bench — experiment regeneration for the tt-diag reproduction
+//!
+//! This crate hosts:
+//!
+//! * [`experiments`] — functions that regenerate every table and figure of
+//!   the paper's evaluation (Tables 1–4, Figs. 1–3, the Sec. 8 validation
+//!   campaign, and the Sec. 10 low-latency variant), returning rendered
+//!   reports;
+//! * the `fig3` / `table1` / `table2` / `table4` / `validation` /
+//!   `repro_all` binaries (thin wrappers over [`experiments`]);
+//! * the criterion benches under `benches/` (one per table/figure plus
+//!   scaling and ablation benches);
+//! * the workspace-level integration tests under `tests/` and the runnable
+//!   examples under `examples/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod comparison;
+pub mod experiments;
+pub mod parallel;
+
+pub use comparison::comparison_report;
+pub use experiments::*;
+pub use parallel::run_parallel_campaign;

@@ -1,0 +1,501 @@
+//! Hand-rolled argument parsing for the `ttdiag` CLI (no dependencies).
+//!
+//! Grammar:
+//!
+//! ```text
+//! ttdiag simulate [--nodes N] [--rounds R] [--penalty P] [--reward R]
+//!                 [--seed S] [--timeline] [--fault SPEC]...
+//! ttdiag tune [automotive|aerospace]
+//! ttdiag isolation [automotive|aerospace]
+//! ttdiag campaign [--reps N] [--threads T] [--json PATH]
+//! ttdiag help
+//! ```
+//!
+//! Fault specs:
+//!
+//! ```text
+//! crash:NODE@ROUND          permanent benign sender fault
+//! burst:LEN@ROUND.SLOT      bus burst of LEN slots from ROUND/SLOT
+//! noise:P                   benign noise with per-slot probability P
+//! asym:NODE@ROUND:R1,R2     asymmetric fault detected by receivers R1,R2
+//! scenario:blinking         the Table 3 blinking-light scenario
+//! scenario:lightning        the Table 3 lightning-bolt scenario
+//! ```
+
+use std::fmt;
+
+/// A parsed fault specification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultSpec {
+    /// `crash:NODE@ROUND`
+    Crash {
+        /// 1-based node id.
+        node: u32,
+        /// Round the crash begins.
+        round: u64,
+    },
+    /// `burst:LEN@ROUND.SLOT`
+    Burst {
+        /// Length in slots.
+        len: u64,
+        /// Starting round.
+        round: u64,
+        /// Starting slot position (0-based).
+        slot: usize,
+    },
+    /// `noise:P`
+    Noise {
+        /// Per-slot corruption probability.
+        p: f64,
+    },
+    /// `asym:NODE@ROUND:R1,R2,...`
+    Asym {
+        /// 1-based sender id.
+        node: u32,
+        /// The affected round.
+        round: u64,
+        /// 0-based receiver indices that miss the frame.
+        detected_by: Vec<usize>,
+    },
+    /// `scenario:blinking` / `scenario:lightning`
+    Scenario {
+        /// `"blinking"` or `"lightning"`.
+        name: String,
+    },
+}
+
+/// The parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run a cluster and report the protocol's view.
+    Simulate {
+        /// Cluster size.
+        nodes: usize,
+        /// Rounds to simulate.
+        rounds: u64,
+        /// Penalty threshold `P`.
+        penalty: u64,
+        /// Reward threshold `R`.
+        reward: u64,
+        /// Seed for randomized disturbances.
+        seed: u64,
+        /// Print the fault timeline.
+        timeline: bool,
+        /// Injected faults.
+        faults: Vec<FaultSpec>,
+        /// Write the fault trace (with replayable effects) to this path.
+        record: Option<String>,
+    },
+    /// Replay a recorded fault trace against a (possibly re-tuned) cluster.
+    Replay {
+        /// Path to a JSON trace written by `simulate --record`.
+        trace: String,
+        /// Cluster size.
+        nodes: usize,
+        /// Rounds to simulate.
+        rounds: u64,
+        /// Penalty threshold `P`.
+        penalty: u64,
+        /// Reward threshold `R`.
+        reward: u64,
+        /// Print the fault timeline.
+        timeline: bool,
+    },
+    /// Print the Table 2 tuning for a domain.
+    Tune {
+        /// `"automotive"` or `"aerospace"`.
+        domain: String,
+    },
+    /// Print the Table 4 time-to-isolation rows for a domain.
+    Isolation {
+        /// `"automotive"` or `"aerospace"`.
+        domain: String,
+    },
+    /// Run the Sec. 8 validation campaign.
+    Campaign {
+        /// Repetitions per class.
+        reps: u64,
+        /// JSON output path, if any.
+        json: Option<String>,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError(msg.into()))
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, ParseError> {
+    s.parse()
+        .map_err(|_| ParseError(format!("invalid {what}: {s:?}")))
+}
+
+/// Parses `NODE@ROUND` into `(node, round)`.
+fn parse_at(s: &str, what: &str) -> Result<(u32, u64), ParseError> {
+    let (node, round) = s
+        .split_once('@')
+        .ok_or_else(|| ParseError(format!("{what} must be NODE@ROUND, got {s:?}")))?;
+    Ok((parse_num(node, "node")?, parse_num(round, "round")?))
+}
+
+impl FaultSpec {
+    /// Parses one `--fault` value.
+    pub fn parse(s: &str) -> Result<FaultSpec, ParseError> {
+        let (kind, rest) = s
+            .split_once(':')
+            .ok_or_else(|| ParseError(format!("fault spec needs KIND:ARGS, got {s:?}")))?;
+        match kind {
+            "crash" => {
+                let (node, round) = parse_at(rest, "crash")?;
+                Ok(FaultSpec::Crash { node, round })
+            }
+            "burst" => {
+                let (len, at) = rest
+                    .split_once('@')
+                    .ok_or_else(|| ParseError(format!("burst must be LEN@ROUND.SLOT, got {rest:?}")))?;
+                let (round, slot) = at
+                    .split_once('.')
+                    .ok_or_else(|| ParseError(format!("burst must be LEN@ROUND.SLOT, got {rest:?}")))?;
+                Ok(FaultSpec::Burst {
+                    len: parse_num(len, "burst length")?,
+                    round: parse_num(round, "round")?,
+                    slot: parse_num(slot, "slot")?,
+                })
+            }
+            "noise" => {
+                let p: f64 = parse_num(rest, "noise probability")?;
+                if !(0.0..=1.0).contains(&p) {
+                    return err(format!("noise probability out of range: {p}"));
+                }
+                Ok(FaultSpec::Noise { p })
+            }
+            "asym" => {
+                let (at, rxs) = rest
+                    .rsplit_once(':')
+                    .ok_or_else(|| ParseError(format!("asym must be NODE@ROUND:RX,..., got {rest:?}")))?;
+                let (node, round) = parse_at(at, "asym")?;
+                let detected_by = rxs
+                    .split(',')
+                    .map(|r| parse_num(r, "receiver index"))
+                    .collect::<Result<Vec<usize>, _>>()?;
+                if detected_by.is_empty() {
+                    return err("asym needs at least one receiver");
+                }
+                Ok(FaultSpec::Asym {
+                    node,
+                    round,
+                    detected_by,
+                })
+            }
+            "scenario" => match rest {
+                "blinking" | "lightning" => Ok(FaultSpec::Scenario {
+                    name: rest.to_string(),
+                }),
+                other => err(format!("unknown scenario {other:?} (blinking|lightning)")),
+            },
+            other => err(format!("unknown fault kind {other:?}")),
+        }
+    }
+}
+
+/// Parses the full argument list (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "tune" | "isolation" => {
+            let domain = match rest.first().map(String::as_str) {
+                None | Some("automotive") => "automotive",
+                Some("aerospace") => "aerospace",
+                Some(other) => {
+                    return err(format!("unknown domain {other:?} (automotive|aerospace)"))
+                }
+            };
+            if cmd == "tune" {
+                Ok(Command::Tune {
+                    domain: domain.into(),
+                })
+            } else {
+                Ok(Command::Isolation {
+                    domain: domain.into(),
+                })
+            }
+        }
+        "campaign" => {
+            let mut reps = 100u64;
+            let mut json = None;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--reps" => {
+                        reps = parse_num(
+                            it.next().ok_or(ParseError("--reps needs a value".into()))?,
+                            "reps",
+                        )?
+                    }
+                    "--json" => {
+                        json = Some(
+                            it.next()
+                                .ok_or(ParseError("--json needs a path".into()))?
+                                .clone(),
+                        )
+                    }
+                    other => return err(format!("unknown campaign flag {other:?}")),
+                }
+            }
+            Ok(Command::Campaign { reps, json })
+        }
+        "simulate" => {
+            let mut nodes = 4usize;
+            let mut rounds = 50u64;
+            let mut penalty = 197u64;
+            let mut reward = 1_000_000u64;
+            let mut seed = 0u64;
+            let mut timeline = false;
+            let mut faults = Vec::new();
+            let mut record = None;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                let mut val = |name: &str| -> Result<&String, ParseError> {
+                    it.next()
+                        .ok_or_else(|| ParseError(format!("{name} needs a value")))
+                };
+                match a.as_str() {
+                    "--nodes" => nodes = parse_num(val("--nodes")?, "nodes")?,
+                    "--rounds" => rounds = parse_num(val("--rounds")?, "rounds")?,
+                    "--penalty" => penalty = parse_num(val("--penalty")?, "penalty")?,
+                    "--reward" => reward = parse_num(val("--reward")?, "reward")?,
+                    "--seed" => seed = parse_num(val("--seed")?, "seed")?,
+                    "--timeline" => timeline = true,
+                    "--fault" => faults.push(FaultSpec::parse(val("--fault")?)?),
+                    "--record" => record = Some(val("--record")?.clone()),
+                    other => return err(format!("unknown simulate flag {other:?}")),
+                }
+            }
+            if nodes < 2 {
+                return err("need at least 2 nodes");
+            }
+            Ok(Command::Simulate {
+                nodes,
+                rounds,
+                penalty,
+                reward,
+                seed,
+                timeline,
+                faults,
+                record,
+            })
+        }
+        "replay" => {
+            let Some(trace) = rest.first() else {
+                return err("replay needs a trace path");
+            };
+            let mut nodes = 4usize;
+            let mut rounds = 50u64;
+            let mut penalty = 197u64;
+            let mut reward = 1_000_000u64;
+            let mut timeline = false;
+            let mut it = rest[1..].iter();
+            while let Some(a) = it.next() {
+                let mut val = |name: &str| -> Result<&String, ParseError> {
+                    it.next()
+                        .ok_or_else(|| ParseError(format!("{name} needs a value")))
+                };
+                match a.as_str() {
+                    "--nodes" => nodes = parse_num(val("--nodes")?, "nodes")?,
+                    "--rounds" => rounds = parse_num(val("--rounds")?, "rounds")?,
+                    "--penalty" => penalty = parse_num(val("--penalty")?, "penalty")?,
+                    "--reward" => reward = parse_num(val("--reward")?, "reward")?,
+                    "--timeline" => timeline = true,
+                    other => return err(format!("unknown replay flag {other:?}")),
+                }
+            }
+            Ok(Command::Replay {
+                trace: trace.clone(),
+                nodes,
+                rounds,
+                penalty,
+                reward,
+                timeline,
+            })
+        }
+        other => err(format!("unknown command {other:?} (try `ttdiag help`)")),
+    }
+}
+
+/// The usage text.
+pub const USAGE: &str = "\
+ttdiag — tunable add-on diagnosis for time-triggered systems (DSN 2007)
+
+USAGE:
+  ttdiag simulate [--nodes N] [--rounds R] [--penalty P] [--reward R]
+                  [--seed S] [--timeline] [--fault SPEC]... [--record PATH]
+  ttdiag replay PATH [--nodes N] [--rounds R] [--penalty P] [--reward R]
+                  [--timeline]             re-drive a recorded trace
+  ttdiag tune [automotive|aerospace]       regenerate the Table 2 tuning
+  ttdiag isolation [automotive|aerospace]  Table 4 time-to-isolation rows
+  ttdiag campaign [--reps N] [--json PATH] Sec. 8 validation campaign
+  ttdiag help
+
+FAULT SPECS:
+  crash:NODE@ROUND         permanent benign sender fault
+  burst:LEN@ROUND.SLOT     bus burst of LEN slots
+  noise:P                  per-slot benign noise, probability P
+  asym:NODE@ROUND:R1,R2    asymmetric fault missed by receivers R1,R2
+  scenario:blinking        Table 3 blinking-light scenario
+  scenario:lightning       Table 3 lightning-bolt scenario
+
+EXAMPLES:
+  ttdiag simulate --fault crash:3@12 --timeline
+  ttdiag simulate --fault noise:0.1 --record trace.json
+  ttdiag replay trace.json --penalty 10
+  ttdiag simulate --nodes 6 --rounds 200 --fault noise:0.05 --penalty 10 --reward 50
+  ttdiag tune aerospace
+  ttdiag campaign --reps 100 --json results.json
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&args("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&args("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn simulate_defaults_and_flags() {
+        let c = parse(&args("simulate")).unwrap();
+        assert_eq!(
+            c,
+            Command::Simulate {
+                nodes: 4,
+                rounds: 50,
+                penalty: 197,
+                reward: 1_000_000,
+                seed: 0,
+                timeline: false,
+                faults: vec![],
+                record: None,
+            }
+        );
+        let c = parse(&args(
+            "simulate --nodes 6 --rounds 200 --penalty 10 --reward 50 --seed 7 --timeline",
+        ))
+        .unwrap();
+        match c {
+            Command::Simulate {
+                nodes,
+                rounds,
+                penalty,
+                reward,
+                seed,
+                timeline,
+                ..
+            } => {
+                assert_eq!(
+                    (nodes, rounds, penalty, reward, seed, timeline),
+                    (6, 200, 10, 50, 7, true)
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_specs_parse() {
+        assert_eq!(
+            FaultSpec::parse("crash:3@12").unwrap(),
+            FaultSpec::Crash { node: 3, round: 12 }
+        );
+        assert_eq!(
+            FaultSpec::parse("burst:8@10.2").unwrap(),
+            FaultSpec::Burst {
+                len: 8,
+                round: 10,
+                slot: 2
+            }
+        );
+        assert_eq!(FaultSpec::parse("noise:0.1").unwrap(), FaultSpec::Noise { p: 0.1 });
+        assert_eq!(
+            FaultSpec::parse("asym:1@9:1,2").unwrap(),
+            FaultSpec::Asym {
+                node: 1,
+                round: 9,
+                detected_by: vec![1, 2]
+            }
+        );
+        assert_eq!(
+            FaultSpec::parse("scenario:lightning").unwrap(),
+            FaultSpec::Scenario {
+                name: "lightning".into()
+            }
+        );
+    }
+
+    #[test]
+    fn fault_spec_errors_are_informative() {
+        assert!(FaultSpec::parse("crash:3").unwrap_err().0.contains("NODE@ROUND"));
+        assert!(FaultSpec::parse("noise:2.0").unwrap_err().0.contains("out of range"));
+        assert!(FaultSpec::parse("warp:9").unwrap_err().0.contains("unknown fault kind"));
+        assert!(FaultSpec::parse("scenario:rain").unwrap_err().0.contains("unknown scenario"));
+    }
+
+    #[test]
+    fn tune_and_isolation_domains() {
+        assert_eq!(
+            parse(&args("tune")).unwrap(),
+            Command::Tune {
+                domain: "automotive".into()
+            }
+        );
+        assert_eq!(
+            parse(&args("isolation aerospace")).unwrap(),
+            Command::Isolation {
+                domain: "aerospace".into()
+            }
+        );
+        assert!(parse(&args("tune maritime")).is_err());
+    }
+
+    #[test]
+    fn campaign_flags() {
+        let c = parse(&args("campaign --reps 5 --json out.json")).unwrap();
+        assert_eq!(
+            c,
+            Command::Campaign {
+                reps: 5,
+                json: Some("out.json".into())
+            }
+        );
+        assert!(parse(&args("campaign --bogus")).is_err());
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        assert!(parse(&args("launch")).is_err());
+        assert!(parse(&args("simulate --warp 9")).is_err());
+    }
+}

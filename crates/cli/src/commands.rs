@@ -1,0 +1,406 @@
+//! Execution of the parsed `ttdiag` commands.
+
+use tt_analysis::{
+    aerospace_setup, automotive_setup, availability_of, measure_time_to_isolation, tune, Table,
+};
+use tt_core::properties::{check_diag_cluster, checkable_rounds};
+use tt_core::{DiagJob, ProtocolConfig};
+use tt_fault::{
+    run_campaign, sec8_classes, AsymmetricDisturbance, Burst, ContinuousFault, DisturbanceNode,
+    RandomNoise, TransientScenario,
+};
+use tt_sim::{timeline, ClusterBuilder, Nanos, NodeId, RoundIndex, TraceMode};
+
+use crate::args::{Command, FaultSpec};
+
+/// Runs a command, returning the text to print or an error message.
+pub fn run(cmd: Command) -> Result<String, String> {
+    match cmd {
+        Command::Help => Ok(crate::args::USAGE.to_string()),
+        Command::Tune { domain } => Ok(tune_report(&domain)),
+        Command::Isolation { domain } => Ok(isolation_report(&domain)),
+        Command::Campaign { reps, json } => campaign(reps, json),
+        Command::Simulate {
+            nodes,
+            rounds,
+            penalty,
+            reward,
+            seed,
+            timeline,
+            faults,
+            record,
+        } => {
+            let pipeline = Box::new(build_pipeline(&faults, nodes, seed)?);
+            simulate(nodes, rounds, penalty, reward, timeline, pipeline, record)
+        }
+        Command::Replay {
+            trace,
+            nodes,
+            rounds,
+            penalty,
+            reward,
+            timeline,
+        } => {
+            let body = std::fs::read_to_string(&trace)
+                .map_err(|e| format!("reading {trace}: {e}"))?;
+            let restored: tt_sim::Trace =
+                serde_json::from_str(&body).map_err(|e| format!("parsing {trace}: {e}"))?;
+            let pipeline = Box::new(restored.replay_pipeline());
+            simulate(nodes, rounds, penalty, reward, timeline, pipeline, None)
+        }
+    }
+}
+
+fn round_for(n: usize) -> Nanos {
+    Nanos::from_nanos(2_500_000 - (2_500_000 % n as u64))
+}
+
+fn build_pipeline(
+    faults: &[FaultSpec],
+    n: usize,
+    seed: u64,
+) -> Result<DisturbanceNode, String> {
+    let sched = tt_sim::CommunicationSchedule::new(n, round_for(n))
+        .map_err(|e| e.to_string())?;
+    let mut node = DisturbanceNode::new(seed);
+    for f in faults {
+        match f {
+            FaultSpec::Crash { node: id, round } => {
+                if *id as usize > n {
+                    return Err(format!("crash: node {id} exceeds cluster size {n}"));
+                }
+                node.push(ContinuousFault::new(
+                    NodeId::new(*id),
+                    RoundIndex::new(*round),
+                ));
+            }
+            FaultSpec::Burst { len, round, slot } => {
+                if *slot >= n {
+                    return Err(format!("burst: slot {slot} exceeds cluster size {n}"));
+                }
+                node.push(Burst::in_round(RoundIndex::new(*round), *slot, *len, n));
+            }
+            FaultSpec::Noise { p } => node.push(RandomNoise::everywhere(*p)),
+            FaultSpec::Asym {
+                node: id,
+                round,
+                detected_by,
+            } => {
+                if *id as usize > n || detected_by.iter().any(|&r| r >= n) {
+                    return Err("asym: node or receiver out of range".into());
+                }
+                node.push(AsymmetricDisturbance::new(
+                    NodeId::new(*id),
+                    RoundIndex::new(*round),
+                    1,
+                    tt_fault::malicious::AsymmetricTarget::Fixed(detected_by.clone()),
+                ));
+            }
+            FaultSpec::Scenario { name } => {
+                let scenario = match name.as_str() {
+                    "blinking" => TransientScenario::blinking_light(),
+                    _ => TransientScenario::lightning_bolt(),
+                };
+                node.push(scenario.to_disturbance(&sched, Nanos::ZERO));
+            }
+        }
+    }
+    Ok(node)
+}
+
+fn simulate(
+    n: usize,
+    rounds: u64,
+    penalty: u64,
+    reward: u64,
+    show_timeline: bool,
+    pipeline: Box<dyn tt_sim::FaultPipeline>,
+    record: Option<String>,
+) -> Result<String, String> {
+    let config = ProtocolConfig::builder(n)
+        .penalty_threshold(penalty)
+        .reward_threshold(reward)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let mut cluster = ClusterBuilder::new(n)
+        .round_length(round_for(n))
+        .trace_mode(TraceMode::Anomalies)
+        .build_with_jobs(|id| Box::new(DiagJob::new(id, config.clone())), pipeline);
+    cluster.run_rounds(rounds);
+
+    let mut out = format!(
+        "{n}-node cluster, {rounds} rounds of {}, P = {penalty}, R = {reward}\n\n",
+        round_for(n)
+    );
+    let trace = cluster.trace();
+    out.push_str(&format!(
+        "Faulty slots on the bus: {}\n",
+        trace.records().len()
+    ));
+    if show_timeline && !trace.records().is_empty() {
+        out.push('\n');
+        out.push_str(&timeline::render_anomalies(trace, n, 1));
+        out.push('\n');
+    }
+    let diag: &DiagJob = cluster
+        .job_as(NodeId::new(1))
+        .map_err(|e| e.to_string())?;
+    let mut t = Table::new(vec!["Node", "Active", "Penalty", "Reward", "Availability"]);
+    let avail = availability_of(diag, rounds);
+    for id in NodeId::all(n) {
+        t.row(vec![
+            id.to_string(),
+            if diag.is_active(id) { "yes" } else { "ISOLATED" }.to_string(),
+            diag.penalty(id).to_string(),
+            diag.reward(id).to_string(),
+            format!("{:.1}%", avail.nodes[id.index()].fraction() * 100.0),
+        ]);
+    }
+    out.push_str(&t.render());
+    for iso in diag.isolations() {
+        out.push_str(&format!(
+            "\nisolated {} at round {} (fault diagnosed in round {})",
+            iso.node,
+            iso.decided_at.as_u64(),
+            iso.diagnosed.as_u64()
+        ));
+    }
+    // Run the Theorem 1 oracles over the run as a free sanity check.
+    let all: Vec<NodeId> = NodeId::all(n).collect();
+    let report = check_diag_cluster(&cluster, &all, checkable_rounds(rounds, 3));
+    out.push_str(&format!(
+        "\n\nTheorem 1 oracles: {} rounds checked, {} out of hypothesis, {} violations\n",
+        report.rounds_checked,
+        report.rounds_out_of_hypothesis,
+        report.violations.len()
+    ));
+    if let Some(path) = record {
+        let body = serde_json::to_string_pretty(cluster.trace())
+            .map_err(|e| e.to_string())?;
+        std::fs::write(&path, body).map_err(|e| format!("writing {path}: {e}"))?;
+        out.push_str(&format!("\nrecorded fault trace to {path} (replay with `ttdiag replay {path}`)\n"));
+    }
+    Ok(out)
+}
+
+fn tune_report(domain: &str) -> String {
+    let setup = if domain == "aerospace" {
+        aerospace_setup()
+    } else {
+        automotive_setup()
+    };
+    let tuned = tune(&setup);
+    let mut out = format!("{} tuning (paper Table 2 procedure):\n\n", tuned.domain);
+    let mut t = Table::new(vec![
+        "Criticality class",
+        "Tolerated outage",
+        "Penalty budget",
+        "s_i",
+    ]);
+    for row in &tuned.rows {
+        t.row(vec![
+            row.class.name.clone(),
+            format!("{}", row.class.tolerated_outage),
+            row.penalty_budget.to_string(),
+            row.criticality.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nP = {}   R = {:.0e}   T = {}\n",
+        tuned.penalty_threshold, tuned.reward_threshold as f64, tuned.round
+    ));
+    out
+}
+
+fn isolation_report(domain: &str) -> String {
+    let (setup, scenario, paper) = if domain == "aerospace" {
+        (
+            aerospace_setup(),
+            TransientScenario::lightning_bolt(),
+            vec!["0.205 s"],
+        )
+    } else {
+        (
+            automotive_setup(),
+            TransientScenario::blinking_light(),
+            vec!["0.518 s", "4.595 s", "24.475 s"],
+        )
+    };
+    let tuned = tune(&setup);
+    let mut out = format!(
+        "{} — time to incorrect isolation under \"{}\":\n\n",
+        tuned.domain,
+        scenario.name()
+    );
+    let mut t = Table::new(vec!["Class", "s_i", "Measured", "Paper"]);
+    for (row, paper_val) in tuned.rows.iter().zip(paper) {
+        let m = measure_time_to_isolation(
+            &scenario,
+            row.criticality,
+            tuned.penalty_threshold,
+            tuned.reward_threshold,
+            tuned.round,
+            setup.n_nodes,
+        );
+        t.row(vec![
+            row.class.name.clone(),
+            row.criticality.to_string(),
+            m.time_to_isolation
+                .map(|d| format!("{:.3} s", d.as_secs_f64()))
+                .unwrap_or_else(|| "never".into()),
+            paper_val.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+fn campaign(reps: u64, json: Option<String>) -> Result<String, String> {
+    let classes = sec8_classes(4);
+    let result = run_campaign(&classes, 4, reps, 2_007);
+    let mut out = format!(
+        "Sec. 8 campaign: {} classes x {reps} = {} injections; all passed: {}\n\n",
+        classes.len(),
+        result.total(),
+        result.all_passed()
+    );
+    let mut t = Table::new(vec!["Class", "Passed", "Total"]);
+    for (label, passed, total) in result.summary() {
+        t.row(vec![label, passed.to_string(), total.to_string()]);
+    }
+    out.push_str(&t.render());
+    if let Some(path) = json {
+        let body = serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?;
+        std::fs::write(&path, body).map_err(|e| format!("writing {path}: {e}"))?;
+        out.push_str(&format!("\nwrote per-experiment outcomes to {path}\n"));
+    }
+    if !result.all_passed() {
+        return Err(out);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulate_crash_reports_isolation() {
+        let out = run(Command::Simulate {
+            nodes: 4,
+            rounds: 40,
+            penalty: 3,
+            reward: 100,
+            seed: 0,
+            timeline: true,
+            faults: vec![FaultSpec::Crash { node: 3, round: 12 }],
+            record: None,
+        })
+        .unwrap();
+        assert!(out.contains("ISOLATED"), "{out}");
+        assert!(out.contains("isolated N3"), "{out}");
+        assert!(out.contains("0 violations"), "{out}");
+        assert!(out.contains("round |"), "timeline shown: {out}");
+    }
+
+    #[test]
+    fn simulate_validates_fault_targets() {
+        let e = run(Command::Simulate {
+            nodes: 4,
+            rounds: 10,
+            penalty: 3,
+            reward: 10,
+            seed: 0,
+            timeline: false,
+            faults: vec![FaultSpec::Crash { node: 9, round: 1 }],
+            record: None,
+        })
+        .unwrap_err();
+        assert!(e.contains("exceeds cluster size"));
+    }
+
+    #[test]
+    fn tune_commands_render() {
+        let auto = run(Command::Tune {
+            domain: "automotive".into(),
+        })
+        .unwrap();
+        assert!(auto.contains("P = 197"), "{auto}");
+        let aero = run(Command::Tune {
+            domain: "aerospace".into(),
+        })
+        .unwrap();
+        assert!(aero.contains("P = 17"), "{aero}");
+    }
+
+    #[test]
+    fn campaign_small_run_passes() {
+        let out = run(Command::Campaign {
+            reps: 1,
+            json: None,
+        })
+        .unwrap();
+        assert!(out.contains("all passed: true"), "{out}");
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(Command::Help).unwrap();
+        assert!(out.contains("ttdiag simulate"));
+    }
+
+    #[test]
+    fn record_and_replay_roundtrip() {
+        let dir = std::env::temp_dir().join("ttdiag_cli_test_trace.json");
+        let path = dir.to_string_lossy().to_string();
+        let rec = run(Command::Simulate {
+            nodes: 4,
+            rounds: 30,
+            penalty: 1_000,
+            reward: 1_000,
+            seed: 5,
+            timeline: false,
+            faults: vec![FaultSpec::Burst {
+                len: 8,
+                round: 10,
+                slot: 0,
+            }],
+            record: Some(path.clone()),
+        })
+        .unwrap();
+        assert!(rec.contains("recorded fault trace"), "{rec}");
+        let rep = run(Command::Replay {
+            trace: path.clone(),
+            nodes: 4,
+            rounds: 30,
+            penalty: 1,
+            reward: 1_000,
+            timeline: false,
+        })
+        .unwrap();
+        // Re-tuned replay: P = 1 isolates the burst victims this time.
+        assert!(rep.contains("ISOLATED"), "{rep}");
+        assert!(rep.contains("Faulty slots on the bus: 8"), "{rep}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn scenario_fault_spec_builds() {
+        let out = run(Command::Simulate {
+            nodes: 4,
+            rounds: 8,
+            penalty: 1_000,
+            reward: 1_000,
+            seed: 0,
+            timeline: false,
+            faults: vec![FaultSpec::Scenario {
+                name: "blinking".into(),
+            }],
+            record: None,
+        })
+        .unwrap();
+        // The first 10 ms burst corrupts 16 slots.
+        assert!(out.contains("Faulty slots on the bus: 16"), "{out}");
+    }
+}

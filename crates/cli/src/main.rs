@@ -1,0 +1,24 @@
+//! `ttdiag` — command-line front end for the tt-diag reproduction.
+//!
+//! See `ttdiag help` (or [`args::USAGE`]) for the full grammar.
+
+mod args;
+mod commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match args::parse(&argv) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", args::USAGE);
+            std::process::exit(2);
+        }
+    };
+    match commands::run(cmd) {
+        Ok(out) => println!("{out}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}

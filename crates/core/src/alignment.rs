@@ -1,0 +1,133 @@
+//! Read and send alignment (paper Sec. 5, Fig. 2).
+//!
+//! In a TDMA round, a job scheduled after `l` slots of round `k` sees
+//! *fresh* values (sent in round `k`) for senders `1..=l` and *stale*
+//! values (sent in round `k-1`) for senders `l+1..=N`. **Read alignment**
+//! reconstructs a consistent snapshot of round `k-1` by combining the
+//! previous activation's buffered values for the fresh positions with the
+//! current values for the stale positions.
+//!
+//! **Send alignment** (Alg. 1, lines 7–10) chooses *which* syndrome to
+//! write into the outgoing interface variable so that every local syndrome
+//! transmitted in a given round refers to the same diagnosed round, even
+//! when some nodes can send in the round their job runs in
+//! (`send_curr_round_i`) and others cannot.
+
+/// Combines buffered previous-activation values with current values so that
+/// every position refers to the round *before* the current one.
+///
+/// `aligned[j] = prev[j]` for `j < l` (those slots were already refreshed
+/// this round, so last round's value lives in the buffer) and
+/// `aligned[j] = curr[j]` for `j >= l` (not yet refreshed: the current copy
+/// still holds last round's value). This is lines 3–6 of Alg. 1.
+///
+/// # Panics
+///
+/// Panics if `prev` and `curr` have different lengths or `l > len`.
+///
+/// ```
+/// use tt_core::alignment::read_align;
+/// // Fig. 2 of the paper: N = 4, l = 2.
+/// let prev = ["p1", "p2", "p3", "p4"];
+/// let curr = ["c1", "c2", "c3", "c4"];
+/// assert_eq!(read_align(&prev, &curr, 2), ["p1", "p2", "c3", "c4"]);
+/// ```
+pub fn read_align<T: Clone>(prev: &[T], curr: &[T], l: usize) -> Vec<T> {
+    assert_eq!(prev.len(), curr.len(), "prev/curr length mismatch");
+    assert!(l <= curr.len(), "l out of range");
+    let mut out = Vec::with_capacity(curr.len());
+    out.extend_from_slice(&prev[..l]);
+    out.extend_from_slice(&curr[l..]);
+    out
+}
+
+/// The send-alignment decision of Alg. 1, lines 7–10: which syndrome a node
+/// writes into its outgoing interface variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendChoice {
+    /// Write the syndrome aligned in the *current* activation (`al_ls`).
+    Current,
+    /// Write the syndrome aligned in the *previous* activation
+    /// (`prev_al_ls`).
+    Previous,
+}
+
+/// Chooses which aligned syndrome to disseminate.
+///
+/// * If **all** nodes can send in the round their job runs in
+///   (`all_send_curr_round`, evaluable at design time for static
+///   schedules), everyone writes the current aligned syndrome and the
+///   protocol gains one round of latency (line 7).
+/// * Otherwise, a node that *can* send this round writes the previous
+///   aligned syndrome (line 9) while a node that cannot writes the current
+///   one (line 10) — its write is only transmitted next round, so both
+///   choices refer to the same diagnosed round on the bus.
+pub fn send_align(all_send_curr_round: bool, send_curr_round: bool) -> SendChoice {
+    if all_send_curr_round {
+        SendChoice::Current
+    } else if send_curr_round {
+        SendChoice::Previous
+    } else {
+        SendChoice::Current
+    }
+}
+
+/// Number of rounds between a diagnosed round and the round whose job
+/// activations compute its consistent health vector.
+///
+/// With `all_send_curr_round` the analysis at round `k` diagnoses round
+/// `k - 2`; otherwise round `k - 3` (Lemma 1: "either k - 3 or k - 2").
+pub fn diagnosis_lag(all_send_curr_round: bool) -> u64 {
+    if all_send_curr_round {
+        2
+    } else {
+        3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_align_boundaries() {
+        let prev = [10, 20, 30];
+        let curr = [1, 2, 3];
+        assert_eq!(read_align(&prev, &curr, 0), vec![1, 2, 3]);
+        assert_eq!(read_align(&prev, &curr, 3), vec![10, 20, 30]);
+        assert_eq!(read_align(&prev, &curr, 1), vec![10, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn read_align_rejects_mismatched_lengths() {
+        let _ = read_align(&[1], &[1, 2], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn read_align_rejects_large_l() {
+        let _ = read_align(&[1, 2], &[1, 2], 3);
+    }
+
+    #[test]
+    fn send_align_uniform_schedules_use_current() {
+        assert_eq!(send_align(true, true), SendChoice::Current);
+    }
+
+    #[test]
+    fn send_align_mixed_schedules_line_up() {
+        // A node that sends this round ships last activation's syndrome;
+        // one that sends next round ships this activation's. Both end up
+        // on the bus in the same round referring to the same diagnosed
+        // round.
+        assert_eq!(send_align(false, true), SendChoice::Previous);
+        assert_eq!(send_align(false, false), SendChoice::Current);
+    }
+
+    #[test]
+    fn diagnosis_lag_matches_lemma_1() {
+        assert_eq!(diagnosis_lag(true), 2);
+        assert_eq!(diagnosis_lag(false), 3);
+    }
+}

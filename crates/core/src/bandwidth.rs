@@ -1,0 +1,142 @@
+//! Bandwidth accounting for the protocol variants.
+//!
+//! The paper's portability argument leans on cost: "the bandwidth required
+//! is O(N) bits per message and O(N²) bits per round" (Sec. 2), and the
+//! prototype's diagnostic messages "were as small as N bits" (Sec. 10).
+//! This module computes those costs from the *actual wire encodings* used
+//! by the implementation, so the claims are checked against the code rather
+//! than restated.
+
+use serde::{Deserialize, Serialize};
+
+use crate::syndrome::Syndrome;
+
+/// The protocol variant whose bandwidth is being accounted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Variant {
+    /// The add-on diagnostic protocol (Alg. 1): one local syndrome per
+    /// message.
+    AddOnDiagnosis,
+    /// The membership variant (Sec. 7): minority accusations fold into the
+    /// same syndrome — no extra bits.
+    AddOnMembership,
+    /// The low-latency system-level variant (Sec. 10): a sliding window of
+    /// per-slot opinions plus an accusation vector per message.
+    SystemLevel,
+}
+
+impl Variant {
+    /// Payload bits per message for an `N`-node cluster (information
+    /// content, before byte padding).
+    pub fn bits_per_message(self, n: usize) -> usize {
+        match self {
+            Variant::AddOnDiagnosis | Variant::AddOnMembership => n,
+            Variant::SystemLevel => 2 * n,
+        }
+    }
+
+    /// Payload bytes actually put on the wire per message (with byte
+    /// padding), matching the concrete encoders.
+    pub fn bytes_per_message(self, n: usize) -> usize {
+        match self {
+            Variant::AddOnDiagnosis | Variant::AddOnMembership => n.div_ceil(8),
+            Variant::SystemLevel => 2 * n.div_ceil(8),
+        }
+    }
+
+    /// Payload bits per TDMA round (`N` messages per round).
+    pub fn bits_per_round(self, n: usize) -> usize {
+        n * self.bits_per_message(n)
+    }
+
+    /// Protocol bandwidth in bits/second given the round length.
+    pub fn bits_per_second(self, n: usize, round: tt_sim::Nanos) -> f64 {
+        self.bits_per_round(n) as f64 / round.as_secs_f64()
+    }
+}
+
+/// One row of a bandwidth comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthRow {
+    /// The variant.
+    pub variant: Variant,
+    /// Bits per message.
+    pub per_message_bits: usize,
+    /// Bytes on the wire per message.
+    pub per_message_bytes: usize,
+    /// Bits per round.
+    pub per_round_bits: usize,
+    /// Bits per second at the given round length.
+    pub bits_per_second: f64,
+}
+
+/// The bandwidth table for all variants at cluster size `n`.
+pub fn bandwidth_table(n: usize, round: tt_sim::Nanos) -> Vec<BandwidthRow> {
+    [
+        Variant::AddOnDiagnosis,
+        Variant::AddOnMembership,
+        Variant::SystemLevel,
+    ]
+    .into_iter()
+    .map(|v| BandwidthRow {
+        variant: v,
+        per_message_bits: v.bits_per_message(n),
+        per_message_bytes: v.bytes_per_message(n),
+        per_round_bits: v.bits_per_round(n),
+        bits_per_second: v.bits_per_second(n, round),
+    })
+    .collect()
+}
+
+/// Verifies the accounting against the concrete encoder: the add-on's
+/// diagnostic message really is `ceil(N/8)` bytes.
+pub fn verify_against_encoders(n: usize) -> bool {
+    let encoded = Syndrome::all_ok(n).encode().len();
+    encoded == Variant::AddOnDiagnosis.bytes_per_message(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_sim::Nanos;
+
+    #[test]
+    fn paper_prototype_costs() {
+        // "The bandwidth required for each diagnostic message is N = 4
+        // bits" — and O(N^2) = 16 bits per round.
+        assert_eq!(Variant::AddOnDiagnosis.bits_per_message(4), 4);
+        assert_eq!(Variant::AddOnDiagnosis.bits_per_round(4), 16);
+        assert_eq!(Variant::AddOnMembership.bits_per_message(4), 4);
+        // The low-latency variant pays 2N bits for its window + accusations.
+        assert_eq!(Variant::SystemLevel.bits_per_message(4), 8);
+    }
+
+    #[test]
+    fn accounting_matches_encoders() {
+        for n in [2usize, 4, 7, 8, 9, 16, 64] {
+            assert!(verify_against_encoders(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn throughput_at_paper_round_length() {
+        // 16 bits per 2.5 ms round = 6.4 kbit/s of protocol overhead.
+        let bps = Variant::AddOnDiagnosis.bits_per_second(4, Nanos::from_micros(2_500));
+        assert!((bps - 6_400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_covers_all_variants() {
+        let t = bandwidth_table(4, Nanos::from_micros(2_500));
+        assert_eq!(t.len(), 3);
+        assert!(t[0].per_round_bits < t[2].per_round_bits);
+        assert_eq!(t[1].per_message_bytes, 1);
+    }
+
+    #[test]
+    fn scaling_is_quadratic_per_round() {
+        let b8 = Variant::AddOnDiagnosis.bits_per_round(8);
+        let b16 = Variant::AddOnDiagnosis.bits_per_round(16);
+        assert_eq!(b16, 4 * b8, "doubling N quadruples the round cost");
+    }
+}

@@ -1,0 +1,229 @@
+//! Protocol configuration: thresholds, criticalities, schedule knowledge.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ProtocolError;
+use crate::penalty::ReintegrationPolicy;
+
+/// Configuration shared by all instances of the diagnostic protocol.
+///
+/// Built with [`ProtocolConfig::builder`]; the defaults reproduce the
+/// paper's automotive prototype (Table 2): `P = 197`, `R = 10^6`, equal
+/// criticality 1 for every node, conservative send alignment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProtocolConfig {
+    n_nodes: usize,
+    penalty_threshold: u64,
+    reward_threshold: u64,
+    criticalities: Vec<u64>,
+    all_send_curr_round: bool,
+    reintegration: ReintegrationPolicy,
+}
+
+impl ProtocolConfig {
+    /// Starts building a configuration for an `n`-node cluster.
+    pub fn builder(n_nodes: usize) -> ProtocolConfigBuilder {
+        ProtocolConfigBuilder {
+            n_nodes,
+            penalty_threshold: 197,
+            reward_threshold: 1_000_000,
+            criticalities: vec![1; n_nodes],
+            all_send_curr_round: false,
+            reintegration: ReintegrationPolicy::Never,
+        }
+    }
+
+    /// Cluster size `N`.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// The penalty threshold `P`: a node is isolated once its penalty
+    /// counter *exceeds* `P` (Alg. 2).
+    pub fn penalty_threshold(&self) -> u64 {
+        self.penalty_threshold
+    }
+
+    /// The reward threshold `R`: after `R` consecutive fault-free rounds a
+    /// node's counters are reset (Alg. 2).
+    pub fn reward_threshold(&self) -> u64 {
+        self.reward_threshold
+    }
+
+    /// Per-node criticality levels `s_i` (penalty increment per detected
+    /// fault). Index = node index.
+    pub fn criticalities(&self) -> &[u64] {
+        &self.criticalities
+    }
+
+    /// Whether the global predicate `∀j: send_curr_round_j` holds (known at
+    /// design time for static schedules; line 7 of Alg. 1). When true the
+    /// diagnosis lag shrinks from 3 to 2 rounds.
+    pub fn all_send_curr_round(&self) -> bool {
+        self.all_send_curr_round
+    }
+
+    /// The reintegration policy extension (paper Sec. 9, closing remark).
+    pub fn reintegration(&self) -> ReintegrationPolicy {
+        self.reintegration
+    }
+}
+
+/// Builder for [`ProtocolConfig`].
+#[derive(Debug, Clone)]
+pub struct ProtocolConfigBuilder {
+    n_nodes: usize,
+    penalty_threshold: u64,
+    reward_threshold: u64,
+    criticalities: Vec<u64>,
+    all_send_curr_round: bool,
+    reintegration: ReintegrationPolicy,
+}
+
+impl ProtocolConfigBuilder {
+    /// Sets the penalty threshold `P`.
+    pub fn penalty_threshold(mut self, p: u64) -> Self {
+        self.penalty_threshold = p;
+        self
+    }
+
+    /// Sets the reward threshold `R`.
+    pub fn reward_threshold(mut self, r: u64) -> Self {
+        self.reward_threshold = r;
+        self
+    }
+
+    /// Sets one criticality level for every node.
+    pub fn uniform_criticality(mut self, s: u64) -> Self {
+        self.criticalities = vec![s; self.n_nodes];
+        self
+    }
+
+    /// Sets per-node criticality levels (index = node index).
+    pub fn criticalities(mut self, s: Vec<u64>) -> Self {
+        self.criticalities = s;
+        self
+    }
+
+    /// Declares that every node's diagnostic job completes before its own
+    /// sending slot (reduces the diagnosis lag to 2 rounds).
+    pub fn all_send_curr_round(mut self, yes: bool) -> Self {
+        self.all_send_curr_round = yes;
+        self
+    }
+
+    /// Enables the reintegration extension.
+    pub fn reintegration(mut self, policy: ReintegrationPolicy) -> Self {
+        self.reintegration = policy;
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::InvalidConfig`] if `N < 2`, a threshold is
+    /// zero, the criticality vector length mismatches `N`, or any
+    /// criticality is zero (a zero increment would never isolate).
+    pub fn build(self) -> Result<ProtocolConfig, ProtocolError> {
+        if self.n_nodes < 2 {
+            return Err(ProtocolError::InvalidConfig(format!(
+                "need at least 2 nodes, got {}",
+                self.n_nodes
+            )));
+        }
+        if self.penalty_threshold == 0 {
+            return Err(ProtocolError::InvalidConfig(
+                "penalty threshold is zero".into(),
+            ));
+        }
+        if self.reward_threshold == 0 {
+            return Err(ProtocolError::InvalidConfig(
+                "reward threshold is zero".into(),
+            ));
+        }
+        if self.criticalities.len() != self.n_nodes {
+            return Err(ProtocolError::InvalidConfig(format!(
+                "{} criticalities for {} nodes",
+                self.criticalities.len(),
+                self.n_nodes
+            )));
+        }
+        if self.criticalities.contains(&0) {
+            return Err(ProtocolError::InvalidConfig(
+                "criticality levels must be >= 1".into(),
+            ));
+        }
+        Ok(ProtocolConfig {
+            n_nodes: self.n_nodes,
+            penalty_threshold: self.penalty_threshold,
+            reward_threshold: self.reward_threshold,
+            criticalities: self.criticalities,
+            all_send_curr_round: self.all_send_curr_round,
+            reintegration: self.reintegration,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_automotive_setup() {
+        let c = ProtocolConfig::builder(4).build().unwrap();
+        assert_eq!(c.n_nodes(), 4);
+        assert_eq!(c.penalty_threshold(), 197);
+        assert_eq!(c.reward_threshold(), 1_000_000);
+        assert_eq!(c.criticalities(), &[1, 1, 1, 1]);
+        assert!(!c.all_send_curr_round());
+        assert_eq!(c.reintegration(), ReintegrationPolicy::Never);
+    }
+
+    #[test]
+    fn builder_sets_all_fields() {
+        let c = ProtocolConfig::builder(4)
+            .penalty_threshold(17)
+            .reward_threshold(100)
+            .criticalities(vec![40, 6, 1, 1])
+            .all_send_curr_round(true)
+            .reintegration(ReintegrationPolicy::AfterRewards(50))
+            .build()
+            .unwrap();
+        assert_eq!(c.penalty_threshold(), 17);
+        assert_eq!(c.reward_threshold(), 100);
+        assert_eq!(c.criticalities(), &[40, 6, 1, 1]);
+        assert!(c.all_send_curr_round());
+        assert_eq!(c.reintegration(), ReintegrationPolicy::AfterRewards(50));
+    }
+
+    #[test]
+    fn builder_rejects_invalid() {
+        assert!(ProtocolConfig::builder(1).build().is_err());
+        assert!(ProtocolConfig::builder(4)
+            .penalty_threshold(0)
+            .build()
+            .is_err());
+        assert!(ProtocolConfig::builder(4)
+            .reward_threshold(0)
+            .build()
+            .is_err());
+        assert!(ProtocolConfig::builder(4)
+            .criticalities(vec![1, 2])
+            .build()
+            .is_err());
+        assert!(ProtocolConfig::builder(4)
+            .criticalities(vec![1, 2, 0, 4])
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn uniform_criticality_covers_all_nodes() {
+        let c = ProtocolConfig::builder(6)
+            .uniform_criticality(6)
+            .build()
+            .unwrap();
+        assert_eq!(c.criticalities(), &[6; 6]);
+    }
+}

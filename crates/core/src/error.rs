@@ -1,0 +1,39 @@
+//! Error type of the protocol crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by protocol configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// A configuration parameter was invalid (message explains which).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::InvalidConfig(msg) => write!(f, "invalid protocol config: {msg}"),
+        }
+    }
+}
+
+impl Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ProtocolError::InvalidConfig("penalty threshold is zero".into());
+        assert!(e.to_string().contains("penalty threshold"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ProtocolError>();
+    }
+}

@@ -1,0 +1,185 @@
+//! The diagnostic matrix (paper Sec. 5, Table 1).
+//!
+//! Row `i` of the matrix is the (aligned) local syndrome sent by node `i`;
+//! column `j` collects the opinions of all nodes on node `j`. A whole row is
+//! ε when the diagnostic message carrying it was locally detected as faulty.
+//! The analysis phase votes `H-maj` over each column, discarding the
+//! diagnosed node's opinion about itself.
+
+use tt_sim::NodeId;
+
+use crate::syndrome::{format_row, Syndrome, SyndromeRow};
+use crate::voting::{h_maj, HMaj};
+
+/// A diagnostic matrix for one diagnosed round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiagnosticMatrix {
+    rows: Vec<SyndromeRow>,
+}
+
+impl DiagnosticMatrix {
+    /// Builds a matrix from aligned rows (index = sender index; `None` = ε).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any present row's length differs from the number of rows.
+    pub fn new(rows: Vec<SyndromeRow>) -> Self {
+        let n = rows.len();
+        for (i, row) in rows.iter().enumerate() {
+            if let Some(s) = row {
+                assert_eq!(s.len(), n, "row {i} has wrong width");
+            }
+        }
+        DiagnosticMatrix { rows }
+    }
+
+    /// Cluster size `N`.
+    pub fn n_nodes(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The row of `sender`, i.e. the syndrome it disseminated (ε = `None`).
+    pub fn row(&self, sender: NodeId) -> &SyndromeRow {
+        &self.rows[sender.index()]
+    }
+
+    /// The votes of column `j` with the self-opinion of the diagnosed node
+    /// removed: `⟨al_dm_1[j], …, al_dm_{j-1}[j], al_dm_{j+1}[j], …⟩`.
+    pub fn column_votes(&self, diagnosed: NodeId) -> Vec<Option<bool>> {
+        let j = diagnosed.index();
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != j)
+            .map(|(_, row)| row.as_ref().map(|s| s.get(j)))
+            .collect()
+    }
+
+    /// Votes `H-maj` on the column of `diagnosed` (Alg. 1, lines 11–12).
+    pub fn vote(&self, diagnosed: NodeId) -> HMaj {
+        h_maj(self.column_votes(diagnosed))
+    }
+
+    /// Computes the consistent health vector for this matrix.
+    ///
+    /// For columns where the vote is `⊥` (no non-ε opinion at all), the
+    /// protocol falls back to `collision_fallback(j)` — the local collision
+    /// detector for the diagnosed round (Alg. 1, line 14). The fallback's
+    /// `None` (no observation available) is conservatively treated as
+    /// healthy, preserving correctness.
+    pub fn consistent_health_vector(
+        &self,
+        mut collision_fallback: impl FnMut(NodeId) -> Option<bool>,
+    ) -> Vec<bool> {
+        NodeId::all(self.n_nodes())
+            .map(|j| match self.vote(j) {
+                HMaj::Decided(v) => v,
+                HMaj::Undecidable => collision_fallback(j).unwrap_or(true),
+            })
+            .collect()
+    }
+
+    /// Renders the matrix in the style of the paper's Table 1.
+    pub fn render(&self) -> String {
+        let n = self.n_nodes();
+        let mut out = String::new();
+        out.push_str("Accuser    | ");
+        for j in 1..=n {
+            out.push_str(&format!("{j} "));
+        }
+        out.push('\n');
+        for i in 0..n {
+            out.push_str(&format!("Node {:<5} | {}\n", i + 1, format_row(&self.rows[i], i, n)));
+        }
+        out
+    }
+}
+
+/// Convenience constructor used by tests and examples: builds the matrix of
+/// the paper's Table 1 scenario, where `faulty` nodes were benign faulty in
+/// both the diagnosed round and the dissemination round.
+pub fn matrix_with_benign_faulty(n: usize, faulty: &[NodeId]) -> DiagnosticMatrix {
+    let mut obedient_view = Syndrome::all_ok(n);
+    for &f in faulty {
+        obedient_view.set(f, false);
+    }
+    let rows = NodeId::all(n)
+        .map(|i| {
+            if faulty.contains(&i) {
+                None // their dissemination also failed: ε row
+            } else {
+                Some(obedient_view.clone())
+            }
+        })
+        .collect();
+    DiagnosticMatrix::new(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::voting::HMaj;
+
+    /// The exact scenario of Table 1: nodes 3 and 4 benign faulty.
+    #[test]
+    fn table1_reproduction() {
+        let m = matrix_with_benign_faulty(4, &[NodeId::new(3), NodeId::new(4)]);
+        let hv = m.consistent_health_vector(|_| None);
+        assert_eq!(hv, vec![true, true, false, false], "voted cons_hv 1 1 0 0");
+    }
+
+    #[test]
+    fn table1_rendering_shows_epsilon_rows() {
+        let m = matrix_with_benign_faulty(4, &[NodeId::new(3), NodeId::new(4)]);
+        let s = m.render();
+        assert!(s.contains("- 1 0 0"), "row 1 as in Table 1:\n{s}");
+        assert!(s.contains("ε ε - ε"), "row 3 as in Table 1:\n{s}");
+    }
+
+    #[test]
+    fn self_opinion_is_discarded() {
+        // Node 2 claims itself healthy while everyone else accuses it.
+        let mut liar_row = Syndrome::all_ok(3);
+        liar_row.set(NodeId::new(1), false); // frame-up attempt
+        let mut accuse2 = Syndrome::all_ok(3);
+        accuse2.set(NodeId::new(2), false);
+        let m = DiagnosticMatrix::new(vec![
+            Some(accuse2.clone()),
+            Some(liar_row),
+            Some(accuse2.clone()),
+        ]);
+        // Column 2 votes exclude row 2 entirely.
+        assert_eq!(m.column_votes(NodeId::new(2)), vec![Some(false), Some(false)]);
+        assert_eq!(m.vote(NodeId::new(2)), HMaj::Decided(false));
+        // The frame-up on node 1 is outvoted 1 against 1... tie => healthy.
+        assert_eq!(m.vote(NodeId::new(1)), HMaj::Decided(true));
+    }
+
+    #[test]
+    fn undecidable_column_uses_collision_fallback() {
+        // Blackout: every row ε. Self-diagnosis must consult coll-det.
+        let m = DiagnosticMatrix::new(vec![None, None, None, None]);
+        let hv = m.consistent_health_vector(|j| {
+            // Pretend the local collision detector saw node 2's slot fail.
+            Some(j != NodeId::new(2))
+        });
+        assert_eq!(hv, vec![true, false, true, true]);
+        // Without an observation, default to healthy (correctness-first).
+        let hv = m.consistent_health_vector(|_| None);
+        assert_eq!(hv, vec![true; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong width")]
+    fn rejects_misshaped_rows() {
+        let _ = DiagnosticMatrix::new(vec![Some(Syndrome::all_ok(3)), None]);
+    }
+
+    #[test]
+    fn accessors() {
+        let m = matrix_with_benign_faulty(4, &[NodeId::new(3)]);
+        assert_eq!(m.n_nodes(), 4);
+        assert!(m.row(NodeId::new(3)).is_none());
+        assert!(m.row(NodeId::new(1)).is_some());
+    }
+}

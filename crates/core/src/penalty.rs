@@ -1,0 +1,268 @@
+//! The penalty/reward algorithm (paper Alg. 2).
+//!
+//! Each node keeps a penalty and a reward counter for every node. When the
+//! consistent health vector reports a node faulty, its penalty grows by the
+//! node's criticality level and its reward resets; when it reports the node
+//! healthy (and a penalty is pending), the reward grows by one. Exceeding
+//! the penalty threshold `P` isolates the node; reaching the reward
+//! threshold `R` resets both counters ("the memory of its previous faults
+//! is reset").
+//!
+//! Because the health vector is consistent across obedient nodes (Theorem
+//! 1), all obedient nodes update the counters identically and decide
+//! isolations in the same round.
+
+use serde::{Deserialize, Serialize};
+
+use tt_sim::NodeId;
+
+/// Optional reintegration extension (the paper's Sec. 9 closing remark:
+/// "isolated nodes could be kept under observation, collecting rewards if a
+/// fault-free behavior is observed and reintegrating the node if a specific
+/// reward threshold for reintegration is reached").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ReintegrationPolicy {
+    /// Isolated nodes stay isolated (the paper's baseline behaviour).
+    #[default]
+    Never,
+    /// Reintegrate an isolated node after it is observed fault-free for
+    /// this many consecutive rounds.
+    AfterRewards(u64),
+}
+
+/// The p/r state of one protocol instance: per-node counters and activity.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PenaltyReward {
+    penalties: Vec<u64>,
+    rewards: Vec<u64>,
+    criticalities: Vec<u64>,
+    penalty_threshold: u64,
+    reward_threshold: u64,
+    active: Vec<bool>,
+    reintegration: ReintegrationPolicy,
+    /// Rewards collected by isolated nodes under observation.
+    observation_rewards: Vec<u64>,
+}
+
+impl PenaltyReward {
+    /// Creates the p/r state for `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `criticalities.len() != n` (validated upstream by
+    /// [`crate::ProtocolConfig`]).
+    pub fn new(
+        n: usize,
+        criticalities: Vec<u64>,
+        penalty_threshold: u64,
+        reward_threshold: u64,
+        reintegration: ReintegrationPolicy,
+    ) -> Self {
+        assert_eq!(criticalities.len(), n, "one criticality per node");
+        PenaltyReward {
+            penalties: vec![0; n],
+            rewards: vec![0; n],
+            criticalities,
+            penalty_threshold,
+            reward_threshold,
+            active: vec![true; n],
+            reintegration,
+            observation_rewards: vec![0; n],
+        }
+    }
+
+    /// Applies one consistent health vector (`true` = healthy in the
+    /// diagnosed round) and returns the nodes newly isolated by this update.
+    ///
+    /// This is Alg. 2 verbatim, plus the optional reintegration extension.
+    /// The returned vector also reflects in [`PenaltyReward::active`].
+    pub fn update(&mut self, cons_hv: &[bool]) -> Vec<NodeId> {
+        assert_eq!(cons_hv.len(), self.penalties.len(), "health vector size");
+        let mut newly_isolated = Vec::new();
+        #[allow(clippy::needless_range_loop)] // indexes five parallel per-node vectors
+        for i in 0..self.penalties.len() {
+            if !self.active[i] {
+                // Extension: observe isolated nodes for reintegration.
+                if let ReintegrationPolicy::AfterRewards(t) = self.reintegration {
+                    if cons_hv[i] {
+                        self.observation_rewards[i] += 1;
+                        if self.observation_rewards[i] >= t {
+                            self.active[i] = true;
+                            self.penalties[i] = 0;
+                            self.rewards[i] = 0;
+                            self.observation_rewards[i] = 0;
+                        }
+                    } else {
+                        self.observation_rewards[i] = 0;
+                    }
+                }
+                continue;
+            }
+            if !cons_hv[i] {
+                self.penalties[i] += self.criticalities[i];
+                self.rewards[i] = 0;
+                if self.penalties[i] > self.penalty_threshold {
+                    self.active[i] = false;
+                    newly_isolated.push(NodeId::from_slot(i));
+                }
+            } else if self.penalties[i] > 0 {
+                self.rewards[i] += 1;
+                if self.rewards[i] >= self.reward_threshold {
+                    self.penalties[i] = 0;
+                    self.rewards[i] = 0;
+                }
+            }
+        }
+        newly_isolated
+    }
+
+    /// The current penalty counter of `node`.
+    pub fn penalty(&self, node: NodeId) -> u64 {
+        self.penalties[node.index()]
+    }
+
+    /// The current reward counter of `node`.
+    pub fn reward(&self, node: NodeId) -> u64 {
+        self.rewards[node.index()]
+    }
+
+    /// Whether `node` is still active (not isolated).
+    pub fn is_active(&self, node: NodeId) -> bool {
+        self.active[node.index()]
+    }
+
+    /// The activity vector (index = node index; `false` = isolated).
+    pub fn active(&self) -> &[bool] {
+        &self.active
+    }
+
+    /// All penalty counters (index = node index).
+    pub fn penalties(&self) -> &[u64] {
+        &self.penalties
+    }
+
+    /// All reward counters (index = node index).
+    pub fn rewards(&self) -> &[u64] {
+        &self.rewards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pr(p: u64, r: u64) -> PenaltyReward {
+        PenaltyReward::new(4, vec![1; 4], p, r, ReintegrationPolicy::Never)
+    }
+
+    fn hv(faulty: &[u32]) -> Vec<bool> {
+        (1..=4u32).map(|i| !faulty.contains(&i)).collect()
+    }
+
+    #[test]
+    fn penalties_accumulate_with_criticality() {
+        let mut pr = PenaltyReward::new(4, vec![40, 6, 1, 1], 197, 10, ReintegrationPolicy::Never);
+        pr.update(&hv(&[1, 2]));
+        assert_eq!(pr.penalty(NodeId::new(1)), 40);
+        assert_eq!(pr.penalty(NodeId::new(2)), 6);
+        assert_eq!(pr.penalty(NodeId::new(3)), 0);
+    }
+
+    #[test]
+    fn isolation_requires_exceeding_threshold() {
+        // P = 2: isolation on the *third* fault (penalty 3 > 2), exactly as
+        // Alg. 2's strict comparison specifies.
+        let mut pr = pr(2, 10);
+        assert!(pr.update(&hv(&[3])).is_empty());
+        assert!(pr.update(&hv(&[3])).is_empty());
+        let isolated = pr.update(&hv(&[3]));
+        assert_eq!(isolated, vec![NodeId::new(3)]);
+        assert!(!pr.is_active(NodeId::new(3)));
+        assert!(pr.is_active(NodeId::new(1)));
+    }
+
+    #[test]
+    fn reward_threshold_resets_counters() {
+        let mut pr = pr(10, 3);
+        pr.update(&hv(&[2]));
+        assert_eq!(pr.penalty(NodeId::new(2)), 1);
+        // Two healthy rounds: reward grows but no reset yet.
+        pr.update(&hv(&[]));
+        pr.update(&hv(&[]));
+        assert_eq!(pr.reward(NodeId::new(2)), 2);
+        assert_eq!(pr.penalty(NodeId::new(2)), 1);
+        // Third healthy round reaches R = 3: both counters reset.
+        pr.update(&hv(&[]));
+        assert_eq!(pr.reward(NodeId::new(2)), 0);
+        assert_eq!(pr.penalty(NodeId::new(2)), 0);
+    }
+
+    #[test]
+    fn fault_resets_reward_counter() {
+        // Intermittent faults that reappear before R healthy rounds keep
+        // the penalty accumulating — the correlation property of Sec. 9.
+        let mut pr = pr(10, 5);
+        pr.update(&hv(&[2]));
+        pr.update(&hv(&[]));
+        pr.update(&hv(&[]));
+        assert_eq!(pr.reward(NodeId::new(2)), 2);
+        pr.update(&hv(&[2]));
+        assert_eq!(pr.reward(NodeId::new(2)), 0);
+        assert_eq!(pr.penalty(NodeId::new(2)), 2);
+    }
+
+    #[test]
+    fn no_reward_bookkeeping_without_pending_penalty() {
+        let mut pr = pr(10, 3);
+        for _ in 0..10 {
+            pr.update(&hv(&[]));
+        }
+        assert_eq!(pr.reward(NodeId::new(1)), 0, "rewards only track recovery");
+    }
+
+    #[test]
+    fn isolated_nodes_stop_counting() {
+        let mut pr = pr(1, 10);
+        pr.update(&hv(&[4]));
+        pr.update(&hv(&[4]));
+        assert!(!pr.is_active(NodeId::new(4)));
+        let p = pr.penalty(NodeId::new(4));
+        pr.update(&hv(&[4]));
+        assert_eq!(pr.penalty(NodeId::new(4)), p, "no further accumulation");
+        assert!(pr.update(&hv(&[4])).is_empty(), "no duplicate isolation");
+    }
+
+    #[test]
+    fn reintegration_after_observed_recovery() {
+        let mut pr = PenaltyReward::new(
+            4,
+            vec![1; 4],
+            1,
+            10,
+            ReintegrationPolicy::AfterRewards(3),
+        );
+        pr.update(&hv(&[4]));
+        pr.update(&hv(&[4]));
+        assert!(!pr.is_active(NodeId::new(4)));
+        // Two clean rounds, then a relapse: observation restarts.
+        pr.update(&hv(&[]));
+        pr.update(&hv(&[]));
+        pr.update(&hv(&[4]));
+        assert!(!pr.is_active(NodeId::new(4)));
+        // Three consecutive clean rounds: reintegrated with fresh counters.
+        pr.update(&hv(&[]));
+        pr.update(&hv(&[]));
+        pr.update(&hv(&[]));
+        assert!(pr.is_active(NodeId::new(4)));
+        assert_eq!(pr.penalty(NodeId::new(4)), 0);
+    }
+
+    #[test]
+    fn update_reports_only_new_isolations() {
+        let mut pr = pr(1, 10);
+        pr.update(&hv(&[1, 2]));
+        let isolated = pr.update(&hv(&[1, 2]));
+        assert_eq!(isolated, vec![NodeId::new(1), NodeId::new(2)]);
+        assert!(pr.update(&hv(&[1, 2])).is_empty());
+    }
+}

@@ -1,0 +1,238 @@
+//! Shared per-activation pipeline state: the buffering that read and send
+//! alignment require (Alg. 1, lines 16–17), plus the node's local record of
+//! the syndromes it disseminated.
+//!
+//! Both the diagnostic protocol ([`crate::DiagJob`]) and the membership
+//! variant ([`crate::MembershipJob`]) drive this state machine; they differ
+//! only in phase ordering and in the minority accusations added before
+//! dissemination.
+
+use std::collections::VecDeque;
+
+use tt_sim::{JobCtx, RoundIndex};
+
+use crate::alignment::{read_align, send_align, SendChoice};
+use crate::syndrome::{Syndrome, SyndromeRow};
+
+/// How many disseminated syndromes are remembered (the analysis needs only
+/// the one transmitted in round `k - 1`; we keep a margin).
+const OWN_TX_HISTORY: usize = 8;
+
+/// The aligned view produced by phases 1 & 3 of one activation.
+#[derive(Debug, Clone)]
+pub struct Aligned {
+    /// Aligned diagnostic-matrix rows (all sent in round `k - 1`).
+    pub al_dm: Vec<SyndromeRow>,
+    /// Aligned local syndrome (local detection for round `k - 1`).
+    pub al_ls: Syndrome,
+    /// Unaligned rows read this activation (buffered for next time).
+    pub curr_dm: Vec<SyndromeRow>,
+    /// Unaligned validity bits read this activation.
+    pub curr_ls: Vec<bool>,
+}
+
+/// Alignment buffers of one protocol instance.
+#[derive(Debug, Clone)]
+pub struct AlignmentBuffers {
+    n: usize,
+    prev_dm: Vec<SyndromeRow>,
+    prev_ls: Vec<bool>,
+    prev_al_ls: Syndrome,
+    own_tx: VecDeque<(RoundIndex, Syndrome)>,
+}
+
+impl AlignmentBuffers {
+    /// Fresh buffers for an `n`-node cluster.
+    pub fn new(n: usize) -> Self {
+        AlignmentBuffers {
+            n,
+            prev_dm: vec![None; n],
+            prev_ls: vec![false; n],
+            prev_al_ls: Syndrome::all_ok(n),
+            own_tx: VecDeque::with_capacity(OWN_TX_HISTORY),
+        }
+    }
+
+    /// Phases 1 & 3: read interface variables and validity bits, decode
+    /// syndromes (ε for invalid rows) and apply read alignment.
+    pub fn read_and_align(&self, ctx: &JobCtx<'_>) -> Aligned {
+        let iface = ctx.read_iface();
+        let curr_ls = ctx.validity_bits();
+        let curr_dm: Vec<SyndromeRow> = (0..self.n)
+            .map(|j| {
+                if curr_ls[j] {
+                    iface[j].as_ref().map(|p| Syndrome::decode(p, self.n))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let al_dm = read_align(&self.prev_dm, &curr_dm, ctx.l());
+        let al_ls = Syndrome::from_bits(read_align(&self.prev_ls, &curr_ls, ctx.l()));
+        Aligned {
+            al_dm,
+            al_ls,
+            curr_dm,
+            curr_ls,
+        }
+    }
+
+    /// Phase 2: applies send alignment, writes the chosen syndrome to the
+    /// outgoing interface variable and remembers it under its transmission
+    /// round. `mutate` lets the caller add minority accusations to the
+    /// outgoing syndrome (membership variant) after the choice is made.
+    pub fn disseminate(
+        &mut self,
+        ctx: &mut JobCtx<'_>,
+        all_send_curr_round: bool,
+        al_ls: &Syndrome,
+        mutate: impl FnOnce(&mut Syndrome),
+    ) {
+        let choice = send_align(all_send_curr_round, ctx.send_curr_round());
+        let mut to_send = match choice {
+            SendChoice::Current => al_ls.clone(),
+            SendChoice::Previous => self.prev_al_ls.clone(),
+        };
+        mutate(&mut to_send);
+        ctx.write_iface(to_send.encode());
+        let tx_round = if ctx.send_curr_round() {
+            ctx.round()
+        } else {
+            ctx.round().next()
+        };
+        if self.own_tx.len() >= OWN_TX_HISTORY {
+            self.own_tx.pop_front();
+        }
+        self.own_tx.push_back((tx_round, to_send));
+    }
+
+    /// The syndrome this node put (or attempted to put) on the bus in
+    /// `round`. Locally known regardless of bus faults — the basis of
+    /// Lemma 3's blackout argument.
+    pub fn own_row_for_tx_round(&self, round: RoundIndex) -> Option<Syndrome> {
+        self.own_tx
+            .iter()
+            .rev()
+            .find(|(r, _)| *r == round)
+            .map(|(_, s)| s.clone())
+    }
+
+    /// Lines 16–17 of Alg. 1: buffer this activation's reads for the next.
+    pub fn commit(&mut self, aligned: Aligned) {
+        self.prev_dm = aligned.curr_dm;
+        self.prev_ls = aligned.curr_ls;
+        self.prev_al_ls = aligned.al_ls;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_sim::{Controller, NodeId, NodeSchedule, Reception};
+
+    fn ctx_for<'a>(
+        controller: &'a mut Controller,
+        node: NodeId,
+        offset: usize,
+        round: u64,
+    ) -> JobCtx<'a> {
+        let sched = NodeSchedule::new(node, offset, 4).unwrap();
+        JobCtx::new(controller, sched, RoundIndex::new(round))
+    }
+
+    #[test]
+    fn read_and_align_marks_invalid_rows_epsilon() {
+        let node = NodeId::new(1);
+        let mut c = Controller::new(node, 4);
+        let s = Syndrome::all_ok(4);
+        c.deliver(NodeId::new(2), RoundIndex::new(0), Reception::Valid(s.encode()));
+        c.deliver(NodeId::new(3), RoundIndex::new(0), Reception::Detected);
+        let bufs = AlignmentBuffers::new(4);
+        let ctx = ctx_for(&mut c, node, 0, 1);
+        let aligned = bufs.read_and_align(&ctx);
+        assert_eq!(aligned.al_dm[1], Some(s));
+        assert_eq!(aligned.al_dm[2], None, "invalid row is ε");
+        assert!(!aligned.al_ls.get(2));
+        assert!(aligned.al_ls.get(1));
+    }
+
+    #[test]
+    fn disseminate_records_tx_round_by_send_predicate() {
+        let node = NodeId::new(1); // slot 0
+        let mut c = Controller::new(node, 4);
+        let mut bufs = AlignmentBuffers::new(4);
+        let al = Syndrome::all_ok(4);
+        // offset 2 > slot 0: cannot send this round -> tx next round.
+        {
+            let mut ctx = ctx_for(&mut c, node, 2, 5);
+            bufs.disseminate(&mut ctx, false, &al, |_| {});
+        }
+        assert!(bufs.own_row_for_tx_round(RoundIndex::new(5)).is_none());
+        assert_eq!(bufs.own_row_for_tx_round(RoundIndex::new(6)), Some(al.clone()));
+        // offset 0 <= slot 0: sends this round. With mixed alignment the
+        // *previous* aligned syndrome ships.
+        let node4 = NodeId::new(4);
+        let mut c4 = Controller::new(node4, 4);
+        let mut bufs4 = AlignmentBuffers::new(4);
+        {
+            let mut ctx = ctx_for(&mut c4, node4, 0, 5);
+            bufs4.disseminate(&mut ctx, false, &al, |_| {});
+        }
+        assert_eq!(
+            bufs4.own_row_for_tx_round(RoundIndex::new(5)),
+            Some(Syndrome::all_ok(4)), // initial prev_al_ls
+        );
+    }
+
+    #[test]
+    fn mutate_hook_applies_accusations_to_outgoing() {
+        let node = NodeId::new(2);
+        let mut c = Controller::new(node, 4);
+        let mut bufs = AlignmentBuffers::new(4);
+        let al = Syndrome::all_ok(4);
+        let mut ctx = ctx_for(&mut c, node, 0, 3);
+        bufs.disseminate(&mut ctx, true, &al, |s| s.set(NodeId::new(4), false));
+        let _ = ctx;
+        let sent = bufs.own_row_for_tx_round(RoundIndex::new(3)).unwrap();
+        assert_eq!(sent.accused(), vec![NodeId::new(4)]);
+        assert_eq!(c.tx_payload(), sent.encode());
+    }
+
+    #[test]
+    fn tx_history_is_bounded() {
+        let node = NodeId::new(1);
+        let mut c = Controller::new(node, 4);
+        let mut bufs = AlignmentBuffers::new(4);
+        let al = Syndrome::all_ok(4);
+        for r in 0..20u64 {
+            let mut ctx = ctx_for(&mut c, node, 0, r);
+            bufs.disseminate(&mut ctx, true, &al, |_| {});
+        }
+        assert!(bufs.own_row_for_tx_round(RoundIndex::new(0)).is_none());
+        assert!(bufs.own_row_for_tx_round(RoundIndex::new(19)).is_some());
+    }
+
+    #[test]
+    fn commit_rotates_buffers() {
+        let node = NodeId::new(1);
+        let mut c = Controller::new(node, 4);
+        let mut accused = Syndrome::all_ok(4);
+        accused.set(NodeId::new(2), false);
+        c.deliver(
+            NodeId::new(2),
+            RoundIndex::new(0),
+            Reception::Valid(accused.encode()),
+        );
+        let mut bufs = AlignmentBuffers::new(4);
+        let aligned = {
+            let ctx = ctx_for(&mut c, node, 0, 1);
+            bufs.read_and_align(&ctx)
+        };
+        bufs.commit(aligned);
+        // Next activation with l = 4 is impossible (l < N), but l = 3 uses
+        // prev for the first three positions.
+        let ctx = ctx_for(&mut c, node, 3, 2);
+        let aligned2 = bufs.read_and_align(&ctx);
+        assert_eq!(aligned2.al_dm[1], Some(accused));
+    }
+}

@@ -1,0 +1,543 @@
+//! Machine-checkable oracles for the protocol's guarantees (paper Sec. 6).
+//!
+//! The paper proves three properties of the consistent health vector:
+//!
+//! * **Correctness** — a correct sender is never diagnosed as faulty by
+//!   obedient nodes;
+//! * **Completeness** — a benign faulty sender is always diagnosed as
+//!   faulty by obedient nodes;
+//! * **Consistency** — the diagnosis is agreed by all obedient nodes.
+//!
+//! These hold whenever `N > 2a + 2s + b + 1` and `a ≤ 1` (Lemma 2), or when
+//! only benign faults occur — including total communication blackouts —
+//! given a correct local collision detector (Lemma 3). Together: Theorem 1.
+//!
+//! The oracles below recompute ground truth from the simulator's fault
+//! trace (which the protocol cannot see) and verify the recorded health
+//! vectors against it. They are shared by unit tests, integration tests and
+//! the Sec. 8 validation campaign binary.
+
+use serde::{Deserialize, Serialize};
+
+use tt_sim::{Cluster, NodeId, RoundIndex, SlotFaultClass, Trace};
+
+use crate::protocol::DiagJob;
+
+/// Ground-truth fault counts for one round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCounts {
+    /// Asymmetric faulty senders (`a` in the paper).
+    pub asymmetric: usize,
+    /// Symmetric malicious senders (`s`).
+    pub malicious: usize,
+    /// Benign faulty senders (`b`).
+    pub benign: usize,
+}
+
+impl FaultCounts {
+    /// Counts the faulty senders of `round` from the trace.
+    pub fn of_round(trace: &Trace, round: RoundIndex) -> Self {
+        let mut c = FaultCounts::default();
+        for rec in trace.records().iter().filter(|r| r.round == round) {
+            match rec.class {
+                SlotFaultClass::Correct => {}
+                SlotFaultClass::Benign => c.benign += 1,
+                SlotFaultClass::SymmetricMalicious => c.malicious += 1,
+                SlotFaultClass::Asymmetric => c.asymmetric += 1,
+            }
+        }
+        c
+    }
+
+    /// Accumulates the worst case over several rounds (one protocol
+    /// execution spans the diagnosed round through dissemination).
+    pub fn accumulate(&mut self, other: FaultCounts) {
+        self.asymmetric += other.asymmetric;
+        self.malicious += other.malicious;
+        self.benign = self.benign.max(other.benign);
+    }
+
+    /// Lemma 2's hypothesis: `N > 2a + 2s + b + 1` and `a ≤ 1`.
+    pub fn lemma2_holds(&self, n: usize) -> bool {
+        self.asymmetric <= 1
+            && n > 2 * self.asymmetric + 2 * self.malicious + self.benign + 1
+    }
+
+    /// Lemma 3's hypothesis: only benign faults (any number of them).
+    pub fn lemma3_holds(&self) -> bool {
+        self.asymmetric == 0 && self.malicious == 0
+    }
+}
+
+/// Whether the protocol execution diagnosing `diagnosed` stays within
+/// Theorem 1's hypotheses, considering faults across the execution window
+/// `[diagnosed, diagnosed + lag]` (local detection through dissemination).
+pub fn execution_in_hypothesis(
+    trace: &Trace,
+    diagnosed: RoundIndex,
+    lag: u64,
+    n: usize,
+) -> bool {
+    let mut window = FaultCounts::default();
+    for d in 0..=lag {
+        window.accumulate(FaultCounts::of_round(trace, diagnosed + d));
+    }
+    window.lemma2_holds(n) || window.lemma3_holds()
+}
+
+/// One property violation found by the oracles.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Violation {
+    /// A correct sender was diagnosed faulty by an obedient node.
+    Correctness {
+        /// The diagnosed round.
+        diagnosed: RoundIndex,
+        /// The obedient observer holding the wrong verdict.
+        observer: NodeId,
+        /// The wrongly convicted (correct) sender.
+        sender: NodeId,
+    },
+    /// A benign faulty sender escaped diagnosis at an obedient node.
+    Completeness {
+        /// The diagnosed round.
+        diagnosed: RoundIndex,
+        /// The obedient observer missing the fault.
+        observer: NodeId,
+        /// The benign faulty sender that went undetected.
+        sender: NodeId,
+    },
+    /// Two obedient nodes disagree on the health vector of a round.
+    Consistency {
+        /// The diagnosed round.
+        diagnosed: RoundIndex,
+        /// The two disagreeing observers.
+        observers: (NodeId, NodeId),
+    },
+    /// An obedient node has no record for a round it should have diagnosed.
+    MissingRecord {
+        /// The diagnosed round.
+        diagnosed: RoundIndex,
+        /// The observer with the missing record.
+        observer: NodeId,
+    },
+}
+
+/// Result of checking a range of diagnosed rounds.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PropertyReport {
+    /// Rounds that were checked against all three properties.
+    pub rounds_checked: u64,
+    /// Rounds skipped because the fault load exceeded Theorem 1's bounds.
+    pub rounds_out_of_hypothesis: u64,
+    /// All violations found (empty = the theorem held).
+    pub violations: Vec<Violation>,
+}
+
+impl PropertyReport {
+    /// True iff no violation was found.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// A uniform accessor for recorded health vectors, letting the oracles work
+/// over [`DiagJob`], [`crate::MembershipJob`] or custom jobs.
+pub type HealthGetter<'a> = &'a dyn Fn(NodeId, RoundIndex) -> Option<Vec<bool>>;
+
+/// Checks correctness, completeness and consistency for every diagnosed
+/// round in `rounds`, for the given obedient observers.
+///
+/// Rounds whose execution window exceeds Theorem 1's hypotheses are counted
+/// in `rounds_out_of_hypothesis` and only checked for *consistency* when
+/// `check_consistency_always` is false they are skipped entirely.
+pub fn check_properties(
+    trace: &Trace,
+    n: usize,
+    lag: u64,
+    obedient: &[NodeId],
+    rounds: impl IntoIterator<Item = RoundIndex>,
+    health: HealthGetter<'_>,
+) -> PropertyReport {
+    let mut report = PropertyReport::default();
+    for diagnosed in rounds {
+        if !execution_in_hypothesis(trace, diagnosed, lag, n) {
+            report.rounds_out_of_hypothesis += 1;
+            continue;
+        }
+        report.rounds_checked += 1;
+        // Gather each obedient node's verdict.
+        let mut verdicts: Vec<(NodeId, Vec<bool>)> = Vec::with_capacity(obedient.len());
+        for &obs in obedient {
+            match health(obs, diagnosed) {
+                Some(v) => verdicts.push((obs, v)),
+                None => report.violations.push(Violation::MissingRecord {
+                    diagnosed,
+                    observer: obs,
+                }),
+            }
+        }
+        // Consistency: all obedient verdicts identical.
+        for pair in verdicts.windows(2) {
+            if pair[0].1 != pair[1].1 {
+                report.violations.push(Violation::Consistency {
+                    diagnosed,
+                    observers: (pair[0].0, pair[1].0),
+                });
+            }
+        }
+        // Correctness & completeness against the ground-truth trace.
+        for (obs, verdict) in &verdicts {
+            for sender in NodeId::all(n) {
+                let class = trace.class_of(diagnosed, sender);
+                let deemed_healthy = verdict[sender.index()];
+                match class {
+                    SlotFaultClass::Correct if !deemed_healthy => {
+                        report.violations.push(Violation::Correctness {
+                            diagnosed,
+                            observer: *obs,
+                            sender,
+                        });
+                    }
+                    SlotFaultClass::Benign if deemed_healthy => {
+                        report.violations.push(Violation::Completeness {
+                            diagnosed,
+                            observer: *obs,
+                            sender,
+                        });
+                    }
+                    // Malicious/asymmetric senders: only consistency is
+                    // required (checked above); any agreed verdict is legal.
+                    _ => {}
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Convenience wrapper: checks a [`Cluster`] whose nodes run [`DiagJob`]s.
+///
+/// Once the p/r algorithm isolates a node, the other controllers ignore
+/// its traffic *by design* (paper Sec. 5), so its slots read as invalid and
+/// it stays convicted even if the bus would deliver them — that is the
+/// intended steady state, not a correctness violation. Correctness checks
+/// for a sender are therefore exempted from the round its isolation was
+/// decided onwards (the isolation decisions themselves are consistent
+/// across obedient nodes, which [`check_counter_consistency`] verifies).
+///
+/// # Panics
+///
+/// Panics if an obedient node does not host a `DiagJob`.
+pub fn check_diag_cluster(
+    cluster: &Cluster,
+    obedient: &[NodeId],
+    rounds: impl IntoIterator<Item = RoundIndex>,
+) -> PropertyReport {
+    let n = cluster.schedule().n_nodes();
+    let sample: &DiagJob = cluster
+        .job_as(obedient[0])
+        .expect("obedient node runs a DiagJob");
+    let lag = crate::alignment::diagnosis_lag(sample.config().all_send_curr_round());
+    let mut isolated_from: std::collections::HashMap<NodeId, RoundIndex> =
+        std::collections::HashMap::new();
+    for iso in sample.isolations() {
+        isolated_from.entry(iso.node).or_insert(iso.decided_at);
+    }
+    let getter = |node: NodeId, r: RoundIndex| -> Option<Vec<bool>> {
+        let job: &DiagJob = cluster.job_as(node).ok()?;
+        job.health_for(r).map(|h| h.health.clone())
+    };
+    let mut report = check_properties(cluster.trace(), n, lag, obedient, rounds, &getter);
+    report.violations.retain(|v| match v {
+        Violation::Correctness {
+            diagnosed, sender, ..
+        } => isolated_from
+            .get(sender)
+            .is_none_or(|from| diagnosed < from),
+        _ => true,
+    });
+    report
+}
+
+/// Checks that the p/r state (penalties, rewards, activity) agrees across
+/// all obedient nodes of a [`Cluster`] running [`DiagJob`]s — the paper's
+/// claim that "the penalty and reward counters are always consistently
+/// updated, and isolations are decided in the same round by all obedient
+/// nodes" (Sec. 5).
+///
+/// Returns the pairs of observers whose counter state diverges (empty =
+/// consistent).
+///
+/// # Panics
+///
+/// Panics if an obedient node does not host a `DiagJob`.
+pub fn check_counter_consistency(
+    cluster: &Cluster,
+    obedient: &[NodeId],
+) -> Vec<(NodeId, NodeId)> {
+    let mut divergent = Vec::new();
+    let snapshot = |node: NodeId| {
+        let job: &DiagJob = cluster.job_as(node).expect("obedient node runs a DiagJob");
+        let n = job.config().n_nodes();
+        let per_node: Vec<(u64, u64, bool)> = NodeId::all(n)
+            .map(|x| (job.penalty(x), job.reward(x), job.is_active(x)))
+            .collect();
+        (per_node, job.isolations().to_vec())
+    };
+    for pair in obedient.windows(2) {
+        if snapshot(pair[0]) != snapshot(pair[1]) {
+            divergent.push((pair[0], pair[1]));
+        }
+    }
+    divergent
+}
+
+/// Checks that all obedient nodes of a [`Cluster`] running
+/// [`crate::MembershipJob`]s have installed identical view histories
+/// (uniqueness of views, Sec. 7). Returns the divergent observer pairs.
+///
+/// # Panics
+///
+/// Panics if an obedient node does not host a `MembershipJob`.
+pub fn check_view_consistency(
+    cluster: &Cluster,
+    obedient: &[NodeId],
+) -> Vec<(NodeId, NodeId)> {
+    use crate::membership::MembershipJob;
+    let mut divergent = Vec::new();
+    let views = |node: NodeId| {
+        let job: &MembershipJob = cluster
+            .job_as(node)
+            .expect("obedient node runs a MembershipJob");
+        job.views().to_vec()
+    };
+    for pair in obedient.windows(2) {
+        if views(pair[0]) != views(pair[1]) {
+            divergent.push((pair[0], pair[1]));
+        }
+    }
+    divergent
+}
+
+/// The diagnosed rounds that are safely checkable in a run of
+/// `total_rounds` (skipping warm-up and the not-yet-diagnosed tail).
+pub fn checkable_rounds(total_rounds: u64, lag: u64) -> impl Iterator<Item = RoundIndex> {
+    // The first diagnosable round is `lag` activations in; the last is
+    // `total - lag - 1` (its analysis runs in round `total - 1`).
+    (lag..total_rounds.saturating_sub(lag)).map(RoundIndex::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProtocolConfig;
+    use tt_sim::{ClusterBuilder, SlotEffect, TxCtx};
+
+    fn run_cluster(
+        rounds: u64,
+        pipeline: impl FnMut(&TxCtx) -> SlotEffect + Send + 'static,
+    ) -> Cluster {
+        let cfg = ProtocolConfig::builder(4)
+            .penalty_threshold(1_000)
+            .reward_threshold(1_000)
+            .build()
+            .unwrap();
+        let mut cluster = ClusterBuilder::new(4).build_with_jobs(
+            move |id| Box::new(DiagJob::new(id, cfg.clone())),
+            Box::new(pipeline),
+        );
+        cluster.run_rounds(rounds);
+        cluster
+    }
+
+    fn all_nodes() -> Vec<NodeId> {
+        NodeId::all(4).collect()
+    }
+
+    #[test]
+    fn fault_free_run_passes_all_properties() {
+        let cluster = run_cluster(30, |_| SlotEffect::Correct);
+        let report = check_diag_cluster(&cluster, &all_nodes(), checkable_rounds(30, 3));
+        assert!(report.ok(), "{:?}", report.violations);
+        assert_eq!(report.rounds_checked, 24);
+        assert_eq!(report.rounds_out_of_hypothesis, 0);
+    }
+
+    #[test]
+    fn benign_bursts_pass_all_properties() {
+        let cluster = run_cluster(40, |ctx: &TxCtx| {
+            // Two-slot bursts every 9 slots.
+            if ctx.abs_slot % 9 < 2 {
+                SlotEffect::Benign
+            } else {
+                SlotEffect::Correct
+            }
+        });
+        let report = check_diag_cluster(&cluster, &all_nodes(), checkable_rounds(40, 3));
+        assert!(report.ok(), "{:?}", report.violations);
+        assert!(report.rounds_checked > 0);
+    }
+
+    #[test]
+    fn counts_classify_rounds() {
+        let cluster = run_cluster(20, |ctx: &TxCtx| {
+            match (ctx.round.as_u64(), ctx.sender.get()) {
+                (5, 1) => SlotEffect::Benign,
+                (5, 2) => SlotEffect::SymmetricMalicious {
+                    payload: bytes::Bytes::from_static(b"\xff"),
+                },
+                (5, 3) => SlotEffect::Asymmetric {
+                    detected_by: vec![0],
+                    collision_ok: true,
+                },
+                _ => SlotEffect::Correct,
+            }
+        });
+        let c = FaultCounts::of_round(cluster.trace(), RoundIndex::new(5));
+        assert_eq!(
+            c,
+            FaultCounts {
+                asymmetric: 1,
+                malicious: 1,
+                benign: 1
+            }
+        );
+        // N = 4 is not > 2 + 2 + 1 + 1 = 6: out of hypothesis.
+        assert!(!c.lemma2_holds(4));
+        assert!(c.lemma2_holds(8));
+        assert!(!c.lemma3_holds());
+        assert!(FaultCounts { asymmetric: 0, malicious: 0, benign: 4 }.lemma3_holds());
+    }
+
+    #[test]
+    fn out_of_hypothesis_rounds_are_skipped() {
+        // Two simultaneous asymmetric faults (a = 2 > 1).
+        let cluster = run_cluster(20, |ctx: &TxCtx| {
+            if ctx.round == RoundIndex::new(8) && ctx.sender.get() <= 2 {
+                SlotEffect::Asymmetric {
+                    detected_by: vec![2],
+                    collision_ok: true,
+                }
+            } else {
+                SlotEffect::Correct
+            }
+        });
+        let report = check_diag_cluster(&cluster, &all_nodes(), checkable_rounds(20, 3));
+        assert!(report.rounds_out_of_hypothesis >= 1);
+        assert!(report.ok(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn oracle_catches_planted_violations() {
+        // Sanity-check the oracle itself: a fabricated health getter that
+        // convicts node 1 (correct) and acquits node 2 (benign faulty).
+        let cluster = run_cluster(12, |ctx: &TxCtx| {
+            if ctx.round == RoundIndex::new(5) && ctx.sender == NodeId::new(2) {
+                SlotEffect::Benign
+            } else {
+                SlotEffect::Correct
+            }
+        });
+        let bad = |_: NodeId, r: RoundIndex| -> Option<Vec<bool>> {
+            if r == RoundIndex::new(5) {
+                Some(vec![false, true, true, true])
+            } else {
+                Some(vec![true; 4])
+            }
+        };
+        let report = check_properties(
+            cluster.trace(),
+            4,
+            3,
+            &all_nodes(),
+            [RoundIndex::new(5)],
+            &bad,
+        );
+        assert_eq!(report.violations.len(), 8, "4 correctness + 4 completeness");
+        // And a consistency violation with per-node divergence.
+        let split = |node: NodeId, _: RoundIndex| -> Option<Vec<bool>> {
+            Some(vec![node == NodeId::new(1); 4])
+        };
+        let report = check_properties(
+            cluster.trace(),
+            4,
+            3,
+            &all_nodes(),
+            [RoundIndex::new(3)],
+            &split,
+        );
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::Consistency { .. })));
+    }
+
+    #[test]
+    fn missing_records_are_reported() {
+        let none = |_: NodeId, _: RoundIndex| -> Option<Vec<bool>> { None };
+        let cluster = run_cluster(12, |_| SlotEffect::Correct);
+        let report = check_properties(
+            cluster.trace(),
+            4,
+            3,
+            &all_nodes(),
+            [RoundIndex::new(4)],
+            &none,
+        );
+        assert_eq!(report.violations.len(), 4);
+        assert!(matches!(
+            report.violations[0],
+            Violation::MissingRecord { .. }
+        ));
+    }
+
+    #[test]
+    fn counter_consistency_holds_and_catches_divergence() {
+        // A consistent cluster: counters agree everywhere.
+        let cluster = run_cluster(30, |ctx: &TxCtx| {
+            if ctx.round == RoundIndex::new(10) && ctx.sender == NodeId::new(2) {
+                SlotEffect::Benign
+            } else {
+                SlotEffect::Correct
+            }
+        });
+        assert!(check_counter_consistency(&cluster, &all_nodes()).is_empty());
+        // Restricting the observers still works.
+        assert!(check_counter_consistency(&cluster, &[NodeId::new(1), NodeId::new(3)]).is_empty());
+    }
+
+    #[test]
+    fn post_isolation_convictions_are_not_correctness_violations() {
+        // A transient burst pushes node 2 over a small P; afterwards the
+        // bus is healthy but its traffic is ignored by design, so it stays
+        // convicted. The oracle must not flag those rounds — and must
+        // still flag any genuine pre-isolation false conviction.
+        let cfg = ProtocolConfig::builder(4)
+            .penalty_threshold(2)
+            .reward_threshold(1_000)
+            .build()
+            .unwrap();
+        let mut cluster = tt_sim::ClusterBuilder::new(4).build_with_jobs(
+            |id| Box::new(DiagJob::new(id, cfg.clone())),
+            Box::new(|ctx: &TxCtx| {
+                if (8..11).contains(&ctx.round.as_u64()) && ctx.sender == NodeId::new(2) {
+                    SlotEffect::Benign
+                } else {
+                    SlotEffect::Correct
+                }
+            }),
+        );
+        cluster.run_rounds(30);
+        let d: &DiagJob = cluster.job_as(NodeId::new(1)).unwrap();
+        assert!(!d.is_active(NodeId::new(2)), "isolated by the burst");
+        let report = check_diag_cluster(&cluster, &all_nodes(), checkable_rounds(30, 3));
+        assert!(report.ok(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn checkable_rounds_skips_warmup_and_tail() {
+        let rounds: Vec<u64> = checkable_rounds(10, 3).map(|r| r.as_u64()).collect();
+        assert_eq!(rounds, vec![3, 4, 5, 6]);
+        assert_eq!(checkable_rounds(4, 3).count(), 0);
+    }
+}

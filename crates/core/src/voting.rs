@@ -1,0 +1,125 @@
+//! The hybrid majority voting function `H-maj` (paper Eqn. 1).
+//!
+//! Voting combines the opinions of the other `N-1` nodes on one diagnosed
+//! node. Erroneous votes ε (from benign-faulty disseminators) are excluded
+//! before the majority is computed, following the hybrid-fault voting of
+//! Lincoln & Rushby \[18\] as adapted by the paper:
+//!
+//! ```text
+//!            ⎧ ⊥   if |excl(V, ε)| = 0
+//! H-maj(V) = ⎨ v   if v = maj(excl(V, ε)) and |excl(V, ε)| ≥ 1
+//!            ⎩ 1   else
+//! ```
+//!
+//! `0` denotes "faulty", `1` denotes "not faulty"; a tie therefore resolves
+//! to "not faulty" (the `else` branch), which preserves *correctness*: a
+//! correct node is never convicted by a non-majority.
+
+/// The outcome of hybrid-majority voting on one diagnostic-matrix column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HMaj {
+    /// No non-ε vote was available (`⊥`): the voter must fall back to its
+    /// local collision detector for self-diagnosis (Alg. 1, line 14).
+    Undecidable,
+    /// The voted health: `true` = not faulty (1), `false` = faulty (0).
+    Decided(bool),
+}
+
+impl HMaj {
+    /// The decided value, if any.
+    pub fn decided(self) -> Option<bool> {
+        match self {
+            HMaj::Undecidable => None,
+            HMaj::Decided(v) => Some(v),
+        }
+    }
+}
+
+/// Computes `H-maj` over a column of votes.
+///
+/// Each vote is `Some(opinion)` or `None` for ε (the voter's own syndrome
+/// was not received). The caller is responsible for excluding the diagnosed
+/// node's opinion about itself before calling (paper Sec. 5: "The opinion
+/// of a node about itself is considered unreliable and discarded").
+///
+/// ```
+/// use tt_core::voting::{h_maj, HMaj};
+/// // Two accusations outvote one endorsement.
+/// assert_eq!(h_maj([Some(false), Some(false), Some(true)]), HMaj::Decided(false));
+/// // ε votes are excluded before the majority.
+/// assert_eq!(h_maj([None, None, Some(false)]), HMaj::Decided(false));
+/// // No usable votes at all: undecidable.
+/// assert_eq!(h_maj([None, None, None]), HMaj::Undecidable);
+/// ```
+pub fn h_maj(votes: impl IntoIterator<Item = Option<bool>>) -> HMaj {
+    let mut ok = 0usize;
+    let mut faulty = 0usize;
+    for v in votes {
+        match v {
+            Some(true) => ok += 1,
+            Some(false) => faulty += 1,
+            None => {}
+        }
+    }
+    if ok + faulty == 0 {
+        HMaj::Undecidable
+    } else if faulty > ok {
+        HMaj::Decided(false)
+    } else if ok > faulty {
+        HMaj::Decided(true)
+    } else {
+        // Tie: the `else` branch of Eqn. 1 — default to "not faulty".
+        HMaj::Decided(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unanimous_votes_decide() {
+        assert_eq!(h_maj(vec![Some(true); 3]), HMaj::Decided(true));
+        assert_eq!(h_maj(vec![Some(false); 3]), HMaj::Decided(false));
+    }
+
+    #[test]
+    fn epsilon_votes_are_excluded() {
+        assert_eq!(
+            h_maj([None, Some(true), Some(true), Some(false)]),
+            HMaj::Decided(true)
+        );
+        assert_eq!(h_maj([None, None, Some(false)]), HMaj::Decided(false));
+    }
+
+    #[test]
+    fn all_epsilon_is_undecidable() {
+        assert_eq!(h_maj(std::iter::repeat_n(None, 5)), HMaj::Undecidable);
+        assert_eq!(h_maj(std::iter::empty()), HMaj::Undecidable);
+    }
+
+    #[test]
+    fn tie_defaults_to_not_faulty() {
+        // Eqn. 1 `else` branch: protects correct nodes from split votes
+        // caused by malicious/asymmetric disseminators.
+        assert_eq!(h_maj([Some(true), Some(false)]), HMaj::Decided(true));
+        assert_eq!(
+            h_maj([Some(true), Some(false), None]),
+            HMaj::Decided(true)
+        );
+    }
+
+    #[test]
+    fn single_vote_decides() {
+        // |excl(V, ε)| = 1: the lone opinion is the majority (Lemma 3's
+        // blackout case relies on this).
+        assert_eq!(h_maj([None, None, Some(false)]), HMaj::Decided(false));
+        assert_eq!(h_maj([Some(true)]), HMaj::Decided(true));
+    }
+
+    #[test]
+    fn decided_accessor() {
+        assert_eq!(HMaj::Undecidable.decided(), None);
+        assert_eq!(HMaj::Decided(false).decided(), Some(false));
+    }
+}

@@ -1,0 +1,207 @@
+//! Bursty faults: windows of consecutive corrupted slots.
+//!
+//! The paper's validation (Sec. 8) injects "bursty faults of increasing
+//! length: one slot, two slots and two TDMA rounds", starting in any of the
+//! round's sending slots; its tuning (Sec. 9) injects *continuous* faulty
+//! bursts. A burst disturbs the *bus*, so every slot overlapping the window
+//! is corrupted regardless of its sender.
+
+use rand::rngs::StdRng;
+
+use tt_sim::{CommunicationSchedule, Nanos, NodeId, RoundIndex, SlotEffect, TxCtx};
+
+use crate::injector::Disturbance;
+
+/// A benign-fault burst covering a contiguous window of absolute slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Burst {
+    start_abs: u64,
+    len_slots: u64,
+}
+
+impl Burst {
+    /// A burst of `len_slots` slots starting at absolute slot `start_abs`.
+    pub fn slots(start_abs: u64, len_slots: u64) -> Self {
+        Burst {
+            start_abs,
+            len_slots,
+        }
+    }
+
+    /// A burst starting in sending slot `start_slot` (0-based) of `round`,
+    /// lasting `len_slots` slots.
+    pub fn in_round(round: RoundIndex, start_slot: usize, len_slots: u64, n: usize) -> Self {
+        Burst::slots(round.as_u64() * n as u64 + start_slot as u64, len_slots)
+    }
+
+    /// A burst defined in physical time: every slot whose interval
+    /// intersects `[start, start + len)` is corrupted (a partial hit still
+    /// destroys the frame).
+    pub fn from_time(sched: &CommunicationSchedule, start: Nanos, len: Nanos) -> Self {
+        let slot_len = sched.slot_length().as_nanos();
+        let first = start.as_nanos() / slot_len;
+        let end = start.as_nanos() + len.as_nanos();
+        // Last slot whose start lies before the window's end.
+        let last = end.div_ceil(slot_len);
+        Burst::slots(first, last.saturating_sub(first))
+    }
+
+    /// First corrupted absolute slot.
+    pub fn start(&self) -> u64 {
+        self.start_abs
+    }
+
+    /// Number of corrupted slots.
+    pub fn len_slots(&self) -> u64 {
+        self.len_slots
+    }
+
+    /// Whether the burst covers `abs_slot`.
+    pub fn covers(&self, abs_slot: u64) -> bool {
+        abs_slot >= self.start_abs && abs_slot < self.start_abs + self.len_slots
+    }
+}
+
+impl Disturbance for Burst {
+    fn effect(&mut self, ctx: &TxCtx, _rng: &mut StdRng) -> Option<SlotEffect> {
+        self.covers(ctx.abs_slot).then_some(SlotEffect::Benign)
+    }
+}
+
+/// A burst hitting only the sending slots of one node — the paper's way of
+/// emulating a *node* fault through the disturbance node ("a fault in a
+/// node can be emulated by corrupting or dropping a message it sends").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SenderBurst {
+    node: NodeId,
+    from_round: RoundIndex,
+    rounds: u64,
+}
+
+impl SenderBurst {
+    /// Corrupts `node`'s slot in `rounds` consecutive rounds starting at
+    /// `from_round`.
+    pub fn new(node: NodeId, from_round: RoundIndex, rounds: u64) -> Self {
+        SenderBurst {
+            node,
+            from_round,
+            rounds,
+        }
+    }
+
+    /// Whether this burst covers `node`'s slot in `round`.
+    pub fn covers(&self, round: RoundIndex, sender: NodeId) -> bool {
+        sender == self.node
+            && round >= self.from_round
+            && round.as_u64() < self.from_round.as_u64() + self.rounds
+    }
+}
+
+impl Disturbance for SenderBurst {
+    fn effect(&mut self, ctx: &TxCtx, _rng: &mut StdRng) -> Option<SlotEffect> {
+        self.covers(ctx.round, ctx.sender).then_some(SlotEffect::Benign)
+    }
+}
+
+/// A permanent sender fault (crash) from a given round on — the tuning
+/// procedure's "continuous faulty burst" (Sec. 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContinuousFault {
+    node: NodeId,
+    from_round: RoundIndex,
+}
+
+impl ContinuousFault {
+    /// `node` fails benignly in every round from `from_round` on.
+    pub fn new(node: NodeId, from_round: RoundIndex) -> Self {
+        ContinuousFault { node, from_round }
+    }
+}
+
+impl Disturbance for ContinuousFault {
+    fn effect(&mut self, ctx: &TxCtx, _rng: &mut StdRng) -> Option<SlotEffect> {
+        (ctx.sender == self.node && ctx.round >= self.from_round).then_some(SlotEffect::Benign)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ctx(abs: u64, n: usize) -> TxCtx {
+        TxCtx {
+            round: RoundIndex::new(abs / n as u64),
+            sender: NodeId::from_slot((abs % n as u64) as usize),
+            n_nodes: n,
+            abs_slot: abs,
+        }
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn burst_covers_exact_window() {
+        let b = Burst::slots(10, 3);
+        assert!(!b.covers(9));
+        assert!(b.covers(10));
+        assert!(b.covers(12));
+        assert!(!b.covers(13));
+        assert_eq!(b.start(), 10);
+        assert_eq!(b.len_slots(), 3);
+    }
+
+    #[test]
+    fn burst_in_round_addresses_start_slot() {
+        // Two-slot burst starting in slot 2 of round 5 (4-node cluster).
+        let b = Burst::in_round(RoundIndex::new(5), 2, 2, 4);
+        assert_eq!(b.start(), 22);
+        let mut b2 = b;
+        assert_eq!(
+            b2.effect(&ctx(22, 4), &mut rng()),
+            Some(SlotEffect::Benign)
+        );
+        assert_eq!(b2.effect(&ctx(24, 4), &mut rng()), None);
+    }
+
+    #[test]
+    fn burst_from_time_rounds_outward() {
+        // 4 nodes, 2.5 ms round => 625 µs slots. A 10 ms window starting at
+        // t = 0 covers exactly 16 slots (4 rounds).
+        let sched = CommunicationSchedule::new(4, Nanos::from_millis_f64(2.5)).unwrap();
+        let b = Burst::from_time(&sched, Nanos::ZERO, Nanos::from_millis(10));
+        assert_eq!(b.start(), 0);
+        assert_eq!(b.len_slots(), 16);
+        // A window straddling slot boundaries corrupts the partially hit
+        // slots too: starting mid-slot adds one more victim.
+        let b = Burst::from_time(&sched, Nanos::from_micros(300), Nanos::from_millis(10));
+        assert_eq!(b.start(), 0);
+        assert_eq!(b.len_slots(), 17);
+    }
+
+    #[test]
+    fn sender_burst_hits_only_target_node() {
+        let mut sb = SenderBurst::new(NodeId::new(3), RoundIndex::new(2), 2);
+        // Node 3 owns slot 2: abs slots 10 (round 2) and 14 (round 3).
+        assert_eq!(sb.effect(&ctx(10, 4), &mut rng()), Some(SlotEffect::Benign));
+        assert_eq!(sb.effect(&ctx(14, 4), &mut rng()), Some(SlotEffect::Benign));
+        assert_eq!(sb.effect(&ctx(18, 4), &mut rng()), None, "past the burst");
+        assert_eq!(sb.effect(&ctx(9, 4), &mut rng()), None, "other sender");
+    }
+
+    #[test]
+    fn continuous_fault_is_permanent() {
+        let mut cf = ContinuousFault::new(NodeId::new(1), RoundIndex::new(3));
+        assert_eq!(cf.effect(&ctx(8, 4), &mut rng()), None, "round 2");
+        for round in 3..100u64 {
+            let abs = round * 4;
+            assert_eq!(
+                cf.effect(&ctx(abs, 4), &mut rng()),
+                Some(SlotEffect::Benign),
+                "round {round}"
+            );
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! The disturbance node: a composable fault pipeline.
+//!
+//! The paper's testbed used "an additional disturbance node, which is able
+//! to emulate hardware faults in the communication network. As the protocol
+//! does not discriminate between node and link faults, a fault in a node
+//! can be emulated by corrupting or dropping a message it sends." (Sec. 8)
+//!
+//! [`DisturbanceNode`] composes any number of [`Disturbance`] sources; for
+//! each transmission the first source that claims the slot decides its
+//! [`SlotEffect`]. All randomness comes from one seeded RNG, so campaigns
+//! are exactly reproducible from `(configuration, seed)`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use tt_sim::{FaultPipeline, SlotEffect, TxCtx};
+
+/// One source of injected faults.
+pub trait Disturbance: Send {
+    /// Returns the effect this source applies to the transmission, or
+    /// `None` if it leaves the slot alone.
+    fn effect(&mut self, ctx: &TxCtx, rng: &mut StdRng) -> Option<SlotEffect>;
+}
+
+impl<F> Disturbance for F
+where
+    F: FnMut(&TxCtx, &mut StdRng) -> Option<SlotEffect> + Send,
+{
+    fn effect(&mut self, ctx: &TxCtx, rng: &mut StdRng) -> Option<SlotEffect> {
+        self(ctx, rng)
+    }
+}
+
+/// A seeded, composable fault pipeline (the disturbance node).
+///
+/// ```
+/// use tt_fault::{Burst, DisturbanceNode};
+/// use tt_sim::{ClusterBuilder, TraceMode};
+///
+/// let pipeline = DisturbanceNode::new(42).with(Burst::slots(10, 2));
+/// let mut cluster = ClusterBuilder::new(4)
+///     .trace_mode(TraceMode::Anomalies)
+///     .build(Box::new(pipeline))?;
+/// cluster.run_rounds(5);
+/// assert_eq!(cluster.trace().records().len(), 2);
+/// # Ok::<(), tt_sim::SimError>(())
+/// ```
+pub struct DisturbanceNode {
+    disturbances: Vec<Box<dyn Disturbance>>,
+    rng: StdRng,
+}
+
+impl std::fmt::Debug for DisturbanceNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DisturbanceNode")
+            .field("disturbances", &self.disturbances.len())
+            .finish()
+    }
+}
+
+impl DisturbanceNode {
+    /// Creates an empty (harmless) disturbance node with the given seed.
+    pub fn new(seed: u64) -> Self {
+        DisturbanceNode {
+            disturbances: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Adds a disturbance source (builder style). Earlier sources take
+    /// precedence when several claim the same slot.
+    pub fn with(mut self, d: impl Disturbance + 'static) -> Self {
+        self.disturbances.push(Box::new(d));
+        self
+    }
+
+    /// Adds a disturbance source in place.
+    pub fn push(&mut self, d: impl Disturbance + 'static) {
+        self.disturbances.push(Box::new(d));
+    }
+}
+
+impl FaultPipeline for DisturbanceNode {
+    fn effect(&mut self, ctx: &TxCtx) -> SlotEffect {
+        for d in &mut self.disturbances {
+            if let Some(e) = d.effect(ctx, &mut self.rng) {
+                return e;
+            }
+        }
+        SlotEffect::Correct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_sim::{NodeId, RoundIndex};
+
+    fn ctx(abs: u64) -> TxCtx {
+        let n = 4;
+        TxCtx {
+            round: RoundIndex::new(abs / n as u64),
+            sender: NodeId::from_slot((abs % n as u64) as usize),
+            n_nodes: n,
+            abs_slot: abs,
+        }
+    }
+
+    #[test]
+    fn empty_node_is_harmless() {
+        let mut d = DisturbanceNode::new(1);
+        assert_eq!(FaultPipeline::effect(&mut d, &ctx(0)), SlotEffect::Correct);
+    }
+
+    #[test]
+    fn first_matching_source_wins() {
+        let benign = |c: &TxCtx, _: &mut StdRng| {
+            (c.abs_slot == 5).then_some(SlotEffect::Benign)
+        };
+        let asym = |c: &TxCtx, _: &mut StdRng| {
+            (c.abs_slot >= 5).then_some(SlotEffect::Asymmetric {
+                detected_by: vec![0],
+                collision_ok: true,
+            })
+        };
+        let mut d = DisturbanceNode::new(1).with(benign).with(asym);
+        assert_eq!(FaultPipeline::effect(&mut d, &ctx(5)), SlotEffect::Benign);
+        assert!(matches!(
+            FaultPipeline::effect(&mut d, &ctx(6)),
+            SlotEffect::Asymmetric { .. }
+        ));
+        assert_eq!(FaultPipeline::effect(&mut d, &ctx(4)), SlotEffect::Correct);
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let run = |seed: u64| -> Vec<bool> {
+            let noisy = |_: &TxCtx, rng: &mut StdRng| {
+                rand::Rng::gen_bool(rng, 0.3).then_some(SlotEffect::Benign)
+            };
+            let mut d = DisturbanceNode::new(seed).with(noisy);
+            (0..100)
+                .map(|a| FaultPipeline::effect(&mut d, &ctx(a)) == SlotEffect::Benign)
+                .collect()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds diverge");
+    }
+}

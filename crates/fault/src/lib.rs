@@ -1,0 +1,45 @@
+//! # tt-fault — fault injection for simulated time-triggered clusters
+//!
+//! The software analogue of the paper's experimental apparatus (Sec. 8): a
+//! *disturbance node* able to emulate hardware faults in the communication
+//! network by corrupting or dropping messages on the bus, plus the
+//! scripted fault scenarios and the seeded experiment campaigns used to
+//! validate and tune the diagnostic protocol.
+//!
+//! * [`injector`] — the composable [`DisturbanceNode`] fault pipeline;
+//! * [`burst`] — bursty faults (one slot, several slots, whole rounds,
+//!   continuous), addressed by slot, round or physical time;
+//! * [`noise`] — random noise, spikes, and silence periods (the paper's
+//!   three physical injection classes);
+//! * [`bitflip`] — corruption grounded one layer lower: bit flips on the
+//!   CRC-protected wire frame, with detectability emerging from the CRC
+//!   check instead of being declared;
+//! * [`malicious`] — malicious *content* faults: a node disseminating
+//!   random local syndromes, asymmetric (SOS-like) disturbances, clique
+//!   partitions;
+//! * [`scenario`] — the abnormal transient scenarios of Table 3 (automotive
+//!   blinking light, aerospace lightning bolt);
+//! * [`campaign`] — the Sec. 8 validation campaign: experiment classes,
+//!   seeded repetitions, and property-oracle verdicts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitflip;
+pub mod burst;
+pub mod campaign;
+pub mod injector;
+pub mod malicious;
+pub mod noise;
+pub mod scenario;
+
+pub use bitflip::{BitNoise, CrcForger, ReceiverLocalBitNoise};
+pub use burst::{Burst, ContinuousFault, SenderBurst};
+pub use campaign::{
+    extended_classes, run_campaign, run_experiment, run_extended, sec8_classes, CampaignResult,
+    ExperimentClass, ExperimentOutcome, ExtendedClass,
+};
+pub use injector::{Disturbance, DisturbanceNode};
+pub use malicious::{AsymmetricDisturbance, CliquePartition, RandomSyndromeJob};
+pub use noise::{RandomNoise, Spike};
+pub use scenario::TransientScenario;

@@ -1,0 +1,261 @@
+//! Malicious and asymmetric fault sources.
+//!
+//! * [`RandomSyndromeJob`] — a node whose diagnostic job disseminates
+//!   *random local syndromes* (the paper's malicious-node experiment,
+//!   Sec. 8). Its frames are syntactically valid, so the fault is not
+//!   locally detectable: it attacks the voting, not the transport.
+//! * [`AsymmetricDisturbance`] — Slightly-Off-Specification-like faults:
+//!   a sender's frames are detected by a (fixed or random) strict subset of
+//!   the receivers.
+//! * [`CliquePartition`] — the paper's clique experiment: the disturbance
+//!   node sits between one node and the rest of the cluster and disconnects
+//!   the bus during other nodes' sending slots, so the victim stops
+//!   receiving and becomes a minority clique.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use tt_sim::{Job, JobCtx, NodeId, RoundIndex, SlotEffect, TxCtx};
+
+use crate::injector::Disturbance;
+
+/// A diagnostic job replaced by a malicious one: every round it writes a
+/// *random* local syndrome into its outgoing interface variable.
+///
+/// "The effect of one malicious node sending random local syndromes was
+/// also considered. Its presence is not supposed to induce the other nodes
+/// to diagnose correct nodes as faulty." (paper Sec. 8)
+#[derive(Debug)]
+pub struct RandomSyndromeJob {
+    node: NodeId,
+    n: usize,
+    rng: StdRng,
+    sent: u64,
+}
+
+impl RandomSyndromeJob {
+    /// Creates the malicious job for `node` in an `n`-node cluster.
+    pub fn new(node: NodeId, n: usize, seed: u64) -> Self {
+        RandomSyndromeJob {
+            node,
+            n,
+            rng: StdRng::seed_from_u64(seed),
+            sent: 0,
+        }
+    }
+
+    /// The hosting (malicious) node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// How many random syndromes have been disseminated.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+}
+
+impl Job for RandomSyndromeJob {
+    fn execute(&mut self, ctx: &mut JobCtx<'_>) {
+        let bytes: Vec<u8> = (0..self.n.div_ceil(8)).map(|_| self.rng.gen()).collect();
+        ctx.write_iface(bytes);
+        self.sent += 1;
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// Which receivers an [`AsymmetricDisturbance`] blinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsymmetricTarget {
+    /// A fixed set of receiver indices fails to receive.
+    Fixed(Vec<usize>),
+    /// A fresh random strict subset (at least one, not all) per slot.
+    RandomSubset,
+}
+
+/// A sender whose frames are locally detected by only some receivers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsymmetricDisturbance {
+    sender: NodeId,
+    from_round: RoundIndex,
+    rounds: u64,
+    target: AsymmetricTarget,
+}
+
+impl AsymmetricDisturbance {
+    /// Makes `sender`'s slots asymmetric faulty for `rounds` rounds
+    /// starting at `from_round`.
+    pub fn new(
+        sender: NodeId,
+        from_round: RoundIndex,
+        rounds: u64,
+        target: AsymmetricTarget,
+    ) -> Self {
+        AsymmetricDisturbance {
+            sender,
+            from_round,
+            rounds,
+            target,
+        }
+    }
+}
+
+impl Disturbance for AsymmetricDisturbance {
+    fn effect(&mut self, ctx: &TxCtx, rng: &mut StdRng) -> Option<SlotEffect> {
+        if ctx.sender != self.sender
+            || ctx.round < self.from_round
+            || ctx.round.as_u64() >= self.from_round.as_u64() + self.rounds
+        {
+            return None;
+        }
+        let detected_by = match &self.target {
+            AsymmetricTarget::Fixed(set) => set.clone(),
+            AsymmetricTarget::RandomSubset => {
+                // A strict, non-empty subset of the receivers.
+                let others: Vec<usize> = (0..ctx.n_nodes)
+                    .filter(|&i| i != ctx.sender.index())
+                    .collect();
+                let k = rng.gen_range(1..others.len());
+                let mut set = others;
+                for i in (1..set.len()).rev() {
+                    set.swap(i, rng.gen_range(0..=i));
+                }
+                set.truncate(k);
+                set
+            }
+        };
+        Some(SlotEffect::Asymmetric {
+            detected_by,
+            collision_ok: true,
+        })
+    }
+}
+
+/// Partitions one node from the cluster: during the chosen rounds it fails
+/// to receive the slots of every other sender (they remain mutually
+/// visible), forming a minority clique of one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CliquePartition {
+    victim: NodeId,
+    from_round: RoundIndex,
+    rounds: u64,
+}
+
+impl CliquePartition {
+    /// Blinds `victim` to all other senders for `rounds` rounds starting at
+    /// `from_round`.
+    pub fn new(victim: NodeId, from_round: RoundIndex, rounds: u64) -> Self {
+        CliquePartition {
+            victim,
+            from_round,
+            rounds,
+        }
+    }
+}
+
+impl Disturbance for CliquePartition {
+    fn effect(&mut self, ctx: &TxCtx, _rng: &mut StdRng) -> Option<SlotEffect> {
+        if ctx.sender == self.victim
+            || ctx.round < self.from_round
+            || ctx.round.as_u64() >= self.from_round.as_u64() + self.rounds
+        {
+            return None;
+        }
+        Some(SlotEffect::Asymmetric {
+            detected_by: vec![self.victim.index()],
+            collision_ok: true,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_sim::SlotFaultClass;
+
+    fn ctx(round: u64, sender: u32) -> TxCtx {
+        TxCtx {
+            round: RoundIndex::new(round),
+            sender: NodeId::new(sender),
+            n_nodes: 4,
+            abs_slot: round * 4 + (sender - 1) as u64,
+        }
+    }
+
+    #[test]
+    fn random_syndrome_job_writes_garbage() {
+        use tt_sim::{Controller, NodeSchedule};
+        let node = NodeId::new(2);
+        let mut c = Controller::new(node, 4);
+        let mut job = RandomSyndromeJob::new(node, 4, 99);
+        for r in 0..5u64 {
+            let sched = NodeSchedule::new(node, 0, 4).unwrap();
+            let mut jc = JobCtx::new(&mut c, sched, RoundIndex::new(r));
+            job.execute(&mut jc);
+        }
+        assert_eq!(job.sent(), 5);
+        assert_eq!(job.node(), node);
+        assert_eq!(c.tx_payload().len(), 1, "still N bits on the wire");
+    }
+
+    #[test]
+    fn asymmetric_fixed_targets() {
+        let mut d = AsymmetricDisturbance::new(
+            NodeId::new(1),
+            RoundIndex::new(2),
+            3,
+            AsymmetricTarget::Fixed(vec![2]),
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(d.effect(&ctx(1, 1), &mut rng), None, "before window");
+        let e = d.effect(&ctx(2, 1), &mut rng).unwrap();
+        assert_eq!(
+            e,
+            SlotEffect::Asymmetric {
+                detected_by: vec![2],
+                collision_ok: true
+            }
+        );
+        assert_eq!(d.effect(&ctx(5, 1), &mut rng), None, "after window");
+        assert_eq!(d.effect(&ctx(3, 2), &mut rng), None, "other sender");
+    }
+
+    #[test]
+    fn asymmetric_random_subset_is_strict_and_nonempty() {
+        let mut d = AsymmetricDisturbance::new(
+            NodeId::new(2),
+            RoundIndex::new(0),
+            100,
+            AsymmetricTarget::RandomSubset,
+        );
+        let mut rng = StdRng::seed_from_u64(5);
+        for r in 0..100u64 {
+            let e = d.effect(&ctx(r, 2), &mut rng).unwrap();
+            let class = e.classify(4, NodeId::new(2));
+            assert_eq!(class, SlotFaultClass::Asymmetric, "round {r}: {e:?}");
+        }
+    }
+
+    #[test]
+    fn clique_partition_blinds_only_victim() {
+        let mut d = CliquePartition::new(NodeId::new(1), RoundIndex::new(4), 1);
+        let mut rng = StdRng::seed_from_u64(0);
+        // Other senders' slots are invisible to node 1 during round 4.
+        let e = d.effect(&ctx(4, 3), &mut rng).unwrap();
+        assert_eq!(
+            e,
+            SlotEffect::Asymmetric {
+                detected_by: vec![0],
+                collision_ok: true
+            }
+        );
+        // The victim's own slot is untouched.
+        assert_eq!(d.effect(&ctx(4, 1), &mut rng), None);
+        // Outside the window nothing happens.
+        assert_eq!(d.effect(&ctx(5, 3), &mut rng), None);
+    }
+}

@@ -1,0 +1,134 @@
+//! Random noise, electrical spikes and silence periods.
+//!
+//! These are the three classes of physical faults the paper injects on the
+//! bus (Sec. 8: "electrical spikes, random noise, periods of silence"). At
+//! the fault-effect level they all render frames locally detectable
+//! (benign); they differ in their temporal pattern.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use tt_sim::{SlotEffect, TxCtx};
+
+use crate::injector::Disturbance;
+
+/// Random noise: each slot in the active window is independently corrupted
+/// with probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomNoise {
+    p: f64,
+    from_abs: u64,
+    until_abs: u64,
+}
+
+impl RandomNoise {
+    /// Noise affecting every slot with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn everywhere(p: f64) -> Self {
+        Self::window(p, 0, u64::MAX)
+    }
+
+    /// Noise affecting slots in `[from_abs, until_abs)` with probability
+    /// `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn window(p: f64, from_abs: u64, until_abs: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        RandomNoise {
+            p,
+            from_abs,
+            until_abs,
+        }
+    }
+}
+
+impl Disturbance for RandomNoise {
+    fn effect(&mut self, ctx: &TxCtx, rng: &mut StdRng) -> Option<SlotEffect> {
+        if ctx.abs_slot < self.from_abs || ctx.abs_slot >= self.until_abs {
+            return None;
+        }
+        rng.gen_bool(self.p).then_some(SlotEffect::Benign)
+    }
+}
+
+/// An electrical spike destroying exactly one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Spike {
+    abs_slot: u64,
+}
+
+impl Spike {
+    /// A spike hitting absolute slot `abs_slot`.
+    pub fn at(abs_slot: u64) -> Self {
+        Spike { abs_slot }
+    }
+}
+
+impl Disturbance for Spike {
+    fn effect(&mut self, ctx: &TxCtx, _rng: &mut StdRng) -> Option<SlotEffect> {
+        (ctx.abs_slot == self.abs_slot).then_some(SlotEffect::Benign)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tt_sim::{NodeId, RoundIndex};
+
+    fn ctx(abs: u64) -> TxCtx {
+        TxCtx {
+            round: RoundIndex::new(abs / 4),
+            sender: NodeId::from_slot((abs % 4) as usize),
+            n_nodes: 4,
+            abs_slot: abs,
+        }
+    }
+
+    #[test]
+    fn spike_hits_one_slot() {
+        let mut s = Spike::at(7);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(s.effect(&ctx(6), &mut rng), None);
+        assert_eq!(s.effect(&ctx(7), &mut rng), Some(SlotEffect::Benign));
+        assert_eq!(s.effect(&ctx(8), &mut rng), None);
+    }
+
+    #[test]
+    fn noise_rate_is_approximately_p() {
+        let mut n = RandomNoise::everywhere(0.25);
+        let mut rng = StdRng::seed_from_u64(42);
+        let hits = (0..10_000)
+            .filter(|&a| n.effect(&ctx(a), &mut rng).is_some())
+            .count();
+        assert!((2_000..3_000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn noise_respects_window() {
+        let mut n = RandomNoise::window(1.0, 10, 20);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(n.effect(&ctx(9), &mut rng), None);
+        assert_eq!(n.effect(&ctx(10), &mut rng), Some(SlotEffect::Benign));
+        assert_eq!(n.effect(&ctx(19), &mut rng), Some(SlotEffect::Benign));
+        assert_eq!(n.effect(&ctx(20), &mut rng), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn noise_rejects_bad_probability() {
+        let _ = RandomNoise::everywhere(1.5);
+    }
+
+    #[test]
+    fn zero_probability_noise_is_silent() {
+        let mut n = RandomNoise::everywhere(0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!((0..100).all(|a| n.effect(&ctx(a), &mut rng).is_none()));
+    }
+}

@@ -1,0 +1,351 @@
+//! The shared broadcast bus and the fault pipeline that shapes receptions.
+//!
+//! Every transmission on the bus produces, for each receiver, a
+//! [`Reception`] outcome. Faults are injected by an implementation of
+//! [`FaultPipeline`] — the software analogue of the paper's *disturbance
+//! node* (Sec. 8), which corrupted or dropped messages on the physical bus.
+//!
+//! The pipeline expresses faults at the *effect* level ([`SlotEffect`]),
+//! following the paper's Customizable Fault-Effect Model (Sec. 4):
+//!
+//! * **benign** (symmetric): the message is locally detectable by *all*
+//!   receivers (syntactically incorrect, or early/late/missing);
+//! * **symmetric malicious**: all receivers accept the same, semantically
+//!   incorrect message (not locally detectable);
+//! * **asymmetric**: the message is locally detectable by at least one but
+//!   not all receivers. Per the broadcast-channel assumption, receivers that
+//!   do not detect it all receive the *same* message.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::time::{NodeId, RoundIndex};
+
+/// What a single receiver observes for one sending slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reception {
+    /// The frame was received and passed local error detection; the
+    /// interface variable is updated and its validity bit set to 1.
+    Valid(Bytes),
+    /// Local error detection flagged the frame (corrupt / missing /
+    /// mistimed); the validity bit is set to 0 and the variable not updated.
+    Detected,
+}
+
+impl Reception {
+    /// True iff the reception passed local error detection.
+    pub fn is_valid(&self) -> bool {
+        matches!(self, Reception::Valid(_))
+    }
+}
+
+/// Ground-truth classification of what the fault pipeline did to one slot.
+///
+/// This is recorded in the trace and consumed by the test oracles; the
+/// protocol under test never sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SlotFaultClass {
+    /// The frame was delivered correctly to everyone.
+    Correct,
+    /// Symmetric benign fault: locally detected by all receivers.
+    Benign,
+    /// Symmetric malicious fault: all receivers accepted a wrong payload.
+    SymmetricMalicious,
+    /// Asymmetric fault: detected by a strict, non-empty subset of receivers.
+    Asymmetric,
+}
+
+/// The effect of the fault pipeline on one transmission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlotEffect {
+    /// Deliver the payload unmodified to every receiver.
+    Correct,
+    /// All receivers locally detect the fault (validity bit 0). Models
+    /// crashes, omissions, noise bursts, silence, spikes.
+    Benign,
+    /// All receivers accept `payload` instead of the real one (validity bit
+    /// 1, wrong value). Not locally detectable.
+    SymmetricMalicious {
+        /// The corrupted payload delivered to all receivers.
+        payload: Bytes,
+    },
+    /// Receivers in `detected_by` (0-based node indices) locally detect the
+    /// fault; all others receive the true payload. Models
+    /// Slightly-Off-Specification faults and spatially partial disturbances.
+    Asymmetric {
+        /// 0-based indices of the receivers that locally detect the fault.
+        detected_by: Vec<usize>,
+        /// What the sender's local collision detector observes on its own
+        /// bus tap: `true` if the frame read back syntactically correct.
+        collision_ok: bool,
+    },
+}
+
+impl SlotEffect {
+    /// The ground-truth class of this effect, validating subset sizes.
+    ///
+    /// An `Asymmetric` effect that is detected by nobody degenerates to
+    /// `Correct`; one detected by all `n - 1` receivers degenerates to
+    /// `Benign`.
+    pub fn classify(&self, n_nodes: usize, sender: NodeId) -> SlotFaultClass {
+        match self {
+            SlotEffect::Correct => SlotFaultClass::Correct,
+            SlotEffect::Benign => SlotFaultClass::Benign,
+            SlotEffect::SymmetricMalicious { .. } => SlotFaultClass::SymmetricMalicious,
+            SlotEffect::Asymmetric { detected_by, .. } => {
+                let detected = detected_by
+                    .iter()
+                    .filter(|&&r| r != sender.index() && r < n_nodes)
+                    .count();
+                if detected == 0 {
+                    SlotFaultClass::Correct
+                } else if detected == n_nodes - 1 {
+                    SlotFaultClass::Benign
+                } else {
+                    SlotFaultClass::Asymmetric
+                }
+            }
+        }
+    }
+
+    /// What the sender's local collision detector reports for this effect.
+    ///
+    /// A benign fault is observed on the sender's own tap too (`false`); a
+    /// malicious frame is syntactically fine (`true`); for asymmetric
+    /// effects the outcome depends on where the disturbance hit and is
+    /// carried explicitly.
+    pub fn collision_ok(&self) -> bool {
+        match self {
+            SlotEffect::Correct | SlotEffect::SymmetricMalicious { .. } => true,
+            SlotEffect::Benign => false,
+            SlotEffect::Asymmetric { collision_ok, .. } => *collision_ok,
+        }
+    }
+
+    /// Computes the reception outcome for receiver index `rx` (0-based).
+    pub fn reception_for(&self, rx: usize, true_payload: &Bytes) -> Reception {
+        match self {
+            SlotEffect::Correct => Reception::Valid(true_payload.clone()),
+            SlotEffect::Benign => Reception::Detected,
+            SlotEffect::SymmetricMalicious { payload } => Reception::Valid(payload.clone()),
+            SlotEffect::Asymmetric { detected_by, .. } => {
+                if detected_by.contains(&rx) {
+                    Reception::Detected
+                } else {
+                    Reception::Valid(true_payload.clone())
+                }
+            }
+        }
+    }
+}
+
+/// Context handed to the fault pipeline for each transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxCtx {
+    /// The round in which the slot lies.
+    pub round: RoundIndex,
+    /// The sending node (slot position = `sender.slot()`).
+    pub sender: NodeId,
+    /// Cluster size.
+    pub n_nodes: usize,
+    /// Absolute slot number since simulation start
+    /// (`round * n_nodes + sender.slot()`).
+    pub abs_slot: u64,
+}
+
+/// The result of pushing one frame through the bus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxOutcome {
+    /// Reception per receiver index (length `n_nodes`; the entry at the
+    /// sender's own index reflects its loop-back reception).
+    pub receptions: Vec<Reception>,
+    /// What the sender's local collision detector observed.
+    pub collision_ok: bool,
+    /// Ground-truth classification for the trace/oracles.
+    pub class: SlotFaultClass,
+}
+
+/// A pluggable model of disturbances on the broadcast bus.
+///
+/// Implementations decide, per transmission, which [`SlotEffect`] applies.
+/// They may keep state (e.g. a burst spanning several slots) and may use
+/// their own seeded randomness; the simulator itself adds none.
+///
+/// Most pipelines only implement [`FaultPipeline::effect`]; pipelines that
+/// need finer, per-receiver control than one [`SlotEffect`] can express —
+/// e.g. a replicated bus whose channels fail independently
+/// ([`crate::ReplicatedBus`]) — override [`FaultPipeline::transmit`]
+/// instead.
+pub trait FaultPipeline: Send {
+    /// Chooses the effect applied to the transmission described by `ctx`.
+    fn effect(&mut self, ctx: &TxCtx) -> SlotEffect;
+
+    /// Produces the full per-receiver outcome of the transmission. The
+    /// default applies [`FaultPipeline::effect`] uniformly via
+    /// [`apply_effect`]; the engine always goes through this method.
+    fn transmit(&mut self, ctx: &TxCtx, payload: &Bytes) -> TxOutcome {
+        apply_effect(&self.effect(ctx), ctx, payload)
+    }
+}
+
+/// The identity pipeline: a perfectly healthy bus.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoFaults;
+
+impl FaultPipeline for NoFaults {
+    fn effect(&mut self, _ctx: &TxCtx) -> SlotEffect {
+        SlotEffect::Correct
+    }
+}
+
+impl<F> FaultPipeline for F
+where
+    F: FnMut(&TxCtx) -> SlotEffect + Send,
+{
+    fn effect(&mut self, ctx: &TxCtx) -> SlotEffect {
+        self(ctx)
+    }
+}
+
+/// Classifies a per-receiver outcome against the true payload, for traces
+/// and oracles: all-valid-and-true = correct, all-detected = benign,
+/// all-valid-but-wrong = symmetric malicious, anything mixed = asymmetric.
+pub fn classify_receptions(
+    receptions: &[Reception],
+    true_payload: &Bytes,
+    sender: NodeId,
+) -> SlotFaultClass {
+    let mut valid_true = 0usize;
+    let mut valid_wrong = 0usize;
+    let mut detected = 0usize;
+    for (rx, r) in receptions.iter().enumerate() {
+        if rx == sender.index() {
+            continue; // the sender's loop-back does not classify the slot
+        }
+        match r {
+            Reception::Valid(p) if p == true_payload => valid_true += 1,
+            Reception::Valid(_) => valid_wrong += 1,
+            Reception::Detected => detected += 1,
+        }
+    }
+    let others = valid_true + valid_wrong + detected;
+    if detected == others && others > 0 {
+        SlotFaultClass::Benign
+    } else if detected > 0 {
+        SlotFaultClass::Asymmetric
+    } else if valid_wrong > 0 {
+        SlotFaultClass::SymmetricMalicious
+    } else {
+        SlotFaultClass::Correct
+    }
+}
+
+/// Applies an effect to a transmission, producing the per-receiver outcome.
+///
+/// Exposed publicly so protocol variants that model the bus at slot
+/// granularity (e.g. the low-latency system-level variant of the paper's
+/// Sec. 10) can reuse the exact reception semantics of the simulator.
+pub fn apply_effect(effect: &SlotEffect, ctx: &TxCtx, payload: &Bytes) -> TxOutcome {
+    let receptions = (0..ctx.n_nodes)
+        .map(|rx| effect.reception_for(rx, payload))
+        .collect();
+    TxOutcome {
+        receptions,
+        collision_ok: effect.collision_ok(),
+        class: effect.classify(ctx.n_nodes, ctx.sender),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> TxCtx {
+        TxCtx {
+            round: RoundIndex::new(7),
+            sender: NodeId::new(2),
+            n_nodes: 4,
+            abs_slot: 29,
+        }
+    }
+
+    #[test]
+    fn correct_effect_delivers_everywhere() {
+        let payload = Bytes::from_static(b"\x0f");
+        let out = apply_effect(&SlotEffect::Correct, &ctx(), &payload);
+        assert_eq!(out.class, SlotFaultClass::Correct);
+        assert!(out.collision_ok);
+        assert!(out.receptions.iter().all(|r| *r == Reception::Valid(payload.clone())));
+    }
+
+    #[test]
+    fn benign_effect_detected_by_all() {
+        let out = apply_effect(&SlotEffect::Benign, &ctx(), &Bytes::from_static(b"x"));
+        assert_eq!(out.class, SlotFaultClass::Benign);
+        assert!(!out.collision_ok);
+        assert!(out.receptions.iter().all(|r| *r == Reception::Detected));
+    }
+
+    #[test]
+    fn malicious_effect_swaps_payload_without_detection() {
+        let wrong = Bytes::from_static(b"\xff");
+        let out = apply_effect(
+            &SlotEffect::SymmetricMalicious {
+                payload: wrong.clone(),
+            },
+            &ctx(),
+            &Bytes::from_static(b"\x00"),
+        );
+        assert_eq!(out.class, SlotFaultClass::SymmetricMalicious);
+        assert!(out.collision_ok, "malicious frames are syntactically fine");
+        assert!(out.receptions.iter().all(|r| *r == Reception::Valid(wrong.clone())));
+    }
+
+    #[test]
+    fn asymmetric_effect_splits_receivers() {
+        let payload = Bytes::from_static(b"\x05");
+        let eff = SlotEffect::Asymmetric {
+            detected_by: vec![0, 3],
+            collision_ok: true,
+        };
+        let out = apply_effect(&eff, &ctx(), &payload);
+        assert_eq!(out.class, SlotFaultClass::Asymmetric);
+        assert_eq!(out.receptions[0], Reception::Detected);
+        assert_eq!(out.receptions[1], Reception::Valid(payload.clone()));
+        assert_eq!(out.receptions[2], Reception::Valid(payload.clone()));
+        assert_eq!(out.receptions[3], Reception::Detected);
+    }
+
+    #[test]
+    fn asymmetric_degenerates_to_correct_or_benign() {
+        let none = SlotEffect::Asymmetric {
+            detected_by: vec![],
+            collision_ok: true,
+        };
+        assert_eq!(none.classify(4, NodeId::new(2)), SlotFaultClass::Correct);
+        // Detected by all three *other* nodes => benign; the sender's own
+        // index in the list does not count.
+        let all = SlotEffect::Asymmetric {
+            detected_by: vec![0, 1, 2, 3],
+            collision_ok: false,
+        };
+        assert_eq!(all.classify(4, NodeId::new(2)), SlotFaultClass::Benign);
+    }
+
+    #[test]
+    fn closures_are_pipelines() {
+        let mut p = |c: &TxCtx| {
+            if c.sender == NodeId::new(1) {
+                SlotEffect::Benign
+            } else {
+                SlotEffect::Correct
+            }
+        };
+        assert_eq!(FaultPipeline::effect(&mut p, &ctx()), SlotEffect::Correct);
+    }
+
+    #[test]
+    fn no_faults_is_identity() {
+        assert_eq!(NoFaults.effect(&ctx()), SlotEffect::Correct);
+    }
+}

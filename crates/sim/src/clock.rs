@@ -1,0 +1,342 @@
+//! Clock synchronization and the emergence of SOS faults.
+//!
+//! Time-triggered communication rests on synchronized clocks: every node
+//! runs a local oscillator with physical drift, periodically corrected by a
+//! fault-tolerant clock synchronization algorithm. A receiver accepts a
+//! frame only if it arrives inside its *reception window*; a sender whose
+//! clock sits close to the allowed offset is seen as timely by some
+//! receivers and as mistimed by others — a **Slightly-Off-Specification
+//! (SOS) fault**, the paper's canonical source of *asymmetric* faults
+//! (Sec. 4, citing Ademaj et al. \[17\]).
+//!
+//! This module provides:
+//!
+//! * [`ClockEnsemble`] — per-node oscillators with configurable drift,
+//!   resynchronized once per round by the Welch–Lynch fault-tolerant
+//!   average (drop the `k` highest and lowest offset measurements, average
+//!   the rest);
+//! * [`ClockDrivenPipeline`] — a [`FaultPipeline`] in which reception
+//!   outcomes *emerge* from clock state: a frame is locally detected by
+//!   receiver `r` iff the sender–receiver clock offset exceeds the
+//!   reception window. No fault class is ever injected directly; SOS
+//!   asymmetry appears by itself when an oscillator degrades.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::bus::{FaultPipeline, SlotEffect, TxCtx};
+use crate::time::Nanos;
+
+/// Configuration of a simulated clock ensemble.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClockConfig {
+    /// Number of nodes.
+    pub n_nodes: usize,
+    /// Per-node oscillator drift in parts-per-million (signed; index =
+    /// node index). A healthy quartz is within ±100 ppm.
+    pub drift_ppm: Vec<f64>,
+    /// Round length (drift accumulates over it between resyncs).
+    pub round_length: Nanos,
+    /// Half-width of the reception window: a frame is accepted iff the
+    /// sender–receiver offset magnitude is below this.
+    pub window_half: Nanos,
+    /// How many extreme offset measurements the fault-tolerant average
+    /// drops at each end (`k` in Welch–Lynch; tolerates `k` faulty clocks).
+    pub fta_drop: usize,
+    /// Standard deviation of the offset-measurement noise, in nanoseconds
+    /// (jitter of the arrival-time reading).
+    pub measurement_jitter_ns: f64,
+    /// Maximum correction a clock can apply per resync, in nanoseconds
+    /// (rate-correction hardware is bounded). A drift faster than
+    /// `max_correction_ns` per round cannot be compensated: the node walks
+    /// out of the ensemble — through the SOS zone — no matter how well it
+    /// follows the protocol.
+    pub max_correction_ns: f64,
+}
+
+impl ClockConfig {
+    /// A healthy ensemble: small random drifts well inside the window.
+    pub fn healthy(n_nodes: usize) -> Self {
+        ClockConfig {
+            n_nodes,
+            drift_ppm: (0..n_nodes).map(|i| (i as f64 - 1.5) * 2.0).collect(),
+            round_length: Nanos::from_micros(2_500),
+            window_half: Nanos::from_micros(5),
+            fta_drop: 1,
+            measurement_jitter_ns: 20.0,
+            max_correction_ns: 300.0,
+        }
+    }
+}
+
+/// The clock state of all nodes: offsets from ideal time, in nanoseconds.
+#[derive(Debug, Clone)]
+pub struct ClockEnsemble {
+    config: ClockConfig,
+    /// Current offset of each node's clock from ideal time (ns).
+    offsets: Vec<f64>,
+    rng: StdRng,
+}
+
+impl ClockEnsemble {
+    /// Creates an ensemble with all clocks initially perfectly aligned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the drift vector length mismatches `n_nodes` or the FTA
+    /// drop count would discard every measurement.
+    pub fn new(config: ClockConfig, seed: u64) -> Self {
+        assert_eq!(
+            config.drift_ppm.len(),
+            config.n_nodes,
+            "one drift rate per node"
+        );
+        assert!(
+            2 * config.fta_drop < config.n_nodes,
+            "FTA would drop all measurements"
+        );
+        ClockEnsemble {
+            offsets: vec![0.0; config.n_nodes],
+            rng: StdRng::seed_from_u64(seed),
+            config,
+        }
+    }
+
+    /// The current offset of node index `i` from ideal time, in ns.
+    pub fn offset_ns(&self, i: usize) -> f64 {
+        self.offsets[i]
+    }
+
+    /// Overrides node `i`'s drift rate (e.g. a degrading oscillator).
+    pub fn set_drift_ppm(&mut self, i: usize, ppm: f64) {
+        self.config.drift_ppm[i] = ppm;
+    }
+
+    /// Advances all clocks by one round of free-running drift, then
+    /// resynchronizes with the Welch–Lynch fault-tolerant average.
+    pub fn advance_round(&mut self) {
+        let round_ns = self.config.round_length.as_nanos() as f64;
+        for (off, ppm) in self.offsets.iter_mut().zip(&self.config.drift_ppm) {
+            *off += ppm * 1e-6 * round_ns;
+        }
+        // Each node measures every clock's offset relative to itself (with
+        // jitter), drops the k extremes, averages, and corrects.
+        let mut corrections = vec![0.0; self.config.n_nodes];
+        #[allow(clippy::needless_range_loop)] // i is also the measuring node's identity
+        for i in 0..self.config.n_nodes {
+            let mut measured: Vec<f64> = (0..self.config.n_nodes)
+                .map(|j| {
+                    let true_delta = self.offsets[j] - self.offsets[i];
+                    if i == j {
+                        0.0
+                    } else {
+                        true_delta
+                            + self.rng.gen_range(-1.0..1.0) * self.config.measurement_jitter_ns
+                    }
+                })
+                .collect();
+            measured.sort_by(|a, b| a.partial_cmp(b).expect("finite offsets"));
+            let k = self.config.fta_drop;
+            let kept = &measured[k..measured.len() - k];
+            corrections[i] = kept.iter().sum::<f64>() / kept.len() as f64;
+        }
+        let limit = self.config.max_correction_ns;
+        for (off, corr) in self.offsets.iter_mut().zip(&corrections) {
+            *off += corr.clamp(-limit, limit);
+        }
+    }
+
+    /// The set of receivers that locally detect the frame of sender `s` as
+    /// mistimed: those whose clock differs from the sender's by more than
+    /// the reception window.
+    pub fn detected_by(&self, s: usize) -> Vec<usize> {
+        let w = self.config.window_half.as_nanos() as f64;
+        (0..self.config.n_nodes)
+            .filter(|&r| r != s && (self.offsets[s] - self.offsets[r]).abs() > w)
+            .collect()
+    }
+
+    /// Maximum pairwise clock offset (the achieved precision), in ns.
+    pub fn precision_ns(&self) -> f64 {
+        let max = self.offsets.iter().cloned().fold(f64::MIN, f64::max);
+        let min = self.offsets.iter().cloned().fold(f64::MAX, f64::min);
+        max - min
+    }
+}
+
+/// A fault pipeline in which every reception outcome is derived from the
+/// clock ensemble: timely frames pass, mistimed frames are locally
+/// detected by exactly the receivers whose windows they miss.
+///
+/// The ensemble advances one round of drift + resync whenever slot 0 is
+/// transmitted.
+#[derive(Debug)]
+pub struct ClockDrivenPipeline {
+    clocks: ClockEnsemble,
+    /// Scheduled oscillator degradations: (round, node index, new ppm).
+    degradations: Vec<(u64, usize, f64)>,
+}
+
+impl ClockDrivenPipeline {
+    /// Creates the pipeline around an ensemble.
+    pub fn new(clocks: ClockEnsemble) -> Self {
+        ClockDrivenPipeline {
+            clocks,
+            degradations: Vec::new(),
+        }
+    }
+
+    /// Schedules node index `i`'s oscillator to change to `ppm` drift at
+    /// the start of `round` (builder style).
+    pub fn degrade_at(mut self, round: u64, i: usize, ppm: f64) -> Self {
+        self.degradations.push((round, i, ppm));
+        self
+    }
+
+    /// Read access to the ensemble (for instrumentation).
+    pub fn clocks(&self) -> &ClockEnsemble {
+        &self.clocks
+    }
+}
+
+impl FaultPipeline for ClockDrivenPipeline {
+    fn effect(&mut self, ctx: &TxCtx) -> SlotEffect {
+        if ctx.sender.slot() == 0 {
+            // New round: apply scheduled degradations, then drift + resync.
+            let round = ctx.round.as_u64();
+            for &(r, i, ppm) in &self.degradations {
+                if r == round {
+                    self.clocks.set_drift_ppm(i, ppm);
+                }
+            }
+            self.clocks.advance_round();
+        }
+        let detected_by = self.clocks.detected_by(ctx.sender.index());
+        if detected_by.is_empty() {
+            SlotEffect::Correct
+        } else {
+            // The sender's own collision detector runs on the sender's own
+            // clock: it sees its frame as timely.
+            SlotEffect::Asymmetric {
+                detected_by,
+                collision_ok: true,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::SlotFaultClass;
+    use crate::time::{NodeId, RoundIndex};
+
+    #[test]
+    fn healthy_ensemble_stays_synchronized() {
+        let mut c = ClockEnsemble::new(ClockConfig::healthy(4), 42);
+        for _ in 0..1_000 {
+            c.advance_round();
+        }
+        // Precision stays far inside the 5 µs window.
+        assert!(c.precision_ns() < 1_000.0, "{}", c.precision_ns());
+        assert!(c.detected_by(0).is_empty());
+    }
+
+    #[test]
+    fn fta_tolerates_one_runaway_clock() {
+        let mut cfg = ClockConfig::healthy(4);
+        cfg.drift_ppm[2] = 400.0; // 1 µs/round, far beyond the 300 ns correction limit
+        let mut c = ClockEnsemble::new(cfg, 1);
+        for _ in 0..200 {
+            c.advance_round();
+        }
+        // The three healthy clocks stay mutually synchronized: the FTA
+        // dropped the runaway's measurements.
+        let healthy: Vec<f64> = [0, 1, 3].iter().map(|&i| c.offset_ns(i)).collect();
+        let spread = healthy.iter().cloned().fold(f64::MIN, f64::max)
+            - healthy.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 1_000.0, "healthy spread {spread}");
+        // The runaway is eventually outside everyone's window.
+        assert_eq!(c.detected_by(2), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn sos_zone_produces_asymmetric_detection() {
+        // Construct an ensemble where node 0 sits right at the window edge:
+        // beyond node 3's window, inside node 1's.
+        let cfg = ClockConfig {
+            n_nodes: 4,
+            drift_ppm: vec![0.0; 4],
+            round_length: Nanos::from_micros(2_500),
+            window_half: Nanos::from_micros(5),
+            fta_drop: 1,
+            measurement_jitter_ns: 0.0,
+            max_correction_ns: 300.0,
+        };
+        let mut c = ClockEnsemble::new(cfg, 0);
+        c.offsets = vec![4_000.0, 0.0, -500.0, -1_500.0];
+        let d = c.detected_by(0);
+        assert_eq!(d, vec![3], "only the farthest receiver rejects");
+    }
+
+    #[test]
+    fn degrading_oscillator_walks_through_sos_into_benign() {
+        // Node 2's oscillator degrades to +140 ppm at round 10: it gains
+        // 350 ns per round but can only correct 300, so it walks out of the
+        // ensemble at ~50 ns/round. On its way out of spec it must pass
+        // through a phase where only *some* receivers reject it (SOS =
+        // asymmetric), before all do (benign).
+        let mut cfg = ClockConfig::healthy(4);
+        cfg.window_half = Nanos::from_micros(2);
+        cfg.measurement_jitter_ns = 120.0;
+        let clocks = ClockEnsemble::new(cfg, 7);
+        let mut pipeline = ClockDrivenPipeline::new(clocks).degrade_at(10, 1, 140.0);
+        let mut classes = Vec::new();
+        for round in 0..400u64 {
+            for slot in 0..4usize {
+                let ctx = TxCtx {
+                    round: RoundIndex::new(round),
+                    sender: NodeId::from_slot(slot),
+                    n_nodes: 4,
+                    abs_slot: round * 4 + slot as u64,
+                };
+                let class = pipeline.effect(&ctx).classify(4, NodeId::from_slot(slot));
+                if slot == 1 {
+                    classes.push(class);
+                }
+            }
+        }
+        assert!(
+            classes.contains(&SlotFaultClass::Asymmetric),
+            "the SOS zone was crossed"
+        );
+        assert_eq!(
+            *classes.last().unwrap(),
+            SlotFaultClass::Benign,
+            "fully out of spec in the end"
+        );
+        // Before the degradation everything was timely.
+        assert!(classes[..9].iter().all(|&c| c == SlotFaultClass::Correct));
+    }
+
+    #[test]
+    fn ensemble_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut c = ClockEnsemble::new(ClockConfig::healthy(4), seed);
+            for _ in 0..100 {
+                c.advance_round();
+            }
+            (0..4).map(|i| c.offset_ns(i)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "drop all measurements")]
+    fn rejects_excessive_fta_drop() {
+        let mut cfg = ClockConfig::healthy(4);
+        cfg.fta_drop = 2;
+        let _ = ClockEnsemble::new(cfg, 0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Error type of the simulator.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::time::NodeId;
+
+/// Errors returned by simulator configuration and execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration parameter was invalid (message explains which).
+    InvalidConfig(String),
+    /// A node id referenced a node that does not exist in the cluster.
+    UnknownNode(NodeId),
+    /// A job of the requested concrete type was not found on the node.
+    JobTypeMismatch(NodeId),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::UnknownNode(id) => write!(f, "unknown node {id}"),
+            SimError::JobTypeMismatch(id) => {
+                write!(f, "job on node {id} has a different concrete type")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = SimError::InvalidConfig("round length is zero".into());
+        assert_eq!(e.to_string(), "invalid configuration: round length is zero");
+        let e = SimError::UnknownNode(NodeId::new(7));
+        assert!(e.to_string().contains("N7"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,213 @@
+//! Nodes: a host computer plus its scheduled jobs.
+
+use crate::job::Job;
+use crate::schedule::NodeSchedule;
+use crate::time::{NodeId, RoundIndex};
+
+/// How a job's execution point within the round is determined.
+///
+/// The paper supports both cases (Sec. 10): with *static* scheduling the
+/// parameters `l_i` / `send_curr_round_i` are constants known at design
+/// time; with *dynamic* scheduling "we require the OS to provide this
+/// information to the application at run-time" — modelled here by a
+/// per-round offset function.
+pub enum ScheduleSource {
+    /// A fixed execution offset, identical in every round.
+    Static(NodeSchedule),
+    /// The OS decides the offset anew each round; the function is queried
+    /// once per round and its result handed to the job as its `l_i`.
+    Dynamic {
+        /// The hosting node.
+        node: NodeId,
+        /// Cluster size (offsets are normalized modulo this).
+        n_nodes: usize,
+        /// Per-round execution offset.
+        offset_of: Box<dyn FnMut(RoundIndex) -> usize + Send>,
+    },
+}
+
+impl ScheduleSource {
+    /// The hosting node.
+    pub fn node(&self) -> NodeId {
+        match self {
+            ScheduleSource::Static(s) => s.node(),
+            ScheduleSource::Dynamic { node, .. } => *node,
+        }
+    }
+
+    /// Resolves the concrete schedule for `round`.
+    pub fn resolve(&mut self, round: RoundIndex) -> NodeSchedule {
+        match self {
+            ScheduleSource::Static(s) => *s,
+            ScheduleSource::Dynamic {
+                node,
+                n_nodes,
+                offset_of,
+            } => NodeSchedule::new(*node, offset_of(round), *n_nodes)
+                .expect("node validated at registration"),
+        }
+    }
+}
+
+impl std::fmt::Debug for ScheduleSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleSource::Static(s) => f.debug_tuple("Static").field(s).finish(),
+            ScheduleSource::Dynamic { node, .. } => {
+                f.debug_tuple("Dynamic").field(node).finish()
+            }
+        }
+    }
+}
+
+/// One job together with its position in the node's internal schedule.
+pub struct JobSlot {
+    /// Where in the round the job executes.
+    pub schedule: ScheduleSource,
+    /// The job itself.
+    pub job: Box<dyn Job>,
+}
+
+impl std::fmt::Debug for JobSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobSlot")
+            .field("schedule", &self.schedule)
+            .field("job", &"<dyn Job>")
+            .finish()
+    }
+}
+
+/// A host computer: a node id and the jobs its internal schedule runs each
+/// round.
+///
+/// The simulator does not model the host's CPU; only the *points in the
+/// round* at which jobs read and write interface state matter for the
+/// protocol (via `l_i` and `send_curr_round_i`).
+pub struct Node {
+    id: NodeId,
+    jobs: Vec<JobSlot>,
+}
+
+impl Node {
+    /// Creates a node with no jobs.
+    pub fn new(id: NodeId) -> Self {
+        Node { id, jobs: Vec::new() }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Adds a job at a fixed schedule position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule belongs to a different node.
+    pub fn add_job(&mut self, schedule: NodeSchedule, job: Box<dyn Job>) {
+        assert_eq!(
+            schedule.node(),
+            self.id,
+            "schedule node must match hosting node"
+        );
+        self.jobs.push(JobSlot {
+            schedule: ScheduleSource::Static(schedule),
+            job,
+        });
+    }
+
+    /// Adds a job whose execution offset is decided per round (dynamic
+    /// scheduling).
+    pub fn add_dynamic_job(
+        &mut self,
+        n_nodes: usize,
+        offset_of: Box<dyn FnMut(RoundIndex) -> usize + Send>,
+        job: Box<dyn Job>,
+    ) {
+        self.jobs.push(JobSlot {
+            schedule: ScheduleSource::Dynamic {
+                node: self.id,
+                n_nodes,
+                offset_of,
+            },
+            job,
+        });
+    }
+
+    /// The node's jobs in insertion order.
+    pub fn jobs(&self) -> &[JobSlot] {
+        &self.jobs
+    }
+
+    /// Mutable access to the node's jobs.
+    pub fn jobs_mut(&mut self) -> &mut [JobSlot] {
+        &mut self.jobs
+    }
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node")
+            .field("id", &self.id)
+            .field("jobs", &self.jobs.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobCtx;
+
+    struct Nop;
+    impl Job for Nop {
+        fn execute(&mut self, _ctx: &mut JobCtx<'_>) {}
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn node_hosts_jobs_in_order() {
+        let id = NodeId::new(1);
+        let mut n = Node::new(id);
+        n.add_job(NodeSchedule::new(id, 0, 4).unwrap(), Box::new(Nop));
+        n.add_job(NodeSchedule::new(id, 2, 4).unwrap(), Box::new(Nop));
+        assert_eq!(n.jobs().len(), 2);
+        match &n.jobs()[1].schedule {
+            ScheduleSource::Static(s) => assert_eq!(s.l(), 2),
+            other => panic!("expected static schedule, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn node_rejects_foreign_schedule() {
+        let mut n = Node::new(NodeId::new(1));
+        n.add_job(
+            NodeSchedule::new(NodeId::new(2), 0, 4).unwrap(),
+            Box::new(Nop),
+        );
+    }
+
+    #[test]
+    fn dynamic_schedule_resolves_per_round() {
+        let id = NodeId::new(2);
+        let mut n = Node::new(id);
+        n.add_dynamic_job(
+            4,
+            Box::new(|r: RoundIndex| (r.as_u64() as usize) % 4),
+            Box::new(Nop),
+        );
+        let slot = &mut n.jobs_mut()[0];
+        let s0 = slot.schedule.resolve(RoundIndex::new(0));
+        let s3 = slot.schedule.resolve(RoundIndex::new(3));
+        assert_eq!(s0.l(), 0);
+        assert_eq!(s3.l(), 3);
+        assert_eq!(slot.schedule.node(), id);
+        // send_curr_round varies with the resolved offset: node 2 owns
+        // slot 1, so offset 0..=1 sends this round, 2..=3 the next.
+        assert!(s0.send_curr_round());
+        assert!(!s3.send_curr_round());
+    }
+}

@@ -1,0 +1,255 @@
+//! Global communication schedule and per-node job schedules.
+//!
+//! The paper (Sec. 3) distinguishes the **global communication schedule**
+//! (when each sending slot begins and terminates — executed by the
+//! communication controllers) from each node's **internal node schedule**
+//! (when jobs run). The add-on protocol does not constrain node scheduling;
+//! instead it uses two parameters derived from it:
+//!
+//! * `l_i ∈ [0, N-1]`: when the diagnostic job of node `i` reads the
+//!   interface variables in round `k`, variables `1..=l_i` carry values sent
+//!   in round `k` and variables `l_i+1..=N` carry values from round `k-1`;
+//! * `send_curr_round_i`: whether data written by the job in round `k` is
+//!   transmitted already in round `k` (true iff the job completes before the
+//!   sending slot of its own node).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+use crate::time::{Nanos, NodeId};
+
+/// A 0-based sending-slot position within a TDMA round.
+///
+/// Node `i` owns position `i - 1` ([`NodeId::slot`]).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SlotPosition(pub usize);
+
+impl SlotPosition {
+    /// The node that sends in this slot.
+    pub fn sender(self) -> NodeId {
+        NodeId::from_slot(self.0)
+    }
+}
+
+impl std::fmt::Display for SlotPosition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// The periodic global communication schedule of the cluster.
+///
+/// Every round contains exactly one sending slot per node, in node-id order,
+/// all of equal length (`round_length / n_nodes`). This mirrors the paper's
+/// prototype (4 slots per 2.5 ms round).
+///
+/// ```
+/// use tt_sim::{CommunicationSchedule, Nanos};
+/// let sched = CommunicationSchedule::new(4, Nanos::from_millis_f64(2.5)).unwrap();
+/// assert_eq!(sched.slot_length(), Nanos::from_micros(625));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommunicationSchedule {
+    n_nodes: usize,
+    round_length: Nanos,
+}
+
+impl CommunicationSchedule {
+    /// Creates a schedule for `n_nodes` nodes and the given round length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if `n_nodes < 2` (a TDMA round
+    /// needs at least two participants to diagnose anything) or the round
+    /// length is zero or not divisible into equal slots.
+    pub fn new(n_nodes: usize, round_length: Nanos) -> Result<Self, SimError> {
+        if n_nodes < 2 {
+            return Err(SimError::InvalidConfig(format!(
+                "need at least 2 nodes, got {n_nodes}"
+            )));
+        }
+        if round_length == Nanos::ZERO {
+            return Err(SimError::InvalidConfig("round length is zero".into()));
+        }
+        if !round_length.as_nanos().is_multiple_of(n_nodes as u64) {
+            return Err(SimError::InvalidConfig(format!(
+                "round length {round_length} not divisible into {n_nodes} equal slots"
+            )));
+        }
+        Ok(CommunicationSchedule {
+            n_nodes,
+            round_length,
+        })
+    }
+
+    /// Number of nodes (= sending slots per round).
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Physical length of one TDMA round (`T` in the paper).
+    pub fn round_length(&self) -> Nanos {
+        self.round_length
+    }
+
+    /// Physical length of one sending slot.
+    pub fn slot_length(&self) -> Nanos {
+        self.round_length / self.n_nodes as u64
+    }
+
+    /// Start offset of slot `p` within the round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn slot_offset(&self, p: SlotPosition) -> Nanos {
+        assert!(p.0 < self.n_nodes, "slot {p} out of range");
+        self.slot_length() * p.0 as u64
+    }
+
+    /// Converts a physical duration into whole rounds (floor).
+    pub fn rounds_in(&self, d: Nanos) -> u64 {
+        d.div_duration(self.round_length)
+    }
+
+    /// Converts a physical duration into whole slots (floor).
+    pub fn slots_in(&self, d: Nanos) -> u64 {
+        d.div_duration(self.slot_length())
+    }
+
+    /// Iterates over the slot positions of one round.
+    pub fn slots(&self) -> impl Iterator<Item = SlotPosition> {
+        (0..self.n_nodes).map(SlotPosition)
+    }
+}
+
+/// The internal schedule of one node: at which point inside the round its
+/// jobs execute.
+///
+/// We model execution points at slot granularity: `exec_offset = l` means
+/// "the job runs in round `k` after the first `l` sending slots of round `k`
+/// have completed (and their interface-variable updates were delivered),
+/// before slot `l` is transmitted". This is exactly the paper's `l_i`.
+///
+/// A job scheduled *after the last slot* of round `k` is, per the paper's
+/// footnote 1, treated as if executed in round `k+1` with `l = 0`;
+/// [`NodeSchedule::new`] performs this normalization (`exec_offset % N`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NodeSchedule {
+    node: NodeId,
+    exec_offset: usize,
+    n_nodes: usize,
+}
+
+impl NodeSchedule {
+    /// Creates the schedule of `node` in an `n_nodes` cluster with the job
+    /// executing after `exec_offset` slots of the round (normalized mod `N`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the node id exceeds `n_nodes`.
+    pub fn new(node: NodeId, exec_offset: usize, n_nodes: usize) -> Result<Self, SimError> {
+        if node.index() >= n_nodes {
+            return Err(SimError::InvalidConfig(format!(
+                "node {node} out of range for {n_nodes}-node cluster"
+            )));
+        }
+        Ok(NodeSchedule {
+            node,
+            exec_offset: exec_offset % n_nodes,
+            n_nodes,
+        })
+    }
+
+    /// The node this schedule belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The paper's `l_i`: how many slots of the current round the job has
+    /// already seen when it reads the interface variables.
+    pub fn l(&self) -> usize {
+        self.exec_offset
+    }
+
+    /// The paper's `send_curr_round_i` predicate: true iff the job completes
+    /// before the sending slot of its own node, so data written in round `k`
+    /// is already transmitted in round `k`.
+    pub fn send_curr_round(&self) -> bool {
+        self.exec_offset <= self.node.slot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched4() -> CommunicationSchedule {
+        CommunicationSchedule::new(4, Nanos::from_millis_f64(2.5)).unwrap()
+    }
+
+    #[test]
+    fn schedule_divides_round_into_slots() {
+        let s = sched4();
+        assert_eq!(s.n_nodes(), 4);
+        assert_eq!(s.slot_length(), Nanos::from_micros(625));
+        assert_eq!(s.slot_offset(SlotPosition(0)), Nanos::ZERO);
+        assert_eq!(s.slot_offset(SlotPosition(3)), Nanos::from_micros(1875));
+        assert_eq!(s.slots().count(), 4);
+    }
+
+    #[test]
+    fn schedule_duration_conversions() {
+        let s = sched4();
+        assert_eq!(s.rounds_in(Nanos::from_millis(10)), 4);
+        assert_eq!(s.rounds_in(Nanos::from_millis(9)), 3); // floor
+        assert_eq!(s.slots_in(Nanos::from_millis_f64(2.5)), 4);
+    }
+
+    #[test]
+    fn schedule_rejects_bad_configs() {
+        assert!(CommunicationSchedule::new(1, Nanos::from_millis(1)).is_err());
+        assert!(CommunicationSchedule::new(4, Nanos::ZERO).is_err());
+        assert!(CommunicationSchedule::new(3, Nanos::from_nanos(100)).is_err());
+    }
+
+    #[test]
+    fn slot_position_maps_to_sender() {
+        assert_eq!(SlotPosition(0).sender(), NodeId::new(1));
+        assert_eq!(SlotPosition(3).sender(), NodeId::new(4));
+    }
+
+    #[test]
+    fn node_schedule_derives_l_and_send_curr_round() {
+        // Node 3 (slot position 2) in a 4-node cluster.
+        let n3 = NodeId::new(3);
+        // Job at start of round: l = 0, completes before own slot.
+        let s = NodeSchedule::new(n3, 0, 4).unwrap();
+        assert_eq!(s.l(), 0);
+        assert!(s.send_curr_round());
+        // Job right before own slot: l = 2 (slots 0 and 1 seen), still sends
+        // in the current round.
+        let s = NodeSchedule::new(n3, 2, 4).unwrap();
+        assert_eq!(s.l(), 2);
+        assert!(s.send_curr_round());
+        // Job after own slot: data waits for the next round.
+        let s = NodeSchedule::new(n3, 3, 4).unwrap();
+        assert!(!s.send_curr_round());
+    }
+
+    #[test]
+    fn node_schedule_normalizes_end_of_round() {
+        // Footnote 1: executing after the last slot of round k is the same
+        // as executing at the start of round k+1 with l = 0.
+        let s = NodeSchedule::new(NodeId::new(2), 4, 4).unwrap();
+        assert_eq!(s.l(), 0);
+        assert!(s.send_curr_round());
+    }
+
+    #[test]
+    fn node_schedule_rejects_out_of_range_node() {
+        assert!(NodeSchedule::new(NodeId::new(5), 0, 4).is_err());
+    }
+}

@@ -1,0 +1,309 @@
+//! Simulated time and identifier newtypes.
+//!
+//! The simulator has no wall clock: time advances in whole TDMA rounds and
+//! sending slots. [`Nanos`] maps simulated rounds back to physical time for
+//! reporting (the paper uses rounds of `T = 2.5 ms`).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A span of simulated time in integer nanoseconds.
+///
+/// All latency arithmetic in the reproduction is exact integer arithmetic on
+/// nanoseconds, so results are deterministic and free of float drift.
+///
+/// ```
+/// use tt_sim::Nanos;
+/// let round = Nanos::from_millis_f64(2.5);
+/// assert_eq!(round.as_nanos(), 2_500_000);
+/// assert_eq!((round * 4).as_secs_f64(), 0.01);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Nanos(u64);
+
+impl Nanos {
+    /// Zero duration.
+    pub const ZERO: Nanos = Nanos(0);
+
+    /// Creates a duration from integer nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Nanos(ns)
+    }
+
+    /// Creates a duration from integer microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Nanos(us * 1_000)
+    }
+
+    /// Creates a duration from integer milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// Creates a duration from fractional milliseconds, rounding to the
+    /// nearest nanosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms` is negative or not finite.
+    pub fn from_millis_f64(ms: f64) -> Self {
+        assert!(ms.is_finite() && ms >= 0.0, "invalid duration: {ms}");
+        Nanos((ms * 1_000_000.0).round() as u64)
+    }
+
+    /// Creates a duration from integer seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Nanos(s * 1_000_000_000)
+    }
+
+    /// Returns the raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration in (possibly fractional) milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Returns the duration in (possibly fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Saturating subtraction.
+    pub const fn saturating_sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Integer division by another duration, i.e. "how many `rhs` fit".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    pub const fn div_duration(self, rhs: Nanos) -> u64 {
+        self.0 / rhs.0
+    }
+}
+
+impl std::ops::Add for Nanos {
+    type Output = Nanos;
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::Sub for Nanos {
+    type Output = Nanos;
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 - rhs.0)
+    }
+}
+
+impl std::ops::Mul<u64> for Nanos {
+    type Output = Nanos;
+    fn mul(self, rhs: u64) -> Nanos {
+        Nanos(self.0 * rhs)
+    }
+}
+
+impl std::ops::Div<u64> for Nanos {
+    type Output = Nanos;
+    fn div(self, rhs: u64) -> Nanos {
+        Nanos(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+/// The identifier of a node, in `1..=N`, assigned following the order of the
+/// sending slots in the round (paper, Sec. 3).
+///
+/// Node `i` sends in slot position `i - 1` (0-based). Use
+/// [`NodeId::slot`] / [`NodeId::from_slot`] to convert.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is zero (ids are 1-based, as in the paper).
+    pub fn new(id: u32) -> Self {
+        assert!(id >= 1, "node ids are 1-based");
+        NodeId(id)
+    }
+
+    /// The 1-based id.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// The 0-based sending-slot position of this node within a round.
+    pub const fn slot(self) -> usize {
+        (self.0 - 1) as usize
+    }
+
+    /// The node that owns slot position `slot` (0-based).
+    pub fn from_slot(slot: usize) -> Self {
+        NodeId(slot as u32 + 1)
+    }
+
+    /// The 0-based index of this node in per-node vectors.
+    pub const fn index(self) -> usize {
+        (self.0 - 1) as usize
+    }
+
+    /// Iterates over all node ids of an `n`-node cluster, in slot order.
+    pub fn all(n: usize) -> impl Iterator<Item = NodeId> {
+        (1..=n as u32).map(NodeId)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// The index of a TDMA round since the start of the simulation (0-based).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct RoundIndex(u64);
+
+impl RoundIndex {
+    /// Round zero, the first simulated round.
+    pub const ZERO: RoundIndex = RoundIndex(0);
+
+    /// Creates a round index.
+    pub const fn new(r: u64) -> Self {
+        RoundIndex(r)
+    }
+
+    /// The raw round number.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The following round.
+    pub const fn next(self) -> RoundIndex {
+        RoundIndex(self.0 + 1)
+    }
+
+    /// The round `k` rounds earlier, or `None` before the start of time.
+    pub const fn checked_sub(self, k: u64) -> Option<RoundIndex> {
+        match self.0.checked_sub(k) {
+            Some(r) => Some(RoundIndex(r)),
+            None => None,
+        }
+    }
+
+    /// Physical start time of this round given the round length `t`.
+    pub fn start_time(self, t: Nanos) -> Nanos {
+        t * self.0
+    }
+}
+
+impl std::ops::Add<u64> for RoundIndex {
+    type Output = RoundIndex;
+    fn add(self, rhs: u64) -> RoundIndex {
+        RoundIndex(self.0 + rhs)
+    }
+}
+
+impl std::ops::Sub<RoundIndex> for RoundIndex {
+    type Output = u64;
+    fn sub(self, rhs: RoundIndex) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for RoundIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nanos_constructors_agree() {
+        assert_eq!(Nanos::from_micros(2500), Nanos::from_millis_f64(2.5));
+        assert_eq!(Nanos::from_millis(1), Nanos::from_nanos(1_000_000));
+        assert_eq!(Nanos::from_secs(1), Nanos::from_millis(1000));
+    }
+
+    #[test]
+    fn nanos_arithmetic() {
+        let t = Nanos::from_millis_f64(2.5);
+        assert_eq!(t * 4, Nanos::from_millis(10));
+        assert_eq!((t * 4) / 4, t);
+        assert_eq!(t + t, Nanos::from_millis(5));
+        assert_eq!(Nanos::from_millis(5) - t, t);
+        assert_eq!(Nanos::from_millis(1).saturating_sub(t), Nanos::ZERO);
+        assert_eq!(Nanos::from_secs(1).div_duration(t), 400);
+    }
+
+    #[test]
+    fn nanos_display_picks_unit() {
+        assert_eq!(Nanos::from_nanos(17).to_string(), "17ns");
+        assert_eq!(Nanos::from_millis_f64(2.5).to_string(), "2.500ms");
+        assert_eq!(Nanos::from_secs(3).to_string(), "3.000s");
+    }
+
+    #[test]
+    fn node_id_slot_roundtrip() {
+        for n in 1..10u32 {
+            let id = NodeId::new(n);
+            assert_eq!(NodeId::from_slot(id.slot()), id);
+            assert_eq!(id.index(), (n - 1) as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn node_id_zero_rejected() {
+        let _ = NodeId::new(0);
+    }
+
+    #[test]
+    fn node_id_all_enumerates_in_slot_order() {
+        let ids: Vec<_> = NodeId::all(4).collect();
+        assert_eq!(ids.len(), 4);
+        assert_eq!(ids[0], NodeId::new(1));
+        assert_eq!(ids[3].slot(), 3);
+    }
+
+    #[test]
+    fn round_index_arithmetic() {
+        let r = RoundIndex::new(5);
+        assert_eq!(r.next(), RoundIndex::new(6));
+        assert_eq!(r.checked_sub(2), Some(RoundIndex::new(3)));
+        assert_eq!(r.checked_sub(6), None);
+        assert_eq!(r + 3, RoundIndex::new(8));
+        assert_eq!(RoundIndex::new(8) - r, 3);
+        assert_eq!(
+            r.start_time(Nanos::from_millis_f64(2.5)),
+            Nanos::from_millis_f64(12.5)
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! ASCII timeline rendering of a simulation's fault trace.
+//!
+//! Produces a compact rounds × slots chart of what happened on the bus —
+//! the textual analogue of the round diagrams in the paper's figures:
+//!
+//! ```text
+//! round | s0 s1 s2 s3
+//! ------+------------
+//! r9    |  .  .  .  .
+//! r10   |  .  B  .  .
+//! r11   |  .  .  A  .
+//! ```
+//!
+//! `.` = correct, `B` = benign, `M` = symmetric malicious, `A` =
+//! asymmetric.
+
+use crate::bus::SlotFaultClass;
+use crate::time::{NodeId, RoundIndex};
+use crate::trace::Trace;
+
+/// Glyph for one slot outcome.
+fn glyph(class: SlotFaultClass) -> char {
+    match class {
+        SlotFaultClass::Correct => '.',
+        SlotFaultClass::Benign => 'B',
+        SlotFaultClass::SymmetricMalicious => 'M',
+        SlotFaultClass::Asymmetric => 'A',
+    }
+}
+
+/// Renders rounds `from..=to` of a trace as an ASCII chart.
+///
+/// Requires the trace to have been recorded with at least
+/// [`crate::TraceMode::Anomalies`] (absent records render as correct).
+///
+/// ```
+/// use tt_sim::timeline::render;
+/// use tt_sim::{NodeId, RoundIndex, SlotFaultClass, Trace, TraceMode};
+///
+/// let mut trace = Trace::new(TraceMode::Anomalies);
+/// trace.record(RoundIndex::new(1), NodeId::new(2), SlotFaultClass::Benign);
+/// let chart = render(&trace, 4, RoundIndex::new(0), RoundIndex::new(1));
+/// assert!(chart.contains("r1    |  .  B  .  ."));
+/// ```
+pub fn render(trace: &Trace, n_nodes: usize, from: RoundIndex, to: RoundIndex) -> String {
+    let mut out = String::from("round | ");
+    for p in 0..n_nodes {
+        out.push_str(&format!("s{p} "));
+    }
+    out.push('\n');
+    out.push_str(&format!("------+{}\n", "-".repeat(3 * n_nodes)));
+    let mut r = from;
+    while r <= to {
+        out.push_str(&format!("r{:<5}|", r.as_u64()));
+        for p in 0..n_nodes {
+            let class = trace.class_of(r, NodeId::from_slot(p));
+            out.push_str(&format!("  {}", glyph(class)));
+        }
+        out.push('\n');
+        r = r.next();
+    }
+    out
+}
+
+/// Renders only the rounds around recorded anomalies (with `context` rounds
+/// of padding), keeping charts of long runs short.
+pub fn render_anomalies(trace: &Trace, n_nodes: usize, context: u64) -> String {
+    let Some(last) = trace.last_round() else {
+        return String::from("(no anomalies recorded)\n");
+    };
+    let first = trace
+        .records()
+        .iter()
+        .map(|rec| rec.round)
+        .min()
+        .unwrap_or(last);
+    let from = RoundIndex::new(first.as_u64().saturating_sub(context));
+    let to = last + context;
+    render(trace, n_nodes, from, to)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceMode;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new(TraceMode::Anomalies);
+        t.record(RoundIndex::new(5), NodeId::new(1), SlotFaultClass::Benign);
+        t.record(
+            RoundIndex::new(5),
+            NodeId::new(3),
+            SlotFaultClass::Asymmetric,
+        );
+        t.record(
+            RoundIndex::new(6),
+            NodeId::new(2),
+            SlotFaultClass::SymmetricMalicious,
+        );
+        t
+    }
+
+    #[test]
+    fn renders_glyphs_in_slot_order() {
+        let chart = render(&sample(), 4, RoundIndex::new(5), RoundIndex::new(6));
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].starts_with("r5"));
+        assert!(lines[2].contains("B  .  A  ."), "{chart}");
+        assert!(lines[3].contains(".  M  .  ."), "{chart}");
+    }
+
+    #[test]
+    fn anomaly_rendering_pads_context() {
+        let chart = render_anomalies(&sample(), 4, 1);
+        assert!(chart.contains("r4"), "{chart}");
+        assert!(chart.contains("r7"), "{chart}");
+        assert!(!chart.contains("r3"), "{chart}");
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        let t = Trace::new(TraceMode::Anomalies);
+        assert!(render_anomalies(&t, 4, 2).contains("no anomalies"));
+    }
+}

@@ -1,0 +1,302 @@
+//! Ground-truth trace of injected faults, for oracles and debugging.
+//!
+//! The trace records what the fault pipeline actually did to each sending
+//! slot. It is the experiment harness's source of truth when checking the
+//! protocol's correctness/completeness/consistency properties: the protocol
+//! itself never reads it.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bus::{FaultPipeline, Reception, SlotEffect, SlotFaultClass, TxCtx, TxOutcome};
+use crate::time::{NodeId, RoundIndex};
+
+/// How much the trace records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// Record every non-`Correct` slot (compact; correct slots implicit).
+    #[default]
+    Anomalies,
+    /// Record every slot, including correct ones (verbose; for debugging).
+    Full,
+    /// Record nothing (long tuning runs).
+    Off,
+}
+
+/// A serializable, replayable record of what a slot's transmission did —
+/// reconstructed from the per-receiver outcome, so it captures the fault
+/// *pattern* (who detected, what wrong bytes were accepted) independent of
+/// the payload the protocol happened to send.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EffectRecord {
+    /// Delivered correctly everywhere.
+    Correct,
+    /// Locally detected by every receiver.
+    Benign,
+    /// All receivers accepted these (wrong) bytes.
+    Malicious(Vec<u8>),
+    /// Detected by exactly these receiver indices; the rest received fine.
+    Asymmetric {
+        /// 0-based receiver indices that detected the fault.
+        detected_by: Vec<usize>,
+        /// The sender's collision-detector observation.
+        collision_ok: bool,
+    },
+}
+
+impl EffectRecord {
+    /// Reconstructs an equivalent effect from a transmission outcome.
+    ///
+    /// Mixed outcomes that a single [`SlotEffect`] cannot express (e.g. a
+    /// replicated bus delivering different valid payloads to different
+    /// receivers) are approximated by their dominant class.
+    pub fn from_outcome(outcome: &TxOutcome, true_payload: &[u8], sender: NodeId) -> Self {
+        match outcome.class {
+            SlotFaultClass::Correct => EffectRecord::Correct,
+            SlotFaultClass::Benign => EffectRecord::Benign,
+            SlotFaultClass::SymmetricMalicious => {
+                let wrong = outcome
+                    .receptions
+                    .iter()
+                    .find_map(|r| match r {
+                        Reception::Valid(p) if p != true_payload => Some(p.to_vec()),
+                        _ => None,
+                    })
+                    .unwrap_or_default();
+                EffectRecord::Malicious(wrong)
+            }
+            SlotFaultClass::Asymmetric => EffectRecord::Asymmetric {
+                detected_by: outcome
+                    .receptions
+                    .iter()
+                    .enumerate()
+                    .filter(|(rx, r)| *rx != sender.index() && !r.is_valid())
+                    .map(|(rx, _)| rx)
+                    .collect(),
+                collision_ok: outcome.collision_ok,
+            },
+        }
+    }
+
+    /// The [`SlotEffect`] that re-applies this record.
+    pub fn to_effect(&self) -> SlotEffect {
+        match self {
+            EffectRecord::Correct => SlotEffect::Correct,
+            EffectRecord::Benign => SlotEffect::Benign,
+            EffectRecord::Malicious(bytes) => SlotEffect::SymmetricMalicious {
+                payload: bytes::Bytes::from(bytes.clone()),
+            },
+            EffectRecord::Asymmetric {
+                detected_by,
+                collision_ok,
+            } => SlotEffect::Asymmetric {
+                detected_by: detected_by.clone(),
+                collision_ok: *collision_ok,
+            },
+        }
+    }
+}
+
+/// One recorded slot outcome.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotRecord {
+    /// The round of the slot.
+    pub round: RoundIndex,
+    /// The sender owning the slot.
+    pub sender: NodeId,
+    /// Ground-truth fault class applied by the pipeline.
+    pub class: SlotFaultClass,
+    /// The replayable effect, recorded in [`TraceMode::Full`] (and for
+    /// anomalies in [`TraceMode::Anomalies`]).
+    pub effect: Option<EffectRecord>,
+}
+
+/// The ground-truth fault trace of a simulation run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    records: Vec<SlotRecord>,
+    #[serde(skip)]
+    mode: TraceModeSer,
+}
+
+// TraceMode is not serialized; wrap to keep Default derivable.
+type TraceModeSer = TraceMode;
+
+impl Trace {
+    /// Creates an empty trace with the given mode.
+    pub fn new(mode: TraceMode) -> Self {
+        Trace {
+            records: Vec::new(),
+            mode,
+        }
+    }
+
+    /// Whether a record of `class` would be retained under this mode.
+    pub fn wants(&self, class: SlotFaultClass) -> bool {
+        match self.mode {
+            TraceMode::Off => false,
+            TraceMode::Anomalies => class != SlotFaultClass::Correct,
+            TraceMode::Full => true,
+        }
+    }
+
+    /// Records one slot outcome, subject to the trace mode.
+    pub fn record(&mut self, round: RoundIndex, sender: NodeId, class: SlotFaultClass) {
+        self.record_with_effect(round, sender, class, None);
+    }
+
+    /// Records one slot outcome together with its replayable effect.
+    pub fn record_with_effect(
+        &mut self,
+        round: RoundIndex,
+        sender: NodeId,
+        class: SlotFaultClass,
+        effect: Option<EffectRecord>,
+    ) {
+        match self.mode {
+            TraceMode::Off => {}
+            TraceMode::Anomalies => {
+                if class != SlotFaultClass::Correct {
+                    self.records.push(SlotRecord {
+                        round,
+                        sender,
+                        class,
+                        effect,
+                    });
+                }
+            }
+            TraceMode::Full => self.records.push(SlotRecord {
+                round,
+                sender,
+                class,
+                effect,
+            }),
+        }
+    }
+
+    /// A pipeline that replays this trace's recorded effects: each slot
+    /// gets its recorded effect (or `Correct` when absent), so a captured
+    /// run — from this simulator or from hardware instrumentation imported
+    /// into [`SlotRecord`]s — can be re-driven deterministically against
+    /// any protocol configuration.
+    pub fn replay_pipeline(&self) -> ReplayPipeline {
+        ReplayPipeline {
+            records: self
+                .records
+                .iter()
+                .filter_map(|r| {
+                    r.effect
+                        .as_ref()
+                        .map(|e| ((r.round, r.sender), e.clone()))
+                })
+                .collect(),
+        }
+    }
+
+    /// All recorded slots, in transmission order.
+    pub fn records(&self) -> &[SlotRecord] {
+        &self.records
+    }
+
+    /// Ground-truth fault class of the slot of `sender` in `round`.
+    ///
+    /// With [`TraceMode::Anomalies`], absent records mean `Correct`.
+    pub fn class_of(&self, round: RoundIndex, sender: NodeId) -> SlotFaultClass {
+        self.records
+            .iter()
+            .rev()
+            .find(|r| r.round == round && r.sender == sender)
+            .map(|r| r.class)
+            .unwrap_or(SlotFaultClass::Correct)
+    }
+
+    /// The set of senders whose slot in `round` was benign faulty
+    /// (locally detectable by all receivers).
+    pub fn benign_in(&self, round: RoundIndex) -> Vec<NodeId> {
+        self.records
+            .iter()
+            .filter(|r| r.round == round && r.class == SlotFaultClass::Benign)
+            .map(|r| r.sender)
+            .collect()
+    }
+
+    /// Count of faulty (non-correct) slots in `round`.
+    pub fn faults_in(&self, round: RoundIndex) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.round == round && r.class != SlotFaultClass::Correct)
+            .count()
+    }
+
+    /// The highest recorded round, if any record exists.
+    pub fn last_round(&self) -> Option<RoundIndex> {
+        self.records.iter().map(|r| r.round).max()
+    }
+}
+
+/// A [`FaultPipeline`] replaying recorded effects (see
+/// [`Trace::replay_pipeline`]).
+#[derive(Debug, Clone, Default)]
+pub struct ReplayPipeline {
+    records: std::collections::HashMap<(RoundIndex, NodeId), EffectRecord>,
+}
+
+impl FaultPipeline for ReplayPipeline {
+    fn effect(&mut self, ctx: &TxCtx) -> SlotEffect {
+        self.records
+            .get(&(ctx.round, ctx.sender))
+            .map(EffectRecord::to_effect)
+            .unwrap_or(SlotEffect::Correct)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anomalies_mode_skips_correct_slots() {
+        let mut t = Trace::new(TraceMode::Anomalies);
+        t.record(RoundIndex::new(1), NodeId::new(1), SlotFaultClass::Correct);
+        t.record(RoundIndex::new(1), NodeId::new(2), SlotFaultClass::Benign);
+        assert_eq!(t.records().len(), 1);
+        assert_eq!(
+            t.class_of(RoundIndex::new(1), NodeId::new(1)),
+            SlotFaultClass::Correct
+        );
+        assert_eq!(
+            t.class_of(RoundIndex::new(1), NodeId::new(2)),
+            SlotFaultClass::Benign
+        );
+    }
+
+    #[test]
+    fn full_mode_records_everything_and_off_nothing() {
+        let mut full = Trace::new(TraceMode::Full);
+        let mut off = Trace::new(TraceMode::Off);
+        for t in [&mut full, &mut off] {
+            t.record(RoundIndex::new(0), NodeId::new(1), SlotFaultClass::Correct);
+        }
+        assert_eq!(full.records().len(), 1);
+        assert_eq!(off.records().len(), 0);
+    }
+
+    #[test]
+    fn queries_by_round() {
+        let mut t = Trace::new(TraceMode::Anomalies);
+        t.record(RoundIndex::new(2), NodeId::new(3), SlotFaultClass::Benign);
+        t.record(RoundIndex::new(2), NodeId::new(4), SlotFaultClass::Benign);
+        t.record(
+            RoundIndex::new(3),
+            NodeId::new(1),
+            SlotFaultClass::Asymmetric,
+        );
+        assert_eq!(
+            t.benign_in(RoundIndex::new(2)),
+            vec![NodeId::new(3), NodeId::new(4)]
+        );
+        assert_eq!(t.faults_in(RoundIndex::new(2)), 2);
+        assert_eq!(t.faults_in(RoundIndex::new(3)), 1);
+        assert_eq!(t.faults_in(RoundIndex::new(4)), 0);
+        assert_eq!(t.last_round(), Some(RoundIndex::new(3)));
+    }
+}

@@ -1,0 +1,84 @@
+//! Communication blackout: a long transient burst kills every slot of four
+//! whole TDMA rounds — including the rounds in which the local syndromes
+//! about the blackout would be disseminated. Lemma 3: diagnosis of *other*
+//! nodes still works from each node's own local syndrome, while
+//! *self*-diagnosis needs a correct local collision detector — shown here
+//! by breaking one detector and watching that node wrongly acquit itself.
+//!
+//! Run with: `cargo run -p tt-bench --example blackout`
+
+use tt_core::{DiagJob, ProtocolConfig};
+use tt_sim::{
+    ClusterBuilder, CollisionDetectorMode, NodeId, RoundIndex, SlotEffect, TxCtx,
+};
+
+/// Rounds 10..14 fully lost: b = N for four consecutive rounds, so the
+/// dissemination of the syndromes about rounds 10-11 is lost as well.
+fn blackout_rounds(ctx: &TxCtx) -> SlotEffect {
+    if (10..14).contains(&ctx.round.as_u64()) {
+        SlotEffect::Benign
+    } else {
+        SlotEffect::Correct
+    }
+}
+
+fn run(broken_detector: Option<NodeId>) -> Result<bool, Box<dyn std::error::Error>> {
+    let config = ProtocolConfig::builder(4)
+        .penalty_threshold(1_000)
+        .reward_threshold(1_000)
+        .build()?;
+    let mut cluster = ClusterBuilder::new(4).build_with_jobs(
+        |id| Box::new(DiagJob::new(id, config.clone())),
+        Box::new(blackout_rounds),
+    );
+    if let Some(node) = broken_detector {
+        cluster
+            .controller_mut(node)?
+            .set_collision_detector_mode(CollisionDetectorMode::StuckOk);
+    }
+    cluster.run_rounds(22);
+    println!(
+        "Verdicts for diagnosed round 11 ({}):",
+        match broken_detector {
+            Some(n) => format!("{n}'s collision detector stuck at OK"),
+            None => "all collision detectors correct".into(),
+        }
+    );
+    let mut verdicts = Vec::new();
+    for obs in NodeId::all(4) {
+        let d: &DiagJob = cluster.job_as(obs)?;
+        let health = &d
+            .health_for(RoundIndex::new(11))
+            .expect("round 11 diagnosed")
+            .health;
+        let hv: String = health.iter().map(|&b| if b { '1' } else { '0' }).collect();
+        println!("  as seen by {obs}: {hv}");
+        verdicts.push(health.clone());
+    }
+    let consistent = verdicts.windows(2).all(|w| w[0] == w[1]);
+    println!(
+        "  -> all nodes agree: {consistent}\n"
+    );
+    Ok(consistent)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "Four TDMA rounds lost (10..13). The syndromes about rounds 10-11 are\n\
+         themselves swallowed by the blackout, so every matrix column is ε and\n\
+         self-diagnosis must fall back to the local collision detector.\n"
+    );
+    // With correct collision detectors every node convicts everyone —
+    // including itself — consistently (Lemma 3, sufficiency).
+    let ok = run(None)?;
+    assert!(ok, "correct collision detectors give consistent diagnosis");
+    // With node 2's detector stuck at OK, node 2 wrongly acquits itself
+    // while everyone else convicts it (Lemma 3, necessity).
+    let ok = run(Some(NodeId::new(2)))?;
+    assert!(!ok, "a broken collision detector breaks self-diagnosis");
+    println!(
+        "A correct local collision detector is necessary (and sufficient) for\n\
+         self-diagnosis during communication blackouts — exactly Lemma 3."
+    );
+    Ok(())
+}

@@ -1,0 +1,11 @@
+//! Compares the paper's penalty/reward filter against its ancestor
+//! (α-count) and against a TTP/C-style built-in membership with no
+//! filtering at all — on both availability (abnormal transients must not
+//! kill healthy nodes) and detection (unhealthy intermittent nodes must be
+//! isolated).
+//!
+//! Run with: `cargo run -p tt-bench --example filter_comparison`
+
+fn main() {
+    println!("{}", tt_bench::comparison_report());
+}

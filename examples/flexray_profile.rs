@@ -1,0 +1,101 @@
+//! Platform portability (paper Sec. 10): the add-on protocol targets "any
+//! TT system" — FlexRay, TTP/C, SAFEbus, TT-Ethernet. The paper's prototype
+//! ran a TTP-like 4-node, 2.5 ms profile; this example re-runs the *same
+//! tuning procedure* on a FlexRay-flavoured profile (16 nodes in the static
+//! segment, 5 ms communication cycle) and shows how the constants — but not
+//! the procedure — change.
+//!
+//! Run with: `cargo run -p tt-bench --example flexray_profile`
+
+use tt_analysis::{measure_time_to_isolation, tune, CriticalityClass, DomainSetup};
+use tt_fault::TransientScenario;
+use tt_sim::Nanos;
+
+fn flexray_setup() -> DomainSetup {
+    DomainSetup {
+        domain: "Automotive (FlexRay profile)".into(),
+        classes: vec![
+            CriticalityClass {
+                name: "Safety Critical (SC)".into(),
+                example: "X-by-wire".into(),
+                tolerated_outage: Nanos::from_millis(20),
+                tolerated_outage_hi: Some(Nanos::from_millis(50)),
+            },
+            CriticalityClass {
+                name: "Safety Relevant (SR)".into(),
+                example: "Stability control".into(),
+                tolerated_outage: Nanos::from_millis(100),
+                tolerated_outage_hi: Some(Nanos::from_millis(200)),
+            },
+            CriticalityClass {
+                name: "Non Safety Relevant (NSR)".into(),
+                example: "Door control".into(),
+                tolerated_outage: Nanos::from_millis(500),
+                tolerated_outage_hi: Some(Nanos::from_millis(1000)),
+            },
+        ],
+        n_nodes: 16,
+        round: Nanos::from_millis(5), // FlexRay communication cycle
+        reward_threshold: 500_000,    // same ~42 min horizon at 5 ms rounds
+    }
+}
+
+fn main() {
+    let setup = flexray_setup();
+    let tuned = tune(&setup);
+    println!(
+        "{}: {} nodes, {} cycles",
+        tuned.domain, setup.n_nodes, tuned.round
+    );
+    println!(
+        "\nSame tolerated outages, same procedure, new constants (paper: P = 197 at 2.5 ms):"
+    );
+    for row in &tuned.rows {
+        println!(
+            "  {:<28} outage >= {:<9} budget {:>3}  =>  s = {}",
+            row.class.name,
+            format!("{}", row.class.tolerated_outage),
+            row.penalty_budget,
+            row.criticality
+        );
+    }
+    println!(
+        "  P = {}   R = {:.0e}  (R x T = {:.0} min, the Fig. 3 horizon preserved)",
+        tuned.penalty_threshold,
+        tuned.reward_threshold as f64,
+        (tuned.round * tuned.reward_threshold).as_secs_f64() / 60.0
+    );
+    // Half the rounds fit in each budget at 5 ms, so every p_i halves
+    // (minus the fixed 3-round lag): P = 500/5 - 3 = 97.
+    assert_eq!(tuned.penalty_threshold, 97);
+    assert_eq!(
+        tuned.rows.iter().map(|r| r.criticality).collect::<Vec<_>>(),
+        vec![97, 6, 1] // SC budget is only 1 round at 5 ms: s = ceil(97/1)
+    );
+
+    // And the availability behaviour transfers: the blinking light still
+    // costs the SC class its node first.
+    let blinking = TransientScenario::blinking_light();
+    println!("\nBlinking-light scenario on the FlexRay profile:");
+    for row in &tuned.rows {
+        let m = measure_time_to_isolation(
+            &blinking,
+            row.criticality,
+            tuned.penalty_threshold,
+            tuned.reward_threshold,
+            tuned.round,
+            setup.n_nodes,
+        );
+        match m.time_to_isolation {
+            Some(t) => println!(
+                "  {:<28} isolated after {:>7.3} s",
+                row.class.name,
+                t.as_secs_f64()
+            ),
+            None => println!("  {:<28} survives the whole scenario", row.class.name),
+        }
+    }
+    println!(
+        "\nThe protocol and the procedure are unchanged — only the platform profile\n(N, T) differs. That is the portability claim of Sec. 10, exercised."
+    );
+}

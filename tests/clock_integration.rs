@@ -1,0 +1,105 @@
+//! Integration of the clock-synchronization substrate with the diagnostic
+//! protocol: SOS faults emerge from clock physics and are handled per the
+//! paper's extended fault model.
+
+use tt_core::{DiagJob, ProtocolConfig};
+use tt_sim::{
+    ClockConfig, ClockDrivenPipeline, ClockEnsemble, ClusterBuilder, Nanos, NodeId,
+    SlotFaultClass, TraceMode,
+};
+
+fn degraded_cluster(seed: u64, p: u64) -> tt_sim::Cluster {
+    let mut clock_cfg = ClockConfig::healthy(4);
+    clock_cfg.window_half = Nanos::from_micros(2);
+    clock_cfg.measurement_jitter_ns = 120.0;
+    let clocks = ClockEnsemble::new(clock_cfg, seed);
+    let pipeline = ClockDrivenPipeline::new(clocks).degrade_at(10, 1, 140.0);
+    let config = ProtocolConfig::builder(4)
+        .penalty_threshold(p)
+        .reward_threshold(1_000_000)
+        .build()
+        .unwrap();
+    let mut cluster = ClusterBuilder::new(4)
+        .trace_mode(TraceMode::Anomalies)
+        .build_with_jobs(
+            |id| Box::new(DiagJob::new(id, config.clone())),
+            Box::new(pipeline),
+        );
+    cluster.run_rounds(400);
+    cluster
+}
+
+#[test]
+fn degrading_oscillator_is_isolated_by_the_protocol() {
+    let cluster = degraded_cluster(7, 40);
+    // Physics produced both asymmetric (SOS zone) and benign faults.
+    let classes: Vec<SlotFaultClass> = cluster
+        .trace()
+        .records()
+        .iter()
+        .filter(|r| r.sender == NodeId::new(2))
+        .map(|r| r.class)
+        .collect();
+    assert!(classes.contains(&SlotFaultClass::Asymmetric), "SOS crossed");
+    assert!(classes.contains(&SlotFaultClass::Benign), "fully out of spec");
+    // Every obedient node isolated exactly the unhealthy one, consistently.
+    let mut decided = Vec::new();
+    for obs in [1u32, 3, 4] {
+        let d: &DiagJob = cluster.job_as(NodeId::new(obs)).unwrap();
+        assert!(!d.is_active(NodeId::new(2)), "node {obs}");
+        assert!(d.is_active(NodeId::new(obs)));
+        assert_eq!(d.isolations().len(), 1, "node {obs}");
+        decided.push(d.isolations()[0].decided_at);
+    }
+    assert!(decided.windows(2).all(|w| w[0] == w[1]), "same round");
+}
+
+#[test]
+fn healthy_ensemble_never_triggers_the_protocol() {
+    let clocks = ClockEnsemble::new(ClockConfig::healthy(4), 3);
+    let pipeline = ClockDrivenPipeline::new(clocks);
+    let config = ProtocolConfig::builder(4)
+        .penalty_threshold(5)
+        .reward_threshold(100)
+        .build()
+        .unwrap();
+    let mut cluster = ClusterBuilder::new(4)
+        .trace_mode(TraceMode::Anomalies)
+        .build_with_jobs(
+            |id| Box::new(DiagJob::new(id, config.clone())),
+            Box::new(pipeline),
+        );
+    cluster.run_rounds(1_000);
+    assert!(cluster.trace().records().is_empty(), "no mistimed frames");
+    for id in NodeId::all(4) {
+        let d: &DiagJob = cluster.job_as(id).unwrap();
+        assert!(NodeId::all(4).all(|x| d.is_active(x)));
+        assert_eq!(d.penalty(NodeId::new(2)), 0);
+    }
+}
+
+#[test]
+fn sos_runs_are_deterministic_per_seed() {
+    let fingerprint = |seed: u64| {
+        let cluster = degraded_cluster(seed, 40);
+        let d: &DiagJob = cluster.job_as(NodeId::new(1)).unwrap();
+        (
+            cluster.trace().records().len(),
+            d.isolations().first().map(|i| i.decided_at),
+        )
+    };
+    assert_eq!(fingerprint(7), fingerprint(7));
+    assert_ne!(fingerprint(7), fingerprint(8));
+}
+
+#[test]
+fn penalty_threshold_delays_but_does_not_prevent_isolation() {
+    let early = degraded_cluster(7, 10);
+    let late = degraded_cluster(7, 200);
+    let e: &DiagJob = early.job_as(NodeId::new(1)).unwrap();
+    let l: &DiagJob = late.job_as(NodeId::new(1)).unwrap();
+    let e_at = e.isolations()[0].decided_at.as_u64();
+    let l_at = l.isolations()[0].decided_at.as_u64();
+    assert!(e_at < l_at, "higher P waits longer: {e_at} vs {l_at}");
+    assert!(!l.is_active(NodeId::new(2)), "but the unhealthy node still goes");
+}

@@ -1,0 +1,291 @@
+//! End-to-end integration tests spanning tt-sim, tt-core, tt-fault and
+//! tt-analysis: full clusters running the protocols against injected
+//! faults, checked by the ground-truth property oracles.
+
+use tt_core::properties::{check_diag_cluster, checkable_rounds};
+use tt_core::{DiagJob, MembershipJob, ProtocolConfig};
+use tt_fault::{
+    AsymmetricDisturbance, Burst, ContinuousFault, DisturbanceNode, RandomNoise,
+    RandomSyndromeJob, Spike,
+};
+use tt_sim::{Cluster, ClusterBuilder, NodeId, RoundIndex, SlotEffect, TraceMode, TxCtx};
+
+fn config(n: usize, p: u64, r: u64) -> ProtocolConfig {
+    ProtocolConfig::builder(n)
+        .penalty_threshold(p)
+        .reward_threshold(r)
+        .build()
+        .unwrap()
+}
+
+fn diag_cluster(n: usize, cfg: &ProtocolConfig, pipeline: DisturbanceNode) -> Cluster {
+    let cfg = cfg.clone();
+    ClusterBuilder::new(n).build_with_jobs(
+        move |id| Box::new(DiagJob::new(id, cfg.clone())),
+        Box::new(pipeline),
+    )
+}
+
+#[test]
+fn tuned_automotive_stack_isolates_a_crashed_node() {
+    // Full pipeline: tune on the simulator, then deploy the tuned
+    // parameters against a real crash.
+    let tuned = tt_analysis::tune(&tt_analysis::automotive_setup());
+    let cfg = ProtocolConfig::builder(4)
+        .penalty_threshold(tuned.penalty_threshold)
+        .reward_threshold(tuned.reward_threshold)
+        .uniform_criticality(tuned.rows[0].criticality) // SC nodes
+        .build()
+        .unwrap();
+    let pipeline =
+        DisturbanceNode::new(3).with(ContinuousFault::new(NodeId::new(4), RoundIndex::new(10)));
+    let mut cluster = ClusterBuilder::new(4)
+        .round_length(tuned.round)
+        .build_with_jobs(
+            |id| Box::new(DiagJob::new(id, cfg.clone())),
+            Box::new(pipeline),
+        );
+    cluster.run_rounds(40);
+    let d: &DiagJob = cluster.job_as(NodeId::new(1)).unwrap();
+    assert!(!d.is_active(NodeId::new(4)));
+    let iso = d.isolations()[0];
+    // P = 197, s = 40: the 5th faulty round (diagnosed round 14) pushes the
+    // penalty to 200 > 197; decided three rounds later.
+    assert_eq!(iso.diagnosed, RoundIndex::new(14));
+    assert_eq!(iso.decided_at, RoundIndex::new(17));
+    // Isolation within the SC tolerated outage: 7 rounds of latency from
+    // fault occurrence = 17.5 ms < 20 ms.
+    let latency = (iso.decided_at.as_u64() - 10) * tuned.round.as_nanos();
+    assert!(latency <= 20_000_000, "latency {latency} ns");
+}
+
+#[test]
+fn mixed_fault_soup_within_hypothesis_passes_oracles() {
+    // Spikes, short bursts and light noise — all benign — over 200 rounds.
+    let pipeline = DisturbanceNode::new(11)
+        .with(Spike::at(43))
+        .with(Burst::slots(100, 3))
+        .with(Burst::slots(400, 8))
+        .with(RandomNoise::window(0.02, 500, 700));
+    let cfg = config(4, 1_000_000, 1_000_000);
+    let mut cluster = diag_cluster(4, &cfg, pipeline);
+    cluster.run_rounds(200);
+    let all: Vec<NodeId> = NodeId::all(4).collect();
+    let report = check_diag_cluster(&cluster, &all, checkable_rounds(200, 3));
+    assert!(report.ok(), "{:?}", report.violations);
+    assert!(report.rounds_checked >= 190);
+}
+
+#[test]
+fn eight_node_cluster_tolerates_concurrent_faults() {
+    // N = 8 tolerates a = 1, s = 1, b = 2 (8 > 2 + 2 + 2 + 1): one
+    // asymmetric sender, one malicious-content sender and a two-slot burst
+    // in the same execution window.
+    let mal = |ctx: &TxCtx, _: &mut rand::rngs::StdRng| {
+        (ctx.round == RoundIndex::new(10) && ctx.sender == NodeId::new(5)).then(|| {
+            SlotEffect::SymmetricMalicious {
+                payload: bytes::Bytes::from_static(b"\xAA"),
+            }
+        })
+    };
+    let pipeline = DisturbanceNode::new(5)
+        .with(AsymmetricDisturbance::new(
+            NodeId::new(2),
+            RoundIndex::new(10),
+            1,
+            tt_fault::malicious::AsymmetricTarget::Fixed(vec![6]),
+        ))
+        .with(mal)
+        .with(Burst::in_round(RoundIndex::new(10), 6, 2, 8));
+    let cfg = config(8, 1_000_000, 1_000_000);
+    let mut cluster = diag_cluster(8, &cfg, pipeline);
+    cluster.run_rounds(30);
+    let all: Vec<NodeId> = NodeId::all(8).collect();
+    let report = check_diag_cluster(&cluster, &all, checkable_rounds(30, 3));
+    assert!(report.ok(), "{:?}", report.violations);
+    assert_eq!(report.rounds_out_of_hypothesis, 0, "window is in-hypothesis");
+    // The benign burst victims were detected.
+    let d: &DiagJob = cluster.job_as(NodeId::new(1)).unwrap();
+    let rec = d.health_for(RoundIndex::new(10)).unwrap();
+    assert!(!rec.health[6] && !rec.health[7], "burst victims convicted");
+}
+
+#[test]
+fn malicious_syndromes_with_concurrent_burst() {
+    // A malicious node spews random syndromes while a burst hits another
+    // node: the burst victim must still be convicted and nobody framed.
+    let n = 4;
+    let cfg = config(n, 1_000_000, 1_000_000);
+    let pipeline = DisturbanceNode::new(21).with(Burst::in_round(RoundIndex::new(12), 1, 1, n));
+    let mal = NodeId::new(4);
+    let mut cluster = ClusterBuilder::new(n).build_with_jobs(
+        |id| {
+            if id == mal {
+                Box::new(RandomSyndromeJob::new(id, n, 77))
+            } else {
+                Box::new(DiagJob::new(id, cfg.clone()))
+            }
+        },
+        Box::new(pipeline),
+    );
+    cluster.run_rounds(24);
+    let obedient: Vec<NodeId> = NodeId::all(n).filter(|&x| x != mal).collect();
+    let report = check_diag_cluster(&cluster, &obedient, checkable_rounds(24, 3));
+    assert!(report.ok(), "{:?}", report.violations);
+    let d: &DiagJob = cluster.job_as(NodeId::new(1)).unwrap();
+    let rec = d.health_for(RoundIndex::new(12)).unwrap();
+    assert_eq!(rec.health, vec![true, false, true, true]);
+}
+
+#[test]
+fn isolated_node_traffic_is_ignored_but_cluster_continues() {
+    let cfg = config(4, 2, 10);
+    let pipeline =
+        DisturbanceNode::new(9).with(ContinuousFault::new(NodeId::new(2), RoundIndex::new(8)));
+    let mut cluster = diag_cluster(4, &cfg, pipeline);
+    cluster.run_rounds(40);
+    for obs in [1u32, 3, 4] {
+        let d: &DiagJob = cluster.job_as(NodeId::new(obs)).unwrap();
+        assert!(!d.is_active(NodeId::new(2)), "node {obs}");
+        // The survivors keep diagnosing each other as healthy.
+        let last = d.last_health().unwrap();
+        assert!(last.health[0] && last.health[2] && last.health[3]);
+        // And the controller drops the isolated node's traffic.
+        let c = cluster.controller(NodeId::new(obs)).unwrap();
+        assert!(!c.is_active(NodeId::new(2)));
+    }
+}
+
+#[test]
+fn diag_and_membership_agree_on_benign_faults() {
+    // The same fault pattern drives a DiagJob cluster and a MembershipJob
+    // cluster; their health verdicts must be identical.
+    let pattern = |ctx: &TxCtx| {
+        if ctx.abs_slot % 11 == 4 {
+            SlotEffect::Benign
+        } else {
+            SlotEffect::Correct
+        }
+    };
+    let cfg = config(4, 1_000_000, 1_000_000);
+    let mut diag = ClusterBuilder::new(4).build_with_jobs(
+        |id| Box::new(DiagJob::new(id, cfg.clone())),
+        Box::new(pattern),
+    );
+    let mut memb = ClusterBuilder::new(4).build_with_jobs(
+        |id| Box::new(MembershipJob::new(id, cfg.clone())),
+        Box::new(pattern),
+    );
+    diag.run_rounds(40);
+    memb.run_rounds(40);
+    let d: &DiagJob = diag.job_as(NodeId::new(1)).unwrap();
+    let m: &MembershipJob = memb.job_as(NodeId::new(1)).unwrap();
+    for rec in d.health_log() {
+        let mrec = m.health_for(rec.diagnosed).unwrap();
+        assert_eq!(rec.health, mrec.health, "round {:?}", rec.diagnosed);
+    }
+}
+
+#[test]
+fn trace_mode_off_still_runs_protocol() {
+    let cfg = config(4, 3, 10);
+    let mut cluster = ClusterBuilder::new(4)
+        .trace_mode(TraceMode::Off)
+        .build(Box::new(tt_sim::NoFaults))
+        .unwrap();
+    for id in NodeId::all(4) {
+        cluster
+            .add_job(id, 0, Box::new(DiagJob::new(id, cfg.clone())))
+            .unwrap();
+    }
+    cluster.run_rounds(20);
+    assert!(cluster.trace().records().is_empty());
+    let d: &DiagJob = cluster.job_as(NodeId::new(1)).unwrap();
+    assert!(d.health_log().len() > 10);
+}
+
+#[test]
+fn rewards_forgive_separated_bursts_end_to_end() {
+    // Two bursts separated by more than R rounds: counters reset between
+    // them and nobody is isolated, though the total fault count exceeds P.
+    let cfg = ProtocolConfig::builder(4)
+        .penalty_threshold(5)
+        .reward_threshold(20)
+        .build()
+        .unwrap();
+    let pipeline = DisturbanceNode::new(1)
+        .with(Burst::in_round(RoundIndex::new(10), 0, 16, 4)) // 4 rounds
+        .with(Burst::in_round(RoundIndex::new(50), 0, 16, 4)); // 4 rounds
+    let mut cluster = diag_cluster(4, &cfg, pipeline);
+    cluster.run_rounds(80);
+    let d: &DiagJob = cluster.job_as(NodeId::new(1)).unwrap();
+    assert!(d.isolations().is_empty(), "8 faults > P but decorrelated");
+    assert!(NodeId::all(4).all(|n| d.is_active(n)));
+}
+
+#[test]
+fn stalled_diagnostic_job_does_no_harm_in_steady_state() {
+    // The paper assumes diagnostic jobs execute every round. If a job
+    // *stalls* (host alive, application crashed), the controller keeps
+    // retransmitting the last written syndrome. In a fault-free steady
+    // state that stale syndrome is all-healthy, so nothing happens; when a
+    // fault occurs later, the stale row is one wrong opinion among N - 1
+    // and is outvoted — the failure mode degrades gracefully.
+    struct Stalling {
+        inner: DiagJob,
+        stop_after: u64,
+        executed: u64,
+    }
+    impl tt_sim::Job for Stalling {
+        fn execute(&mut self, ctx: &mut tt_sim::JobCtx<'_>) {
+            if self.executed < self.stop_after {
+                self.inner.execute(ctx);
+            }
+            self.executed += 1;
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+    }
+    let cfg = config(4, 1_000_000, 1_000_000);
+    let mut cluster = ClusterBuilder::new(4)
+        .build(Box::new(|ctx: &TxCtx| {
+            if ctx.round == RoundIndex::new(20) && ctx.sender == NodeId::new(2) {
+                SlotEffect::Benign
+            } else {
+                SlotEffect::Correct
+            }
+        }))
+        .unwrap();
+    for id in NodeId::all(4) {
+        let job = DiagJob::new(id, cfg.clone());
+        if id == NodeId::new(4) {
+            // Node 4's diagnostic job stalls after round 12 (fault-free
+            // steady state: its frozen syndrome is all-healthy).
+            cluster
+                .add_job(
+                    id,
+                    0,
+                    Box::new(Stalling {
+                        inner: job,
+                        stop_after: 12,
+                        executed: 0,
+                    }),
+                )
+                .unwrap();
+        } else {
+            cluster.add_job(id, 0, Box::new(job)).unwrap();
+        }
+    }
+    cluster.run_rounds(30);
+    // The live nodes diagnose the round-20 fault correctly despite node
+    // 4's stale (healthy-claiming) row: 2 accusations + 1 stale
+    // endorsement -> majority accuses.
+    for id in [1u32, 2, 3] {
+        let d: &DiagJob = cluster.job_as(NodeId::new(id)).unwrap();
+        let rec = d.health_for(RoundIndex::new(20)).unwrap();
+        assert_eq!(rec.health, vec![true, false, true, true], "node {id}");
+        // And nobody frames the stalled node: its frames stay valid.
+        assert!(rec.health[3], "stalled node not convicted");
+    }
+}

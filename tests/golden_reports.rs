@@ -1,0 +1,56 @@
+//! Golden snapshot tests: the deterministic experiment reports must match
+//! the committed snapshots bit for bit. Regenerate intentionally with
+//! `cargo run -p tt-bench --bin gen_golden` after a deliberate change.
+
+fn check(name: &str, actual: String) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .join(name);
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {path:?}: {e}"));
+    assert_eq!(
+        actual, expected,
+        "report {name} drifted from its golden snapshot; if intentional, \
+         regenerate with `cargo run -p tt-bench --bin gen_golden`"
+    );
+}
+
+#[test]
+fn fig1_matches_golden() {
+    check("fig1.txt", tt_bench::fig1_report());
+}
+
+#[test]
+fn fig2_matches_golden() {
+    check("fig2.txt", tt_bench::fig2_report());
+}
+
+#[test]
+fn table1_matches_golden() {
+    check("table1.txt", tt_bench::table1_report());
+}
+
+#[test]
+fn fig3_matches_golden() {
+    check("fig3.txt", tt_bench::fig3_report());
+}
+
+#[test]
+fn table2_matches_golden() {
+    check("table2.txt", tt_bench::table2_report());
+}
+
+#[test]
+fn table3_matches_golden() {
+    check("table3.txt", tt_bench::table3_report());
+}
+
+#[test]
+fn bandwidth_matches_golden() {
+    check("bandwidth.txt", tt_bench::bandwidth_report());
+}
+
+#[test]
+fn lowlat_matches_golden() {
+    check("lowlat.txt", tt_bench::lowlat_report());
+}

@@ -1,0 +1,183 @@
+//! Integration tests for the Sec. 10 low-latency system-level variant,
+//! including agreement with the portable add-on protocol.
+
+use tt_core::lowlat::LowLatCluster;
+use tt_core::{DiagJob, ProtocolConfig};
+use tt_sim::{ClusterBuilder, NodeId, RoundIndex, SlotEffect, TxCtx};
+
+fn pattern(ctx: &TxCtx) -> SlotEffect {
+    // A scattered benign pattern over the first 30 rounds.
+    if matches!(ctx.abs_slot, 13 | 14 | 40 | 41 | 42 | 43 | 77 | 99) {
+        SlotEffect::Benign
+    } else {
+        SlotEffect::Correct
+    }
+}
+
+#[test]
+fn lowlat_and_addon_agree_on_verdicts() {
+    // The same fault pattern through both variants: per (round, sender)
+    // verdicts must be identical; only latency differs.
+    let mut lowlat = LowLatCluster::new(4, false, Box::new(pattern));
+    lowlat.run_rounds(30);
+    let cfg = ProtocolConfig::builder(4)
+        .penalty_threshold(u64::MAX / 2)
+        .reward_threshold(u64::MAX / 2)
+        .build()
+        .unwrap();
+    let mut addon = ClusterBuilder::new(4).build_with_jobs(
+        |id| Box::new(DiagJob::new(id, cfg.clone())),
+        Box::new(pattern),
+    );
+    addon.run_rounds(30);
+    let diag: &DiagJob = addon.job_as(NodeId::new(1)).unwrap();
+    for rec in diag.health_log().iter().filter(|r| r.diagnosed.as_u64() < 25) {
+        for sender in NodeId::all(4) {
+            let v = lowlat
+                .verdict_for(NodeId::new(1), rec.diagnosed, sender)
+                .unwrap_or_else(|| panic!("missing verdict for {:?}/{sender}", rec.diagnosed));
+            assert_eq!(
+                v.healthy,
+                rec.health[sender.index()],
+                "round {:?} sender {sender}",
+                rec.diagnosed
+            );
+        }
+    }
+}
+
+#[test]
+fn lowlat_latency_is_quarter_of_addon() {
+    // Single fault: the add-on (conservative alignment) needs 3 rounds of
+    // latency; the system-level variant needs 1 round = 4 slots.
+    let single = |ctx: &TxCtx| {
+        if ctx.round == RoundIndex::new(10) && ctx.sender == NodeId::new(2) {
+            SlotEffect::Benign
+        } else {
+            SlotEffect::Correct
+        }
+    };
+    let mut lowlat = LowLatCluster::new(4, false, Box::new(single));
+    lowlat.run_rounds(14);
+    let v = lowlat
+        .verdict_for(NodeId::new(3), RoundIndex::new(10), NodeId::new(2))
+        .unwrap();
+    assert_eq!(v.latency_slots(), 4);
+    assert!(!v.healthy);
+}
+
+#[test]
+fn lowlat_membership_latency_two_rounds_for_minority() {
+    // A single asymmetric fault (Theorem 2's a <= 1 hypothesis): node 1
+    // alone misses node 4's slot in round 6. Its divergent window vote must
+    // get it evicted — consistently, everywhere — within two rounds.
+    let partition = |ctx: &TxCtx| {
+        if ctx.round == RoundIndex::new(6) && ctx.sender == NodeId::new(4) {
+            SlotEffect::Asymmetric {
+                detected_by: vec![0],
+                collision_ok: true,
+            }
+        } else {
+            SlotEffect::Correct
+        }
+    };
+    let mut c = LowLatCluster::new(4, true, Box::new(partition));
+    c.run_rounds(12);
+    for id in 2..=4u32 {
+        let view = c.view(NodeId::new(id));
+        assert!(!view.contains(&NodeId::new(1)), "node {id}: {view:?}");
+        assert_eq!(view.len(), 3);
+        // Eviction time: the fault hits abs slot 27; the verdict lands one
+        // round later and the accusation round completes one round after.
+        let (installed, _) = c.view_log(NodeId::new(id))[0];
+        assert!(installed <= 27 + 2 * 4, "installed at {installed}");
+    }
+    // Views agree everywhere, including at the evicted node.
+    let reference = c.view(NodeId::new(2));
+    for id in [1u32, 3, 4] {
+        assert_eq!(c.view(NodeId::new(id)), reference, "node {id}");
+    }
+}
+
+#[test]
+fn lowlat_scales_to_larger_clusters() {
+    for n in [3usize, 6, 12] {
+        let single = move |ctx: &TxCtx| {
+            if ctx.round == RoundIndex::new(5) && ctx.sender == NodeId::new(2) {
+                SlotEffect::Benign
+            } else {
+                SlotEffect::Correct
+            }
+        };
+        let mut c = LowLatCluster::new(n, false, Box::new(single));
+        c.run_rounds(9);
+        for id in NodeId::all(n) {
+            let v = c
+                .verdict_for(id, RoundIndex::new(5), NodeId::new(2))
+                .unwrap();
+            assert!(!v.healthy, "n={n}, node {id}");
+            assert_eq!(v.latency_slots(), n as u64, "always one round");
+        }
+    }
+}
+
+#[test]
+fn lowlat_properties_hold_across_all_burst_classes() {
+    // The Sec. 8 burst classes (1 slot, 2 slots, 2 rounds; every start
+    // slot), re-run against the Sec. 10 variant and checked by its own
+    // per-slot oracles: "all the properties of the protocol are preserved
+    // in this variant".
+    for len in [1u64, 2, 8] {
+        for start in 0..4u64 {
+            for seed_round in [6u64, 9, 13] {
+                let first = seed_round * 4 + start;
+                let burst = move |ctx: &TxCtx| {
+                    if (first..first + len).contains(&ctx.abs_slot) {
+                        SlotEffect::Benign
+                    } else {
+                        SlotEffect::Correct
+                    }
+                };
+                let mut c = LowLatCluster::new(4, false, Box::new(burst));
+                c.run_rounds(20);
+                let violations = c.check_properties();
+                assert!(
+                    violations.is_empty(),
+                    "len {len}, start {start}, round {seed_round}: {violations:?}"
+                );
+                // Every burst slot convicted with one-round latency.
+                for abs in first..first + len {
+                    let v = c
+                        .verdicts(NodeId::new(1))
+                        .iter()
+                        .find(|v| v.abs_slot == abs)
+                        .expect("decided");
+                    assert!(!v.healthy);
+                    assert_eq!(v.latency_slots(), 4);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn lowlat_oracle_reports_ground_truth() {
+    let burst = |ctx: &TxCtx| {
+        if ctx.abs_slot == 21 {
+            SlotEffect::Benign
+        } else {
+            SlotEffect::Correct
+        }
+    };
+    let mut c = LowLatCluster::new(4, false, Box::new(burst));
+    c.run_rounds(8);
+    assert_eq!(
+        c.ground_truth(21),
+        Some(tt_sim::SlotFaultClass::Benign)
+    );
+    assert_eq!(
+        c.ground_truth(20),
+        Some(tt_sim::SlotFaultClass::Correct)
+    );
+    assert!(c.check_properties().is_empty());
+}

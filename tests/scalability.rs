@@ -1,0 +1,134 @@
+//! Scalability: the paper claims the protocol's "resiliency also scales
+//! with the number of available nodes". These tests exercise clusters well
+//! beyond the 4-node prototype.
+
+use tt_core::properties::{
+    check_counter_consistency, check_diag_cluster, checkable_rounds,
+};
+use tt_core::{DiagJob, ProtocolConfig};
+use tt_fault::{AsymmetricDisturbance, Burst, DisturbanceNode, RandomNoise};
+use tt_sim::{ClusterBuilder, Nanos, NodeId, RoundIndex, SlotEffect, TraceMode, TxCtx};
+
+fn round_for(n: usize) -> Nanos {
+    // Keep slots equal-length: pick a round length divisible by n.
+    Nanos::from_nanos(2_500_000 - (2_500_000 % n as u64))
+}
+
+fn diag_cluster(
+    n: usize,
+    pipeline: Box<dyn tt_sim::FaultPipeline>,
+    rounds: u64,
+) -> tt_sim::Cluster {
+    let cfg = ProtocolConfig::builder(n)
+        .penalty_threshold(u64::MAX / 2)
+        .reward_threshold(u64::MAX / 2)
+        .build()
+        .unwrap();
+    let mut cluster = ClusterBuilder::new(n)
+        .round_length(round_for(n))
+        .trace_mode(TraceMode::Anomalies)
+        .build_with_jobs(
+            |id| Box::new(DiagJob::new(id, cfg.clone())),
+            pipeline,
+        );
+    cluster.run_rounds(rounds);
+    cluster
+}
+
+#[test]
+fn sixteen_nodes_tolerate_heavy_coincident_faults() {
+    // N = 16 tolerates a = 1, s = 2, b = 8: 16 > 2 + 4 + 8 + 1 = 15.
+    let mal = |ctx: &TxCtx, _: &mut rand::rngs::StdRng| {
+        (ctx.round == RoundIndex::new(10)
+            && (ctx.sender == NodeId::new(5) || ctx.sender == NodeId::new(6)))
+        .then(|| SlotEffect::SymmetricMalicious {
+            payload: bytes::Bytes::from_static(b"\x5A\x5A"),
+        })
+    };
+    let pipeline = DisturbanceNode::new(3)
+        .with(AsymmetricDisturbance::new(
+            NodeId::new(2),
+            RoundIndex::new(10),
+            1,
+            tt_fault::malicious::AsymmetricTarget::Fixed(vec![12, 13, 14]),
+        ))
+        .with(mal)
+        .with(Burst::in_round(RoundIndex::new(10), 7, 8, 16));
+    let total = 30;
+    let cluster = diag_cluster(16, Box::new(pipeline), total);
+    let all: Vec<NodeId> = NodeId::all(16).collect();
+    let report = check_diag_cluster(&cluster, &all, checkable_rounds(total, 3));
+    assert!(report.ok(), "{:?}", report.violations);
+    assert_eq!(report.rounds_out_of_hypothesis, 0, "within Lemma 2's bound");
+    assert!(check_counter_consistency(&cluster, &all).is_empty());
+    // All eight burst victims convicted.
+    let d: &DiagJob = cluster.job_as(NodeId::new(1)).unwrap();
+    let rec = d.health_for(RoundIndex::new(10)).unwrap();
+    assert_eq!(rec.health.iter().filter(|&&ok| !ok).count(), 8);
+}
+
+#[test]
+fn thirty_two_nodes_under_sustained_noise() {
+    let pipeline = DisturbanceNode::new(11).with(RandomNoise::everywhere(0.02));
+    let total = 60;
+    let cluster = diag_cluster(32, Box::new(pipeline), total);
+    let all: Vec<NodeId> = NodeId::all(32).collect();
+    let report = check_diag_cluster(&cluster, &all, checkable_rounds(total, 3));
+    assert!(report.ok(), "{:?}", report.violations);
+    assert!(report.rounds_checked > 40, "most rounds in-hypothesis");
+    assert!(check_counter_consistency(&cluster, &all).is_empty());
+}
+
+#[test]
+fn resiliency_bound_scales_with_n() {
+    // The same fault mix (a=1, s=1, b=3 in one round) is out of hypothesis
+    // at N = 8 (8 > 2+2+3+1 = 8 is false) but inside it at N = 9.
+    let mix = |ctx: &TxCtx, _: &mut rand::rngs::StdRng| -> Option<SlotEffect> {
+        if ctx.round != RoundIndex::new(10) {
+            return None;
+        }
+        match ctx.sender.get() {
+            1 => Some(SlotEffect::Asymmetric {
+                detected_by: vec![4],
+                collision_ok: true,
+            }),
+            2 => Some(SlotEffect::SymmetricMalicious {
+                payload: bytes::Bytes::from_static(b"\x3C\x3C"),
+            }),
+            3..=5 => Some(SlotEffect::Benign),
+            _ => None,
+        }
+    };
+    for (n, expect_in) in [(8usize, false), (9, true)] {
+        let pipeline = DisturbanceNode::new(1).with(mix);
+        let total = 24;
+        let cluster = diag_cluster(n, Box::new(pipeline), total);
+        let all: Vec<NodeId> = NodeId::all(n).collect();
+        let report = check_diag_cluster(&cluster, &all, checkable_rounds(total, 3));
+        assert!(report.ok(), "n={n}: {:?}", report.violations);
+        let round10_checked = report.rounds_out_of_hypothesis == 0;
+        assert_eq!(round10_checked, expect_in, "n = {n}");
+        if expect_in {
+            // With the bound satisfied, the three benign victims are
+            // convicted and everyone else acquitted, everywhere.
+            let d: &DiagJob = cluster.job_as(NodeId::new(n as u32)).unwrap();
+            let rec = d.health_for(RoundIndex::new(10)).unwrap();
+            assert!(!rec.health[2] && !rec.health[3] && !rec.health[4]);
+            assert!(rec.health[0] && rec.health[1] && rec.health[5]);
+        }
+    }
+}
+
+#[test]
+fn large_cluster_long_run_performance_sanity() {
+    // 1000 rounds on 32 nodes completes promptly even in debug builds —
+    // guards against accidental quadratic blowups in the hot loop.
+    let start = std::time::Instant::now();
+    let cluster = diag_cluster(32, Box::new(tt_sim::NoFaults), 1_000);
+    assert_eq!(cluster.round().as_u64(), 1_000);
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(30),
+        "took {:?}",
+        start.elapsed()
+    );
+}

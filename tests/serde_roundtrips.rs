@@ -1,0 +1,111 @@
+//! Serde round-trips for the public data structures: experiment records,
+//! protocol outputs and configurations survive serialization — required for
+//! persisting campaign results and reloading tuned configurations.
+
+use tt_core::{HealthRecord, MembershipView, ProtocolConfig};
+use tt_fault::{run_experiment, ExperimentClass, TransientScenario};
+use tt_sim::{Nanos, NodeId, RoundIndex, SlotFaultClass, SlotRecord};
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serializes");
+    serde_json::from_str(&json).expect("deserializes")
+}
+
+#[test]
+fn protocol_config_roundtrips() {
+    let cfg = ProtocolConfig::builder(4)
+        .penalty_threshold(197)
+        .reward_threshold(1_000_000)
+        .criticalities(vec![40, 6, 1, 1])
+        .all_send_curr_round(true)
+        .reintegration(tt_core::ReintegrationPolicy::AfterRewards(400))
+        .build()
+        .unwrap();
+    assert_eq!(roundtrip(&cfg), cfg);
+}
+
+#[test]
+fn protocol_outputs_roundtrip() {
+    let rec = HealthRecord {
+        diagnosed: RoundIndex::new(10),
+        decided_at: RoundIndex::new(13),
+        health: vec![true, false, true, true],
+    };
+    assert_eq!(roundtrip(&rec), rec);
+    let view = MembershipView {
+        view_id: 2,
+        members: vec![NodeId::new(1), NodeId::new(3)],
+        installed_at: RoundIndex::new(14),
+        diagnosed: RoundIndex::new(11),
+    };
+    assert_eq!(roundtrip(&view), view);
+}
+
+#[test]
+fn sim_records_roundtrip() {
+    let rec = SlotRecord {
+        round: RoundIndex::new(7),
+        sender: NodeId::new(3),
+        class: SlotFaultClass::Asymmetric,
+        effect: Some(tt_sim::EffectRecord::Asymmetric {
+            detected_by: vec![0, 2],
+            collision_ok: true,
+        }),
+    };
+    assert_eq!(roundtrip(&rec), rec);
+    assert_eq!(roundtrip(&Nanos::from_millis_f64(2.5)), Nanos::from_micros(2_500));
+}
+
+#[test]
+fn campaign_outcomes_roundtrip() {
+    let outcome = run_experiment(
+        ExperimentClass::Burst {
+            len_slots: 2,
+            start_slot: 1,
+        },
+        4,
+        42,
+    );
+    assert_eq!(roundtrip(&outcome), outcome);
+}
+
+#[test]
+fn scenarios_and_tuning_roundtrip() {
+    let scenario = TransientScenario::lightning_bolt();
+    assert_eq!(roundtrip(&scenario), scenario);
+    let tuned = tt_analysis::tune(&tt_analysis::aerospace_setup());
+    assert_eq!(roundtrip(&tuned), tuned);
+}
+
+#[test]
+fn persisted_config_reproduces_behaviour() {
+    // A tuned config written to "disk" and reloaded drives an identical
+    // simulation — the operational reason the types implement serde.
+    use tt_core::DiagJob;
+    use tt_sim::{ClusterBuilder, SlotEffect, TxCtx};
+    let crash = |ctx: &TxCtx| {
+        if ctx.sender == NodeId::new(3) && ctx.round >= RoundIndex::new(6) {
+            SlotEffect::Benign
+        } else {
+            SlotEffect::Correct
+        }
+    };
+    let run = |cfg: &ProtocolConfig| {
+        let mut cluster = ClusterBuilder::new(4).build_with_jobs(
+            |id| Box::new(DiagJob::new(id, cfg.clone())),
+            Box::new(crash),
+        );
+        cluster.run_rounds(30);
+        let d: &DiagJob = cluster.job_as(NodeId::new(1)).unwrap();
+        (d.isolations().to_vec(), d.health_log().to_vec())
+    };
+    let cfg = ProtocolConfig::builder(4)
+        .penalty_threshold(3)
+        .reward_threshold(10)
+        .build()
+        .unwrap();
+    assert_eq!(run(&cfg), run(&roundtrip(&cfg)));
+}

@@ -1,0 +1,53 @@
+//! Long-running randomized soak tests, excluded from the default run
+//! (`cargo test -- --ignored` to execute). Each soaks the full protocol
+//! stack under sustained randomized fault load and checks every oracle.
+
+use tt_core::properties::{
+    check_counter_consistency, check_diag_cluster, checkable_rounds,
+};
+use tt_core::{DiagJob, ProtocolConfig};
+use tt_fault::{DisturbanceNode, RandomNoise};
+use tt_sim::{ClusterBuilder, NodeId, TraceMode};
+
+#[test]
+#[ignore = "soak test: ~100k simulated rounds; run with --ignored"]
+fn hundred_thousand_rounds_of_noise() {
+    let n = 4;
+    let cfg = ProtocolConfig::builder(n)
+        .penalty_threshold(u64::MAX / 2)
+        .reward_threshold(1_000)
+        .build()
+        .unwrap();
+    let pipeline = DisturbanceNode::new(0xDEAD_BEEF).with(RandomNoise::everywhere(0.03));
+    let mut cluster = ClusterBuilder::new(n)
+        .trace_mode(TraceMode::Anomalies)
+        .build_with_jobs(
+            |id| Box::new(DiagJob::with_logging(id, cfg.clone(), true)),
+            Box::new(pipeline),
+        );
+    let total = 100_000u64;
+    cluster.run_rounds(total);
+    let all: Vec<NodeId> = NodeId::all(n).collect();
+    let report = check_diag_cluster(&cluster, &all, checkable_rounds(total, 3));
+    assert!(report.ok(), "{} violations", report.violations.len());
+    assert!(report.rounds_checked > 80_000);
+    assert!(check_counter_consistency(&cluster, &all).is_empty());
+}
+
+#[test]
+#[ignore = "soak test: long randomized campaign; run with --ignored"]
+fn thousand_rep_burst_campaign() {
+    let classes = [
+        tt_fault::ExperimentClass::Burst {
+            len_slots: 2,
+            start_slot: 1,
+        },
+        tt_fault::ExperimentClass::Burst {
+            len_slots: 8,
+            start_slot: 3,
+        },
+    ];
+    let result = tt_fault::run_campaign(&classes, 4, 1_000, 0xC0FFEE);
+    assert_eq!(result.total(), 2_000);
+    assert!(result.all_passed());
+}

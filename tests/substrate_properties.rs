@@ -1,0 +1,148 @@
+//! Property-based tests for the substrates added around the protocol:
+//! replicated bus merge laws, clock-ensemble invariants and the TTP/C
+//! baseline's determinism and single-fault guarantees.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use tt_baselines::TtpcCluster;
+use tt_sim::{
+    apply_effect, ClockConfig, ClockEnsemble, FaultPipeline, NodeId, Reception, ReplicatedBus,
+    RoundIndex, SlotEffect, TxCtx,
+};
+
+fn ctx(n: usize, abs: u64) -> TxCtx {
+    TxCtx {
+        round: RoundIndex::new(abs / n as u64),
+        sender: NodeId::from_slot((abs % n as u64) as usize),
+        n_nodes: n,
+        abs_slot: abs,
+    }
+}
+
+/// An arbitrary slot effect over `n` nodes (benign-heavy mix).
+fn arb_effect(n: usize) -> impl Strategy<Value = SlotEffect> {
+    prop_oneof![
+        3 => Just(SlotEffect::Correct),
+        2 => Just(SlotEffect::Benign),
+        1 => vec(any::<bool>(), n).prop_map(move |mask| {
+            SlotEffect::Asymmetric {
+                detected_by: mask
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &b)| b)
+                    .map(|(i, _)| i)
+                    .collect(),
+                collision_ok: true,
+            }
+        }),
+        1 => any::<u8>().prop_map(|b| SlotEffect::SymmetricMalicious {
+            payload: bytes::Bytes::copy_from_slice(&[b]),
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Redundancy is monotone: adding a channel never turns a valid
+    /// reception into a detected one.
+    #[test]
+    fn replication_never_hurts(e1 in arb_effect(4), e2 in arb_effect(4), abs in 0u64..64) {
+        let c = ctx(4, abs);
+        let payload = bytes::Bytes::from_static(b"\x0b");
+        let single = {
+            let eff = e1.clone();
+            let mut p = move |_: &TxCtx| eff.clone();
+            FaultPipeline::transmit(&mut p, &c, &payload)
+        };
+        let double = {
+            let (ea, eb) = (e1.clone(), e2.clone());
+            let mut bus = ReplicatedBus::new(vec![
+                Box::new(move |_: &TxCtx| ea.clone()),
+                Box::new(move |_: &TxCtx| eb.clone()),
+            ]);
+            bus.transmit(&c, &payload)
+        };
+        for rx in 0..4 {
+            if single.receptions[rx].is_valid() {
+                prop_assert!(
+                    double.receptions[rx].is_valid(),
+                    "rx {rx}: {single:?} vs {double:?}"
+                );
+            }
+        }
+        prop_assert!(double.collision_ok || !single.collision_ok);
+    }
+
+    /// A healthy channel anywhere in the stack makes every reception valid.
+    #[test]
+    fn healthy_channel_heals_everything(e in arb_effect(6), abs in 0u64..64) {
+        let c = ctx(6, abs);
+        let payload = bytes::Bytes::from_static(b"\x2a");
+        let mut bus = ReplicatedBus::new(vec![
+            Box::new(move |_: &TxCtx| e.clone()),
+            Box::new(tt_sim::NoFaults),
+        ]);
+        let out = bus.transmit(&c, &payload);
+        prop_assert!(out.receptions.iter().all(Reception::is_valid));
+        prop_assert!(out.collision_ok);
+    }
+
+    /// The replicated merge agrees with the single-channel outcome when all
+    /// channels carry the same effect.
+    #[test]
+    fn identical_channels_match_single(e in arb_effect(4), abs in 0u64..64) {
+        let c = ctx(4, abs);
+        let payload = bytes::Bytes::from_static(b"\x07");
+        let single = apply_effect(&e, &c, &payload);
+        let (ea, eb) = (e.clone(), e.clone());
+        let mut bus = ReplicatedBus::new(vec![
+            Box::new(move |_: &TxCtx| ea.clone()),
+            Box::new(move |_: &TxCtx| eb.clone()),
+        ]);
+        let double = bus.transmit(&c, &payload);
+        prop_assert_eq!(&single.receptions, &double.receptions);
+        prop_assert_eq!(single.collision_ok, double.collision_ok);
+    }
+
+    /// Clock ensembles with in-spec drifts stay synchronized for any seed
+    /// and any drift assignment within +-50 ppm.
+    #[test]
+    fn in_spec_clocks_stay_inside_the_window(
+        seed in any::<u64>(),
+        drifts in vec(-50.0f64..50.0, 4),
+    ) {
+        let mut cfg = ClockConfig::healthy(4);
+        cfg.drift_ppm = drifts;
+        let mut c = ClockEnsemble::new(cfg, seed);
+        for _ in 0..300 {
+            c.advance_round();
+        }
+        prop_assert!(c.precision_ns() < 2_000.0, "precision {}", c.precision_ns());
+        for i in 0..4 {
+            prop_assert!(c.detected_by(i).is_empty());
+        }
+    }
+
+    /// TTP/C baseline: under a single benign sender fault at any position,
+    /// exactly the faulty node is lost, for any cluster size 3..=8.
+    #[test]
+    fn ttpc_single_fault_guarantee(n in 3usize..=8, round in 3u64..10, sender in 1u32..=3) {
+        prop_assume!((sender as usize) <= n);
+        let fault = move |ctx: &TxCtx| {
+            if ctx.round == RoundIndex::new(round) && ctx.sender == NodeId::new(sender) {
+                SlotEffect::Benign
+            } else {
+                SlotEffect::Correct
+            }
+        };
+        let mut c = TtpcCluster::new(n, Box::new(fault));
+        c.run_rounds(round + 6);
+        prop_assert_eq!(c.alive(), n - 1);
+        prop_assert!(c.is_frozen(NodeId::new(sender)));
+        for id in NodeId::all(n).filter(|&x| x != NodeId::new(sender)) {
+            prop_assert_eq!(c.membership(id).len(), n - 1, "{}", id);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Integration tests for the Sec. 9 tuning pipeline: Fig. 3, Table 2,
+//! Tables 3 & 4, end to end through the experiment-regeneration layer.
+
+use tt_analysis::{
+    aerospace_setup, automotive_setup, correlation_probability, measure_time_to_isolation,
+    tune,
+};
+use tt_fault::TransientScenario;
+use tt_sim::Nanos;
+
+const T: Nanos = Nanos::from_micros(2_500);
+
+#[test]
+fn table2_constants_reproduce_exactly() {
+    let auto = tune(&automotive_setup());
+    assert_eq!(auto.penalty_threshold, 197);
+    assert_eq!(
+        auto.rows.iter().map(|r| r.criticality).collect::<Vec<_>>(),
+        vec![40, 6, 1]
+    );
+    let aero = tune(&aerospace_setup());
+    assert_eq!(aero.penalty_threshold, 17);
+    assert_eq!(aero.rows[0].criticality, 1);
+}
+
+#[test]
+fn table4_values_and_shape() {
+    let auto = tune(&automotive_setup());
+    let blinking = TransientScenario::blinking_light();
+    let times: Vec<f64> = auto
+        .rows
+        .iter()
+        .map(|row| {
+            measure_time_to_isolation(
+                &blinking,
+                row.criticality,
+                auto.penalty_threshold,
+                auto.reward_threshold,
+                T,
+                4,
+            )
+            .time_to_isolation
+            .expect("every class eventually isolated under the scenario")
+            .as_secs_f64()
+        })
+        .collect();
+    // Paper: 0.518 / 4.595 / 24.475 s. We reproduce the SC row exactly and
+    // the SR/NSR rows to within one burst period (see EXPERIMENTS.md).
+    assert!((times[0] - 0.518).abs() < 0.005, "SC: {}", times[0]);
+    assert!((times[1] - 4.595).abs() < 0.55, "SR: {}", times[1]);
+    assert!((times[2] - 24.475).abs() < 0.60, "NSR: {}", times[2]);
+    // Strict ordering and the ~1 : 8 : 48 shape.
+    assert!(times[0] < times[1] && times[1] < times[2]);
+    assert!(times[2] / times[0] > 40.0 && times[2] / times[0] < 55.0);
+    // Aerospace row: exact.
+    let aero = tune(&aerospace_setup());
+    let t_aero = measure_time_to_isolation(
+        &TransientScenario::lightning_bolt(),
+        aero.rows[0].criticality,
+        aero.penalty_threshold,
+        aero.reward_threshold,
+        T,
+        4,
+    )
+    .time_to_isolation
+    .expect("isolated")
+    .as_secs_f64();
+    assert!((t_aero - 0.205).abs() < 0.01, "aero: {t_aero}");
+}
+
+#[test]
+fn fig3_operating_point_and_monotonicity() {
+    // R = 10^6 at 2.5 ms rounds keeps false correlation below 1% for the
+    // paper's environment rates.
+    assert!(correlation_probability(0.014, 1_000_000, T) < 0.01);
+    // Increasing R by 100x at the same rate crosses the 1% line.
+    assert!(correlation_probability(0.014, 100_000_000, T) > 0.01);
+}
+
+#[test]
+fn tuning_scales_with_round_length() {
+    // Halving the round length doubles the penalty budgets: the procedure
+    // measures rounds, not wall-clock.
+    let mut setup = aerospace_setup();
+    setup.round = Nanos::from_micros(1_250);
+    let tuned = tune(&setup);
+    assert_eq!(tuned.penalty_threshold, 37, "50 ms / 1.25 ms - 3 = 37");
+}
+
+#[test]
+fn report_generators_are_green() {
+    let t2 = tt_bench::table2_report();
+    assert!(!t2.contains("| NO "), "{t2}");
+    let t3 = tt_bench::table3_report();
+    assert!(t3.contains("10.000ms") || t3.contains("10ms") || t3.contains("10.0"), "{t3}");
+}
