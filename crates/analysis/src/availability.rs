@@ -47,7 +47,10 @@ impl AvailabilityReport {
         if self.nodes.is_empty() {
             1.0
         } else {
-            self.nodes.iter().map(NodeAvailability::fraction).sum::<f64>()
+            self.nodes
+                .iter()
+                .map(NodeAvailability::fraction)
+                .sum::<f64>()
                 / self.nodes.len() as f64
         }
     }
@@ -155,8 +158,8 @@ mod tests {
             .reward_threshold(100)
             .build()
             .unwrap();
-        let pipeline = DisturbanceNode::new(1)
-            .with(ContinuousFault::new(NodeId::new(2), RoundIndex::new(10)));
+        let pipeline =
+            DisturbanceNode::new(1).with(ContinuousFault::new(NodeId::new(2), RoundIndex::new(10)));
         let mut cluster = ClusterBuilder::new(4).build_with_jobs(
             |id| Box::new(DiagJob::new(id, config.clone())),
             Box::new(pipeline),

@@ -8,11 +8,7 @@
 ///
 /// Each series gets a glyph from `glyphs` (cycled). Returns a chart of
 /// `height` rows plus an x-axis line.
-pub fn line_chart(
-    series: &[(&str, Vec<f64>)],
-    height: usize,
-    glyphs: &str,
-) -> String {
+pub fn line_chart(series: &[(&str, Vec<f64>)], height: usize, glyphs: &str) -> String {
     assert!(height >= 2, "chart too short");
     assert!(!glyphs.is_empty(), "need at least one glyph");
     let width = series.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
@@ -76,7 +72,11 @@ pub fn step_chart(label: &str, values: &[u64], height: usize) -> String {
         let threshold = max * row as f64 / height as f64;
         out.push_str("  |");
         for &v in values {
-            out.push(if v as f64 >= threshold && v > 0 { '#' } else { ' ' });
+            out.push(if v as f64 >= threshold && v > 0 {
+                '#'
+            } else {
+                ' '
+            });
         }
         out.push('\n');
     }

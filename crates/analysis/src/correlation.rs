@@ -154,8 +154,7 @@ mod tests {
         let c = curve(0.014, T, default_r_sweep());
         assert!(c.len() > 15);
         assert!(c.windows(2).all(|w| {
-            w[0].reward_threshold < w[1].reward_threshold
-                && w[0].probability <= w[1].probability
+            w[0].reward_threshold < w[1].reward_threshold && w[0].probability <= w[1].probability
         }));
         // The point nearest the paper's choice sits below 1 %.
         let near = c

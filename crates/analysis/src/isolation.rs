@@ -50,8 +50,7 @@ pub fn measure_time_to_isolation(
         .uniform_criticality(s)
         .build()
         .expect("tuned parameters are valid");
-    let sched = tt_sim::CommunicationSchedule::new(n_nodes, round)
-        .expect("valid schedule");
+    let sched = tt_sim::CommunicationSchedule::new(n_nodes, round).expect("valid schedule");
     // Bursts start once the protocol pipeline is warm, at a round boundary.
     let offset_rounds = 8u64;
     let offset = round * offset_rounds;
@@ -113,7 +112,10 @@ mod tests {
             T,
             4,
         );
-        let t = m.time_to_isolation.expect("SC must be isolated").as_secs_f64();
+        let t = m
+            .time_to_isolation
+            .expect("SC must be isolated")
+            .as_secs_f64();
         assert!((0.50..0.54).contains(&t), "got {t}");
     }
 
@@ -148,14 +150,8 @@ mod tests {
     fn aerospace_sc_isolated_by_second_lightning_burst() {
         // Paper Table 4: 0.205 s. The second 40 ms burst starts at 200 ms;
         // one more diagnosed faulty round exceeds P = 17.
-        let m = measure_time_to_isolation(
-            &TransientScenario::lightning_bolt(),
-            1,
-            17,
-            1_000_000,
-            T,
-            4,
-        );
+        let m =
+            measure_time_to_isolation(&TransientScenario::lightning_bolt(), 1, 17, 1_000_000, T, 4);
         let t = m.time_to_isolation.expect("isolated").as_secs_f64();
         assert!((0.19..0.23).contains(&t), "got {t}");
     }
@@ -165,14 +161,8 @@ mod tests {
         // Without the p/r delay (P = 0 is invalid, so use P = 1 with high
         // criticality: isolation on the first fault), a single burst kills
         // every node — the availability argument of Sec. 9.
-        let m = measure_time_to_isolation(
-            &TransientScenario::blinking_light(),
-            2,
-            1,
-            1_000_000,
-            T,
-            4,
-        );
+        let m =
+            measure_time_to_isolation(&TransientScenario::blinking_light(), 2, 1, 1_000_000, T, 4);
         let t = m.time_to_isolation.expect("isolated").as_secs_f64();
         assert!(t < 0.02, "first burst, got {t}");
     }

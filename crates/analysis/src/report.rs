@@ -103,7 +103,13 @@ mod tests {
     fn collects_and_renders() {
         let mut b = ReportBuilder::new();
         b.record("Table 2 / P (auto)", "197", "197", true, "exact")
-            .record("Table 4 / SR", "4.595 s", "4.09 s", true, "one burst period off");
+            .record(
+                "Table 4 / SR",
+                "4.595 s",
+                "4.09 s",
+                true,
+                "one burst period off",
+            );
         assert_eq!(b.records().len(), 2);
         assert!(b.all_match());
         let ascii = b.render();

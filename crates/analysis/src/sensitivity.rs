@@ -147,8 +147,8 @@ pub fn burst_length_sweep(
                 .reward_threshold(u64::MAX / 2)
                 .build()
                 .expect("valid");
-            let pipeline = DisturbanceNode::new(0)
-                .with(Burst::in_round(RoundIndex::new(10), 0, len, n));
+            let pipeline =
+                DisturbanceNode::new(0).with(Burst::in_round(RoundIndex::new(10), 0, len, n));
             let total = 10 + len.div_ceil(n as u64) + 10;
             let mut cluster = ClusterBuilder::new(n).build_with_jobs(
                 |id| Box::new(DiagJob::new(id, config.clone())),
@@ -226,7 +226,10 @@ mod tests {
         // between faults the reward reaches R and resets the counters.
         assert!(!points[0].correlated, "R=5 forgets");
         assert!(!points[1].correlated, "R=8 forgets");
-        assert!(!points[2].correlated, "R=9 forgets (exactly 9 clean rounds)");
+        assert!(
+            !points[2].correlated,
+            "R=9 forgets (exactly 9 clean rounds)"
+        );
         assert!(points[3].correlated, "R=10 correlates");
         assert!(points[4].correlated, "R=50 correlates");
         // Cross-check against the analytic counter replay.

@@ -33,7 +33,11 @@ fn cluster_rounds(n: usize, rounds: u64, all_curr: bool) -> u64 {
         .unwrap();
     for id in tt_sim::NodeId::all(n) {
         cluster
-            .add_job(id, 0, Box::new(DiagJob::with_logging(id, cfg.clone(), false)))
+            .add_job(
+                id,
+                0,
+                Box::new(DiagJob::with_logging(id, cfg.clone(), false)),
+            )
             .unwrap();
     }
     cluster.run_rounds(rounds);

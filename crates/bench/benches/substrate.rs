@@ -5,8 +5,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 
 use tt_core::syndrome::Syndrome;
 use tt_sim::{
-    crc32, ClockConfig, ClockEnsemble, ClusterBuilder, Frame, Nanos, NodeId, RoundIndex,
-    TraceMode,
+    crc32, ClockConfig, ClockEnsemble, ClusterBuilder, Frame, Nanos, NodeId, RoundIndex, TraceMode,
 };
 
 fn bench_substrate(c: &mut Criterion) {

@@ -1,0 +1,133 @@
+//! `throughput` — measures simulation and campaign throughput and writes
+//! `BENCH_throughput.json` (run from the repository root:
+//! `cargo run --release -p tt-bench --bin throughput`).
+//!
+//! Two families of numbers:
+//!
+//! * **rounds/sec** of the substrate hot path (`Cluster::run_round` with a
+//!   healthy bus and `TraceMode::Off`) for N ∈ {4, 8, 16} nodes;
+//! * **experiments/sec** of the Sec. 8 validation campaign, repeatedly
+//!   issued the way sensitivity/tuning sweeps do, on the persistent
+//!   [`tt_bench::CampaignExecutor`] pool versus the legacy
+//!   spawn-per-campaign runner, at 8 worker threads.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use tt_bench::{run_parallel_campaign, run_parallel_campaign_legacy};
+use tt_fault::{run_campaign, sec8_classes};
+use tt_sim::{ClusterBuilder, NoFaults, TraceMode};
+
+#[derive(Serialize)]
+struct RoundsSample {
+    n_nodes: usize,
+    rounds_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct CampaignSample {
+    classes: usize,
+    reps: u64,
+    threads: usize,
+    iterations: usize,
+    pooled_experiments_per_sec: f64,
+    legacy_experiments_per_sec: f64,
+    pooled_over_legacy: f64,
+    matches_sequential: bool,
+}
+
+#[derive(Serialize)]
+struct ThroughputReport {
+    rounds: Vec<RoundsSample>,
+    campaign: CampaignSample,
+}
+
+/// Steady-state rounds/sec of an n-node cluster with tracing off.
+fn rounds_per_sec(n: usize) -> f64 {
+    let mut cluster = ClusterBuilder::new(n)
+        .trace_mode(TraceMode::Off)
+        .build(Box::new(NoFaults))
+        .expect("valid cluster");
+    cluster.run_rounds(1_000); // warm the scratch buffers
+    let batch = 10_000u64;
+    let mut rounds = 0u64;
+    let start = Instant::now();
+    while start.elapsed().as_secs_f64() < 0.5 {
+        cluster.run_rounds(batch);
+        rounds += batch;
+    }
+    rounds as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Experiments/sec over repeated Sec. 8 campaigns: pooled vs legacy runner.
+fn campaign_sample() -> CampaignSample {
+    let classes = sec8_classes(4);
+    let (n, reps, threads, base_seed) = (4usize, 1u64, 8usize, 2_007u64);
+    let iterations = 20usize;
+
+    // Correctness cross-check doubles as warm-up (the pooled warm-up spawns
+    // and caches the executor — exactly what a sweep's first call does).
+    let seq = run_campaign(&classes, n, reps, base_seed);
+    let pooled = run_parallel_campaign(&classes, n, reps, base_seed, threads);
+    let legacy = run_parallel_campaign_legacy(&classes, n, reps, base_seed, threads);
+    let matches_sequential = seq.outcomes == pooled.outcomes && seq.outcomes == legacy.outcomes;
+
+    let experiments = (iterations * classes.len()) as u64 * reps;
+    let start = Instant::now();
+    for _ in 0..iterations {
+        std::hint::black_box(run_parallel_campaign(&classes, n, reps, base_seed, threads));
+    }
+    let pooled_experiments_per_sec = experiments as f64 / start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    for _ in 0..iterations {
+        std::hint::black_box(run_parallel_campaign_legacy(
+            &classes, n, reps, base_seed, threads,
+        ));
+    }
+    let legacy_experiments_per_sec = experiments as f64 / start.elapsed().as_secs_f64();
+
+    CampaignSample {
+        classes: classes.len(),
+        reps,
+        threads,
+        iterations,
+        pooled_experiments_per_sec,
+        legacy_experiments_per_sec,
+        pooled_over_legacy: pooled_experiments_per_sec / legacy_experiments_per_sec,
+        matches_sequential,
+    }
+}
+
+fn main() {
+    let rounds: Vec<RoundsSample> = [4usize, 8, 16]
+        .into_iter()
+        .map(|n_nodes| {
+            let r = RoundsSample {
+                n_nodes,
+                rounds_per_sec: rounds_per_sec(n_nodes),
+            };
+            println!("N={:<2} {:>12.0} rounds/sec", r.n_nodes, r.rounds_per_sec);
+            r
+        })
+        .collect();
+
+    let campaign = campaign_sample();
+    println!(
+        "sec8 campaign ({} classes x {} reps, {} threads, {} iterations):",
+        campaign.classes, campaign.reps, campaign.threads, campaign.iterations
+    );
+    println!(
+        "  pooled {:>9.1} exp/sec | legacy {:>9.1} exp/sec | ratio {:.2}x | matches sequential: {}",
+        campaign.pooled_experiments_per_sec,
+        campaign.legacy_experiments_per_sec,
+        campaign.pooled_over_legacy,
+        campaign.matches_sequential
+    );
+
+    let report = ThroughputReport { rounds, campaign };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_throughput.json", json + "\n").expect("write BENCH_throughput.json");
+    println!("wrote BENCH_throughput.json");
+}

@@ -39,7 +39,11 @@ pub fn alpha_time_to_isolation(
         if !alpha.update(&rec.health).is_empty() {
             // The verdict lands `lag` rounds after the diagnosed round; the
             // decision time matches the p/r measurement convention.
-            return Some(rec.decided_at.start_time(round).saturating_sub(offset_time(round)));
+            return Some(
+                rec.decided_at
+                    .start_time(round)
+                    .saturating_sub(offset_time(round)),
+            );
         }
     }
     None
@@ -136,13 +140,8 @@ pub fn intermittent_detection(
     );
     cluster.run_rounds(total);
     let job: &DiagJob = cluster.job_as(NodeId::new(1)).expect("diag job");
-    let mut pr = tt_core::PenaltyReward::new(
-        n,
-        vec![1; n],
-        p,
-        r,
-        tt_core::ReintegrationPolicy::Never,
-    );
+    let mut pr =
+        tt_core::PenaltyReward::new(n, vec![1; n], p, r, tt_core::ReintegrationPolicy::Never);
     let mut alpha = AlphaCount::new(n, alpha_k, alpha_t);
     let mut pr_at = None;
     let mut alpha_at = None;
@@ -220,22 +219,29 @@ pub fn comparison_report() -> String {
     ]);
     out.push_str(&table.render());
 
-    out.push_str("\nAxis 2: rounds to isolate an unhealthy node (intermittent fault, one per 20 rounds)\n\n");
+    out.push_str(
+        "\nAxis 2: rounds to isolate an unhealthy node (intermittent fault, one per 20 rounds)\n\n",
+    );
     let (pr_at, a_at, ttpc_at) = intermittent_detection(20, 5, 1_000_000, alpha_k, alpha_t, n);
     let mut table = Table::new(vec!["Mechanism", "Rounds to isolation", "Notes"]);
     table.row(vec![
         "Diagnosis + p/r".to_string(),
-        pr_at.map(|r| r.to_string()).unwrap_or_else(|| "never".into()),
+        pr_at
+            .map(|r| r.to_string())
+            .unwrap_or_else(|| "never".into()),
         "P/s = 5 correlated faults needed; R = 1e6 keeps them correlated".to_string(),
     ]);
     table.row(vec![
         "Diagnosis + alpha-count".to_string(),
-        a_at.map(|r| r.to_string()).unwrap_or_else(|| "never".into()),
+        a_at.map(|r| r.to_string())
+            .unwrap_or_else(|| "never".into()),
         "same shape: decay over 19 clean rounds is negligible at K ~ 1".to_string(),
     ]);
     table.row(vec![
         "TTP/C-style membership".to_string(),
-        ttpc_at.map(|r| r.to_string()).unwrap_or_else(|| "never".into()),
+        ttpc_at
+            .map(|r| r.to_string())
+            .unwrap_or_else(|| "never".into()),
         "instant — but it treats healthy transients identically".to_string(),
     ]);
     out.push_str(&table.render());
@@ -261,7 +267,10 @@ mod tests {
         );
         assert_eq!(alive, 0, "blackout burst freezes everyone");
         let t = first.expect("frozen").as_secs_f64();
-        assert!(t < 0.02, "within the first 10 ms burst + one round, got {t}");
+        assert!(
+            t < 0.02,
+            "within the first 10 ms burst + one round, got {t}"
+        );
     }
 
     #[test]

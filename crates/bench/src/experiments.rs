@@ -42,11 +42,10 @@ fn fault_at(round: u64, node: u32) -> impl FnMut(&TxCtx) -> SlotEffect + Send {
 /// round, which phase the instance diagnosing the faulty round is in.
 pub fn fig1_report() -> String {
     let cfg = ProtocolConfig::builder(PAPER_N).build().expect("valid");
-    let mut cluster = ClusterBuilder::new(PAPER_N)
-        .build_with_jobs(
-            |id| Box::new(DiagJob::new(id, cfg.clone())),
-            Box::new(fault_at(10, 2)),
-        );
+    let mut cluster = ClusterBuilder::new(PAPER_N).build_with_jobs(
+        |id| Box::new(DiagJob::new(id, cfg.clone())),
+        Box::new(fault_at(10, 2)),
+    );
     cluster.run_rounds(16);
     let diag: &DiagJob = cluster.job_as(NodeId::new(1)).expect("diag job");
     let rec = diag
@@ -57,7 +56,10 @@ pub fn fig1_report() -> String {
     );
     let k = 10u64;
     let mut t = Table::new(vec!["Round", "Phase of the instance diagnosing round 10"]);
-    t.row(vec![format!("{k}"), "faults occur (diagnosed round)".into()]);
+    t.row(vec![
+        format!("{k}"),
+        "faults occur (diagnosed round)".into(),
+    ]);
     t.row(vec![
         format!("{}", k + 1),
         "local detection: validity bits of round 10 read & aligned".into(),
@@ -184,9 +186,27 @@ pub fn fig3_report() -> String {
     // The figure itself, as an ASCII chart (log-x via the log-spaced sweep,
     // log-y via log10 of the probability).
     let series: Vec<(&str, Vec<f64>)> = vec![
-        ("0.001/h", curve(0.001, t, sweep.clone()).iter().map(|p| p.probability.log10()).collect()),
-        ("0.014/h", curve(0.014, t, sweep.clone()).iter().map(|p| p.probability.log10()).collect()),
-        ("0.2/h", curve(0.2, t, sweep.clone()).iter().map(|p| p.probability.log10()).collect()),
+        (
+            "0.001/h",
+            curve(0.001, t, sweep.clone())
+                .iter()
+                .map(|p| p.probability.log10())
+                .collect(),
+        ),
+        (
+            "0.014/h",
+            curve(0.014, t, sweep.clone())
+                .iter()
+                .map(|p| p.probability.log10())
+                .collect(),
+        ),
+        (
+            "0.2/h",
+            curve(0.2, t, sweep.clone())
+                .iter()
+                .map(|p| p.probability.log10())
+                .collect(),
+        ),
     ];
     out.push_str("\nlog10 P(false correlation) vs R (log-spaced 1e2..1e8, T = 2.5 ms):\n\n");
     out.push_str(&tt_analysis::line_chart(&series, 12, ".o*"));
@@ -236,16 +256,38 @@ pub fn table2_report() -> String {
     add_rows(&aero);
     out.push_str(&t.render());
     let mut cmp = ReportBuilder::new();
-    cmp.record("P (automotive)", "197", auto.penalty_threshold.to_string(),
-        auto.penalty_threshold == 197, "measured via continuous-burst injection");
-    cmp.record("s SC/SR/NSR (automotive)", "40/6/1",
-        auto.rows.iter().map(|r| r.criticality.to_string()).collect::<Vec<_>>().join("/"),
+    cmp.record(
+        "P (automotive)",
+        "197",
+        auto.penalty_threshold.to_string(),
+        auto.penalty_threshold == 197,
+        "measured via continuous-burst injection",
+    );
+    cmp.record(
+        "s SC/SR/NSR (automotive)",
+        "40/6/1",
+        auto.rows
+            .iter()
+            .map(|r| r.criticality.to_string())
+            .collect::<Vec<_>>()
+            .join("/"),
         auto.rows.iter().map(|r| r.criticality).collect::<Vec<_>>() == vec![40, 6, 1],
-        "derived s_i = ceil(P / p_i)");
-    cmp.record("P (aerospace)", "17", aero.penalty_threshold.to_string(),
-        aero.penalty_threshold == 17, "");
-    cmp.record("s SC (aerospace)", "1", aero.rows[0].criticality.to_string(),
-        aero.rows[0].criticality == 1, "");
+        "derived s_i = ceil(P / p_i)",
+    );
+    cmp.record(
+        "P (aerospace)",
+        "17",
+        aero.penalty_threshold.to_string(),
+        aero.penalty_threshold == 17,
+        "",
+    );
+    cmp.record(
+        "s SC (aerospace)",
+        "1",
+        aero.rows[0].criticality.to_string(),
+        aero.rows[0].criticality == 1,
+        "",
+    );
     out.push('\n');
     out.push_str(&cmp.render());
     out
@@ -383,7 +425,10 @@ pub fn validation_report(reps: u64, threads: usize) -> String {
         result.all_passed()
     ));
     for o in result.outcomes.iter().filter(|o| !o.passed).take(5) {
-        out.push_str(&format!("FAILURE {} seed {}: {:?}\n", o.label, o.seed, o.notes));
+        out.push_str(&format!(
+            "FAILURE {} seed {}: {:?}\n",
+            o.label, o.seed, o.notes
+        ));
     }
     out
 }
@@ -466,9 +511,8 @@ pub fn lowlat_report() -> String {
 pub fn bandwidth_report() -> String {
     use tt_core::bandwidth::{bandwidth_table, verify_against_encoders, Variant};
     let t = paper_round();
-    let mut out = String::from(
-        "Bandwidth — protocol overhead per variant (from the wire encoders)\n\n",
-    );
+    let mut out =
+        String::from("Bandwidth — protocol overhead per variant (from the wire encoders)\n\n");
     let mut table = Table::new(vec![
         "Variant",
         "N",

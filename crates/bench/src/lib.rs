@@ -22,4 +22,4 @@ pub mod parallel;
 
 pub use comparison::comparison_report;
 pub use experiments::*;
-pub use parallel::run_parallel_campaign;
+pub use parallel::{run_parallel_campaign, run_parallel_campaign_legacy, CampaignExecutor};

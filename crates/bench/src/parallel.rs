@@ -1,16 +1,196 @@
-//! Parallel campaign execution.
+//! Parallel campaign execution on a persistent, lock-free worker pool.
 //!
 //! Each experiment is an independent, seeded simulation, so campaigns
-//! parallelize embarrassingly: experiments are distributed over a scoped
-//! thread pool and the outcomes re-assembled in deterministic order.
+//! parallelize embarrassingly. Earlier revisions spawned a fresh scoped
+//! thread pool per campaign and funnelled every result through a
+//! `Mutex<Vec<Option<_>>>`; sweeps that issue many campaigns back to back
+//! (sensitivity analyses, tuning sweeps, the validation matrix) paid the
+//! spawn/join cost and the lock traffic on every call.
+//!
+//! [`CampaignExecutor`] keeps its worker threads alive across campaigns.
+//! Work distribution is chunked and lock-free: workers claim contiguous
+//! chunks of the deterministic work list with a single `fetch_add` on an
+//! atomic cursor, run each chunk's experiments into a chunk-local `Vec`,
+//! and hand finished chunks back over an `mpsc` channel — no mutex is
+//! taken anywhere on the work or result path. The submitting thread
+//! reassembles chunks by index, so the outcome order is bit-identical to
+//! the sequential [`tt_fault::run_campaign`] regardless of thread count or
+//! scheduling.
 
-use parking_lot::Mutex;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
 
-use tt_fault::{run_experiment, CampaignResult, ExperimentClass, ExperimentOutcome};
+use tt_fault::{
+    experiment_seed, run_experiment, CampaignResult, ExperimentClass, ExperimentOutcome,
+};
+
+/// One campaign submitted to the pool: the deterministic work list plus the
+/// lock-free chunk cursor and the channel finished chunks go back on.
+struct CampaignWork {
+    /// `(class, seed)` in sequential-campaign order.
+    items: Vec<(ExperimentClass, u64)>,
+    /// Cluster size.
+    n: usize,
+    /// Work-list chunking (contiguous, disjoint ranges covering `items`).
+    chunks: Vec<Range<usize>>,
+    /// Index of the next unclaimed chunk.
+    next_chunk: AtomicUsize,
+    /// Finished chunks, tagged with their chunk index.
+    results: Sender<(usize, Vec<ExperimentOutcome>)>,
+}
+
+fn worker_loop(jobs: Receiver<Arc<CampaignWork>>) {
+    while let Ok(work) = jobs.recv() {
+        loop {
+            let c = work.next_chunk.fetch_add(1, Ordering::Relaxed);
+            let Some(range) = work.chunks.get(c) else {
+                break;
+            };
+            let outcomes: Vec<ExperimentOutcome> = work.items[range.clone()]
+                .iter()
+                .map(|&(class, seed)| run_experiment(class, work.n, seed))
+                .collect();
+            // The submitter may have been dropped (e.g. on panic); a closed
+            // channel just means nobody wants the chunk any more.
+            let _ = work.results.send((c, outcomes));
+        }
+    }
+}
+
+/// A persistent pool of campaign worker threads.
+///
+/// Workers are spawned once and reused for every campaign submitted via
+/// [`CampaignExecutor::run`]; they sleep on a channel between campaigns.
+/// Results are identical (including ordering) to the sequential
+/// [`tt_fault::run_campaign`] with the same seeds.
+pub struct CampaignExecutor {
+    senders: Vec<Sender<Arc<CampaignWork>>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for CampaignExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CampaignExecutor")
+            .field("threads", &self.handles.len())
+            .finish()
+    }
+}
+
+impl CampaignExecutor {
+    /// Spawns a pool with `threads.max(1)` persistent workers.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let mut senders = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let (tx, rx) = mpsc::channel();
+            senders.push(tx);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("campaign-worker-{i}"))
+                    .spawn(move || worker_loop(rx))
+                    .expect("spawn campaign worker"),
+            );
+        }
+        CampaignExecutor { senders, handles }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Runs `reps` seeded repetitions of each class on the pool and returns
+    /// the outcomes in sequential-campaign order.
+    pub fn run(
+        &self,
+        classes: &[ExperimentClass],
+        n: usize,
+        reps: u64,
+        base_seed: u64,
+    ) -> CampaignResult {
+        let items: Vec<(ExperimentClass, u64)> = classes
+            .iter()
+            .enumerate()
+            .flat_map(|(ci, &class)| {
+                (0..reps).map(move |rep| (class, experiment_seed(base_seed, ci, rep)))
+            })
+            .collect();
+        if items.is_empty() {
+            return CampaignResult::default();
+        }
+        // Small chunks keep long-tailed experiments balanced across
+        // workers; chunking only groups sends, it cannot change the
+        // reassembled order.
+        let chunk_size = items.len().div_ceil(self.threads() * 4).max(1);
+        let chunks: Vec<Range<usize>> = (0..items.len())
+            .step_by(chunk_size)
+            .map(|lo| lo..(lo + chunk_size).min(items.len()))
+            .collect();
+        let n_chunks = chunks.len();
+        let (results, collected) = mpsc::channel();
+        let work = Arc::new(CampaignWork {
+            items,
+            n,
+            chunks,
+            next_chunk: AtomicUsize::new(0),
+            results,
+        });
+        for sender in &self.senders {
+            sender
+                .send(Arc::clone(&work))
+                .expect("campaign worker exited unexpectedly");
+        }
+        drop(work);
+        let mut slots: Vec<Option<Vec<ExperimentOutcome>>> = vec![None; n_chunks];
+        for _ in 0..n_chunks {
+            let (idx, outcomes) = collected.recv().expect("campaign worker panicked");
+            slots[idx] = Some(outcomes);
+        }
+        CampaignResult {
+            outcomes: slots
+                .into_iter()
+                .flat_map(|c| c.expect("every chunk index reported once"))
+                .collect(),
+        }
+    }
+}
+
+impl Drop for CampaignExecutor {
+    fn drop(&mut self) {
+        // Closing the job channels wakes the workers out of `recv`.
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Process-wide executor cache, keyed by thread count, so repeated
+/// campaigns (sensitivity sweeps, tuning matrices) reuse one warm pool
+/// instead of spawning threads per call.
+fn shared_executor(threads: usize) -> Arc<CampaignExecutor> {
+    type PoolRegistry = Mutex<Vec<(usize, Arc<CampaignExecutor>)>>;
+    static POOLS: OnceLock<PoolRegistry> = OnceLock::new();
+    let registry = POOLS.get_or_init(|| Mutex::new(Vec::new()));
+    let mut pools = registry.lock().expect("executor registry poisoned");
+    if let Some((_, executor)) = pools.iter().find(|(t, _)| *t == threads) {
+        return Arc::clone(executor);
+    }
+    let executor = Arc::new(CampaignExecutor::new(threads));
+    pools.push((threads, Arc::clone(&executor)));
+    executor
+}
 
 /// Runs `reps` seeded repetitions of each class across `threads` worker
 /// threads. The result is identical (including ordering) to the sequential
 /// [`tt_fault::run_campaign`] with the same seeds.
+///
+/// Pools are cached per thread count and reused across calls; use
+/// [`CampaignExecutor`] directly for explicit pool lifetime control.
 pub fn run_parallel_campaign(
     classes: &[ExperimentClass],
     n: usize,
@@ -18,41 +198,51 @@ pub fn run_parallel_campaign(
     base_seed: u64,
     threads: usize,
 ) -> CampaignResult {
-    // Materialize the work list with the same seed derivation as the
-    // sequential runner.
+    shared_executor(threads.max(1)).run(classes, n, reps, base_seed)
+}
+
+/// The pre-pool runner, retained as the measured baseline for
+/// `tt-bench throughput`: scoped threads spawned per campaign, every
+/// result written behind one mutex.
+pub fn run_parallel_campaign_legacy(
+    classes: &[ExperimentClass],
+    n: usize,
+    reps: u64,
+    base_seed: u64,
+    threads: usize,
+) -> CampaignResult {
     let work: Vec<(usize, ExperimentClass, u64)> = classes
         .iter()
         .enumerate()
         .flat_map(|(ci, &class)| {
             (0..reps).map(move |rep| {
-                let seed = base_seed
-                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    .wrapping_add((ci as u64) << 32)
-                    .wrapping_add(rep);
-                (ci * reps as usize + rep as usize, class, seed)
+                (
+                    ci * reps as usize + rep as usize,
+                    class,
+                    experiment_seed(base_seed, ci, rep),
+                )
             })
         })
         .collect();
-    let outcomes: Mutex<Vec<Option<ExperimentOutcome>>> =
-        Mutex::new(vec![None; work.len()]);
-    let next = std::sync::atomic::AtomicUsize::new(0);
+    let outcomes: Mutex<Vec<Option<ExperimentOutcome>>> = Mutex::new(vec![None; work.len()]);
+    let next = AtomicUsize::new(0);
     let threads = threads.max(1).min(work.len().max(1));
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(&(slot, class, seed)) = work.get(i) else {
                     break;
                 };
                 let outcome = run_experiment(class, n, seed);
-                outcomes.lock()[slot] = Some(outcome);
+                outcomes.lock().expect("result mutex poisoned")[slot] = Some(outcome);
             });
         }
-    })
-    .expect("campaign worker panicked");
+    });
     CampaignResult {
         outcomes: outcomes
             .into_inner()
+            .expect("result mutex poisoned")
             .into_iter()
             .map(|o| o.expect("all work items completed"))
             .collect(),
@@ -64,31 +254,59 @@ mod tests {
     use super::*;
     use tt_fault::run_campaign;
 
+    fn burst(len_slots: u64, start_slot: usize) -> ExperimentClass {
+        ExperimentClass::Burst {
+            len_slots,
+            start_slot,
+        }
+    }
+
     #[test]
-    fn parallel_matches_sequential() {
-        let classes = [
-            ExperimentClass::Burst {
-                len_slots: 1,
-                start_slot: 0,
-            },
-            ExperimentClass::Burst {
-                len_slots: 2,
-                start_slot: 3,
-            },
-        ];
-        let seq = run_campaign(&classes, 4, 3, 42);
-        let par = run_parallel_campaign(&classes, 4, 3, 42, 4);
-        assert_eq!(seq.outcomes, par.outcomes);
-        assert!(par.all_passed());
+    fn parallel_matches_sequential_across_thread_counts() {
+        // Uneven work list: three classes, five reps — does not divide
+        // evenly into chunks for any of the pool sizes below.
+        let classes = [burst(1, 0), burst(2, 3), burst(1, 2)];
+        let seq = run_campaign(&classes, 4, 5, 42);
+        for threads in [1usize, 2, 7, 16] {
+            let par = run_parallel_campaign(&classes, 4, 5, 42, threads);
+            assert_eq!(seq.outcomes, par.outcomes, "{threads} threads");
+            assert!(par.all_passed());
+            let legacy = run_parallel_campaign_legacy(&classes, 4, 5, 42, threads);
+            assert_eq!(seq.outcomes, legacy.outcomes, "{threads} threads (legacy)");
+        }
     }
 
     #[test]
     fn single_thread_degenerate_case() {
-        let classes = [ExperimentClass::Burst {
-            len_slots: 1,
-            start_slot: 1,
-        }];
+        let classes = [burst(1, 1)];
         let r = run_parallel_campaign(&classes, 4, 2, 7, 1);
         assert_eq!(r.total(), 2);
+    }
+
+    #[test]
+    fn empty_classes_and_zero_reps() {
+        assert_eq!(run_parallel_campaign(&[], 4, 3, 7, 4).total(), 0);
+        assert_eq!(run_parallel_campaign(&[burst(1, 0)], 4, 0, 7, 4).total(), 0);
+        assert_eq!(run_parallel_campaign_legacy(&[], 4, 3, 7, 4).total(), 0);
+    }
+
+    #[test]
+    fn pool_survives_repeated_campaigns() {
+        let executor = CampaignExecutor::new(3);
+        let classes = [burst(1, 0), burst(2, 1)];
+        let seq = run_campaign(&classes, 4, 2, 11);
+        for _ in 0..4 {
+            let par = executor.run(&classes, 4, 2, 11);
+            assert_eq!(seq.outcomes, par.outcomes);
+        }
+        assert_eq!(executor.threads(), 3);
+    }
+
+    #[test]
+    fn more_threads_than_work_items() {
+        let classes = [burst(1, 0)];
+        let seq = run_campaign(&classes, 4, 1, 5);
+        let par = run_parallel_campaign(&classes, 4, 1, 5, 16);
+        assert_eq!(seq.outcomes, par.outcomes);
     }
 }

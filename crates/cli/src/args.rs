@@ -163,12 +163,12 @@ impl FaultSpec {
                 Ok(FaultSpec::Crash { node, round })
             }
             "burst" => {
-                let (len, at) = rest
-                    .split_once('@')
-                    .ok_or_else(|| ParseError(format!("burst must be LEN@ROUND.SLOT, got {rest:?}")))?;
-                let (round, slot) = at
-                    .split_once('.')
-                    .ok_or_else(|| ParseError(format!("burst must be LEN@ROUND.SLOT, got {rest:?}")))?;
+                let (len, at) = rest.split_once('@').ok_or_else(|| {
+                    ParseError(format!("burst must be LEN@ROUND.SLOT, got {rest:?}"))
+                })?;
+                let (round, slot) = at.split_once('.').ok_or_else(|| {
+                    ParseError(format!("burst must be LEN@ROUND.SLOT, got {rest:?}"))
+                })?;
                 Ok(FaultSpec::Burst {
                     len: parse_num(len, "burst length")?,
                     round: parse_num(round, "round")?,
@@ -183,9 +183,9 @@ impl FaultSpec {
                 Ok(FaultSpec::Noise { p })
             }
             "asym" => {
-                let (at, rxs) = rest
-                    .rsplit_once(':')
-                    .ok_or_else(|| ParseError(format!("asym must be NODE@ROUND:RX,..., got {rest:?}")))?;
+                let (at, rxs) = rest.rsplit_once(':').ok_or_else(|| {
+                    ParseError(format!("asym must be NODE@ROUND:RX,..., got {rest:?}"))
+                })?;
                 let (node, round) = parse_at(at, "asym")?;
                 let detected_by = rxs
                     .split(',')
@@ -438,7 +438,10 @@ mod tests {
                 slot: 2
             }
         );
-        assert_eq!(FaultSpec::parse("noise:0.1").unwrap(), FaultSpec::Noise { p: 0.1 });
+        assert_eq!(
+            FaultSpec::parse("noise:0.1").unwrap(),
+            FaultSpec::Noise { p: 0.1 }
+        );
         assert_eq!(
             FaultSpec::parse("asym:1@9:1,2").unwrap(),
             FaultSpec::Asym {
@@ -457,10 +460,22 @@ mod tests {
 
     #[test]
     fn fault_spec_errors_are_informative() {
-        assert!(FaultSpec::parse("crash:3").unwrap_err().0.contains("NODE@ROUND"));
-        assert!(FaultSpec::parse("noise:2.0").unwrap_err().0.contains("out of range"));
-        assert!(FaultSpec::parse("warp:9").unwrap_err().0.contains("unknown fault kind"));
-        assert!(FaultSpec::parse("scenario:rain").unwrap_err().0.contains("unknown scenario"));
+        assert!(FaultSpec::parse("crash:3")
+            .unwrap_err()
+            .0
+            .contains("NODE@ROUND"));
+        assert!(FaultSpec::parse("noise:2.0")
+            .unwrap_err()
+            .0
+            .contains("out of range"));
+        assert!(FaultSpec::parse("warp:9")
+            .unwrap_err()
+            .0
+            .contains("unknown fault kind"));
+        assert!(FaultSpec::parse("scenario:rain")
+            .unwrap_err()
+            .0
+            .contains("unknown scenario"));
     }
 
     #[test]

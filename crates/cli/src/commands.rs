@@ -41,8 +41,8 @@ pub fn run(cmd: Command) -> Result<String, String> {
             reward,
             timeline,
         } => {
-            let body = std::fs::read_to_string(&trace)
-                .map_err(|e| format!("reading {trace}: {e}"))?;
+            let body =
+                std::fs::read_to_string(&trace).map_err(|e| format!("reading {trace}: {e}"))?;
             let restored: tt_sim::Trace =
                 serde_json::from_str(&body).map_err(|e| format!("parsing {trace}: {e}"))?;
             let pipeline = Box::new(restored.replay_pipeline());
@@ -55,13 +55,8 @@ fn round_for(n: usize) -> Nanos {
     Nanos::from_nanos(2_500_000 - (2_500_000 % n as u64))
 }
 
-fn build_pipeline(
-    faults: &[FaultSpec],
-    n: usize,
-    seed: u64,
-) -> Result<DisturbanceNode, String> {
-    let sched = tt_sim::CommunicationSchedule::new(n, round_for(n))
-        .map_err(|e| e.to_string())?;
+fn build_pipeline(faults: &[FaultSpec], n: usize, seed: u64) -> Result<DisturbanceNode, String> {
+    let sched = tt_sim::CommunicationSchedule::new(n, round_for(n)).map_err(|e| e.to_string())?;
     let mut node = DisturbanceNode::new(seed);
     for f in faults {
         match f {
@@ -142,15 +137,18 @@ fn simulate(
         out.push_str(&timeline::render_anomalies(trace, n, 1));
         out.push('\n');
     }
-    let diag: &DiagJob = cluster
-        .job_as(NodeId::new(1))
-        .map_err(|e| e.to_string())?;
+    let diag: &DiagJob = cluster.job_as(NodeId::new(1)).map_err(|e| e.to_string())?;
     let mut t = Table::new(vec!["Node", "Active", "Penalty", "Reward", "Availability"]);
     let avail = availability_of(diag, rounds);
     for id in NodeId::all(n) {
         t.row(vec![
             id.to_string(),
-            if diag.is_active(id) { "yes" } else { "ISOLATED" }.to_string(),
+            if diag.is_active(id) {
+                "yes"
+            } else {
+                "ISOLATED"
+            }
+            .to_string(),
             diag.penalty(id).to_string(),
             diag.reward(id).to_string(),
             format!("{:.1}%", avail.nodes[id.index()].fraction() * 100.0),
@@ -175,10 +173,11 @@ fn simulate(
         report.violations.len()
     ));
     if let Some(path) = record {
-        let body = serde_json::to_string_pretty(cluster.trace())
-            .map_err(|e| e.to_string())?;
+        let body = serde_json::to_string_pretty(cluster.trace()).map_err(|e| e.to_string())?;
         std::fs::write(&path, body).map_err(|e| format!("writing {path}: {e}"))?;
-        out.push_str(&format!("\nrecorded fault trace to {path} (replay with `ttdiag replay {path}`)\n"));
+        out.push_str(&format!(
+            "\nrecorded fault trace to {path} (replay with `ttdiag replay {path}`)\n"
+        ));
     }
     Ok(out)
 }

@@ -154,8 +154,7 @@ impl LowLatNode {
         // 2. Our own vote on this slot.
         self.pending
             .entry(abs)
-            .or_insert_with(|| vec![Vote::Pending; self.n])[self.index] =
-            Vote::Opinion(validity);
+            .or_insert_with(|| vec![Vote::Pending; self.n])[self.index] = Vote::Opinion(validity);
         // 3. Extract the sender's window votes and accusation vector.
         match payload {
             Some(p) => {
@@ -443,10 +442,7 @@ impl LowLatCluster {
         let decided = self.ground_truth.len() as u64;
         for a in 0..decided.saturating_sub(n) {
             let sender = NodeId::from_slot((a % n) as usize);
-            let reference = match self
-                .verdict_at(NodeId::new(1), a)
-                .map(|v| v.healthy)
-            {
+            let reference = match self.verdict_at(NodeId::new(1), a).map(|v| v.healthy) {
                 Some(v) => v,
                 None => {
                     violations.push(format!("slot {a}: node 1 has no verdict"));

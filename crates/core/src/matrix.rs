@@ -89,7 +89,11 @@ impl DiagnosticMatrix {
         }
         out.push('\n');
         for i in 0..n {
-            out.push_str(&format!("Node {:<5} | {}\n", i + 1, format_row(&self.rows[i], i, n)));
+            out.push_str(&format!(
+                "Node {:<5} | {}\n",
+                i + 1,
+                format_row(&self.rows[i], i, n)
+            ));
         }
         out
     }
@@ -149,7 +153,10 @@ mod tests {
             Some(accuse2.clone()),
         ]);
         // Column 2 votes exclude row 2 entirely.
-        assert_eq!(m.column_votes(NodeId::new(2)), vec![Some(false), Some(false)]);
+        assert_eq!(
+            m.column_votes(NodeId::new(2)),
+            vec![Some(false), Some(false)]
+        );
         assert_eq!(m.vote(NodeId::new(2)), HMaj::Decided(false));
         // The frame-up on node 1 is outvoted 1 against 1... tie => healthy.
         assert_eq!(m.vote(NodeId::new(1)), HMaj::Decided(true));

@@ -138,11 +138,7 @@ impl MembershipJob {
     /// Detects the minority clique: nodes whose disseminated syndrome
     /// disagrees with the consistent health vector on some *other* node's
     /// health (their self-opinion is ignored, as in the voting).
-    fn minority_accusations(
-        &self,
-        al_dm: &[SyndromeRow],
-        cons_hv: &[bool],
-    ) -> Vec<NodeId> {
+    fn minority_accusations(&self, al_dm: &[SyndromeRow], cons_hv: &[bool]) -> Vec<NodeId> {
         let mut accused = Vec::new();
         for (j, row) in al_dm.iter().enumerate() {
             if j == self.node.index() {
@@ -268,9 +264,7 @@ mod tests {
             .unwrap()
     }
 
-    fn cluster_with(
-        pipeline: impl FnMut(&TxCtx) -> SlotEffect + Send + 'static,
-    ) -> Cluster {
+    fn cluster_with(pipeline: impl FnMut(&TxCtx) -> SlotEffect + Send + 'static) -> Cluster {
         let cfg = config();
         ClusterBuilder::new(4).build_with_jobs(
             move |id| Box::new(MembershipJob::new(id, cfg.clone())),

@@ -234,13 +234,7 @@ mod tests {
 
     #[test]
     fn reintegration_after_observed_recovery() {
-        let mut pr = PenaltyReward::new(
-            4,
-            vec![1; 4],
-            1,
-            10,
-            ReintegrationPolicy::AfterRewards(3),
-        );
+        let mut pr = PenaltyReward::new(4, vec![1; 4], 1, 10, ReintegrationPolicy::AfterRewards(3));
         pr.update(&hv(&[4]));
         pr.update(&hv(&[4]));
         assert!(!pr.is_active(NodeId::new(4)));

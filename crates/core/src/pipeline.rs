@@ -145,7 +145,11 @@ mod tests {
         let node = NodeId::new(1);
         let mut c = Controller::new(node, 4);
         let s = Syndrome::all_ok(4);
-        c.deliver(NodeId::new(2), RoundIndex::new(0), Reception::Valid(s.encode()));
+        c.deliver(
+            NodeId::new(2),
+            RoundIndex::new(0),
+            Reception::Valid(s.encode()),
+        );
         c.deliver(NodeId::new(3), RoundIndex::new(0), Reception::Detected);
         let bufs = AlignmentBuffers::new(4);
         let ctx = ctx_for(&mut c, node, 0, 1);
@@ -168,7 +172,10 @@ mod tests {
             bufs.disseminate(&mut ctx, false, &al, |_| {});
         }
         assert!(bufs.own_row_for_tx_round(RoundIndex::new(5)).is_none());
-        assert_eq!(bufs.own_row_for_tx_round(RoundIndex::new(6)), Some(al.clone()));
+        assert_eq!(
+            bufs.own_row_for_tx_round(RoundIndex::new(6)),
+            Some(al.clone())
+        );
         // offset 0 <= slot 0: sends this round. With mixed alignment the
         // *previous* aligned syndrome ships.
         let node4 = NodeId::new(4);

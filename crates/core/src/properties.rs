@@ -59,8 +59,7 @@ impl FaultCounts {
 
     /// Lemma 2's hypothesis: `N > 2a + 2s + b + 1` and `a ≤ 1`.
     pub fn lemma2_holds(&self, n: usize) -> bool {
-        self.asymmetric <= 1
-            && n > 2 * self.asymmetric + 2 * self.malicious + self.benign + 1
+        self.asymmetric <= 1 && n > 2 * self.asymmetric + 2 * self.malicious + self.benign + 1
     }
 
     /// Lemma 3's hypothesis: only benign faults (any number of them).
@@ -72,12 +71,7 @@ impl FaultCounts {
 /// Whether the protocol execution diagnosing `diagnosed` stays within
 /// Theorem 1's hypotheses, considering faults across the execution window
 /// `[diagnosed, diagnosed + lag]` (local detection through dissemination).
-pub fn execution_in_hypothesis(
-    trace: &Trace,
-    diagnosed: RoundIndex,
-    lag: u64,
-    n: usize,
-) -> bool {
+pub fn execution_in_hypothesis(trace: &Trace, diagnosed: RoundIndex, lag: u64, n: usize) -> bool {
     let mut window = FaultCounts::default();
     for d in 0..=lag {
         window.accumulate(FaultCounts::of_round(trace, diagnosed + d));
@@ -271,10 +265,7 @@ pub fn check_diag_cluster(
 /// # Panics
 ///
 /// Panics if an obedient node does not host a `DiagJob`.
-pub fn check_counter_consistency(
-    cluster: &Cluster,
-    obedient: &[NodeId],
-) -> Vec<(NodeId, NodeId)> {
+pub fn check_counter_consistency(cluster: &Cluster, obedient: &[NodeId]) -> Vec<(NodeId, NodeId)> {
     let mut divergent = Vec::new();
     let snapshot = |node: NodeId| {
         let job: &DiagJob = cluster.job_as(node).expect("obedient node runs a DiagJob");
@@ -299,10 +290,7 @@ pub fn check_counter_consistency(
 /// # Panics
 ///
 /// Panics if an obedient node does not host a `MembershipJob`.
-pub fn check_view_consistency(
-    cluster: &Cluster,
-    obedient: &[NodeId],
-) -> Vec<(NodeId, NodeId)> {
+pub fn check_view_consistency(cluster: &Cluster, obedient: &[NodeId]) -> Vec<(NodeId, NodeId)> {
     use crate::membership::MembershipJob;
     let mut divergent = Vec::new();
     let views = |node: NodeId| {
@@ -406,7 +394,12 @@ mod tests {
         assert!(!c.lemma2_holds(4));
         assert!(c.lemma2_holds(8));
         assert!(!c.lemma3_holds());
-        assert!(FaultCounts { asymmetric: 0, malicious: 0, benign: 4 }.lemma3_holds());
+        assert!(FaultCounts {
+            asymmetric: 0,
+            malicious: 0,
+            benign: 4
+        }
+        .lemma3_holds());
     }
 
     #[test]

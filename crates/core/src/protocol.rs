@@ -248,8 +248,12 @@ impl Job for DiagJob {
         // Phases 1 & 3: local detection + aggregation (read alignment).
         let aligned = self.bufs.read_and_align(ctx);
         // Phase 2: dissemination (send alignment).
-        self.bufs
-            .disseminate(ctx, self.config.all_send_curr_round(), &aligned.al_ls, |_| {});
+        self.bufs.disseminate(
+            ctx,
+            self.config.all_send_curr_round(),
+            &aligned.al_ls,
+            |_| {},
+        );
         // Phases 4 & 5: analysis + counter update.
         self.analyze_and_update(ctx, aligned.al_dm.clone());
         // Buffering for the next activation (Alg. 1, lines 16–17).
@@ -265,7 +269,7 @@ impl Job for DiagJob {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tt_sim::{ClusterBuilder, Cluster, SlotEffect, TxCtx};
+    use tt_sim::{Cluster, ClusterBuilder, SlotEffect, TxCtx};
 
     fn config(p: u64, r: u64) -> ProtocolConfig {
         ProtocolConfig::builder(4)
@@ -297,10 +301,7 @@ mod tests {
         for id in 1..=4 {
             let d = diag(&cluster, id);
             assert!(d.health_log().len() >= 15, "pipelined instances complete");
-            assert!(d
-                .health_log()
-                .iter()
-                .all(|h| h.health.iter().all(|&b| b)));
+            assert!(d.health_log().iter().all(|h| h.health.iter().all(|&b| b)));
             assert!(d.isolations().is_empty());
         }
     }
@@ -421,8 +422,18 @@ mod tests {
                 );
             }
             // Surrounding rounds remain clean despite ε-heavy matrices.
-            assert!(d.health_for(RoundIndex::new(9)).unwrap().health.iter().all(|&b| b));
-            assert!(d.health_for(RoundIndex::new(13)).unwrap().health.iter().all(|&b| b));
+            assert!(d
+                .health_for(RoundIndex::new(9))
+                .unwrap()
+                .health
+                .iter()
+                .all(|&b| b));
+            assert!(d
+                .health_for(RoundIndex::new(13))
+                .unwrap()
+                .health
+                .iter()
+                .all(|&b| b));
         }
     }
 
@@ -442,7 +453,13 @@ mod tests {
         });
         cluster.run_rounds(20);
         let verdicts: Vec<Vec<bool>> = (1..=4)
-            .map(|id| diag(&cluster, id).health_for(RoundIndex::new(10)).unwrap().health.clone())
+            .map(|id| {
+                diag(&cluster, id)
+                    .health_for(RoundIndex::new(10))
+                    .unwrap()
+                    .health
+                    .clone()
+            })
             .collect();
         assert!(verdicts.windows(2).all(|w| w[0] == w[1]), "consistency");
         // With a single accuser among three voters the majority says

@@ -103,10 +103,7 @@ mod tests {
         // Eqn. 1 `else` branch: protects correct nodes from split votes
         // caused by malicious/asymmetric disseminators.
         assert_eq!(h_maj([Some(true), Some(false)]), HMaj::Decided(true));
-        assert_eq!(
-            h_maj([Some(true), Some(false), None]),
-            HMaj::Decided(true)
-        );
+        assert_eq!(h_maj([Some(true), Some(false), None]), HMaj::Decided(true));
     }
 
     #[test]

@@ -99,7 +99,8 @@ impl SenderBurst {
 
 impl Disturbance for SenderBurst {
     fn effect(&mut self, ctx: &TxCtx, _rng: &mut StdRng) -> Option<SlotEffect> {
-        self.covers(ctx.round, ctx.sender).then_some(SlotEffect::Benign)
+        self.covers(ctx.round, ctx.sender)
+            .then_some(SlotEffect::Benign)
     }
 }
 
@@ -159,10 +160,7 @@ mod tests {
         let b = Burst::in_round(RoundIndex::new(5), 2, 2, 4);
         assert_eq!(b.start(), 22);
         let mut b2 = b;
-        assert_eq!(
-            b2.effect(&ctx(22, 4), &mut rng()),
-            Some(SlotEffect::Benign)
-        );
+        assert_eq!(b2.effect(&ctx(22, 4), &mut rng()), Some(SlotEffect::Benign));
         assert_eq!(b2.effect(&ctx(24, 4), &mut rng()), None);
     }
 

@@ -184,14 +184,13 @@ pub fn run_extended(class: ExtendedClass, n: usize, seed: u64) -> ExperimentOutc
             }
         }
         ExtendedClass::RandomSos { sender } => {
-            let pipeline = DisturbanceNode::new(seed).with(
-                crate::malicious::AsymmetricDisturbance::new(
+            let pipeline =
+                DisturbanceNode::new(seed).with(crate::malicious::AsymmetricDisturbance::new(
                     sender,
                     fault_round,
                     1,
                     crate::malicious::AsymmetricTarget::RandomSubset,
-                ),
-            );
+                ));
             let mut cluster = diag_cluster(n, pipeline);
             let total = fault_round.as_u64() + 12;
             cluster.run_rounds(total);
@@ -337,10 +336,7 @@ pub fn run_experiment(class: ExperimentClass, n: usize, seed: u64) -> Experiment
                 // 10 faults, criticality 1, thresholds never reached.
                 if job.penalty(node) != 10 {
                     passed = false;
-                    notes.push(format!(
-                        "{obs}: penalty {} != 10",
-                        job.penalty(node)
-                    ));
+                    notes.push(format!("{obs}: penalty {} != 10", job.penalty(node)));
                 }
                 // Every round inside the window stepped exactly one of the
                 // two counters: faulty rounds convicted, healthy acquitted.
@@ -370,16 +366,18 @@ pub fn run_experiment(class: ExperimentClass, n: usize, seed: u64) -> Experiment
         ExperimentClass::MaliciousSyndromes { node } => {
             let cfg = base_config(n);
             let mal_seed = rng.gen();
-            let mut cluster = ClusterBuilder::new(n).round_length(round_for(n)).build_with_jobs(
-                |id| {
-                    if id == node {
-                        Box::new(RandomSyndromeJob::new(id, n, mal_seed))
-                    } else {
-                        Box::new(DiagJob::new(id, cfg.clone()))
-                    }
-                },
-                Box::new(DisturbanceNode::new(seed)),
-            );
+            let mut cluster = ClusterBuilder::new(n)
+                .round_length(round_for(n))
+                .build_with_jobs(
+                    |id| {
+                        if id == node {
+                            Box::new(RandomSyndromeJob::new(id, n, mal_seed))
+                        } else {
+                            Box::new(DiagJob::new(id, cfg.clone()))
+                        }
+                    },
+                    Box::new(DisturbanceNode::new(seed)),
+                );
             let total = 30;
             cluster.run_rounds(total);
             let obedient: Vec<NodeId> = all.iter().copied().filter(|&x| x != node).collect();
@@ -495,6 +493,19 @@ impl CampaignResult {
     }
 }
 
+/// Derives the seed of repetition `rep` of class index `class_idx` from a
+/// campaign's base seed.
+///
+/// This is the *only* seed derivation used by campaign runners (the
+/// sequential [`run_campaign`] and any parallel executor), so their
+/// outcomes are bit-identical for the same `(classes, n, reps, base_seed)`.
+pub fn experiment_seed(base_seed: u64, class_idx: usize, rep: u64) -> u64 {
+    base_seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((class_idx as u64) << 32)
+        .wrapping_add(rep)
+}
+
 /// Runs `reps` seeded repetitions of each class.
 pub fn run_campaign(
     classes: &[ExperimentClass],
@@ -505,10 +516,7 @@ pub fn run_campaign(
     let mut result = CampaignResult::default();
     for (ci, &class) in classes.iter().enumerate() {
         for rep in 0..reps {
-            let seed = base_seed
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add((ci as u64) << 32)
-                .wrapping_add(rep);
+            let seed = experiment_seed(base_seed, ci, rep);
             result.outcomes.push(run_experiment(class, n, seed));
         }
     }

@@ -10,10 +10,11 @@
 //! [`SlotEffect`]. All randomness comes from one seeded RNG, so campaigns
 //! are exactly reproducible from `(configuration, seed)`.
 
+use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use tt_sim::{FaultPipeline, SlotEffect, TxCtx};
+use tt_sim::{apply_effect_into, FaultPipeline, SlotEffect, SlotOutcome, TxCtx};
 
 /// One source of injected faults.
 pub trait Disturbance: Send {
@@ -89,6 +90,13 @@ impl FaultPipeline for DisturbanceNode {
         }
         SlotEffect::Correct
     }
+
+    fn transmit_into(&mut self, ctx: &TxCtx, payload: &Bytes, out: &mut SlotOutcome) {
+        // In-place fill: undisturbed slots (the steady state of a campaign)
+        // allocate nothing on the transmission path.
+        let effect = FaultPipeline::effect(self, ctx);
+        apply_effect_into(&effect, ctx, payload, out);
+    }
 }
 
 #[cfg(test)]
@@ -114,9 +122,7 @@ mod tests {
 
     #[test]
     fn first_matching_source_wins() {
-        let benign = |c: &TxCtx, _: &mut StdRng| {
-            (c.abs_slot == 5).then_some(SlotEffect::Benign)
-        };
+        let benign = |c: &TxCtx, _: &mut StdRng| (c.abs_slot == 5).then_some(SlotEffect::Benign);
         let asym = |c: &TxCtx, _: &mut StdRng| {
             (c.abs_slot >= 5).then_some(SlotEffect::Asymmetric {
                 detected_by: vec![0],

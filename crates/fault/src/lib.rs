@@ -36,8 +36,8 @@ pub mod scenario;
 pub use bitflip::{BitNoise, CrcForger, ReceiverLocalBitNoise};
 pub use burst::{Burst, ContinuousFault, SenderBurst};
 pub use campaign::{
-    extended_classes, run_campaign, run_experiment, run_extended, sec8_classes, CampaignResult,
-    ExperimentClass, ExperimentOutcome, ExtendedClass,
+    experiment_seed, extended_classes, run_campaign, run_experiment, run_extended, sec8_classes,
+    CampaignResult, ExperimentClass, ExperimentOutcome, ExtendedClass,
 };
 pub use injector::{Disturbance, DisturbanceNode};
 pub use malicious::{AsymmetricDisturbance, CliquePartition, RandomSyndromeJob};

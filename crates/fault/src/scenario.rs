@@ -208,10 +208,7 @@ mod tests {
     #[test]
     fn duration_covers_last_burst() {
         let s = TransientScenario::blinking_light();
-        assert_eq!(
-            s.duration(Nanos::ZERO),
-            Nanos::from_millis(510 * 49 + 10)
-        );
+        assert_eq!(s.duration(Nanos::ZERO), Nanos::from_millis(510 * 49 + 10));
     }
 
     #[test]

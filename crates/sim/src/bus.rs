@@ -165,6 +165,65 @@ pub struct TxOutcome {
     pub class: SlotFaultClass,
 }
 
+/// A reusable, caller-owned buffer holding one slot's transmission outcome.
+///
+/// [`FaultPipeline::transmit_into`] fills it in place, reusing the
+/// `receptions` allocation across slots; the engine owns one per cluster, so
+/// steady-state rounds do not allocate on the transmission path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotOutcome {
+    /// Reception per receiver index (length `n_nodes` after a fill; the
+    /// entry at the sender's own index reflects its loop-back reception).
+    pub receptions: Vec<Reception>,
+    /// What the sender's local collision detector observed.
+    pub collision_ok: bool,
+    /// Ground-truth classification for the trace/oracles.
+    pub class: SlotFaultClass,
+}
+
+impl Default for SlotOutcome {
+    fn default() -> Self {
+        SlotOutcome::new()
+    }
+}
+
+impl SlotOutcome {
+    /// An empty buffer; the first fill sizes it.
+    pub fn new() -> Self {
+        SlotOutcome {
+            receptions: Vec::new(),
+            collision_ok: true,
+            class: SlotFaultClass::Correct,
+        }
+    }
+
+    /// An empty buffer pre-sized for an `n_nodes` cluster.
+    pub fn with_capacity(n_nodes: usize) -> Self {
+        SlotOutcome {
+            receptions: Vec::with_capacity(n_nodes),
+            collision_ok: true,
+            class: SlotFaultClass::Correct,
+        }
+    }
+
+    /// Moves a by-value outcome into the buffer, reusing its allocation.
+    pub fn fill_from(&mut self, outcome: TxOutcome) {
+        self.receptions.clear();
+        self.receptions.extend(outcome.receptions);
+        self.collision_ok = outcome.collision_ok;
+        self.class = outcome.class;
+    }
+
+    /// Converts the buffer into an owned [`TxOutcome`], consuming it.
+    pub fn into_outcome(self) -> TxOutcome {
+        TxOutcome {
+            receptions: self.receptions,
+            collision_ok: self.collision_ok,
+            class: self.class,
+        }
+    }
+}
+
 /// A pluggable model of disturbances on the broadcast bus.
 ///
 /// Implementations decide, per transmission, which [`SlotEffect`] applies.
@@ -182,9 +241,24 @@ pub trait FaultPipeline: Send {
 
     /// Produces the full per-receiver outcome of the transmission. The
     /// default applies [`FaultPipeline::effect`] uniformly via
-    /// [`apply_effect`]; the engine always goes through this method.
+    /// [`apply_effect`].
     fn transmit(&mut self, ctx: &TxCtx, payload: &Bytes) -> TxOutcome {
         apply_effect(&self.effect(ctx), ctx, payload)
+    }
+
+    /// Fills `out` with the per-receiver outcome of the transmission,
+    /// reusing the buffer's allocations. The engine's hot path goes through
+    /// this method once per slot.
+    ///
+    /// The default delegates to [`FaultPipeline::transmit`], so existing
+    /// pipelines — including plain `FnMut` closures and pipelines that
+    /// override `transmit` — keep working unchanged. Allocation-conscious
+    /// pipelines override it with an in-place fill (usually via
+    /// [`apply_effect_into`]); the contract is that after the call `out` is
+    /// entirely overwritten and equal to what `transmit` would have
+    /// returned.
+    fn transmit_into(&mut self, ctx: &TxCtx, payload: &Bytes, out: &mut SlotOutcome) {
+        out.fill_from(self.transmit(ctx, payload));
     }
 }
 
@@ -196,6 +270,10 @@ impl FaultPipeline for NoFaults {
     fn effect(&mut self, _ctx: &TxCtx) -> SlotEffect {
         SlotEffect::Correct
     }
+
+    fn transmit_into(&mut self, ctx: &TxCtx, payload: &Bytes, out: &mut SlotOutcome) {
+        apply_effect_into(&SlotEffect::Correct, ctx, payload, out);
+    }
 }
 
 impl<F> FaultPipeline for F
@@ -204,6 +282,10 @@ where
 {
     fn effect(&mut self, ctx: &TxCtx) -> SlotEffect {
         self(ctx)
+    }
+
+    fn transmit_into(&mut self, ctx: &TxCtx, payload: &Bytes, out: &mut SlotOutcome) {
+        apply_effect_into(&self(ctx), ctx, payload, out);
     }
 }
 
@@ -246,14 +328,23 @@ pub fn classify_receptions(
 /// granularity (e.g. the low-latency system-level variant of the paper's
 /// Sec. 10) can reuse the exact reception semantics of the simulator.
 pub fn apply_effect(effect: &SlotEffect, ctx: &TxCtx, payload: &Bytes) -> TxOutcome {
-    let receptions = (0..ctx.n_nodes)
-        .map(|rx| effect.reception_for(rx, payload))
-        .collect();
-    TxOutcome {
-        receptions,
-        collision_ok: effect.collision_ok(),
-        class: effect.classify(ctx.n_nodes, ctx.sender),
-    }
+    let mut out = SlotOutcome::with_capacity(ctx.n_nodes);
+    apply_effect_into(effect, ctx, payload, &mut out);
+    out.into_outcome()
+}
+
+/// In-place variant of [`apply_effect`]: fills `out`, reusing its buffers.
+///
+/// [`Reception`] payloads are reference-counted [`Bytes`] handles, so
+/// applying `Correct` / `SymmetricMalicious` / `Asymmetric` effects clones
+/// no payload bytes; with a warm buffer the fill performs no heap
+/// allocation at all.
+pub fn apply_effect_into(effect: &SlotEffect, ctx: &TxCtx, payload: &Bytes, out: &mut SlotOutcome) {
+    out.receptions.clear();
+    out.receptions
+        .extend((0..ctx.n_nodes).map(|rx| effect.reception_for(rx, payload)));
+    out.collision_ok = effect.collision_ok();
+    out.class = effect.classify(ctx.n_nodes, ctx.sender);
 }
 
 #[cfg(test)]
@@ -275,7 +366,10 @@ mod tests {
         let out = apply_effect(&SlotEffect::Correct, &ctx(), &payload);
         assert_eq!(out.class, SlotFaultClass::Correct);
         assert!(out.collision_ok);
-        assert!(out.receptions.iter().all(|r| *r == Reception::Valid(payload.clone())));
+        assert!(out
+            .receptions
+            .iter()
+            .all(|r| *r == Reception::Valid(payload.clone())));
     }
 
     #[test]
@@ -298,7 +392,10 @@ mod tests {
         );
         assert_eq!(out.class, SlotFaultClass::SymmetricMalicious);
         assert!(out.collision_ok, "malicious frames are syntactically fine");
-        assert!(out.receptions.iter().all(|r| *r == Reception::Valid(wrong.clone())));
+        assert!(out
+            .receptions
+            .iter()
+            .all(|r| *r == Reception::Valid(wrong.clone())));
     }
 
     #[test]
@@ -347,5 +444,50 @@ mod tests {
     #[test]
     fn no_faults_is_identity() {
         assert_eq!(NoFaults.effect(&ctx()), SlotEffect::Correct);
+    }
+
+    #[test]
+    fn transmit_into_overwrites_reused_buffer() {
+        let payload = Bytes::from_static(b"\x2a");
+        let mut pipeline = |c: &TxCtx| {
+            if c.abs_slot.is_multiple_of(2) {
+                SlotEffect::Benign
+            } else {
+                SlotEffect::Correct
+            }
+        };
+        let mut out = SlotOutcome::new();
+        for abs_slot in 0..6u64 {
+            let c = TxCtx {
+                round: RoundIndex::new(abs_slot / 4),
+                sender: NodeId::from_slot((abs_slot % 4) as usize),
+                n_nodes: 4,
+                abs_slot,
+            };
+            let legacy = FaultPipeline::transmit(&mut pipeline, &c, &payload);
+            FaultPipeline::transmit_into(&mut pipeline, &c, &payload, &mut out);
+            assert_eq!(out.receptions, legacy.receptions);
+            assert_eq!(out.collision_ok, legacy.collision_ok);
+            assert_eq!(out.class, legacy.class);
+        }
+    }
+
+    #[test]
+    fn default_transmit_into_delegates_to_transmit() {
+        // A pipeline implementing only `effect` exercises the trait default.
+        struct EffectOnly;
+        impl FaultPipeline for EffectOnly {
+            fn effect(&mut self, _ctx: &TxCtx) -> SlotEffect {
+                SlotEffect::Asymmetric {
+                    detected_by: vec![0, 3],
+                    collision_ok: true,
+                }
+            }
+        }
+        let payload = Bytes::from_static(b"\x07");
+        let legacy = EffectOnly.transmit(&ctx(), &payload);
+        let mut out = SlotOutcome::new();
+        EffectOnly.transmit_into(&ctx(), &payload, &mut out);
+        assert_eq!(out.clone().into_outcome(), legacy);
     }
 }

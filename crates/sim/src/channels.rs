@@ -14,7 +14,7 @@
 use bytes::Bytes;
 
 use crate::bus::{
-    classify_receptions, FaultPipeline, Reception, SlotEffect, TxCtx, TxOutcome,
+    classify_receptions, FaultPipeline, Reception, SlotEffect, SlotOutcome, TxCtx, TxOutcome,
 };
 
 /// A bus replicated over `K >= 1` independently failing channels.
@@ -41,6 +41,9 @@ use crate::bus::{
 /// ```
 pub struct ReplicatedBus {
     channels: Vec<Box<dyn FaultPipeline>>,
+    /// One reusable outcome buffer per channel, so per-receiver merging in
+    /// [`FaultPipeline::transmit_into`] allocates nothing in steady state.
+    scratch: Vec<SlotOutcome>,
 }
 
 impl std::fmt::Debug for ReplicatedBus {
@@ -59,7 +62,8 @@ impl ReplicatedBus {
     /// Panics if no channel is given.
     pub fn new(channels: Vec<Box<dyn FaultPipeline>>) -> Self {
         assert!(!channels.is_empty(), "a bus needs at least one channel");
-        ReplicatedBus { channels }
+        let scratch = channels.iter().map(|_| SlotOutcome::new()).collect();
+        ReplicatedBus { channels, scratch }
     }
 
     /// Number of channels.
@@ -85,7 +89,13 @@ impl FaultPipeline for ReplicatedBus {
                     // Receivers already accepted channel A's (wrong) frame.
                     SlotEffect::SymmetricMalicious { payload }
                 }
-                (Some(SlotEffect::Asymmetric { detected_by: d1, collision_ok: c1 }), e2) => {
+                (
+                    Some(SlotEffect::Asymmetric {
+                        detected_by: d1,
+                        collision_ok: c1,
+                    }),
+                    e2,
+                ) => {
                     match e2 {
                         SlotEffect::Correct | SlotEffect::SymmetricMalicious { .. } => {
                             // Blind receivers fall back to channel B.
@@ -95,16 +105,13 @@ impl FaultPipeline for ReplicatedBus {
                             detected_by: d1,
                             collision_ok: c1,
                         },
-                        SlotEffect::Asymmetric { detected_by: d2, collision_ok: c2 } => {
-                            SlotEffect::Asymmetric {
-                                detected_by: d1
-                                    .iter()
-                                    .copied()
-                                    .filter(|r| d2.contains(r))
-                                    .collect(),
-                                collision_ok: c1 || c2,
-                            }
-                        }
+                        SlotEffect::Asymmetric {
+                            detected_by: d2,
+                            collision_ok: c2,
+                        } => SlotEffect::Asymmetric {
+                            detected_by: d1.iter().copied().filter(|r| d2.contains(r)).collect(),
+                            collision_ok: c1 || c2,
+                        },
                     }
                 }
             });
@@ -115,29 +122,31 @@ impl FaultPipeline for ReplicatedBus {
     /// Per-receiver merge: the lowest-indexed channel delivering a valid
     /// frame wins; detection requires all channels to fail.
     fn transmit(&mut self, ctx: &TxCtx, payload: &Bytes) -> TxOutcome {
-        let outcomes: Vec<TxOutcome> = self
-            .channels
-            .iter_mut()
-            .map(|c| c.transmit(ctx, payload))
-            .collect();
-        let receptions: Vec<Reception> = (0..ctx.n_nodes)
-            .map(|rx| {
-                outcomes
-                    .iter()
-                    .find_map(|o| match &o.receptions[rx] {
-                        Reception::Valid(p) => Some(Reception::Valid(p.clone())),
-                        Reception::Detected => None,
-                    })
-                    .unwrap_or(Reception::Detected)
-            })
-            .collect();
-        let collision_ok = outcomes.iter().any(|o| o.collision_ok);
-        let class = classify_receptions(&receptions, payload, ctx.sender);
-        TxOutcome {
-            receptions,
-            collision_ok,
-            class,
+        let mut out = SlotOutcome::with_capacity(ctx.n_nodes);
+        self.transmit_into(ctx, payload, &mut out);
+        out.into_outcome()
+    }
+
+    /// Same per-receiver merge, filling `out` in place: each channel fills
+    /// its own reusable scratch buffer, then the merge clones only
+    /// reference-counted payload handles.
+    fn transmit_into(&mut self, ctx: &TxCtx, payload: &Bytes, out: &mut SlotOutcome) {
+        for (channel, scratch) in self.channels.iter_mut().zip(self.scratch.iter_mut()) {
+            channel.transmit_into(ctx, payload, scratch);
         }
+        let scratch = &self.scratch;
+        out.receptions.clear();
+        out.receptions.extend((0..ctx.n_nodes).map(|rx| {
+            scratch
+                .iter()
+                .find_map(|o| match &o.receptions[rx] {
+                    Reception::Valid(p) => Some(Reception::Valid(p.clone())),
+                    Reception::Detected => None,
+                })
+                .unwrap_or(Reception::Detected)
+        }));
+        out.collision_ok = scratch.iter().any(|o| o.collision_ok);
+        out.class = classify_receptions(&out.receptions, payload, ctx.sender);
     }
 }
 
@@ -234,7 +243,10 @@ mod tests {
         let mut bus = ReplicatedBus::new(vec![Box::new(a), Box::new(b)]);
         let true_payload = Bytes::from_static(b"\x11");
         let out = bus.transmit(&ctx(), &true_payload);
-        assert_eq!(out.receptions[0], Reception::Valid(Bytes::from_static(b"\xee")));
+        assert_eq!(
+            out.receptions[0],
+            Reception::Valid(Bytes::from_static(b"\xee"))
+        );
         assert_eq!(out.receptions[1], Reception::Valid(true_payload.clone()));
         // Exact class: some receivers hold a wrong frame, none detected a
         // fault -> the outcome classifier reports undetectable corruption.

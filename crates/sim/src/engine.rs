@@ -9,7 +9,7 @@
 
 use bytes::Bytes;
 
-use crate::bus::{FaultPipeline, TxCtx};
+use crate::bus::{FaultPipeline, SlotOutcome, TxCtx};
 use crate::controller::Controller;
 use crate::error::SimError;
 use crate::job::{Job, JobCtx};
@@ -26,6 +26,11 @@ pub struct Cluster {
     pipeline: Box<dyn FaultPipeline>,
     round: RoundIndex,
     trace: Trace,
+    /// Per-node resolved job schedules, refilled (not reallocated) each
+    /// round.
+    resolved: Vec<Vec<NodeSchedule>>,
+    /// Transmission outcome buffer, reused for every slot.
+    slot_out: SlotOutcome,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -150,32 +155,35 @@ impl Cluster {
         let k = self.round;
         let n = self.schedule.n_nodes();
         // Resolve every job's schedule for this round up front (dynamic
-        // schedules are queried exactly once per round, like an OS would).
-        let resolved: Vec<Vec<NodeSchedule>> = self
-            .nodes
-            .iter_mut()
-            .map(|node| {
+        // schedules are queried exactly once per round, like an OS would),
+        // refilling the cluster-owned scratch buffers in place.
+        for (node, resolved) in self.nodes.iter_mut().zip(self.resolved.iter_mut()) {
+            resolved.clear();
+            resolved.extend(
                 node.jobs_mut()
                     .iter_mut()
-                    .map(|slot| slot.schedule.resolve(k))
-                    .collect()
-            })
-            .collect();
+                    .map(|slot| slot.schedule.resolve(k)),
+            );
+        }
+        let trace_off = self.trace.mode() == TraceMode::Off;
         for p in 0..n {
             // 1. Jobs scheduled at offset p execute (they have seen slots
             //    0..p of round k).
-            #[allow(clippy::needless_range_loop)] // node_idx indexes three parallel structures
-            for node_idx in 0..n {
-                let controller = &mut self.controllers[node_idx];
-                for (job_idx, slot) in self.nodes[node_idx].jobs_mut().iter_mut().enumerate() {
-                    let sched = resolved[node_idx][job_idx];
+            for ((node, controller), resolved) in self
+                .nodes
+                .iter_mut()
+                .zip(self.controllers.iter_mut())
+                .zip(self.resolved.iter())
+            {
+                for (slot, &sched) in node.jobs_mut().iter_mut().zip(resolved.iter()) {
                     if sched.l() == p {
                         let mut ctx = JobCtx::new(controller, sched, k);
                         slot.job.execute(&mut ctx);
                     }
                 }
             }
-            // 2. The node owning slot p transmits.
+            // 2. The node owning slot p transmits, filling the reusable
+            //    outcome buffer in place.
             let sender = NodeId::from_slot(p);
             let payload: Bytes = self.controllers[p].tx_payload();
             let tx_ctx = TxCtx {
@@ -184,20 +192,24 @@ impl Cluster {
                 n_nodes: n,
                 abs_slot: k.as_u64() * n as u64 + p as u64,
             };
-            let outcome = self.pipeline.transmit(&tx_ctx, &payload);
-            if self.trace.wants(outcome.class) {
+            self.pipeline
+                .transmit_into(&tx_ctx, &payload, &mut self.slot_out);
+            // With tracing off, skip effect-record construction entirely.
+            if !trace_off && self.trace.wants(self.slot_out.class) {
                 let effect =
-                    crate::trace::EffectRecord::from_outcome(&outcome, &payload, sender);
+                    crate::trace::EffectRecord::from_slot_outcome(&self.slot_out, &payload, sender);
                 self.trace
-                    .record_with_effect(k, sender, outcome.class, Some(effect));
+                    .record_with_effect(k, sender, self.slot_out.class, Some(effect));
             }
             // 3. Delivery: receivers update interface variables + validity
             //    bits; the sender records its collision-detector view.
-            for (rx, reception) in outcome.receptions.into_iter().enumerate() {
+            //    Receptions are read out of the reusable buffer; cloning one
+            //    only bumps the payload's reference count.
+            for (rx, controller) in self.controllers.iter_mut().enumerate() {
                 if rx == p {
-                    self.controllers[rx].record_collision(k, outcome.collision_ok);
+                    controller.record_collision(k, self.slot_out.collision_ok);
                 } else {
-                    self.controllers[rx].deliver(sender, k, reception);
+                    controller.deliver(sender, k, self.slot_out.receptions[rx].clone());
                 }
             }
         }
@@ -289,6 +301,8 @@ impl ClusterBuilder {
             pipeline,
             round: RoundIndex::ZERO,
             trace: Trace::new(self.trace_mode),
+            resolved: vec![Vec::new(); self.n_nodes],
+            slot_out: SlotOutcome::with_capacity(self.n_nodes),
         })
     }
 
@@ -356,9 +370,7 @@ mod tests {
     fn job_offset_controls_freshness() {
         // A job at offset 2 on node 1 sees slots 0 and 1 of the current
         // round; we verify via last_update freshness on the controller.
-        let mut cluster = ClusterBuilder::new(4)
-            .build(Box::new(NoFaults))
-            .unwrap();
+        let mut cluster = ClusterBuilder::new(4).build(Box::new(NoFaults)).unwrap();
         cluster.add_job(NodeId::new(1), 2, probe()).unwrap();
         cluster.run_rounds(2);
         let c = cluster.controller(NodeId::new(1)).unwrap();
@@ -376,8 +388,7 @@ mod tests {
                 SlotEffect::Correct
             }
         };
-        let mut cluster =
-            ClusterBuilder::new(4).build_with_jobs(|_| probe(), Box::new(pipeline));
+        let mut cluster = ClusterBuilder::new(4).build_with_jobs(|_| probe(), Box::new(pipeline));
         cluster.run_rounds(2);
         for id in NodeId::all(4) {
             if id == NodeId::new(3) {

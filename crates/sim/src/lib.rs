@@ -63,8 +63,8 @@ pub mod timeline;
 pub mod trace;
 
 pub use bus::{
-    apply_effect, classify_receptions, FaultPipeline, NoFaults, Reception, SlotEffect,
-    SlotFaultClass, TxCtx, TxOutcome,
+    apply_effect, apply_effect_into, classify_receptions, FaultPipeline, NoFaults, Reception,
+    SlotEffect, SlotFaultClass, SlotOutcome, TxCtx, TxOutcome,
 };
 pub use channels::ReplicatedBus;
 pub use clock::{ClockConfig, ClockDrivenPipeline, ClockEnsemble};

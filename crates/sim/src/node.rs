@@ -53,9 +53,7 @@ impl std::fmt::Debug for ScheduleSource {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ScheduleSource::Static(s) => f.debug_tuple("Static").field(s).finish(),
-            ScheduleSource::Dynamic { node, .. } => {
-                f.debug_tuple("Dynamic").field(node).finish()
-            }
+            ScheduleSource::Dynamic { node, .. } => f.debug_tuple("Dynamic").field(node).finish(),
         }
     }
 }
@@ -91,7 +89,10 @@ pub struct Node {
 impl Node {
     /// Creates a node with no jobs.
     pub fn new(id: NodeId) -> Self {
-        Node { id, jobs: Vec::new() }
+        Node {
+            id,
+            jobs: Vec::new(),
+        }
     }
 
     /// This node's id.

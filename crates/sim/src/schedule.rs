@@ -21,9 +21,7 @@ use crate::time::{Nanos, NodeId};
 /// A 0-based sending-slot position within a TDMA round.
 ///
 /// Node `i` owns position `i - 1` ([`NodeId::slot`]).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct SlotPosition(pub usize);
 
 impl SlotPosition {

@@ -134,9 +134,7 @@ impl fmt::Display for Nanos {
 ///
 /// Node `i` sends in slot position `i - 1` (0-based). Use
 /// [`NodeId::slot`] / [`NodeId::from_slot`] to convert.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(u32);
 
 impl NodeId {

@@ -7,7 +7,10 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::bus::{FaultPipeline, Reception, SlotEffect, SlotFaultClass, TxCtx, TxOutcome};
+use crate::bus::{
+    apply_effect_into, FaultPipeline, Reception, SlotEffect, SlotFaultClass, SlotOutcome, TxCtx,
+    TxOutcome,
+};
 use crate::time::{NodeId, RoundIndex};
 
 /// How much the trace records.
@@ -50,12 +53,40 @@ impl EffectRecord {
     /// replicated bus delivering different valid payloads to different
     /// receivers) are approximated by their dominant class.
     pub fn from_outcome(outcome: &TxOutcome, true_payload: &[u8], sender: NodeId) -> Self {
-        match outcome.class {
+        Self::from_receptions(
+            &outcome.receptions,
+            outcome.collision_ok,
+            outcome.class,
+            true_payload,
+            sender,
+        )
+    }
+
+    /// Reconstructs an equivalent effect from an engine-owned
+    /// [`SlotOutcome`] buffer (same semantics as
+    /// [`EffectRecord::from_outcome`]).
+    pub fn from_slot_outcome(outcome: &SlotOutcome, true_payload: &[u8], sender: NodeId) -> Self {
+        Self::from_receptions(
+            &outcome.receptions,
+            outcome.collision_ok,
+            outcome.class,
+            true_payload,
+            sender,
+        )
+    }
+
+    fn from_receptions(
+        receptions: &[Reception],
+        collision_ok: bool,
+        class: SlotFaultClass,
+        true_payload: &[u8],
+        sender: NodeId,
+    ) -> Self {
+        match class {
             SlotFaultClass::Correct => EffectRecord::Correct,
             SlotFaultClass::Benign => EffectRecord::Benign,
             SlotFaultClass::SymmetricMalicious => {
-                let wrong = outcome
-                    .receptions
+                let wrong = receptions
                     .iter()
                     .find_map(|r| match r {
                         Reception::Valid(p) if p != true_payload => Some(p.to_vec()),
@@ -65,14 +96,13 @@ impl EffectRecord {
                 EffectRecord::Malicious(wrong)
             }
             SlotFaultClass::Asymmetric => EffectRecord::Asymmetric {
-                detected_by: outcome
-                    .receptions
+                detected_by: receptions
                     .iter()
                     .enumerate()
                     .filter(|(rx, r)| *rx != sender.index() && !r.is_valid())
                     .map(|(rx, _)| rx)
                     .collect(),
-                collision_ok: outcome.collision_ok,
+                collision_ok,
             },
         }
     }
@@ -130,6 +160,11 @@ impl Trace {
         }
     }
 
+    /// The trace's recording mode.
+    pub fn mode(&self) -> TraceMode {
+        self.mode
+    }
+
     /// Whether a record of `class` would be retained under this mode.
     pub fn wants(&self, class: SlotFaultClass) -> bool {
         match self.mode {
@@ -183,11 +218,7 @@ impl Trace {
             records: self
                 .records
                 .iter()
-                .filter_map(|r| {
-                    r.effect
-                        .as_ref()
-                        .map(|e| ((r.round, r.sender), e.clone()))
-                })
+                .filter_map(|r| r.effect.as_ref().map(|e| ((r.round, r.sender), e.clone())))
                 .collect(),
         }
     }
@@ -246,6 +277,15 @@ impl FaultPipeline for ReplayPipeline {
             .get(&(ctx.round, ctx.sender))
             .map(EffectRecord::to_effect)
             .unwrap_or(SlotEffect::Correct)
+    }
+
+    fn transmit_into(&mut self, ctx: &TxCtx, payload: &bytes::Bytes, out: &mut SlotOutcome) {
+        // Unrecorded slots (the vast majority under `TraceMode::Anomalies`)
+        // skip the effect reconstruction and allocate nothing.
+        match self.records.get(&(ctx.round, ctx.sender)) {
+            None => apply_effect_into(&SlotEffect::Correct, ctx, payload, out),
+            Some(rec) => apply_effect_into(&rec.to_effect(), ctx, payload, out),
+        }
     }
 }
 

@@ -33,7 +33,10 @@ fn main() {
     //    with 10 ms bursts every 500 ms. All nodes are healthy; how long
     //    until the p/r algorithm incorrectly isolates one, per class?
     let scenario = TransientScenario::blinking_light();
-    println!("\nBlinking-light scenario: {} bursts of 10 ms, 500 ms reappearance", scenario.burst_count());
+    println!(
+        "\nBlinking-light scenario: {} bursts of 10 ms, 500 ms reappearance",
+        scenario.burst_count()
+    );
     println!("\nTime to incorrect isolation (paper Table 4):");
     for row in &tuned.rows {
         let m = measure_time_to_isolation(

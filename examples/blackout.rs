@@ -8,9 +8,7 @@
 //! Run with: `cargo run -p tt-bench --example blackout`
 
 use tt_core::{DiagJob, ProtocolConfig};
-use tt_sim::{
-    ClusterBuilder, CollisionDetectorMode, NodeId, RoundIndex, SlotEffect, TxCtx,
-};
+use tt_sim::{ClusterBuilder, CollisionDetectorMode, NodeId, RoundIndex, SlotEffect, TxCtx};
 
 /// Rounds 10..14 fully lost: b = N for four consecutive rounds, so the
 /// dissemination of the syndromes about rounds 10-11 is lost as well.
@@ -56,9 +54,7 @@ fn run(broken_detector: Option<NodeId>) -> Result<bool, Box<dyn std::error::Erro
         verdicts.push(health.clone());
     }
     let consistent = verdicts.windows(2).all(|w| w[0] == w[1]);
-    println!(
-        "  -> all nodes agree: {consistent}\n"
-    );
+    println!("  -> all nodes agree: {consistent}\n");
     Ok(consistent)
 }
 

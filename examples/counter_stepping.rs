@@ -51,14 +51,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if d > first && d < first + 20 {
             let p_inc = w[1].penalties[faulty.index()] > w[0].penalties[faulty.index()];
             let r_inc = w[1].rewards[faulty.index()] > w[0].rewards[faulty.index()];
-            assert!(p_inc ^ r_inc, "round {d}: exactly one counter must increase");
+            assert!(
+                p_inc ^ r_inc,
+                "round {d}: exactly one counter must increase"
+            );
             steps += 1;
         }
     }
     println!("Verified: one counter stepped in each of the {steps} in-window rounds.");
     // After the window, 5 clean rounds reach R and reset the memory.
     let last = trace.last().unwrap();
-    assert_eq!(last.penalties[faulty.index()], 0, "reset after R clean rounds");
+    assert_eq!(
+        last.penalties[faulty.index()],
+        0,
+        "reset after R clean rounds"
+    );
     println!("After the window, R = 5 clean rounds erased the fault memory (penalty back to 0).");
     Ok(())
 }

@@ -47,9 +47,7 @@ fn main() {
         "{}: {} nodes, {} cycles",
         tuned.domain, setup.n_nodes, tuned.round
     );
-    println!(
-        "\nSame tolerated outages, same procedure, new constants (paper: P = 197 at 2.5 ms):"
-    );
+    println!("\nSame tolerated outages, same procedure, new constants (paper: P = 197 at 2.5 ms):");
     for row in &tuned.rows {
         println!(
             "  {:<28} outage >= {:<9} budget {:>3}  =>  s = {}",

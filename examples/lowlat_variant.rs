@@ -47,11 +47,7 @@ fn main() {
 
     println!("\nMembership views after the fault:");
     for node in NodeId::all(4) {
-        let members: Vec<String> = cluster
-            .view(node)
-            .iter()
-            .map(|n| n.to_string())
-            .collect();
+        let members: Vec<String> = cluster.view(node).iter().map(|n| n.to_string()).collect();
         println!("  {node}: {{{}}}", members.join(", "));
     }
     assert!(!cluster.view(NodeId::new(1)).contains(&NodeId::new(3)));

@@ -49,10 +49,7 @@ fn run(channels: Vec<Box<dyn tt_sim::FaultPipeline>>) -> (usize, usize) {
         })
         .count();
     if faults_on_wire > 0 {
-        println!(
-            "{}",
-            timeline::render_anomalies(cluster.trace(), 4, 1)
-        );
+        println!("{}", timeline::render_anomalies(cluster.trace(), 4, 1));
     }
     (faults_on_wire, convictions)
 }
@@ -60,13 +57,17 @@ fn run(channels: Vec<Box<dyn tt_sim::FaultPipeline>>) -> (usize, usize) {
 fn main() {
     println!("One noisy channel + one healthy channel (30% slot loss on A):");
     let (faults, convictions) = run(vec![noisy_channel(7), Box::new(tt_sim::NoFaults)]);
-    println!("  effective faults on the merged bus: {faults}, protocol convictions: {convictions}\n");
+    println!(
+        "  effective faults on the merged bus: {faults}, protocol convictions: {convictions}\n"
+    );
     assert_eq!(faults, 0, "single-channel noise fully masked");
     assert_eq!(convictions, 0);
 
     println!("Both channels noisy (independent 30% slot loss each):");
     let (faults, convictions) = run(vec![noisy_channel(7), noisy_channel(8)]);
-    println!("\n  effective faults on the merged bus: {faults}, protocol convictions: {convictions}");
+    println!(
+        "\n  effective faults on the merged bus: {faults}, protocol convictions: {convictions}"
+    );
     assert!(faults > 0, "coincident channel hits get through");
     assert_eq!(convictions, faults, "every effective fault is diagnosed");
     println!("\nRedundancy masks single-channel disturbances; only coincident hits reach\nthe protocol — which then detects every one of them (completeness).");

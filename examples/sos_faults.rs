@@ -57,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "First mistimed frame observed in round {} — oscillator degraded at round 10\n",
         first.round.as_u64()
     );
-    println!("{}", &timeline::render(trace, 4, first.round, first.round + 8));
+    println!(
+        "{}",
+        &timeline::render(trace, 4, first.round, first.round + 8)
+    );
 
     // The protocol's view: consistent diagnosis and eventual isolation.
     let diag: &DiagJob = cluster.job_as(NodeId::new(1))?;

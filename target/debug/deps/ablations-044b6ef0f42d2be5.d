@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-044b6ef0f42d2be5.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/ablations-044b6ef0f42d2be5: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alloc_free-48418fb4c560f4b9.d: crates/bench/../../tests/alloc_free.rs
+
+/root/repo/target/debug/deps/alloc_free-48418fb4c560f4b9: crates/bench/../../tests/alloc_free.rs
+
+crates/bench/../../tests/alloc_free.rs:

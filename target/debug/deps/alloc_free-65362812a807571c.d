@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alloc_free-65362812a807571c.d: crates/bench/../../tests/alloc_free.rs
+
+/root/repo/target/debug/deps/alloc_free-65362812a807571c: crates/bench/../../tests/alloc_free.rs
+
+crates/bench/../../tests/alloc_free.rs:

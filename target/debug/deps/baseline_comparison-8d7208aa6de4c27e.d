@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baseline_comparison-8d7208aa6de4c27e.d: crates/bench/benches/baseline_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaseline_comparison-8d7208aa6de4c27e.rmeta: crates/bench/benches/baseline_comparison.rs Cargo.toml
+
+crates/bench/benches/baseline_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

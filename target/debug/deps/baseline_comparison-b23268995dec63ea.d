@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_comparison-b23268995dec63ea.d: crates/bench/benches/baseline_comparison.rs
+
+/root/repo/target/debug/deps/baseline_comparison-b23268995dec63ea: crates/bench/benches/baseline_comparison.rs
+
+crates/bench/benches/baseline_comparison.rs:

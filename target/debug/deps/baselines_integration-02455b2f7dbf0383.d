@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baselines_integration-02455b2f7dbf0383.d: crates/bench/../../tests/baselines_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines_integration-02455b2f7dbf0383.rmeta: crates/bench/../../tests/baselines_integration.rs Cargo.toml
+
+crates/bench/../../tests/baselines_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines_integration-719895fd5f92d3b9.d: crates/bench/../../tests/baselines_integration.rs
+
+/root/repo/target/debug/deps/baselines_integration-719895fd5f92d3b9: crates/bench/../../tests/baselines_integration.rs
+
+crates/bench/../../tests/baselines_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines_integration-98986e18756ac672.d: crates/bench/../../tests/baselines_integration.rs
+
+/root/repo/target/debug/deps/baselines_integration-98986e18756ac672: crates/bench/../../tests/baselines_integration.rs
+
+crates/bench/../../tests/baselines_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/campaign_integration-2fdffe186a099b35.d: crates/bench/../../tests/campaign_integration.rs
+
+/root/repo/target/debug/deps/campaign_integration-2fdffe186a099b35: crates/bench/../../tests/campaign_integration.rs
+
+crates/bench/../../tests/campaign_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/campaign_integration-40d023e4f396dd42.d: crates/bench/../../tests/campaign_integration.rs
+
+/root/repo/target/debug/deps/campaign_integration-40d023e4f396dd42: crates/bench/../../tests/campaign_integration.rs
+
+crates/bench/../../tests/campaign_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/campaign_integration-ee607561edbf9eaf.d: crates/bench/../../tests/campaign_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcampaign_integration-ee607561edbf9eaf.rmeta: crates/bench/../../tests/campaign_integration.rs Cargo.toml
+
+crates/bench/../../tests/campaign_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

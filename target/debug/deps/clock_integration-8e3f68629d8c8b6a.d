@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/clock_integration-8e3f68629d8c8b6a.d: crates/bench/../../tests/clock_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclock_integration-8e3f68629d8c8b6a.rmeta: crates/bench/../../tests/clock_integration.rs Cargo.toml
+
+crates/bench/../../tests/clock_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/clock_integration-c951cc594edc2108.d: crates/bench/../../tests/clock_integration.rs
+
+/root/repo/target/debug/deps/clock_integration-c951cc594edc2108: crates/bench/../../tests/clock_integration.rs
+
+crates/bench/../../tests/clock_integration.rs:

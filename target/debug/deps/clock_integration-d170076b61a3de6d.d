@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/clock_integration-d170076b61a3de6d.d: crates/bench/../../tests/clock_integration.rs
+
+/root/repo/target/debug/deps/clock_integration-d170076b61a3de6d: crates/bench/../../tests/clock_integration.rs
+
+crates/bench/../../tests/clock_integration.rs:

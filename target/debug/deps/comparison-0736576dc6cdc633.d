@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/comparison-0736576dc6cdc633.d: crates/bench/src/bin/comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcomparison-0736576dc6cdc633.rmeta: crates/bench/src/bin/comparison.rs Cargo.toml
+
+crates/bench/src/bin/comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

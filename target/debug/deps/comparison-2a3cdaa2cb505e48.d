@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/comparison-2a3cdaa2cb505e48.d: crates/bench/src/bin/comparison.rs
+
+/root/repo/target/debug/deps/comparison-2a3cdaa2cb505e48: crates/bench/src/bin/comparison.rs
+
+crates/bench/src/bin/comparison.rs:

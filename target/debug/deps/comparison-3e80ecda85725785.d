@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/comparison-3e80ecda85725785.d: crates/bench/src/bin/comparison.rs
+
+/root/repo/target/debug/deps/comparison-3e80ecda85725785: crates/bench/src/bin/comparison.rs
+
+crates/bench/src/bin/comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/comparison-52a997b3872ff071.d: crates/bench/src/bin/comparison.rs
+
+/root/repo/target/debug/deps/comparison-52a997b3872ff071: crates/bench/src/bin/comparison.rs
+
+crates/bench/src/bin/comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/comparison-ca05e8d2f848c72d.d: crates/bench/src/bin/comparison.rs
+
+/root/repo/target/debug/deps/comparison-ca05e8d2f848c72d: crates/bench/src/bin/comparison.rs
+
+crates/bench/src/bin/comparison.rs:

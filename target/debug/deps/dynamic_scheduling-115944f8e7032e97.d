@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dynamic_scheduling-115944f8e7032e97.d: crates/bench/../../tests/dynamic_scheduling.rs
+
+/root/repo/target/debug/deps/dynamic_scheduling-115944f8e7032e97: crates/bench/../../tests/dynamic_scheduling.rs
+
+crates/bench/../../tests/dynamic_scheduling.rs:

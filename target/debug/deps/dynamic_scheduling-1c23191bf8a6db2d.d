@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dynamic_scheduling-1c23191bf8a6db2d.d: crates/bench/../../tests/dynamic_scheduling.rs
+
+/root/repo/target/debug/deps/dynamic_scheduling-1c23191bf8a6db2d: crates/bench/../../tests/dynamic_scheduling.rs
+
+crates/bench/../../tests/dynamic_scheduling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dynamic_scheduling-2a9f613ef8ddee50.d: crates/bench/../../tests/dynamic_scheduling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynamic_scheduling-2a9f613ef8ddee50.rmeta: crates/bench/../../tests/dynamic_scheduling.rs Cargo.toml
+
+crates/bench/../../tests/dynamic_scheduling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

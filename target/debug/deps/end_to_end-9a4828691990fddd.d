@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-9a4828691990fddd.d: crates/bench/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-9a4828691990fddd: crates/bench/../../tests/end_to_end.rs
+
+crates/bench/../../tests/end_to_end.rs:

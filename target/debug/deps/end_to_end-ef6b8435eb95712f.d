@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-ef6b8435eb95712f.d: crates/bench/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-ef6b8435eb95712f: crates/bench/../../tests/end_to_end.rs
+
+crates/bench/../../tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exhaustive_small_worlds-909945882144a739.d: crates/bench/../../tests/exhaustive_small_worlds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexhaustive_small_worlds-909945882144a739.rmeta: crates/bench/../../tests/exhaustive_small_worlds.rs Cargo.toml
+
+crates/bench/../../tests/exhaustive_small_worlds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

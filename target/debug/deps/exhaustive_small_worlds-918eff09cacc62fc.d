@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exhaustive_small_worlds-918eff09cacc62fc.d: crates/bench/../../tests/exhaustive_small_worlds.rs
+
+/root/repo/target/debug/deps/exhaustive_small_worlds-918eff09cacc62fc: crates/bench/../../tests/exhaustive_small_worlds.rs
+
+crates/bench/../../tests/exhaustive_small_worlds.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exhaustive_small_worlds-defa815d20ec61c1.d: crates/bench/../../tests/exhaustive_small_worlds.rs
+
+/root/repo/target/debug/deps/exhaustive_small_worlds-defa815d20ec61c1: crates/bench/../../tests/exhaustive_small_worlds.rs
+
+crates/bench/../../tests/exhaustive_small_worlds.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-5c3106281c87bc5e.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-5c3106281c87bc5e: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-65e495cad0e88f64.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-65e495cad0e88f64: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

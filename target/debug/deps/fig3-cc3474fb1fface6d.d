@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-cc3474fb1fface6d.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-cc3474fb1fface6d: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-d09c9dc17b457ae3.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-d09c9dc17b457ae3: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

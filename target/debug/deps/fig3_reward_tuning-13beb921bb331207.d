@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_reward_tuning-13beb921bb331207.d: crates/bench/benches/fig3_reward_tuning.rs
+
+/root/repo/target/debug/deps/fig3_reward_tuning-13beb921bb331207: crates/bench/benches/fig3_reward_tuning.rs
+
+crates/bench/benches/fig3_reward_tuning.rs:

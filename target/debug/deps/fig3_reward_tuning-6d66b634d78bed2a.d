@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_reward_tuning-6d66b634d78bed2a.d: crates/bench/benches/fig3_reward_tuning.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_reward_tuning-6d66b634d78bed2a.rmeta: crates/bench/benches/fig3_reward_tuning.rs Cargo.toml
+
+crates/bench/benches/fig3_reward_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

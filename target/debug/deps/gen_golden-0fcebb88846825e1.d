@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gen_golden-0fcebb88846825e1.d: crates/bench/src/bin/gen_golden.rs
+
+/root/repo/target/debug/deps/gen_golden-0fcebb88846825e1: crates/bench/src/bin/gen_golden.rs
+
+crates/bench/src/bin/gen_golden.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gen_golden-2bd6b75da12ac7f3.d: crates/bench/src/bin/gen_golden.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgen_golden-2bd6b75da12ac7f3.rmeta: crates/bench/src/bin/gen_golden.rs Cargo.toml
+
+crates/bench/src/bin/gen_golden.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

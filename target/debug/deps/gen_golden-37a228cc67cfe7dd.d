@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gen_golden-37a228cc67cfe7dd.d: crates/bench/src/bin/gen_golden.rs
+
+/root/repo/target/debug/deps/gen_golden-37a228cc67cfe7dd: crates/bench/src/bin/gen_golden.rs
+
+crates/bench/src/bin/gen_golden.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gen_golden-4e4c1a6453aa8f27.d: crates/bench/src/bin/gen_golden.rs
+
+/root/repo/target/debug/deps/gen_golden-4e4c1a6453aa8f27: crates/bench/src/bin/gen_golden.rs
+
+crates/bench/src/bin/gen_golden.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gen_golden-bec15c4ef4f9e3f0.d: crates/bench/src/bin/gen_golden.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgen_golden-bec15c4ef4f9e3f0.rmeta: crates/bench/src/bin/gen_golden.rs Cargo.toml
+
+crates/bench/src/bin/gen_golden.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

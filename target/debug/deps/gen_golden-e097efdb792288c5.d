@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gen_golden-e097efdb792288c5.d: crates/bench/src/bin/gen_golden.rs
+
+/root/repo/target/debug/deps/gen_golden-e097efdb792288c5: crates/bench/src/bin/gen_golden.rs
+
+crates/bench/src/bin/gen_golden.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/golden_reports-3dcc828559b1caa0.d: crates/bench/../../tests/golden_reports.rs
+
+/root/repo/target/debug/deps/golden_reports-3dcc828559b1caa0: crates/bench/../../tests/golden_reports.rs
+
+crates/bench/../../tests/golden_reports.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/golden_reports-dc432e32ef971fee.d: crates/bench/../../tests/golden_reports.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_reports-dc432e32ef971fee.rmeta: crates/bench/../../tests/golden_reports.rs Cargo.toml
+
+crates/bench/../../tests/golden_reports.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

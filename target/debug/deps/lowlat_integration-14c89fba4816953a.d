@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lowlat_integration-14c89fba4816953a.d: crates/bench/../../tests/lowlat_integration.rs
+
+/root/repo/target/debug/deps/lowlat_integration-14c89fba4816953a: crates/bench/../../tests/lowlat_integration.rs
+
+crates/bench/../../tests/lowlat_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lowlat_integration-151f57f282520284.d: crates/bench/../../tests/lowlat_integration.rs
+
+/root/repo/target/debug/deps/lowlat_integration-151f57f282520284: crates/bench/../../tests/lowlat_integration.rs
+
+crates/bench/../../tests/lowlat_integration.rs:

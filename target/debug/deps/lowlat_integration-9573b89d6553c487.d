@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lowlat_integration-9573b89d6553c487.d: crates/bench/../../tests/lowlat_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblowlat_integration-9573b89d6553c487.rmeta: crates/bench/../../tests/lowlat_integration.rs Cargo.toml
+
+crates/bench/../../tests/lowlat_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

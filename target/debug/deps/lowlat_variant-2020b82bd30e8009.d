@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lowlat_variant-2020b82bd30e8009.d: crates/bench/benches/lowlat_variant.rs
+
+/root/repo/target/debug/deps/lowlat_variant-2020b82bd30e8009: crates/bench/benches/lowlat_variant.rs
+
+crates/bench/benches/lowlat_variant.rs:

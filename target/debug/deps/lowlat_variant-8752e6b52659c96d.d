@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lowlat_variant-8752e6b52659c96d.d: crates/bench/benches/lowlat_variant.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblowlat_variant-8752e6b52659c96d.rmeta: crates/bench/benches/lowlat_variant.rs Cargo.toml
+
+crates/bench/benches/lowlat_variant.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

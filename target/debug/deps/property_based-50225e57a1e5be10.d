@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_based-50225e57a1e5be10.d: crates/bench/../../tests/property_based.rs
+
+/root/repo/target/debug/deps/property_based-50225e57a1e5be10: crates/bench/../../tests/property_based.rs
+
+crates/bench/../../tests/property_based.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_based-55d9640a5210fdf7.d: crates/bench/../../tests/property_based.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_based-55d9640a5210fdf7.rmeta: crates/bench/../../tests/property_based.rs Cargo.toml
+
+crates/bench/../../tests/property_based.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

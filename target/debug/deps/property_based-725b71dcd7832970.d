@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_based-725b71dcd7832970.d: crates/bench/../../tests/property_based.rs
+
+/root/repo/target/debug/deps/property_based-725b71dcd7832970: crates/bench/../../tests/property_based.rs
+
+crates/bench/../../tests/property_based.rs:

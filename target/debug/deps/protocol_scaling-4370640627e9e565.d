@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_scaling-4370640627e9e565.d: crates/bench/benches/protocol_scaling.rs
+
+/root/repo/target/debug/deps/protocol_scaling-4370640627e9e565: crates/bench/benches/protocol_scaling.rs
+
+crates/bench/benches/protocol_scaling.rs:

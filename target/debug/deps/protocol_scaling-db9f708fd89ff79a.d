@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol_scaling-db9f708fd89ff79a.d: crates/bench/benches/protocol_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol_scaling-db9f708fd89ff79a.rmeta: crates/bench/benches/protocol_scaling.rs Cargo.toml
+
+crates/bench/benches/protocol_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/redundancy_integration-7af98ded6a87b517.d: crates/bench/../../tests/redundancy_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libredundancy_integration-7af98ded6a87b517.rmeta: crates/bench/../../tests/redundancy_integration.rs Cargo.toml
+
+crates/bench/../../tests/redundancy_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/redundancy_integration-88d0ea7911616508.d: crates/bench/../../tests/redundancy_integration.rs
+
+/root/repo/target/debug/deps/redundancy_integration-88d0ea7911616508: crates/bench/../../tests/redundancy_integration.rs
+
+crates/bench/../../tests/redundancy_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/redundancy_integration-f0d8558c6128e9fd.d: crates/bench/../../tests/redundancy_integration.rs
+
+/root/repo/target/debug/deps/redundancy_integration-f0d8558c6128e9fd: crates/bench/../../tests/redundancy_integration.rs
+
+crates/bench/../../tests/redundancy_integration.rs:

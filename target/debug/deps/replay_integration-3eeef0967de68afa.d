@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replay_integration-3eeef0967de68afa.d: crates/bench/../../tests/replay_integration.rs
+
+/root/repo/target/debug/deps/replay_integration-3eeef0967de68afa: crates/bench/../../tests/replay_integration.rs
+
+crates/bench/../../tests/replay_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replay_integration-50dc49885d5f4ea0.d: crates/bench/../../tests/replay_integration.rs
+
+/root/repo/target/debug/deps/replay_integration-50dc49885d5f4ea0: crates/bench/../../tests/replay_integration.rs
+
+crates/bench/../../tests/replay_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/replay_integration-a28b0ff6db037616.d: crates/bench/../../tests/replay_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreplay_integration-a28b0ff6db037616.rmeta: crates/bench/../../tests/replay_integration.rs Cargo.toml
+
+crates/bench/../../tests/replay_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

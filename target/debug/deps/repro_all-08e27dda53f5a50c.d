@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-08e27dda53f5a50c.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-08e27dda53f5a50c: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

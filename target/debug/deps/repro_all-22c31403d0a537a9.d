@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-22c31403d0a537a9.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-22c31403d0a537a9: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

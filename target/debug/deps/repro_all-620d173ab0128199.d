@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-620d173ab0128199.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-620d173ab0128199: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

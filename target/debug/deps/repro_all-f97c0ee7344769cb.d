@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-f97c0ee7344769cb.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-f97c0ee7344769cb: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

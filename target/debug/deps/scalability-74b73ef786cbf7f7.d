@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scalability-74b73ef786cbf7f7.d: crates/bench/../../tests/scalability.rs
+
+/root/repo/target/debug/deps/scalability-74b73ef786cbf7f7: crates/bench/../../tests/scalability.rs
+
+crates/bench/../../tests/scalability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scalability-c433d98a239c6707.d: crates/bench/../../tests/scalability.rs
+
+/root/repo/target/debug/deps/scalability-c433d98a239c6707: crates/bench/../../tests/scalability.rs
+
+crates/bench/../../tests/scalability.rs:

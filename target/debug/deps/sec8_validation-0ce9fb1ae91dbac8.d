@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sec8_validation-0ce9fb1ae91dbac8.d: crates/bench/benches/sec8_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec8_validation-0ce9fb1ae91dbac8.rmeta: crates/bench/benches/sec8_validation.rs Cargo.toml
+
+crates/bench/benches/sec8_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec8_validation-f952180d4ce12ddf.d: crates/bench/benches/sec8_validation.rs
+
+/root/repo/target/debug/deps/sec8_validation-f952180d4ce12ddf: crates/bench/benches/sec8_validation.rs
+
+crates/bench/benches/sec8_validation.rs:

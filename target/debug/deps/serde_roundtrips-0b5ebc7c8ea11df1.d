@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_roundtrips-0b5ebc7c8ea11df1.d: crates/bench/../../tests/serde_roundtrips.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_roundtrips-0b5ebc7c8ea11df1.rmeta: crates/bench/../../tests/serde_roundtrips.rs Cargo.toml
+
+crates/bench/../../tests/serde_roundtrips.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

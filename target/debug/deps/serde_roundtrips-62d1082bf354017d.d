@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_roundtrips-62d1082bf354017d.d: crates/bench/../../tests/serde_roundtrips.rs
+
+/root/repo/target/debug/deps/serde_roundtrips-62d1082bf354017d: crates/bench/../../tests/serde_roundtrips.rs
+
+crates/bench/../../tests/serde_roundtrips.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_roundtrips-b85dcddc3d703f2c.d: crates/bench/../../tests/serde_roundtrips.rs
+
+/root/repo/target/debug/deps/serde_roundtrips-b85dcddc3d703f2c: crates/bench/../../tests/serde_roundtrips.rs
+
+crates/bench/../../tests/serde_roundtrips.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soak-a268caa75be1a8e4.d: crates/bench/../../tests/soak.rs
+
+/root/repo/target/debug/deps/soak-a268caa75be1a8e4: crates/bench/../../tests/soak.rs
+
+crates/bench/../../tests/soak.rs:

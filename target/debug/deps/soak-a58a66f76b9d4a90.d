@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/soak-a58a66f76b9d4a90.d: crates/bench/../../tests/soak.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoak-a58a66f76b9d4a90.rmeta: crates/bench/../../tests/soak.rs Cargo.toml
+
+crates/bench/../../tests/soak.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

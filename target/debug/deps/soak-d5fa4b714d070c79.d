@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soak-d5fa4b714d070c79.d: crates/bench/../../tests/soak.rs
+
+/root/repo/target/debug/deps/soak-d5fa4b714d070c79: crates/bench/../../tests/soak.rs
+
+crates/bench/../../tests/soak.rs:

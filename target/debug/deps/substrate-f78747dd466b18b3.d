@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate-f78747dd466b18b3.d: crates/bench/benches/substrate.rs
+
+/root/repo/target/debug/deps/substrate-f78747dd466b18b3: crates/bench/benches/substrate.rs
+
+crates/bench/benches/substrate.rs:

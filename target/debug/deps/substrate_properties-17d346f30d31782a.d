@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_properties-17d346f30d31782a.d: crates/bench/../../tests/substrate_properties.rs
+
+/root/repo/target/debug/deps/substrate_properties-17d346f30d31782a: crates/bench/../../tests/substrate_properties.rs
+
+crates/bench/../../tests/substrate_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_properties-39610a4445aaf7e0.d: crates/bench/../../tests/substrate_properties.rs
+
+/root/repo/target/debug/deps/substrate_properties-39610a4445aaf7e0: crates/bench/../../tests/substrate_properties.rs
+
+crates/bench/../../tests/substrate_properties.rs:

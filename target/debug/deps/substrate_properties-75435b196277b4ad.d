@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrate_properties-75435b196277b4ad.d: crates/bench/../../tests/substrate_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrate_properties-75435b196277b4ad.rmeta: crates/bench/../../tests/substrate_properties.rs Cargo.toml
+
+crates/bench/../../tests/substrate_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

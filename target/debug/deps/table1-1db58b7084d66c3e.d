@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-1db58b7084d66c3e.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-1db58b7084d66c3e: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-bcfff5eda1d01815.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-bcfff5eda1d01815: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

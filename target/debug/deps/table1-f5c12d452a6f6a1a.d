@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-f5c12d452a6f6a1a.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-f5c12d452a6f6a1a: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-f5cbb74992a805da.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-f5cbb74992a805da: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_matrix-3cd2f3dee52e7c44.d: crates/bench/benches/table1_matrix.rs
+
+/root/repo/target/debug/deps/table1_matrix-3cd2f3dee52e7c44: crates/bench/benches/table1_matrix.rs
+
+crates/bench/benches/table1_matrix.rs:

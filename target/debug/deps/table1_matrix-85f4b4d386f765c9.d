@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_matrix-85f4b4d386f765c9.d: crates/bench/benches/table1_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_matrix-85f4b4d386f765c9.rmeta: crates/bench/benches/table1_matrix.rs Cargo.toml
+
+crates/bench/benches/table1_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-03b08cd79240e8bb.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-03b08cd79240e8bb: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

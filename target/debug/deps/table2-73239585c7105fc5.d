@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-73239585c7105fc5.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-73239585c7105fc5: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-b2657708d9beb377.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-b2657708d9beb377: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

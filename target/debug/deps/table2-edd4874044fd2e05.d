@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-edd4874044fd2e05.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-edd4874044fd2e05: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_tuning-0e94857be0a0d5c5.d: crates/bench/benches/table2_tuning.rs
+
+/root/repo/target/debug/deps/table2_tuning-0e94857be0a0d5c5: crates/bench/benches/table2_tuning.rs
+
+crates/bench/benches/table2_tuning.rs:

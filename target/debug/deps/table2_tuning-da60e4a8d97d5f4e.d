@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_tuning-da60e4a8d97d5f4e.d: crates/bench/benches/table2_tuning.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_tuning-da60e4a8d97d5f4e.rmeta: crates/bench/benches/table2_tuning.rs Cargo.toml
+
+crates/bench/benches/table2_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

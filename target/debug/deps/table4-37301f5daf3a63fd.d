@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-37301f5daf3a63fd.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-37301f5daf3a63fd: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-5d925d0de1c94cb9.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-5d925d0de1c94cb9: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-6516d46ad112f730.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-6516d46ad112f730: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

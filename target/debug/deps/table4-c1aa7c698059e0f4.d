@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-c1aa7c698059e0f4.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-c1aa7c698059e0f4: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_isolation-297ab20fe31c43cc.d: crates/bench/benches/table4_isolation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_isolation-297ab20fe31c43cc.rmeta: crates/bench/benches/table4_isolation.rs Cargo.toml
+
+crates/bench/benches/table4_isolation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_isolation-fc28404a272eb606.d: crates/bench/benches/table4_isolation.rs
+
+/root/repo/target/debug/deps/table4_isolation-fc28404a272eb606: crates/bench/benches/table4_isolation.rs
+
+crates/bench/benches/table4_isolation.rs:

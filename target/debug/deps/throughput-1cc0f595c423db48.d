@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/throughput-1cc0f595c423db48.d: crates/bench/src/bin/throughput.rs
+
+/root/repo/target/debug/deps/throughput-1cc0f595c423db48: crates/bench/src/bin/throughput.rs
+
+crates/bench/src/bin/throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/throughput-69a282ba1e9a8c99.d: crates/bench/src/bin/throughput.rs
+
+/root/repo/target/debug/deps/throughput-69a282ba1e9a8c99: crates/bench/src/bin/throughput.rs
+
+crates/bench/src/bin/throughput.rs:

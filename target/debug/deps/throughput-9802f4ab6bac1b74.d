@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/throughput-9802f4ab6bac1b74.d: crates/bench/src/bin/throughput.rs
+
+/root/repo/target/debug/deps/throughput-9802f4ab6bac1b74: crates/bench/src/bin/throughput.rs
+
+crates/bench/src/bin/throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/throughput-a630dce39c8f3d85.d: crates/bench/src/bin/throughput.rs
+
+/root/repo/target/debug/deps/throughput-a630dce39c8f3d85: crates/bench/src/bin/throughput.rs
+
+crates/bench/src/bin/throughput.rs:

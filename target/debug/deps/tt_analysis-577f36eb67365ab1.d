@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/tt_analysis-577f36eb67365ab1.d: crates/analysis/src/lib.rs crates/analysis/src/availability.rs crates/analysis/src/chart.rs crates/analysis/src/correlation.rs crates/analysis/src/isolation.rs crates/analysis/src/report.rs crates/analysis/src/sensitivity.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs crates/analysis/src/tuning.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtt_analysis-577f36eb67365ab1.rmeta: crates/analysis/src/lib.rs crates/analysis/src/availability.rs crates/analysis/src/chart.rs crates/analysis/src/correlation.rs crates/analysis/src/isolation.rs crates/analysis/src/report.rs crates/analysis/src/sensitivity.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs crates/analysis/src/tuning.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/availability.rs:
+crates/analysis/src/chart.rs:
+crates/analysis/src/correlation.rs:
+crates/analysis/src/isolation.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/sensitivity.rs:
+crates/analysis/src/stats.rs:
+crates/analysis/src/table.rs:
+crates/analysis/src/tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tt_analysis-5faa1d14755e2391.d: crates/analysis/src/lib.rs crates/analysis/src/availability.rs crates/analysis/src/chart.rs crates/analysis/src/correlation.rs crates/analysis/src/isolation.rs crates/analysis/src/report.rs crates/analysis/src/sensitivity.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs crates/analysis/src/tuning.rs
+
+/root/repo/target/debug/deps/tt_analysis-5faa1d14755e2391: crates/analysis/src/lib.rs crates/analysis/src/availability.rs crates/analysis/src/chart.rs crates/analysis/src/correlation.rs crates/analysis/src/isolation.rs crates/analysis/src/report.rs crates/analysis/src/sensitivity.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs crates/analysis/src/tuning.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/availability.rs:
+crates/analysis/src/chart.rs:
+crates/analysis/src/correlation.rs:
+crates/analysis/src/isolation.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/sensitivity.rs:
+crates/analysis/src/stats.rs:
+crates/analysis/src/table.rs:
+crates/analysis/src/tuning.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/tt_analysis-d80b375e76cd7230.d: crates/analysis/src/lib.rs crates/analysis/src/availability.rs crates/analysis/src/chart.rs crates/analysis/src/correlation.rs crates/analysis/src/isolation.rs crates/analysis/src/report.rs crates/analysis/src/sensitivity.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs crates/analysis/src/tuning.rs
+
+/root/repo/target/debug/deps/libtt_analysis-d80b375e76cd7230.rlib: crates/analysis/src/lib.rs crates/analysis/src/availability.rs crates/analysis/src/chart.rs crates/analysis/src/correlation.rs crates/analysis/src/isolation.rs crates/analysis/src/report.rs crates/analysis/src/sensitivity.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs crates/analysis/src/tuning.rs
+
+/root/repo/target/debug/deps/libtt_analysis-d80b375e76cd7230.rmeta: crates/analysis/src/lib.rs crates/analysis/src/availability.rs crates/analysis/src/chart.rs crates/analysis/src/correlation.rs crates/analysis/src/isolation.rs crates/analysis/src/report.rs crates/analysis/src/sensitivity.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs crates/analysis/src/tuning.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/availability.rs:
+crates/analysis/src/chart.rs:
+crates/analysis/src/correlation.rs:
+crates/analysis/src/isolation.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/sensitivity.rs:
+crates/analysis/src/stats.rs:
+crates/analysis/src/table.rs:
+crates/analysis/src/tuning.rs:

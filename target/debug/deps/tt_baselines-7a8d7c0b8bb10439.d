@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tt_baselines-7a8d7c0b8bb10439.d: crates/baselines/src/lib.rs crates/baselines/src/alpha.rs crates/baselines/src/ttpc.rs
+
+/root/repo/target/debug/deps/tt_baselines-7a8d7c0b8bb10439: crates/baselines/src/lib.rs crates/baselines/src/alpha.rs crates/baselines/src/ttpc.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/alpha.rs:
+crates/baselines/src/ttpc.rs:

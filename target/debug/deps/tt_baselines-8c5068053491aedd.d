@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tt_baselines-8c5068053491aedd.d: crates/baselines/src/lib.rs crates/baselines/src/alpha.rs crates/baselines/src/ttpc.rs
+
+/root/repo/target/debug/deps/libtt_baselines-8c5068053491aedd.rlib: crates/baselines/src/lib.rs crates/baselines/src/alpha.rs crates/baselines/src/ttpc.rs
+
+/root/repo/target/debug/deps/libtt_baselines-8c5068053491aedd.rmeta: crates/baselines/src/lib.rs crates/baselines/src/alpha.rs crates/baselines/src/ttpc.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/alpha.rs:
+crates/baselines/src/ttpc.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tt_baselines-a0d597aea7b0ae5c.d: crates/baselines/src/lib.rs crates/baselines/src/alpha.rs crates/baselines/src/ttpc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtt_baselines-a0d597aea7b0ae5c.rmeta: crates/baselines/src/lib.rs crates/baselines/src/alpha.rs crates/baselines/src/ttpc.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/alpha.rs:
+crates/baselines/src/ttpc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

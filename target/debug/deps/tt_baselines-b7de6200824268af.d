@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tt_baselines-b7de6200824268af.d: crates/baselines/src/lib.rs crates/baselines/src/alpha.rs crates/baselines/src/ttpc.rs
+
+/root/repo/target/debug/deps/tt_baselines-b7de6200824268af: crates/baselines/src/lib.rs crates/baselines/src/alpha.rs crates/baselines/src/ttpc.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/alpha.rs:
+crates/baselines/src/ttpc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tt_baselines-ea4d947186684c7e.d: crates/baselines/src/lib.rs crates/baselines/src/alpha.rs crates/baselines/src/ttpc.rs
+
+/root/repo/target/debug/deps/libtt_baselines-ea4d947186684c7e.rlib: crates/baselines/src/lib.rs crates/baselines/src/alpha.rs crates/baselines/src/ttpc.rs
+
+/root/repo/target/debug/deps/libtt_baselines-ea4d947186684c7e.rmeta: crates/baselines/src/lib.rs crates/baselines/src/alpha.rs crates/baselines/src/ttpc.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/alpha.rs:
+crates/baselines/src/ttpc.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/tt_bench-6c426e762cb1f6ee.d: crates/bench/src/lib.rs crates/bench/src/comparison.rs crates/bench/src/experiments.rs crates/bench/src/parallel.rs
+
+/root/repo/target/debug/deps/tt_bench-6c426e762cb1f6ee: crates/bench/src/lib.rs crates/bench/src/comparison.rs crates/bench/src/experiments.rs crates/bench/src/parallel.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/comparison.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/parallel.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tt_bench-b79924a38ac07662.d: crates/bench/src/lib.rs crates/bench/src/comparison.rs crates/bench/src/experiments.rs crates/bench/src/parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtt_bench-b79924a38ac07662.rmeta: crates/bench/src/lib.rs crates/bench/src/comparison.rs crates/bench/src/experiments.rs crates/bench/src/parallel.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/comparison.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

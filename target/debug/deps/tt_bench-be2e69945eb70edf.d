@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tt_bench-be2e69945eb70edf.d: crates/bench/src/lib.rs crates/bench/src/comparison.rs crates/bench/src/experiments.rs crates/bench/src/parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtt_bench-be2e69945eb70edf.rmeta: crates/bench/src/lib.rs crates/bench/src/comparison.rs crates/bench/src/experiments.rs crates/bench/src/parallel.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/comparison.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

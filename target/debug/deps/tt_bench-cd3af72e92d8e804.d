@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tt_bench-cd3af72e92d8e804.d: crates/bench/src/lib.rs crates/bench/src/comparison.rs crates/bench/src/experiments.rs crates/bench/src/parallel.rs
+
+/root/repo/target/debug/deps/libtt_bench-cd3af72e92d8e804.rlib: crates/bench/src/lib.rs crates/bench/src/comparison.rs crates/bench/src/experiments.rs crates/bench/src/parallel.rs
+
+/root/repo/target/debug/deps/libtt_bench-cd3af72e92d8e804.rmeta: crates/bench/src/lib.rs crates/bench/src/comparison.rs crates/bench/src/experiments.rs crates/bench/src/parallel.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/comparison.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/parallel.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/tt_bench-dbe182d58a3f6df3.d: crates/bench/src/lib.rs crates/bench/src/comparison.rs crates/bench/src/experiments.rs crates/bench/src/parallel.rs
+
+/root/repo/target/debug/deps/tt_bench-dbe182d58a3f6df3: crates/bench/src/lib.rs crates/bench/src/comparison.rs crates/bench/src/experiments.rs crates/bench/src/parallel.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/comparison.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/parallel.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tt_bench-f11d6d78d117ab21.d: crates/bench/src/lib.rs crates/bench/src/comparison.rs crates/bench/src/experiments.rs crates/bench/src/parallel.rs
+
+/root/repo/target/debug/deps/libtt_bench-f11d6d78d117ab21.rlib: crates/bench/src/lib.rs crates/bench/src/comparison.rs crates/bench/src/experiments.rs crates/bench/src/parallel.rs
+
+/root/repo/target/debug/deps/libtt_bench-f11d6d78d117ab21.rmeta: crates/bench/src/lib.rs crates/bench/src/comparison.rs crates/bench/src/experiments.rs crates/bench/src/parallel.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/comparison.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/parallel.rs:

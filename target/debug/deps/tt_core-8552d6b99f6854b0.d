@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/tt_core-8552d6b99f6854b0.d: crates/core/src/lib.rs crates/core/src/alignment.rs crates/core/src/bandwidth.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/lowlat.rs crates/core/src/matrix.rs crates/core/src/membership.rs crates/core/src/penalty.rs crates/core/src/pipeline.rs crates/core/src/properties.rs crates/core/src/protocol.rs crates/core/src/syndrome.rs crates/core/src/voting.rs
+
+/root/repo/target/debug/deps/tt_core-8552d6b99f6854b0: crates/core/src/lib.rs crates/core/src/alignment.rs crates/core/src/bandwidth.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/lowlat.rs crates/core/src/matrix.rs crates/core/src/membership.rs crates/core/src/penalty.rs crates/core/src/pipeline.rs crates/core/src/properties.rs crates/core/src/protocol.rs crates/core/src/syndrome.rs crates/core/src/voting.rs
+
+crates/core/src/lib.rs:
+crates/core/src/alignment.rs:
+crates/core/src/bandwidth.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/lowlat.rs:
+crates/core/src/matrix.rs:
+crates/core/src/membership.rs:
+crates/core/src/penalty.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/properties.rs:
+crates/core/src/protocol.rs:
+crates/core/src/syndrome.rs:
+crates/core/src/voting.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/tt_core-d889b98967ba46a7.d: crates/core/src/lib.rs crates/core/src/alignment.rs crates/core/src/bandwidth.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/lowlat.rs crates/core/src/matrix.rs crates/core/src/membership.rs crates/core/src/penalty.rs crates/core/src/pipeline.rs crates/core/src/properties.rs crates/core/src/protocol.rs crates/core/src/syndrome.rs crates/core/src/voting.rs
+
+/root/repo/target/debug/deps/libtt_core-d889b98967ba46a7.rlib: crates/core/src/lib.rs crates/core/src/alignment.rs crates/core/src/bandwidth.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/lowlat.rs crates/core/src/matrix.rs crates/core/src/membership.rs crates/core/src/penalty.rs crates/core/src/pipeline.rs crates/core/src/properties.rs crates/core/src/protocol.rs crates/core/src/syndrome.rs crates/core/src/voting.rs
+
+/root/repo/target/debug/deps/libtt_core-d889b98967ba46a7.rmeta: crates/core/src/lib.rs crates/core/src/alignment.rs crates/core/src/bandwidth.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/lowlat.rs crates/core/src/matrix.rs crates/core/src/membership.rs crates/core/src/penalty.rs crates/core/src/pipeline.rs crates/core/src/properties.rs crates/core/src/protocol.rs crates/core/src/syndrome.rs crates/core/src/voting.rs
+
+crates/core/src/lib.rs:
+crates/core/src/alignment.rs:
+crates/core/src/bandwidth.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/lowlat.rs:
+crates/core/src/matrix.rs:
+crates/core/src/membership.rs:
+crates/core/src/penalty.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/properties.rs:
+crates/core/src/protocol.rs:
+crates/core/src/syndrome.rs:
+crates/core/src/voting.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/tt_core-f31b4dc76bef4e52.d: crates/core/src/lib.rs crates/core/src/alignment.rs crates/core/src/bandwidth.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/lowlat.rs crates/core/src/matrix.rs crates/core/src/membership.rs crates/core/src/penalty.rs crates/core/src/pipeline.rs crates/core/src/properties.rs crates/core/src/protocol.rs crates/core/src/syndrome.rs crates/core/src/voting.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtt_core-f31b4dc76bef4e52.rmeta: crates/core/src/lib.rs crates/core/src/alignment.rs crates/core/src/bandwidth.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/lowlat.rs crates/core/src/matrix.rs crates/core/src/membership.rs crates/core/src/penalty.rs crates/core/src/pipeline.rs crates/core/src/properties.rs crates/core/src/protocol.rs crates/core/src/syndrome.rs crates/core/src/voting.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/alignment.rs:
+crates/core/src/bandwidth.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/lowlat.rs:
+crates/core/src/matrix.rs:
+crates/core/src/membership.rs:
+crates/core/src/penalty.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/properties.rs:
+crates/core/src/protocol.rs:
+crates/core/src/syndrome.rs:
+crates/core/src/voting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

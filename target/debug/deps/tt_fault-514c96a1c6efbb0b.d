@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/tt_fault-514c96a1c6efbb0b.d: crates/fault/src/lib.rs crates/fault/src/bitflip.rs crates/fault/src/burst.rs crates/fault/src/campaign.rs crates/fault/src/injector.rs crates/fault/src/malicious.rs crates/fault/src/noise.rs crates/fault/src/scenario.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtt_fault-514c96a1c6efbb0b.rmeta: crates/fault/src/lib.rs crates/fault/src/bitflip.rs crates/fault/src/burst.rs crates/fault/src/campaign.rs crates/fault/src/injector.rs crates/fault/src/malicious.rs crates/fault/src/noise.rs crates/fault/src/scenario.rs Cargo.toml
+
+crates/fault/src/lib.rs:
+crates/fault/src/bitflip.rs:
+crates/fault/src/burst.rs:
+crates/fault/src/campaign.rs:
+crates/fault/src/injector.rs:
+crates/fault/src/malicious.rs:
+crates/fault/src/noise.rs:
+crates/fault/src/scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tt_fault-6a64c26f82087815.d: crates/fault/src/lib.rs crates/fault/src/bitflip.rs crates/fault/src/burst.rs crates/fault/src/campaign.rs crates/fault/src/injector.rs crates/fault/src/malicious.rs crates/fault/src/noise.rs crates/fault/src/scenario.rs
+
+/root/repo/target/debug/deps/tt_fault-6a64c26f82087815: crates/fault/src/lib.rs crates/fault/src/bitflip.rs crates/fault/src/burst.rs crates/fault/src/campaign.rs crates/fault/src/injector.rs crates/fault/src/malicious.rs crates/fault/src/noise.rs crates/fault/src/scenario.rs
+
+crates/fault/src/lib.rs:
+crates/fault/src/bitflip.rs:
+crates/fault/src/burst.rs:
+crates/fault/src/campaign.rs:
+crates/fault/src/injector.rs:
+crates/fault/src/malicious.rs:
+crates/fault/src/noise.rs:
+crates/fault/src/scenario.rs:

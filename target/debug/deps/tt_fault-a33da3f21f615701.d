@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tt_fault-a33da3f21f615701.d: crates/fault/src/lib.rs crates/fault/src/bitflip.rs crates/fault/src/burst.rs crates/fault/src/campaign.rs crates/fault/src/injector.rs crates/fault/src/malicious.rs crates/fault/src/noise.rs crates/fault/src/scenario.rs
+
+/root/repo/target/debug/deps/libtt_fault-a33da3f21f615701.rlib: crates/fault/src/lib.rs crates/fault/src/bitflip.rs crates/fault/src/burst.rs crates/fault/src/campaign.rs crates/fault/src/injector.rs crates/fault/src/malicious.rs crates/fault/src/noise.rs crates/fault/src/scenario.rs
+
+/root/repo/target/debug/deps/libtt_fault-a33da3f21f615701.rmeta: crates/fault/src/lib.rs crates/fault/src/bitflip.rs crates/fault/src/burst.rs crates/fault/src/campaign.rs crates/fault/src/injector.rs crates/fault/src/malicious.rs crates/fault/src/noise.rs crates/fault/src/scenario.rs
+
+crates/fault/src/lib.rs:
+crates/fault/src/bitflip.rs:
+crates/fault/src/burst.rs:
+crates/fault/src/campaign.rs:
+crates/fault/src/injector.rs:
+crates/fault/src/malicious.rs:
+crates/fault/src/noise.rs:
+crates/fault/src/scenario.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/tt_sim-296f67f167e4db69.d: crates/sim/src/lib.rs crates/sim/src/bus.rs crates/sim/src/channels.rs crates/sim/src/clock.rs crates/sim/src/controller.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/frame.rs crates/sim/src/job.rs crates/sim/src/node.rs crates/sim/src/schedule.rs crates/sim/src/time.rs crates/sim/src/timeline.rs crates/sim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtt_sim-296f67f167e4db69.rmeta: crates/sim/src/lib.rs crates/sim/src/bus.rs crates/sim/src/channels.rs crates/sim/src/clock.rs crates/sim/src/controller.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/frame.rs crates/sim/src/job.rs crates/sim/src/node.rs crates/sim/src/schedule.rs crates/sim/src/time.rs crates/sim/src/timeline.rs crates/sim/src/trace.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/bus.rs:
+crates/sim/src/channels.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/controller.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/frame.rs:
+crates/sim/src/job.rs:
+crates/sim/src/node.rs:
+crates/sim/src/schedule.rs:
+crates/sim/src/time.rs:
+crates/sim/src/timeline.rs:
+crates/sim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

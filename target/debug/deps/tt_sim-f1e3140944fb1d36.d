@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/tt_sim-f1e3140944fb1d36.d: crates/sim/src/lib.rs crates/sim/src/bus.rs crates/sim/src/channels.rs crates/sim/src/clock.rs crates/sim/src/controller.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/frame.rs crates/sim/src/job.rs crates/sim/src/node.rs crates/sim/src/schedule.rs crates/sim/src/time.rs crates/sim/src/timeline.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libtt_sim-f1e3140944fb1d36.rlib: crates/sim/src/lib.rs crates/sim/src/bus.rs crates/sim/src/channels.rs crates/sim/src/clock.rs crates/sim/src/controller.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/frame.rs crates/sim/src/job.rs crates/sim/src/node.rs crates/sim/src/schedule.rs crates/sim/src/time.rs crates/sim/src/timeline.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libtt_sim-f1e3140944fb1d36.rmeta: crates/sim/src/lib.rs crates/sim/src/bus.rs crates/sim/src/channels.rs crates/sim/src/clock.rs crates/sim/src/controller.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/frame.rs crates/sim/src/job.rs crates/sim/src/node.rs crates/sim/src/schedule.rs crates/sim/src/time.rs crates/sim/src/timeline.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/bus.rs:
+crates/sim/src/channels.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/controller.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/frame.rs:
+crates/sim/src/job.rs:
+crates/sim/src/node.rs:
+crates/sim/src/schedule.rs:
+crates/sim/src/time.rs:
+crates/sim/src/timeline.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ttdiag-ca67af29b198c39c.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/ttdiag-ca67af29b198c39c: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

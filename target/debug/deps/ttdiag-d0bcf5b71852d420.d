@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ttdiag-d0bcf5b71852d420.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/ttdiag-d0bcf5b71852d420: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ttdiag-f7b8605512ee1f40.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/ttdiag-f7b8605512ee1f40: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

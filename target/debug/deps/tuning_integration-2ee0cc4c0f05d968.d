@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tuning_integration-2ee0cc4c0f05d968.d: crates/bench/../../tests/tuning_integration.rs
+
+/root/repo/target/debug/deps/tuning_integration-2ee0cc4c0f05d968: crates/bench/../../tests/tuning_integration.rs
+
+crates/bench/../../tests/tuning_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tuning_integration-5cdc4646b35ededf.d: crates/bench/../../tests/tuning_integration.rs
+
+/root/repo/target/debug/deps/tuning_integration-5cdc4646b35ededf: crates/bench/../../tests/tuning_integration.rs
+
+crates/bench/../../tests/tuning_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tuning_integration-bfd217468464bfca.d: crates/bench/../../tests/tuning_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtuning_integration-bfd217468464bfca.rmeta: crates/bench/../../tests/tuning_integration.rs Cargo.toml
+
+crates/bench/../../tests/tuning_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/validation-5b3163bd83e8e480.d: crates/bench/src/bin/validation.rs
+
+/root/repo/target/debug/deps/validation-5b3163bd83e8e480: crates/bench/src/bin/validation.rs
+
+crates/bench/src/bin/validation.rs:

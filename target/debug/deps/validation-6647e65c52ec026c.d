@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/validation-6647e65c52ec026c.d: crates/bench/src/bin/validation.rs
+
+/root/repo/target/debug/deps/validation-6647e65c52ec026c: crates/bench/src/bin/validation.rs
+
+crates/bench/src/bin/validation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/validation-9cc00952fc8f8796.d: crates/bench/src/bin/validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalidation-9cc00952fc8f8796.rmeta: crates/bench/src/bin/validation.rs Cargo.toml
+
+crates/bench/src/bin/validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

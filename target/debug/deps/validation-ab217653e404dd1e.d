@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/validation-ab217653e404dd1e.d: crates/bench/src/bin/validation.rs
+
+/root/repo/target/debug/deps/validation-ab217653e404dd1e: crates/bench/src/bin/validation.rs
+
+crates/bench/src/bin/validation.rs:

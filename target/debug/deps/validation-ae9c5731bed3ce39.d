@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/validation-ae9c5731bed3ce39.d: crates/bench/src/bin/validation.rs
+
+/root/repo/target/debug/deps/validation-ae9c5731bed3ce39: crates/bench/src/bin/validation.rs
+
+crates/bench/src/bin/validation.rs:

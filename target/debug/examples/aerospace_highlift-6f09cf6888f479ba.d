@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/aerospace_highlift-6f09cf6888f479ba.d: crates/bench/../../examples/aerospace_highlift.rs
+
+/root/repo/target/debug/examples/aerospace_highlift-6f09cf6888f479ba: crates/bench/../../examples/aerospace_highlift.rs
+
+crates/bench/../../examples/aerospace_highlift.rs:

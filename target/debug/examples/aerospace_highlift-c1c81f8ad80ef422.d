@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/aerospace_highlift-c1c81f8ad80ef422.d: crates/bench/../../examples/aerospace_highlift.rs Cargo.toml
+
+/root/repo/target/debug/examples/libaerospace_highlift-c1c81f8ad80ef422.rmeta: crates/bench/../../examples/aerospace_highlift.rs Cargo.toml
+
+crates/bench/../../examples/aerospace_highlift.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

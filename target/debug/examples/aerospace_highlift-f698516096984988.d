@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/aerospace_highlift-f698516096984988.d: crates/bench/../../examples/aerospace_highlift.rs
+
+/root/repo/target/debug/examples/aerospace_highlift-f698516096984988: crates/bench/../../examples/aerospace_highlift.rs
+
+crates/bench/../../examples/aerospace_highlift.rs:

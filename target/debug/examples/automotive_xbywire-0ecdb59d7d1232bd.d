@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/automotive_xbywire-0ecdb59d7d1232bd.d: crates/bench/../../examples/automotive_xbywire.rs Cargo.toml
+
+/root/repo/target/debug/examples/libautomotive_xbywire-0ecdb59d7d1232bd.rmeta: crates/bench/../../examples/automotive_xbywire.rs Cargo.toml
+
+crates/bench/../../examples/automotive_xbywire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/automotive_xbywire-89216423af0f2e79.d: crates/bench/../../examples/automotive_xbywire.rs
+
+/root/repo/target/debug/examples/automotive_xbywire-89216423af0f2e79: crates/bench/../../examples/automotive_xbywire.rs
+
+crates/bench/../../examples/automotive_xbywire.rs:

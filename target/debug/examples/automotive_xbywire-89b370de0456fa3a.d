@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/automotive_xbywire-89b370de0456fa3a.d: crates/bench/../../examples/automotive_xbywire.rs
+
+/root/repo/target/debug/examples/automotive_xbywire-89b370de0456fa3a: crates/bench/../../examples/automotive_xbywire.rs
+
+crates/bench/../../examples/automotive_xbywire.rs:

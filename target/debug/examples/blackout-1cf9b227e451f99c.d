@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/blackout-1cf9b227e451f99c.d: crates/bench/../../examples/blackout.rs Cargo.toml
+
+/root/repo/target/debug/examples/libblackout-1cf9b227e451f99c.rmeta: crates/bench/../../examples/blackout.rs Cargo.toml
+
+crates/bench/../../examples/blackout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

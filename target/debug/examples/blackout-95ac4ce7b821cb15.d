@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/blackout-95ac4ce7b821cb15.d: crates/bench/../../examples/blackout.rs
+
+/root/repo/target/debug/examples/blackout-95ac4ce7b821cb15: crates/bench/../../examples/blackout.rs
+
+crates/bench/../../examples/blackout.rs:

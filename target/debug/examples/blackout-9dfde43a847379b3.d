@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/blackout-9dfde43a847379b3.d: crates/bench/../../examples/blackout.rs
+
+/root/repo/target/debug/examples/blackout-9dfde43a847379b3: crates/bench/../../examples/blackout.rs
+
+crates/bench/../../examples/blackout.rs:

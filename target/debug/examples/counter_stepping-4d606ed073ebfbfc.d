@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/counter_stepping-4d606ed073ebfbfc.d: crates/bench/../../examples/counter_stepping.rs
+
+/root/repo/target/debug/examples/counter_stepping-4d606ed073ebfbfc: crates/bench/../../examples/counter_stepping.rs
+
+crates/bench/../../examples/counter_stepping.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/counter_stepping-857b7079da5f2793.d: crates/bench/../../examples/counter_stepping.rs
+
+/root/repo/target/debug/examples/counter_stepping-857b7079da5f2793: crates/bench/../../examples/counter_stepping.rs
+
+crates/bench/../../examples/counter_stepping.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/counter_stepping-e338d814ff1f70d2.d: crates/bench/../../examples/counter_stepping.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcounter_stepping-e338d814ff1f70d2.rmeta: crates/bench/../../examples/counter_stepping.rs Cargo.toml
+
+crates/bench/../../examples/counter_stepping.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

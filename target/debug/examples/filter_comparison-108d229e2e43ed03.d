@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/filter_comparison-108d229e2e43ed03.d: crates/bench/../../examples/filter_comparison.rs
+
+/root/repo/target/debug/examples/filter_comparison-108d229e2e43ed03: crates/bench/../../examples/filter_comparison.rs
+
+crates/bench/../../examples/filter_comparison.rs:

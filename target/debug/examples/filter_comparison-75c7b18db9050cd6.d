@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/filter_comparison-75c7b18db9050cd6.d: crates/bench/../../examples/filter_comparison.rs
+
+/root/repo/target/debug/examples/filter_comparison-75c7b18db9050cd6: crates/bench/../../examples/filter_comparison.rs
+
+crates/bench/../../examples/filter_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/filter_comparison-da9f222c1433be0a.d: crates/bench/../../examples/filter_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfilter_comparison-da9f222c1433be0a.rmeta: crates/bench/../../examples/filter_comparison.rs Cargo.toml
+
+crates/bench/../../examples/filter_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

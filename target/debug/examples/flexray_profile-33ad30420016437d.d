@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/flexray_profile-33ad30420016437d.d: crates/bench/../../examples/flexray_profile.rs
+
+/root/repo/target/debug/examples/flexray_profile-33ad30420016437d: crates/bench/../../examples/flexray_profile.rs
+
+crates/bench/../../examples/flexray_profile.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/flexray_profile-3acaf079a69d45f9.d: crates/bench/../../examples/flexray_profile.rs
+
+/root/repo/target/debug/examples/flexray_profile-3acaf079a69d45f9: crates/bench/../../examples/flexray_profile.rs
+
+crates/bench/../../examples/flexray_profile.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/flexray_profile-616cb3fe8be55a8b.d: crates/bench/../../examples/flexray_profile.rs Cargo.toml
+
+/root/repo/target/debug/examples/libflexray_profile-616cb3fe8be55a8b.rmeta: crates/bench/../../examples/flexray_profile.rs Cargo.toml
+
+crates/bench/../../examples/flexray_profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

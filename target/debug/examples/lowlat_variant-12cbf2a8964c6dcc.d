@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lowlat_variant-12cbf2a8964c6dcc.d: crates/bench/../../examples/lowlat_variant.rs
+
+/root/repo/target/debug/examples/lowlat_variant-12cbf2a8964c6dcc: crates/bench/../../examples/lowlat_variant.rs
+
+crates/bench/../../examples/lowlat_variant.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lowlat_variant-43ddfcefe58eac56.d: crates/bench/../../examples/lowlat_variant.rs
+
+/root/repo/target/debug/examples/lowlat_variant-43ddfcefe58eac56: crates/bench/../../examples/lowlat_variant.rs
+
+crates/bench/../../examples/lowlat_variant.rs:

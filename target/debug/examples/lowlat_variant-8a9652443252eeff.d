@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lowlat_variant-8a9652443252eeff.d: crates/bench/../../examples/lowlat_variant.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblowlat_variant-8a9652443252eeff.rmeta: crates/bench/../../examples/lowlat_variant.rs Cargo.toml
+
+crates/bench/../../examples/lowlat_variant.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

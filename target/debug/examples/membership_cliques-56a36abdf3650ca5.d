@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/membership_cliques-56a36abdf3650ca5.d: crates/bench/../../examples/membership_cliques.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmembership_cliques-56a36abdf3650ca5.rmeta: crates/bench/../../examples/membership_cliques.rs Cargo.toml
+
+crates/bench/../../examples/membership_cliques.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/membership_cliques-6b41f3582712efa7.d: crates/bench/../../examples/membership_cliques.rs
+
+/root/repo/target/debug/examples/membership_cliques-6b41f3582712efa7: crates/bench/../../examples/membership_cliques.rs
+
+crates/bench/../../examples/membership_cliques.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/membership_cliques-fd7e4bb2058be5be.d: crates/bench/../../examples/membership_cliques.rs
+
+/root/repo/target/debug/examples/membership_cliques-fd7e4bb2058be5be: crates/bench/../../examples/membership_cliques.rs
+
+crates/bench/../../examples/membership_cliques.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mixed_criticality-a9e1a0f6cada8e73.d: crates/bench/../../examples/mixed_criticality.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmixed_criticality-a9e1a0f6cada8e73.rmeta: crates/bench/../../examples/mixed_criticality.rs Cargo.toml
+
+crates/bench/../../examples/mixed_criticality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mixed_criticality-b3f3d28bc6456510.d: crates/bench/../../examples/mixed_criticality.rs
+
+/root/repo/target/debug/examples/mixed_criticality-b3f3d28bc6456510: crates/bench/../../examples/mixed_criticality.rs
+
+crates/bench/../../examples/mixed_criticality.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mixed_criticality-e907cb12b5e80cbe.d: crates/bench/../../examples/mixed_criticality.rs
+
+/root/repo/target/debug/examples/mixed_criticality-e907cb12b5e80cbe: crates/bench/../../examples/mixed_criticality.rs
+
+crates/bench/../../examples/mixed_criticality.rs:

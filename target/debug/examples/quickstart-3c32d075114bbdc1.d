@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-3c32d075114bbdc1.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-3c32d075114bbdc1: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-be40ba4fd13be39d.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-be40ba4fd13be39d: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

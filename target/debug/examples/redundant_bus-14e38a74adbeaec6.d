@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/redundant_bus-14e38a74adbeaec6.d: crates/bench/../../examples/redundant_bus.rs
+
+/root/repo/target/debug/examples/redundant_bus-14e38a74adbeaec6: crates/bench/../../examples/redundant_bus.rs
+
+crates/bench/../../examples/redundant_bus.rs:

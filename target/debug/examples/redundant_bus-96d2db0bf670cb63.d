@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/redundant_bus-96d2db0bf670cb63.d: crates/bench/../../examples/redundant_bus.rs Cargo.toml
+
+/root/repo/target/debug/examples/libredundant_bus-96d2db0bf670cb63.rmeta: crates/bench/../../examples/redundant_bus.rs Cargo.toml
+
+crates/bench/../../examples/redundant_bus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

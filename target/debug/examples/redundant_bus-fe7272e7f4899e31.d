@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/redundant_bus-fe7272e7f4899e31.d: crates/bench/../../examples/redundant_bus.rs
+
+/root/repo/target/debug/examples/redundant_bus-fe7272e7f4899e31: crates/bench/../../examples/redundant_bus.rs
+
+crates/bench/../../examples/redundant_bus.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sos_faults-309d64e165a6a98c.d: crates/bench/../../examples/sos_faults.rs
+
+/root/repo/target/debug/examples/sos_faults-309d64e165a6a98c: crates/bench/../../examples/sos_faults.rs
+
+crates/bench/../../examples/sos_faults.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sos_faults-7ebd8538466e4fba.d: crates/bench/../../examples/sos_faults.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsos_faults-7ebd8538466e4fba.rmeta: crates/bench/../../examples/sos_faults.rs Cargo.toml
+
+crates/bench/../../examples/sos_faults.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

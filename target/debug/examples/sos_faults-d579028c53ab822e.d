@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sos_faults-d579028c53ab822e.d: crates/bench/../../examples/sos_faults.rs
+
+/root/repo/target/debug/examples/sos_faults-d579028c53ab822e: crates/bench/../../examples/sos_faults.rs
+
+crates/bench/../../examples/sos_faults.rs:

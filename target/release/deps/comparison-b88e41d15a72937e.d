@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/comparison-b88e41d15a72937e.d: crates/bench/src/bin/comparison.rs
+
+/root/repo/target/release/deps/comparison-b88e41d15a72937e: crates/bench/src/bin/comparison.rs
+
+crates/bench/src/bin/comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-c522366e4e8cbfa2.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-c522366e4e8cbfa2: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

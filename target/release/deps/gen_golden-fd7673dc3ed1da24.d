@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gen_golden-fd7673dc3ed1da24.d: crates/bench/src/bin/gen_golden.rs
+
+/root/repo/target/release/deps/gen_golden-fd7673dc3ed1da24: crates/bench/src/bin/gen_golden.rs
+
+crates/bench/src/bin/gen_golden.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_all-22c084eaea84b9c5.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/release/deps/repro_all-22c084eaea84b9c5: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-8921b9c8aafaf24b.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-8921b9c8aafaf24b: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

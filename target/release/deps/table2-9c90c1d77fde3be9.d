@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-9c90c1d77fde3be9.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-9c90c1d77fde3be9: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

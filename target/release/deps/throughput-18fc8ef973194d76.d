@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/throughput-18fc8ef973194d76.d: crates/bench/src/bin/throughput.rs
+
+/root/repo/target/release/deps/throughput-18fc8ef973194d76: crates/bench/src/bin/throughput.rs
+
+crates/bench/src/bin/throughput.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tt_baselines-a4c5a84bc3562bc2.d: crates/baselines/src/lib.rs crates/baselines/src/alpha.rs crates/baselines/src/ttpc.rs
+
+/root/repo/target/release/deps/libtt_baselines-a4c5a84bc3562bc2.rlib: crates/baselines/src/lib.rs crates/baselines/src/alpha.rs crates/baselines/src/ttpc.rs
+
+/root/repo/target/release/deps/libtt_baselines-a4c5a84bc3562bc2.rmeta: crates/baselines/src/lib.rs crates/baselines/src/alpha.rs crates/baselines/src/ttpc.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/alpha.rs:
+crates/baselines/src/ttpc.rs:

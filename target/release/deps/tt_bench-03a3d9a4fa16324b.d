@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/tt_bench-03a3d9a4fa16324b.d: crates/bench/src/lib.rs crates/bench/src/comparison.rs crates/bench/src/experiments.rs crates/bench/src/parallel.rs
+
+/root/repo/target/release/deps/libtt_bench-03a3d9a4fa16324b.rlib: crates/bench/src/lib.rs crates/bench/src/comparison.rs crates/bench/src/experiments.rs crates/bench/src/parallel.rs
+
+/root/repo/target/release/deps/libtt_bench-03a3d9a4fa16324b.rmeta: crates/bench/src/lib.rs crates/bench/src/comparison.rs crates/bench/src/experiments.rs crates/bench/src/parallel.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/comparison.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/parallel.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/tt_core-f00a409a458e41cd.d: crates/core/src/lib.rs crates/core/src/alignment.rs crates/core/src/bandwidth.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/lowlat.rs crates/core/src/matrix.rs crates/core/src/membership.rs crates/core/src/penalty.rs crates/core/src/pipeline.rs crates/core/src/properties.rs crates/core/src/protocol.rs crates/core/src/syndrome.rs crates/core/src/voting.rs
+
+/root/repo/target/release/deps/libtt_core-f00a409a458e41cd.rlib: crates/core/src/lib.rs crates/core/src/alignment.rs crates/core/src/bandwidth.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/lowlat.rs crates/core/src/matrix.rs crates/core/src/membership.rs crates/core/src/penalty.rs crates/core/src/pipeline.rs crates/core/src/properties.rs crates/core/src/protocol.rs crates/core/src/syndrome.rs crates/core/src/voting.rs
+
+/root/repo/target/release/deps/libtt_core-f00a409a458e41cd.rmeta: crates/core/src/lib.rs crates/core/src/alignment.rs crates/core/src/bandwidth.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/lowlat.rs crates/core/src/matrix.rs crates/core/src/membership.rs crates/core/src/penalty.rs crates/core/src/pipeline.rs crates/core/src/properties.rs crates/core/src/protocol.rs crates/core/src/syndrome.rs crates/core/src/voting.rs
+
+crates/core/src/lib.rs:
+crates/core/src/alignment.rs:
+crates/core/src/bandwidth.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/lowlat.rs:
+crates/core/src/matrix.rs:
+crates/core/src/membership.rs:
+crates/core/src/penalty.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/properties.rs:
+crates/core/src/protocol.rs:
+crates/core/src/syndrome.rs:
+crates/core/src/voting.rs:

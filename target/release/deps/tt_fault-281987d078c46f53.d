@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/tt_fault-281987d078c46f53.d: crates/fault/src/lib.rs crates/fault/src/bitflip.rs crates/fault/src/burst.rs crates/fault/src/campaign.rs crates/fault/src/injector.rs crates/fault/src/malicious.rs crates/fault/src/noise.rs crates/fault/src/scenario.rs
+
+/root/repo/target/release/deps/libtt_fault-281987d078c46f53.rlib: crates/fault/src/lib.rs crates/fault/src/bitflip.rs crates/fault/src/burst.rs crates/fault/src/campaign.rs crates/fault/src/injector.rs crates/fault/src/malicious.rs crates/fault/src/noise.rs crates/fault/src/scenario.rs
+
+/root/repo/target/release/deps/libtt_fault-281987d078c46f53.rmeta: crates/fault/src/lib.rs crates/fault/src/bitflip.rs crates/fault/src/burst.rs crates/fault/src/campaign.rs crates/fault/src/injector.rs crates/fault/src/malicious.rs crates/fault/src/noise.rs crates/fault/src/scenario.rs
+
+crates/fault/src/lib.rs:
+crates/fault/src/bitflip.rs:
+crates/fault/src/burst.rs:
+crates/fault/src/campaign.rs:
+crates/fault/src/injector.rs:
+crates/fault/src/malicious.rs:
+crates/fault/src/noise.rs:
+crates/fault/src/scenario.rs:

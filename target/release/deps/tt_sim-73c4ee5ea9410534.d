@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/tt_sim-73c4ee5ea9410534.d: crates/sim/src/lib.rs crates/sim/src/bus.rs crates/sim/src/channels.rs crates/sim/src/clock.rs crates/sim/src/controller.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/frame.rs crates/sim/src/job.rs crates/sim/src/node.rs crates/sim/src/schedule.rs crates/sim/src/time.rs crates/sim/src/timeline.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libtt_sim-73c4ee5ea9410534.rlib: crates/sim/src/lib.rs crates/sim/src/bus.rs crates/sim/src/channels.rs crates/sim/src/clock.rs crates/sim/src/controller.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/frame.rs crates/sim/src/job.rs crates/sim/src/node.rs crates/sim/src/schedule.rs crates/sim/src/time.rs crates/sim/src/timeline.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libtt_sim-73c4ee5ea9410534.rmeta: crates/sim/src/lib.rs crates/sim/src/bus.rs crates/sim/src/channels.rs crates/sim/src/clock.rs crates/sim/src/controller.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/frame.rs crates/sim/src/job.rs crates/sim/src/node.rs crates/sim/src/schedule.rs crates/sim/src/time.rs crates/sim/src/timeline.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/bus.rs:
+crates/sim/src/channels.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/controller.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/frame.rs:
+crates/sim/src/job.rs:
+crates/sim/src/node.rs:
+crates/sim/src/schedule.rs:
+crates/sim/src/time.rs:
+crates/sim/src/timeline.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ttdiag-f733b774d9508d7b.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/ttdiag-f733b774d9508d7b: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/validation-2f8ad93841926540.d: crates/bench/src/bin/validation.rs
+
+/root/repo/target/release/deps/validation-2f8ad93841926540: crates/bench/src/bin/validation.rs
+
+crates/bench/src/bin/validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-d5a7af453d464ccf.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-d5a7af453d464ccf: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

@@ -96,13 +96,7 @@ fn pr_forgives_separated_bursts_that_alpha_count_accumulates() {
     //
     // Environment: bursts of 3 consecutive faults every 100 rounds.
     let (p, r) = (4u64, 50u64);
-    let mut pr = tt_core::PenaltyReward::new(
-        1,
-        vec![1],
-        p,
-        r,
-        tt_core::ReintegrationPolicy::Never,
-    );
+    let mut pr = tt_core::PenaltyReward::new(1, vec![1], p, r, tt_core::ReintegrationPolicy::Never);
     // Same horizon for alpha-count: the largest K that still decorrelates
     // single faults 50 rounds apart, with the same budget of 4.
     let k = AlphaCount::max_uncorrelating_k(4.0, 50);

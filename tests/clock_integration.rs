@@ -4,8 +4,8 @@
 
 use tt_core::{DiagJob, ProtocolConfig};
 use tt_sim::{
-    ClockConfig, ClockDrivenPipeline, ClockEnsemble, ClusterBuilder, Nanos, NodeId,
-    SlotFaultClass, TraceMode,
+    ClockConfig, ClockDrivenPipeline, ClockEnsemble, ClusterBuilder, Nanos, NodeId, SlotFaultClass,
+    TraceMode,
 };
 
 fn degraded_cluster(seed: u64, p: u64) -> tt_sim::Cluster {
@@ -41,7 +41,10 @@ fn degrading_oscillator_is_isolated_by_the_protocol() {
         .map(|r| r.class)
         .collect();
     assert!(classes.contains(&SlotFaultClass::Asymmetric), "SOS crossed");
-    assert!(classes.contains(&SlotFaultClass::Benign), "fully out of spec");
+    assert!(
+        classes.contains(&SlotFaultClass::Benign),
+        "fully out of spec"
+    );
     // Every obedient node isolated exactly the unhealthy one, consistently.
     let mut decided = Vec::new();
     for obs in [1u32, 3, 4] {
@@ -101,5 +104,8 @@ fn penalty_threshold_delays_but_does_not_prevent_isolation() {
     let e_at = e.isolations()[0].decided_at.as_u64();
     let l_at = l.isolations()[0].decided_at.as_u64();
     assert!(e_at < l_at, "higher P waits longer: {e_at} vs {l_at}");
-    assert!(!l.is_active(NodeId::new(2)), "but the unhealthy node still goes");
+    assert!(
+        !l.is_active(NodeId::new(2)),
+        "but the unhealthy node still goes"
+    );
 }

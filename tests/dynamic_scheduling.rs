@@ -143,10 +143,7 @@ fn sparse_jitter_away_from_faults_is_absorbed() {
                 move |r: RoundIndex| {
                     // A new pseudo-random offset every 10th round.
                     let epoch = r.as_u64() / 10;
-                    ((epoch
-                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                        .wrapping_add(salt))
-                        >> 33) as usize
+                    ((epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(salt)) >> 33) as usize
                         % 4
                 },
                 Box::new(DiagJob::new(id, config.clone())),

@@ -5,8 +5,8 @@
 use tt_core::properties::{check_diag_cluster, checkable_rounds};
 use tt_core::{DiagJob, MembershipJob, ProtocolConfig};
 use tt_fault::{
-    AsymmetricDisturbance, Burst, ContinuousFault, DisturbanceNode, RandomNoise,
-    RandomSyndromeJob, Spike,
+    AsymmetricDisturbance, Burst, ContinuousFault, DisturbanceNode, RandomNoise, RandomSyndromeJob,
+    Spike,
 };
 use tt_sim::{Cluster, ClusterBuilder, NodeId, RoundIndex, SlotEffect, TraceMode, TxCtx};
 
@@ -103,7 +103,10 @@ fn eight_node_cluster_tolerates_concurrent_faults() {
     let all: Vec<NodeId> = NodeId::all(8).collect();
     let report = check_diag_cluster(&cluster, &all, checkable_rounds(30, 3));
     assert!(report.ok(), "{:?}", report.violations);
-    assert_eq!(report.rounds_out_of_hypothesis, 0, "window is in-hypothesis");
+    assert_eq!(
+        report.rounds_out_of_hypothesis, 0,
+        "window is in-hypothesis"
+    );
     // The benign burst victims were detected.
     let d: &DiagJob = cluster.job_as(NodeId::new(1)).unwrap();
     let rec = d.health_for(RoundIndex::new(10)).unwrap();

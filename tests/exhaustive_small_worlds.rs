@@ -58,13 +58,8 @@ fn all_benign_patterns_over_two_rounds() {
                 SlotEffect::Correct
             }
         });
-        let report =
-            check_diag_cluster(&cluster, &all_nodes(), checkable_rounds(TOTAL_ROUNDS, 3));
-        assert!(
-            report.ok(),
-            "mask {mask:#010b}: {:?}",
-            report.violations
-        );
+        let report = check_diag_cluster(&cluster, &all_nodes(), checkable_rounds(TOTAL_ROUNDS, 3));
+        assert!(report.ok(), "mask {mask:#010b}: {:?}", report.violations);
         assert_eq!(report.rounds_out_of_hypothesis, 0, "mask {mask:#010b}");
     }
 }
@@ -88,9 +83,7 @@ fn one_asymmetric_sender_with_optional_benign_slot() {
         for benign_at in 1..=slots {
             let cluster = run_pattern(move |idx| {
                 if idx == 0 {
-                    let detected_by = (1..N)
-                        .filter(|&r| subset & (1 << (r - 1)) != 0)
-                        .collect();
+                    let detected_by = (1..N).filter(|&r| subset & (1 << (r - 1)) != 0).collect();
                     SlotEffect::Asymmetric {
                         detected_by,
                         collision_ok: true,
@@ -224,8 +217,7 @@ fn all_benign_patterns_at_n5() {
             }
             cluster.run_rounds(TOTAL_ROUNDS);
             let all: Vec<NodeId> = NodeId::all(5).collect();
-            let report =
-                check_diag_cluster(&cluster, &all, checkable_rounds(TOTAL_ROUNDS, 3));
+            let report = check_diag_cluster(&cluster, &all, checkable_rounds(TOTAL_ROUNDS, 3));
             assert!(
                 report.ok(),
                 "mask {mask:#07b} shift {shift}: {:?}",

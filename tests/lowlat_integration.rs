@@ -31,7 +31,11 @@ fn lowlat_and_addon_agree_on_verdicts() {
     );
     addon.run_rounds(30);
     let diag: &DiagJob = addon.job_as(NodeId::new(1)).unwrap();
-    for rec in diag.health_log().iter().filter(|r| r.diagnosed.as_u64() < 25) {
+    for rec in diag
+        .health_log()
+        .iter()
+        .filter(|r| r.diagnosed.as_u64() < 25)
+    {
         for sender in NodeId::all(4) {
             let v = lowlat
                 .verdict_for(NodeId::new(1), rec.diagnosed, sender)
@@ -171,13 +175,7 @@ fn lowlat_oracle_reports_ground_truth() {
     };
     let mut c = LowLatCluster::new(4, false, Box::new(burst));
     c.run_rounds(8);
-    assert_eq!(
-        c.ground_truth(21),
-        Some(tt_sim::SlotFaultClass::Benign)
-    );
-    assert_eq!(
-        c.ground_truth(20),
-        Some(tt_sim::SlotFaultClass::Correct)
-    );
+    assert_eq!(c.ground_truth(21), Some(tt_sim::SlotFaultClass::Benign));
+    assert_eq!(c.ground_truth(20), Some(tt_sim::SlotFaultClass::Correct));
     assert!(c.check_properties().is_empty());
 }

@@ -30,10 +30,7 @@ fn single_channel_burst_is_invisible_to_the_protocol() {
     let cluster = diag_cluster(vec![Box::new(a), Box::new(tt_sim::NoFaults)], 24);
     assert!(cluster.trace().records().is_empty(), "masked on the wire");
     let d: &DiagJob = cluster.job_as(NodeId::new(1)).unwrap();
-    assert!(d
-        .health_log()
-        .iter()
-        .all(|h| h.health.iter().all(|&ok| ok)));
+    assert!(d.health_log().iter().all(|h| h.health.iter().all(|&ok| ok)));
 }
 
 #[test]
@@ -49,7 +46,10 @@ fn overlapping_bursts_defeat_redundancy_and_are_diagnosed() {
     let report = check_diag_cluster(&cluster, &all, checkable_rounds(24, 3));
     assert!(report.ok(), "{:?}", report.violations);
     let d: &DiagJob = cluster.job_as(NodeId::new(1)).unwrap();
-    assert_eq!(d.health_for(RoundIndex::new(10)).unwrap().health, vec![false; 4]);
+    assert_eq!(
+        d.health_for(RoundIndex::new(10)).unwrap().health,
+        vec![false; 4]
+    );
 }
 
 #[test]
@@ -67,10 +67,7 @@ fn partially_overlapping_noise_reduces_fault_rate() {
             .unwrap();
         let mut c = ClusterBuilder::new(4)
             .trace_mode(TraceMode::Anomalies)
-            .build_with_jobs(
-                |id| Box::new(DiagJob::new(id, config.clone())),
-                mk(3),
-            );
+            .build_with_jobs(|id| Box::new(DiagJob::new(id, config.clone())), mk(3));
         c.run_rounds(100);
         c.trace().records().len()
     };

@@ -56,8 +56,7 @@ fn replayed_trace_reproduces_the_original_run_exactly() {
 fn replay_supports_what_if_retuning() {
     // Capture once, then re-drive the same fault pattern under a different
     // penalty threshold: the what-if analysis loop of a diagnostician.
-    let pipeline =
-        DisturbanceNode::new(7).with(Burst::in_round(RoundIndex::new(10), 0, 24, 4));
+    let pipeline = DisturbanceNode::new(7).with(Burst::in_round(RoundIndex::new(10), 0, 24, 4));
     let original = run_with(Box::new(pipeline), 1_000_000);
     // Lenient tuning: nobody isolated (6 faulty rounds each, P huge).
     let o: &DiagJob = original.job_as(NodeId::new(1)).unwrap();

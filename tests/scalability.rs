@@ -2,9 +2,7 @@
 //! with the number of available nodes". These tests exercise clusters well
 //! beyond the 4-node prototype.
 
-use tt_core::properties::{
-    check_counter_consistency, check_diag_cluster, checkable_rounds,
-};
+use tt_core::properties::{check_counter_consistency, check_diag_cluster, checkable_rounds};
 use tt_core::{DiagJob, ProtocolConfig};
 use tt_fault::{AsymmetricDisturbance, Burst, DisturbanceNode, RandomNoise};
 use tt_sim::{ClusterBuilder, Nanos, NodeId, RoundIndex, SlotEffect, TraceMode, TxCtx};
@@ -27,10 +25,7 @@ fn diag_cluster(
     let mut cluster = ClusterBuilder::new(n)
         .round_length(round_for(n))
         .trace_mode(TraceMode::Anomalies)
-        .build_with_jobs(
-            |id| Box::new(DiagJob::new(id, cfg.clone())),
-            pipeline,
-        );
+        .build_with_jobs(|id| Box::new(DiagJob::new(id, cfg.clone())), pipeline);
     cluster.run_rounds(rounds);
     cluster
 }

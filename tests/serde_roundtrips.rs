@@ -56,7 +56,10 @@ fn sim_records_roundtrip() {
         }),
     };
     assert_eq!(roundtrip(&rec), rec);
-    assert_eq!(roundtrip(&Nanos::from_millis_f64(2.5)), Nanos::from_micros(2_500));
+    assert_eq!(
+        roundtrip(&Nanos::from_millis_f64(2.5)),
+        Nanos::from_micros(2_500)
+    );
 }
 
 #[test]

@@ -2,9 +2,7 @@
 //! (`cargo test -- --ignored` to execute). Each soaks the full protocol
 //! stack under sustained randomized fault load and checks every oracle.
 
-use tt_core::properties::{
-    check_counter_consistency, check_diag_cluster, checkable_rounds,
-};
+use tt_core::properties::{check_counter_consistency, check_diag_cluster, checkable_rounds};
 use tt_core::{DiagJob, ProtocolConfig};
 use tt_fault::{DisturbanceNode, RandomNoise};
 use tt_sim::{ClusterBuilder, NodeId, TraceMode};

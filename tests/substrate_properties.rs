@@ -8,7 +8,7 @@ use proptest::prelude::*;
 use tt_baselines::TtpcCluster;
 use tt_sim::{
     apply_effect, ClockConfig, ClockEnsemble, FaultPipeline, NodeId, Reception, ReplicatedBus,
-    RoundIndex, SlotEffect, TxCtx,
+    RoundIndex, SlotEffect, SlotOutcome, TxCtx,
 };
 
 fn ctx(n: usize, abs: u64) -> TxCtx {
@@ -104,6 +104,71 @@ proptest! {
         let double = bus.transmit(&c, &payload);
         prop_assert_eq!(&single.receptions, &double.receptions);
         prop_assert_eq!(single.collision_ok, double.collision_ok);
+    }
+
+    /// `transmit_into` is observationally identical to the legacy
+    /// `transmit` for arbitrary fault effects — through the overridden
+    /// closure fast path, the trait-default delegation, and the replicated
+    /// bus merge — even when the output buffer is dirty from a previous
+    /// slot.
+    #[test]
+    fn transmit_into_matches_transmit(
+        e1 in arb_effect(4),
+        e2 in arb_effect(4),
+        b in any::<u8>(),
+        abs in 0u64..64,
+    ) {
+        let c = ctx(4, abs);
+        let payload = bytes::Bytes::copy_from_slice(&[b]);
+        // Dirty the buffer with a different slot's outcome first, so the
+        // test also proves a reused buffer is fully overwritten.
+        let mut out = SlotOutcome::new();
+        {
+            let eff = e2.clone();
+            let mut dirty = move |_: &TxCtx| eff.clone();
+            FaultPipeline::transmit_into(
+                &mut dirty,
+                &ctx(4, abs + 1),
+                &bytes::Bytes::from_static(b"\xde\xad"),
+                &mut out,
+            );
+        }
+
+        // Closure pipelines override transmit_into with an in-place fill.
+        let eff = e1.clone();
+        let mut closure = move |_: &TxCtx| eff.clone();
+        let legacy = FaultPipeline::transmit(&mut closure, &c, &payload);
+        FaultPipeline::transmit_into(&mut closure, &c, &payload, &mut out);
+        prop_assert_eq!(&out.receptions, &legacy.receptions);
+        prop_assert_eq!(out.collision_ok, legacy.collision_ok);
+        prop_assert_eq!(out.class, legacy.class);
+
+        // A pipeline implementing only `effect` uses the trait default,
+        // which delegates to `transmit`.
+        struct EffectOnly(SlotEffect);
+        impl FaultPipeline for EffectOnly {
+            fn effect(&mut self, _: &TxCtx) -> SlotEffect {
+                self.0.clone()
+            }
+        }
+        let mut default_path = EffectOnly(e1.clone());
+        default_path.transmit_into(&c, &payload, &mut out);
+        prop_assert_eq!(&out.receptions, &legacy.receptions);
+        prop_assert_eq!(out.collision_ok, legacy.collision_ok);
+        prop_assert_eq!(out.class, legacy.class);
+
+        // The replicated bus overrides both methods; they must agree too.
+        let mk_bus = |ea: SlotEffect, eb: SlotEffect| {
+            ReplicatedBus::new(vec![
+                Box::new(move |_: &TxCtx| ea.clone()) as Box<dyn FaultPipeline>,
+                Box::new(move |_: &TxCtx| eb.clone()),
+            ])
+        };
+        let bus_legacy = mk_bus(e1.clone(), e2.clone()).transmit(&c, &payload);
+        mk_bus(e1.clone(), e2.clone()).transmit_into(&c, &payload, &mut out);
+        prop_assert_eq!(&out.receptions, &bus_legacy.receptions);
+        prop_assert_eq!(out.collision_ok, bus_legacy.collision_ok);
+        prop_assert_eq!(out.class, bus_legacy.class);
     }
 
     /// Clock ensembles with in-spec drifts stay synchronized for any seed

@@ -2,8 +2,7 @@
 //! Tables 3 & 4, end to end through the experiment-regeneration layer.
 
 use tt_analysis::{
-    aerospace_setup, automotive_setup, correlation_probability, measure_time_to_isolation,
-    tune,
+    aerospace_setup, automotive_setup, correlation_probability, measure_time_to_isolation, tune,
 };
 use tt_fault::TransientScenario;
 use tt_sim::Nanos;
@@ -92,5 +91,8 @@ fn report_generators_are_green() {
     let t2 = tt_bench::table2_report();
     assert!(!t2.contains("| NO "), "{t2}");
     let t3 = tt_bench::table3_report();
-    assert!(t3.contains("10.000ms") || t3.contains("10ms") || t3.contains("10.0"), "{t3}");
+    assert!(
+        t3.contains("10.000ms") || t3.contains("10ms") || t3.contains("10.0"),
+        "{t3}"
+    );
 }

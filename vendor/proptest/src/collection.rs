@@ -1,0 +1,74 @@
+//! Collection strategies (`vec`).
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A length specification for [`vec`]: an exact size or a size range.
+pub trait IntoSizeRange {
+    /// Lower and upper (inclusive) bounds on the length.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty vec size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl IntoSizeRange for RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start() <= self.end(), "empty vec size range");
+        (*self.start(), *self.end())
+    }
+}
+
+/// Strategy producing `Vec`s whose elements come from `element`.
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let len = rng.usize_in(self.min, self.max);
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// Builds a strategy for vectors of `element` values with a length drawn
+/// from `size` (an exact `usize` or a `usize` range).
+pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+    let (min, max) = size.bounds();
+    VecStrategy { element, min, max }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::any;
+
+    #[test]
+    fn vec_sizes_respect_bounds() {
+        let s = vec(any::<bool>(), 2..5);
+        let mut rng = TestRng::deterministic("vec_sizes_respect_bounds");
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            let v = s.new_value(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            seen.insert(v.len());
+        }
+        assert_eq!(seen.len(), 3, "all sizes hit: {seen:?}");
+        let exact = vec(any::<u8>(), 3usize);
+        assert_eq!(exact.new_value(&mut rng).len(), 3);
+    }
+}

@@ -1,0 +1,226 @@
+//! Offline shim of `proptest`.
+//!
+//! Supports the subset this workspace uses: the `proptest!` macro with a
+//! `proptest_config` attribute, `Strategy` + `prop_map`, `Just`, `any`,
+//! range and tuple strategies, `collection::vec`, weighted `prop_oneof!`,
+//! and the `prop_assert*` / `prop_assume!` macros. Test inputs are drawn
+//! from a generator seeded deterministically from the test's module path
+//! and name, so failures reproduce across runs. Unlike real proptest there
+//! is no shrinking and no regression-file persistence: a failing case
+//! panics with the assertion message directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Marker returned (via `Err`) when `prop_assume!` rejects a case.
+pub struct TestCaseReject;
+
+/// Per-`proptest!` block configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The deterministic random source handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeds the generator from a test identifier (FNV-1a over the name),
+    /// so every run of the same test draws the same inputs.
+    pub fn deterministic(test_id: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_id.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    /// Samples uniformly from a range (used by size selection).
+    pub fn usize_in(&mut self, lo: usize, hi_inclusive: usize) -> usize {
+        if lo >= hi_inclusive {
+            return lo;
+        }
+        self.0.gen_range(lo..=hi_inclusive)
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+}
+
+/// Types with a canonical strategy, targeted by [`prelude::any`].
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_uint {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // Bias ~6% of draws toward the edge values real proptest
+                // overweights; otherwise uniform over the full domain.
+                match rng.next_u32() % 16 {
+                    0 => <$ty>::MIN,
+                    1 => <$ty>::MAX,
+                    _ => rng.gen(),
+                }
+            }
+        }
+    )*};
+}
+
+arb_uint!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        match rng.next_u32() % 16 {
+            0 => 0.0,
+            1 => 1.0,
+            2 => -1.0,
+            _ => {
+                let v: f64 = rng.gen();
+                (v - 0.5) * 2.0e6
+            }
+        }
+    }
+}
+
+/// Everything a `proptest!` test module typically imports.
+pub mod prelude {
+    pub use crate::collection::vec as prop_vec;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Arbitrary,
+        ProptestConfig, TestRng,
+    };
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> crate::strategy::Any<T> {
+        crate::strategy::Any(std::marker::PhantomData)
+    }
+}
+
+/// Asserts a property inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { ::std::assert!($($args)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { ::std::assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { ::std::assert_ne!($($args)*) };
+}
+
+/// Rejects the current case (resampled without counting) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseReject);
+        }
+    };
+}
+
+/// Weighted choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new()$(.with($weight as u32, $strat))+
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new()$(.with(1u32, $strat))+
+    };
+}
+
+/// Declares property tests: each `fn` draws its arguments from the given
+/// strategies and runs `config.cases` accepted cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                while accepted < config.cases {
+                    attempts += 1;
+                    ::std::assert!(
+                        attempts <= config.cases.saturating_mul(20).saturating_add(100),
+                        "prop_assume! rejected too many cases in {}",
+                        stringify!($name),
+                    );
+                    $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut rng);)*
+                    let outcome: ::std::result::Result<(), $crate::TestCaseReject> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if outcome.is_ok() {
+                        accepted += 1;
+                    }
+                }
+            }
+        )*
+    };
+}

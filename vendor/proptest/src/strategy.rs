@@ -1,0 +1,185 @@
+//! Strategy trait and combinators.
+
+use crate::{Arbitrary, TestRng};
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for producing values of `Self::Value` from a [`TestRng`].
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms produced values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy always yielding a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy for `any::<T>()`.
+pub struct Any<T: Arbitrary>(pub(crate) std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn new_value(&self, rng: &mut TestRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn new_value(&self, rng: &mut TestRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        if lo == hi {
+            lo
+        } else {
+            // The endpoint has measure zero; sampling the half-open range is
+            // indistinguishable in practice.
+            rng.gen_range(lo..hi)
+        }
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.new_value(rng), self.1.new_value(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.new_value(rng),
+            self.1.new_value(rng),
+            self.2.new_value(rng),
+        )
+    }
+}
+
+/// A weighted arm of a [`OneOf`] union.
+type WeightedArm<T> = (u32, Box<dyn Fn(&mut TestRng) -> T>);
+
+/// Weighted union of strategies; built by the [`crate::prop_oneof!`] macro.
+pub struct OneOf<T> {
+    arms: Vec<WeightedArm<T>>,
+    total: u32,
+}
+
+impl<T> OneOf<T> {
+    /// An empty union (drawing from it panics until an arm is added).
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        OneOf {
+            arms: Vec::new(),
+            total: 0,
+        }
+    }
+
+    /// Adds an arm with the given weight.
+    pub fn with<S>(mut self, weight: u32, strategy: S) -> Self
+    where
+        S: Strategy<Value = T> + 'static,
+    {
+        assert!(weight > 0, "prop_oneof! arm weight must be positive");
+        self.arms
+            .push((weight, Box::new(move |rng| strategy.new_value(rng))));
+        self.total += weight;
+        self
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        assert!(self.total > 0, "prop_oneof! needs at least one arm");
+        let mut pick = rng.gen_range(0..self.total);
+        for (weight, arm) in &self.arms {
+            if pick < *weight {
+                return arm(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weighted pick within total")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oneof_respects_weights() {
+        let s = crate::prop_oneof![9 => Just(true), 1 => Just(false)];
+        let mut rng = TestRng::deterministic("oneof_respects_weights");
+        let trues = (0..1_000).filter(|_| s.new_value(&mut rng)).count();
+        assert!((800..=990).contains(&trues), "trues {trues}");
+    }
+
+    #[test]
+    fn map_and_tuple_compose() {
+        let s = (0u32..4, Just(10u32)).prop_map(|(a, b)| a + b);
+        let mut rng = TestRng::deterministic("map_and_tuple_compose");
+        for _ in 0..100 {
+            let v = s.new_value(&mut rng);
+            assert!((10..14).contains(&v));
+        }
+    }
+}

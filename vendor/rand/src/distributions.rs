@@ -1,0 +1,205 @@
+//! Standard and uniform-range sampling, matching `rand 0.8.5`'s algorithms.
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// Types samplable from the standard (full-width / unit-interval) distribution.
+pub trait SampleStandard: Sized {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl SampleStandard for u8 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+
+impl SampleStandard for u16 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32() as u16
+    }
+}
+
+impl SampleStandard for u32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl SampleStandard for u64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl SampleStandard for usize {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl SampleStandard for i32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32() as i32
+    }
+}
+
+impl SampleStandard for i64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl SampleStandard for bool {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        // rand 0.8: sign bit of a fresh u32 (MSBs have the best quality).
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl SampleStandard for f64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        // 53-bit mantissa multiply: uniform in [0, 1).
+        let scale = 1.0 / ((1u64 << 53) as f64);
+        (rng.next_u64() >> 11) as f64 * scale
+    }
+}
+
+/// Range types usable with [`crate::Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Samples one value uniformly from the range.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Widening multiply: returns (high, low) halves of the full product.
+trait WideMul: Sized {
+    fn wmul(self, rhs: Self) -> (Self, Self);
+}
+
+impl WideMul for u32 {
+    fn wmul(self, rhs: Self) -> (Self, Self) {
+        let wide = u64::from(self) * u64::from(rhs);
+        ((wide >> 32) as u32, wide as u32)
+    }
+}
+
+impl WideMul for u64 {
+    fn wmul(self, rhs: Self) -> (Self, Self) {
+        let wide = u128::from(self) * u128::from(rhs);
+        ((wide >> 64) as u64, wide as u64)
+    }
+}
+
+macro_rules! uniform_int_impl {
+    ($ty:ty, $unsigned:ty, $u_large:ty, $gen:ident) => {
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                sample_inclusive(self.start, self.end - 1, rng)
+            }
+        }
+
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $ty {
+                let (low, high) = self.into_inner();
+                assert!(low <= high, "cannot sample empty range");
+                sample_inclusive(low, high, rng)
+            }
+        }
+
+        /// `UniformInt::sample_single_inclusive` from rand 0.8.5: widening
+        /// multiply with a bitmask-derived rejection zone.
+        fn sample_inclusive<R: RngCore>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+            let range = high.wrapping_sub(low).wrapping_add(1) as $unsigned as $u_large;
+            if range == 0 {
+                // Full integer range: any sample is fair.
+                return rng.$gen() as $ty;
+            }
+            let zone = (range << range.leading_zeros()).wrapping_sub(1);
+            loop {
+                let v: $u_large = rng.$gen();
+                let (hi, lo) = v.wmul(range);
+                if lo <= zone {
+                    return low.wrapping_add(hi as $ty);
+                }
+            }
+        }
+    };
+}
+
+mod range_u8 {
+    use super::*;
+    uniform_int_impl!(u8, u8, u32, next_u32);
+}
+mod range_u16 {
+    use super::*;
+    uniform_int_impl!(u16, u16, u32, next_u32);
+}
+mod range_u32 {
+    use super::*;
+    uniform_int_impl!(u32, u32, u32, next_u32);
+}
+mod range_i32 {
+    use super::*;
+    uniform_int_impl!(i32, u32, u32, next_u32);
+}
+mod range_u64 {
+    use super::*;
+    uniform_int_impl!(u64, u64, u64, next_u64);
+}
+mod range_i64 {
+    use super::*;
+    uniform_int_impl!(i64, u64, u64, next_u64);
+}
+mod range_usize {
+    use super::*;
+    uniform_int_impl!(usize, usize, u64, next_u64);
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        // rand 0.8 UniformFloat::sample_single: value in [1, 2) scaled by
+        // multiply-add so the stream matches the original crate.
+        let scale = self.end - self.start;
+        let offset = self.start - scale;
+        let mantissa = rng.next_u64() >> 12;
+        let value1_2 = f64::from_bits((1023u64 << 52) | mantissa);
+        value1_2 * scale + offset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn inclusive_and_exclusive_agree_on_equivalent_ranges() {
+        let mut a = StdRng::seed_from_u64(17);
+        let mut b = StdRng::seed_from_u64(17);
+        for _ in 0..1_000 {
+            let x: u64 = a.gen_range(3..10);
+            let y: u64 = b.gen_range(3..=9);
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn f64_range_hits_interior() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut lo_half = false;
+        let mut hi_half = false;
+        for _ in 0..1_000 {
+            let v: f64 = rng.gen_range(10.0..20.0);
+            assert!((10.0..20.0).contains(&v));
+            if v < 15.0 {
+                lo_half = true;
+            } else {
+                hi_half = true;
+            }
+        }
+        assert!(lo_half && hi_half);
+    }
+}

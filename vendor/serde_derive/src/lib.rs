@@ -1,0 +1,454 @@
+//! Offline shim of `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` with a
+//! hand-rolled token parser (no `syn`/`quote`): the item's shape is read
+//! directly from the `proc_macro` token stream and impls are emitted as
+//! source strings. Supports the shapes this workspace uses — named-field
+//! structs, tuple/newtype structs, enums with unit / newtype / tuple /
+//! struct variants — plus the `#[serde(skip)]` field attribute (skipped
+//! fields are omitted on serialize and `Default`-filled on deserialize).
+//! Generics and other serde attributes are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One field of a struct or struct variant.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+/// The parsed shape of the deriving item.
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives the shim's `serde::Serialize` for the item.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the shim's `serde::Deserialize` for the item.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic types ({name})");
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: split_top_level(g.stream())
+                        .into_iter()
+                        .filter(|c| !c.is_empty())
+                        .count(),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("expected enum body for {name}, found {other:?}"),
+        },
+        other => panic!("cannot derive serde traits for `{other}` items"),
+    }
+}
+
+/// Advances past attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' and the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a token stream on top-level commas (nested groups are opaque).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    for tok in stream {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == ',' => chunks.push(Vec::new()),
+            _ => chunks.last_mut().expect("non-empty chunk list").push(tok),
+        }
+    }
+    chunks
+}
+
+/// Whether an attribute bracket group is `serde(... skip ...)`.
+fn is_serde_skip(group: &proc_macro::Group) -> bool {
+    let mut toks = group.stream().into_iter();
+    match (toks.next(), toks.next()) {
+        (Some(TokenTree::Ident(head)), Some(TokenTree::Group(args)))
+            if head.to_string() == "serde" =>
+        {
+            let mut saw_skip = false;
+            for t in args.stream() {
+                match t {
+                    TokenTree::Ident(id) if id.to_string() == "skip" => saw_skip = true,
+                    TokenTree::Ident(other) => {
+                        panic!("serde shim derive only supports #[serde(skip)], found `{other}`")
+                    }
+                    _ => {}
+                }
+            }
+            saw_skip
+        }
+        _ => false,
+    }
+}
+
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    for chunk in split_top_level(stream) {
+        if chunk.is_empty() {
+            continue;
+        }
+        let mut skip = false;
+        let mut i = 0;
+        // Field attributes: record #[serde(skip)], ignore doc comments.
+        while let Some(TokenTree::Punct(p)) = chunk.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let Some(TokenTree::Group(g)) = chunk.get(i + 1) {
+                skip |= is_serde_skip(g);
+            }
+            i += 2;
+        }
+        skip_attrs_and_vis(&chunk, &mut i);
+        let name = match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected field name, found {other:?}"),
+        };
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    for chunk in split_top_level(stream) {
+        if chunk.is_empty() {
+            continue;
+        }
+        let mut i = 0;
+        skip_attrs_and_vis(&chunk, &mut i);
+        let name = match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let kind = match chunk.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                VariantKind::Tuple(
+                    split_top_level(g.stream())
+                        .into_iter()
+                        .filter(|c| !c.is_empty())
+                        .count(),
+                )
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                VariantKind::Struct(parse_fields(g.stream()))
+            }
+            None => VariantKind::Unit,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                panic!("serde shim derive does not support explicit discriminants ({name})")
+            }
+            other => panic!("unsupported variant body for {name}: {other:?}"),
+        };
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ------------------------------------------------------------- generation
+
+/// Emits the field-map construction statements for a set of named fields,
+/// reading each field through the accessor prefix (`&self.` or a binding).
+fn ser_named_fields(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let live = fields.iter().filter(|f| !f.skip).count();
+    let mut out = format!(
+        "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::with_capacity({live});\n"
+    );
+    for f in fields.iter().filter(|f| !f.skip) {
+        out.push_str(&format!(
+            "fields.push((::std::string::String::from(\"{n}\"), \
+             ::serde::Serialize::to_value({a})));\n",
+            n = f.name,
+            a = access(&f.name)
+        ));
+    }
+    out.push_str("::serde::Value::Map(fields)");
+    out
+}
+
+/// Emits struct-literal field initializers that pull each live field from a
+/// map binding named `map` (erroring on absence) and `Default` the rest.
+fn de_named_fields(fields: &[Field], owner: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        if f.skip {
+            out.push_str(&format!(
+                "{n}: ::std::default::Default::default(),\n",
+                n = f.name
+            ));
+        } else {
+            out.push_str(&format!(
+                "{n}: ::serde::Deserialize::from_value(::serde::Value::get_field(map, \"{n}\")\
+                 .ok_or_else(|| ::serde::DeError::custom(\
+                 \"missing field `{n}` in {owner}\"))?)?,\n",
+                n = f.name
+            ));
+        }
+    }
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            (name, ser_named_fields(fields, |f| format!("&self.{f}")))
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            (name, "::serde::Serialize::to_value(&self.0)".to_string())
+        }
+        Item::TupleStruct { name, arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            (
+                name,
+                format!("::serde::Value::Seq(::std::vec![{}])", elems.join(", ")),
+            )
+        }
+        Item::UnitStruct { name } => (name, "::serde::Value::Null".to_string()),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(f0) => ::serde::Value::Map(::std::vec![(\
+                         ::std::string::String::from(\"{vn}\"), \
+                         ::serde::Serialize::to_value(f0))]),\n"
+                    )),
+                    VariantKind::Tuple(k) => {
+                        let binds: Vec<String> = (0..*k).map(|j| format!("f{j}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({b}) => ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Seq(::std::vec![{e}]))]),\n",
+                            b = binds.join(", "),
+                            e = elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let inner = ser_named_fields(fields, |f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {b} }} => ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), {{ {inner} }})]),\n",
+                            b = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            (name, format!("match self {{\n{arms}}}"))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => (
+            name,
+            format!(
+                "let map = v.as_map().ok_or_else(|| ::serde::DeError::custom(\
+                 \"expected map for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})",
+                inits = de_named_fields(fields, name)
+            ),
+        ),
+        Item::TupleStruct { name, arity: 1 } => (
+            name,
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        ),
+        Item::TupleStruct { name, arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|k| format!("::serde::Deserialize::from_value(&seq[{k}])?"))
+                .collect();
+            (
+                name,
+                format!(
+                    "let seq = v.as_seq().ok_or_else(|| ::serde::DeError::custom(\
+                     \"expected sequence for {name}\"))?;\n\
+                     if seq.len() != {arity} {{\n\
+                     return ::std::result::Result::Err(::serde::DeError::custom(\
+                     \"wrong tuple length for {name}\"));\n}}\n\
+                     ::std::result::Result::Ok({name}({e}))",
+                    e = elems.join(", ")
+                ),
+            )
+        }
+        Item::UnitStruct { name } => (
+            name,
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                 _ => ::std::result::Result::Err(::serde::DeError::custom(\
+                 \"expected null for {name}\")),\n}}"
+            ),
+        ),
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_value(content)?)),\n"
+                    )),
+                    VariantKind::Tuple(k) => {
+                        let elems: Vec<String> = (0..*k)
+                            .map(|j| format!("::serde::Deserialize::from_value(&seq[{j}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let seq = content.as_seq().ok_or_else(|| \
+                             ::serde::DeError::custom(\"expected sequence for {name}::{vn}\"))?;\n\
+                             if seq.len() != {k} {{\n\
+                             return ::std::result::Result::Err(::serde::DeError::custom(\
+                             \"wrong tuple length for {name}::{vn}\"));\n}}\n\
+                             ::std::result::Result::Ok({name}::{vn}({e}))\n}}\n",
+                            e = elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => data_arms.push_str(&format!(
+                        "\"{vn}\" => {{\n\
+                         let map = content.as_map().ok_or_else(|| \
+                         ::serde::DeError::custom(\"expected map for {name}::{vn}\"))?;\n\
+                         ::std::result::Result::Ok({name}::{vn} {{\n{inits}}})\n}}\n",
+                        inits = de_named_fields(fields, &format!("{name}::{vn}"))
+                    )),
+                }
+            }
+            (
+                name,
+                format!(
+                    "match v {{\n\
+                     ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                     {unit_arms}\
+                     other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n}},\n\
+                     ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                     let (tag, content) = &entries[0];\n\
+                     let _ = content;\n\
+                     match tag.as_str() {{\n\
+                     {data_arms}\
+                     other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n}}\n}},\n\
+                     other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     ::std::format!(\"expected variant of {name}, got {{}}\", other.kind()))),\n}}"
+                ),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
