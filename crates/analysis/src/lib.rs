@@ -16,6 +16,8 @@
 //!   from isolation events;
 //! * [`sensitivity`] — ablation sweeps over `P`, `R` and burst length
 //!   around the paper's operating points;
+//! * [`observability`] — consumers of the `tt-sim` metrics layer: event
+//!   stream summaries and CSV export for `ttdiag metrics`;
 //! * [`stats`] — summary statistics for repeated seeded experiments;
 //! * [`table`] — paper-style ASCII table rendering;
 //! * [`report`] — serializable paper-vs-measured records backing
@@ -28,6 +30,7 @@ pub mod availability;
 pub mod chart;
 pub mod correlation;
 pub mod isolation;
+pub mod observability;
 pub mod report;
 pub mod sensitivity;
 pub mod stats;
@@ -38,6 +41,7 @@ pub use availability::{availability_from_isolations, availability_of, Availabili
 pub use chart::{line_chart, step_chart};
 pub use correlation::{correlation_probability, max_reward_threshold, CorrelationPoint};
 pub use isolation::{measure_time_to_isolation, IsolationMeasurement};
+pub use observability::{events_to_csv, render_summary, EventSummary, EVENTS_CSV_HEADER};
 pub use report::{ExperimentRecord, ReportBuilder};
 pub use sensitivity::{burst_length_sweep, penalty_sweep, reward_sweep};
 pub use stats::Summary;

@@ -1,0 +1,348 @@
+//! Consumers of the `tt-sim` observability layer: event-stream summaries
+//! and CSV export.
+//!
+//! A [`tt_sim::RecordingSink`] turns a simulation into a
+//! [`tt_sim::MetricsReport`]; this module turns that report into the three
+//! shapes the tooling needs — a per-kind [`EventSummary`], a rendered
+//! summary table for terminals, and a flat CSV for spreadsheets and
+//! plotting scripts (`ttdiag metrics --format csv`).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use tt_sim::{MetricsEvent, MetricsReport};
+
+use crate::table::Table;
+
+/// Aggregated view of one recorded event stream.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EventSummary {
+    /// Events per kind label (see [`MetricsEvent::kind`]), sorted by kind.
+    pub by_kind: BTreeMap<&'static str, u64>,
+    /// Rounds spanned by the stream: `(first, last)` stamped round.
+    pub round_span: Option<(u64, u64)>,
+}
+
+impl EventSummary {
+    /// Summarizes an event stream.
+    pub fn of(events: &[MetricsEvent]) -> Self {
+        let mut by_kind = BTreeMap::new();
+        let mut round_span: Option<(u64, u64)> = None;
+        for e in events {
+            *by_kind.entry(e.kind()).or_insert(0) += 1;
+            let r = e.round().as_u64();
+            round_span = Some(match round_span {
+                None => (r, r),
+                Some((lo, hi)) => (lo.min(r), hi.max(r)),
+            });
+        }
+        EventSummary {
+            by_kind,
+            round_span,
+        }
+    }
+
+    /// Count of events of the given kind label.
+    pub fn count(&self, kind: &str) -> u64 {
+        self.by_kind.get(kind).copied().unwrap_or(0)
+    }
+}
+
+/// Renders a human-readable summary of a metrics report: counters, gauges,
+/// histogram means, and event counts per kind (`ttdiag metrics --format
+/// summary`).
+pub fn render_summary(report: &MetricsReport) -> String {
+    let mut out = String::new();
+    if !report.counters.is_empty() {
+        let mut t = Table::new(vec!["Counter", "Value"]);
+        for c in &report.counters {
+            t.row(vec![c.name.clone(), c.value.to_string()]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    if !report.gauges.is_empty() {
+        let mut t = Table::new(vec!["Gauge", "Value"]);
+        for g in &report.gauges {
+            t.row(vec![g.name.clone(), g.value.to_string()]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    if !report.histograms.is_empty() {
+        let mut t = Table::new(vec!["Histogram", "Count", "Mean", "Min", "Max"]);
+        for h in &report.histograms {
+            t.row(vec![
+                h.name.clone(),
+                h.summary.count.to_string(),
+                format!("{:.1}", h.summary.mean()),
+                h.summary.min.to_string(),
+                h.summary.max.to_string(),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    let summary = EventSummary::of(&report.events);
+    if let Some((lo, hi)) = summary.round_span {
+        let _ = writeln!(
+            out,
+            "{} events over rounds {lo}..={hi}:",
+            report.events.len()
+        );
+        let mut t = Table::new(vec!["Event kind", "Count"]);
+        for (kind, count) in &summary.by_kind {
+            t.row(vec![(*kind).to_string(), count.to_string()]);
+        }
+        out.push_str(&t.render());
+    } else {
+        out.push_str("no events recorded\n");
+    }
+    out
+}
+
+/// CSV header matching [`events_to_csv`] rows.
+pub const EVENTS_CSV_HEADER: &str = "kind,round,node,subject,diagnosed,value,detail";
+
+/// Flattens an event stream into CSV (one row per event, header included).
+///
+/// The generic columns are: `kind`, the stamped `round`, the observing
+/// `node` (or the faulty sender for slot faults), the `subject` node where
+/// one exists, the `diagnosed` round where one exists, a kind-specific
+/// numeric `value` (penalty, reward, wall-ns, ε rows, …) and a free-form
+/// `detail` column. Absent fields are left empty.
+pub fn events_to_csv(events: &[MetricsEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 32 + EVENTS_CSV_HEADER.len() + 1);
+    out.push_str(EVENTS_CSV_HEADER);
+    out.push('\n');
+    for e in events {
+        // (node, subject, diagnosed, value, detail) per kind.
+        let (node, subject, diagnosed, value, detail) = match e {
+            MetricsEvent::RoundCompleted { wall_ns, .. } => {
+                (None, None, None, Some(*wall_ns), String::new())
+            }
+            MetricsEvent::SlotFault { sender, class, .. } => {
+                (Some(*sender), None, None, None, format!("{class:?}"))
+            }
+            MetricsEvent::Dissemination {
+                node,
+                tx_round,
+                accusations,
+                ..
+            } => (
+                Some(*node),
+                None,
+                None,
+                Some(*accusations),
+                format!("tx_round={}", tx_round.as_u64()),
+            ),
+            MetricsEvent::Aggregation {
+                node, epsilon_rows, ..
+            } => (Some(*node), None, None, Some(*epsilon_rows), String::new()),
+            MetricsEvent::VoteTally {
+                node,
+                diagnosed,
+                subject,
+                ok,
+                faulty,
+                epsilon,
+                decided,
+                ..
+            } => (
+                Some(*node),
+                Some(*subject),
+                Some(*diagnosed),
+                Some(*faulty),
+                format!(
+                    "ok={ok} faulty={faulty} eps={epsilon} decided={}",
+                    match decided {
+                        Some(true) => "healthy",
+                        Some(false) => "faulty",
+                        None => "undecidable",
+                    }
+                ),
+            ),
+            MetricsEvent::PenaltyCharged {
+                node,
+                diagnosed,
+                subject,
+                penalty,
+                ..
+            } => (
+                Some(*node),
+                Some(*subject),
+                Some(*diagnosed),
+                Some(*penalty),
+                String::new(),
+            ),
+            MetricsEvent::RewardEarned {
+                node,
+                diagnosed,
+                subject,
+                reward,
+                ..
+            } => (
+                Some(*node),
+                Some(*subject),
+                Some(*diagnosed),
+                Some(*reward),
+                String::new(),
+            ),
+            MetricsEvent::Forgiveness {
+                node,
+                diagnosed,
+                subject,
+                ..
+            } => (
+                Some(*node),
+                Some(*subject),
+                Some(*diagnosed),
+                None,
+                String::new(),
+            ),
+            MetricsEvent::Isolation {
+                node,
+                diagnosed,
+                subject,
+                penalty,
+                ..
+            } => (
+                Some(*node),
+                Some(*subject),
+                Some(*diagnosed),
+                Some(*penalty),
+                String::new(),
+            ),
+            MetricsEvent::Reintegration {
+                node,
+                diagnosed,
+                subject,
+                ..
+            } => (
+                Some(*node),
+                Some(*subject),
+                Some(*diagnosed),
+                None,
+                String::new(),
+            ),
+            MetricsEvent::ViewInstalled {
+                node,
+                view_id,
+                diagnosed,
+                members,
+                ..
+            } => (
+                Some(*node),
+                None,
+                Some(*diagnosed),
+                Some(*view_id),
+                format!(
+                    "members={}",
+                    members
+                        .iter()
+                        .map(|m| m.get().to_string())
+                        .collect::<Vec<_>>()
+                        .join("+")
+                ),
+            ),
+        };
+        // 1-based numeric ids (not the `N2` display form) for spreadsheets.
+        let fmt_node =
+            |n: Option<tt_sim::NodeId>| n.map(|n| n.get().to_string()).unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{}",
+            e.kind(),
+            e.round().as_u64(),
+            fmt_node(node),
+            fmt_node(subject),
+            diagnosed
+                .map(|d| d.as_u64().to_string())
+                .unwrap_or_default(),
+            value.map(|v| v.to_string()).unwrap_or_default(),
+            detail,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_sim::{NodeId, RoundIndex, SlotFaultClass};
+
+    fn sample_events() -> Vec<MetricsEvent> {
+        vec![
+            MetricsEvent::SlotFault {
+                round: RoundIndex::new(8),
+                sender: NodeId::new(2),
+                class: SlotFaultClass::Benign,
+            },
+            MetricsEvent::VoteTally {
+                node: NodeId::new(1),
+                decided_at: RoundIndex::new(11),
+                diagnosed: RoundIndex::new(8),
+                subject: NodeId::new(2),
+                ok: 0,
+                faulty: 2,
+                epsilon: 1,
+                decided: Some(false),
+            },
+            MetricsEvent::PenaltyCharged {
+                node: NodeId::new(1),
+                decided_at: RoundIndex::new(11),
+                diagnosed: RoundIndex::new(8),
+                subject: NodeId::new(2),
+                penalty: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn summary_counts_by_kind_and_spans_rounds() {
+        let s = EventSummary::of(&sample_events());
+        assert_eq!(s.count("slot_fault"), 1);
+        assert_eq!(s.count("vote_tally"), 1);
+        assert_eq!(s.count("penalty_charged"), 1);
+        assert_eq!(s.count("absent"), 0);
+        assert_eq!(s.round_span, Some((8, 11)));
+        assert_eq!(EventSummary::of(&[]).round_span, None);
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_event() {
+        let csv = events_to_csv(&sample_events());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], EVENTS_CSV_HEADER);
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with("slot_fault,8,2,"));
+        assert!(lines[2].contains("decided=faulty"));
+        assert!(lines[3].starts_with("penalty_charged,11,1,2,8,1,"));
+        // Every row has the full column count.
+        for line in &lines[1..] {
+            assert_eq!(line.matches(',').count(), 6, "{line}");
+        }
+    }
+
+    #[test]
+    fn render_summary_includes_counters_and_kinds() {
+        let sink = tt_sim::RecordingSink::new();
+        use tt_sim::MetricsSink as _;
+        sink.counter("sim.rounds", 20);
+        sink.histogram("sim.round_ns", 500);
+        for e in sample_events() {
+            sink.emit(&e);
+        }
+        let text = render_summary(&sink.report());
+        assert!(text.contains("sim.rounds"));
+        assert!(text.contains("sim.round_ns"));
+        assert!(text.contains("3 events over rounds 8..=11"));
+        assert!(text.contains("penalty_charged"));
+    }
+
+    #[test]
+    fn render_summary_handles_empty_report() {
+        let text = render_summary(&MetricsReport::default());
+        assert!(text.contains("no events recorded"));
+    }
+}

@@ -12,6 +12,10 @@ fn main() {
         ("table3.txt", tt_bench::table3_report()),
         ("bandwidth.txt", tt_bench::bandwidth_report()),
         ("lowlat.txt", tt_bench::lowlat_report()),
+        ("metrics_events.json", {
+            let report = tt_bench::canonical_metrics_report();
+            serde_json::to_string_pretty(&report).unwrap() + "\n"
+        }),
     ] {
         std::fs::write(dir.join(name), content).unwrap();
         println!("wrote {name}");

@@ -2,28 +2,32 @@
 //! `BENCH_throughput.json` (run from the repository root:
 //! `cargo run --release -p tt-bench --bin throughput`).
 //!
-//! Two families of numbers:
+//! Three families of numbers:
 //!
 //! * **rounds/sec** of the substrate hot path (`Cluster::run_round` with a
 //!   healthy bus and `TraceMode::Off`) for N ∈ {4, 8, 16} nodes;
 //! * **experiments/sec** of the Sec. 8 validation campaign, repeatedly
 //!   issued the way sensitivity/tuning sweeps do, on the persistent
 //!   [`tt_bench::CampaignExecutor`] pool versus the legacy
-//!   spawn-per-campaign runner, at 8 worker threads.
+//!   spawn-per-campaign runner, at 8 worker threads;
+//! * the **instrumented-vs-noop overhead** of the observability layer on a
+//!   full diagnostic cluster ([`tt_bench::measure_overhead`]).
+//!
+//! With `--gate BASELINE.json` the run additionally compares its N=8
+//! rounds/sec against the committed baseline and exits non-zero on a
+//! regression beyond [`tt_bench::GATE_MAX_REGRESSION`] — this is the CI
+//! bench gate.
 
 use std::time::Instant;
 
 use serde::Serialize;
 
-use tt_bench::{run_parallel_campaign, run_parallel_campaign_legacy};
+use tt_bench::{
+    check_rounds_gate, measure_overhead, run_parallel_campaign, run_parallel_campaign_legacy,
+    OverheadSample, RoundsSample, ThroughputBaseline, GATE_N_NODES,
+};
 use tt_fault::{run_campaign, sec8_classes};
 use tt_sim::{ClusterBuilder, NoFaults, TraceMode};
-
-#[derive(Serialize)]
-struct RoundsSample {
-    n_nodes: usize,
-    rounds_per_sec: f64,
-}
 
 #[derive(Serialize)]
 struct CampaignSample {
@@ -41,6 +45,7 @@ struct CampaignSample {
 struct ThroughputReport {
     rounds: Vec<RoundsSample>,
     campaign: CampaignSample,
+    overhead: OverheadSample,
 }
 
 /// Steady-state rounds/sec of an n-node cluster with tracing off.
@@ -101,6 +106,18 @@ fn campaign_sample() -> CampaignSample {
 }
 
 fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut gate: Option<String> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--gate" => gate = Some(args.next().expect("--gate needs a baseline path")),
+            other => {
+                eprintln!("unknown flag {other:?} (usage: throughput [--gate BASELINE.json])");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let rounds: Vec<RoundsSample> = [4usize, 8, 16]
         .into_iter()
         .map(|n_nodes| {
@@ -126,8 +143,38 @@ fn main() {
         campaign.matches_sequential
     );
 
-    let report = ThroughputReport { rounds, campaign };
+    let overhead = measure_overhead(GATE_N_NODES, 20_000);
+    println!(
+        "observability overhead (N={}, {} rounds): noop {:>9.0} r/s | recording {:>9.0} r/s \
+         | {:.2}x | {} events",
+        overhead.n_nodes,
+        overhead.rounds,
+        overhead.noop_rounds_per_sec,
+        overhead.recording_rounds_per_sec,
+        overhead.noop_over_recording,
+        overhead.recorded_events
+    );
+
+    let report = ThroughputReport {
+        rounds,
+        campaign,
+        overhead,
+    };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write("BENCH_throughput.json", json + "\n").expect("write BENCH_throughput.json");
     println!("wrote BENCH_throughput.json");
+
+    if let Some(path) = gate {
+        let body = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("reading gate baseline {path}: {e}"));
+        let baseline: ThroughputBaseline = serde_json::from_str(&body)
+            .unwrap_or_else(|e| panic!("parsing gate baseline {path}: {e}"));
+        match check_rounds_gate(&baseline.rounds, &report.rounds) {
+            Ok(verdict) => println!("{verdict}"),
+            Err(verdict) => {
+                eprintln!("{verdict}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

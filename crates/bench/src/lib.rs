@@ -8,6 +8,9 @@
 //!   reports;
 //! * the `fig3` / `table1` / `table2` / `table4` / `validation` /
 //!   `repro_all` binaries (thin wrappers over [`experiments`]);
+//! * [`observability`] — the instrumented-vs-noop overhead measurement,
+//!   the CI bench-gate check, and the canonical scenario behind the
+//!   `tests/golden/metrics_events.json` snapshot;
 //! * the criterion benches under `benches/` (one per table/figure plus
 //!   scaling and ablation benches);
 //! * the workspace-level integration tests under `tests/` and the runnable
@@ -18,8 +21,13 @@
 
 pub mod comparison;
 pub mod experiments;
+pub mod observability;
 pub mod parallel;
 
 pub use comparison::comparison_report;
 pub use experiments::*;
+pub use observability::{
+    canonical_metrics_report, check_rounds_gate, measure_overhead, normalize_report,
+    OverheadSample, RoundsSample, ThroughputBaseline, GATE_MAX_REGRESSION, GATE_N_NODES,
+};
 pub use parallel::{run_parallel_campaign, run_parallel_campaign_legacy, CampaignExecutor};

@@ -1,0 +1,272 @@
+//! Observability benchmarks and fixtures: the instrumented-vs-noop
+//! overhead measurement behind `throughput --overhead`, the bench-gate
+//! check used by CI, and the canonical instrumented scenario whose event
+//! stream is snapshotted under `tests/golden/metrics_events.json`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use tt_core::{DiagJob, ProtocolConfig};
+use tt_sim::{
+    Cluster, ClusterBuilder, MetricsEvent, MetricsReport, MetricsSink, NoFaults, NodeId,
+    RecordingSink, SlotEffect, TraceMode, TxCtx,
+};
+
+/// One rounds/sec measurement of the substrate hot path, as written to
+/// `BENCH_throughput.json` (and read back by [`check_rounds_gate`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundsSample {
+    /// Cluster size.
+    pub n_nodes: usize,
+    /// Steady-state `Cluster::run_round` throughput.
+    pub rounds_per_sec: f64,
+}
+
+/// The subset of `BENCH_throughput.json` the CI gate needs. Extra fields
+/// in the committed baseline are ignored on deserialization, so the gate
+/// keeps working as the report grows.
+#[derive(Debug, Clone, Deserialize)]
+pub struct ThroughputBaseline {
+    /// The per-cluster-size hot-path samples.
+    pub rounds: Vec<RoundsSample>,
+}
+
+/// The regression budget of the CI bench gate: a PR fails if rounds/sec at
+/// the gated cluster size drops more than this fraction below the
+/// committed baseline.
+pub const GATE_MAX_REGRESSION: f64 = 0.25;
+
+/// The cluster size the CI gate compares (the middle of the measured
+/// N ∈ {4, 8, 16} spread — large enough to exercise the schedule, small
+/// enough to be stable on throttled CI runners).
+pub const GATE_N_NODES: usize = 8;
+
+/// Compares a fresh measurement against the committed baseline.
+///
+/// Returns a human-readable verdict: `Ok` when the gated sample is within
+/// [`GATE_MAX_REGRESSION`] of the baseline (faster is always fine), `Err`
+/// when it regressed beyond the budget or either side lacks the gated
+/// cluster size.
+pub fn check_rounds_gate(
+    baseline: &[RoundsSample],
+    current: &[RoundsSample],
+) -> Result<String, String> {
+    let find = |samples: &[RoundsSample], what: &str| {
+        samples
+            .iter()
+            .find(|s| s.n_nodes == GATE_N_NODES)
+            .cloned()
+            .ok_or_else(|| format!("{what} has no n_nodes={GATE_N_NODES} sample"))
+    };
+    let base = find(baseline, "baseline")?;
+    let cur = find(current, "current run")?;
+    let floor = base.rounds_per_sec * (1.0 - GATE_MAX_REGRESSION);
+    let ratio = cur.rounds_per_sec / base.rounds_per_sec;
+    let verdict = format!(
+        "bench gate (N={GATE_N_NODES}): {:.0} rounds/sec vs baseline {:.0} \
+         ({:.0}% of baseline, floor {:.0})",
+        cur.rounds_per_sec,
+        base.rounds_per_sec,
+        ratio * 100.0,
+        floor
+    );
+    if cur.rounds_per_sec < floor {
+        Err(format!("{verdict} — REGRESSION beyond 25% budget"))
+    } else {
+        Ok(verdict)
+    }
+}
+
+/// Instrumented-vs-noop throughput of the full diagnostic protocol.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OverheadSample {
+    /// Cluster size.
+    pub n_nodes: usize,
+    /// Rounds each side ran (fixed, so the recording side's memory is
+    /// bounded and both sides do identical protocol work).
+    pub rounds: u64,
+    /// Rounds/sec with the default [`tt_sim::NoopSink`].
+    pub noop_rounds_per_sec: f64,
+    /// Rounds/sec with a live [`RecordingSink`] capturing every event.
+    pub recording_rounds_per_sec: f64,
+    /// `noop / recording` — how many times faster the uninstrumented path
+    /// is. ~1.0 means recording is free; the noop side must stay at 1.0 by
+    /// construction (that is what `tests/alloc_free.rs` pins down).
+    pub noop_over_recording: f64,
+    /// Events the recording side captured, as a sanity check that the
+    /// instrumentation was actually live.
+    pub recorded_events: u64,
+}
+
+fn diag_cluster(n: usize, config: &ProtocolConfig, sink: Option<Arc<dyn MetricsSink>>) -> Cluster {
+    let mut b = ClusterBuilder::new(n).trace_mode(TraceMode::Off);
+    if let Some(sink) = sink {
+        b = b.metrics_sink(sink);
+    }
+    b.build_with_jobs(
+        |id| Box::new(DiagJob::new(id, config.clone())),
+        Box::new(NoFaults),
+    )
+}
+
+fn timed_rounds(cluster: &mut Cluster, rounds: u64) -> f64 {
+    cluster.run_rounds(64); // warm the scratch buffers and history windows
+    let start = Instant::now();
+    cluster.run_rounds(rounds);
+    rounds as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Measures the overhead of live metrics collection on a healthy n-node
+/// diagnostic cluster: the same fixed number of rounds is driven once with
+/// the default noop sink and once with a [`RecordingSink`].
+pub fn measure_overhead(n: usize, rounds: u64) -> OverheadSample {
+    let config = ProtocolConfig::builder(n)
+        .penalty_threshold(197)
+        .reward_threshold(1_000_000)
+        .build()
+        .expect("valid protocol config");
+
+    let mut noop = diag_cluster(n, &config, None);
+    let noop_rounds_per_sec = timed_rounds(&mut noop, rounds);
+
+    let sink = Arc::new(RecordingSink::new());
+    let mut recording = diag_cluster(n, &config, Some(sink.clone()));
+    let recording_rounds_per_sec = timed_rounds(&mut recording, rounds);
+
+    OverheadSample {
+        n_nodes: n,
+        rounds,
+        noop_rounds_per_sec,
+        recording_rounds_per_sec,
+        noop_over_recording: noop_rounds_per_sec / recording_rounds_per_sec,
+        recorded_events: sink.event_count() as u64,
+    }
+}
+
+/// Zeroes the wall-clock fields of a report in place.
+///
+/// `sim.round_ns` timings are the only nondeterministic signal in an
+/// instrumented run; golden snapshots normalize them away so the rest of
+/// the stream can be compared bit for bit.
+pub fn normalize_report(report: &mut MetricsReport) {
+    for h in &mut report.histograms {
+        if h.name == "sim.round_ns" {
+            let count = h.summary.count;
+            h.summary = Default::default();
+            h.summary.count = count;
+        }
+    }
+    for e in &mut report.events {
+        if let MetricsEvent::RoundCompleted { wall_ns, .. } = e {
+            *wall_ns = 0;
+        }
+    }
+}
+
+/// The canonical instrumented scenario behind
+/// `tests/golden/metrics_events.json`: a 4-node cluster with `P = 3`,
+/// `R = 2` where node 2 is intermittently faulty (every second round from
+/// round 4) until it is isolated, while node 3 suffers a single transient
+/// in round 5 that the reward counter forgives. The returned report is
+/// [normalized](normalize_report) and therefore fully deterministic.
+pub fn canonical_metrics_report() -> MetricsReport {
+    let sink = Arc::new(RecordingSink::new());
+    let config = ProtocolConfig::builder(4)
+        .penalty_threshold(3)
+        .reward_threshold(2)
+        .build()
+        .expect("valid protocol config");
+    let pipeline = |ctx: &TxCtx| {
+        let r = ctx.round.as_u64();
+        let intermittent = ctx.sender == NodeId::new(2) && r >= 4 && r.is_multiple_of(2);
+        let transient = ctx.sender == NodeId::new(3) && r == 5;
+        if intermittent || transient {
+            SlotEffect::Benign
+        } else {
+            SlotEffect::Correct
+        }
+    };
+    let mut cluster = ClusterBuilder::new(4)
+        .trace_mode(TraceMode::Off)
+        .metrics_sink(sink.clone())
+        .build_with_jobs(
+            |id| Box::new(DiagJob::new(id, config.clone())),
+            Box::new(pipeline),
+        );
+    cluster.run_rounds(16);
+    let mut report = sink.report();
+    normalize_report(&mut report);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_analysis::EventSummary;
+
+    #[test]
+    fn canonical_report_is_deterministic_and_complete() {
+        let a = canonical_metrics_report();
+        let b = canonical_metrics_report();
+        assert_eq!(a, b, "normalized canonical report must be reproducible");
+
+        let summary = EventSummary::of(&a.events);
+        assert_eq!(summary.count("round_completed"), 16);
+        assert!(summary.count("isolation") > 0, "node 2 gets isolated");
+        assert!(summary.count("forgiveness") > 0, "node 3 gets forgiven");
+        assert!(summary.count("penalty_charged") > 0);
+        assert!(summary.count("reward_earned") > 0);
+        // Normalization: every wall-clock field is zero.
+        for e in &a.events {
+            if let MetricsEvent::RoundCompleted { wall_ns, .. } = e {
+                assert_eq!(*wall_ns, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn overhead_sample_measures_both_sides() {
+        let s = measure_overhead(4, 50);
+        assert!(s.noop_rounds_per_sec > 0.0);
+        assert!(s.recording_rounds_per_sec > 0.0);
+        assert!(s.recorded_events > 0, "recording side captured events");
+    }
+
+    #[test]
+    fn rounds_gate_passes_within_budget_and_fails_beyond() {
+        let base = vec![RoundsSample {
+            n_nodes: GATE_N_NODES,
+            rounds_per_sec: 1000.0,
+        }];
+        let ok = |rps: f64| {
+            check_rounds_gate(
+                &base,
+                &[RoundsSample {
+                    n_nodes: GATE_N_NODES,
+                    rounds_per_sec: rps,
+                }],
+            )
+        };
+        assert!(ok(1000.0).is_ok());
+        assert!(ok(800.0).is_ok(), "within the 25% budget");
+        assert!(ok(1500.0).is_ok(), "faster is always fine");
+        assert!(ok(700.0).is_err(), "beyond the 25% budget");
+        assert!(check_rounds_gate(&[], &base).is_err(), "missing baseline");
+    }
+
+    #[test]
+    fn baseline_parses_committed_report_shape() {
+        let json = r#"{
+            "rounds": [
+                {"n_nodes": 4, "rounds_per_sec": 90000.0},
+                {"n_nodes": 8, "rounds_per_sec": 45000.0}
+            ],
+            "campaign": {"classes": 8, "reps": 1}
+        }"#;
+        let base: ThroughputBaseline = serde_json::from_str(json).unwrap();
+        assert_eq!(base.rounds.len(), 2);
+        assert!(check_rounds_gate(&base.rounds, &base.rounds).is_ok());
+    }
+}

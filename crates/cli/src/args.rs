@@ -111,6 +111,25 @@ pub enum Command {
         /// `"automotive"` or `"aerospace"`.
         domain: String,
     },
+    /// Run an instrumented cluster and dump the recorded metrics.
+    Metrics {
+        /// Cluster size.
+        nodes: usize,
+        /// Rounds to simulate.
+        rounds: u64,
+        /// Penalty threshold `P`.
+        penalty: u64,
+        /// Reward threshold `R`.
+        reward: u64,
+        /// Seed for randomized disturbances.
+        seed: u64,
+        /// Injected faults.
+        faults: Vec<FaultSpec>,
+        /// Output format.
+        format: MetricsFormat,
+        /// Write the output to this path instead of stdout.
+        out: Option<String>,
+    },
     /// Run the Sec. 8 validation campaign.
     Campaign {
         /// Repetitions per class.
@@ -120,6 +139,30 @@ pub enum Command {
     },
     /// Print usage.
     Help,
+}
+
+/// Output format of `ttdiag metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricsFormat {
+    /// The full `MetricsReport` as pretty-printed JSON (default).
+    #[default]
+    Json,
+    /// The event stream as CSV.
+    Csv,
+    /// Human-readable counter/event-count tables.
+    Summary,
+}
+
+impl MetricsFormat {
+    /// Parses a `--format` value.
+    pub fn parse(s: &str) -> Result<Self, ParseError> {
+        match s {
+            "json" => Ok(MetricsFormat::Json),
+            "csv" => Ok(MetricsFormat::Csv),
+            "summary" => Ok(MetricsFormat::Summary),
+            other => err(format!("unknown format {other:?} (json|csv|summary)")),
+        }
+    }
 }
 
 /// A parse failure with a user-facing message.
@@ -302,6 +345,47 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 record,
             })
         }
+        "metrics" => {
+            let mut nodes = 4usize;
+            let mut rounds = 50u64;
+            let mut penalty = 197u64;
+            let mut reward = 1_000_000u64;
+            let mut seed = 0u64;
+            let mut faults = Vec::new();
+            let mut format = MetricsFormat::default();
+            let mut out = None;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                let mut val = |name: &str| -> Result<&String, ParseError> {
+                    it.next()
+                        .ok_or_else(|| ParseError(format!("{name} needs a value")))
+                };
+                match a.as_str() {
+                    "--nodes" => nodes = parse_num(val("--nodes")?, "nodes")?,
+                    "--rounds" => rounds = parse_num(val("--rounds")?, "rounds")?,
+                    "--penalty" => penalty = parse_num(val("--penalty")?, "penalty")?,
+                    "--reward" => reward = parse_num(val("--reward")?, "reward")?,
+                    "--seed" => seed = parse_num(val("--seed")?, "seed")?,
+                    "--fault" => faults.push(FaultSpec::parse(val("--fault")?)?),
+                    "--format" => format = MetricsFormat::parse(val("--format")?)?,
+                    "--out" => out = Some(val("--out")?.clone()),
+                    other => return err(format!("unknown metrics flag {other:?}")),
+                }
+            }
+            if nodes < 2 {
+                return err("need at least 2 nodes");
+            }
+            Ok(Command::Metrics {
+                nodes,
+                rounds,
+                penalty,
+                reward,
+                seed,
+                faults,
+                format,
+                out,
+            })
+        }
         "replay" => {
             let Some(trace) = rest.first() else {
                 return err("replay needs a trace path");
@@ -348,6 +432,9 @@ USAGE:
                   [--seed S] [--timeline] [--fault SPEC]... [--record PATH]
   ttdiag replay PATH [--nodes N] [--rounds R] [--penalty P] [--reward R]
                   [--timeline]             re-drive a recorded trace
+  ttdiag metrics [--nodes N] [--rounds R] [--penalty P] [--reward R]
+                  [--seed S] [--fault SPEC]... [--format json|csv|summary]
+                  [--out PATH]             instrumented run -> metrics dump
   ttdiag tune [automotive|aerospace]       regenerate the Table 2 tuning
   ttdiag isolation [automotive|aerospace]  Table 4 time-to-isolation rows
   ttdiag campaign [--reps N] [--json PATH] Sec. 8 validation campaign
@@ -363,6 +450,8 @@ FAULT SPECS:
 
 EXAMPLES:
   ttdiag simulate --fault crash:3@12 --timeline
+  ttdiag metrics --fault crash:3@12 --format json
+  ttdiag metrics --rounds 200 --fault noise:0.05 --format csv --out events.csv
   ttdiag simulate --fault noise:0.1 --record trace.json
   ttdiag replay trace.json --penalty 10
   ttdiag simulate --nodes 6 --rounds 200 --fault noise:0.05 --penalty 10 --reward 50
@@ -476,6 +565,45 @@ mod tests {
             .unwrap_err()
             .0
             .contains("unknown scenario"));
+    }
+
+    #[test]
+    fn metrics_defaults_and_flags() {
+        let c = parse(&args("metrics")).unwrap();
+        assert_eq!(
+            c,
+            Command::Metrics {
+                nodes: 4,
+                rounds: 50,
+                penalty: 197,
+                reward: 1_000_000,
+                seed: 0,
+                faults: vec![],
+                format: MetricsFormat::Json,
+                out: None,
+            }
+        );
+        let c = parse(&args(
+            "metrics --rounds 20 --fault crash:3@5 --format csv --out events.csv",
+        ))
+        .unwrap();
+        match c {
+            Command::Metrics {
+                rounds,
+                faults,
+                format,
+                out,
+                ..
+            } => {
+                assert_eq!(rounds, 20);
+                assert_eq!(faults, vec![FaultSpec::Crash { node: 3, round: 5 }]);
+                assert_eq!(format, MetricsFormat::Csv);
+                assert_eq!(out, Some("events.csv".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&args("metrics --format xml")).is_err());
+        assert!(parse(&args("metrics --nodes 1")).is_err());
     }
 
     #[test]

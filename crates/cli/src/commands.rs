@@ -11,7 +11,7 @@ use tt_fault::{
 };
 use tt_sim::{timeline, ClusterBuilder, Nanos, NodeId, RoundIndex, TraceMode};
 
-use crate::args::{Command, FaultSpec};
+use crate::args::{Command, FaultSpec, MetricsFormat};
 
 /// Runs a command, returning the text to print or an error message.
 pub fn run(cmd: Command) -> Result<String, String> {
@@ -32,6 +32,19 @@ pub fn run(cmd: Command) -> Result<String, String> {
         } => {
             let pipeline = Box::new(build_pipeline(&faults, nodes, seed)?);
             simulate(nodes, rounds, penalty, reward, timeline, pipeline, record)
+        }
+        Command::Metrics {
+            nodes,
+            rounds,
+            penalty,
+            reward,
+            seed,
+            faults,
+            format,
+            out,
+        } => {
+            let pipeline = build_pipeline(&faults, nodes, seed)?;
+            metrics(nodes, rounds, penalty, reward, pipeline, format, out)
         }
         Command::Replay {
             trace,
@@ -180,6 +193,49 @@ fn simulate(
         ));
     }
     Ok(out)
+}
+
+fn metrics(
+    n: usize,
+    rounds: u64,
+    penalty: u64,
+    reward: u64,
+    pipeline: DisturbanceNode,
+    format: MetricsFormat,
+    out: Option<String>,
+) -> Result<String, String> {
+    let sink = std::sync::Arc::new(tt_sim::RecordingSink::new());
+    // Both sides of the bus report into the same sink: the disturbance node
+    // counts injected effects, the cluster records protocol-level events.
+    let pipeline = Box::new(pipeline.with_metrics(sink.clone()));
+    let config = ProtocolConfig::builder(n)
+        .penalty_threshold(penalty)
+        .reward_threshold(reward)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let mut cluster = ClusterBuilder::new(n)
+        .round_length(round_for(n))
+        .metrics_sink(sink.clone())
+        .build_with_jobs(|id| Box::new(DiagJob::new(id, config.clone())), pipeline);
+    cluster.run_rounds(rounds);
+
+    let report = sink.report();
+    let body = match format {
+        MetricsFormat::Json => serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?,
+        MetricsFormat::Csv => tt_analysis::events_to_csv(&report.events),
+        MetricsFormat::Summary => tt_analysis::render_summary(&report),
+    };
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &body).map_err(|e| format!("writing {path}: {e}"))?;
+            Ok(format!(
+                "wrote {} events ({} bytes) to {path}\n",
+                report.events.len(),
+                body.len()
+            ))
+        }
+        None => Ok(body),
+    }
 }
 
 fn tune_report(domain: &str) -> String {
@@ -381,6 +437,87 @@ mod tests {
         // Re-tuned replay: P = 1 isolates the burst victims this time.
         assert!(rep.contains("ISOLATED"), "{rep}");
         assert!(rep.contains("Faulty slots on the bus: 8"), "{rep}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn metrics_json_round_trips() {
+        let out = run(Command::Metrics {
+            nodes: 4,
+            rounds: 20,
+            penalty: 3,
+            reward: 100,
+            seed: 0,
+            faults: vec![FaultSpec::Crash { node: 3, round: 5 }],
+            format: MetricsFormat::Json,
+            out: None,
+        })
+        .unwrap();
+        let report: tt_sim::MetricsReport = serde_json::from_str(&out).unwrap();
+        assert!(!report.events.is_empty());
+        let isolations = report
+            .events
+            .iter()
+            .filter(|e| e.kind() == "isolation")
+            .count();
+        // All four nodes isolate N3 — the benign-faulty node still runs its
+        // job and convicts itself from the consistent diagnostic matrix.
+        assert_eq!(isolations, 4, "every node isolates the crashed one");
+        assert!(report
+            .counters
+            .iter()
+            .any(|c| c.name == "fault.injected.benign" && c.value > 0));
+    }
+
+    #[test]
+    fn metrics_csv_and_summary_render() {
+        let csv = run(Command::Metrics {
+            nodes: 4,
+            rounds: 20,
+            penalty: 3,
+            reward: 100,
+            seed: 0,
+            faults: vec![FaultSpec::Crash { node: 3, round: 5 }],
+            format: MetricsFormat::Csv,
+            out: None,
+        })
+        .unwrap();
+        assert!(csv.starts_with(tt_analysis::EVENTS_CSV_HEADER), "{csv}");
+        assert!(csv.contains("isolation,"), "{csv}");
+        let summary = run(Command::Metrics {
+            nodes: 4,
+            rounds: 20,
+            penalty: 3,
+            reward: 100,
+            seed: 0,
+            faults: vec![FaultSpec::Crash { node: 3, round: 5 }],
+            format: MetricsFormat::Summary,
+            out: None,
+        })
+        .unwrap();
+        assert!(summary.contains("sim.rounds"), "{summary}");
+        assert!(summary.contains("isolation"), "{summary}");
+    }
+
+    #[test]
+    fn metrics_out_writes_file() {
+        let path = std::env::temp_dir().join("ttdiag_cli_test_metrics.json");
+        let path = path.to_string_lossy().to_string();
+        let msg = run(Command::Metrics {
+            nodes: 4,
+            rounds: 10,
+            penalty: 197,
+            reward: 1_000_000,
+            seed: 0,
+            faults: vec![],
+            format: MetricsFormat::Json,
+            out: Some(path.clone()),
+        })
+        .unwrap();
+        assert!(msg.contains("wrote"), "{msg}");
+        let body = std::fs::read_to_string(&path).unwrap();
+        let report: tt_sim::MetricsReport = serde_json::from_str(&body).unwrap();
+        assert!(report.counters.iter().any(|c| c.name == "sim.rounds"));
         let _ = std::fs::remove_file(path);
     }
 

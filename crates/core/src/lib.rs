@@ -79,7 +79,7 @@ pub use config::{ProtocolConfig, ProtocolConfigBuilder};
 pub use error::ProtocolError;
 pub use matrix::DiagnosticMatrix;
 pub use membership::{MembershipJob, MembershipView};
-pub use penalty::{PenaltyReward, ReintegrationPolicy};
+pub use penalty::{PenaltyReward, PrTransition, ReintegrationPolicy};
 pub use protocol::{CounterSample, DiagJob, HealthRecord, IsolationEvent};
 pub use syndrome::{Syndrome, SyndromeRow};
-pub use voting::{h_maj, HMaj};
+pub use voting::{h_maj, h_maj_tally, HMaj, VoteTally};

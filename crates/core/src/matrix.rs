@@ -9,7 +9,7 @@
 use tt_sim::NodeId;
 
 use crate::syndrome::{format_row, Syndrome, SyndromeRow};
-use crate::voting::{h_maj, HMaj};
+use crate::voting::{h_maj, h_maj_tally, HMaj, VoteTally};
 
 /// A diagnostic matrix for one diagnosed round.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,6 +58,13 @@ impl DiagnosticMatrix {
     /// Votes `H-maj` on the column of `diagnosed` (Alg. 1, lines 11–12).
     pub fn vote(&self, diagnosed: NodeId) -> HMaj {
         h_maj(self.column_votes(diagnosed))
+    }
+
+    /// The full [`VoteTally`] of the column of `diagnosed`: bucket counts
+    /// plus the `H-maj` outcome (observability view of
+    /// [`DiagnosticMatrix::vote`]).
+    pub fn tally(&self, diagnosed: NodeId) -> VoteTally {
+        h_maj_tally(self.column_votes(diagnosed))
     }
 
     /// Computes the consistent health vector for this matrix.
@@ -180,6 +187,21 @@ mod tests {
     #[should_panic(expected = "wrong width")]
     fn rejects_misshaped_rows() {
         let _ = DiagnosticMatrix::new(vec![Some(Syndrome::all_ok(3)), None]);
+    }
+
+    #[test]
+    fn tally_exposes_bucket_counts() {
+        let m = matrix_with_benign_faulty(4, &[NodeId::new(3), NodeId::new(4)]);
+        // Column 3: rows 1 and 2 accuse, row 4 is ε (self-row 3 excluded).
+        let t = m.tally(NodeId::new(3));
+        assert_eq!((t.ok, t.faulty, t.epsilon), (0, 2, 1));
+        assert_eq!(t.outcome, HMaj::Decided(false));
+        assert!(t.contested());
+        // Column 1: rows 2 endorses, rows 3 and 4 are ε.
+        let t = m.tally(NodeId::new(1));
+        assert_eq!((t.ok, t.faulty, t.epsilon), (1, 0, 2));
+        assert_eq!(t.outcome, HMaj::Decided(true));
+        assert_eq!(t.outcome, m.vote(NodeId::new(1)));
     }
 
     #[test]

@@ -18,14 +18,14 @@ use std::collections::BTreeSet;
 
 use serde::{Deserialize, Serialize};
 
-use tt_sim::{Job, JobCtx, NodeId, RoundIndex};
+use tt_sim::{Job, JobCtx, MetricsEvent, NodeId, RoundIndex};
 
 use crate::alignment::diagnosis_lag;
 use crate::config::ProtocolConfig;
 use crate::matrix::DiagnosticMatrix;
 use crate::penalty::{PenaltyReward, ReintegrationPolicy};
 use crate::pipeline::AlignmentBuffers;
-use crate::protocol::{HealthRecord, IsolationEvent};
+use crate::protocol::{emit_pr_transition, emit_vote_tallies, HealthRecord, IsolationEvent};
 use crate::syndrome::{Syndrome, SyndromeRow};
 
 /// A membership view: the agreed set of participating nodes.
@@ -178,13 +178,23 @@ impl MembershipJob {
                 None
             }
         });
+        let sink = ctx.metrics();
+        let metrics_on = sink.enabled();
+        if metrics_on {
+            emit_vote_tallies(sink, &matrix, node, k, diagnosed);
+        }
         // Minority accusations: disseminated with the *next* syndrome.
         let accusations = self.minority_accusations(&al_dm, &cons_hv);
         for &a in &accusations {
             self.accusation_log.push((k, a));
         }
         // p/r bookkeeping and isolation, as in the base protocol.
-        let newly_isolated = self.pr.update(&cons_hv);
+        let newly_isolated = self.pr.update_observed(&cons_hv, |t| {
+            sink.counter("core.pr_transitions", 1);
+            if metrics_on {
+                emit_pr_transition(sink, t, node, k, diagnosed);
+            }
+        });
         for iso in newly_isolated {
             self.isolations.push(IsolationEvent {
                 node: iso,
@@ -208,12 +218,23 @@ impl MembershipJob {
                 self.members.remove(&n);
             }
             let view_id = self.views.len() as u64;
-            self.views.push(MembershipView {
+            let view = MembershipView {
                 view_id,
                 members: self.members.iter().copied().collect(),
                 installed_at: k,
                 diagnosed,
-            });
+            };
+            sink.counter("core.views_installed", 1);
+            if metrics_on {
+                sink.emit(&MetricsEvent::ViewInstalled {
+                    node,
+                    view_id,
+                    installed_at: k,
+                    diagnosed,
+                    members: view.members.clone(),
+                });
+            }
+            self.views.push(view);
         }
         self.health_log.push(HealthRecord {
             diagnosed,
@@ -226,13 +247,23 @@ impl MembershipJob {
 
 impl Job for MembershipJob {
     fn execute(&mut self, ctx: &mut JobCtx<'_>) {
+        let sink = ctx.metrics();
+        let metrics_on = sink.enabled();
         // Phases 1 & 3: read + alignment.
         let aligned = self.bufs.read_and_align(ctx);
+        if metrics_on {
+            sink.emit(&MetricsEvent::Aggregation {
+                node: self.node,
+                round: ctx.round(),
+                epsilon_rows: aligned.al_dm.iter().filter(|r| r.is_none()).count() as u64,
+            });
+        }
         // Phase 4 runs BEFORE dissemination (Sec. 7): the consistent health
         // vector determines the minority accusations...
         let accusations = self.analyze(ctx, aligned.al_dm.clone());
+        let n_accusations = accusations.len() as u64;
         // ...which phase 2 folds into the outgoing local syndrome.
-        self.bufs.disseminate(
+        let tx_round = self.bufs.disseminate(
             ctx,
             self.config.all_send_curr_round(),
             &aligned.al_ls,
@@ -242,6 +273,14 @@ impl Job for MembershipJob {
                 }
             },
         );
+        if metrics_on {
+            sink.emit(&MetricsEvent::Dissemination {
+                node: self.node,
+                round: ctx.round(),
+                tx_round,
+                accusations: n_accusations,
+            });
+        }
         self.bufs.commit(aligned);
         self.activations += 1;
     }

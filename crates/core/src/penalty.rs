@@ -30,6 +30,47 @@ pub enum ReintegrationPolicy {
     AfterRewards(u64),
 }
 
+/// One observable counter transition of the p/r algorithm, reported to the
+/// observer callback of [`PenaltyReward::update_observed`] as it happens.
+///
+/// Transitions refer to the *subject* node whose counters changed; the
+/// caller knows which node is observing and which round is diagnosed, and
+/// typically forwards each transition as a `tt_sim::MetricsEvent`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrTransition {
+    /// The subject's penalty counter grew by its criticality.
+    Penalized {
+        /// The convicted node.
+        subject: NodeId,
+        /// Penalty counter value after the charge.
+        penalty: u64,
+    },
+    /// The subject's reward counter grew (healthy with pending penalty).
+    Rewarded {
+        /// The acquitted node.
+        subject: NodeId,
+        /// Reward counter value after the increment.
+        reward: u64,
+    },
+    /// The reward threshold was reached; both counters reset.
+    Forgiven {
+        /// The forgiven node.
+        subject: NodeId,
+    },
+    /// The penalty threshold was exceeded; the subject is now isolated.
+    Isolated {
+        /// The isolated node.
+        subject: NodeId,
+        /// Penalty counter value that crossed the threshold.
+        penalty: u64,
+    },
+    /// The reintegration extension readmitted the subject.
+    Reintegrated {
+        /// The readmitted node.
+        subject: NodeId,
+    },
+}
+
 /// The p/r state of one protocol instance: per-node counters and activity.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PenaltyReward {
@@ -77,10 +118,25 @@ impl PenaltyReward {
     /// This is Alg. 2 verbatim, plus the optional reintegration extension.
     /// The returned vector also reflects in [`PenaltyReward::active`].
     pub fn update(&mut self, cons_hv: &[bool]) -> Vec<NodeId> {
+        self.update_observed(cons_hv, |_| {})
+    }
+
+    /// Like [`PenaltyReward::update`], but reports every counter transition
+    /// to `observe` in node-index order, as it happens.
+    ///
+    /// The observer is a plain `FnMut` so instrumented callers can forward
+    /// transitions to a metrics sink while uninstrumented callers pay only
+    /// an inlined empty closure.
+    pub fn update_observed(
+        &mut self,
+        cons_hv: &[bool],
+        mut observe: impl FnMut(PrTransition),
+    ) -> Vec<NodeId> {
         assert_eq!(cons_hv.len(), self.penalties.len(), "health vector size");
         let mut newly_isolated = Vec::new();
         #[allow(clippy::needless_range_loop)] // indexes five parallel per-node vectors
         for i in 0..self.penalties.len() {
+            let subject = NodeId::from_slot(i);
             if !self.active[i] {
                 // Extension: observe isolated nodes for reintegration.
                 if let ReintegrationPolicy::AfterRewards(t) = self.reintegration {
@@ -91,6 +147,7 @@ impl PenaltyReward {
                             self.penalties[i] = 0;
                             self.rewards[i] = 0;
                             self.observation_rewards[i] = 0;
+                            observe(PrTransition::Reintegrated { subject });
                         }
                     } else {
                         self.observation_rewards[i] = 0;
@@ -101,15 +158,28 @@ impl PenaltyReward {
             if !cons_hv[i] {
                 self.penalties[i] += self.criticalities[i];
                 self.rewards[i] = 0;
+                observe(PrTransition::Penalized {
+                    subject,
+                    penalty: self.penalties[i],
+                });
                 if self.penalties[i] > self.penalty_threshold {
                     self.active[i] = false;
-                    newly_isolated.push(NodeId::from_slot(i));
+                    newly_isolated.push(subject);
+                    observe(PrTransition::Isolated {
+                        subject,
+                        penalty: self.penalties[i],
+                    });
                 }
             } else if self.penalties[i] > 0 {
                 self.rewards[i] += 1;
+                observe(PrTransition::Rewarded {
+                    subject,
+                    reward: self.rewards[i],
+                });
                 if self.rewards[i] >= self.reward_threshold {
                     self.penalties[i] = 0;
                     self.rewards[i] = 0;
+                    observe(PrTransition::Forgiven { subject });
                 }
             }
         }
@@ -249,6 +319,79 @@ mod tests {
         pr.update(&hv(&[]));
         assert!(pr.is_active(NodeId::new(4)));
         assert_eq!(pr.penalty(NodeId::new(4)), 0);
+    }
+
+    #[test]
+    fn update_observed_reports_full_transition_sequence() {
+        // P = 2, R = 2: fault, fault, fault (isolates), then with a fresh
+        // state: fault, healthy, healthy (forgives).
+        let mut pr_iso = pr(2, 2);
+        let mut seen = Vec::new();
+        for _ in 0..3 {
+            pr_iso.update_observed(&hv(&[3]), |t| seen.push(t));
+        }
+        let s = NodeId::new(3);
+        assert_eq!(
+            seen,
+            vec![
+                PrTransition::Penalized {
+                    subject: s,
+                    penalty: 1
+                },
+                PrTransition::Penalized {
+                    subject: s,
+                    penalty: 2
+                },
+                PrTransition::Penalized {
+                    subject: s,
+                    penalty: 3
+                },
+                PrTransition::Isolated {
+                    subject: s,
+                    penalty: 3
+                },
+            ]
+        );
+        let mut pr_forgive = pr(2, 2);
+        let mut seen = Vec::new();
+        pr_forgive.update_observed(&hv(&[3]), |t| seen.push(t));
+        pr_forgive.update_observed(&hv(&[]), |t| seen.push(t));
+        pr_forgive.update_observed(&hv(&[]), |t| seen.push(t));
+        assert_eq!(
+            seen,
+            vec![
+                PrTransition::Penalized {
+                    subject: s,
+                    penalty: 1
+                },
+                PrTransition::Rewarded {
+                    subject: s,
+                    reward: 1
+                },
+                PrTransition::Rewarded {
+                    subject: s,
+                    reward: 2
+                },
+                PrTransition::Forgiven { subject: s },
+            ]
+        );
+    }
+
+    #[test]
+    fn update_observed_reports_reintegration() {
+        let mut pr = PenaltyReward::new(4, vec![1; 4], 0, 10, ReintegrationPolicy::AfterRewards(2));
+        pr.update(&hv(&[4]));
+        assert!(!pr.is_active(NodeId::new(4)));
+        let mut seen = Vec::new();
+        pr.update_observed(&hv(&[]), |t| seen.push(t));
+        pr.update_observed(&hv(&[]), |t| seen.push(t));
+        assert_eq!(
+            seen,
+            vec![PrTransition::Reintegrated {
+                subject: NodeId::new(4)
+            }]
+        );
+        assert!(pr.is_active(NodeId::new(4)));
     }
 
     #[test]

@@ -81,13 +81,16 @@ impl AlignmentBuffers {
     /// outgoing interface variable and remembers it under its transmission
     /// round. `mutate` lets the caller add minority accusations to the
     /// outgoing syndrome (membership variant) after the choice is made.
+    ///
+    /// Returns the round whose sending slot carries the syndrome on the bus
+    /// (observability consumers stamp dissemination events with it).
     pub fn disseminate(
         &mut self,
         ctx: &mut JobCtx<'_>,
         all_send_curr_round: bool,
         al_ls: &Syndrome,
         mutate: impl FnOnce(&mut Syndrome),
-    ) {
+    ) -> RoundIndex {
         let choice = send_align(all_send_curr_round, ctx.send_curr_round());
         let mut to_send = match choice {
             SendChoice::Current => al_ls.clone(),
@@ -104,6 +107,7 @@ impl AlignmentBuffers {
             self.own_tx.pop_front();
         }
         self.own_tx.push_back((tx_round, to_send));
+        tx_round
     }
 
     /// The syndrome this node put (or attempted to put) on the bus in
@@ -169,7 +173,8 @@ mod tests {
         // offset 2 > slot 0: cannot send this round -> tx next round.
         {
             let mut ctx = ctx_for(&mut c, node, 2, 5);
-            bufs.disseminate(&mut ctx, false, &al, |_| {});
+            let tx = bufs.disseminate(&mut ctx, false, &al, |_| {});
+            assert_eq!(tx, RoundIndex::new(6), "returned tx round");
         }
         assert!(bufs.own_row_for_tx_round(RoundIndex::new(5)).is_none());
         assert_eq!(

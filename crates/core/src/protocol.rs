@@ -26,14 +26,87 @@
 
 use serde::{Deserialize, Serialize};
 
-use tt_sim::{Job, JobCtx, NodeId, RoundIndex};
+use tt_sim::{Job, JobCtx, MetricsEvent, MetricsSink, NodeId, RoundIndex};
 
 use crate::alignment::diagnosis_lag;
 use crate::config::ProtocolConfig;
 use crate::matrix::DiagnosticMatrix;
-use crate::penalty::{PenaltyReward, ReintegrationPolicy};
+use crate::penalty::{PenaltyReward, PrTransition, ReintegrationPolicy};
 use crate::pipeline::AlignmentBuffers;
 use crate::syndrome::SyndromeRow;
+
+/// Emits the contested [`MetricsEvent::VoteTally`]s of one analysis phase
+/// (shared by [`DiagJob`] and the membership variant).
+pub(crate) fn emit_vote_tallies(
+    sink: &dyn MetricsSink,
+    matrix: &DiagnosticMatrix,
+    node: NodeId,
+    decided_at: RoundIndex,
+    diagnosed: RoundIndex,
+) {
+    for subject in NodeId::all(matrix.n_nodes()) {
+        let t = matrix.tally(subject);
+        if t.contested() {
+            sink.emit(&MetricsEvent::VoteTally {
+                node,
+                decided_at,
+                diagnosed,
+                subject,
+                ok: t.ok,
+                faulty: t.faulty,
+                epsilon: t.epsilon,
+                decided: t.outcome.decided(),
+            });
+        }
+    }
+}
+
+/// Forwards one p/r counter transition to the metrics sink (shared by
+/// [`DiagJob`] and the membership variant).
+pub(crate) fn emit_pr_transition(
+    sink: &dyn MetricsSink,
+    transition: PrTransition,
+    node: NodeId,
+    decided_at: RoundIndex,
+    diagnosed: RoundIndex,
+) {
+    let event = match transition {
+        PrTransition::Penalized { subject, penalty } => MetricsEvent::PenaltyCharged {
+            node,
+            decided_at,
+            diagnosed,
+            subject,
+            penalty,
+        },
+        PrTransition::Rewarded { subject, reward } => MetricsEvent::RewardEarned {
+            node,
+            decided_at,
+            diagnosed,
+            subject,
+            reward,
+        },
+        PrTransition::Forgiven { subject } => MetricsEvent::Forgiveness {
+            node,
+            decided_at,
+            diagnosed,
+            subject,
+        },
+        PrTransition::Isolated { subject, penalty } => MetricsEvent::Isolation {
+            node,
+            decided_at,
+            diagnosed,
+            subject,
+            penalty,
+        },
+        PrTransition::Reintegrated { subject } => MetricsEvent::Reintegration {
+            node,
+            decided_at,
+            diagnosed,
+            subject,
+        },
+    };
+    sink.emit(&event);
+}
 
 /// One consistent health vector, with its provenance.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -212,7 +285,17 @@ impl DiagJob {
                 None
             }
         });
-        let newly_isolated = self.pr.update(&cons_hv);
+        let sink = ctx.metrics();
+        let metrics_on = sink.enabled();
+        if metrics_on {
+            emit_vote_tallies(sink, &matrix, node, k, diagnosed);
+        }
+        let newly_isolated = self.pr.update_observed(&cons_hv, |t| {
+            sink.counter("core.pr_transitions", 1);
+            if metrics_on {
+                emit_pr_transition(sink, t, node, k, diagnosed);
+            }
+        });
         if self.log_counters {
             self.counter_trace.push(CounterSample {
                 diagnosed,
@@ -245,15 +328,32 @@ impl DiagJob {
 
 impl Job for DiagJob {
     fn execute(&mut self, ctx: &mut JobCtx<'_>) {
+        let sink = ctx.metrics();
+        let metrics_on = sink.enabled();
         // Phases 1 & 3: local detection + aggregation (read alignment).
         let aligned = self.bufs.read_and_align(ctx);
+        if metrics_on {
+            sink.emit(&MetricsEvent::Aggregation {
+                node: self.node,
+                round: ctx.round(),
+                epsilon_rows: aligned.al_dm.iter().filter(|r| r.is_none()).count() as u64,
+            });
+        }
         // Phase 2: dissemination (send alignment).
-        self.bufs.disseminate(
+        let tx_round = self.bufs.disseminate(
             ctx,
             self.config.all_send_curr_round(),
             &aligned.al_ls,
             |_| {},
         );
+        if metrics_on {
+            sink.emit(&MetricsEvent::Dissemination {
+                node: self.node,
+                round: ctx.round(),
+                tx_round,
+                accusations: 0,
+            });
+        }
         // Phases 4 & 5: analysis + counter update.
         self.analyze_and_update(ctx, aligned.al_dm.clone());
         // Buffering for the next activation (Alg. 1, lines 16–17).

@@ -52,24 +52,64 @@ impl HMaj {
 /// assert_eq!(h_maj([None, None, None]), HMaj::Undecidable);
 /// ```
 pub fn h_maj(votes: impl IntoIterator<Item = Option<bool>>) -> HMaj {
-    let mut ok = 0usize;
-    let mut faulty = 0usize;
+    h_maj_tally(votes).outcome
+}
+
+/// The full accounting of one `H-maj` vote: how many opinions landed in
+/// each bucket, plus the outcome.
+///
+/// This is what observability consumers want (a `1 0 0` vote and a `4 3 0`
+/// vote are both `Decided(false)` but tell very different stories); the
+/// protocol itself only needs [`VoteTally::outcome`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VoteTally {
+    /// Explicit "not faulty" opinions.
+    pub ok: u64,
+    /// Explicit "faulty" opinions.
+    pub faulty: u64,
+    /// Excluded ε opinions.
+    pub epsilon: u64,
+    /// The `H-maj` outcome over the non-ε opinions.
+    pub outcome: HMaj,
+}
+
+impl VoteTally {
+    /// Whether the column was contested: any explicit accusation, any ε
+    /// exclusion, or an undecidable outcome. Unanimous all-healthy columns
+    /// (the steady state) answer `false`.
+    pub fn contested(&self) -> bool {
+        self.faulty > 0 || self.epsilon > 0 || self.outcome != HMaj::Decided(true)
+    }
+}
+
+/// Computes `H-maj` over a column of votes, returning the full
+/// [`VoteTally`] (bucket counts plus outcome). [`h_maj`] is the
+/// outcome-only shorthand.
+pub fn h_maj_tally(votes: impl IntoIterator<Item = Option<bool>>) -> VoteTally {
+    let mut ok = 0u64;
+    let mut faulty = 0u64;
+    let mut epsilon = 0u64;
     for v in votes {
         match v {
             Some(true) => ok += 1,
             Some(false) => faulty += 1,
-            None => {}
+            None => epsilon += 1,
         }
     }
-    if ok + faulty == 0 {
+    let outcome = if ok + faulty == 0 {
         HMaj::Undecidable
     } else if faulty > ok {
         HMaj::Decided(false)
-    } else if ok > faulty {
-        HMaj::Decided(true)
     } else {
-        // Tie: the `else` branch of Eqn. 1 — default to "not faulty".
+        // Majority healthy, or a tie: the `else` branch of Eqn. 1 —
+        // default to "not faulty".
         HMaj::Decided(true)
+    };
+    VoteTally {
+        ok,
+        faulty,
+        epsilon,
+        outcome,
     }
 }
 
@@ -118,5 +158,42 @@ mod tests {
     fn decided_accessor() {
         assert_eq!(HMaj::Undecidable.decided(), None);
         assert_eq!(HMaj::Decided(false).decided(), Some(false));
+    }
+
+    #[test]
+    fn tally_counts_every_bucket() {
+        let t = h_maj_tally([Some(true), Some(false), Some(false), None]);
+        assert_eq!((t.ok, t.faulty, t.epsilon), (1, 2, 1));
+        assert_eq!(t.outcome, HMaj::Decided(false));
+        assert!(t.contested());
+    }
+
+    #[test]
+    fn tally_contested_classification() {
+        // Unanimous healthy: the steady state, not contested.
+        assert!(!h_maj_tally([Some(true), Some(true)]).contested());
+        // Outvoted accusation: still contested.
+        assert!(h_maj_tally([Some(true), Some(true), Some(false)]).contested());
+        // ε exclusions alone mark the column contested.
+        assert!(h_maj_tally([Some(true), None]).contested());
+        // Undecidable (all ε) is contested by definition.
+        assert!(h_maj_tally([None, None]).contested());
+    }
+
+    #[test]
+    fn tally_outcome_matches_h_maj() {
+        let cases: [&[Option<bool>]; 5] = [
+            &[Some(true), Some(false)],
+            &[Some(false), Some(false), Some(true)],
+            &[None, None],
+            &[Some(true); 4],
+            &[None, Some(false)],
+        ];
+        for votes in cases {
+            assert_eq!(
+                h_maj_tally(votes.iter().copied()).outcome,
+                h_maj(votes.iter().copied())
+            );
+        }
     }
 }

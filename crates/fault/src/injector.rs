@@ -10,11 +10,13 @@
 //! [`SlotEffect`]. All randomness comes from one seeded RNG, so campaigns
 //! are exactly reproducible from `(configuration, seed)`.
 
+use std::sync::Arc;
+
 use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use tt_sim::{apply_effect_into, FaultPipeline, SlotEffect, SlotOutcome, TxCtx};
+use tt_sim::{apply_effect_into, FaultPipeline, MetricsSink, SlotEffect, SlotOutcome, TxCtx};
 
 /// One source of injected faults.
 pub trait Disturbance: Send {
@@ -49,6 +51,7 @@ where
 pub struct DisturbanceNode {
     disturbances: Vec<Box<dyn Disturbance>>,
     rng: StdRng,
+    metrics: Option<Arc<dyn MetricsSink>>,
 }
 
 impl std::fmt::Debug for DisturbanceNode {
@@ -65,7 +68,18 @@ impl DisturbanceNode {
         DisturbanceNode {
             disturbances: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
+            metrics: None,
         }
+    }
+
+    /// Reports every injected (non-`Correct`) effect to `sink` as a
+    /// `fault.injected.*` counter keyed by effect kind. The disturbance
+    /// node is the chokepoint every fault flows through, so these counters
+    /// are the injection-side ground truth an instrumented run compares
+    /// its protocol-side events against.
+    pub fn with_metrics(mut self, sink: Arc<dyn MetricsSink>) -> Self {
+        self.metrics = Some(sink);
+        self
     }
 
     /// Adds a disturbance source (builder style). Earlier sources take
@@ -85,6 +99,15 @@ impl FaultPipeline for DisturbanceNode {
     fn effect(&mut self, ctx: &TxCtx) -> SlotEffect {
         for d in &mut self.disturbances {
             if let Some(e) = d.effect(ctx, &mut self.rng) {
+                if let Some(sink) = &self.metrics {
+                    let name = match &e {
+                        SlotEffect::Correct => "fault.injected.correct",
+                        SlotEffect::Benign => "fault.injected.benign",
+                        SlotEffect::SymmetricMalicious { .. } => "fault.injected.malicious",
+                        SlotEffect::Asymmetric { .. } => "fault.injected.asymmetric",
+                    };
+                    sink.counter(name, 1);
+                }
                 return e;
             }
         }
@@ -136,6 +159,28 @@ mod tests {
             SlotEffect::Asymmetric { .. }
         ));
         assert_eq!(FaultPipeline::effect(&mut d, &ctx(4)), SlotEffect::Correct);
+    }
+
+    #[test]
+    fn metrics_count_injected_effects_by_kind() {
+        let sink = Arc::new(tt_sim::RecordingSink::new());
+        let benign = |c: &TxCtx, _: &mut StdRng| (c.abs_slot < 3).then_some(SlotEffect::Benign);
+        let asym = |c: &TxCtx, _: &mut StdRng| {
+            (c.abs_slot == 5).then_some(SlotEffect::Asymmetric {
+                detected_by: vec![0],
+                collision_ok: true,
+            })
+        };
+        let mut d = DisturbanceNode::new(1)
+            .with(benign)
+            .with(asym)
+            .with_metrics(sink.clone());
+        for a in 0..10 {
+            let _ = FaultPipeline::effect(&mut d, &ctx(a));
+        }
+        assert_eq!(sink.counter_value("fault.injected.benign"), 3);
+        assert_eq!(sink.counter_value("fault.injected.asymmetric"), 1);
+        assert_eq!(sink.counter_value("fault.injected.malicious"), 0);
     }
 
     #[test]

@@ -7,12 +7,15 @@
 //! This realizes the paper's interleaving of node schedules with the global
 //! communication schedule exactly, with no wall-clock nondeterminism.
 
+use std::sync::Arc;
+
 use bytes::Bytes;
 
-use crate::bus::{FaultPipeline, SlotOutcome, TxCtx};
+use crate::bus::{FaultPipeline, SlotFaultClass, SlotOutcome, TxCtx};
 use crate::controller::Controller;
 use crate::error::SimError;
 use crate::job::{Job, JobCtx};
+use crate::metrics::{MetricsEvent, MetricsSink, NoopSink};
 use crate::node::Node;
 use crate::schedule::{CommunicationSchedule, NodeSchedule};
 use crate::time::{Nanos, NodeId, RoundIndex};
@@ -31,6 +34,9 @@ pub struct Cluster {
     resolved: Vec<Vec<NodeSchedule>>,
     /// Transmission outcome buffer, reused for every slot.
     slot_out: SlotOutcome,
+    /// Observability sink shared with every job context (a [`NoopSink`] by
+    /// default, keeping the hot path untouched).
+    metrics: Arc<dyn MetricsSink>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -61,6 +67,11 @@ impl Cluster {
     /// The ground-truth fault trace recorded so far.
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// The observability sink this cluster reports to.
+    pub fn metrics(&self) -> &dyn MetricsSink {
+        &*self.metrics
     }
 
     /// Immutable access to the controller of `node`.
@@ -154,6 +165,11 @@ impl Cluster {
     pub fn run_round(&mut self) {
         let k = self.round;
         let n = self.schedule.n_nodes();
+        // With a `NoopSink` the whole observability block reduces to one
+        // virtual `enabled()` call; with a recording sink, round timing and
+        // the structured event stream are captured.
+        let metrics_on = self.metrics.enabled();
+        let round_start = metrics_on.then(std::time::Instant::now);
         // Resolve every job's schedule for this round up front (dynamic
         // schedules are queried exactly once per round, like an OS would),
         // refilling the cluster-owned scratch buffers in place.
@@ -177,7 +193,7 @@ impl Cluster {
             {
                 for (slot, &sched) in node.jobs_mut().iter_mut().zip(resolved.iter()) {
                     if sched.l() == p {
-                        let mut ctx = JobCtx::new(controller, sched, k);
+                        let mut ctx = JobCtx::with_metrics(controller, sched, k, &*self.metrics);
                         slot.job.execute(&mut ctx);
                     }
                 }
@@ -194,6 +210,16 @@ impl Cluster {
             };
             self.pipeline
                 .transmit_into(&tx_ctx, &payload, &mut self.slot_out);
+            if self.slot_out.class != SlotFaultClass::Correct {
+                self.metrics.counter("sim.slot_faults", 1);
+                if metrics_on {
+                    self.metrics.emit(&MetricsEvent::SlotFault {
+                        round: k,
+                        sender,
+                        class: self.slot_out.class,
+                    });
+                }
+            }
             // With tracing off, skip effect-record construction entirely.
             if !trace_off && self.trace.wants(self.slot_out.class) {
                 let effect =
@@ -212,6 +238,14 @@ impl Cluster {
                     controller.deliver(sender, k, self.slot_out.receptions[rx].clone());
                 }
             }
+        }
+        self.metrics.counter("sim.rounds", 1);
+        self.metrics.counter("sim.slots", n as u64);
+        if let Some(start) = round_start {
+            let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.metrics.histogram("sim.round_ns", wall_ns);
+            self.metrics
+                .emit(&MetricsEvent::RoundCompleted { round: k, wall_ns });
         }
         self.round = k.next();
     }
@@ -247,11 +281,22 @@ impl Cluster {
 ///     .unwrap();
 /// assert_eq!(cluster.schedule().n_nodes(), 4);
 /// ```
-#[derive(Debug)]
 pub struct ClusterBuilder {
     n_nodes: usize,
     round_length: Nanos,
     trace_mode: TraceMode,
+    metrics: Option<Arc<dyn MetricsSink>>,
+}
+
+impl std::fmt::Debug for ClusterBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterBuilder")
+            .field("n_nodes", &self.n_nodes)
+            .field("round_length", &self.round_length)
+            .field("trace_mode", &self.trace_mode)
+            .field("instrumented", &self.metrics.is_some())
+            .finish()
+    }
 }
 
 impl ClusterBuilder {
@@ -262,7 +307,15 @@ impl ClusterBuilder {
             n_nodes,
             round_length: Nanos::from_micros(2_500),
             trace_mode: TraceMode::default(),
+            metrics: None,
         }
+    }
+
+    /// Installs an observability sink shared by the engine and every job
+    /// context (defaults to a [`NoopSink`]).
+    pub fn metrics_sink(mut self, sink: Arc<dyn MetricsSink>) -> Self {
+        self.metrics = Some(sink);
+        self
     }
 
     /// Sets the TDMA round length.
@@ -303,6 +356,7 @@ impl ClusterBuilder {
             trace: Trace::new(self.trace_mode),
             resolved: vec![Vec::new(); self.n_nodes],
             slot_out: SlotOutcome::with_capacity(self.n_nodes),
+            metrics: self.metrics.unwrap_or_else(|| Arc::new(NoopSink)),
         })
     }
 
@@ -463,6 +517,56 @@ mod tests {
             cluster.job_as::<Probe>(NodeId::new(1)),
             Err(SimError::JobTypeMismatch(_))
         ));
+    }
+
+    #[test]
+    fn recording_sink_observes_rounds_and_faults() {
+        let sink = Arc::new(crate::metrics::RecordingSink::new());
+        let pipeline = |ctx: &TxCtx| {
+            if ctx.abs_slot % 5 == 2 {
+                SlotEffect::Benign
+            } else {
+                SlotEffect::Correct
+            }
+        };
+        let mut cluster = ClusterBuilder::new(4)
+            .metrics_sink(sink.clone())
+            .build_with_jobs(|_| probe(), Box::new(pipeline));
+        cluster.run_rounds(10);
+        assert_eq!(sink.counter_value("sim.rounds"), 10);
+        assert_eq!(sink.counter_value("sim.slots"), 40);
+        assert_eq!(sink.counter_value("sim.slot_faults"), 8);
+        let events = sink.events();
+        let faults = events
+            .iter()
+            .filter(|e| matches!(e, crate::metrics::MetricsEvent::SlotFault { .. }))
+            .count();
+        let rounds = events
+            .iter()
+            .filter(|e| matches!(e, crate::metrics::MetricsEvent::RoundCompleted { .. }))
+            .count();
+        assert_eq!(faults, 8);
+        assert_eq!(rounds, 10);
+        // Ground-truth trace and metrics stream agree on fault slots.
+        for e in &events {
+            if let crate::metrics::MetricsEvent::SlotFault {
+                round,
+                sender,
+                class,
+            } = e
+            {
+                assert_eq!(cluster.trace().class_of(*round, *sender), *class);
+            }
+        }
+        let report = sink.report();
+        assert_eq!(report.histograms[0].name, "sim.round_ns");
+        assert_eq!(report.histograms[0].summary.count, 10);
+    }
+
+    #[test]
+    fn default_cluster_uses_noop_sink() {
+        let cluster = ClusterBuilder::new(4).build(Box::new(NoFaults)).unwrap();
+        assert!(!cluster.metrics().enabled());
     }
 
     #[test]

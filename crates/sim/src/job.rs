@@ -12,6 +12,7 @@ use std::any::Any;
 use bytes::Bytes;
 
 use crate::controller::Controller;
+use crate::metrics::{MetricsSink, NOOP_SINK};
 use crate::schedule::NodeSchedule;
 use crate::time::{NodeId, RoundIndex};
 
@@ -38,22 +39,52 @@ pub trait Job: Send {
 /// Borrow of the hosting node's communication controller plus the static
 /// schedule information the paper allows the application to know
 /// (`l_i`, `send_curr_round_i`; Sec. 10).
-#[derive(Debug)]
 pub struct JobCtx<'a> {
     controller: &'a mut Controller,
     schedule: NodeSchedule,
     round: RoundIndex,
+    metrics: &'a dyn MetricsSink,
+}
+
+impl std::fmt::Debug for JobCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobCtx")
+            .field("controller", &self.controller)
+            .field("schedule", &self.schedule)
+            .field("round", &self.round)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> JobCtx<'a> {
-    /// Creates a context; used by the engine and by unit tests that drive a
-    /// job manually.
+    /// Creates a context with no metrics sink; used by unit tests that
+    /// drive a job manually (the engine uses [`JobCtx::with_metrics`]).
     pub fn new(controller: &'a mut Controller, schedule: NodeSchedule, round: RoundIndex) -> Self {
+        Self::with_metrics(controller, schedule, round, &NOOP_SINK)
+    }
+
+    /// Creates a context reporting to `metrics`.
+    pub fn with_metrics(
+        controller: &'a mut Controller,
+        schedule: NodeSchedule,
+        round: RoundIndex,
+        metrics: &'a dyn MetricsSink,
+    ) -> Self {
         JobCtx {
             controller,
             schedule,
             round,
+            metrics,
         }
+    }
+
+    /// The cluster's metrics sink.
+    ///
+    /// The returned reference carries the context's full lifetime, so jobs
+    /// can hold it across later mutable uses of the context (e.g. capture it
+    /// before an [`JobCtx::isolate`] call).
+    pub fn metrics(&self) -> &'a dyn MetricsSink {
+        self.metrics
     }
 
     /// The hosting node's id.

@@ -56,6 +56,7 @@ pub mod engine;
 pub mod error;
 pub mod frame;
 pub mod job;
+pub mod metrics;
 pub mod node;
 pub mod schedule;
 pub mod time;
@@ -73,6 +74,10 @@ pub use engine::{Cluster, ClusterBuilder};
 pub use error::SimError;
 pub use frame::{crc32, Frame, FrameError};
 pub use job::{Job, JobCtx};
+pub use metrics::{
+    HistogramSummary, MetricsEvent, MetricsReport, MetricsSink, NamedCounter, NamedGauge,
+    NamedHistogram, NoopSink, RecordingSink, NOOP_SINK,
+};
 pub use node::{JobSlot, Node, ScheduleSource};
 pub use schedule::{CommunicationSchedule, NodeSchedule, SlotPosition};
 pub use time::{Nanos, NodeId, RoundIndex};

@@ -1,0 +1,617 @@
+//! Zero-overhead observability hooks for the simulator and the protocol.
+//!
+//! The engine and the diagnostic jobs report what they do through a shared
+//! [`MetricsSink`]. The default [`NoopSink`] compiles every hook down to an
+//! empty inlined call, so the allocation-free `Cluster::run_round` fast path
+//! is preserved exactly (enforced by the counting-allocator test in
+//! `tests/alloc_free.rs`). Swapping in a [`RecordingSink`] turns the same run
+//! into an inspectable diagnostic session: named counters, gauges, histogram
+//! summaries, and a round-stamped structured [`MetricsEvent`] stream that
+//! `tt-analysis` renders into reports and `ttdiag metrics` dumps as
+//! JSON/CSV.
+//!
+//! Instrumentation discipline: anything that costs more than reading a flag
+//! — building an event payload, walking a matrix column — must be guarded by
+//! [`MetricsSink::enabled`], which a [`NoopSink`] answers `false`.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use crate::bus::SlotFaultClass;
+use crate::time::{NodeId, RoundIndex};
+
+/// A structured, round-stamped observation emitted by the engine, the
+/// diagnostic protocol, or the fault injector.
+///
+/// Events are serde-serializable and ordered: within one run, events appear
+/// in simulation order (slot by slot, and node-id order within a slot), so a
+/// recorded stream is a stable golden artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MetricsEvent {
+    /// One TDMA round finished executing (engine).
+    ///
+    /// `wall_ns` is host wall-clock time for the round; it is the one
+    /// nondeterministic field in the stream and is normalized to zero by
+    /// golden tests.
+    RoundCompleted {
+        /// The completed round `k`.
+        round: RoundIndex,
+        /// Host wall-clock nanoseconds spent executing the round.
+        wall_ns: u64,
+    },
+    /// The fault pipeline disturbed a sending slot (engine; ground truth).
+    SlotFault {
+        /// Round of the disturbed slot.
+        round: RoundIndex,
+        /// Owner of the disturbed slot.
+        sender: NodeId,
+        /// Ground-truth fault class the pipeline applied.
+        class: SlotFaultClass,
+    },
+    /// A protocol instance disseminated its local syndrome (phase 2).
+    Dissemination {
+        /// The observing/transmitting node.
+        node: NodeId,
+        /// Round in which the dissemination executed.
+        round: RoundIndex,
+        /// Round whose slot carries the syndrome on the bus.
+        tx_round: RoundIndex,
+        /// Accusation bits folded into the outgoing syndrome
+        /// (membership-variant minority accusations; 0 for plain diagnosis).
+        accusations: u64,
+    },
+    /// A protocol instance aggregated received syndromes into its
+    /// diagnostic-matrix window (phases 1 and 3).
+    Aggregation {
+        /// The aggregating node.
+        node: NodeId,
+        /// Round in which the aggregation executed.
+        round: RoundIndex,
+        /// Rows of the aligned matrix that were missing (ε rows).
+        epsilon_rows: u64,
+    },
+    /// An H-maj vote over one diagnostic-matrix column was *contested*:
+    /// at least one explicit faulty opinion or ε entry, or an undecidable
+    /// outcome. (All-healthy unanimous columns are not emitted — they are
+    /// the steady state and would dominate the stream.)
+    VoteTally {
+        /// The analyzing node.
+        node: NodeId,
+        /// Round in which the analysis executed.
+        decided_at: RoundIndex,
+        /// The diagnosed round (`decided_at` minus the diagnosis lag).
+        diagnosed: RoundIndex,
+        /// The node being voted on.
+        subject: NodeId,
+        /// Explicit "healthy" opinions.
+        ok: u64,
+        /// Explicit "faulty" opinions.
+        faulty: u64,
+        /// Missing opinions (ε).
+        epsilon: u64,
+        /// `Some(healthy?)` when decided, `None` when undecidable.
+        decided: Option<bool>,
+    },
+    /// A penalty counter increased (subject convicted for the diagnosed
+    /// round).
+    PenaltyCharged {
+        /// The observing node running the p/r algorithm.
+        node: NodeId,
+        /// Round in which the update executed.
+        decided_at: RoundIndex,
+        /// The diagnosed round the conviction refers to.
+        diagnosed: RoundIndex,
+        /// The convicted node.
+        subject: NodeId,
+        /// Penalty counter value after the charge.
+        penalty: u64,
+    },
+    /// A reward counter increased (subject healthy while carrying a
+    /// pending penalty).
+    RewardEarned {
+        /// The observing node running the p/r algorithm.
+        node: NodeId,
+        /// Round in which the update executed.
+        decided_at: RoundIndex,
+        /// The diagnosed round the acquittal refers to.
+        diagnosed: RoundIndex,
+        /// The rewarded node.
+        subject: NodeId,
+        /// Reward counter value after the increment.
+        reward: u64,
+    },
+    /// The reward threshold was reached: both counters reset (forgiveness).
+    Forgiveness {
+        /// The observing node running the p/r algorithm.
+        node: NodeId,
+        /// Round in which the update executed.
+        decided_at: RoundIndex,
+        /// The diagnosed round that completed the reward streak.
+        diagnosed: RoundIndex,
+        /// The forgiven node.
+        subject: NodeId,
+    },
+    /// The penalty threshold was exceeded: the subject is isolated.
+    Isolation {
+        /// The observing node running the p/r algorithm.
+        node: NodeId,
+        /// Round in which the update executed.
+        decided_at: RoundIndex,
+        /// The diagnosed round whose conviction crossed the threshold.
+        diagnosed: RoundIndex,
+        /// The isolated node.
+        subject: NodeId,
+        /// Penalty counter value that crossed the threshold.
+        penalty: u64,
+    },
+    /// The reintegration extension readmitted a previously isolated node
+    /// after observing enough healthy rounds.
+    Reintegration {
+        /// The observing node running the p/r algorithm.
+        node: NodeId,
+        /// Round in which the update executed.
+        decided_at: RoundIndex,
+        /// The diagnosed round that completed the observation streak.
+        diagnosed: RoundIndex,
+        /// The readmitted node.
+        subject: NodeId,
+    },
+    /// The membership variant installed a new view.
+    ViewInstalled {
+        /// The node installing the view.
+        node: NodeId,
+        /// Monotonic view identifier.
+        view_id: u64,
+        /// Round in which the view was installed.
+        installed_at: RoundIndex,
+        /// The diagnosed round the view reflects.
+        diagnosed: RoundIndex,
+        /// Members of the new view, in node-id order.
+        members: Vec<NodeId>,
+    },
+}
+
+impl MetricsEvent {
+    /// The round the event is stamped with (execution round for protocol
+    /// events, slot round for engine events).
+    pub fn round(&self) -> RoundIndex {
+        match *self {
+            MetricsEvent::RoundCompleted { round, .. }
+            | MetricsEvent::SlotFault { round, .. }
+            | MetricsEvent::Dissemination { round, .. }
+            | MetricsEvent::Aggregation { round, .. } => round,
+            MetricsEvent::VoteTally { decided_at, .. }
+            | MetricsEvent::PenaltyCharged { decided_at, .. }
+            | MetricsEvent::RewardEarned { decided_at, .. }
+            | MetricsEvent::Forgiveness { decided_at, .. }
+            | MetricsEvent::Isolation { decided_at, .. }
+            | MetricsEvent::Reintegration { decided_at, .. } => decided_at,
+            MetricsEvent::ViewInstalled { installed_at, .. } => installed_at,
+        }
+    }
+
+    /// A short stable label for the event kind (used by CSV export and
+    /// summary reports).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MetricsEvent::RoundCompleted { .. } => "round_completed",
+            MetricsEvent::SlotFault { .. } => "slot_fault",
+            MetricsEvent::Dissemination { .. } => "dissemination",
+            MetricsEvent::Aggregation { .. } => "aggregation",
+            MetricsEvent::VoteTally { .. } => "vote_tally",
+            MetricsEvent::PenaltyCharged { .. } => "penalty_charged",
+            MetricsEvent::RewardEarned { .. } => "reward_earned",
+            MetricsEvent::Forgiveness { .. } => "forgiveness",
+            MetricsEvent::Isolation { .. } => "isolation",
+            MetricsEvent::Reintegration { .. } => "reintegration",
+            MetricsEvent::ViewInstalled { .. } => "view_installed",
+        }
+    }
+}
+
+/// A sink for simulator and protocol observability signals.
+///
+/// Every hook has a no-op default, so implementors opt into exactly the
+/// signals they care about. All hooks take `&self`: sinks are shared between
+/// the engine and every job context of a cluster, and must synchronize
+/// internally if they record (the [`RecordingSink`] uses a mutex; the
+/// [`NoopSink`] needs nothing).
+pub trait MetricsSink: Send + Sync {
+    /// Whether expensive instrumentation (event payload construction,
+    /// per-column tallies) should run at all.
+    ///
+    /// The engine and the protocol guard every allocating code path behind
+    /// this, which is how the [`NoopSink`] keeps the hot path
+    /// allocation-free.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Adds `delta` to the named monotonic counter.
+    fn counter(&self, name: &'static str, delta: u64) {
+        let _ = (name, delta);
+    }
+
+    /// Sets the named gauge to `value`.
+    fn gauge(&self, name: &'static str, value: i64) {
+        let _ = (name, value);
+    }
+
+    /// Records one observation of the named histogram.
+    fn histogram(&self, name: &'static str, value: u64) {
+        let _ = (name, value);
+    }
+
+    /// Consumes one structured event.
+    ///
+    /// Callers only construct events behind an [`MetricsSink::enabled`]
+    /// check, so implementors answering `false` never see this called from
+    /// the engine or the bundled protocol jobs.
+    fn emit(&self, event: &MetricsEvent) {
+        let _ = event;
+    }
+}
+
+/// The do-nothing sink: every hook is an empty default method and
+/// [`MetricsSink::enabled`] answers `false`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl MetricsSink for NoopSink {}
+
+/// The process-wide [`NoopSink`] instance uninstrumented clusters point at,
+/// so defaulting the sink allocates nothing.
+pub static NOOP_SINK: NoopSink = NoopSink;
+
+/// Summary statistics of one named histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSummary {
+    fn observe(&mut self, value: u64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Mean observation, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// One named counter value in a [`MetricsReport`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NamedCounter {
+    /// Counter name.
+    pub name: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// One named gauge value in a [`MetricsReport`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NamedGauge {
+    /// Gauge name.
+    pub name: String,
+    /// Last set value.
+    pub value: i64,
+}
+
+/// One named histogram summary in a [`MetricsReport`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NamedHistogram {
+    /// Histogram name.
+    pub name: String,
+    /// Summary statistics.
+    pub summary: HistogramSummary,
+}
+
+/// A serializable snapshot of everything a [`RecordingSink`] captured.
+///
+/// Counters, gauges and histograms are sorted by name; events are in
+/// emission (simulation) order.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// All counters, sorted by name.
+    pub counters: Vec<NamedCounter>,
+    /// All gauges, sorted by name.
+    pub gauges: Vec<NamedGauge>,
+    /// All histogram summaries, sorted by name.
+    pub histograms: Vec<NamedHistogram>,
+    /// The structured event stream, in emission order.
+    pub events: Vec<MetricsEvent>,
+}
+
+#[derive(Debug, Default)]
+struct Recorded {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, i64>,
+    histograms: BTreeMap<&'static str, HistogramSummary>,
+    events: Vec<MetricsEvent>,
+}
+
+/// An in-memory sink that records everything: counters, gauges, histogram
+/// summaries, and the full structured event stream.
+///
+/// Shared across the engine and all job contexts of a cluster (wrap in an
+/// `Arc`); a mutex serializes concurrent access, which is uncontended in the
+/// single-threaded engine.
+#[derive(Debug, Default)]
+pub struct RecordingSink {
+    inner: Mutex<Recorded>,
+}
+
+impl RecordingSink {
+    /// Creates an empty recording sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current value of the named counter (0 if never incremented).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.inner
+            .lock()
+            .expect("metrics mutex poisoned")
+            .counters
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// A clone of the recorded event stream.
+    pub fn events(&self) -> Vec<MetricsEvent> {
+        self.inner
+            .lock()
+            .expect("metrics mutex poisoned")
+            .events
+            .clone()
+    }
+
+    /// Number of recorded events.
+    pub fn event_count(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("metrics mutex poisoned")
+            .events
+            .len()
+    }
+
+    /// Snapshots everything recorded so far into a serializable report.
+    pub fn report(&self) -> MetricsReport {
+        let inner = self.inner.lock().expect("metrics mutex poisoned");
+        MetricsReport {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(&name, &value)| NamedCounter {
+                    name: name.to_string(),
+                    value,
+                })
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(&name, &value)| NamedGauge {
+                    name: name.to_string(),
+                    value,
+                })
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(&name, &summary)| NamedHistogram {
+                    name: name.to_string(),
+                    summary,
+                })
+                .collect(),
+            events: inner.events.clone(),
+        }
+    }
+}
+
+impl MetricsSink for RecordingSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn counter(&self, name: &'static str, delta: u64) {
+        *self
+            .inner
+            .lock()
+            .expect("metrics mutex poisoned")
+            .counters
+            .entry(name)
+            .or_insert(0) += delta;
+    }
+
+    fn gauge(&self, name: &'static str, value: i64) {
+        self.inner
+            .lock()
+            .expect("metrics mutex poisoned")
+            .gauges
+            .insert(name, value);
+    }
+
+    fn histogram(&self, name: &'static str, value: u64) {
+        self.inner
+            .lock()
+            .expect("metrics mutex poisoned")
+            .histograms
+            .entry(name)
+            .or_default()
+            .observe(value);
+    }
+
+    fn emit(&self, event: &MetricsEvent) {
+        self.inner
+            .lock()
+            .expect("metrics mutex poisoned")
+            .events
+            .push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_sink_is_disabled_and_inert() {
+        let sink = NoopSink;
+        assert!(!sink.enabled());
+        sink.counter("x", 1);
+        sink.gauge("x", 1);
+        sink.histogram("x", 1);
+        sink.emit(&MetricsEvent::RoundCompleted {
+            round: RoundIndex::ZERO,
+            wall_ns: 0,
+        });
+    }
+
+    #[test]
+    fn recording_sink_accumulates_counters_and_events() {
+        let sink = RecordingSink::new();
+        assert!(sink.enabled());
+        sink.counter("sim.slots", 4);
+        sink.counter("sim.slots", 4);
+        sink.gauge("cluster.n_nodes", 8);
+        sink.histogram("sim.round_ns", 10);
+        sink.histogram("sim.round_ns", 30);
+        sink.emit(&MetricsEvent::SlotFault {
+            round: RoundIndex::new(3),
+            sender: NodeId::new(2),
+            class: SlotFaultClass::Benign,
+        });
+        assert_eq!(sink.counter_value("sim.slots"), 8);
+        assert_eq!(sink.counter_value("absent"), 0);
+        assert_eq!(sink.event_count(), 1);
+        let report = sink.report();
+        assert_eq!(
+            report.counters,
+            vec![NamedCounter {
+                name: "sim.slots".into(),
+                value: 8
+            }]
+        );
+        assert_eq!(report.gauges[0].value, 8);
+        let h = &report.histograms[0].summary;
+        assert_eq!((h.count, h.sum, h.min, h.max), (2, 40, 10, 30));
+        assert!((h.mean() - 20.0).abs() < 1e-9);
+        assert_eq!(report.events[0].round(), RoundIndex::new(3));
+        assert_eq!(report.events[0].kind(), "slot_fault");
+    }
+
+    #[test]
+    fn histogram_summary_handles_empty_and_single() {
+        let mut h = HistogramSummary::default();
+        assert_eq!(h.mean(), 0.0);
+        h.observe(7);
+        assert_eq!((h.count, h.min, h.max), (1, 7, 7));
+    }
+
+    #[test]
+    fn event_round_stamps_cover_all_variants() {
+        let r = RoundIndex::new(9);
+        let n = NodeId::new(1);
+        let events = [
+            MetricsEvent::RoundCompleted {
+                round: r,
+                wall_ns: 1,
+            },
+            MetricsEvent::SlotFault {
+                round: r,
+                sender: n,
+                class: SlotFaultClass::Asymmetric,
+            },
+            MetricsEvent::Dissemination {
+                node: n,
+                round: r,
+                tx_round: r,
+                accusations: 0,
+            },
+            MetricsEvent::Aggregation {
+                node: n,
+                round: r,
+                epsilon_rows: 0,
+            },
+            MetricsEvent::VoteTally {
+                node: n,
+                decided_at: r,
+                diagnosed: RoundIndex::new(7),
+                subject: n,
+                ok: 2,
+                faulty: 1,
+                epsilon: 0,
+                decided: Some(true),
+            },
+            MetricsEvent::PenaltyCharged {
+                node: n,
+                decided_at: r,
+                diagnosed: RoundIndex::new(7),
+                subject: n,
+                penalty: 1,
+            },
+            MetricsEvent::RewardEarned {
+                node: n,
+                decided_at: r,
+                diagnosed: RoundIndex::new(7),
+                subject: n,
+                reward: 1,
+            },
+            MetricsEvent::Forgiveness {
+                node: n,
+                decided_at: r,
+                diagnosed: RoundIndex::new(7),
+                subject: n,
+            },
+            MetricsEvent::Isolation {
+                node: n,
+                decided_at: r,
+                diagnosed: RoundIndex::new(7),
+                subject: n,
+                penalty: 4,
+            },
+            MetricsEvent::Reintegration {
+                node: n,
+                decided_at: r,
+                diagnosed: RoundIndex::new(7),
+                subject: n,
+            },
+            MetricsEvent::ViewInstalled {
+                node: n,
+                view_id: 2,
+                installed_at: r,
+                diagnosed: RoundIndex::new(7),
+                members: vec![n],
+            },
+        ];
+        let mut kinds = std::collections::BTreeSet::new();
+        for e in &events {
+            assert_eq!(e.round(), r, "{}", e.kind());
+            kinds.insert(e.kind());
+        }
+        assert_eq!(kinds.len(), events.len());
+    }
+}

@@ -1,0 +1,53 @@
+//! Golden snapshot of the observability event stream: the canonical
+//! intermittent-fault scenario ([`tt_bench::canonical_metrics_report`])
+//! must produce a bit-for-bit stable `MetricsReport` once wall-clock
+//! timings are normalized away. Regenerate intentionally with
+//! `cargo run -p tt-bench --bin gen_golden` after a deliberate change to
+//! the event schema or the instrumentation points.
+
+use tt_sim::{MetricsEvent, MetricsReport};
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .join("metrics_events.json")
+}
+
+#[test]
+fn canonical_event_stream_matches_golden() {
+    let report = tt_bench::canonical_metrics_report();
+    let actual = serde_json::to_string_pretty(&report).expect("report serializes") + "\n";
+    let path = golden_path();
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {path:?}: {e}"));
+    assert_eq!(
+        actual, expected,
+        "metrics event stream drifted from its golden snapshot; if \
+         intentional, regenerate with `cargo run -p tt-bench --bin gen_golden`"
+    );
+}
+
+#[test]
+fn golden_stream_deserializes_and_replays_semantics() {
+    let body = std::fs::read_to_string(golden_path()).expect("golden file present");
+    let report: MetricsReport = serde_json::from_str(&body).expect("golden parses");
+    assert_eq!(report, tt_bench::canonical_metrics_report(), "round trip");
+
+    // The committed stream must tell the scenario's story: node 2's
+    // intermittent fault crosses P = 3 and is isolated, node 3's single
+    // transient is forgiven by R = 2, and every event is round-stamped
+    // within the 16 simulated rounds.
+    let kinds = |k: &str| report.events.iter().filter(|e| e.kind() == k).count();
+    assert_eq!(kinds("isolation"), 4, "all 4 nodes isolate node 2");
+    assert!(kinds("forgiveness") >= 4, "all 4 nodes forgive node 3");
+    assert!(report.events.iter().all(|e| e.round().as_u64() < 16));
+    let subjects_isolated: Vec<_> = report
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            MetricsEvent::Isolation { subject, .. } => Some(subject.get()),
+            _ => None,
+        })
+        .collect();
+    assert!(subjects_isolated.iter().all(|&s| s == 2), "only node 2");
+}

@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::TestRng;
 use std::ops::{Range, RangeInclusive};
 
-/// A length specification for [`vec`]: an exact size or a size range.
+/// A length specification for [`vec()`]: an exact size or a size range.
 pub trait IntoSizeRange {
     /// Lower and upper (inclusive) bounds on the length.
     fn bounds(&self) -> (usize, usize);
