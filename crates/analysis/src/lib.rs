@@ -18,6 +18,9 @@
 //!   around the paper's operating points;
 //! * [`observability`] — consumers of the `tt-sim` metrics layer: event
 //!   stream summaries and CSV export for `ttdiag metrics`;
+//! * [`provenance`] — consumers of the `tt-sim` tracing layer: causal
+//!   chain reconstruction, detection-latency verification (≤ 4 rounds)
+//!   and JSONL/Perfetto export for `ttdiag trace`;
 //! * [`stats`] — summary statistics for repeated seeded experiments;
 //! * [`table`] — paper-style ASCII table rendering;
 //! * [`report`] — serializable paper-vs-measured records backing
@@ -31,6 +34,7 @@ pub mod chart;
 pub mod correlation;
 pub mod isolation;
 pub mod observability;
+pub mod provenance;
 pub mod report;
 pub mod sensitivity;
 pub mod stats;
@@ -42,6 +46,10 @@ pub use chart::{line_chart, step_chart};
 pub use correlation::{correlation_probability, max_reward_threshold, CorrelationPoint};
 pub use isolation::{measure_time_to_isolation, IsolationMeasurement};
 pub use observability::{events_to_csv, render_summary, EventSummary, EVENTS_CSV_HEADER};
+pub use provenance::{
+    group_chains, render_provenance_summary, spans_to_jsonl, spans_to_perfetto, LatencySummary,
+    ProvenanceChain, LATENCY_BOUND_ROUNDS,
+};
 pub use report::{ExperimentRecord, ReportBuilder};
 pub use sensitivity::{burst_length_sweep, penalty_sweep, reward_sweep};
 pub use stats::Summary;

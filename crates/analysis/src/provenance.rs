@@ -1,0 +1,547 @@
+//! Consumers of the `tt-sim` provenance-tracing layer: chain
+//! reconstruction, detection-latency verification and trace export.
+//!
+//! A [`tt_sim::RecordingTraceSink`] turns a simulation into a flat
+//! [`SpanEvent`] stream; this module reassembles it into per-cause
+//! [`ProvenanceChain`]s — slot fault → local detection → dissemination →
+//! aggregation → H-maj analysis → p/r counter transition — and derives the
+//! paper's latency claims from them:
+//!
+//! * the **detection latency** of every diagnosed fault is the diagnosis
+//!   lag, 2 or 3 rounds (Lemma 1), comfortably within the
+//!   [`LATENCY_BOUND_ROUNDS`] = 4 rounds this layer asserts;
+//! * the latency decomposes into a **read-alignment delay** (fault to
+//!   aligned local syndrome, one round), a **send-alignment delay**
+//!   (syndrome to its transmission slot) and one round of analysis.
+//!
+//! Exports: one JSON line per span (`ttdiag trace --format jsonl`) and
+//! Chrome trace-event JSON for [Perfetto](https://ui.perfetto.dev)
+//! (`--format perfetto`) with one track per node and one slice per span.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use serde::Value;
+use tt_sim::{CauseId, Nanos, RoundIndex, SpanEvent, TracePhase};
+
+use crate::table::Table;
+
+/// The detection-latency bound asserted over every reconstructed chain:
+/// a fault in round `d` is diagnosed no later than round `d + 4`.
+///
+/// The protocol's actual bound is the diagnosis lag (2 or 3 rounds,
+/// Lemma 1); 4 leaves one round of slack for variant protocols such as
+/// the membership job, whose accusation round trip adds an execution.
+pub const LATENCY_BOUND_ROUNDS: u64 = 4;
+
+/// The reconstructed provenance chain of one causal id: every span any
+/// node emitted about `(subject, diagnosed round)`, in emission order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProvenanceChain {
+    cause: CauseId,
+    spans: Vec<SpanEvent>,
+}
+
+impl ProvenanceChain {
+    /// The causal id the chain reconstructs.
+    pub fn cause(&self) -> CauseId {
+        self.cause
+    }
+
+    /// All spans of the chain, in emission order.
+    pub fn spans(&self) -> &[SpanEvent] {
+        &self.spans
+    }
+
+    /// The spans of one pipeline phase.
+    pub fn phase_spans(&self, phase: TracePhase) -> impl Iterator<Item = &SpanEvent> {
+        self.spans.iter().filter(move |s| s.phase() == phase)
+    }
+
+    /// Whether the chain contains at least one span of `phase`.
+    pub fn has_phase(&self, phase: TracePhase) -> bool {
+        self.phase_spans(phase).next().is_some()
+    }
+
+    /// The round of the (suspected) fault: the diagnosed round of the
+    /// causal id.
+    pub fn fault_round(&self) -> RoundIndex {
+        self.cause.diagnosed
+    }
+
+    /// The round of the earliest local detection, if any node's aligned
+    /// syndrome accused the subject.
+    pub fn detection_round(&self) -> Option<RoundIndex> {
+        self.phase_spans(TracePhase::Detection)
+            .map(|s| s.round())
+            .min()
+    }
+
+    /// The earliest round whose sending slot carried an accusing syndrome.
+    pub fn tx_round(&self) -> Option<RoundIndex> {
+        self.phase_spans(TracePhase::Dissemination)
+            .filter_map(|s| match s {
+                SpanEvent::Dissemination { tx_round, .. } => Some(*tx_round),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// The round whose activations voted on the diagnosed round (the
+    /// earliest analysis span).
+    pub fn decided_round(&self) -> Option<RoundIndex> {
+        self.phase_spans(TracePhase::Analysis)
+            .map(|s| s.round())
+            .min()
+    }
+
+    /// Whether any analysis span convicted the subject (`decided ==
+    /// Some(false)`).
+    pub fn convicted(&self) -> bool {
+        self.phase_spans(TracePhase::Analysis).any(|s| {
+            matches!(
+                s,
+                SpanEvent::Analysis {
+                    decided: Some(false),
+                    ..
+                }
+            )
+        })
+    }
+
+    /// End-to-end detection latency in rounds: fault round to verdict
+    /// round. `None` if the chain never reached the analysis phase.
+    pub fn detection_latency(&self) -> Option<u64> {
+        self.decided_round()
+            .map(|d| d.as_u64().saturating_sub(self.fault_round().as_u64()))
+    }
+
+    /// Rounds from the fault to its earliest aligned local detection
+    /// (the read-alignment share of the latency; 1 in steady state).
+    pub fn read_alignment_delay(&self) -> Option<u64> {
+        self.detection_round()
+            .map(|d| d.as_u64().saturating_sub(self.fault_round().as_u64()))
+    }
+
+    /// Rounds from the earliest detection to the slot transmitting the
+    /// accusing syndrome (the send-alignment share of the latency; 0 with
+    /// `all_send_curr_round`, otherwise 1).
+    pub fn send_alignment_delay(&self) -> Option<u64> {
+        match (self.detection_round(), self.tx_round()) {
+            (Some(det), Some(tx)) => Some(tx.as_u64().saturating_sub(det.as_u64())),
+            _ => None,
+        }
+    }
+}
+
+/// Groups a flat span stream into [`ProvenanceChain`]s, sorted by causal
+/// id (subject first, then diagnosed round).
+pub fn group_chains(spans: &[SpanEvent]) -> Vec<ProvenanceChain> {
+    let mut by_cause: BTreeMap<CauseId, Vec<SpanEvent>> = BTreeMap::new();
+    for s in spans {
+        by_cause.entry(s.cause()).or_default().push(*s);
+    }
+    by_cause
+        .into_iter()
+        .map(|(cause, spans)| ProvenanceChain { cause, spans })
+        .collect()
+}
+
+/// Detection-latency accounting over a set of reconstructed chains.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LatencySummary {
+    /// Detection latency in rounds → number of diagnosed chains.
+    pub latency_histogram: BTreeMap<u64, u64>,
+    /// Read-alignment delay in rounds → number of chains.
+    pub read_alignment: BTreeMap<u64, u64>,
+    /// Send-alignment delay in rounds → number of chains.
+    pub send_alignment: BTreeMap<u64, u64>,
+    /// Chains that never reached the analysis phase (e.g. accusations
+    /// still in flight when the run ended).
+    pub undiagnosed: u64,
+}
+
+impl LatencySummary {
+    /// Builds the per-fault latency histograms of `chains`.
+    pub fn of(chains: &[ProvenanceChain]) -> Self {
+        let mut s = LatencySummary::default();
+        for c in chains {
+            match c.detection_latency() {
+                Some(l) => *s.latency_histogram.entry(l).or_insert(0) += 1,
+                None => s.undiagnosed += 1,
+            }
+            if let Some(d) = c.read_alignment_delay() {
+                *s.read_alignment.entry(d).or_insert(0) += 1;
+            }
+            if let Some(d) = c.send_alignment_delay() {
+                *s.send_alignment.entry(d).or_insert(0) += 1;
+            }
+        }
+        s
+    }
+
+    /// Number of diagnosed chains (those with a measured latency).
+    pub fn diagnosed(&self) -> u64 {
+        self.latency_histogram.values().sum()
+    }
+
+    /// The worst measured detection latency, if any chain was diagnosed.
+    pub fn max_latency(&self) -> Option<u64> {
+        self.latency_histogram.keys().next_back().copied()
+    }
+
+    /// Checks every diagnosed chain against `bound` rounds, returning the
+    /// offending chains' causal ids on failure.
+    pub fn check_bound(chains: &[ProvenanceChain], bound: u64) -> Result<Self, Vec<CauseId>> {
+        let violations: Vec<CauseId> = chains
+            .iter()
+            .filter(|c| c.detection_latency().is_some_and(|l| l > bound))
+            .map(|c| c.cause())
+            .collect();
+        if violations.is_empty() {
+            Ok(Self::of(chains))
+        } else {
+            Err(violations)
+        }
+    }
+}
+
+/// Renders a terminal summary of the reconstructed chains: one row per
+/// chain plus the latency histograms (`ttdiag trace --format summary`).
+pub fn render_provenance_summary(chains: &[ProvenanceChain]) -> String {
+    let mut out = String::new();
+    if chains.is_empty() {
+        out.push_str("no provenance spans recorded\n");
+        return out;
+    }
+    let mut t = Table::new(vec![
+        "Subject", "Fault", "Detected", "Tx", "Decided", "Latency", "Verdict",
+    ]);
+    let fmt_round = |r: Option<RoundIndex>| {
+        r.map(|r| r.as_u64().to_string())
+            .unwrap_or_else(|| "-".into())
+    };
+    for c in chains {
+        t.row(vec![
+            format!("{}", c.cause().subject),
+            c.fault_round().as_u64().to_string(),
+            fmt_round(c.detection_round()),
+            fmt_round(c.tx_round()),
+            fmt_round(c.decided_round()),
+            c.detection_latency()
+                .map(|l| l.to_string())
+                .unwrap_or_else(|| "-".into()),
+            if c.convicted() {
+                "faulty".into()
+            } else if c.decided_round().is_some() {
+                "healthy".into()
+            } else {
+                "-".into()
+            },
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+    let s = LatencySummary::of(chains);
+    let _ = writeln!(
+        out,
+        "{} chains, {} diagnosed, {} undiagnosed, max latency {} rounds (bound {})",
+        chains.len(),
+        s.diagnosed(),
+        s.undiagnosed,
+        s.max_latency()
+            .map(|l| l.to_string())
+            .unwrap_or_else(|| "-".into()),
+        LATENCY_BOUND_ROUNDS,
+    );
+    let mut h = Table::new(vec![
+        "Latency (rounds)",
+        "Chains",
+        "Read-align",
+        "Send-align",
+    ]);
+    let rounds: std::collections::BTreeSet<u64> = s
+        .latency_histogram
+        .keys()
+        .chain(s.read_alignment.keys())
+        .chain(s.send_alignment.keys())
+        .copied()
+        .collect();
+    let count = |m: &BTreeMap<u64, u64>, r: u64| m.get(&r).copied().unwrap_or(0).to_string();
+    for r in rounds {
+        h.row(vec![
+            r.to_string(),
+            count(&s.latency_histogram, r),
+            count(&s.read_alignment, r),
+            count(&s.send_alignment, r),
+        ]);
+    }
+    out.push_str(&h.render());
+    out
+}
+
+/// Serializes a span stream as JSON lines: one [`SpanEvent`] per line, in
+/// emission order (`ttdiag trace --format jsonl`).
+pub fn spans_to_jsonl(spans: &[SpanEvent]) -> String {
+    let mut out = String::with_capacity(spans.len() * 96);
+    for s in spans {
+        out.push_str(&serde_json::to_string(s).expect("span serialization is infallible"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Converts a span stream into Chrome trace-event JSON for Perfetto or
+/// `chrome://tracing` (`ttdiag trace --format perfetto`).
+///
+/// Layout: one process, one track (thread) per node named `node N`, one
+/// complete (`ph: "X"`) slice per span. A round of simulated time is split
+/// into six equal sub-slots, one per pipeline phase in causal order, so a
+/// chain reads left to right inside each round and across rounds. Slice
+/// `args` carry the causal id (subject, diagnosed round, packed
+/// correlation key) plus the phase-specific fields.
+pub fn spans_to_perfetto(spans: &[SpanEvent], round_length: Nanos) -> String {
+    let phase_ns = (round_length.as_nanos() / TracePhase::ALL.len() as u64).max(1);
+    let jmap = |entries: Vec<(&str, Value)>| {
+        Value::Map(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    };
+    let jstr = |s: String| Value::Str(s);
+    let to_us = |ns: u64| Value::F64(ns as f64 / 1_000.0);
+    let mut events = Vec::with_capacity(spans.len() + 8);
+    let nodes: std::collections::BTreeSet<u32> = spans.iter().map(|s| s.node().get()).collect();
+    for n in nodes {
+        events.push(jmap(vec![
+            ("ph", jstr("M".into())),
+            ("pid", Value::U64(1)),
+            ("tid", Value::U64(n as u64)),
+            ("name", jstr("thread_name".into())),
+            ("args", jmap(vec![("name", jstr(format!("node {n}")))])),
+        ]));
+    }
+    for s in spans {
+        let start =
+            s.round().start_time(round_length).as_nanos() + s.phase().index() as u64 * phase_ns;
+        let cause = s.cause();
+        let mut args = vec![
+            ("subject", Value::U64(cause.subject.get() as u64)),
+            ("diagnosed", Value::U64(cause.diagnosed.as_u64())),
+            ("cause_key", Value::U64(cause.key())),
+        ];
+        match s {
+            SpanEvent::SlotFault { class, .. } => {
+                args.push(("class", jstr(format!("{class:?}"))));
+            }
+            SpanEvent::Detection { .. } => {}
+            SpanEvent::Dissemination { tx_round, .. } => {
+                args.push(("tx_round", Value::U64(tx_round.as_u64())));
+            }
+            SpanEvent::Aggregation { epsilon, .. } => {
+                args.push(("epsilon", Value::U64(*epsilon)));
+            }
+            SpanEvent::Analysis {
+                ok,
+                faulty,
+                epsilon,
+                decided,
+                ..
+            } => {
+                args.push(("ok", Value::U64(*ok)));
+                args.push(("faulty", Value::U64(*faulty)));
+                args.push(("epsilon", Value::U64(*epsilon)));
+                args.push((
+                    "decided",
+                    match decided {
+                        Some(b) => Value::Bool(*b),
+                        None => Value::Null,
+                    },
+                ));
+            }
+            SpanEvent::Update { kind, counter, .. } => {
+                args.push(("kind", jstr(kind.label().into())));
+                args.push(("counter", Value::U64(*counter)));
+            }
+        }
+        events.push(jmap(vec![
+            ("ph", jstr("X".into())),
+            ("pid", Value::U64(1)),
+            ("tid", Value::U64(s.node().get() as u64)),
+            ("ts", to_us(start)),
+            ("dur", to_us(phase_ns)),
+            ("name", jstr(s.kind().into())),
+            ("cat", jstr("provenance".into())),
+            ("args", jmap(args)),
+        ]));
+    }
+    serde_json::to_string_pretty(&jmap(vec![
+        ("traceEvents", Value::Seq(events)),
+        ("displayTimeUnit", jstr("ms".into())),
+    ]))
+    .expect("trace serialization is infallible")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_sim::{NodeId, SlotFaultClass, UpdateKind};
+
+    fn chain_spans(subject: u32, fault: u64, lag: u64) -> Vec<SpanEvent> {
+        let cause = CauseId::new(NodeId::new(subject), RoundIndex::new(fault));
+        let node = NodeId::new(1);
+        vec![
+            SpanEvent::SlotFault {
+                cause,
+                class: SlotFaultClass::Benign,
+            },
+            SpanEvent::Detection {
+                cause,
+                node,
+                round: RoundIndex::new(fault + 1),
+            },
+            SpanEvent::Dissemination {
+                cause,
+                node,
+                round: RoundIndex::new(fault + lag - 1),
+                tx_round: RoundIndex::new(fault + lag - 1),
+            },
+            SpanEvent::Aggregation {
+                cause,
+                node,
+                round: RoundIndex::new(fault + lag),
+                epsilon: 0,
+            },
+            SpanEvent::Analysis {
+                cause,
+                node,
+                round: RoundIndex::new(fault + lag),
+                ok: 0,
+                faulty: 3,
+                epsilon: 0,
+                decided: Some(false),
+            },
+            SpanEvent::Update {
+                cause,
+                node,
+                round: RoundIndex::new(fault + lag),
+                kind: UpdateKind::Penalty,
+                counter: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn chains_group_by_cause_and_measure_latency() {
+        let mut spans = chain_spans(2, 10, 3);
+        spans.extend(chain_spans(3, 12, 2));
+        let chains = group_chains(&spans);
+        assert_eq!(chains.len(), 2);
+        let c = &chains[0];
+        assert_eq!(c.cause().subject, NodeId::new(2));
+        assert_eq!(c.fault_round(), RoundIndex::new(10));
+        assert_eq!(c.detection_round(), Some(RoundIndex::new(11)));
+        assert_eq!(c.tx_round(), Some(RoundIndex::new(12)));
+        assert_eq!(c.decided_round(), Some(RoundIndex::new(13)));
+        assert_eq!(c.detection_latency(), Some(3));
+        assert_eq!(c.read_alignment_delay(), Some(1));
+        assert_eq!(c.send_alignment_delay(), Some(1));
+        assert!(c.convicted());
+        assert_eq!(chains[1].detection_latency(), Some(2));
+        assert_eq!(chains[1].send_alignment_delay(), Some(0));
+        for phase in TracePhase::ALL {
+            assert!(c.has_phase(phase));
+        }
+    }
+
+    #[test]
+    fn latency_summary_histograms_and_bound() {
+        let mut spans = chain_spans(2, 10, 3);
+        spans.extend(chain_spans(3, 12, 2));
+        // An undiagnosed chain: detection only, run ended before analysis.
+        spans.push(SpanEvent::Detection {
+            cause: CauseId::new(NodeId::new(4), RoundIndex::new(30)),
+            node: NodeId::new(1),
+            round: RoundIndex::new(31),
+        });
+        let chains = group_chains(&spans);
+        let s = LatencySummary::of(&chains);
+        assert_eq!(s.diagnosed(), 2);
+        assert_eq!(s.undiagnosed, 1);
+        assert_eq!(s.max_latency(), Some(3));
+        assert_eq!(s.latency_histogram.get(&3), Some(&1));
+        // The undiagnosed chain still measured its read-alignment delay.
+        assert_eq!(s.read_alignment.get(&1), Some(&3));
+        assert!(LatencySummary::check_bound(&chains, LATENCY_BOUND_ROUNDS).is_ok());
+        let err = LatencySummary::check_bound(&chains, 2).unwrap_err();
+        assert_eq!(err, vec![CauseId::new(NodeId::new(2), RoundIndex::new(10))]);
+    }
+
+    #[test]
+    fn summary_renders_chain_rows() {
+        let chains = group_chains(&chain_spans(2, 10, 3));
+        let text = render_provenance_summary(&chains);
+        assert!(text.contains("faulty"));
+        assert!(text.contains("max latency 3 rounds (bound 4)"));
+        assert!(render_provenance_summary(&[]).contains("no provenance spans"));
+    }
+
+    #[test]
+    fn jsonl_round_trips_spans() {
+        let spans = chain_spans(2, 10, 3);
+        let jsonl = spans_to_jsonl(&spans);
+        let parsed: Vec<SpanEvent> = jsonl
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(parsed, spans);
+    }
+
+    fn field<'a>(v: &'a Value, key: &str) -> &'a Value {
+        Value::get_field(v.as_map().unwrap(), key).unwrap()
+    }
+
+    fn as_f64(v: &Value) -> f64 {
+        match v {
+            Value::F64(f) => *f,
+            Value::U64(u) => *u as f64,
+            Value::I64(i) => *i as f64,
+            other => panic!("not a number: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn perfetto_export_is_valid_chrome_trace_json() {
+        let spans = chain_spans(2, 10, 3);
+        let round = Nanos::from_micros(2_500);
+        let text = spans_to_perfetto(&spans, round);
+        let doc: Value = serde_json::from_str(&text).unwrap();
+        let events = field(&doc, "traceEvents").as_seq().unwrap();
+        let ph = |e: &&Value, p: &str| field(e, "ph").as_str() == Some(p);
+        // One metadata event per node track plus one slice per span.
+        let meta: Vec<&Value> = events.iter().filter(|e| ph(e, "M")).collect();
+        let slices: Vec<&Value> = events.iter().filter(|e| ph(e, "X")).collect();
+        assert_eq!(meta.len(), 2, "tracks for node 1 and the subject node 2");
+        assert_eq!(slices.len(), spans.len());
+        for s in &slices {
+            assert!(as_f64(field(s, "dur")) > 0.0);
+            assert_eq!(field(field(s, "args"), "subject"), &Value::U64(2));
+            assert_eq!(field(field(s, "args"), "diagnosed"), &Value::U64(10));
+        }
+        let named = |name: &str| {
+            slices
+                .iter()
+                .find(|s| field(s, "name").as_str() == Some(name))
+                .unwrap()
+        };
+        // The slot-fault slice sits on the subject's own track at the
+        // fault round's start.
+        let fault = named("slot_fault");
+        assert_eq!(field(fault, "tid"), &Value::U64(2));
+        assert_eq!(as_f64(field(fault, "ts")), 10.0 * 2_500.0);
+        // Phase sub-slots order a chain left to right within a round.
+        assert!(as_f64(field(named("analysis"), "ts")) < as_f64(field(named("update"), "ts")));
+    }
+}

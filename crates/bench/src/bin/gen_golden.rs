@@ -16,6 +16,10 @@ fn main() {
             let report = tt_bench::canonical_metrics_report();
             serde_json::to_string_pretty(&report).unwrap() + "\n"
         }),
+        ("metrics_events_lightning.json", {
+            let report = tt_bench::lightning_metrics_report();
+            serde_json::to_string_pretty(&report).unwrap() + "\n"
+        }),
     ] {
         std::fs::write(dir.join(name), content).unwrap();
         println!("wrote {name}");

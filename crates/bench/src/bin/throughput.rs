@@ -154,6 +154,16 @@ fn main() {
         overhead.noop_over_recording,
         overhead.recorded_events
     );
+    println!(
+        "tracing overhead       (N={}, {} rounds): noop {:>9.0} r/s | tracing   {:>9.0} r/s \
+         | {:.2}x | {} spans",
+        overhead.n_nodes,
+        overhead.rounds,
+        overhead.noop_rounds_per_sec,
+        overhead.tracing_rounds_per_sec,
+        overhead.noop_over_tracing,
+        overhead.recorded_spans
+    );
 
     let report = ThroughputReport {
         rounds,

@@ -27,7 +27,8 @@ pub mod parallel;
 pub use comparison::comparison_report;
 pub use experiments::*;
 pub use observability::{
-    canonical_metrics_report, check_rounds_gate, measure_overhead, normalize_report,
-    OverheadSample, RoundsSample, ThroughputBaseline, GATE_MAX_REGRESSION, GATE_N_NODES,
+    canonical_metrics_report, check_rounds_gate, lightning_metrics_report, measure_overhead,
+    normalize_report, OverheadSample, RoundsSample, ThroughputBaseline, GATE_MAX_REGRESSION,
+    GATE_N_NODES,
 };
 pub use parallel::{run_parallel_campaign, run_parallel_campaign_legacy, CampaignExecutor};

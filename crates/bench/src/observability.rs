@@ -9,9 +9,10 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 use tt_core::{DiagJob, ProtocolConfig};
+use tt_fault::{DisturbanceNode, TransientScenario};
 use tt_sim::{
-    Cluster, ClusterBuilder, MetricsEvent, MetricsReport, MetricsSink, NoFaults, NodeId,
-    RecordingSink, SlotEffect, TraceMode, TxCtx,
+    Cluster, ClusterBuilder, CommunicationSchedule, MetricsEvent, MetricsReport, MetricsSink,
+    Nanos, NoFaults, NodeId, RecordingSink, RecordingTraceSink, SlotEffect, TraceMode, TxCtx,
 };
 
 /// One rounds/sec measurement of the substrate hot path, as written to
@@ -98,6 +99,17 @@ pub struct OverheadSample {
     /// Events the recording side captured, as a sanity check that the
     /// instrumentation was actually live.
     pub recorded_events: u64,
+    /// Rounds/sec with a live [`RecordingTraceSink`] installed (provenance
+    /// tracing enabled on every phase of the pipeline).
+    pub tracing_rounds_per_sec: f64,
+    /// `noop / tracing` — the cost of enabling provenance tracing. On a
+    /// healthy cluster this is pure `enabled()` guards, so ~1.0.
+    pub noop_over_tracing: f64,
+    /// Spans the tracing side captured. A healthy cluster diagnoses no
+    /// faults, so this stays 0 — tracing is *silent*, not merely cheap,
+    /// in the steady state (span liveness is pinned down by
+    /// `tests/provenance_integration.rs`).
+    pub recorded_spans: u64,
 }
 
 fn diag_cluster(n: usize, config: &ProtocolConfig, sink: Option<Arc<dyn MetricsSink>>) -> Cluster {
@@ -120,7 +132,9 @@ fn timed_rounds(cluster: &mut Cluster, rounds: u64) -> f64 {
 
 /// Measures the overhead of live metrics collection on a healthy n-node
 /// diagnostic cluster: the same fixed number of rounds is driven once with
-/// the default noop sink and once with a [`RecordingSink`].
+/// the default noop sinks, once with a [`RecordingSink`] capturing every
+/// metrics event, and once with a [`RecordingTraceSink`] capturing every
+/// provenance span.
 pub fn measure_overhead(n: usize, rounds: u64) -> OverheadSample {
     let config = ProtocolConfig::builder(n)
         .penalty_threshold(197)
@@ -135,6 +149,16 @@ pub fn measure_overhead(n: usize, rounds: u64) -> OverheadSample {
     let mut recording = diag_cluster(n, &config, Some(sink.clone()));
     let recording_rounds_per_sec = timed_rounds(&mut recording, rounds);
 
+    let trace_sink = Arc::new(RecordingTraceSink::new());
+    let mut traced = ClusterBuilder::new(n)
+        .trace_mode(TraceMode::Off)
+        .trace_sink(trace_sink.clone())
+        .build_with_jobs(
+            |id| Box::new(DiagJob::new(id, config.clone())),
+            Box::new(NoFaults),
+        );
+    let tracing_rounds_per_sec = timed_rounds(&mut traced, rounds);
+
     OverheadSample {
         n_nodes: n,
         rounds,
@@ -142,6 +166,9 @@ pub fn measure_overhead(n: usize, rounds: u64) -> OverheadSample {
         recording_rounds_per_sec,
         noop_over_recording: noop_rounds_per_sec / recording_rounds_per_sec,
         recorded_events: sink.event_count() as u64,
+        tracing_rounds_per_sec,
+        noop_over_tracing: noop_rounds_per_sec / tracing_rounds_per_sec,
+        recorded_spans: trace_sink.span_count() as u64,
     }
 }
 
@@ -201,6 +228,40 @@ pub fn canonical_metrics_report() -> MetricsReport {
     report
 }
 
+/// The second canonical instrumented scenario, behind
+/// `tests/golden/metrics_events_lightning.json`: the Table 3 aerospace
+/// lightning-bolt transient driven against a 4-node cluster tuned with the
+/// aerospace penalty threshold `P = 17` and `R = 2`, for 24 rounds. The
+/// burst hits every node's slots, so the stream exercises simultaneous
+/// multi-column accusations and the forgiveness path — a shape the
+/// intermittent scenario above never produces. The returned report is
+/// [normalized](normalize_report) and therefore fully deterministic.
+pub fn lightning_metrics_report() -> MetricsReport {
+    let n = 4;
+    let round_length = Nanos::from_micros(2_500);
+    let sink = Arc::new(RecordingSink::new());
+    let config = ProtocolConfig::builder(n)
+        .penalty_threshold(17)
+        .reward_threshold(2)
+        .build()
+        .expect("valid protocol config");
+    let sched = CommunicationSchedule::new(n, round_length).expect("valid schedule");
+    let mut pipeline = DisturbanceNode::new(0);
+    pipeline.push(TransientScenario::lightning_bolt().to_disturbance(&sched, Nanos::ZERO));
+    let mut cluster = ClusterBuilder::new(n)
+        .round_length(round_length)
+        .trace_mode(TraceMode::Off)
+        .metrics_sink(sink.clone())
+        .build_with_jobs(
+            |id| Box::new(DiagJob::new(id, config.clone())),
+            Box::new(pipeline),
+        );
+    cluster.run_rounds(24);
+    let mut report = sink.report();
+    normalize_report(&mut report);
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,6 +293,28 @@ mod tests {
         assert!(s.noop_rounds_per_sec > 0.0);
         assert!(s.recording_rounds_per_sec > 0.0);
         assert!(s.recorded_events > 0, "recording side captured events");
+        assert!(s.tracing_rounds_per_sec > 0.0);
+        assert_eq!(s.recorded_spans, 0, "healthy cluster emits no spans");
+    }
+
+    #[test]
+    fn lightning_report_is_deterministic_and_complete() {
+        let a = lightning_metrics_report();
+        let b = lightning_metrics_report();
+        assert_eq!(a, b, "normalized lightning report must be reproducible");
+
+        let summary = EventSummary::of(&a.events);
+        assert_eq!(summary.count("round_completed"), 24);
+        assert!(summary.count("slot_fault") > 0, "the burst hits the bus");
+        assert!(
+            summary.count("penalty_charged") > 0,
+            "victims get penalized"
+        );
+        assert!(
+            summary.count("forgiveness") > 0,
+            "R = 2 forgives the transient before P = 17 isolates"
+        );
+        assert_eq!(summary.count("isolation"), 0, "no one is isolated");
     }
 
     #[test]

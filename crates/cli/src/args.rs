@@ -15,6 +15,7 @@
 //!
 //! ```text
 //! crash:NODE@ROUND          permanent benign sender fault
+//! intermittent:NODE@ROUND/PERIOD  recurring benign sender fault
 //! burst:LEN@ROUND.SLOT      bus burst of LEN slots from ROUND/SLOT
 //! noise:P                   benign noise with per-slot probability P
 //! asym:NODE@ROUND:R1,R2     asymmetric fault detected by receivers R1,R2
@@ -33,6 +34,15 @@ pub enum FaultSpec {
         node: u32,
         /// Round the crash begins.
         round: u64,
+    },
+    /// `intermittent:NODE@ROUND/PERIOD`
+    Intermittent {
+        /// 1-based node id.
+        node: u32,
+        /// First faulty round.
+        round: u64,
+        /// The fault recurs every `period` rounds.
+        period: u64,
     },
     /// `burst:LEN@ROUND.SLOT`
     Burst {
@@ -129,6 +139,27 @@ pub enum Command {
         format: MetricsFormat,
         /// Write the output to this path instead of stdout.
         out: Option<String>,
+        /// Write the fault trace (with replayable effects) to this path.
+        record: Option<String>,
+    },
+    /// Run a trace-instrumented cluster and export the provenance spans.
+    Trace {
+        /// Cluster size.
+        nodes: usize,
+        /// Rounds to simulate.
+        rounds: u64,
+        /// Penalty threshold `P`.
+        penalty: u64,
+        /// Reward threshold `R`.
+        reward: u64,
+        /// Seed for randomized disturbances.
+        seed: u64,
+        /// Injected faults.
+        faults: Vec<FaultSpec>,
+        /// Output format.
+        format: TraceFormat,
+        /// Write the output to this path instead of stdout.
+        out: Option<String>,
     },
     /// Run the Sec. 8 validation campaign.
     Campaign {
@@ -161,6 +192,30 @@ impl MetricsFormat {
             "csv" => Ok(MetricsFormat::Csv),
             "summary" => Ok(MetricsFormat::Summary),
             other => err(format!("unknown format {other:?} (json|csv|summary)")),
+        }
+    }
+}
+
+/// Output format of `ttdiag trace`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceFormat {
+    /// Human-readable provenance-chain and latency tables (default).
+    #[default]
+    Summary,
+    /// One span event as JSON per line.
+    Jsonl,
+    /// Chrome trace-event JSON for Perfetto / `chrome://tracing`.
+    Perfetto,
+}
+
+impl TraceFormat {
+    /// Parses a `--format` value.
+    pub fn parse(s: &str) -> Result<Self, ParseError> {
+        match s {
+            "summary" => Ok(TraceFormat::Summary),
+            "jsonl" => Ok(TraceFormat::Jsonl),
+            "perfetto" => Ok(TraceFormat::Perfetto),
+            other => err(format!("unknown format {other:?} (jsonl|perfetto|summary)")),
         }
     }
 }
@@ -204,6 +259,23 @@ impl FaultSpec {
             "crash" => {
                 let (node, round) = parse_at(rest, "crash")?;
                 Ok(FaultSpec::Crash { node, round })
+            }
+            "intermittent" => {
+                let (at, period) = rest.rsplit_once('/').ok_or_else(|| {
+                    ParseError(format!(
+                        "intermittent must be NODE@ROUND/PERIOD, got {rest:?}"
+                    ))
+                })?;
+                let (node, round) = parse_at(at, "intermittent")?;
+                let period: u64 = parse_num(period, "period")?;
+                if period == 0 {
+                    return err("intermittent period must be positive");
+                }
+                Ok(FaultSpec::Intermittent {
+                    node,
+                    round,
+                    period,
+                })
             }
             "burst" => {
                 let (len, at) = rest.split_once('@').ok_or_else(|| {
@@ -354,6 +426,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut faults = Vec::new();
             let mut format = MetricsFormat::default();
             let mut out = None;
+            let mut record = None;
             let mut it = rest.iter();
             while let Some(a) = it.next() {
                 let mut val = |name: &str| -> Result<&String, ParseError> {
@@ -369,6 +442,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "--fault" => faults.push(FaultSpec::parse(val("--fault")?)?),
                     "--format" => format = MetricsFormat::parse(val("--format")?)?,
                     "--out" => out = Some(val("--out")?.clone()),
+                    "--record" => record = Some(val("--record")?.clone()),
                     other => return err(format!("unknown metrics flag {other:?}")),
                 }
             }
@@ -376,6 +450,48 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 return err("need at least 2 nodes");
             }
             Ok(Command::Metrics {
+                nodes,
+                rounds,
+                penalty,
+                reward,
+                seed,
+                faults,
+                format,
+                out,
+                record,
+            })
+        }
+        "trace" => {
+            let mut nodes = 4usize;
+            let mut rounds = 50u64;
+            let mut penalty = 197u64;
+            let mut reward = 1_000_000u64;
+            let mut seed = 0u64;
+            let mut faults = Vec::new();
+            let mut format = TraceFormat::default();
+            let mut out = None;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                let mut val = |name: &str| -> Result<&String, ParseError> {
+                    it.next()
+                        .ok_or_else(|| ParseError(format!("{name} needs a value")))
+                };
+                match a.as_str() {
+                    "--nodes" => nodes = parse_num(val("--nodes")?, "nodes")?,
+                    "--rounds" => rounds = parse_num(val("--rounds")?, "rounds")?,
+                    "--penalty" => penalty = parse_num(val("--penalty")?, "penalty")?,
+                    "--reward" => reward = parse_num(val("--reward")?, "reward")?,
+                    "--seed" => seed = parse_num(val("--seed")?, "seed")?,
+                    "--fault" => faults.push(FaultSpec::parse(val("--fault")?)?),
+                    "--format" => format = TraceFormat::parse(val("--format")?)?,
+                    "--out" => out = Some(val("--out")?.clone()),
+                    other => return err(format!("unknown trace flag {other:?}")),
+                }
+            }
+            if nodes < 2 {
+                return err("need at least 2 nodes");
+            }
+            Ok(Command::Trace {
                 nodes,
                 rounds,
                 penalty,
@@ -434,7 +550,11 @@ USAGE:
                   [--timeline]             re-drive a recorded trace
   ttdiag metrics [--nodes N] [--rounds R] [--penalty P] [--reward R]
                   [--seed S] [--fault SPEC]... [--format json|csv|summary]
-                  [--out PATH]             instrumented run -> metrics dump
+                  [--out PATH] [--record PATH]
+                                           instrumented run -> metrics dump
+  ttdiag trace   [--nodes N] [--rounds R] [--penalty P] [--reward R]
+                  [--seed S] [--fault SPEC]... [--format jsonl|perfetto|summary]
+                  [--out PATH]             provenance spans for each diagnosis
   ttdiag tune [automotive|aerospace]       regenerate the Table 2 tuning
   ttdiag isolation [automotive|aerospace]  Table 4 time-to-isolation rows
   ttdiag campaign [--reps N] [--json PATH] Sec. 8 validation campaign
@@ -442,6 +562,8 @@ USAGE:
 
 FAULT SPECS:
   crash:NODE@ROUND         permanent benign sender fault
+  intermittent:NODE@ROUND/PERIOD
+                           benign sender fault recurring every PERIOD rounds
   burst:LEN@ROUND.SLOT     bus burst of LEN slots
   noise:P                  per-slot benign noise, probability P
   asym:NODE@ROUND:R1,R2    asymmetric fault missed by receivers R1,R2
@@ -451,6 +573,8 @@ FAULT SPECS:
 EXAMPLES:
   ttdiag simulate --fault crash:3@12 --timeline
   ttdiag metrics --fault crash:3@12 --format json
+  ttdiag trace --rounds 16 --penalty 3 --reward 2 --fault intermittent:2@4/2 \\
+               --format perfetto --out trace.json
   ttdiag metrics --rounds 200 --fault noise:0.05 --format csv --out events.csv
   ttdiag simulate --fault noise:0.1 --record trace.json
   ttdiag replay trace.json --penalty 10
@@ -545,6 +669,14 @@ mod tests {
                 name: "lightning".into()
             }
         );
+        assert_eq!(
+            FaultSpec::parse("intermittent:2@4/2").unwrap(),
+            FaultSpec::Intermittent {
+                node: 2,
+                round: 4,
+                period: 2
+            }
+        );
     }
 
     #[test]
@@ -565,6 +697,14 @@ mod tests {
             .unwrap_err()
             .0
             .contains("unknown scenario"));
+        assert!(FaultSpec::parse("intermittent:2@4")
+            .unwrap_err()
+            .0
+            .contains("NODE@ROUND/PERIOD"));
+        assert!(FaultSpec::parse("intermittent:2@4/0")
+            .unwrap_err()
+            .0
+            .contains("period must be positive"));
     }
 
     #[test]
@@ -581,10 +721,11 @@ mod tests {
                 faults: vec![],
                 format: MetricsFormat::Json,
                 out: None,
+                record: None,
             }
         );
         let c = parse(&args(
-            "metrics --rounds 20 --fault crash:3@5 --format csv --out events.csv",
+            "metrics --rounds 20 --fault crash:3@5 --format csv --out events.csv --record t.json",
         ))
         .unwrap();
         match c {
@@ -593,17 +734,73 @@ mod tests {
                 faults,
                 format,
                 out,
+                record,
                 ..
             } => {
                 assert_eq!(rounds, 20);
                 assert_eq!(faults, vec![FaultSpec::Crash { node: 3, round: 5 }]);
                 assert_eq!(format, MetricsFormat::Csv);
                 assert_eq!(out, Some("events.csv".into()));
+                assert_eq!(record, Some("t.json".into()));
             }
             other => panic!("{other:?}"),
         }
         assert!(parse(&args("metrics --format xml")).is_err());
         assert!(parse(&args("metrics --nodes 1")).is_err());
+    }
+
+    #[test]
+    fn trace_defaults_and_flags() {
+        let c = parse(&args("trace")).unwrap();
+        assert_eq!(
+            c,
+            Command::Trace {
+                nodes: 4,
+                rounds: 50,
+                penalty: 197,
+                reward: 1_000_000,
+                seed: 0,
+                faults: vec![],
+                format: TraceFormat::Summary,
+                out: None,
+            }
+        );
+        let c = parse(&args(
+            "trace --rounds 16 --penalty 3 --reward 2 --fault intermittent:2@4/2 \
+             --format perfetto --out trace.json",
+        ))
+        .unwrap();
+        match c {
+            Command::Trace {
+                rounds,
+                penalty,
+                reward,
+                faults,
+                format,
+                out,
+                ..
+            } => {
+                assert_eq!((rounds, penalty, reward), (16, 3, 2));
+                assert_eq!(
+                    faults,
+                    vec![FaultSpec::Intermittent {
+                        node: 2,
+                        round: 4,
+                        period: 2
+                    }]
+                );
+                assert_eq!(format, TraceFormat::Perfetto);
+                assert_eq!(out, Some("trace.json".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            TraceFormat::parse("jsonl").unwrap(),
+            TraceFormat::Jsonl,
+            "jsonl accepted"
+        );
+        assert!(parse(&args("trace --format xml")).is_err());
+        assert!(parse(&args("trace --nodes 1")).is_err());
     }
 
     #[test]

@@ -1,17 +1,19 @@
 //! Execution of the parsed `ttdiag` commands.
 
 use tt_analysis::{
-    aerospace_setup, automotive_setup, availability_of, measure_time_to_isolation, tune, Table,
+    aerospace_setup, automotive_setup, availability_of, group_chains, measure_time_to_isolation,
+    render_provenance_summary, spans_to_jsonl, spans_to_perfetto, tune, LatencySummary, Table,
+    LATENCY_BOUND_ROUNDS,
 };
 use tt_core::properties::{check_diag_cluster, checkable_rounds};
 use tt_core::{DiagJob, ProtocolConfig};
 use tt_fault::{
     run_campaign, sec8_classes, AsymmetricDisturbance, Burst, ContinuousFault, DisturbanceNode,
-    RandomNoise, TransientScenario,
+    IntermittentFault, RandomNoise, TransientScenario,
 };
-use tt_sim::{timeline, ClusterBuilder, Nanos, NodeId, RoundIndex, TraceMode};
+use tt_sim::{timeline, ClusterBuilder, Nanos, NodeId, RecordingTraceSink, RoundIndex, TraceMode};
 
-use crate::args::{Command, FaultSpec, MetricsFormat};
+use crate::args::{Command, FaultSpec, MetricsFormat, TraceFormat};
 
 /// Runs a command, returning the text to print or an error message.
 pub fn run(cmd: Command) -> Result<String, String> {
@@ -42,9 +44,25 @@ pub fn run(cmd: Command) -> Result<String, String> {
             faults,
             format,
             out,
+            record,
         } => {
             let pipeline = build_pipeline(&faults, nodes, seed)?;
-            metrics(nodes, rounds, penalty, reward, pipeline, format, out)
+            metrics(
+                nodes, rounds, penalty, reward, pipeline, format, out, record,
+            )
+        }
+        Command::Trace {
+            nodes,
+            rounds,
+            penalty,
+            reward,
+            seed,
+            faults,
+            format,
+            out,
+        } => {
+            let pipeline = Box::new(build_pipeline(&faults, nodes, seed)?);
+            trace(nodes, rounds, penalty, reward, pipeline, format, out)
         }
         Command::Replay {
             trace,
@@ -80,6 +98,20 @@ fn build_pipeline(faults: &[FaultSpec], n: usize, seed: u64) -> Result<Disturban
                 node.push(ContinuousFault::new(
                     NodeId::new(*id),
                     RoundIndex::new(*round),
+                ));
+            }
+            FaultSpec::Intermittent {
+                node: id,
+                round,
+                period,
+            } => {
+                if *id as usize > n {
+                    return Err(format!("intermittent: node {id} exceeds cluster size {n}"));
+                }
+                node.push(IntermittentFault::new(
+                    NodeId::new(*id),
+                    RoundIndex::new(*round),
+                    *period,
                 ));
             }
             FaultSpec::Burst { len, round, slot } => {
@@ -186,15 +218,22 @@ fn simulate(
         report.violations.len()
     ));
     if let Some(path) = record {
-        let body = serde_json::to_string_pretty(cluster.trace()).map_err(|e| e.to_string())?;
-        std::fs::write(&path, body).map_err(|e| format!("writing {path}: {e}"))?;
-        out.push_str(&format!(
-            "\nrecorded fault trace to {path} (replay with `ttdiag replay {path}`)\n"
-        ));
+        out.push_str(&record_fault_trace(cluster.trace(), &path)?);
     }
     Ok(out)
 }
 
+/// Serializes a cluster's fault trace to `path` — the single implementation
+/// behind both `simulate --record` and `metrics --record`.
+fn record_fault_trace(trace: &tt_sim::Trace, path: &str) -> Result<String, String> {
+    let body = serde_json::to_string_pretty(trace).map_err(|e| e.to_string())?;
+    std::fs::write(path, body).map_err(|e| format!("writing {path}: {e}"))?;
+    Ok(format!(
+        "\nrecorded fault trace to {path} (replay with `ttdiag replay {path}`)\n"
+    ))
+}
+
+#[allow(clippy::too_many_arguments)]
 fn metrics(
     n: usize,
     rounds: u64,
@@ -203,6 +242,7 @@ fn metrics(
     pipeline: DisturbanceNode,
     format: MetricsFormat,
     out: Option<String>,
+    record: Option<String>,
 ) -> Result<String, String> {
     let sink = std::sync::Arc::new(tt_sim::RecordingSink::new());
     // Both sides of the bus report into the same sink: the disturbance node
@@ -213,24 +253,92 @@ fn metrics(
         .reward_threshold(reward)
         .build()
         .map_err(|e| e.to_string())?;
-    let mut cluster = ClusterBuilder::new(n)
+    let mut builder = ClusterBuilder::new(n)
         .round_length(round_for(n))
-        .metrics_sink(sink.clone())
-        .build_with_jobs(|id| Box::new(DiagJob::new(id, config.clone())), pipeline);
+        .metrics_sink(sink.clone());
+    if record.is_some() {
+        // Recording needs the bus-level fault trace alongside the metrics.
+        builder = builder.trace_mode(TraceMode::Anomalies);
+    }
+    let mut cluster =
+        builder.build_with_jobs(|id| Box::new(DiagJob::new(id, config.clone())), pipeline);
     cluster.run_rounds(rounds);
 
     let report = sink.report();
-    let body = match format {
+    let mut body = match format {
         MetricsFormat::Json => serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?,
         MetricsFormat::Csv => tt_analysis::events_to_csv(&report.events),
         MetricsFormat::Summary => tt_analysis::render_summary(&report),
+    };
+    let recorded = match record {
+        Some(path) => record_fault_trace(cluster.trace(), &path)?,
+        None => String::new(),
     };
     match out {
         Some(path) => {
             std::fs::write(&path, &body).map_err(|e| format!("writing {path}: {e}"))?;
             Ok(format!(
-                "wrote {} events ({} bytes) to {path}\n",
+                "wrote {} events ({} bytes) to {path}\n{recorded}",
                 report.events.len(),
+                body.len()
+            ))
+        }
+        None => {
+            body.push_str(&recorded);
+            Ok(body)
+        }
+    }
+}
+
+fn trace(
+    n: usize,
+    rounds: u64,
+    penalty: u64,
+    reward: u64,
+    pipeline: Box<dyn tt_sim::FaultPipeline>,
+    format: TraceFormat,
+    out: Option<String>,
+) -> Result<String, String> {
+    let sink = std::sync::Arc::new(RecordingTraceSink::new());
+    let config = ProtocolConfig::builder(n)
+        .penalty_threshold(penalty)
+        .reward_threshold(reward)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let mut cluster = ClusterBuilder::new(n)
+        .round_length(round_for(n))
+        .trace_sink(sink.clone())
+        .build_with_jobs(|id| Box::new(DiagJob::new(id, config.clone())), pipeline);
+    cluster.run_rounds(rounds);
+
+    let spans = sink.spans();
+    let body = match format {
+        TraceFormat::Jsonl => spans_to_jsonl(&spans),
+        TraceFormat::Perfetto => spans_to_perfetto(&spans, round_for(n)),
+        TraceFormat::Summary => {
+            let chains = group_chains(&spans);
+            let mut s = render_provenance_summary(&chains);
+            match LatencySummary::check_bound(&chains, LATENCY_BOUND_ROUNDS) {
+                Ok(_) => s.push_str(&format!(
+                    "\nall diagnosed faults within the {LATENCY_BOUND_ROUNDS}-round bound\n"
+                )),
+                Err(violations) => {
+                    return Err(format!(
+                        "{s}\nlatency bound of {LATENCY_BOUND_ROUNDS} rounds violated for {} \
+                         chain(s)",
+                        violations.len()
+                    ))
+                }
+            }
+            s
+        }
+    };
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &body).map_err(|e| format!("writing {path}: {e}"))?;
+            Ok(format!(
+                "wrote {} spans ({} bytes) to {path}\n",
+                spans.len(),
                 body.len()
             ))
         }
@@ -451,6 +559,7 @@ mod tests {
             faults: vec![FaultSpec::Crash { node: 3, round: 5 }],
             format: MetricsFormat::Json,
             out: None,
+            record: None,
         })
         .unwrap();
         let report: tt_sim::MetricsReport = serde_json::from_str(&out).unwrap();
@@ -480,6 +589,7 @@ mod tests {
             faults: vec![FaultSpec::Crash { node: 3, round: 5 }],
             format: MetricsFormat::Csv,
             out: None,
+            record: None,
         })
         .unwrap();
         assert!(csv.starts_with(tt_analysis::EVENTS_CSV_HEADER), "{csv}");
@@ -493,6 +603,7 @@ mod tests {
             faults: vec![FaultSpec::Crash { node: 3, round: 5 }],
             format: MetricsFormat::Summary,
             out: None,
+            record: None,
         })
         .unwrap();
         assert!(summary.contains("sim.rounds"), "{summary}");
@@ -512,12 +623,111 @@ mod tests {
             faults: vec![],
             format: MetricsFormat::Json,
             out: Some(path.clone()),
+            record: None,
         })
         .unwrap();
         assert!(msg.contains("wrote"), "{msg}");
         let body = std::fs::read_to_string(&path).unwrap();
         let report: tt_sim::MetricsReport = serde_json::from_str(&body).unwrap();
         assert!(report.counters.iter().any(|c| c.name == "sim.rounds"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    /// The canonical intermittent-fault scenario used throughout the
+    /// observability docs: node 2 blinks every other round from round 4,
+    /// node 3 suffers a single benign fault in round 5.
+    fn canonical_trace_cmd(format: TraceFormat, out: Option<String>) -> Command {
+        Command::Trace {
+            nodes: 4,
+            rounds: 16,
+            penalty: 3,
+            reward: 2,
+            seed: 0,
+            faults: vec![
+                FaultSpec::Intermittent {
+                    node: 2,
+                    round: 4,
+                    period: 2,
+                },
+                FaultSpec::Burst {
+                    len: 1,
+                    round: 5,
+                    slot: 2,
+                },
+            ],
+            format,
+            out,
+        }
+    }
+
+    #[test]
+    fn trace_summary_reports_bounded_latency() {
+        let out = run(canonical_trace_cmd(TraceFormat::Summary, None)).unwrap();
+        assert!(out.contains("N2"), "{out}");
+        assert!(out.contains("within the 4-round bound"), "{out}");
+    }
+
+    #[test]
+    fn trace_jsonl_emits_one_span_per_line() {
+        let out = run(canonical_trace_cmd(TraceFormat::Jsonl, None)).unwrap();
+        assert!(!out.is_empty());
+        for line in out.lines() {
+            let v: serde::Value = serde_json::from_str(line).unwrap();
+            assert!(v.as_map().is_some(), "span line is an object: {line}");
+        }
+    }
+
+    #[test]
+    fn trace_perfetto_writes_chrome_trace_json() {
+        let path = std::env::temp_dir().join("ttdiag_cli_test_perfetto.json");
+        let path = path.to_string_lossy().to_string();
+        let msg = run(canonical_trace_cmd(
+            TraceFormat::Perfetto,
+            Some(path.clone()),
+        ))
+        .unwrap();
+        assert!(msg.contains("wrote"), "{msg}");
+        let body = std::fs::read_to_string(&path).unwrap();
+        let v: serde::Value = serde_json::from_str(&body).unwrap();
+        let map = v.as_map().unwrap();
+        let events = serde::Value::get_field(map, "traceEvents")
+            .and_then(|e| e.as_seq())
+            .unwrap();
+        assert!(!events.is_empty(), "trace has events");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn metrics_record_roundtrips_through_replay() {
+        let path = std::env::temp_dir().join("ttdiag_cli_test_metrics_trace.json");
+        let path = path.to_string_lossy().to_string();
+        let out = run(Command::Metrics {
+            nodes: 4,
+            rounds: 30,
+            penalty: 1_000,
+            reward: 1_000,
+            seed: 5,
+            faults: vec![FaultSpec::Burst {
+                len: 8,
+                round: 10,
+                slot: 0,
+            }],
+            format: MetricsFormat::Summary,
+            out: None,
+            record: Some(path.clone()),
+        })
+        .unwrap();
+        assert!(out.contains("recorded fault trace"), "{out}");
+        let rep = run(Command::Replay {
+            trace: path.clone(),
+            nodes: 4,
+            rounds: 30,
+            penalty: 1,
+            reward: 1_000,
+            timeline: false,
+        })
+        .unwrap();
+        assert!(rep.contains("Faulty slots on the bus: 8"), "{rep}");
         let _ = std::fs::remove_file(path);
     }
 

@@ -85,6 +85,23 @@ pub fn diagnosis_lag(all_send_curr_round: bool) -> u64 {
     }
 }
 
+/// The diagnosed round that a local syndrome transmitted in `tx_round`
+/// refers to.
+///
+/// Inverse of the pipeline timing: a fault in round `d` appears in the
+/// aligned local syndrome whose transmission slot is round
+/// `d + diagnosis_lag - 1`, so that the analysis at round
+/// `d + diagnosis_lag` can read-align it into the diagnostic matrix.
+/// Returns `None` for start-up rounds with no complete instance behind
+/// them. Provenance consumers use this to stamp dissemination spans with
+/// the fault round they carry evidence about.
+pub fn syndrome_reference_round(
+    tx_round: tt_sim::RoundIndex,
+    all_send_curr_round: bool,
+) -> Option<tt_sim::RoundIndex> {
+    tx_round.checked_sub(diagnosis_lag(all_send_curr_round) - 1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,5 +146,23 @@ mod tests {
     fn diagnosis_lag_matches_lemma_1() {
         assert_eq!(diagnosis_lag(true), 2);
         assert_eq!(diagnosis_lag(false), 3);
+    }
+
+    #[test]
+    fn syndrome_reference_round_inverts_pipeline_timing() {
+        use tt_sim::RoundIndex;
+        // Conservative alignment (lag 3): tx in round 12 refers to round 10.
+        assert_eq!(
+            syndrome_reference_round(RoundIndex::new(12), false),
+            Some(RoundIndex::new(10))
+        );
+        // Uniform schedules (lag 2): tx in round 12 refers to round 11.
+        assert_eq!(
+            syndrome_reference_round(RoundIndex::new(12), true),
+            Some(RoundIndex::new(11))
+        );
+        // Start-up rounds with no diagnosed round behind them.
+        assert_eq!(syndrome_reference_round(RoundIndex::new(1), false), None);
+        assert_eq!(syndrome_reference_round(RoundIndex::ZERO, true), None);
     }
 }

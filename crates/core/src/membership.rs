@@ -25,7 +25,10 @@ use crate::config::ProtocolConfig;
 use crate::matrix::DiagnosticMatrix;
 use crate::penalty::{PenaltyReward, ReintegrationPolicy};
 use crate::pipeline::AlignmentBuffers;
-use crate::protocol::{emit_pr_transition, emit_vote_tallies, HealthRecord, IsolationEvent};
+use crate::protocol::{
+    emit_detection_spans, emit_dissemination_spans, emit_pr_transition, emit_vote_spans,
+    emit_vote_tallies, span_for_transition, HealthRecord, IsolationEvent,
+};
 use crate::syndrome::{Syndrome, SyndromeRow};
 
 /// A membership view: the agreed set of participating nodes.
@@ -183,6 +186,11 @@ impl MembershipJob {
         if metrics_on {
             emit_vote_tallies(sink, &matrix, node, k, diagnosed);
         }
+        let tracer = ctx.tracing();
+        let tracing_on = tracer.enabled();
+        if tracing_on {
+            emit_vote_spans(tracer, &matrix, node, k, diagnosed);
+        }
         // Minority accusations: disseminated with the *next* syndrome.
         let accusations = self.minority_accusations(&al_dm, &cons_hv);
         for &a in &accusations {
@@ -193,6 +201,9 @@ impl MembershipJob {
             sink.counter("core.pr_transitions", 1);
             if metrics_on {
                 emit_pr_transition(sink, t, node, k, diagnosed);
+            }
+            if tracing_on {
+                tracer.span(&span_for_transition(t, node, k, diagnosed));
             }
         });
         for iso in newly_isolated {
@@ -249,14 +260,19 @@ impl Job for MembershipJob {
     fn execute(&mut self, ctx: &mut JobCtx<'_>) {
         let sink = ctx.metrics();
         let metrics_on = sink.enabled();
+        let tracer = ctx.tracing();
+        let tracing_on = tracer.enabled();
         // Phases 1 & 3: read + alignment.
         let aligned = self.bufs.read_and_align(ctx);
         if metrics_on {
             sink.emit(&MetricsEvent::Aggregation {
                 node: self.node,
                 round: ctx.round(),
-                epsilon_rows: aligned.al_dm.iter().filter(|r| r.is_none()).count() as u64,
+                epsilon_rows: aligned.epsilon_rows(),
             });
+        }
+        if tracing_on {
+            emit_detection_spans(tracer, &aligned.al_ls, self.node, ctx.round());
         }
         // Phase 4 runs BEFORE dissemination (Sec. 7): the consistent health
         // vector determines the minority accusations...
@@ -280,6 +296,16 @@ impl Job for MembershipJob {
                 tx_round,
                 accusations: n_accusations,
             });
+        }
+        if tracing_on {
+            emit_dissemination_spans(
+                tracer,
+                &self.bufs,
+                tx_round,
+                self.config.all_send_curr_round(),
+                self.node,
+                ctx.round(),
+            );
         }
         self.bufs.commit(aligned);
         self.activations += 1;
@@ -440,6 +466,47 @@ mod tests {
             .map(|id| job(&cluster, id).current_view().members.clone())
             .collect();
         assert!(views.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn membership_job_emits_provenance_spans() {
+        use std::sync::Arc;
+        use tt_sim::{CauseId, RecordingTraceSink, TracePhase};
+        let tracing = Arc::new(RecordingTraceSink::new());
+        let cfg = config();
+        let mut cluster = ClusterBuilder::new(4)
+            .trace_sink(tracing.clone())
+            .build_with_jobs(
+                move |id| Box::new(MembershipJob::new(id, cfg.clone())),
+                Box::new(|ctx: &TxCtx| {
+                    if ctx.sender == NodeId::new(2) && ctx.round.as_u64() >= 8 {
+                        SlotEffect::Benign
+                    } else {
+                        SlotEffect::Correct
+                    }
+                }),
+            );
+        cluster.run_rounds(20);
+        let cause = CauseId::new(NodeId::new(2), RoundIndex::new(8));
+        let spans: Vec<_> = tracing
+            .spans()
+            .into_iter()
+            .filter(|s| s.cause() == cause)
+            .collect();
+        // The first faulty round leaves the full five protocol phases plus
+        // the engine's slot-fault record.
+        for p in TracePhase::ALL {
+            assert!(
+                spans.iter().any(|s| s.phase() == p),
+                "missing phase {p:?} in {spans:?}"
+            );
+        }
+        // Analysis and update happen at round 8 + lag.
+        let decided_at = RoundIndex::new(8 + diagnosis_lag(false));
+        assert!(spans
+            .iter()
+            .filter(|s| s.phase() == TracePhase::Update)
+            .all(|s| s.round() == decided_at));
     }
 
     #[test]

@@ -71,6 +71,33 @@ pub enum PrTransition {
     },
 }
 
+impl PrTransition {
+    /// The node whose counters this transition refers to (the diagnosed
+    /// subject, not the observer running the algorithm).
+    pub fn subject(self) -> NodeId {
+        match self {
+            PrTransition::Penalized { subject, .. }
+            | PrTransition::Rewarded { subject, .. }
+            | PrTransition::Forgiven { subject }
+            | PrTransition::Isolated { subject, .. }
+            | PrTransition::Reintegrated { subject } => subject,
+        }
+    }
+
+    /// The counter value carried by the transition: the penalty after a
+    /// charge or isolation, the reward after an increment, `None` for the
+    /// resets (forgiveness and reintegration zero both counters).
+    pub fn counter_value(self) -> Option<u64> {
+        match self {
+            PrTransition::Penalized { penalty, .. } | PrTransition::Isolated { penalty, .. } => {
+                Some(penalty)
+            }
+            PrTransition::Rewarded { reward, .. } => Some(reward),
+            PrTransition::Forgiven { .. } | PrTransition::Reintegrated { .. } => None,
+        }
+    }
+}
+
 /// The p/r state of one protocol instance: per-node counters and activity.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PenaltyReward {

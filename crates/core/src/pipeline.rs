@@ -31,6 +31,14 @@ pub struct Aligned {
     pub curr_ls: Vec<bool>,
 }
 
+impl Aligned {
+    /// Number of ε rows in the aligned diagnostic matrix (syndromes whose
+    /// carrying message was invalid or never received).
+    pub fn epsilon_rows(&self) -> u64 {
+        self.al_dm.iter().filter(|r| r.is_none()).count() as u64
+    }
+}
+
 /// Alignment buffers of one protocol instance.
 #[derive(Debug, Clone)]
 pub struct AlignmentBuffers {

@@ -26,14 +26,17 @@
 
 use serde::{Deserialize, Serialize};
 
-use tt_sim::{Job, JobCtx, MetricsEvent, MetricsSink, NodeId, RoundIndex};
+use tt_sim::{
+    CauseId, Job, JobCtx, MetricsEvent, MetricsSink, NodeId, RoundIndex, SpanEvent, TraceSink,
+    UpdateKind,
+};
 
-use crate::alignment::diagnosis_lag;
+use crate::alignment::{diagnosis_lag, syndrome_reference_round};
 use crate::config::ProtocolConfig;
 use crate::matrix::DiagnosticMatrix;
 use crate::penalty::{PenaltyReward, PrTransition, ReintegrationPolicy};
 use crate::pipeline::AlignmentBuffers;
-use crate::syndrome::SyndromeRow;
+use crate::syndrome::{Syndrome, SyndromeRow};
 
 /// Emits the contested [`MetricsEvent::VoteTally`]s of one analysis phase
 /// (shared by [`DiagJob`] and the membership variant).
@@ -106,6 +109,119 @@ pub(crate) fn emit_pr_transition(
         },
     };
     sink.emit(&event);
+}
+
+/// Emits one [`SpanEvent::Detection`] per node accused by the aligned
+/// local syndrome of the activation at round `k` (shared by [`DiagJob`]
+/// and the membership variant).
+///
+/// The aligned syndrome refers to round `k - 1` (read alignment), so the
+/// causal id of each span names that round as the fault round. Nothing is
+/// emitted for the start-up activation at round 0.
+pub(crate) fn emit_detection_spans(
+    tracer: &dyn TraceSink,
+    al_ls: &Syndrome,
+    node: NodeId,
+    k: RoundIndex,
+) {
+    let Some(observed) = k.checked_sub(1) else {
+        return;
+    };
+    for subject in al_ls.accused() {
+        tracer.span(&SpanEvent::Detection {
+            cause: CauseId::new(subject, observed),
+            node,
+            round: k,
+        });
+    }
+}
+
+/// Emits one [`SpanEvent::Dissemination`] per accusation carried by the
+/// syndrome this activation put on the bus (shared by [`DiagJob`] and the
+/// membership variant).
+///
+/// The causal id is recovered from the transmission slot via
+/// [`syndrome_reference_round`]: the syndrome transmitted in `tx_round`
+/// refers to round `tx_round - (diagnosis_lag - 1)`.
+pub(crate) fn emit_dissemination_spans(
+    tracer: &dyn TraceSink,
+    bufs: &AlignmentBuffers,
+    tx_round: RoundIndex,
+    all_send_curr_round: bool,
+    node: NodeId,
+    k: RoundIndex,
+) {
+    let Some(referred) = syndrome_reference_round(tx_round, all_send_curr_round) else {
+        return;
+    };
+    let Some(sent) = bufs.own_row_for_tx_round(tx_round) else {
+        return;
+    };
+    for subject in sent.accused() {
+        tracer.span(&SpanEvent::Dissemination {
+            cause: CauseId::new(subject, referred),
+            node,
+            round: k,
+            tx_round,
+        });
+    }
+}
+
+/// Emits the [`SpanEvent::Aggregation`] and [`SpanEvent::Analysis`] spans
+/// of one analysis phase: one pair per contested matrix column, mirroring
+/// the contested-only filtering of [`emit_vote_tallies`].
+pub(crate) fn emit_vote_spans(
+    tracer: &dyn TraceSink,
+    matrix: &DiagnosticMatrix,
+    node: NodeId,
+    decided_at: RoundIndex,
+    diagnosed: RoundIndex,
+) {
+    for subject in NodeId::all(matrix.n_nodes()) {
+        let t = matrix.tally(subject);
+        if t.contested() {
+            let cause = CauseId::new(subject, diagnosed);
+            tracer.span(&SpanEvent::Aggregation {
+                cause,
+                node,
+                round: decided_at,
+                epsilon: t.epsilon,
+            });
+            tracer.span(&SpanEvent::Analysis {
+                cause,
+                node,
+                round: decided_at,
+                ok: t.ok,
+                faulty: t.faulty,
+                epsilon: t.epsilon,
+                decided: t.decided(),
+            });
+        }
+    }
+}
+
+/// The [`SpanEvent::Update`] span describing one p/r counter transition
+/// (shared by [`DiagJob`] and the membership variant).
+pub(crate) fn span_for_transition(
+    transition: PrTransition,
+    node: NodeId,
+    decided_at: RoundIndex,
+    diagnosed: RoundIndex,
+) -> SpanEvent {
+    let kind = match transition {
+        PrTransition::Penalized { .. } => UpdateKind::Penalty,
+        PrTransition::Rewarded { .. } => UpdateKind::Reward,
+        PrTransition::Forgiven { .. } => UpdateKind::Forgiveness,
+        PrTransition::Isolated { .. } => UpdateKind::Isolation,
+        PrTransition::Reintegrated { .. } => UpdateKind::Reintegration,
+    };
+    SpanEvent::Update {
+        cause: CauseId::new(transition.subject(), diagnosed),
+        node,
+        round: decided_at,
+        kind,
+        counter: transition.counter_value().unwrap_or(0),
+    }
 }
 
 /// One consistent health vector, with its provenance.
@@ -290,10 +406,18 @@ impl DiagJob {
         if metrics_on {
             emit_vote_tallies(sink, &matrix, node, k, diagnosed);
         }
+        let tracer = ctx.tracing();
+        let tracing_on = tracer.enabled();
+        if tracing_on {
+            emit_vote_spans(tracer, &matrix, node, k, diagnosed);
+        }
         let newly_isolated = self.pr.update_observed(&cons_hv, |t| {
             sink.counter("core.pr_transitions", 1);
             if metrics_on {
                 emit_pr_transition(sink, t, node, k, diagnosed);
+            }
+            if tracing_on {
+                tracer.span(&span_for_transition(t, node, k, diagnosed));
             }
         });
         if self.log_counters {
@@ -330,14 +454,19 @@ impl Job for DiagJob {
     fn execute(&mut self, ctx: &mut JobCtx<'_>) {
         let sink = ctx.metrics();
         let metrics_on = sink.enabled();
+        let tracer = ctx.tracing();
+        let tracing_on = tracer.enabled();
         // Phases 1 & 3: local detection + aggregation (read alignment).
         let aligned = self.bufs.read_and_align(ctx);
         if metrics_on {
             sink.emit(&MetricsEvent::Aggregation {
                 node: self.node,
                 round: ctx.round(),
-                epsilon_rows: aligned.al_dm.iter().filter(|r| r.is_none()).count() as u64,
+                epsilon_rows: aligned.epsilon_rows(),
             });
+        }
+        if tracing_on {
+            emit_detection_spans(tracer, &aligned.al_ls, self.node, ctx.round());
         }
         // Phase 2: dissemination (send alignment).
         let tx_round = self.bufs.disseminate(
@@ -353,6 +482,16 @@ impl Job for DiagJob {
                 tx_round,
                 accusations: 0,
             });
+        }
+        if tracing_on {
+            emit_dissemination_spans(
+                tracer,
+                &self.bufs,
+                tx_round,
+                self.config.all_send_curr_round(),
+                self.node,
+                ctx.round(),
+            );
         }
         // Phases 4 & 5: analysis + counter update.
         self.analyze_and_update(ctx, aligned.al_dm.clone());
@@ -664,6 +803,107 @@ mod tests {
         assert!(d.last_health().is_some());
         assert_eq!(d.reward(NodeId::new(1)), 0);
         assert_eq!(d.active(), &[true; 4]);
+    }
+
+    #[test]
+    fn trace_sink_observes_full_provenance_chain() {
+        use std::sync::Arc;
+        use tt_sim::{CauseId, RecordingTraceSink, SpanEvent, TracePhase};
+        // The single-benign-fault scenario of `single_benign_fault_detected_
+        // with_lag_3`, this time with a recording trace sink installed: the
+        // fault at (node 2, round 10) must leave a complete causal chain.
+        let tracing = Arc::new(RecordingTraceSink::new());
+        let cfg = config(100, 10);
+        let mut cluster = ClusterBuilder::new(4)
+            .trace_sink(tracing.clone())
+            .build_with_jobs(
+                move |id| Box::new(DiagJob::new(id, cfg.clone())),
+                Box::new(|ctx: &TxCtx| {
+                    if ctx.round == RoundIndex::new(10) && ctx.sender == NodeId::new(2) {
+                        SlotEffect::Benign
+                    } else {
+                        SlotEffect::Correct
+                    }
+                }),
+            );
+        cluster.run_rounds(20);
+        let cause = CauseId::new(NodeId::new(2), RoundIndex::new(10));
+        let spans: Vec<SpanEvent> = tracing
+            .spans()
+            .into_iter()
+            .filter(|s| s.cause() == cause)
+            .collect();
+        let of_phase = |p: TracePhase| spans.iter().filter(move |s| s.phase() == p);
+        // The engine records the injected slot fault itself...
+        assert_eq!(of_phase(TracePhase::SlotFault).count(), 1);
+        // ...every obedient receiver detects it in the next activation...
+        let detections: Vec<_> = of_phase(TracePhase::Detection).collect();
+        assert!(detections.len() >= 3, "got {detections:?}");
+        assert!(detections.iter().all(|s| s.round() == RoundIndex::new(11)));
+        // ...the accusing syndromes ship in the slot of round 12 (so that
+        // the analysis at round 13 can read-align them)...
+        for d in of_phase(TracePhase::Dissemination) {
+            let SpanEvent::Dissemination { tx_round, .. } = d else {
+                unreachable!()
+            };
+            assert_eq!(*tx_round, RoundIndex::new(12));
+        }
+        assert!(of_phase(TracePhase::Dissemination).count() >= 3);
+        // ...all four nodes aggregate, vote and convict at round 13 (lag 3)
+        for p in [
+            TracePhase::Aggregation,
+            TracePhase::Analysis,
+            TracePhase::Update,
+        ] {
+            let phase_spans: Vec<_> = of_phase(p).collect();
+            assert_eq!(phase_spans.len(), 4, "{p:?}");
+            assert!(phase_spans.iter().all(|s| s.round() == RoundIndex::new(13)));
+        }
+        for a in of_phase(TracePhase::Analysis) {
+            let SpanEvent::Analysis { decided, .. } = a else {
+                unreachable!()
+            };
+            assert_eq!(*decided, Some(false), "convicted");
+        }
+        // The counter transition is a penalty charge of 1.
+        for u in of_phase(TracePhase::Update) {
+            let SpanEvent::Update { kind, counter, .. } = u else {
+                unreachable!()
+            };
+            assert_eq!(*kind, tt_sim::UpdateKind::Penalty);
+            assert_eq!(*counter, 1);
+        }
+        // No span of any phase precedes the fault round.
+        assert!(spans.iter().all(|s| s.round() >= RoundIndex::new(10)));
+    }
+
+    #[test]
+    fn noop_trace_sink_leaves_protocol_behaviour_unchanged() {
+        // Tracing defaults to a no-op sink: results must be identical to an
+        // explicitly traced run (determinism guard for the span wiring).
+        let run = |traced: bool| {
+            let cfg = config(3, 10);
+            let mut builder = ClusterBuilder::new(4);
+            if traced {
+                builder =
+                    builder.trace_sink(std::sync::Arc::new(tt_sim::RecordingTraceSink::new()));
+            }
+            let mut cluster = builder.build_with_jobs(
+                move |id| Box::new(DiagJob::new(id, cfg.clone())),
+                Box::new(|ctx: &TxCtx| {
+                    if ctx.sender == NodeId::new(3) && ctx.round >= RoundIndex::new(5) {
+                        SlotEffect::Benign
+                    } else {
+                        SlotEffect::Correct
+                    }
+                }),
+            );
+            cluster.run_rounds(20);
+            (1..=4u32)
+                .map(|id| diag(&cluster, id).health_log().to_vec())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

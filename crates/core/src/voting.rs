@@ -80,6 +80,12 @@ impl VoteTally {
     pub fn contested(&self) -> bool {
         self.faulty > 0 || self.epsilon > 0 || self.outcome != HMaj::Decided(true)
     }
+
+    /// The decided health of [`VoteTally::outcome`], if any (shorthand for
+    /// `self.outcome.decided()`).
+    pub fn decided(&self) -> Option<bool> {
+        self.outcome.decided()
+    }
 }
 
 /// Computes `H-maj` over a column of votes, returning the full

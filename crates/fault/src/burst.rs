@@ -125,6 +125,47 @@ impl Disturbance for ContinuousFault {
     }
 }
 
+/// A deterministic intermittent sender fault: from `from_round` on, `node`'s
+/// slot fails benignly every `period` rounds (the paper Sec. 4's
+/// "intermittent fault in a node" — repeated manifestations of the same
+/// underlying cause, the kind the p/r algorithm is tuned to correlate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntermittentFault {
+    node: NodeId,
+    from_round: RoundIndex,
+    period: u64,
+}
+
+impl IntermittentFault {
+    /// `node` fails in `from_round` and every `period`-th round after it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(node: NodeId, from_round: RoundIndex, period: u64) -> Self {
+        assert!(period > 0, "period must be positive");
+        IntermittentFault {
+            node,
+            from_round,
+            period,
+        }
+    }
+
+    /// Whether this fault covers `node`'s slot in `round`.
+    pub fn covers(&self, round: RoundIndex, sender: NodeId) -> bool {
+        sender == self.node
+            && round >= self.from_round
+            && (round.as_u64() - self.from_round.as_u64()).is_multiple_of(self.period)
+    }
+}
+
+impl Disturbance for IntermittentFault {
+    fn effect(&mut self, ctx: &TxCtx, _rng: &mut StdRng) -> Option<SlotEffect> {
+        self.covers(ctx.round, ctx.sender)
+            .then_some(SlotEffect::Benign)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,6 +228,28 @@ mod tests {
         assert_eq!(sb.effect(&ctx(14, 4), &mut rng()), Some(SlotEffect::Benign));
         assert_eq!(sb.effect(&ctx(18, 4), &mut rng()), None, "past the burst");
         assert_eq!(sb.effect(&ctx(9, 4), &mut rng()), None, "other sender");
+    }
+
+    #[test]
+    fn intermittent_fault_recurs_with_period() {
+        // Node 3 (slot 2) fails in round 4 and every 2nd round after.
+        let mut f = IntermittentFault::new(NodeId::new(3), RoundIndex::new(4), 2);
+        let slot_of = |round: u64| round * 4 + 2;
+        for (round, hit) in [(3u64, false), (4, true), (5, false), (6, true), (10, true)] {
+            assert_eq!(
+                f.effect(&ctx(slot_of(round), 4), &mut rng()),
+                hit.then_some(SlotEffect::Benign),
+                "round {round}"
+            );
+        }
+        // Other senders are untouched even in fault rounds.
+        assert_eq!(f.effect(&ctx(16, 4), &mut rng()), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn intermittent_fault_rejects_zero_period() {
+        let _ = IntermittentFault::new(NodeId::new(1), RoundIndex::ZERO, 0);
     }
 
     #[test]

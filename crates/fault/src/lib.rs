@@ -34,7 +34,7 @@ pub mod noise;
 pub mod scenario;
 
 pub use bitflip::{BitNoise, CrcForger, ReceiverLocalBitNoise};
-pub use burst::{Burst, ContinuousFault, SenderBurst};
+pub use burst::{Burst, ContinuousFault, IntermittentFault, SenderBurst};
 pub use campaign::{
     experiment_seed, extended_classes, run_campaign, run_experiment, run_extended, sec8_classes,
     CampaignResult, ExperimentClass, ExperimentOutcome, ExtendedClass,

@@ -20,6 +20,7 @@ use crate::node::Node;
 use crate::schedule::{CommunicationSchedule, NodeSchedule};
 use crate::time::{Nanos, NodeId, RoundIndex};
 use crate::trace::{Trace, TraceMode};
+use crate::tracing::{CauseId, NoopTraceSink, SpanEvent, TraceSink};
 
 /// A complete simulated TDMA cluster: nodes, controllers, bus and trace.
 pub struct Cluster {
@@ -37,6 +38,9 @@ pub struct Cluster {
     /// Observability sink shared with every job context (a [`NoopSink`] by
     /// default, keeping the hot path untouched).
     metrics: Arc<dyn MetricsSink>,
+    /// Provenance-trace sink shared with every job context (a
+    /// [`NoopTraceSink`] by default, same zero-overhead contract).
+    trace_sink: Arc<dyn TraceSink>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -64,7 +68,9 @@ impl Cluster {
         self.round.start_time(self.schedule.round_length())
     }
 
-    /// The ground-truth fault trace recorded so far.
+    /// The ground-truth *injected-fault* trace recorded so far (what the
+    /// fault pipeline did to the bus — not protocol tracing; see
+    /// [`Cluster::tracing`] for provenance spans).
     pub fn trace(&self) -> &Trace {
         &self.trace
     }
@@ -72,6 +78,11 @@ impl Cluster {
     /// The observability sink this cluster reports to.
     pub fn metrics(&self) -> &dyn MetricsSink {
         &*self.metrics
+    }
+
+    /// The provenance-trace sink this cluster reports spans to.
+    pub fn tracing(&self) -> &dyn TraceSink {
+        &*self.trace_sink
     }
 
     /// Immutable access to the controller of `node`.
@@ -169,6 +180,7 @@ impl Cluster {
         // virtual `enabled()` call; with a recording sink, round timing and
         // the structured event stream are captured.
         let metrics_on = self.metrics.enabled();
+        let tracing_on = self.trace_sink.enabled();
         let round_start = metrics_on.then(std::time::Instant::now);
         // Resolve every job's schedule for this round up front (dynamic
         // schedules are queried exactly once per round, like an OS would),
@@ -193,7 +205,13 @@ impl Cluster {
             {
                 for (slot, &sched) in node.jobs_mut().iter_mut().zip(resolved.iter()) {
                     if sched.l() == p {
-                        let mut ctx = JobCtx::with_metrics(controller, sched, k, &*self.metrics);
+                        let mut ctx = JobCtx::with_sinks(
+                            controller,
+                            sched,
+                            k,
+                            &*self.metrics,
+                            &*self.trace_sink,
+                        );
                         slot.job.execute(&mut ctx);
                     }
                 }
@@ -216,6 +234,14 @@ impl Cluster {
                     self.metrics.emit(&MetricsEvent::SlotFault {
                         round: k,
                         sender,
+                        class: self.slot_out.class,
+                    });
+                }
+                if tracing_on {
+                    // Root of every provenance chain: the ground-truth
+                    // disturbance of (sender, round k).
+                    self.trace_sink.span(&SpanEvent::SlotFault {
+                        cause: CauseId::new(sender, k),
                         class: self.slot_out.class,
                     });
                 }
@@ -286,6 +312,7 @@ pub struct ClusterBuilder {
     round_length: Nanos,
     trace_mode: TraceMode,
     metrics: Option<Arc<dyn MetricsSink>>,
+    trace_sink: Option<Arc<dyn TraceSink>>,
 }
 
 impl std::fmt::Debug for ClusterBuilder {
@@ -295,6 +322,7 @@ impl std::fmt::Debug for ClusterBuilder {
             .field("round_length", &self.round_length)
             .field("trace_mode", &self.trace_mode)
             .field("instrumented", &self.metrics.is_some())
+            .field("traced", &self.trace_sink.is_some())
             .finish()
     }
 }
@@ -308,6 +336,7 @@ impl ClusterBuilder {
             round_length: Nanos::from_micros(2_500),
             trace_mode: TraceMode::default(),
             metrics: None,
+            trace_sink: None,
         }
     }
 
@@ -315,6 +344,13 @@ impl ClusterBuilder {
     /// context (defaults to a [`NoopSink`]).
     pub fn metrics_sink(mut self, sink: Arc<dyn MetricsSink>) -> Self {
         self.metrics = Some(sink);
+        self
+    }
+
+    /// Installs a provenance-trace sink shared by the engine and every job
+    /// context (defaults to a [`NoopTraceSink`]).
+    pub fn trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace_sink = Some(sink);
         self
     }
 
@@ -357,6 +393,7 @@ impl ClusterBuilder {
             resolved: vec![Vec::new(); self.n_nodes],
             slot_out: SlotOutcome::with_capacity(self.n_nodes),
             metrics: self.metrics.unwrap_or_else(|| Arc::new(NoopSink)),
+            trace_sink: self.trace_sink.unwrap_or_else(|| Arc::new(NoopTraceSink)),
         })
     }
 

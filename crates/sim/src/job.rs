@@ -15,6 +15,7 @@ use crate::controller::Controller;
 use crate::metrics::{MetricsSink, NOOP_SINK};
 use crate::schedule::NodeSchedule;
 use crate::time::{NodeId, RoundIndex};
+use crate::tracing::{TraceSink, NOOP_TRACE_SINK};
 
 /// An application-level job executed once per TDMA round.
 ///
@@ -44,6 +45,7 @@ pub struct JobCtx<'a> {
     schedule: NodeSchedule,
     round: RoundIndex,
     metrics: &'a dyn MetricsSink,
+    tracing: &'a dyn TraceSink,
 }
 
 impl std::fmt::Debug for JobCtx<'_> {
@@ -57,24 +59,37 @@ impl std::fmt::Debug for JobCtx<'_> {
 }
 
 impl<'a> JobCtx<'a> {
-    /// Creates a context with no metrics sink; used by unit tests that
-    /// drive a job manually (the engine uses [`JobCtx::with_metrics`]).
+    /// Creates a context with no metrics or trace sink; used by unit tests
+    /// that drive a job manually (the engine uses [`JobCtx::with_sinks`]).
     pub fn new(controller: &'a mut Controller, schedule: NodeSchedule, round: RoundIndex) -> Self {
-        Self::with_metrics(controller, schedule, round, &NOOP_SINK)
+        Self::with_sinks(controller, schedule, round, &NOOP_SINK, &NOOP_TRACE_SINK)
     }
 
-    /// Creates a context reporting to `metrics`.
+    /// Creates a context reporting to `metrics` (no provenance tracing).
     pub fn with_metrics(
         controller: &'a mut Controller,
         schedule: NodeSchedule,
         round: RoundIndex,
         metrics: &'a dyn MetricsSink,
     ) -> Self {
+        Self::with_sinks(controller, schedule, round, metrics, &NOOP_TRACE_SINK)
+    }
+
+    /// Creates a context reporting metrics to `metrics` and provenance
+    /// spans to `tracing`.
+    pub fn with_sinks(
+        controller: &'a mut Controller,
+        schedule: NodeSchedule,
+        round: RoundIndex,
+        metrics: &'a dyn MetricsSink,
+        tracing: &'a dyn TraceSink,
+    ) -> Self {
         JobCtx {
             controller,
             schedule,
             round,
             metrics,
+            tracing,
         }
     }
 
@@ -85,6 +100,12 @@ impl<'a> JobCtx<'a> {
     /// before an [`JobCtx::isolate`] call).
     pub fn metrics(&self) -> &'a dyn MetricsSink {
         self.metrics
+    }
+
+    /// The cluster's provenance-trace sink (same lifetime contract as
+    /// [`JobCtx::metrics`]).
+    pub fn tracing(&self) -> &'a dyn TraceSink {
+        self.tracing
     }
 
     /// The hosting node's id.

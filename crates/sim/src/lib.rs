@@ -62,6 +62,7 @@ pub mod schedule;
 pub mod time;
 pub mod timeline;
 pub mod trace;
+pub mod tracing;
 
 pub use bus::{
     apply_effect, apply_effect_into, classify_receptions, FaultPipeline, NoFaults, Reception,
@@ -81,4 +82,12 @@ pub use metrics::{
 pub use node::{JobSlot, Node, ScheduleSource};
 pub use schedule::{CommunicationSchedule, NodeSchedule, SlotPosition};
 pub use time::{Nanos, NodeId, RoundIndex};
-pub use trace::{EffectRecord, ReplayPipeline, SlotRecord, Trace, TraceMode};
+// The ground-truth *injected-fault* trace (what the fault pipeline did to
+// the bus). `FaultTrace` is an alias that disambiguates it from the
+// protocol-provenance tracing layer below.
+pub use trace::{EffectRecord, ReplayPipeline, SlotRecord, Trace, Trace as FaultTrace, TraceMode};
+// Protocol-provenance tracing (why the protocol concluded what it did).
+pub use tracing::{
+    CauseId, NoopTraceSink, RecordingTraceSink, SpanEvent, TracePhase, TraceSink, UpdateKind,
+    NOOP_TRACE_SINK,
+};

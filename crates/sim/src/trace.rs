@@ -1,9 +1,21 @@
-//! Ground-truth trace of injected faults, for oracles and debugging.
+//! Ground-truth trace of **injected faults**, for oracles and debugging.
 //!
 //! The trace records what the fault pipeline actually did to each sending
 //! slot. It is the experiment harness's source of truth when checking the
 //! protocol's correctness/completeness/consistency properties: the protocol
 //! itself never reads it.
+//!
+//! **This is not protocol tracing.** Despite the name, [`Trace`] (also
+//! re-exported as `tt_sim::FaultTrace`) has nothing to do with observing
+//! the diagnostic protocol: it captures the *disturbances on the bus*
+//! (ground truth an omniscient observer would see), and can be serialized
+//! and replayed bit-exactly via [`ReplayPipeline`]. Observing what the
+//! *protocol* did — and why — is the job of two separate layers:
+//!
+//! * [`crate::metrics`] — counters, histograms and the flat
+//!   [`crate::MetricsEvent`] stream (*what happened*);
+//! * [`crate::tracing`] — causal provenance spans threaded through the
+//!   five phases of Alg. 1 via [`crate::TraceSink`] (*why it happened*).
 
 use serde::{Deserialize, Serialize};
 

@@ -1,0 +1,469 @@
+//! Span-based **causal tracing** of the diagnostic pipeline.
+//!
+//! Where [`crate::metrics`] answers *what happened* (counters, histograms,
+//! a flat event stream), this module answers *why*: every span carries a
+//! [`CauseId`] — the `(accused node, diagnosed round)` pair a detection
+//! event refers to — so consumers can reconstruct the full provenance chain
+//! of a conviction or forgiveness across the five pipelined phases of
+//! Alg. 1:
+//!
+//! ```text
+//! SlotFault ─▶ Detection ─▶ Dissemination ─▶ Aggregation ─▶ Analysis ─▶ Update
+//! (ground     (local        (send-aligned     (ε rows in     (H-maj       (p/r counter
+//!  truth)      syndrome)     tx round)         the matrix)    tally)       transition)
+//! ```
+//!
+//! The design mirrors [`crate::metrics::MetricsSink`] exactly: the engine
+//! and every job context share one [`TraceSink`], the default
+//! [`NoopTraceSink`] answers [`TraceSink::enabled`] `false`, and all span
+//! construction in the engine and the protocol jobs is guarded by that
+//! flag — so an uninstrumented (or noop-instrumented) cluster stays
+//! allocation-free on the hot path (`tests/alloc_free.rs` proves it).
+//!
+//! Not to be confused with [`crate::trace`], the *ground-truth
+//! injected-fault* trace: that records what the fault pipeline did to the
+//! bus; this records what the protocol concluded, and how.
+
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use crate::bus::SlotFaultClass;
+use crate::time::{NodeId, RoundIndex};
+
+/// The causal identity of one detection event: which node stands accused,
+/// and which diagnosed round the accusation refers to.
+///
+/// Every span of one provenance chain carries the same `CauseId`, so a
+/// chain can be reassembled from an unordered span stream by grouping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CauseId {
+    /// The accused (diagnosed) node.
+    pub subject: NodeId,
+    /// The round whose sending slot the accusation refers to.
+    pub diagnosed: RoundIndex,
+}
+
+impl CauseId {
+    /// Creates the causal id for `(subject, diagnosed)`.
+    pub fn new(subject: NodeId, diagnosed: RoundIndex) -> Self {
+        CauseId { subject, diagnosed }
+    }
+
+    /// A packed correlation key (subject in the high 16 bits), used as a
+    /// Perfetto flow/correlation id and as a compact grouping key.
+    pub fn key(self) -> u64 {
+        ((self.subject.get() as u64) << 48) | (self.diagnosed.as_u64() & 0xFFFF_FFFF_FFFF)
+    }
+}
+
+/// The pipeline phase a span belongs to, in causal order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TracePhase {
+    /// Ground truth: the fault pipeline disturbed the subject's slot.
+    SlotFault,
+    /// Phase 1: the subject showed up faulty in an aligned local syndrome.
+    Detection,
+    /// Phase 2: a syndrome accusing the subject was put on the bus.
+    Dissemination,
+    /// Phase 3: the aggregated matrix column for the diagnosed round.
+    Aggregation,
+    /// Phase 4: the H-maj tally over that column.
+    Analysis,
+    /// Phase 5: the resulting p/r counter transition.
+    Update,
+}
+
+impl TracePhase {
+    /// All phases, in causal order.
+    pub const ALL: [TracePhase; 6] = [
+        TracePhase::SlotFault,
+        TracePhase::Detection,
+        TracePhase::Dissemination,
+        TracePhase::Aggregation,
+        TracePhase::Analysis,
+        TracePhase::Update,
+    ];
+
+    /// A short stable label (used by exports and summaries).
+    pub fn label(self) -> &'static str {
+        match self {
+            TracePhase::SlotFault => "slot_fault",
+            TracePhase::Detection => "detection",
+            TracePhase::Dissemination => "dissemination",
+            TracePhase::Aggregation => "aggregation",
+            TracePhase::Analysis => "analysis",
+            TracePhase::Update => "update",
+        }
+    }
+
+    /// The phase's position in causal order (0-based).
+    pub fn index(self) -> usize {
+        match self {
+            TracePhase::SlotFault => 0,
+            TracePhase::Detection => 1,
+            TracePhase::Dissemination => 2,
+            TracePhase::Aggregation => 3,
+            TracePhase::Analysis => 4,
+            TracePhase::Update => 5,
+        }
+    }
+}
+
+/// The kind of p/r counter transition an [`SpanEvent::Update`] span records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum UpdateKind {
+    /// Penalty counter grew (conviction).
+    Penalty,
+    /// Reward counter grew (acquittal with pending penalty).
+    Reward,
+    /// Reward threshold reached; counters reset.
+    Forgiveness,
+    /// Penalty threshold exceeded; subject isolated.
+    Isolation,
+    /// Reintegration extension readmitted the subject.
+    Reintegration,
+}
+
+impl UpdateKind {
+    /// A short stable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            UpdateKind::Penalty => "penalty",
+            UpdateKind::Reward => "reward",
+            UpdateKind::Forgiveness => "forgiveness",
+            UpdateKind::Isolation => "isolation",
+            UpdateKind::Reintegration => "reintegration",
+        }
+    }
+}
+
+/// One span of a provenance chain: a phase of Alg. 1, stamped with the
+/// [`CauseId`] it refers to, the observing node and the execution round.
+///
+/// Spans are `Copy` (no heap fields), so emitting one costs a stack write
+/// plus a virtual call; recording sinks clone into their own storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpanEvent {
+    /// Ground truth from the engine: the subject's slot in
+    /// `cause.diagnosed` was disturbed.
+    SlotFault {
+        /// Causal id: `(disturbed sender, slot round)`.
+        cause: CauseId,
+        /// Ground-truth fault class the pipeline applied.
+        class: SlotFaultClass,
+    },
+    /// Phase 1: `node`'s aligned local syndrome for `cause.diagnosed`
+    /// reported the subject faulty.
+    Detection {
+        /// Causal id of the accusation.
+        cause: CauseId,
+        /// The detecting node.
+        node: NodeId,
+        /// Round in which the detecting activation ran.
+        round: RoundIndex,
+    },
+    /// Phase 2: `node` put a syndrome accusing the subject on the bus (or
+    /// queued it for the next round, per send alignment).
+    Dissemination {
+        /// Causal id of the accusation carried by the syndrome.
+        cause: CauseId,
+        /// The disseminating node.
+        node: NodeId,
+        /// Round in which the disseminating activation ran.
+        round: RoundIndex,
+        /// Round whose sending slot carries the syndrome on the bus.
+        tx_round: RoundIndex,
+    },
+    /// Phase 3: the aggregated matrix column for the subject, as seen by
+    /// `node` when analyzing `cause.diagnosed`.
+    Aggregation {
+        /// Causal id of the column.
+        cause: CauseId,
+        /// The aggregating node.
+        node: NodeId,
+        /// Round in which the aggregating activation ran.
+        round: RoundIndex,
+        /// ε entries in the subject's column (missing opinions).
+        epsilon: u64,
+    },
+    /// Phase 4: the H-maj tally over the subject's column.
+    Analysis {
+        /// Causal id of the vote.
+        cause: CauseId,
+        /// The analyzing node.
+        node: NodeId,
+        /// Round in which the analyzing activation ran.
+        round: RoundIndex,
+        /// Explicit "not faulty" opinions.
+        ok: u64,
+        /// Explicit "faulty" opinions.
+        faulty: u64,
+        /// Excluded ε opinions.
+        epsilon: u64,
+        /// `Some(healthy?)` when decided, `None` when undecidable.
+        decided: Option<bool>,
+    },
+    /// Phase 5: the p/r counter transition the verdict produced.
+    Update {
+        /// Causal id of the verdict.
+        cause: CauseId,
+        /// The node running the p/r algorithm.
+        node: NodeId,
+        /// Round in which the updating activation ran.
+        round: RoundIndex,
+        /// The transition kind.
+        kind: UpdateKind,
+        /// The counter value after the transition (0 for resets).
+        counter: u64,
+    },
+}
+
+impl SpanEvent {
+    /// The pipeline phase this span belongs to.
+    pub fn phase(&self) -> TracePhase {
+        match self {
+            SpanEvent::SlotFault { .. } => TracePhase::SlotFault,
+            SpanEvent::Detection { .. } => TracePhase::Detection,
+            SpanEvent::Dissemination { .. } => TracePhase::Dissemination,
+            SpanEvent::Aggregation { .. } => TracePhase::Aggregation,
+            SpanEvent::Analysis { .. } => TracePhase::Analysis,
+            SpanEvent::Update { .. } => TracePhase::Update,
+        }
+    }
+
+    /// The causal id this span is part of.
+    pub fn cause(&self) -> CauseId {
+        match *self {
+            SpanEvent::SlotFault { cause, .. }
+            | SpanEvent::Detection { cause, .. }
+            | SpanEvent::Dissemination { cause, .. }
+            | SpanEvent::Aggregation { cause, .. }
+            | SpanEvent::Analysis { cause, .. }
+            | SpanEvent::Update { cause, .. } => cause,
+        }
+    }
+
+    /// The observing node (for the ground-truth [`SpanEvent::SlotFault`],
+    /// the disturbed sender itself).
+    pub fn node(&self) -> NodeId {
+        match *self {
+            SpanEvent::SlotFault { cause, .. } => cause.subject,
+            SpanEvent::Detection { node, .. }
+            | SpanEvent::Dissemination { node, .. }
+            | SpanEvent::Aggregation { node, .. }
+            | SpanEvent::Analysis { node, .. }
+            | SpanEvent::Update { node, .. } => node,
+        }
+    }
+
+    /// The execution round the span is stamped with (for the ground-truth
+    /// [`SpanEvent::SlotFault`], the disturbed slot's round).
+    pub fn round(&self) -> RoundIndex {
+        match *self {
+            SpanEvent::SlotFault { cause, .. } => cause.diagnosed,
+            SpanEvent::Detection { round, .. }
+            | SpanEvent::Dissemination { round, .. }
+            | SpanEvent::Aggregation { round, .. }
+            | SpanEvent::Analysis { round, .. }
+            | SpanEvent::Update { round, .. } => round,
+        }
+    }
+
+    /// A short stable label for the span kind (the phase label).
+    pub fn kind(&self) -> &'static str {
+        self.phase().label()
+    }
+}
+
+/// A sink for provenance spans, shared by the engine and every job context
+/// of a cluster.
+///
+/// Same contract as [`crate::metrics::MetricsSink`]: span construction more
+/// expensive than reading a flag must be guarded by [`TraceSink::enabled`],
+/// which the default implementation (and [`NoopTraceSink`]) answers
+/// `false` — keeping the uninstrumented hot path allocation-free.
+pub trait TraceSink: Send + Sync {
+    /// Whether span construction should run at all.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Consumes one span.
+    ///
+    /// Callers only construct spans behind a [`TraceSink::enabled`] check,
+    /// so implementors answering `false` never see this called from the
+    /// engine or the bundled protocol jobs.
+    fn span(&self, span: &SpanEvent) {
+        let _ = span;
+    }
+}
+
+/// The do-nothing trace sink: [`TraceSink::enabled`] answers `false` and
+/// every span is dropped.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopTraceSink;
+
+impl TraceSink for NoopTraceSink {}
+
+/// The process-wide [`NoopTraceSink`] instance untraced clusters point at,
+/// so defaulting the sink allocates nothing.
+pub static NOOP_TRACE_SINK: NoopTraceSink = NoopTraceSink;
+
+/// An in-memory sink that records every span in emission order.
+///
+/// Share it between the builder and the post-run analysis via `Arc`; the
+/// mutex is uncontended in the single-threaded engine.
+#[derive(Debug, Default)]
+pub struct RecordingTraceSink {
+    spans: Mutex<Vec<SpanEvent>>,
+}
+
+impl RecordingTraceSink {
+    /// Creates an empty recording trace sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A clone of the recorded span stream, in emission order.
+    pub fn spans(&self) -> Vec<SpanEvent> {
+        self.spans.lock().expect("trace mutex poisoned").clone()
+    }
+
+    /// Number of recorded spans.
+    pub fn span_count(&self) -> usize {
+        self.spans.lock().expect("trace mutex poisoned").len()
+    }
+}
+
+impl TraceSink for RecordingTraceSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span(&self, span: &SpanEvent) {
+        self.spans.lock().expect("trace mutex poisoned").push(*span);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spans() -> [SpanEvent; 6] {
+        let cause = CauseId::new(NodeId::new(2), RoundIndex::new(10));
+        let node = NodeId::new(1);
+        [
+            SpanEvent::SlotFault {
+                cause,
+                class: SlotFaultClass::Benign,
+            },
+            SpanEvent::Detection {
+                cause,
+                node,
+                round: RoundIndex::new(11),
+            },
+            SpanEvent::Dissemination {
+                cause,
+                node,
+                round: RoundIndex::new(11),
+                tx_round: RoundIndex::new(12),
+            },
+            SpanEvent::Aggregation {
+                cause,
+                node,
+                round: RoundIndex::new(13),
+                epsilon: 0,
+            },
+            SpanEvent::Analysis {
+                cause,
+                node,
+                round: RoundIndex::new(13),
+                ok: 0,
+                faulty: 3,
+                epsilon: 0,
+                decided: Some(false),
+            },
+            SpanEvent::Update {
+                cause,
+                node,
+                round: RoundIndex::new(13),
+                kind: UpdateKind::Penalty,
+                counter: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn spans_cover_all_phases_in_causal_order() {
+        let spans = sample_spans();
+        for (span, phase) in spans.iter().zip(TracePhase::ALL) {
+            assert_eq!(span.phase(), phase);
+            assert_eq!(span.kind(), phase.label());
+            assert_eq!(span.phase().index(), phase.index());
+            assert_eq!(span.cause().subject, NodeId::new(2));
+            assert_eq!(span.cause().diagnosed, RoundIndex::new(10));
+        }
+        // Phases are ordered by causal index.
+        assert!(TracePhase::ALL.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn node_and_round_accessors() {
+        let spans = sample_spans();
+        // Ground-truth span is stamped with the subject and slot round.
+        assert_eq!(spans[0].node(), NodeId::new(2));
+        assert_eq!(spans[0].round(), RoundIndex::new(10));
+        // Protocol spans are stamped with the observer and execution round.
+        assert_eq!(spans[1].node(), NodeId::new(1));
+        assert_eq!(spans[1].round(), RoundIndex::new(11));
+        assert_eq!(spans[5].round(), RoundIndex::new(13));
+    }
+
+    #[test]
+    fn cause_key_packs_subject_and_round() {
+        let a = CauseId::new(NodeId::new(2), RoundIndex::new(10));
+        let b = CauseId::new(NodeId::new(3), RoundIndex::new(10));
+        let c = CauseId::new(NodeId::new(2), RoundIndex::new(11));
+        assert_ne!(a.key(), b.key());
+        assert_ne!(a.key(), c.key());
+        assert_eq!(
+            a.key(),
+            CauseId::new(NodeId::new(2), RoundIndex::new(10)).key()
+        );
+    }
+
+    #[test]
+    fn noop_sink_is_disabled_and_inert() {
+        let sink = NoopTraceSink;
+        assert!(!sink.enabled());
+        for span in sample_spans() {
+            sink.span(&span);
+        }
+    }
+
+    #[test]
+    fn recording_sink_collects_spans_in_order() {
+        let sink = RecordingTraceSink::new();
+        assert!(sink.enabled());
+        for span in sample_spans() {
+            sink.span(&span);
+        }
+        assert_eq!(sink.span_count(), 6);
+        let recorded = sink.spans();
+        assert_eq!(recorded.as_slice(), sample_spans().as_slice());
+    }
+
+    #[test]
+    fn update_kind_labels_are_distinct() {
+        let kinds = [
+            UpdateKind::Penalty,
+            UpdateKind::Reward,
+            UpdateKind::Forgiveness,
+            UpdateKind::Isolation,
+            UpdateKind::Reintegration,
+        ];
+        let labels: std::collections::BTreeSet<_> = kinds.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), kinds.len());
+    }
+}

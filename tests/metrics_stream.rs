@@ -1,35 +1,66 @@
-//! Golden snapshot of the observability event stream: the canonical
+//! Golden snapshots of the observability event stream: the canonical
 //! intermittent-fault scenario ([`tt_bench::canonical_metrics_report`])
-//! must produce a bit-for-bit stable `MetricsReport` once wall-clock
-//! timings are normalized away. Regenerate intentionally with
-//! `cargo run -p tt-bench --bin gen_golden` after a deliberate change to
-//! the event schema or the instrumentation points.
+//! and the Table 3 lightning-bolt scenario
+//! ([`tt_bench::lightning_metrics_report`]) must produce bit-for-bit
+//! stable `MetricsReport`s once wall-clock timings are normalized away.
+//! Regenerate intentionally with `cargo run -p tt-bench --bin gen_golden`
+//! after a deliberate change to the event schema or the instrumentation
+//! points.
 
 use tt_sim::{MetricsEvent, MetricsReport};
 
-fn golden_path() -> std::path::PathBuf {
+fn golden_path(name: &str) -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../../tests/golden")
-        .join("metrics_events.json")
+        .join(name)
 }
 
-#[test]
-fn canonical_event_stream_matches_golden() {
-    let report = tt_bench::canonical_metrics_report();
-    let actual = serde_json::to_string_pretty(&report).expect("report serializes") + "\n";
-    let path = golden_path();
+fn assert_matches_golden(report: &MetricsReport, name: &str) {
+    let actual = serde_json::to_string_pretty(report).expect("report serializes") + "\n";
+    let path = golden_path(name);
     let expected = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("missing golden file {path:?}: {e}"));
     assert_eq!(
         actual, expected,
-        "metrics event stream drifted from its golden snapshot; if \
+        "metrics event stream drifted from its golden snapshot {name}; if \
          intentional, regenerate with `cargo run -p tt-bench --bin gen_golden`"
     );
 }
 
 #[test]
+fn canonical_event_stream_matches_golden() {
+    assert_matches_golden(&tt_bench::canonical_metrics_report(), "metrics_events.json");
+}
+
+#[test]
+fn lightning_event_stream_matches_golden() {
+    assert_matches_golden(
+        &tt_bench::lightning_metrics_report(),
+        "metrics_events_lightning.json",
+    );
+}
+
+#[test]
+fn lightning_golden_deserializes_and_tells_its_story() {
+    let body =
+        std::fs::read_to_string(golden_path("metrics_events_lightning.json")).expect("present");
+    let report: MetricsReport = serde_json::from_str(&body).expect("golden parses");
+    assert_eq!(report, tt_bench::lightning_metrics_report(), "round trip");
+
+    // The aerospace tuning (P = 17, R = 2) must survive the Table 3
+    // lightning bolt: penalties accrue while the burst lasts, rewards
+    // forgive them afterwards, nobody is isolated.
+    let kinds = |k: &str| report.events.iter().filter(|e| e.kind() == k).count();
+    assert!(kinds("slot_fault") > 0, "the bolt corrupts slots");
+    assert!(kinds("penalty_charged") > 0);
+    assert!(kinds("forgiveness") > 0, "the transient is forgiven");
+    assert_eq!(kinds("isolation"), 0, "no healthy node is isolated");
+    assert!(report.events.iter().all(|e| e.round().as_u64() < 24));
+}
+
+#[test]
 fn golden_stream_deserializes_and_replays_semantics() {
-    let body = std::fs::read_to_string(golden_path()).expect("golden file present");
+    let body = std::fs::read_to_string(golden_path("metrics_events.json")).expect("present");
     let report: MetricsReport = serde_json::from_str(&body).expect("golden parses");
     assert_eq!(report, tt_bench::canonical_metrics_report(), "round trip");
 

@@ -4,7 +4,10 @@
 
 use tt_core::{HealthRecord, MembershipView, ProtocolConfig};
 use tt_fault::{run_experiment, ExperimentClass, TransientScenario};
-use tt_sim::{Nanos, NodeId, RoundIndex, SlotFaultClass, SlotRecord};
+use tt_sim::{
+    CauseId, MetricsEvent, Nanos, NodeId, RoundIndex, SlotFaultClass, SlotRecord, SpanEvent,
+    TracePhase, UpdateKind,
+};
 
 fn roundtrip<T>(value: &T) -> T
 where
@@ -81,6 +84,191 @@ fn scenarios_and_tuning_roundtrip() {
     assert_eq!(roundtrip(&scenario), scenario);
     let tuned = tt_analysis::tune(&tt_analysis::aerospace_setup());
     assert_eq!(roundtrip(&tuned), tuned);
+}
+
+/// Every `MetricsEvent` variant survives a serde round trip. The `match`
+/// below lists the variants without a wildcard, so adding a variant to the
+/// enum without extending this test is a compile error.
+#[test]
+fn every_metrics_event_variant_roundtrips() {
+    let n = NodeId::new(2);
+    let s = NodeId::new(3);
+    let r = RoundIndex::new(9);
+    let d = RoundIndex::new(7);
+    let events = vec![
+        MetricsEvent::RoundCompleted {
+            round: r,
+            wall_ns: 1_234,
+        },
+        MetricsEvent::SlotFault {
+            round: r,
+            sender: s,
+            class: SlotFaultClass::Benign,
+        },
+        MetricsEvent::Dissemination {
+            node: n,
+            round: r,
+            tx_round: RoundIndex::new(10),
+            accusations: 1,
+        },
+        MetricsEvent::Aggregation {
+            node: n,
+            round: r,
+            epsilon_rows: 2,
+        },
+        MetricsEvent::VoteTally {
+            node: n,
+            decided_at: r,
+            diagnosed: d,
+            subject: s,
+            ok: 2,
+            faulty: 1,
+            epsilon: 1,
+            decided: None,
+        },
+        MetricsEvent::PenaltyCharged {
+            node: n,
+            decided_at: r,
+            diagnosed: d,
+            subject: s,
+            penalty: 5,
+        },
+        MetricsEvent::RewardEarned {
+            node: n,
+            decided_at: r,
+            diagnosed: d,
+            subject: s,
+            reward: 3,
+        },
+        MetricsEvent::Forgiveness {
+            node: n,
+            decided_at: r,
+            diagnosed: d,
+            subject: s,
+        },
+        MetricsEvent::Isolation {
+            node: n,
+            decided_at: r,
+            diagnosed: d,
+            subject: s,
+            penalty: 197,
+        },
+        MetricsEvent::Reintegration {
+            node: n,
+            decided_at: r,
+            diagnosed: d,
+            subject: s,
+        },
+        MetricsEvent::ViewInstalled {
+            node: n,
+            view_id: 4,
+            installed_at: r,
+            diagnosed: d,
+            members: vec![n, s],
+        },
+    ];
+    let mut kinds = std::collections::BTreeSet::new();
+    for e in &events {
+        assert_eq!(&roundtrip(e), e, "{}", e.kind());
+        kinds.insert(e.kind());
+        // Exhaustiveness guard: extend `events` when adding a variant.
+        match e {
+            MetricsEvent::RoundCompleted { .. }
+            | MetricsEvent::SlotFault { .. }
+            | MetricsEvent::Dissemination { .. }
+            | MetricsEvent::Aggregation { .. }
+            | MetricsEvent::VoteTally { .. }
+            | MetricsEvent::PenaltyCharged { .. }
+            | MetricsEvent::RewardEarned { .. }
+            | MetricsEvent::Forgiveness { .. }
+            | MetricsEvent::Isolation { .. }
+            | MetricsEvent::Reintegration { .. }
+            | MetricsEvent::ViewInstalled { .. } => {}
+        }
+    }
+    assert_eq!(kinds.len(), events.len(), "one sample per kind");
+}
+
+/// Every provenance `SpanEvent` variant (and the id/enum types it carries)
+/// survives a serde round trip — `ttdiag trace --format jsonl` output must
+/// be reloadable.
+#[test]
+fn every_span_event_variant_roundtrips() {
+    let cause = CauseId::new(NodeId::new(3), RoundIndex::new(7));
+    let n = NodeId::new(2);
+    let r = RoundIndex::new(9);
+    let spans = vec![
+        SpanEvent::SlotFault {
+            cause,
+            class: SlotFaultClass::Benign,
+        },
+        SpanEvent::Detection {
+            cause,
+            node: n,
+            round: r,
+        },
+        SpanEvent::Dissemination {
+            cause,
+            node: n,
+            round: r,
+            tx_round: RoundIndex::new(10),
+        },
+        SpanEvent::Aggregation {
+            cause,
+            node: n,
+            round: r,
+            epsilon: 1,
+        },
+        SpanEvent::Analysis {
+            cause,
+            node: n,
+            round: r,
+            ok: 1,
+            faulty: 2,
+            epsilon: 1,
+            decided: Some(false),
+        },
+        SpanEvent::Update {
+            cause,
+            node: n,
+            round: r,
+            kind: UpdateKind::Penalty,
+            counter: 4,
+        },
+    ];
+    let mut phases = std::collections::BTreeSet::new();
+    for e in &spans {
+        assert_eq!(&roundtrip(e), e, "{}", e.phase().label());
+        phases.insert(e.phase());
+        // Exhaustiveness guard: extend `spans` when adding a variant.
+        match e {
+            SpanEvent::SlotFault { .. }
+            | SpanEvent::Detection { .. }
+            | SpanEvent::Dissemination { .. }
+            | SpanEvent::Aggregation { .. }
+            | SpanEvent::Analysis { .. }
+            | SpanEvent::Update { .. } => {}
+        }
+    }
+    assert_eq!(
+        phases.into_iter().collect::<Vec<_>>(),
+        TracePhase::ALL.to_vec(),
+        "one sample per phase, covering the whole pipeline"
+    );
+
+    assert_eq!(roundtrip(&cause), cause);
+    for phase in TracePhase::ALL {
+        assert_eq!(roundtrip(&phase), phase);
+    }
+    for kind in [
+        UpdateKind::Penalty,
+        UpdateKind::Reward,
+        UpdateKind::Forgiveness,
+        UpdateKind::Isolation,
+        UpdateKind::Reintegration,
+    ] {
+        assert_eq!(roundtrip(&kind), kind);
+    }
 }
 
 #[test]

@@ -127,6 +127,21 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+// `Value` is its own data model: serializing is the identity, so callers
+// can hand-build dynamic JSON documents (e.g. Chrome trace events) and
+// feed them to `serde_json` like any derived type.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
