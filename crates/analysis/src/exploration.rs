@@ -1,0 +1,110 @@
+//! Consumers of the `tt-fault` explorer: coverage-frontier summaries for
+//! `ttdiag explore` and the CI smoke job.
+//!
+//! The explorer itself ([`tt_fault::explore()`]) reports raw numbers; this
+//! module turns an [`ExploreReport`] into the human-readable frontier
+//! summary (unique fingerprints, schedules/sec, violations found and how
+//! far the shrinker minimized them) that the CLI prints.
+
+use tt_fault::explore::{ExploreConfig, ExploreReport, Strategy};
+
+use crate::table::Table;
+
+/// Renders the coverage-frontier summary of one exploration run.
+///
+/// `elapsed_secs` is the wall-clock time of the run (used for the
+/// schedules/sec throughput row); pass 0.0 to omit throughput.
+pub fn render_explore_summary(
+    cfg: &ExploreConfig,
+    report: &ExploreReport,
+    elapsed_secs: f64,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "fault-schedule exploration — n={} rounds={} P={} R={} seed={:#x} ({})\n\n",
+        cfg.n,
+        cfg.rounds,
+        cfg.penalty_threshold,
+        cfg.reward_threshold,
+        cfg.seed,
+        match cfg.strategy {
+            Strategy::CoverageGuided => "coverage-guided",
+            Strategy::Random => "pure random",
+        },
+    ));
+    let mut t = Table::new(vec!["Coverage frontier", "Value"]);
+    t.row(vec![
+        "schedules executed".to_string(),
+        report.executed.to_string(),
+    ]);
+    t.row(vec![
+        "unique state fingerprints".to_string(),
+        report.unique_states.to_string(),
+    ]);
+    t.row(vec![
+        "coverage-discovering schedules".to_string(),
+        report.corpus.len().to_string(),
+    ]);
+    if elapsed_secs > 0.0 {
+        t.row(vec![
+            "schedules/sec".to_string(),
+            format!("{:.1}", report.executed as f64 / elapsed_secs),
+        ]);
+    }
+    t.row(vec![
+        "violations found".to_string(),
+        report.counterexamples.len().to_string(),
+    ]);
+    t.row(vec![
+        "shrink executions spent".to_string(),
+        report.shrink_steps.to_string(),
+    ]);
+    out.push_str(&t.render());
+    for (i, cx) in report.counterexamples.iter().enumerate() {
+        out.push_str(&format!(
+            "\ncounterexample {}: {} fault(s) shrunk to {} (id {:016x}, {} shrink steps)\n",
+            i + 1,
+            cx.original.faults.len(),
+            cx.shrunk.faults.len(),
+            cx.shrunk.id(),
+            cx.shrink_steps,
+        ));
+        for v in &cx.violations {
+            out.push_str(&format!("  {v}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_fault::explore::explore;
+
+    #[test]
+    fn summary_mentions_the_frontier_numbers() {
+        let cfg = ExploreConfig {
+            budget: 15,
+            ..ExploreConfig::default()
+        };
+        let report = explore(&cfg);
+        let s = render_explore_summary(&cfg, &report, 0.5);
+        assert!(s.contains("unique state fingerprints"));
+        assert!(s.contains("schedules/sec"));
+        assert!(s.contains(&report.unique_states.to_string()));
+        assert!(s.contains("coverage-guided"));
+    }
+
+    #[test]
+    fn zero_elapsed_omits_throughput() {
+        let cfg = ExploreConfig {
+            budget: 5,
+            strategy: Strategy::Random,
+            ..ExploreConfig::default()
+        };
+        let report = explore(&cfg);
+        let s = render_explore_summary(&cfg, &report, 0.0);
+        assert!(!s.contains("schedules/sec"));
+        assert!(s.contains("pure random"));
+    }
+}

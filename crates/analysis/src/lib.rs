@@ -21,6 +21,8 @@
 //! * [`provenance`] — consumers of the `tt-sim` tracing layer: causal
 //!   chain reconstruction, detection-latency verification (≤ 4 rounds)
 //!   and JSONL/Perfetto export for `ttdiag trace`;
+//! * [`exploration`] — consumers of the `tt-fault` coverage-guided fault
+//!   explorer: frontier summaries for `ttdiag explore`;
 //! * [`stats`] — summary statistics for repeated seeded experiments;
 //! * [`table`] — paper-style ASCII table rendering;
 //! * [`report`] — serializable paper-vs-measured records backing
@@ -32,6 +34,7 @@
 pub mod availability;
 pub mod chart;
 pub mod correlation;
+pub mod exploration;
 pub mod isolation;
 pub mod observability;
 pub mod provenance;
@@ -44,6 +47,7 @@ pub mod tuning;
 pub use availability::{availability_from_isolations, availability_of, AvailabilityReport};
 pub use chart::{line_chart, step_chart};
 pub use correlation::{correlation_probability, max_reward_threshold, CorrelationPoint};
+pub use exploration::render_explore_summary;
 pub use isolation::{measure_time_to_isolation, IsolationMeasurement};
 pub use observability::{events_to_csv, render_summary, EventSummary, EVENTS_CSV_HEADER};
 pub use provenance::{

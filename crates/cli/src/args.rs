@@ -168,6 +168,34 @@ pub enum Command {
         /// JSON output path, if any.
         json: Option<String>,
     },
+    /// Run the coverage-guided fault-schedule explorer.
+    Explore {
+        /// Cluster size.
+        nodes: usize,
+        /// Rounds per explored schedule.
+        rounds: u64,
+        /// Penalty threshold `P` of explored schedules.
+        penalty: u64,
+        /// Reward threshold `R` of explored schedules.
+        reward: u64,
+        /// Generator seed (the run is a pure function of it).
+        seed: u64,
+        /// Schedule executions to spend.
+        budget: u64,
+        /// Maximum faults per schedule.
+        max_faults: usize,
+        /// Use the pure-random baseline generator instead of coverage
+        /// guidance.
+        random: bool,
+        /// Seed-corpus directory to replay before generating.
+        corpus: Option<String>,
+        /// Directory to write coverage-discovering schedules to.
+        corpus_out: Option<String>,
+        /// Directory to write shrunk counterexample schedules to.
+        repro: Option<String>,
+        /// JSON report output path, if any.
+        json: Option<String>,
+    },
     /// Print usage.
     Help,
 }
@@ -376,6 +404,62 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             }
             Ok(Command::Campaign { reps, json })
         }
+        "explore" => {
+            let mut nodes = 4usize;
+            let mut rounds = 24u64;
+            let mut penalty = 3u64;
+            let mut reward = 2u64;
+            let mut seed = 0xD1A6_05E5u64;
+            let mut budget = 200u64;
+            let mut max_faults = 6usize;
+            let mut random = false;
+            let mut corpus = None;
+            let mut corpus_out = None;
+            let mut repro = None;
+            let mut json = None;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                let mut val = |name: &str| -> Result<&String, ParseError> {
+                    it.next()
+                        .ok_or_else(|| ParseError(format!("{name} needs a value")))
+                };
+                match a.as_str() {
+                    "--nodes" => nodes = parse_num(val("--nodes")?, "nodes")?,
+                    "--rounds" => rounds = parse_num(val("--rounds")?, "rounds")?,
+                    "--penalty" => penalty = parse_num(val("--penalty")?, "penalty")?,
+                    "--reward" => reward = parse_num(val("--reward")?, "reward")?,
+                    "--seed" => seed = parse_num(val("--seed")?, "seed")?,
+                    "--budget" => budget = parse_num(val("--budget")?, "budget")?,
+                    "--max-faults" => max_faults = parse_num(val("--max-faults")?, "max faults")?,
+                    "--random" => random = true,
+                    "--corpus" => corpus = Some(val("--corpus")?.clone()),
+                    "--corpus-out" => corpus_out = Some(val("--corpus-out")?.clone()),
+                    "--repro" => repro = Some(val("--repro")?.clone()),
+                    "--json" => json = Some(val("--json")?.clone()),
+                    other => return err(format!("unknown explore flag {other:?}")),
+                }
+            }
+            if nodes < 4 {
+                return err("explore needs at least 4 nodes");
+            }
+            if budget == 0 {
+                return err("explore budget must be positive");
+            }
+            Ok(Command::Explore {
+                nodes,
+                rounds,
+                penalty,
+                reward,
+                seed,
+                budget,
+                max_faults,
+                random,
+                corpus,
+                corpus_out,
+                repro,
+                json,
+            })
+        }
         "simulate" => {
             let mut nodes = 4usize;
             let mut rounds = 50u64;
@@ -558,6 +642,12 @@ USAGE:
   ttdiag tune [automotive|aerospace]       regenerate the Table 2 tuning
   ttdiag isolation [automotive|aerospace]  Table 4 time-to-isolation rows
   ttdiag campaign [--reps N] [--json PATH] Sec. 8 validation campaign
+  ttdiag explore [--nodes N] [--rounds R] [--penalty P] [--reward R]
+                  [--seed S] [--budget ITERS] [--max-faults K] [--random]
+                  [--corpus DIR] [--corpus-out DIR] [--repro DIR] [--json PATH]
+                                           coverage-guided fault-schedule
+                                           search with shrinking (exit 1 on
+                                           any surviving counterexample)
   ttdiag help
 
 FAULT SPECS:
@@ -581,6 +671,7 @@ EXAMPLES:
   ttdiag simulate --nodes 6 --rounds 200 --fault noise:0.05 --penalty 10 --reward 50
   ttdiag tune aerospace
   ttdiag campaign --reps 100 --json results.json
+  ttdiag explore --budget 150 --seed 7 --corpus tests/corpus --repro repros/
 ";
 
 #[cfg(test)]
@@ -831,6 +922,60 @@ mod tests {
             }
         );
         assert!(parse(&args("campaign --bogus")).is_err());
+    }
+
+    #[test]
+    fn explore_defaults_and_flags() {
+        let c = parse(&args("explore")).unwrap();
+        assert_eq!(
+            c,
+            Command::Explore {
+                nodes: 4,
+                rounds: 24,
+                penalty: 3,
+                reward: 2,
+                seed: 0xD1A6_05E5,
+                budget: 200,
+                max_faults: 6,
+                random: false,
+                corpus: None,
+                corpus_out: None,
+                repro: None,
+                json: None,
+            }
+        );
+        let c = parse(&args(
+            "explore --nodes 5 --rounds 30 --penalty 4 --reward 3 --seed 9 --budget 50 \
+             --max-faults 3 --random --corpus in/ --corpus-out out/ --repro rep/ --json r.json",
+        ))
+        .unwrap();
+        match c {
+            Command::Explore {
+                nodes,
+                rounds,
+                penalty,
+                reward,
+                seed,
+                budget,
+                max_faults,
+                random,
+                corpus,
+                corpus_out,
+                repro,
+                json,
+            } => {
+                assert_eq!((nodes, rounds, penalty, reward), (5, 30, 4, 3));
+                assert_eq!((seed, budget, max_faults, random), (9, 50, 3, true));
+                assert_eq!(corpus, Some("in/".into()));
+                assert_eq!(corpus_out, Some("out/".into()));
+                assert_eq!(repro, Some("rep/".into()));
+                assert_eq!(json, Some("r.json".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&args("explore --nodes 3")).is_err());
+        assert!(parse(&args("explore --budget 0")).is_err());
+        assert!(parse(&args("explore --warp 9")).is_err());
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use tt_analysis::{
     aerospace_setup, automotive_setup, availability_of, group_chains, measure_time_to_isolation,
-    render_provenance_summary, spans_to_jsonl, spans_to_perfetto, tune, LatencySummary, Table,
-    LATENCY_BOUND_ROUNDS,
+    render_explore_summary, render_provenance_summary, spans_to_jsonl, spans_to_perfetto, tune,
+    LatencySummary, Table, LATENCY_BOUND_ROUNDS,
 };
 use tt_core::properties::{check_diag_cluster, checkable_rounds};
 use tt_core::{DiagJob, ProtocolConfig};
@@ -64,6 +64,23 @@ pub fn run(cmd: Command) -> Result<String, String> {
             let pipeline = Box::new(build_pipeline(&faults, nodes, seed)?);
             trace(nodes, rounds, penalty, reward, pipeline, format, out)
         }
+        Command::Explore {
+            nodes,
+            rounds,
+            penalty,
+            reward,
+            seed,
+            budget,
+            max_faults,
+            random,
+            corpus,
+            corpus_out,
+            repro,
+            json,
+        } => explore_cmd(
+            nodes, rounds, penalty, reward, seed, budget, max_faults, random, corpus, corpus_out,
+            repro, json,
+        ),
         Command::Replay {
             trace,
             nodes,
@@ -444,6 +461,83 @@ fn campaign(reps: u64, json: Option<String>) -> Result<String, String> {
     Ok(out)
 }
 
+#[allow(clippy::too_many_arguments)] // mirrors the flat flag surface of the CLI
+fn explore_cmd(
+    nodes: usize,
+    rounds: u64,
+    penalty: u64,
+    reward: u64,
+    seed: u64,
+    budget: u64,
+    max_faults: usize,
+    random: bool,
+    corpus: Option<String>,
+    corpus_out: Option<String>,
+    repro: Option<String>,
+    json: Option<String>,
+) -> Result<String, String> {
+    use tt_fault::explore::{
+        explore_with, load_corpus, no_extra_oracle, save_schedule, ExploreConfig, Strategy,
+    };
+    let cfg = ExploreConfig {
+        n: nodes,
+        rounds,
+        penalty_threshold: penalty,
+        reward_threshold: reward,
+        max_faults,
+        budget,
+        seed,
+        strategy: if random {
+            Strategy::Random
+        } else {
+            Strategy::CoverageGuided
+        },
+    };
+    let seeds: Vec<_> = match &corpus {
+        Some(dir) => load_corpus(std::path::Path::new(dir))
+            .map_err(|e| format!("loading corpus {dir}: {e}"))?
+            .into_iter()
+            .map(|(_, s)| s)
+            .collect(),
+        None => Vec::new(),
+    };
+    let started = std::time::Instant::now();
+    let report = explore_with(&cfg, &seeds, &no_extra_oracle);
+    let elapsed = started.elapsed().as_secs_f64();
+    let mut out = render_explore_summary(&cfg, &report, elapsed);
+    if let Some(dir) = &corpus_out {
+        let dir = std::path::Path::new(dir);
+        for s in &report.corpus {
+            save_schedule(dir, "sched", s).map_err(|e| format!("writing corpus: {e}"))?;
+        }
+        out.push_str(&format!(
+            "\nwrote {} coverage-discovering schedules to {}\n",
+            report.corpus.len(),
+            dir.display()
+        ));
+    }
+    if let Some(dir) = &repro {
+        let dir = std::path::Path::new(dir);
+        for cx in &report.counterexamples {
+            let path = save_schedule(dir, "repro", &cx.shrunk)
+                .map_err(|e| format!("writing repro: {e}"))?;
+            out.push_str(&format!(
+                "\nwrote shrunk reproducer to {}\n",
+                path.display()
+            ));
+        }
+    }
+    if let Some(path) = &json {
+        let body = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        std::fs::write(path, body).map_err(|e| format!("writing {path}: {e}"))?;
+        out.push_str(&format!("\nwrote full report to {path}\n"));
+    }
+    if !report.counterexamples.is_empty() {
+        return Err(out);
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -748,5 +842,38 @@ mod tests {
         .unwrap();
         // The first 10 ms burst corrupts 16 slots.
         assert!(out.contains("Faulty slots on the bus: 16"), "{out}");
+    }
+
+    #[test]
+    fn explore_small_budget_finds_no_violations() {
+        let corpus_out = std::env::temp_dir().join("ttdiag_cli_test_explore_corpus");
+        let json = std::env::temp_dir().join("ttdiag_cli_test_explore.json");
+        let out = run(Command::Explore {
+            nodes: 4,
+            rounds: 24,
+            penalty: 3,
+            reward: 2,
+            seed: 0xD1A6_05E5,
+            budget: 15,
+            max_faults: 6,
+            random: false,
+            corpus: None,
+            corpus_out: Some(corpus_out.to_string_lossy().to_string()),
+            repro: None,
+            json: Some(json.to_string_lossy().to_string()),
+        })
+        .unwrap();
+        assert!(out.contains("unique state fingerprints"), "{out}");
+        assert!(out.contains("violations found"), "{out}");
+        // The corpus directory holds one JSON schedule per coverage discovery
+        // and the report round-trips through serde.
+        let n_schedules = std::fs::read_dir(&corpus_out).unwrap().count();
+        assert!(n_schedules > 0);
+        let report: tt_fault::ExploreReport =
+            serde_json::from_str(&std::fs::read_to_string(&json).unwrap()).unwrap();
+        assert_eq!(report.executed, 15);
+        assert!(report.counterexamples.is_empty());
+        std::fs::remove_dir_all(&corpus_out).ok();
+        std::fs::remove_file(&json).ok();
     }
 }

@@ -215,9 +215,12 @@ pub fn check_properties(
 /// its traffic *by design* (paper Sec. 5), so its slots read as invalid and
 /// it stays convicted even if the bus would deliver them — that is the
 /// intended steady state, not a correctness violation. Correctness checks
-/// for a sender are therefore exempted from the round its isolation was
-/// decided onwards (the isolation decisions themselves are consistent
-/// across obedient nodes, which [`check_counter_consistency`] verifies).
+/// for a sender are therefore exempted from the earliest round ANY obedient
+/// observer decided its isolation. Within the fault hypothesis the decisions
+/// coincide (which [`check_counter_consistency`] verifies); after an
+/// out-of-hypothesis period they may legitimately diverge, and a sender
+/// isolated by a subset of controllers is already a standing partially
+/// ignored source whose diagnosis is no longer attributable.
 ///
 /// # Panics
 ///
@@ -232,10 +235,21 @@ pub fn check_diag_cluster(
         .job_as(obedient[0])
         .expect("obedient node runs a DiagJob");
     let lag = crate::alignment::diagnosis_lag(sample.config().all_send_curr_round());
+    // Earliest isolation decision per sender across ALL observers: once any
+    // obedient controller has isolated a sender, that sender's traffic is
+    // partially ignored and correctness can no longer be attributed to it —
+    // even if other observers isolate it later (after an out-of-hypothesis
+    // period, isolation decisions may legitimately diverge).
     let mut isolated_from: std::collections::HashMap<NodeId, RoundIndex> =
         std::collections::HashMap::new();
-    for iso in sample.isolations() {
-        isolated_from.entry(iso.node).or_insert(iso.decided_at);
+    for &obs in obedient {
+        let job: &DiagJob = cluster.job_as(obs).expect("obedient node runs a DiagJob");
+        for iso in job.isolations() {
+            isolated_from
+                .entry(iso.node)
+                .and_modify(|d| *d = (*d).min(iso.decided_at))
+                .or_insert(iso.decided_at);
+        }
     }
     let getter = |node: NodeId, r: RoundIndex| -> Option<Vec<bool>> {
         let job: &DiagJob = cluster.job_as(node).ok()?;
@@ -305,6 +319,242 @@ pub fn check_view_consistency(cluster: &Cluster, obedient: &[NodeId]) -> Vec<(No
         }
     }
     divergent
+}
+
+/// One violation of an Alg. 2 (penalty/reward) invariant.
+///
+/// These complement the Theorem 1 oracles above: they verify that the p/r
+/// layer *on top of* the consistent health vector behaves exactly as the
+/// paper's Alg. 2 prescribes — no isolation before the penalty threshold is
+/// strictly exceeded, forgiveness exactly at the reward threshold, and no
+/// counter movement outside the paper's transitions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Alg2Violation {
+    /// A node is isolated although its penalty never exceeded `P`.
+    PrematureIsolation {
+        /// The observer holding the state.
+        observer: NodeId,
+        /// The prematurely isolated node.
+        subject: NodeId,
+        /// The diagnosed round after whose update the state was seen.
+        diagnosed: RoundIndex,
+        /// The subject's penalty counter.
+        penalty: u64,
+        /// The penalty threshold `P`.
+        threshold: u64,
+    },
+    /// A node's penalty exceeds `P` but it was not isolated.
+    MissedIsolation {
+        /// The observer holding the state.
+        observer: NodeId,
+        /// The node that should have been isolated.
+        subject: NodeId,
+        /// The diagnosed round after whose update the state was seen.
+        diagnosed: RoundIndex,
+        /// The subject's penalty counter.
+        penalty: u64,
+        /// The penalty threshold `P`.
+        threshold: u64,
+    },
+    /// A reward counter reached `R` without the forgiveness reset firing.
+    RewardAtThreshold {
+        /// The observer holding the state.
+        observer: NodeId,
+        /// The subject whose reward overflowed.
+        subject: NodeId,
+        /// The diagnosed round after whose update the state was seen.
+        diagnosed: RoundIndex,
+        /// The subject's reward counter.
+        reward: u64,
+        /// The reward threshold `R`.
+        threshold: u64,
+    },
+    /// A reward counter is positive although no penalty is pending (rewards
+    /// only track recovery from a charged fault).
+    RewardWithoutPenalty {
+        /// The observer holding the state.
+        observer: NodeId,
+        /// The subject with the stray reward.
+        subject: NodeId,
+        /// The diagnosed round after whose update the state was seen.
+        diagnosed: RoundIndex,
+        /// The subject's reward counter.
+        reward: u64,
+    },
+    /// Replaying the recorded health vectors through a fresh Alg. 2 state
+    /// does not reproduce the observer's counters — some counter moved
+    /// outside the paper's transitions.
+    CounterDrift {
+        /// The observer whose state diverged from the replay.
+        observer: NodeId,
+        /// The subject whose counters diverged.
+        subject: NodeId,
+        /// The diagnosed round at which the divergence was detected.
+        diagnosed: RoundIndex,
+        /// `(penalty, reward)` the replay expected.
+        expected: (u64, u64),
+        /// `(penalty, reward)` the observer actually recorded.
+        actual: (u64, u64),
+    },
+    /// The observer's isolation decisions disagree with the replay (an
+    /// isolation it never decided, or one the replay does not produce).
+    IsolationDrift {
+        /// The observer whose isolation log diverged.
+        observer: NodeId,
+        /// `(subject, diagnosed)` pairs the replay produced.
+        expected: Vec<(NodeId, RoundIndex)>,
+        /// `(subject, diagnosed)` pairs the observer recorded.
+        actual: Vec<(NodeId, RoundIndex)>,
+    },
+}
+
+/// Checks the stepwise Alg. 2 invariants on one p/r state, as observed
+/// after the update for `diagnosed`:
+///
+/// * isolation only after the penalty *strictly* exceeds `P` — and always
+///   once it has;
+/// * rewards reset (forgiveness) exactly when they reach `R`, so an
+///   observable reward counter is always `< R`;
+/// * no reward bookkeeping without a pending penalty.
+///
+/// Shared verbatim by the property-based tests and the fault-scenario
+/// explorer's oracle stack.
+pub fn alg2_state_violations(
+    pr: &crate::penalty::PenaltyReward,
+    n: usize,
+    penalty_threshold: u64,
+    reward_threshold: u64,
+    observer: NodeId,
+    diagnosed: RoundIndex,
+) -> Vec<Alg2Violation> {
+    let mut v = Vec::new();
+    for subject in NodeId::all(n) {
+        let penalty = pr.penalty(subject);
+        let reward = pr.reward(subject);
+        let active = pr.is_active(subject);
+        if !active && penalty <= penalty_threshold {
+            v.push(Alg2Violation::PrematureIsolation {
+                observer,
+                subject,
+                diagnosed,
+                penalty,
+                threshold: penalty_threshold,
+            });
+        }
+        if active && penalty > penalty_threshold {
+            v.push(Alg2Violation::MissedIsolation {
+                observer,
+                subject,
+                diagnosed,
+                penalty,
+                threshold: penalty_threshold,
+            });
+        }
+        if reward >= reward_threshold {
+            v.push(Alg2Violation::RewardAtThreshold {
+                observer,
+                subject,
+                diagnosed,
+                reward,
+                threshold: reward_threshold,
+            });
+        }
+        if reward > 0 && penalty == 0 {
+            v.push(Alg2Violation::RewardWithoutPenalty {
+                observer,
+                subject,
+                diagnosed,
+                reward,
+            });
+        }
+    }
+    v
+}
+
+/// Checks every obedient [`DiagJob`] of a [`Cluster`] against the Alg. 2
+/// invariants: the recorded health vectors are replayed through a fresh
+/// p/r state, the stepwise invariants of [`alg2_state_violations`] are
+/// verified after each update, any recorded per-round counter samples
+/// (see [`DiagJob::with_counter_trace`]) are compared against the replay,
+/// and the final counters plus the isolation log must match the replay
+/// exactly — i.e. the counters never moved except via the paper's
+/// transitions.
+///
+/// Returns all violations found (empty = Alg. 2 held everywhere).
+///
+/// # Panics
+///
+/// Panics if an obedient node does not host a `DiagJob`.
+pub fn check_alg2_cluster(cluster: &Cluster, obedient: &[NodeId]) -> Vec<Alg2Violation> {
+    use crate::penalty::PenaltyReward;
+    let mut violations = Vec::new();
+    for &obs in obedient {
+        let job: &DiagJob = cluster.job_as(obs).expect("obedient node runs a DiagJob");
+        let cfg = job.config();
+        let n = cfg.n_nodes();
+        let (p, r) = (cfg.penalty_threshold(), cfg.reward_threshold());
+        let mut replay =
+            PenaltyReward::new(n, cfg.criticalities().to_vec(), p, r, cfg.reintegration());
+        let mut replay_isolations: Vec<(NodeId, RoundIndex)> = Vec::new();
+        for (step, rec) in job.health_log().iter().enumerate() {
+            for iso in replay.update(&rec.health) {
+                replay_isolations.push((iso, rec.diagnosed));
+            }
+            violations.extend(alg2_state_violations(&replay, n, p, r, obs, rec.diagnosed));
+            // Per-round counter samples, when traced, must match the replay
+            // step for step.
+            if let Some(sample) = job.counter_trace().get(step) {
+                for subject in NodeId::all(n) {
+                    let expected = (replay.penalty(subject), replay.reward(subject));
+                    let actual = (
+                        sample.penalties[subject.index()],
+                        sample.rewards[subject.index()],
+                    );
+                    if expected != actual {
+                        violations.push(Alg2Violation::CounterDrift {
+                            observer: obs,
+                            subject,
+                            diagnosed: rec.diagnosed,
+                            expected,
+                            actual,
+                        });
+                    }
+                }
+            }
+        }
+        // Final state: the job's live counters must equal the replay's.
+        let final_round = job
+            .health_log()
+            .last()
+            .map(|h| h.diagnosed)
+            .unwrap_or(RoundIndex::ZERO);
+        for subject in NodeId::all(n) {
+            let expected = (replay.penalty(subject), replay.reward(subject));
+            let actual = (job.penalty(subject), job.reward(subject));
+            if expected != actual {
+                violations.push(Alg2Violation::CounterDrift {
+                    observer: obs,
+                    subject,
+                    diagnosed: final_round,
+                    expected,
+                    actual,
+                });
+            }
+        }
+        let actual_isolations: Vec<(NodeId, RoundIndex)> = job
+            .isolations()
+            .iter()
+            .map(|i| (i.node, i.diagnosed))
+            .collect();
+        if replay_isolations != actual_isolations {
+            violations.push(Alg2Violation::IsolationDrift {
+                observer: obs,
+                expected: replay_isolations,
+                actual: actual_isolations,
+            });
+        }
+    }
+    violations
 }
 
 /// The diagnosed rounds that are safely checkable in a run of

@@ -28,6 +28,7 @@
 pub mod bitflip;
 pub mod burst;
 pub mod campaign;
+pub mod explore;
 pub mod injector;
 pub mod malicious;
 pub mod noise;
@@ -38,6 +39,11 @@ pub use burst::{Burst, ContinuousFault, IntermittentFault, SenderBurst};
 pub use campaign::{
     experiment_seed, extended_classes, run_campaign, run_experiment, run_extended, sec8_classes,
     CampaignResult, ExperimentClass, ExperimentOutcome, ExtendedClass,
+};
+pub use explore::{
+    execute_schedule, execute_schedule_with_oracle, explore, explore_with, load_corpus,
+    no_extra_oracle, save_schedule, shrink_schedule, Counterexample, ExploreConfig, ExploreReport,
+    FaultSchedule, ScheduleExec, ScheduleVerdict, ScheduledClass, ScheduledFault, Strategy,
 };
 pub use injector::{Disturbance, DisturbanceNode};
 pub use malicious::{AsymmetricDisturbance, CliquePartition, RandomSyndromeJob};

@@ -1,0 +1,90 @@
+//! A stable, dependency-free hasher for state fingerprints.
+//!
+//! `std::collections::HashMap`'s default hasher is randomly keyed per
+//! process, so it cannot produce fingerprints that are comparable across
+//! runs, machines, or serialized corpora. [`Fnv1a64`] is the classic
+//! FNV-1a 64-bit hash: deterministic, well distributed for short keys, and
+//! stable across platforms — exactly what the coverage-guided fault
+//! explorer needs to dedupe protocol states between sessions.
+
+use std::hash::Hasher;
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// A 64-bit FNV-1a [`Hasher`] with a platform-independent result.
+///
+/// ```
+/// use std::hash::{Hash, Hasher};
+/// use tt_sim::Fnv1a64;
+///
+/// let mut h = Fnv1a64::new();
+/// 42u64.hash(&mut h);
+/// assert_eq!(h.finish(), {
+///     let mut h2 = Fnv1a64::new();
+///     42u64.hash(&mut h2);
+///     h2.finish()
+/// });
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a64(u64);
+
+impl Fnv1a64 {
+    /// A hasher starting from the standard FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a64(FNV_OFFSET)
+    }
+
+    /// Convenience: hashes one byte slice from a fresh state.
+    pub fn hash_bytes(bytes: &[u8]) -> u64 {
+        let mut h = Fnv1a64::new();
+        h.write(bytes);
+        h.finish()
+    }
+}
+
+impl Default for Fnv1a64 {
+    fn default() -> Self {
+        Fnv1a64::new()
+    }
+}
+
+impl Hasher for Fnv1a64 {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(Fnv1a64::hash_bytes(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(Fnv1a64::hash_bytes(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(Fnv1a64::hash_bytes(b"foobar"), 0x8594_4171_F739_67E8);
+    }
+
+    #[test]
+    fn is_deterministic_for_hashed_values() {
+        let fp = |vals: &[u64]| {
+            let mut h = Fnv1a64::new();
+            for v in vals {
+                v.hash(&mut h);
+            }
+            h.finish()
+        };
+        assert_eq!(fp(&[1, 2, 3]), fp(&[1, 2, 3]));
+        assert_ne!(fp(&[1, 2, 3]), fp(&[3, 2, 1]));
+    }
+}

@@ -55,6 +55,7 @@ pub mod controller;
 pub mod engine;
 pub mod error;
 pub mod frame;
+pub mod hash;
 pub mod job;
 pub mod metrics;
 pub mod node;
@@ -74,6 +75,7 @@ pub use controller::{CollisionDetectorMode, CollisionRecord, Controller};
 pub use engine::{Cluster, ClusterBuilder};
 pub use error::SimError;
 pub use frame::{crc32, Frame, FrameError};
+pub use hash::Fnv1a64;
 pub use job::{Job, JobCtx};
 pub use metrics::{
     HistogramSummary, MetricsEvent, MetricsReport, MetricsSink, NamedCounter, NamedGauge,

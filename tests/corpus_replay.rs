@@ -1,0 +1,117 @@
+//! Regression corpus replay: every schedule stored under `tests/corpus/`
+//! (discovered by the coverage-guided explorer, committed to the repo) is
+//! re-executed against the full oracle stack on every PR. A protocol
+//! regression that breaks Theorem 1, counter consistency or an Alg. 2
+//! invariant on any previously-explored state trips this test with the
+//! offending schedule's filename.
+
+use std::path::{Path, PathBuf};
+
+use tt_fault::explore::{execute_schedule, explore_with, load_corpus, ExploreConfig};
+use tt_sim::Cluster;
+
+fn corpus_dir() -> PathBuf {
+    // Tests are registered from crates/bench; the corpus lives at the
+    // workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+/// Every stored schedule replays cleanly against every oracle.
+#[test]
+fn corpus_replays_clean_against_all_oracles() {
+    let corpus = load_corpus(&corpus_dir()).expect("corpus directory readable");
+    assert!(
+        !corpus.is_empty(),
+        "the seed corpus is committed and non-empty"
+    );
+    for (path, schedule) in &corpus {
+        let exec = execute_schedule(schedule);
+        assert!(
+            exec.verdict.ok(),
+            "{}: {:?}",
+            path.display(),
+            exec.verdict.all(),
+        );
+    }
+}
+
+/// Stored filenames embed the schedule's content hash; a hand-edited or
+/// corrupted corpus entry is caught before it silently weakens the suite.
+#[test]
+fn corpus_filenames_match_schedule_ids() {
+    for (path, schedule) in load_corpus(&corpus_dir()).expect("corpus directory readable") {
+        let stem = path.file_stem().unwrap().to_string_lossy();
+        let hex = stem.rsplit('-').next().unwrap();
+        assert_eq!(
+            u64::from_str_radix(hex, 16).ok(),
+            Some(schedule.id()),
+            "{}: filename does not match content id",
+            path.display(),
+        );
+    }
+}
+
+/// Replaying the corpus as an explorer seed primes coverage without
+/// finding violations: the committed schedules stay within the protocol's
+/// verified envelope even when mutated further.
+#[test]
+fn corpus_seeds_explore_cleanly() {
+    let seeds: Vec<_> = load_corpus(&corpus_dir())
+        .expect("corpus directory readable")
+        .into_iter()
+        .map(|(_, s)| s)
+        .collect();
+    let cfg = ExploreConfig {
+        budget: seeds.len() as u64 + 20,
+        ..ExploreConfig::default()
+    };
+    let report = explore_with(&cfg, &seeds, &tt_fault::explore::no_extra_oracle);
+    assert!(
+        report.counterexamples.is_empty(),
+        "{:?}",
+        report
+            .counterexamples
+            .iter()
+            .map(|c| &c.violations)
+            .collect::<Vec<_>>(),
+    );
+    assert!(report.unique_states > 0);
+}
+
+/// Harness self-test: plant a deliberately weakened oracle ("no node is
+/// ever convicted" — false under any effective fault) and prove the
+/// explorer detects it AND the shrinker minimizes the reproducer to a
+/// single one-shot fault. The final `panic!` carries a sentinel message;
+/// if detection or minimization ever silently breaks, the asserts above
+/// it fail with different messages and `should_panic(expected)` rejects
+/// them.
+#[test]
+#[should_panic(expected = "weak oracle detected and minimized as designed")]
+fn planted_weak_oracle_self_test() {
+    let weak = |cluster: &Cluster| -> Vec<String> {
+        use tt_core::DiagJob;
+        use tt_sim::NodeId;
+        let job: &DiagJob = cluster.job_as(NodeId::new(1)).expect("diag job");
+        if job
+            .health_log()
+            .iter()
+            .any(|rec| rec.health.iter().any(|&b| !b))
+        {
+            vec!["weak: somebody was convicted".into()]
+        } else {
+            Vec::new()
+        }
+    };
+    let cfg = ExploreConfig {
+        budget: 30,
+        ..ExploreConfig::default()
+    };
+    let report = explore_with(&cfg, &[], &weak);
+    let cx = report
+        .counterexamples
+        .first()
+        .expect("explorer trips the weak oracle");
+    assert_eq!(cx.shrunk.faults.len(), 1, "minimized to one fault");
+    assert_eq!(cx.shrunk.faults[0].hits, 1, "minimized to one hit");
+    panic!("weak oracle detected and minimized as designed");
+}

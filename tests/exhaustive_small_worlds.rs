@@ -2,35 +2,88 @@
 //! sampling fault patterns, enumerate *every* pattern in a bounded window
 //! and check Theorem 1's properties on each. Complements the randomized
 //! property tests with full coverage of the small state space.
+//!
+//! The enumerations are parameterized over the cluster size `N ∈ {4, 5}`
+//! and the window shape (start round and width); the N = 5 two-round
+//! enumerations are `#[ignore]`d and run by the weekly soak job
+//! (`cargo test -- --ignored`).
 
 use tt_core::properties::{check_diag_cluster, checkable_rounds};
 use tt_core::{DiagJob, ProtocolConfig};
-use tt_sim::{Cluster, ClusterBuilder, NodeId, SlotEffect, TraceMode, TxCtx};
+use tt_sim::{Cluster, ClusterBuilder, Nanos, NodeId, SlotEffect, TraceMode, TxCtx};
 
-const N: usize = 4;
-/// The window of rounds whose slots are driven by the enumeration; wide
-/// enough that one protocol execution (diagnosed + dissemination) fits
-/// inside with margin.
-const WINDOW_START: u64 = 8;
-const WINDOW_ROUNDS: u64 = 2;
 const TOTAL_ROUNDS: u64 = 16;
 
-fn run_pattern(effect_of_slot: impl Fn(u64) -> SlotEffect + Send + Copy + 'static) -> Cluster {
-    let cfg = ProtocolConfig::builder(N)
+/// One world shape under enumeration: the cluster size and the bounded
+/// window of rounds whose slots the enumerated pattern drives.
+#[derive(Clone, Copy)]
+struct World {
+    n: usize,
+    window_start: u64,
+    window_rounds: u64,
+}
+
+/// N = 4 with the original two-round window starting at round 8.
+const W4: World = World {
+    n: 4,
+    window_start: 8,
+    window_rounds: 2,
+};
+
+/// N = 4, window shifted earlier — alignment must not matter.
+const W4_EARLY: World = World {
+    n: 4,
+    window_start: 6,
+    window_rounds: 2,
+};
+
+/// N = 5, single-round window (fast enough for every PR).
+const W5: World = World {
+    n: 5,
+    window_start: 8,
+    window_rounds: 1,
+};
+
+/// N = 5, two-round window — 2^10 benign worlds; weekly soak only.
+const W5_WIDE: World = World {
+    n: 5,
+    window_start: 8,
+    window_rounds: 2,
+};
+
+impl World {
+    const fn slots(&self) -> u64 {
+        self.window_rounds * self.n as u64
+    }
+}
+
+/// TDMA round length divisible by `n` (slot boundaries must fall on whole
+/// nanoseconds).
+fn round_for(n: usize) -> Nanos {
+    Nanos::from_nanos(2_500_000 - (2_500_000 % n as u64))
+}
+
+fn run_pattern(
+    world: World,
+    effect_of_slot: impl Fn(u64) -> SlotEffect + Send + Copy + 'static,
+) -> Cluster {
+    let cfg = ProtocolConfig::builder(world.n)
         .penalty_threshold(u64::MAX / 2)
         .reward_threshold(u64::MAX / 2)
         .build()
         .unwrap();
+    let n = world.n;
     let pipeline = move |ctx: &TxCtx| {
         let r = ctx.round.as_u64();
-        if (WINDOW_START..WINDOW_START + WINDOW_ROUNDS).contains(&r) {
-            let idx = (r - WINDOW_START) * N as u64 + ctx.sender.slot() as u64;
+        if (world.window_start..world.window_start + world.window_rounds).contains(&r) {
+            let idx = (r - world.window_start) * n as u64 + ctx.sender.slot() as u64;
             effect_of_slot(idx)
         } else {
             SlotEffect::Correct
         }
     };
-    let mut cluster = ClusterBuilder::new(N)
+    let mut cluster = ClusterBuilder::new(n)
+        .round_length(round_for(n))
         .trace_mode(TraceMode::Anomalies)
         .build_with_jobs(
             |id| Box::new(DiagJob::new(id, cfg.clone())),
@@ -40,50 +93,84 @@ fn run_pattern(effect_of_slot: impl Fn(u64) -> SlotEffect + Send + Copy + 'stati
     cluster
 }
 
-fn all_nodes() -> Vec<NodeId> {
-    NodeId::all(N).collect()
+fn all_nodes(n: usize) -> Vec<NodeId> {
+    NodeId::all(n).collect()
 }
 
-/// Every benign/correct pattern over a 2-round window: 2^(2N) = 256 worlds.
-/// All of them lie within Lemma 3's hypothesis (benign-only), so all three
+/// Every benign/correct pattern over the window: 2^slots worlds. All of
+/// them lie within Lemma 3's hypothesis (benign-only), so all three
 /// properties must hold in every world, including total blackouts.
-#[test]
-fn all_benign_patterns_over_two_rounds() {
-    let slots = (WINDOW_ROUNDS * N as u64) as u32;
+fn check_benign_patterns(world: World) {
+    let slots = world.slots() as u32;
     for mask in 0u32..(1 << slots) {
-        let cluster = run_pattern(move |idx| {
+        let cluster = run_pattern(world, move |idx| {
             if mask & (1 << idx) != 0 {
                 SlotEffect::Benign
             } else {
                 SlotEffect::Correct
             }
         });
-        let report = check_diag_cluster(&cluster, &all_nodes(), checkable_rounds(TOTAL_ROUNDS, 3));
-        assert!(report.ok(), "mask {mask:#010b}: {:?}", report.violations);
-        assert_eq!(report.rounds_out_of_hypothesis, 0, "mask {mask:#010b}");
+        let report = check_diag_cluster(
+            &cluster,
+            &all_nodes(world.n),
+            checkable_rounds(TOTAL_ROUNDS, 3),
+        );
+        assert!(
+            report.ok(),
+            "n={} mask {mask:#012b}: {:?}",
+            world.n,
+            report.violations
+        );
+        assert_eq!(
+            report.rounds_out_of_hypothesis, 0,
+            "n={} mask {mask:#012b}",
+            world.n
+        );
     }
 }
 
-/// One asymmetric sender (every non-trivial receiver subset) combined with
-/// every placement of one additional benign slot in the same window:
-/// within Lemma 2's bound for N = 4 (a = 1, s = 0, b <= 1: 4 > 2+0+1+1 is
-/// false for b = 1... so only the b = 0 cases are in-hypothesis; the
-/// oracle classifies and skips the rest, and we assert it found both
-/// kinds).
 #[test]
-fn one_asymmetric_sender_with_optional_benign_slot() {
+fn all_benign_patterns_over_two_rounds() {
+    check_benign_patterns(W4);
+}
+
+#[test]
+fn all_benign_patterns_over_an_early_window() {
+    check_benign_patterns(W4_EARLY);
+}
+
+#[test]
+fn all_benign_patterns_at_n5() {
+    check_benign_patterns(W5);
+}
+
+#[test]
+#[ignore = "N = 5 two-round benign enumeration (1024 worlds): weekly soak"]
+fn all_benign_patterns_at_n5_over_two_rounds() {
+    check_benign_patterns(W5_WIDE);
+}
+
+/// One asymmetric sender (every non-trivial receiver subset) combined with
+/// every placement of one additional benign slot in the same window.
+/// Returns `(rounds_checked, rounds_out_of_hypothesis)` accumulated over
+/// the enumeration so callers can assert the size-dependent expectation:
+/// at N = 4, a = 1 plus b = 1 exceeds Lemma 2's bound (`4 > 2+0+1+1` is
+/// false) and the oracle must classify-and-skip; at N = 5 the same pair is
+/// within the bound and every round must be checked.
+fn check_one_asymmetric_with_benign(world: World) -> (u64, u64) {
     let mut checked = 0u64;
     let mut skipped = 0u64;
-    // The asymmetric fault sits in the first slot of the window (sender 1);
-    // receiver subsets: strict, non-empty subsets of {1, 2, 3} (indices of
-    // the other nodes).
-    for subset in 1u8..7 {
+    let n = world.n;
+    // The asymmetric fault sits in the first slot of the window (the
+    // round's first sender); receiver subsets: strict, non-empty subsets
+    // of the other n-1 nodes.
+    for subset in 1u8..(1 << (n - 1)) - 1 {
         // `benign_at = slots` places no extra benign fault.
-        let slots = WINDOW_ROUNDS * N as u64;
+        let slots = world.slots();
         for benign_at in 1..=slots {
-            let cluster = run_pattern(move |idx| {
+            let cluster = run_pattern(world, move |idx| {
                 if idx == 0 {
-                    let detected_by = (1..N).filter(|&r| subset & (1 << (r - 1)) != 0).collect();
+                    let detected_by = (1..n).filter(|&r| subset & (1 << (r - 1)) != 0).collect();
                     SlotEffect::Asymmetric {
                         detected_by,
                         collision_ok: true,
@@ -95,29 +182,42 @@ fn one_asymmetric_sender_with_optional_benign_slot() {
                 }
             });
             let report =
-                check_diag_cluster(&cluster, &all_nodes(), checkable_rounds(TOTAL_ROUNDS, 3));
+                check_diag_cluster(&cluster, &all_nodes(n), checkable_rounds(TOTAL_ROUNDS, 3));
             assert!(
                 report.ok(),
-                "subset {subset:#05b}, benign at {benign_at}: {:?}",
+                "n={n} subset {subset:#06b}, benign at {benign_at}: {:?}",
                 report.violations
             );
             checked += report.rounds_checked;
             skipped += report.rounds_out_of_hypothesis;
         }
     }
+    (checked, skipped)
+}
+
+#[test]
+fn one_asymmetric_sender_with_optional_benign_slot() {
+    let (checked, skipped) = check_one_asymmetric_with_benign(W4);
     assert!(checked > 0, "in-hypothesis rounds were verified");
     assert!(skipped > 0, "a=1,b=1 exceeds N=4's bound and is skipped");
 }
 
-/// One symmetric-malicious diagnostic message in every slot position of the
-/// window: with N = 4 and s = 1 the bound `4 > 2·0 + 2·1 + 0 + 1` holds,
-/// so correctness/completeness/consistency must all hold. The malicious
-/// payload sweeps all 16 possible wrong syndromes.
 #[test]
-fn every_malicious_syndrome_in_every_slot() {
-    for slot in 0..(WINDOW_ROUNDS * N as u64) {
-        for payload in 0u8..16 {
-            let cluster = run_pattern(move |idx| {
+fn one_asymmetric_sender_with_optional_benign_slot_at_n5() {
+    let (checked, skipped) = check_one_asymmetric_with_benign(W5);
+    assert!(checked > 0, "in-hypothesis rounds were verified");
+    assert_eq!(skipped, 0, "a=1,b=1 is within N=5's bound: nothing skipped");
+}
+
+/// One symmetric-malicious diagnostic message in every slot position of
+/// the window, sweeping every possible wrong syndrome payload (2^n). With
+/// s = 1 the bound `n > 2a + 2s + b + 1` holds at both N = 4 and N = 5,
+/// so correctness/completeness/consistency must all hold.
+fn check_malicious_syndromes(world: World) {
+    let payloads = 1u8 << world.n;
+    for slot in 0..world.slots() {
+        for payload in 0..payloads {
+            let cluster = run_pattern(world, move |idx| {
                 if idx == slot {
                     SlotEffect::SymmetricMalicious {
                         payload: bytes::Bytes::copy_from_slice(&[payload]),
@@ -126,16 +226,36 @@ fn every_malicious_syndrome_in_every_slot() {
                     SlotEffect::Correct
                 }
             });
-            let report =
-                check_diag_cluster(&cluster, &all_nodes(), checkable_rounds(TOTAL_ROUNDS, 3));
+            let report = check_diag_cluster(
+                &cluster,
+                &all_nodes(world.n),
+                checkable_rounds(TOTAL_ROUNDS, 3),
+            );
             assert!(
                 report.ok(),
-                "slot {slot}, payload {payload:#06b}: {:?}",
+                "n={} slot {slot}, payload {payload:#07b}: {:?}",
+                world.n,
                 report.violations
             );
             assert_eq!(report.rounds_out_of_hypothesis, 0);
         }
     }
+}
+
+#[test]
+fn every_malicious_syndrome_in_every_slot() {
+    check_malicious_syndromes(W4);
+}
+
+#[test]
+fn every_malicious_syndrome_at_n5() {
+    check_malicious_syndromes(W5);
+}
+
+#[test]
+#[ignore = "N = 5 two-round malicious sweep (320 worlds): weekly soak"]
+fn every_malicious_syndrome_at_n5_over_two_rounds() {
+    check_malicious_syndromes(W5_WIDE);
 }
 
 /// Every internal node schedule of a 4-node cluster (4^4 = 256 offset
@@ -144,6 +264,7 @@ fn every_malicious_syndrome_in_every_slot() {
 /// the "no constraints on scheduling" claim, checked exhaustively.
 #[test]
 fn all_node_schedules_agree() {
+    const N: usize = 4;
     let cfg = ProtocolConfig::builder(N)
         .penalty_threshold(u64::MAX / 2)
         .reward_threshold(u64::MAX / 2)
@@ -180,49 +301,6 @@ fn all_node_schedules_agree() {
             // Clean neighbours stay clean.
             let prev = d.health_for(tt_sim::RoundIndex::new(8)).unwrap();
             assert!(prev.health.iter().all(|&b| b), "combo {combo}, node {id}");
-        }
-    }
-}
-
-/// The benign-pattern enumeration repeated at N = 5 over one round
-/// (2^5 = 32 patterns x 5 burst alignments): the blackout lemma and the
-/// voting hold at the next cluster size up, exhaustively.
-#[test]
-fn all_benign_patterns_at_n5() {
-    let cfg = ProtocolConfig::builder(5)
-        .penalty_threshold(u64::MAX / 2)
-        .reward_threshold(u64::MAX / 2)
-        .build()
-        .unwrap();
-    for mask in 0u32..(1 << 5) {
-        for shift in 0..5u64 {
-            let pattern = move |ctx: &TxCtx| {
-                let r = ctx.round.as_u64();
-                if r == WINDOW_START && mask & (1 << ((ctx.sender.slot() as u64 + shift) % 5)) != 0
-                {
-                    SlotEffect::Benign
-                } else {
-                    SlotEffect::Correct
-                }
-            };
-            let mut cluster = ClusterBuilder::new(5)
-                .round_length(tt_sim::Nanos::from_micros(2_500))
-                .trace_mode(TraceMode::Anomalies)
-                .build(Box::new(pattern))
-                .unwrap();
-            for id in NodeId::all(5) {
-                cluster
-                    .add_job(id, 0, Box::new(DiagJob::new(id, cfg.clone())))
-                    .unwrap();
-            }
-            cluster.run_rounds(TOTAL_ROUNDS);
-            let all: Vec<NodeId> = NodeId::all(5).collect();
-            let report = check_diag_cluster(&cluster, &all, checkable_rounds(TOTAL_ROUNDS, 3));
-            assert!(
-                report.ok(),
-                "mask {mask:#07b} shift {shift}: {:?}",
-                report.violations
-            );
         }
     }
 }

@@ -1,0 +1,118 @@
+//! Integration tests of the coverage-guided fault-schedule explorer
+//! (`tt_fault::explore`): determinism under a fixed seed, the coverage
+//! claim (guided beats pure random at equal budget), oracle cleanliness
+//! at the default operating point, and shrinker minimality.
+
+use tt_fault::explore::{
+    execute_schedule, explore, explore_with, Counterexample, ExploreConfig, ScheduledClass,
+    Strategy,
+};
+use tt_sim::Cluster;
+
+/// Two runs with identical configuration produce byte-identical reports:
+/// the explorer is fully deterministic under a fixed seed (generation,
+/// mutation, fingerprinting and shrinking included).
+#[test]
+fn exploration_is_deterministic_under_a_fixed_seed() {
+    let cfg = ExploreConfig {
+        budget: 60,
+        ..ExploreConfig::default()
+    };
+    let a = explore(&cfg);
+    let b = explore(&cfg);
+    assert_eq!(a, b);
+    assert_eq!(a.executed, 60);
+    assert!(a.unique_states > 0);
+}
+
+/// The acceptance-criterion assertion: with the same budget and seed, the
+/// coverage-guided strategy reaches strictly more unique protocol-state
+/// fingerprints than the pure-random baseline.
+#[test]
+fn coverage_guided_beats_pure_random_at_equal_budget() {
+    let guided_cfg = ExploreConfig {
+        budget: 120,
+        ..ExploreConfig::default()
+    };
+    let random_cfg = ExploreConfig {
+        strategy: Strategy::Random,
+        ..guided_cfg.clone()
+    };
+    let guided = explore(&guided_cfg);
+    let random = explore(&random_cfg);
+    assert!(
+        guided.unique_states > random.unique_states,
+        "coverage-guided {} vs pure random {} unique states",
+        guided.unique_states,
+        random.unique_states,
+    );
+}
+
+/// The real oracle stack survives exploration at the default operating
+/// point: low thresholds make isolation and forgiveness reachable, yet no
+/// schedule violates Theorem 1 (hypothesis-gated), counter consistency or
+/// the Alg. 2 replay invariants.
+#[test]
+fn default_exploration_finds_no_real_violations() {
+    let cfg = ExploreConfig {
+        budget: 100,
+        ..ExploreConfig::default()
+    };
+    let report = explore(&cfg);
+    assert!(
+        report.counterexamples.is_empty(),
+        "real oracles violated: {:?}",
+        report
+            .counterexamples
+            .iter()
+            .map(|c| &c.violations)
+            .collect::<Vec<_>>(),
+    );
+    // The frontier is real: the corpus replays to the recorded coverage.
+    assert!(!report.corpus.is_empty());
+    for schedule in &report.corpus {
+        assert!(execute_schedule(schedule).verdict.ok());
+    }
+}
+
+/// A deliberately weakened oracle ("no node is ever convicted" — false
+/// under any effective fault) is detected, and the delta-debugging
+/// shrinker minimizes the reproducer to a single one-shot fault.
+#[test]
+fn planted_weak_oracle_is_found_and_minimized() {
+    let weak = |cluster: &Cluster| -> Vec<String> {
+        use tt_core::DiagJob;
+        use tt_sim::NodeId;
+        let mut v = Vec::new();
+        for id in NodeId::all(4) {
+            let job: &DiagJob = cluster.job_as(id).expect("diag job");
+            if job
+                .health_log()
+                .iter()
+                .any(|rec| rec.health.contains(&false))
+            {
+                v.push(format!("node {id} convicted someone"));
+                break;
+            }
+        }
+        v
+    };
+    let cfg = ExploreConfig {
+        budget: 40,
+        ..ExploreConfig::default()
+    };
+    let report = explore_with(&cfg, &[], &weak);
+    assert!(
+        !report.counterexamples.is_empty(),
+        "the planted weak oracle was never tripped",
+    );
+    let cx: &Counterexample = &report.counterexamples[0];
+    assert_eq!(cx.shrunk.faults.len(), 1, "shrunk to a single fault");
+    let f = &cx.shrunk.faults[0];
+    assert_eq!(f.hits, 1, "shrunk to a single hit");
+    assert_eq!(f.stride, 1, "stride normalized");
+    assert_eq!(f.class, ScheduledClass::Benign, "class minimized to benign");
+    // The minimized schedule still trips the weak oracle on replay.
+    let exec = tt_fault::explore::execute_schedule_with_oracle(&cx.shrunk, &weak);
+    assert!(!exec.verdict.extra.is_empty());
+}

@@ -6,7 +6,9 @@ use proptest::prelude::*;
 
 use tt_core::alignment::read_align;
 use tt_core::penalty::{PenaltyReward, ReintegrationPolicy};
-use tt_core::properties::{check_diag_cluster, checkable_rounds};
+use tt_core::properties::{
+    alg2_state_violations, check_alg2_cluster, check_diag_cluster, checkable_rounds,
+};
 use tt_core::syndrome::Syndrome;
 use tt_core::voting::{h_maj, HMaj};
 use tt_core::{DiagJob, ProtocolConfig};
@@ -328,5 +330,161 @@ proptest! {
             let o = tt_fault::run_experiment(class, 6, seed);
             prop_assert!(o.passed, "{class:?}: {:?}", o.notes);
         }
+    }
+}
+
+// Alg. 2 (penalty/reward) invariants, stated over the *same* predicates the
+// fault-schedule explorer uses as oracles (`alg2_state_violations`,
+// `check_alg2_cluster`): what proptest verifies here is exactly what the
+// explorer checks against every generated schedule.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No isolation while the penalty is at or below P: an arbitrary
+    /// health-vector sequence never drives a node inactive without its
+    /// penalty strictly exceeding the threshold, and the explorer's
+    /// stepwise oracle agrees at every step.
+    #[test]
+    fn alg2_no_isolation_at_or_below_threshold(
+        seq in vec(vec(any::<bool>(), 4), 1..150),
+        p in 1u64..12,
+        r in 1u64..8,
+        crit in 1u64..6,
+    ) {
+        let n = 4;
+        let mut pr = PenaltyReward::new(n, vec![crit; n], p, r, ReintegrationPolicy::Never);
+        for (step, hv) in seq.iter().enumerate() {
+            pr.update(hv);
+            for id in NodeId::all(n) {
+                if !pr.is_active(id) {
+                    prop_assert!(pr.penalty(id) > p, "isolated at penalty <= P");
+                } else {
+                    prop_assert!(pr.penalty(id) <= p, "active past the threshold");
+                }
+            }
+            let viols = alg2_state_violations(
+                &pr, n, p, r, NodeId::new(1), tt_sim::RoundIndex::new(step as u64),
+            );
+            prop_assert!(viols.is_empty(), "step {step}: {viols:?}");
+        }
+    }
+
+    /// Forgiveness fires exactly when the reward reaches R — not one good
+    /// round earlier (counters frozen except the climbing reward) and not
+    /// one later (both counters reset to zero at the R-th good round).
+    #[test]
+    fn alg2_forgiveness_fires_exactly_at_r(
+        convictions in 1u64..4,
+        p in 4u64..10,
+        r in 2u64..8,
+    ) {
+        let n = 4;
+        let node = NodeId::new(2);
+        let mut pr = PenaltyReward::new(n, vec![1; n], p, r, ReintegrationPolicy::Never);
+        let mut bad = vec![true; n];
+        bad[node.index()] = false;
+        let good = vec![true; n];
+        for _ in 0..convictions {
+            pr.update(&bad);
+        }
+        prop_assert_eq!(pr.penalty(node), convictions, "s_i = 1 per conviction");
+        prop_assert_eq!(pr.reward(node), 0, "conviction resets the reward");
+        prop_assert!(pr.is_active(node), "penalty <= P keeps the node in");
+        for k in 1..=r {
+            pr.update(&good);
+            if k < r {
+                prop_assert_eq!(pr.penalty(node), convictions, "penalty frozen below R");
+                prop_assert_eq!(pr.reward(node), k, "reward climbs one per good round");
+            } else {
+                prop_assert_eq!(pr.penalty(node), 0, "forgiveness resets the penalty");
+                prop_assert_eq!(pr.reward(node), 0, "forgiveness resets the reward");
+            }
+        }
+    }
+
+    /// The counters never change except via the paper's transitions:
+    /// conviction (+s_i, reward := 0, isolate iff penalty > P), reward
+    /// increment (healthy with penalty > 0), forgiveness (reset at R),
+    /// or frozen (isolated, clean, or healthy at zero penalty).
+    #[test]
+    fn alg2_counters_change_only_via_paper_transitions(
+        seq in vec(vec(any::<bool>(), 4), 1..150),
+        p in 1u64..12,
+        r in 1u64..8,
+        crit in 1u64..6,
+    ) {
+        let n = 4;
+        let mut pr = PenaltyReward::new(n, vec![crit; n], p, r, ReintegrationPolicy::Never);
+        for (step, hv) in seq.iter().enumerate() {
+            let prev: Vec<(u64, u64, bool)> = NodeId::all(n)
+                .map(|id| (pr.penalty(id), pr.reward(id), pr.is_active(id)))
+                .collect();
+            pr.update(hv);
+            for id in NodeId::all(n) {
+                let i = id.index();
+                let (pp, pw, pa) = prev[i];
+                let now = (pr.penalty(id), pr.reward(id), pr.is_active(id));
+                let expect = if !pa {
+                    (pp, pw, false) // isolated: frozen under Never
+                } else if !hv[i] {
+                    let np = pp + crit; // conviction
+                    (np, 0, np <= p)
+                } else if pp == 0 {
+                    (0, 0, true) // healthy and clean: untouched
+                } else if pw + 1 >= r {
+                    (0, 0, true) // forgiveness at exactly R
+                } else {
+                    (pp, pw + 1, true) // reward climbs
+                };
+                prop_assert_eq!(now, expect, "step {}, node {}", step, id);
+            }
+        }
+    }
+}
+
+proptest! {
+    // End-to-end replay oracle: fewer, bigger cases.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `check_alg2_cluster` (the explorer's replay oracle) finds no
+    /// violation in any real execution: for arbitrary benign fault
+    /// patterns and live thresholds, replaying every node's consolidated
+    /// health log through a fresh Alg. 2 instance reproduces the cluster's
+    /// counters and isolation decisions exactly.
+    #[test]
+    fn alg2_replay_oracle_accepts_real_executions(
+        n in 4usize..=6,
+        fault_slots in vec(0u64..120, 0..24),
+        p in 2u64..6,
+        r in 1u64..4,
+    ) {
+        let rounds = 30u64;
+        let faulty: std::collections::BTreeSet<u64> = fault_slots.into_iter().collect();
+        let pattern = move |ctx: &tt_sim::TxCtx| {
+            if faulty.contains(&ctx.abs_slot) {
+                SlotEffect::Benign
+            } else {
+                SlotEffect::Correct
+            }
+        };
+        let cfg = ProtocolConfig::builder(n)
+            .penalty_threshold(p)
+            .reward_threshold(r)
+            .build()
+            .unwrap();
+        let mut cluster = ClusterBuilder::new(n)
+            .round_length(tt_sim::Nanos::from_nanos(2_500_000 - (2_500_000 % n as u64)))
+            .trace_mode(TraceMode::Anomalies)
+            .build(Box::new(pattern))
+            .unwrap();
+        for id in NodeId::all(n) {
+            cluster
+                .add_job(id, 0, Box::new(DiagJob::new(id, cfg.clone()).with_counter_trace()))
+                .unwrap();
+        }
+        cluster.run_rounds(rounds);
+        let all: Vec<NodeId> = NodeId::all(n).collect();
+        let viols = check_alg2_cluster(&cluster, &all);
+        prop_assert!(viols.is_empty(), "replay diverged: {viols:?}");
     }
 }

@@ -1,15 +1,20 @@
 //! Long-running randomized soak tests, excluded from the default run
 //! (`cargo test -- --ignored` to execute). Each soaks the full protocol
 //! stack under sustained randomized fault load and checks every oracle.
+//!
+//! Each `#[ignore]`d soak has a fast smoke variant sharing the same body
+//! at a fraction of the load, so the soak code paths compile *and run*
+//! on every PR — a broken soak no longer waits for the weekly job to
+//! surface.
 
 use tt_core::properties::{check_counter_consistency, check_diag_cluster, checkable_rounds};
 use tt_core::{DiagJob, ProtocolConfig};
 use tt_fault::{DisturbanceNode, RandomNoise};
 use tt_sim::{ClusterBuilder, NodeId, TraceMode};
 
-#[test]
-#[ignore = "soak test: ~100k simulated rounds; run with --ignored"]
-fn hundred_thousand_rounds_of_noise() {
+/// Shared body of the noise soak: `total` rounds of 3% random benign
+/// noise, every oracle checked, at least `min_checked` rounds verified.
+fn rounds_of_noise(total: u64, min_checked: u64) {
     let n = 4;
     let cfg = ProtocolConfig::builder(n)
         .penalty_threshold(u64::MAX / 2)
@@ -23,18 +28,17 @@ fn hundred_thousand_rounds_of_noise() {
             |id| Box::new(DiagJob::with_logging(id, cfg.clone(), true)),
             Box::new(pipeline),
         );
-    let total = 100_000u64;
     cluster.run_rounds(total);
     let all: Vec<NodeId> = NodeId::all(n).collect();
     let report = check_diag_cluster(&cluster, &all, checkable_rounds(total, 3));
     assert!(report.ok(), "{} violations", report.violations.len());
-    assert!(report.rounds_checked > 80_000);
+    assert!(report.rounds_checked > min_checked);
     assert!(check_counter_consistency(&cluster, &all).is_empty());
 }
 
-#[test]
-#[ignore = "soak test: long randomized campaign; run with --ignored"]
-fn thousand_rep_burst_campaign() {
+/// Shared body of the burst campaign soak: two burst classes, `reps`
+/// repetitions each.
+fn burst_campaign(reps: u64) {
     let classes = [
         tt_fault::ExperimentClass::Burst {
             len_slots: 2,
@@ -45,7 +49,33 @@ fn thousand_rep_burst_campaign() {
             start_slot: 3,
         },
     ];
-    let result = tt_fault::run_campaign(&classes, 4, 1_000, 0xC0FFEE);
-    assert_eq!(result.total(), 2_000);
+    let result = tt_fault::run_campaign(&classes, 4, reps, 0xC0FFEE);
+    assert_eq!(result.total(), 2 * reps as usize);
     assert!(result.all_passed());
+}
+
+#[test]
+#[ignore = "soak test: ~100k simulated rounds; run with --ignored"]
+fn hundred_thousand_rounds_of_noise() {
+    rounds_of_noise(100_000, 80_000);
+}
+
+/// Fast smoke variant of [`hundred_thousand_rounds_of_noise`]: same body,
+/// 1/200th of the load, runs on every PR.
+#[test]
+fn five_hundred_rounds_of_noise_smoke() {
+    rounds_of_noise(500, 400);
+}
+
+#[test]
+#[ignore = "soak test: long randomized campaign; run with --ignored"]
+fn thousand_rep_burst_campaign() {
+    burst_campaign(1_000);
+}
+
+/// Fast smoke variant of [`thousand_rep_burst_campaign`]: same body,
+/// 1/100th of the repetitions, runs on every PR.
+#[test]
+fn ten_rep_burst_campaign_smoke() {
+    burst_campaign(10);
 }
