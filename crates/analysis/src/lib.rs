@@ -23,6 +23,8 @@
 //!   and JSONL/Perfetto export for `ttdiag trace`;
 //! * [`exploration`] — consumers of the `tt-fault` coverage-guided fault
 //!   explorer: frontier summaries for `ttdiag explore`;
+//! * [`supervision`] — the quarantine/retry/worker-health section of
+//!   supervised campaign reports;
 //! * [`stats`] — summary statistics for repeated seeded experiments;
 //! * [`table`] — paper-style ASCII table rendering;
 //! * [`report`] — serializable paper-vs-measured records backing
@@ -41,6 +43,7 @@ pub mod provenance;
 pub mod report;
 pub mod sensitivity;
 pub mod stats;
+pub mod supervision;
 pub mod table;
 pub mod tuning;
 
@@ -57,6 +60,7 @@ pub use provenance::{
 pub use report::{ExperimentRecord, ReportBuilder};
 pub use sensitivity::{burst_length_sweep, penalty_sweep, reward_sweep};
 pub use stats::Summary;
+pub use supervision::render_supervision_summary;
 pub use table::Table;
 pub use tuning::{
     aerospace_setup, automotive_setup, tune, CriticalityClass, DomainSetup, TunedClass,

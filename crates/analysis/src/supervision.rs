@@ -1,0 +1,113 @@
+//! Rendering of campaign supervision outcomes (quarantines, retries,
+//! worker health) for reports and the CLI.
+
+use tt_fault::SupervisionSummary;
+
+use crate::table::Table;
+
+/// Renders the quarantine/retry section of a supervised campaign report.
+///
+/// A clean run renders a single line saying so; a degraded run lists every
+/// quarantined experiment with its reproduction seed and reason, the total
+/// retry count, and the per-worker accounting (panics, timeouts,
+/// transients, isolation) in worker order.
+pub fn render_supervision_summary(summary: &SupervisionSummary) -> String {
+    if summary.clean() {
+        return "supervision: clean run (no quarantines, no retries, no worker isolation)\n"
+            .to_string();
+    }
+    let mut out = format!(
+        "supervision: {} quarantined, {} retries\n\n",
+        summary.quarantined.len(),
+        summary.retries
+    );
+    if !summary.quarantined.is_empty() {
+        let mut t = Table::new(vec!["Item", "Class", "Seed", "Attempts", "Reason"]);
+        for q in &summary.quarantined {
+            t.row(vec![
+                q.item.to_string(),
+                q.label.clone(),
+                format!("{:#x}", q.seed),
+                q.attempts.to_string(),
+                q.reason.to_string(),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    let degraded_workers = summary
+        .workers
+        .iter()
+        .any(|w| w.isolated || w.panics > 0 || w.timeouts > 0 || w.transients > 0);
+    if degraded_workers {
+        let mut t = Table::new(vec![
+            "Worker",
+            "Completed",
+            "Panics",
+            "Timeouts",
+            "Transients",
+            "Status",
+        ]);
+        for w in &summary.workers {
+            t.row(vec![
+                w.worker.to_string(),
+                w.completed.to_string(),
+                w.panics.to_string(),
+                w.timeouts.to_string(),
+                w.transients.to_string(),
+                if w.isolated { "ISOLATED" } else { "active" }.to_string(),
+            ]);
+        }
+        out.push_str(&t.render());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_fault::{QuarantineReason, QuarantineRecord, WorkerStats};
+
+    #[test]
+    fn clean_summary_renders_one_line() {
+        let s = render_supervision_summary(&SupervisionSummary::default());
+        assert!(s.contains("clean run"), "{s}");
+        assert_eq!(s.lines().count(), 1);
+    }
+
+    #[test]
+    fn degraded_summary_lists_quarantines_and_workers() {
+        let summary = SupervisionSummary {
+            quarantined: vec![QuarantineRecord {
+                item: 7,
+                label: "burst/2slots@s3".into(),
+                seed: 0xBEEF,
+                attempts: 3,
+                reason: QuarantineReason::Panic("boom".into()),
+            }],
+            retries: 4,
+            workers: vec![
+                WorkerStats {
+                    worker: 0,
+                    completed: 10,
+                    panics: 3,
+                    timeouts: 0,
+                    transients: 1,
+                    isolated: true,
+                },
+                WorkerStats {
+                    worker: 1,
+                    completed: 12,
+                    ..WorkerStats::default()
+                },
+            ],
+        };
+        let s = render_supervision_summary(&summary);
+        assert!(s.contains("1 quarantined, 4 retries"), "{s}");
+        assert!(s.contains("burst/2slots@s3"), "{s}");
+        assert!(s.contains("0xbeef"), "{s}");
+        assert!(s.contains("panic: boom"), "{s}");
+        assert!(s.contains("ISOLATED"), "{s}");
+        assert!(s.contains("active"), "{s}");
+    }
+}

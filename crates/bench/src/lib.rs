@@ -11,6 +11,11 @@
 //! * [`observability`] — the instrumented-vs-noop overhead measurement,
 //!   the CI bench-gate check, and the canonical scenario behind the
 //!   `tests/golden/metrics_events.json` snapshot;
+//! * [`parallel`] — the lock-free persistent campaign worker pool (with
+//!   panic quarantine, so one crashing experiment cannot poison the pool);
+//! * [`supervised`] — fault-tolerant campaign execution: watchdog
+//!   deadlines, retry/backoff, Alg. 2-style worker health and isolation,
+//!   and atomic checkpoint/resume;
 //! * the criterion benches under `benches/` (one per table/figure plus
 //!   scaling and ablation benches);
 //! * the workspace-level integration tests under `tests/` and the runnable
@@ -23,6 +28,7 @@ pub mod comparison;
 pub mod experiments;
 pub mod observability;
 pub mod parallel;
+pub mod supervised;
 
 pub use comparison::comparison_report;
 pub use experiments::*;
@@ -32,3 +38,4 @@ pub use observability::{
     GATE_N_NODES,
 };
 pub use parallel::{run_parallel_campaign, run_parallel_campaign_legacy, CampaignExecutor};
+pub use supervised::{SupervisedCampaign, SupervisedOutcome, SupervisorConfig};

@@ -18,13 +18,15 @@
 //! scheduling.
 
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
 use tt_fault::{
-    experiment_seed, run_experiment, CampaignResult, ExperimentClass, ExperimentOutcome,
+    experiment_seed, quarantined_outcome, run_experiment, CampaignResult, ChaosPlan,
+    ExperimentClass, ExperimentOutcome, HarnessFault,
 };
 
 /// One campaign submitted to the pool: the deterministic work list plus the
@@ -40,6 +42,38 @@ struct CampaignWork {
     next_chunk: AtomicUsize,
     /// Finished chunks, tagged with their chunk index.
     results: Sender<(usize, Vec<ExperimentOutcome>)>,
+    /// Harness-fault plan injected into the run (tests, chaos CI job).
+    chaos: Option<ChaosPlan>,
+}
+
+/// Runs one experiment under `catch_unwind`, so a panicking experiment
+/// becomes a quarantine-marked failed outcome (seed preserved for local
+/// reproduction) instead of killing the worker thread — which would leave
+/// the submitting thread waiting forever on a chunk that never arrives.
+fn run_quarantining(
+    class: ExperimentClass,
+    n: usize,
+    seed: u64,
+    chaos: Option<&ChaosPlan>,
+    item: usize,
+) -> ExperimentOutcome {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        // The basic pool has no watchdog or retry machinery, so only
+        // panics are injectable here; hangs and transients need the
+        // supervised executor.
+        if chaos.and_then(|p| p.fault_for_item(item)) == Some(HarnessFault::Panic) {
+            panic!("injected harness panic");
+        }
+        run_experiment(class, n, seed)
+    }));
+    result.unwrap_or_else(|payload| {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        quarantined_outcome(class, seed, &msg)
+    })
 }
 
 fn worker_loop(jobs: Receiver<Arc<CampaignWork>>) {
@@ -51,7 +85,10 @@ fn worker_loop(jobs: Receiver<Arc<CampaignWork>>) {
             };
             let outcomes: Vec<ExperimentOutcome> = work.items[range.clone()]
                 .iter()
-                .map(|&(class, seed)| run_experiment(class, work.n, seed))
+                .enumerate()
+                .map(|(off, &(class, seed))| {
+                    run_quarantining(class, work.n, seed, work.chaos.as_ref(), range.start + off)
+                })
                 .collect();
             // The submitter may have been dropped (e.g. on panic); a closed
             // channel just means nobody wants the chunk any more.
@@ -112,6 +149,22 @@ impl CampaignExecutor {
         reps: u64,
         base_seed: u64,
     ) -> CampaignResult {
+        self.run_with_chaos(classes, n, reps, base_seed, None)
+    }
+
+    /// Like [`CampaignExecutor::run`], with an optional [`ChaosPlan`]
+    /// injecting panics into the marked work items. Panicking experiments
+    /// come back as quarantine-marked failed outcomes (in their normal
+    /// work-list position); the pool itself is never poisoned and stays
+    /// usable for subsequent campaigns.
+    pub fn run_with_chaos(
+        &self,
+        classes: &[ExperimentClass],
+        n: usize,
+        reps: u64,
+        base_seed: u64,
+        chaos: Option<ChaosPlan>,
+    ) -> CampaignResult {
         let items: Vec<(ExperimentClass, u64)> = classes
             .iter()
             .enumerate()
@@ -138,6 +191,7 @@ impl CampaignExecutor {
             chunks,
             next_chunk: AtomicUsize::new(0),
             results,
+            chaos,
         });
         for sender in &self.senders {
             sender
@@ -300,6 +354,46 @@ mod tests {
             assert_eq!(seq.outcomes, par.outcomes);
         }
         assert_eq!(executor.threads(), 3);
+    }
+
+    #[test]
+    fn panicking_experiments_are_quarantined_without_poisoning_the_pool() {
+        let executor = CampaignExecutor::new(3);
+        let classes = [burst(1, 0), burst(2, 3), burst(1, 2)];
+        let plan = ChaosPlan {
+            seed: 5,
+            panic_per_mille: 300,
+            hang_per_mille: 0,
+            transient_per_mille: 0,
+            first_attempt_only: false,
+        };
+        let (panics, _, _) = plan.expected_faults(3 * 5);
+        assert!(panics > 0, "plan must panic at least one item");
+        let chaotic = executor.run_with_chaos(&classes, 4, 5, 42, Some(plan));
+        assert_eq!(chaotic.total(), 15, "every item reports an outcome");
+        let seq = run_campaign(&classes, 4, 5, 42);
+        let mut quarantined = 0;
+        for (i, (got, want)) in chaotic.outcomes.iter().zip(&seq.outcomes).enumerate() {
+            if plan.fault_for_item(i).is_some() {
+                quarantined += 1;
+                assert!(!got.passed);
+                assert!(
+                    got.notes
+                        .iter()
+                        .any(|n| n.starts_with("quarantined: panic")),
+                    "{:?}",
+                    got.notes
+                );
+                assert_eq!(got.seed, want.seed, "reproduction seed preserved");
+            } else {
+                assert_eq!(got, want, "healthy item {i} unaffected");
+            }
+        }
+        assert_eq!(quarantined, panics);
+        // The pool keeps draining: a follow-up clean campaign on the same
+        // executor is bit-identical to the sequential reference.
+        let clean = executor.run(&classes, 4, 5, 42);
+        assert_eq!(clean.outcomes, seq.outcomes);
     }
 
     #[test]

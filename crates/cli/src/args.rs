@@ -161,12 +161,33 @@ pub enum Command {
         /// Write the output to this path instead of stdout.
         out: Option<String>,
     },
-    /// Run the Sec. 8 validation campaign.
+    /// Run the Sec. 8 validation campaign under supervision.
     Campaign {
         /// Repetitions per class.
         reps: u64,
         /// JSON output path, if any.
         json: Option<String>,
+        /// Supervised worker threads.
+        threads: usize,
+        /// Checkpoint file path, if checkpointing is enabled.
+        checkpoint: Option<String>,
+        /// Checkpoint every this many settled experiments.
+        checkpoint_every: u64,
+        /// Resume from the checkpoint instead of starting fresh.
+        resume: bool,
+        /// Stop (with a checkpoint) after this many newly settled
+        /// experiments.
+        halt_after: Option<usize>,
+        /// Per-experiment watchdog budget in milliseconds.
+        watchdog_ms: Option<u64>,
+        /// Seed of the injected harness-fault plan.
+        chaos_seed: u64,
+        /// Per-mille of experiments whose attempts panic.
+        chaos_panic: u16,
+        /// Per-mille of experiments whose attempts hang.
+        chaos_hang: u16,
+        /// Per-mille of experiments whose attempts fail transiently.
+        chaos_transient: u16,
     },
     /// Run the coverage-guided fault-schedule explorer.
     Explore {
@@ -195,6 +216,13 @@ pub enum Command {
         repro: Option<String>,
         /// JSON report output path, if any.
         json: Option<String>,
+        /// Checkpoint file path, if checkpointing is enabled.
+        checkpoint: Option<String>,
+        /// Checkpoint every this many executed schedules.
+        checkpoint_every: u64,
+        /// Resume from the checkpoint (which carries the exploration
+        /// parameters) instead of starting fresh.
+        resume: bool,
     },
     /// Print usage.
     Help,
@@ -383,26 +411,75 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         "campaign" => {
             let mut reps = 100u64;
             let mut json = None;
+            let mut threads = 1usize;
+            let mut checkpoint = None;
+            let mut checkpoint_every = 25u64;
+            let mut resume = false;
+            let mut halt_after = None;
+            let mut watchdog_ms = None;
+            let mut chaos_seed = 0u64;
+            let mut chaos_panic = 0u16;
+            let mut chaos_hang = 0u16;
+            let mut chaos_transient = 0u16;
             let mut it = rest.iter();
             while let Some(a) = it.next() {
+                let mut val = |name: &str| -> Result<&String, ParseError> {
+                    it.next()
+                        .ok_or_else(|| ParseError(format!("{name} needs a value")))
+                };
                 match a.as_str() {
-                    "--reps" => {
-                        reps = parse_num(
-                            it.next().ok_or(ParseError("--reps needs a value".into()))?,
-                            "reps",
-                        )?
+                    "--reps" => reps = parse_num(val("--reps")?, "reps")?,
+                    "--json" => json = Some(val("--json")?.clone()),
+                    "--threads" => threads = parse_num(val("--threads")?, "threads")?,
+                    "--checkpoint" => checkpoint = Some(val("--checkpoint")?.clone()),
+                    "--checkpoint-every" => {
+                        checkpoint_every =
+                            parse_num(val("--checkpoint-every")?, "checkpoint interval")?
                     }
-                    "--json" => {
-                        json = Some(
-                            it.next()
-                                .ok_or(ParseError("--json needs a path".into()))?
-                                .clone(),
-                        )
+                    "--resume" => resume = true,
+                    "--halt-after" => {
+                        halt_after = Some(parse_num(val("--halt-after")?, "halt count")?)
+                    }
+                    "--watchdog-ms" => {
+                        watchdog_ms = Some(parse_num(val("--watchdog-ms")?, "watchdog budget")?)
+                    }
+                    "--chaos-seed" => chaos_seed = parse_num(val("--chaos-seed")?, "chaos seed")?,
+                    "--chaos-panic" => {
+                        chaos_panic = parse_num(val("--chaos-panic")?, "panic per-mille")?
+                    }
+                    "--chaos-hang" => {
+                        chaos_hang = parse_num(val("--chaos-hang")?, "hang per-mille")?
+                    }
+                    "--chaos-transient" => {
+                        chaos_transient =
+                            parse_num(val("--chaos-transient")?, "transient per-mille")?
                     }
                     other => return err(format!("unknown campaign flag {other:?}")),
                 }
             }
-            Ok(Command::Campaign { reps, json })
+            if threads == 0 {
+                return err("--threads must be positive");
+            }
+            if resume && checkpoint.is_none() {
+                return err("--resume needs --checkpoint PATH");
+            }
+            if u32::from(chaos_panic) + u32::from(chaos_hang) + u32::from(chaos_transient) > 1000 {
+                return err("chaos per-mille rates must sum to at most 1000");
+            }
+            Ok(Command::Campaign {
+                reps,
+                json,
+                threads,
+                checkpoint,
+                checkpoint_every,
+                resume,
+                halt_after,
+                watchdog_ms,
+                chaos_seed,
+                chaos_panic,
+                chaos_hang,
+                chaos_transient,
+            })
         }
         "explore" => {
             let mut nodes = 4usize;
@@ -417,6 +494,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut corpus_out = None;
             let mut repro = None;
             let mut json = None;
+            let mut checkpoint = None;
+            let mut checkpoint_every = 25u64;
+            let mut resume = false;
             let mut it = rest.iter();
             while let Some(a) = it.next() {
                 let mut val = |name: &str| -> Result<&String, ParseError> {
@@ -436,6 +516,12 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "--corpus-out" => corpus_out = Some(val("--corpus-out")?.clone()),
                     "--repro" => repro = Some(val("--repro")?.clone()),
                     "--json" => json = Some(val("--json")?.clone()),
+                    "--checkpoint" => checkpoint = Some(val("--checkpoint")?.clone()),
+                    "--checkpoint-every" => {
+                        checkpoint_every =
+                            parse_num(val("--checkpoint-every")?, "checkpoint interval")?
+                    }
+                    "--resume" => resume = true,
                     other => return err(format!("unknown explore flag {other:?}")),
                 }
             }
@@ -444,6 +530,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             }
             if budget == 0 {
                 return err("explore budget must be positive");
+            }
+            if resume && checkpoint.is_none() {
+                return err("--resume needs --checkpoint PATH");
             }
             Ok(Command::Explore {
                 nodes,
@@ -458,6 +547,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 corpus_out,
                 repro,
                 json,
+                checkpoint,
+                checkpoint_every,
+                resume,
             })
         }
         "simulate" => {
@@ -641,14 +733,36 @@ USAGE:
                   [--out PATH]             provenance spans for each diagnosis
   ttdiag tune [automotive|aerospace]       regenerate the Table 2 tuning
   ttdiag isolation [automotive|aerospace]  Table 4 time-to-isolation rows
-  ttdiag campaign [--reps N] [--json PATH] Sec. 8 validation campaign
+  ttdiag campaign [--reps N] [--json PATH] [--threads T]
+                  [--checkpoint PATH] [--checkpoint-every N] [--resume]
+                  [--halt-after N] [--watchdog-ms MS] [--chaos-seed S]
+                  [--chaos-panic PM] [--chaos-hang PM] [--chaos-transient PM]
+                                           Sec. 8 validation campaign under
+                                           supervision: panicking/hanging
+                                           experiments are quarantined (with
+                                           seeds), transient failures retried
+                                           with backoff, progress checkpointed
+                                           atomically; a resumed run is
+                                           byte-identical to an uninterrupted
+                                           one (chaos rates are per-mille)
   ttdiag explore [--nodes N] [--rounds R] [--penalty P] [--reward R]
                   [--seed S] [--budget ITERS] [--max-faults K] [--random]
                   [--corpus DIR] [--corpus-out DIR] [--repro DIR] [--json PATH]
+                  [--checkpoint PATH] [--checkpoint-every N] [--resume]
                                            coverage-guided fault-schedule
                                            search with shrinking (exit 1 on
-                                           any surviving counterexample)
+                                           any surviving counterexample);
+                                           --resume continues from the
+                                           checkpoint's parameters and RNG
+                                           position, byte-identically
   ttdiag help
+
+EXIT CODES:
+  0    success (quarantined experiments alone do not fail a campaign)
+  1    a protocol check failed: campaign experiment failure, surviving
+       explorer counterexample, violated latency bound
+  2    usage error: unparseable or semantically invalid arguments
+  101  internal error: I/O or serialization failure in the harness
 
 FAULT SPECS:
   crash:NODE@ROUND         permanent benign sender fault
@@ -918,10 +1032,65 @@ mod tests {
             c,
             Command::Campaign {
                 reps: 5,
-                json: Some("out.json".into())
+                json: Some("out.json".into()),
+                threads: 1,
+                checkpoint: None,
+                checkpoint_every: 25,
+                resume: false,
+                halt_after: None,
+                watchdog_ms: None,
+                chaos_seed: 0,
+                chaos_panic: 0,
+                chaos_hang: 0,
+                chaos_transient: 0,
             }
         );
         assert!(parse(&args("campaign --bogus")).is_err());
+    }
+
+    #[test]
+    fn campaign_supervision_flags() {
+        let c = parse(&args(
+            "campaign --reps 2 --threads 4 --checkpoint cp.json --checkpoint-every 10 \
+             --halt-after 7 --watchdog-ms 500 --chaos-seed 9 --chaos-panic 100 \
+             --chaos-hang 50 --chaos-transient 25",
+        ))
+        .unwrap();
+        match c {
+            Command::Campaign {
+                reps,
+                threads,
+                checkpoint,
+                checkpoint_every,
+                resume,
+                halt_after,
+                watchdog_ms,
+                chaos_seed,
+                chaos_panic,
+                chaos_hang,
+                chaos_transient,
+                ..
+            } => {
+                assert_eq!((reps, threads), (2, 4));
+                assert_eq!(checkpoint, Some("cp.json".into()));
+                assert_eq!(checkpoint_every, 10);
+                assert!(!resume);
+                assert_eq!(halt_after, Some(7));
+                assert_eq!(watchdog_ms, Some(500));
+                assert_eq!((chaos_seed, chaos_panic), (9, 100));
+                assert_eq!((chaos_hang, chaos_transient), (50, 25));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Resume needs a checkpoint path to resume from.
+        assert!(parse(&args("campaign --resume")).is_err());
+        assert!(parse(&args("campaign --resume --checkpoint cp.json")).is_ok());
+        assert!(parse(&args("campaign --threads 0")).is_err());
+        // Per-mille bands cannot overflow the draw range.
+        assert!(parse(&args(
+            "campaign --chaos-panic 600 --chaos-hang 300 --chaos-transient 200"
+        ))
+        .is_err());
     }
 
     #[test]
@@ -942,11 +1111,15 @@ mod tests {
                 corpus_out: None,
                 repro: None,
                 json: None,
+                checkpoint: None,
+                checkpoint_every: 25,
+                resume: false,
             }
         );
         let c = parse(&args(
             "explore --nodes 5 --rounds 30 --penalty 4 --reward 3 --seed 9 --budget 50 \
-             --max-faults 3 --random --corpus in/ --corpus-out out/ --repro rep/ --json r.json",
+             --max-faults 3 --random --corpus in/ --corpus-out out/ --repro rep/ --json r.json \
+             --checkpoint cp.json --checkpoint-every 5",
         ))
         .unwrap();
         match c {
@@ -963,6 +1136,9 @@ mod tests {
                 corpus_out,
                 repro,
                 json,
+                checkpoint,
+                checkpoint_every,
+                resume,
             } => {
                 assert_eq!((nodes, rounds, penalty, reward), (5, 30, 4, 3));
                 assert_eq!((seed, budget, max_faults, random), (9, 50, 3, true));
@@ -970,12 +1146,17 @@ mod tests {
                 assert_eq!(corpus_out, Some("out/".into()));
                 assert_eq!(repro, Some("rep/".into()));
                 assert_eq!(json, Some("r.json".into()));
+                assert_eq!(checkpoint, Some("cp.json".into()));
+                assert_eq!(checkpoint_every, 5);
+                assert!(!resume);
             }
             other => panic!("{other:?}"),
         }
         assert!(parse(&args("explore --nodes 3")).is_err());
         assert!(parse(&args("explore --budget 0")).is_err());
         assert!(parse(&args("explore --warp 9")).is_err());
+        assert!(parse(&args("explore --resume")).is_err());
+        assert!(parse(&args("explore --resume --checkpoint cp.json")).is_ok());
     }
 
     #[test]

@@ -1,27 +1,110 @@
 //! Execution of the parsed `ttdiag` commands.
 
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
 use tt_analysis::{
     aerospace_setup, automotive_setup, availability_of, group_chains, measure_time_to_isolation,
-    render_explore_summary, render_provenance_summary, spans_to_jsonl, spans_to_perfetto, tune,
-    LatencySummary, Table, LATENCY_BOUND_ROUNDS,
+    render_explore_summary, render_provenance_summary, render_supervision_summary, spans_to_jsonl,
+    spans_to_perfetto, tune, LatencySummary, Table, LATENCY_BOUND_ROUNDS,
 };
+use tt_bench::{SupervisedCampaign, SupervisorConfig};
 use tt_core::properties::{check_diag_cluster, checkable_rounds};
 use tt_core::{DiagJob, ProtocolConfig};
 use tt_fault::{
-    run_campaign, sec8_classes, AsymmetricDisturbance, Burst, ContinuousFault, DisturbanceNode,
+    sec8_classes, AsymmetricDisturbance, Burst, ChaosPlan, ContinuousFault, DisturbanceNode,
     IntermittentFault, RandomNoise, TransientScenario,
 };
 use tt_sim::{timeline, ClusterBuilder, Nanos, NodeId, RecordingTraceSink, RoundIndex, TraceMode};
 
 use crate::args::{Command, FaultSpec, MetricsFormat, TraceFormat};
 
-/// Runs a command, returning the text to print or an error message.
-pub fn run(cmd: Command) -> Result<String, String> {
+/// Why a command failed, mapped onto the process exit code: the failure
+/// taxonomy distinguishes "you asked for something invalid" from "the
+/// protocol check failed" from "the harness itself broke", so scripts and
+/// CI can react to each differently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// Semantically invalid arguments or argument combinations (exit 2,
+    /// like parse errors).
+    Usage(String),
+    /// A protocol check failed: a campaign experiment failed, the explorer
+    /// found a surviving counterexample, or a latency bound was violated
+    /// (exit 1). The message carries the full report.
+    Counterexample(String),
+    /// The harness itself failed — I/O, serialization — rather than the
+    /// system under test (exit 101, mirroring a Rust panic).
+    Internal(String),
+}
+
+impl CliError {
+    /// The process exit code this failure maps to.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Counterexample(_) => 1,
+            CliError::Internal(_) => 101,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) | CliError::Counterexample(msg) | CliError::Internal(msg) => {
+                write!(f, "{msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+fn internal(msg: impl Into<String>) -> CliError {
+    CliError::Internal(msg.into())
+}
+
+/// Runs a command, returning the text to print or a typed failure.
+pub fn run(cmd: Command) -> Result<String, CliError> {
     match cmd {
         Command::Help => Ok(crate::args::USAGE.to_string()),
         Command::Tune { domain } => Ok(tune_report(&domain)),
         Command::Isolation { domain } => Ok(isolation_report(&domain)),
-        Command::Campaign { reps, json } => campaign(reps, json),
+        Command::Campaign {
+            reps,
+            json,
+            threads,
+            checkpoint,
+            checkpoint_every,
+            resume,
+            halt_after,
+            watchdog_ms,
+            chaos_seed,
+            chaos_panic,
+            chaos_hang,
+            chaos_transient,
+        } => campaign(CampaignOpts {
+            reps,
+            json,
+            threads,
+            checkpoint,
+            checkpoint_every,
+            resume,
+            halt_after,
+            watchdog_ms,
+            chaos: ChaosPlan {
+                seed: chaos_seed,
+                panic_per_mille: chaos_panic,
+                hang_per_mille: chaos_hang,
+                transient_per_mille: chaos_transient,
+                first_attempt_only: false,
+            },
+        }),
         Command::Simulate {
             nodes,
             rounds,
@@ -77,10 +160,26 @@ pub fn run(cmd: Command) -> Result<String, String> {
             corpus_out,
             repro,
             json,
-        } => explore_cmd(
-            nodes, rounds, penalty, reward, seed, budget, max_faults, random, corpus, corpus_out,
-            repro, json,
-        ),
+            checkpoint,
+            checkpoint_every,
+            resume,
+        } => explore_cmd(ExploreOpts {
+            nodes,
+            rounds,
+            penalty,
+            reward,
+            seed,
+            budget,
+            max_faults,
+            random,
+            corpus,
+            corpus_out,
+            repro,
+            json,
+            checkpoint,
+            checkpoint_every,
+            resume,
+        }),
         Command::Replay {
             trace,
             nodes,
@@ -89,10 +188,10 @@ pub fn run(cmd: Command) -> Result<String, String> {
             reward,
             timeline,
         } => {
-            let body =
-                std::fs::read_to_string(&trace).map_err(|e| format!("reading {trace}: {e}"))?;
-            let restored: tt_sim::Trace =
-                serde_json::from_str(&body).map_err(|e| format!("parsing {trace}: {e}"))?;
+            let body = std::fs::read_to_string(&trace)
+                .map_err(|e| internal(format!("reading {trace}: {e}")))?;
+            let restored: tt_sim::Trace = serde_json::from_str(&body)
+                .map_err(|e| internal(format!("parsing {trace}: {e}")))?;
             let pipeline = Box::new(restored.replay_pipeline());
             simulate(nodes, rounds, penalty, reward, timeline, pipeline, None)
         }
@@ -103,14 +202,15 @@ fn round_for(n: usize) -> Nanos {
     Nanos::from_nanos(2_500_000 - (2_500_000 % n as u64))
 }
 
-fn build_pipeline(faults: &[FaultSpec], n: usize, seed: u64) -> Result<DisturbanceNode, String> {
-    let sched = tt_sim::CommunicationSchedule::new(n, round_for(n)).map_err(|e| e.to_string())?;
+fn build_pipeline(faults: &[FaultSpec], n: usize, seed: u64) -> Result<DisturbanceNode, CliError> {
+    let sched =
+        tt_sim::CommunicationSchedule::new(n, round_for(n)).map_err(|e| usage(e.to_string()))?;
     let mut node = DisturbanceNode::new(seed);
     for f in faults {
         match f {
             FaultSpec::Crash { node: id, round } => {
                 if *id as usize > n {
-                    return Err(format!("crash: node {id} exceeds cluster size {n}"));
+                    return Err(usage(format!("crash: node {id} exceeds cluster size {n}")));
                 }
                 node.push(ContinuousFault::new(
                     NodeId::new(*id),
@@ -123,7 +223,9 @@ fn build_pipeline(faults: &[FaultSpec], n: usize, seed: u64) -> Result<Disturban
                 period,
             } => {
                 if *id as usize > n {
-                    return Err(format!("intermittent: node {id} exceeds cluster size {n}"));
+                    return Err(usage(format!(
+                        "intermittent: node {id} exceeds cluster size {n}"
+                    )));
                 }
                 node.push(IntermittentFault::new(
                     NodeId::new(*id),
@@ -133,7 +235,9 @@ fn build_pipeline(faults: &[FaultSpec], n: usize, seed: u64) -> Result<Disturban
             }
             FaultSpec::Burst { len, round, slot } => {
                 if *slot >= n {
-                    return Err(format!("burst: slot {slot} exceeds cluster size {n}"));
+                    return Err(usage(format!(
+                        "burst: slot {slot} exceeds cluster size {n}"
+                    )));
                 }
                 node.push(Burst::in_round(RoundIndex::new(*round), *slot, *len, n));
             }
@@ -144,7 +248,7 @@ fn build_pipeline(faults: &[FaultSpec], n: usize, seed: u64) -> Result<Disturban
                 detected_by,
             } => {
                 if *id as usize > n || detected_by.iter().any(|&r| r >= n) {
-                    return Err("asym: node or receiver out of range".into());
+                    return Err(usage("asym: node or receiver out of range"));
                 }
                 node.push(AsymmetricDisturbance::new(
                     NodeId::new(*id),
@@ -173,12 +277,12 @@ fn simulate(
     show_timeline: bool,
     pipeline: Box<dyn tt_sim::FaultPipeline>,
     record: Option<String>,
-) -> Result<String, String> {
+) -> Result<String, CliError> {
     let config = ProtocolConfig::builder(n)
         .penalty_threshold(penalty)
         .reward_threshold(reward)
         .build()
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| usage(e.to_string()))?;
     let mut cluster = ClusterBuilder::new(n)
         .round_length(round_for(n))
         .trace_mode(TraceMode::Anomalies)
@@ -199,7 +303,9 @@ fn simulate(
         out.push_str(&timeline::render_anomalies(trace, n, 1));
         out.push('\n');
     }
-    let diag: &DiagJob = cluster.job_as(NodeId::new(1)).map_err(|e| e.to_string())?;
+    let diag: &DiagJob = cluster
+        .job_as(NodeId::new(1))
+        .map_err(|e| internal(e.to_string()))?;
     let mut t = Table::new(vec!["Node", "Active", "Penalty", "Reward", "Availability"]);
     let avail = availability_of(diag, rounds);
     for id in NodeId::all(n) {
@@ -242,9 +348,9 @@ fn simulate(
 
 /// Serializes a cluster's fault trace to `path` — the single implementation
 /// behind both `simulate --record` and `metrics --record`.
-fn record_fault_trace(trace: &tt_sim::Trace, path: &str) -> Result<String, String> {
-    let body = serde_json::to_string_pretty(trace).map_err(|e| e.to_string())?;
-    std::fs::write(path, body).map_err(|e| format!("writing {path}: {e}"))?;
+fn record_fault_trace(trace: &tt_sim::Trace, path: &str) -> Result<String, CliError> {
+    let body = serde_json::to_string_pretty(trace).map_err(|e| internal(e.to_string()))?;
+    std::fs::write(path, body).map_err(|e| internal(format!("writing {path}: {e}")))?;
     Ok(format!(
         "\nrecorded fault trace to {path} (replay with `ttdiag replay {path}`)\n"
     ))
@@ -260,7 +366,7 @@ fn metrics(
     format: MetricsFormat,
     out: Option<String>,
     record: Option<String>,
-) -> Result<String, String> {
+) -> Result<String, CliError> {
     let sink = std::sync::Arc::new(tt_sim::RecordingSink::new());
     // Both sides of the bus report into the same sink: the disturbance node
     // counts injected effects, the cluster records protocol-level events.
@@ -269,7 +375,7 @@ fn metrics(
         .penalty_threshold(penalty)
         .reward_threshold(reward)
         .build()
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| usage(e.to_string()))?;
     let mut builder = ClusterBuilder::new(n)
         .round_length(round_for(n))
         .metrics_sink(sink.clone());
@@ -283,7 +389,9 @@ fn metrics(
 
     let report = sink.report();
     let mut body = match format {
-        MetricsFormat::Json => serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?,
+        MetricsFormat::Json => {
+            serde_json::to_string_pretty(&report).map_err(|e| internal(e.to_string()))?
+        }
         MetricsFormat::Csv => tt_analysis::events_to_csv(&report.events),
         MetricsFormat::Summary => tt_analysis::render_summary(&report),
     };
@@ -293,7 +401,7 @@ fn metrics(
     };
     match out {
         Some(path) => {
-            std::fs::write(&path, &body).map_err(|e| format!("writing {path}: {e}"))?;
+            std::fs::write(&path, &body).map_err(|e| internal(format!("writing {path}: {e}")))?;
             Ok(format!(
                 "wrote {} events ({} bytes) to {path}\n{recorded}",
                 report.events.len(),
@@ -315,13 +423,13 @@ fn trace(
     pipeline: Box<dyn tt_sim::FaultPipeline>,
     format: TraceFormat,
     out: Option<String>,
-) -> Result<String, String> {
+) -> Result<String, CliError> {
     let sink = std::sync::Arc::new(RecordingTraceSink::new());
     let config = ProtocolConfig::builder(n)
         .penalty_threshold(penalty)
         .reward_threshold(reward)
         .build()
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| usage(e.to_string()))?;
     let mut cluster = ClusterBuilder::new(n)
         .round_length(round_for(n))
         .trace_sink(sink.clone())
@@ -340,11 +448,11 @@ fn trace(
                     "\nall diagnosed faults within the {LATENCY_BOUND_ROUNDS}-round bound\n"
                 )),
                 Err(violations) => {
-                    return Err(format!(
+                    return Err(CliError::Counterexample(format!(
                         "{s}\nlatency bound of {LATENCY_BOUND_ROUNDS} rounds violated for {} \
                          chain(s)",
                         violations.len()
-                    ))
+                    )))
                 }
             }
             s
@@ -352,7 +460,7 @@ fn trace(
     };
     match out {
         Some(path) => {
-            std::fs::write(&path, &body).map_err(|e| format!("writing {path}: {e}"))?;
+            std::fs::write(&path, &body).map_err(|e| internal(format!("writing {path}: {e}")))?;
             Ok(format!(
                 "wrote {} spans ({} bytes) to {path}\n",
                 spans.len(),
@@ -436,13 +544,79 @@ fn isolation_report(domain: &str) -> String {
     out
 }
 
-fn campaign(reps: u64, json: Option<String>) -> Result<String, String> {
+/// The campaign command's flag surface, bundled.
+struct CampaignOpts {
+    reps: u64,
+    json: Option<String>,
+    threads: usize,
+    checkpoint: Option<String>,
+    checkpoint_every: u64,
+    resume: bool,
+    halt_after: Option<usize>,
+    watchdog_ms: Option<u64>,
+    chaos: ChaosPlan,
+}
+
+/// The serialized form of a campaign report (`campaign --json`).
+/// Owned fields: the vendored serde derive does not support generics.
+#[derive(serde::Serialize)]
+struct CampaignJson {
+    result: tt_fault::CampaignResult,
+    supervision: tt_fault::SupervisionSummary,
+}
+
+fn campaign(opts: CampaignOpts) -> Result<String, CliError> {
     let classes = sec8_classes(4);
-    let result = run_campaign(&classes, 4, reps, 2_007);
+    let base_seed = 2_007;
+    // Injected hangs would spin forever without a deadline; an explicit
+    // watchdog always wins, otherwise chaos hangs get a 1 s default.
+    let watchdog = opts
+        .watchdog_ms
+        .map(Duration::from_millis)
+        .or_else(|| (opts.chaos.hang_per_mille > 0).then(|| Duration::from_millis(1_000)));
+    let supervised = SupervisedCampaign {
+        classes: &classes,
+        n: 4,
+        reps: opts.reps,
+        base_seed,
+        config: SupervisorConfig {
+            threads: opts.threads,
+            watchdog,
+            checkpoint_every: opts.checkpoint_every as usize,
+            checkpoint_path: opts.checkpoint.as_ref().map(PathBuf::from),
+            halt_after: opts.halt_after,
+            ..SupervisorConfig::default()
+        },
+    };
+    let outcome = if opts.resume {
+        let path = opts
+            .checkpoint
+            .as_ref()
+            .expect("the parser rejects --resume without --checkpoint");
+        let cp = tt_fault::read_json(Path::new(path))
+            .map_err(|e| internal(format!("reading checkpoint {path}: {e}")))?;
+        supervised.run_resumed(&opts.chaos, &cp).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::InvalidInput {
+                usage(format!("checkpoint {path}: {e}"))
+            } else {
+                internal(e.to_string())
+            }
+        })?
+    } else {
+        supervised
+            .run(&opts.chaos)
+            .map_err(|e| internal(format!("writing checkpoint: {e}")))?
+    };
+    let result = &outcome.result;
+    let quarantined = outcome.supervision.quarantined.len();
     let mut out = format!(
-        "Sec. 8 campaign: {} classes x {reps} = {} injections; all passed: {}\n\n",
+        "Sec. 8 campaign: {} classes x {} = {} injections; {} completed, {} quarantined; \
+         all passed: {}\n\n",
         classes.len(),
+        opts.reps,
+        classes.len() as u64 * opts.reps,
         result.total(),
+        quarantined,
         result.all_passed()
     );
     let mut t = Table::new(vec!["Class", "Passed", "Total"]);
@@ -450,19 +624,31 @@ fn campaign(reps: u64, json: Option<String>) -> Result<String, String> {
         t.row(vec![label, passed.to_string(), total.to_string()]);
     }
     out.push_str(&t.render());
-    if let Some(path) = json {
-        let body = serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?;
-        std::fs::write(&path, body).map_err(|e| format!("writing {path}: {e}"))?;
+    out.push('\n');
+    out.push_str(&render_supervision_summary(&outcome.supervision));
+    if outcome.halted {
+        out.push_str("\nhalted early; resume with --resume --checkpoint PATH\n");
+    }
+    if let Some(path) = &opts.json {
+        let body = serde_json::to_string_pretty(&CampaignJson {
+            result: result.clone(),
+            supervision: outcome.supervision.clone(),
+        })
+        .map_err(|e| internal(e.to_string()))?;
+        std::fs::write(path, body).map_err(|e| internal(format!("writing {path}: {e}")))?;
         out.push_str(&format!("\nwrote per-experiment outcomes to {path}\n"));
     }
+    // Quarantined experiments are reported, not fatal (the campaign ran
+    // them as far as the supervision policy allows); a *completed*
+    // experiment that failed its oracle is a real counterexample.
     if !result.all_passed() {
-        return Err(out);
+        return Err(CliError::Counterexample(out));
     }
     Ok(out)
 }
 
-#[allow(clippy::too_many_arguments)] // mirrors the flat flag surface of the CLI
-fn explore_cmd(
+/// The explore command's flag surface, bundled.
+struct ExploreOpts {
     nodes: usize,
     rounds: u64,
     penalty: u64,
@@ -475,40 +661,78 @@ fn explore_cmd(
     corpus_out: Option<String>,
     repro: Option<String>,
     json: Option<String>,
-) -> Result<String, String> {
+    checkpoint: Option<String>,
+    checkpoint_every: u64,
+    resume: bool,
+}
+
+fn explore_cmd(opts: ExploreOpts) -> Result<String, CliError> {
     use tt_fault::explore::{
-        explore_with, load_corpus, no_extra_oracle, save_schedule, ExploreConfig, Strategy,
+        load_corpus, no_extra_oracle, save_schedule, ExploreConfig, Explorer, Strategy,
     };
-    let cfg = ExploreConfig {
-        n: nodes,
-        rounds,
-        penalty_threshold: penalty,
-        reward_threshold: reward,
-        max_faults,
-        budget,
-        seed,
-        strategy: if random {
+    use tt_fault::{write_json_atomic, ExploreCheckpoint};
+    let cli_cfg = ExploreConfig {
+        n: opts.nodes,
+        rounds: opts.rounds,
+        penalty_threshold: opts.penalty,
+        reward_threshold: opts.reward,
+        max_faults: opts.max_faults,
+        budget: opts.budget,
+        seed: opts.seed,
+        strategy: if opts.random {
             Strategy::Random
         } else {
             Strategy::CoverageGuided
         },
     };
-    let seeds: Vec<_> = match &corpus {
+    let seeds: Vec<_> = match &opts.corpus {
         Some(dir) => load_corpus(std::path::Path::new(dir))
-            .map_err(|e| format!("loading corpus {dir}: {e}"))?
+            .map_err(|e| internal(format!("loading corpus {dir}: {e}")))?
             .into_iter()
             .map(|(_, s)| s)
             .collect(),
         None => Vec::new(),
     };
     let started = std::time::Instant::now();
-    let report = explore_with(&cfg, &seeds, &no_extra_oracle);
+    // A resumed session carries its own parameters, coverage set, and RNG
+    // position; command-line exploration flags apply only to fresh runs.
+    let (mut session, cfg) = if opts.resume {
+        let path = opts
+            .checkpoint
+            .as_ref()
+            .expect("the parser rejects --resume without --checkpoint");
+        let cp: ExploreCheckpoint = tt_fault::read_json(Path::new(path))
+            .map_err(|e| internal(format!("reading checkpoint {path}: {e}")))?;
+        let cfg = cp.cfg.clone();
+        let session =
+            Explorer::from_checkpoint(&cp).map_err(|e| usage(format!("checkpoint {path}: {e}")))?;
+        (session, cfg)
+    } else {
+        (Explorer::new(&cli_cfg, &seeds), cli_cfg)
+    };
+    loop {
+        let stepped = session.step(&no_extra_oracle);
+        if let Some(path) = &opts.checkpoint {
+            let boundary =
+                opts.checkpoint_every > 0 && session.executed() % opts.checkpoint_every.max(1) == 0;
+            // Snapshot on every interval boundary and once at the end, so
+            // `--resume` always finds the final state on disk.
+            if boundary || !stepped {
+                write_json_atomic(Path::new(path), &session.checkpoint())
+                    .map_err(|e| internal(format!("writing checkpoint {path}: {e}")))?;
+            }
+        }
+        if !stepped {
+            break;
+        }
+    }
+    let report = session.into_report();
     let elapsed = started.elapsed().as_secs_f64();
     let mut out = render_explore_summary(&cfg, &report, elapsed);
-    if let Some(dir) = &corpus_out {
+    if let Some(dir) = &opts.corpus_out {
         let dir = std::path::Path::new(dir);
         for s in &report.corpus {
-            save_schedule(dir, "sched", s).map_err(|e| format!("writing corpus: {e}"))?;
+            save_schedule(dir, "sched", s).map_err(|e| internal(format!("writing corpus: {e}")))?;
         }
         out.push_str(&format!(
             "\nwrote {} coverage-discovering schedules to {}\n",
@@ -516,24 +740,24 @@ fn explore_cmd(
             dir.display()
         ));
     }
-    if let Some(dir) = &repro {
+    if let Some(dir) = &opts.repro {
         let dir = std::path::Path::new(dir);
         for cx in &report.counterexamples {
             let path = save_schedule(dir, "repro", &cx.shrunk)
-                .map_err(|e| format!("writing repro: {e}"))?;
+                .map_err(|e| internal(format!("writing repro: {e}")))?;
             out.push_str(&format!(
                 "\nwrote shrunk reproducer to {}\n",
                 path.display()
             ));
         }
     }
-    if let Some(path) = &json {
-        let body = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
-        std::fs::write(path, body).map_err(|e| format!("writing {path}: {e}"))?;
+    if let Some(path) = &opts.json {
+        let body = serde_json::to_string_pretty(&report).map_err(|e| internal(e.to_string()))?;
+        std::fs::write(path, body).map_err(|e| internal(format!("writing {path}: {e}")))?;
         out.push_str(&format!("\nwrote full report to {path}\n"));
     }
     if !report.counterexamples.is_empty() {
-        return Err(out);
+        return Err(CliError::Counterexample(out));
     }
     Ok(out)
 }
@@ -574,7 +798,29 @@ mod tests {
             record: None,
         })
         .unwrap_err();
-        assert!(e.contains("exceeds cluster size"));
+        assert!(e.to_string().contains("exceeds cluster size"));
+        assert_eq!(e.exit_code(), 2, "bad flag values are usage errors");
+    }
+
+    #[test]
+    fn exit_codes_follow_the_documented_taxonomy() {
+        assert_eq!(CliError::Usage("x".into()).exit_code(), 2);
+        assert_eq!(CliError::Counterexample("x".into()).exit_code(), 1);
+        assert_eq!(CliError::Internal("x".into()).exit_code(), 101);
+    }
+
+    #[test]
+    fn replay_missing_trace_is_an_internal_error() {
+        let e = run(Command::Replay {
+            trace: "/nonexistent/ttdiag-no-such-trace.json".into(),
+            nodes: 4,
+            rounds: 10,
+            penalty: 3,
+            reward: 100,
+            timeline: false,
+        })
+        .unwrap_err();
+        assert_eq!(e.exit_code(), 101, "I/O failures are internal errors: {e}");
     }
 
     #[test]
@@ -591,14 +837,101 @@ mod tests {
         assert!(aero.contains("P = 17"), "{aero}");
     }
 
+    /// A `Command::Campaign` with every supervision flag at its default.
+    fn campaign_cmd(reps: u64) -> Command {
+        Command::Campaign {
+            reps,
+            json: None,
+            threads: 1,
+            checkpoint: None,
+            checkpoint_every: 25,
+            resume: false,
+            halt_after: None,
+            watchdog_ms: None,
+            chaos_seed: 0,
+            chaos_panic: 0,
+            chaos_hang: 0,
+            chaos_transient: 0,
+        }
+    }
+
     #[test]
     fn campaign_small_run_passes() {
-        let out = run(Command::Campaign {
+        let out = run(campaign_cmd(1)).unwrap();
+        assert!(out.contains("all passed: true"), "{out}");
+        assert!(out.contains("supervision: clean run"), "{out}");
+    }
+
+    #[test]
+    fn campaign_with_injected_panics_completes_and_reports_quarantines() {
+        let cmd = Command::Campaign {
             reps: 1,
             json: None,
-        })
-        .unwrap();
+            threads: 1,
+            checkpoint: None,
+            checkpoint_every: 25,
+            resume: false,
+            halt_after: None,
+            watchdog_ms: None,
+            chaos_seed: 5,
+            chaos_panic: 400,
+            chaos_hang: 0,
+            chaos_transient: 0,
+        };
+        // Injected panics quarantine some experiments but never poison the
+        // pool: every healthy experiment completes and passes, so the
+        // campaign still succeeds (exit 0) with a non-empty quarantine
+        // section in the report.
+        let out = run(cmd).unwrap();
         assert!(out.contains("all passed: true"), "{out}");
+        assert!(out.contains("quarantined"), "{out}");
+        assert!(out.contains("panic: injected harness panic"), "{out}");
+    }
+
+    #[test]
+    fn campaign_checkpoint_halt_and_resume_match_uninterrupted() {
+        let path = std::env::temp_dir().join("ttdiag_cli_test_campaign_ckpt.json");
+        let path_s = path.to_string_lossy().to_string();
+        let _ = std::fs::remove_file(&path);
+        let halted = Command::Campaign {
+            reps: 1,
+            json: None,
+            threads: 1,
+            checkpoint: Some(path_s.clone()),
+            checkpoint_every: 1,
+            resume: false,
+            halt_after: Some(2),
+            watchdog_ms: None,
+            chaos_seed: 0,
+            chaos_panic: 0,
+            chaos_hang: 0,
+            chaos_transient: 0,
+        };
+        let out = run(halted).unwrap();
+        assert!(out.contains("halted early"), "{out}");
+        let resumed = Command::Campaign {
+            reps: 1,
+            json: None,
+            threads: 1,
+            checkpoint: Some(path_s.clone()),
+            checkpoint_every: 25,
+            resume: true,
+            halt_after: None,
+            watchdog_ms: None,
+            chaos_seed: 0,
+            chaos_panic: 0,
+            chaos_hang: 0,
+            chaos_transient: 0,
+        };
+        let resumed_out = run(resumed).unwrap();
+        assert!(resumed_out.contains("all passed: true"), "{resumed_out}");
+        let direct = run(campaign_cmd(1)).unwrap();
+        // The resumed run reaches the same verdict and per-class results as
+        // an uninterrupted one (modulo the resume banner line).
+        for line in direct.lines().filter(|l| l.contains('|')) {
+            assert!(resumed_out.contains(line), "missing {line:?}");
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
@@ -861,6 +1194,9 @@ mod tests {
             corpus_out: Some(corpus_out.to_string_lossy().to_string()),
             repro: None,
             json: Some(json.to_string_lossy().to_string()),
+            checkpoint: None,
+            checkpoint_every: 25,
+            resume: false,
         })
         .unwrap();
         assert!(out.contains("unique state fingerprints"), "{out}");

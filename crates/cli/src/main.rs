@@ -18,7 +18,7 @@ fn main() {
         Ok(out) => println!("{out}"),
         Err(e) => {
             eprintln!("{e}");
-            std::process::exit(1);
+            std::process::exit(e.exit_code());
         }
     }
 }

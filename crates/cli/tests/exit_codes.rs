@@ -1,0 +1,68 @@
+//! Process-level checks of the documented exit-code taxonomy:
+//! `0` success, `1` protocol counterexample, `2` usage error, `101`
+//! internal error (mirroring Rust's panic exit status).
+
+use std::process::Command;
+
+fn ttdiag() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ttdiag"))
+}
+
+#[test]
+fn success_exits_zero() {
+    let out = ttdiag()
+        .args(["tune", "automotive"])
+        .output()
+        .expect("spawn ttdiag");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}
+
+#[test]
+fn unknown_command_is_a_usage_error() {
+    let out = ttdiag().arg("frobnicate").output().expect("spawn ttdiag");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("USAGE") || stderr.contains("usage"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn bad_flag_value_is_a_usage_error() {
+    let out = ttdiag()
+        .args(["simulate", "--nodes", "not-a-number"])
+        .output()
+        .expect("spawn ttdiag");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn missing_replay_trace_is_an_internal_error() {
+    let out = ttdiag()
+        .args(["replay", "/nonexistent/ttdiag-no-such.json"])
+        .output()
+        .expect("spawn ttdiag");
+    assert_eq!(out.status.code(), Some(101), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no-such"), "error names the path: {stderr}");
+}
+
+#[test]
+fn chaos_campaign_with_quarantines_still_exits_zero() {
+    let out = ttdiag()
+        .args([
+            "campaign",
+            "--reps",
+            "1",
+            "--chaos-seed",
+            "5",
+            "--chaos-panic",
+            "400",
+        ])
+        .output()
+        .expect("spawn ttdiag");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("quarantined"), "{stdout}");
+}

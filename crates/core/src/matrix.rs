@@ -43,28 +43,39 @@ impl DiagnosticMatrix {
         &self.rows[sender.index()]
     }
 
-    /// The votes of column `j` with the self-opinion of the diagnosed node
-    /// removed: `⟨al_dm_1[j], …, al_dm_{j-1}[j], al_dm_{j+1}[j], …⟩`.
-    pub fn column_votes(&self, diagnosed: NodeId) -> Vec<Option<bool>> {
+    /// Consumes the matrix, returning its row storage (so callers recycling
+    /// scratch vectors can reclaim the allocation).
+    pub fn into_rows(self) -> Vec<SyndromeRow> {
+        self.rows
+    }
+
+    /// Iterates the votes of column `j` with the self-opinion of the
+    /// diagnosed node removed, without materialising them.
+    fn column_votes_iter(&self, diagnosed: NodeId) -> impl Iterator<Item = Option<bool>> + '_ {
         let j = diagnosed.index();
         self.rows
             .iter()
             .enumerate()
-            .filter(|(i, _)| *i != j)
-            .map(|(_, row)| row.as_ref().map(|s| s.get(j)))
-            .collect()
+            .filter(move |(i, _)| *i != j)
+            .map(move |(_, row)| row.as_ref().map(|s| s.get(j)))
+    }
+
+    /// The votes of column `j` with the self-opinion of the diagnosed node
+    /// removed: `⟨al_dm_1[j], …, al_dm_{j-1}[j], al_dm_{j+1}[j], …⟩`.
+    pub fn column_votes(&self, diagnosed: NodeId) -> Vec<Option<bool>> {
+        self.column_votes_iter(diagnosed).collect()
     }
 
     /// Votes `H-maj` on the column of `diagnosed` (Alg. 1, lines 11–12).
     pub fn vote(&self, diagnosed: NodeId) -> HMaj {
-        h_maj(self.column_votes(diagnosed))
+        h_maj(self.column_votes_iter(diagnosed))
     }
 
     /// The full [`VoteTally`] of the column of `diagnosed`: bucket counts
     /// plus the `H-maj` outcome (observability view of
     /// [`DiagnosticMatrix::vote`]).
     pub fn tally(&self, diagnosed: NodeId) -> VoteTally {
-        h_maj_tally(self.column_votes(diagnosed))
+        h_maj_tally(self.column_votes_iter(diagnosed))
     }
 
     /// Computes the consistent health vector for this matrix.
@@ -76,14 +87,25 @@ impl DiagnosticMatrix {
     /// healthy, preserving correctness.
     pub fn consistent_health_vector(
         &self,
-        mut collision_fallback: impl FnMut(NodeId) -> Option<bool>,
+        collision_fallback: impl FnMut(NodeId) -> Option<bool>,
     ) -> Vec<bool> {
-        NodeId::all(self.n_nodes())
-            .map(|j| match self.vote(j) {
-                HMaj::Decided(v) => v,
-                HMaj::Undecidable => collision_fallback(j).unwrap_or(true),
-            })
-            .collect()
+        let mut out = Vec::with_capacity(self.n_nodes());
+        self.consistent_health_vector_into(&mut out, collision_fallback);
+        out
+    }
+
+    /// [`DiagnosticMatrix::consistent_health_vector`] writing into a reused
+    /// buffer (cleared first), for allocation-free steady-state voting.
+    pub fn consistent_health_vector_into(
+        &self,
+        out: &mut Vec<bool>,
+        mut collision_fallback: impl FnMut(NodeId) -> Option<bool>,
+    ) {
+        out.clear();
+        out.extend(NodeId::all(self.n_nodes()).map(|j| match self.vote(j) {
+            HMaj::Decided(v) => v,
+            HMaj::Undecidable => collision_fallback(j).unwrap_or(true),
+        }));
     }
 
     /// Renders the matrix in the style of the paper's Table 1.
@@ -119,7 +141,7 @@ pub fn matrix_with_benign_faulty(n: usize, faulty: &[NodeId]) -> DiagnosticMatri
             if faulty.contains(&i) {
                 None // their dissemination also failed: ε row
             } else {
-                Some(obedient_view.clone())
+                Some(obedient_view)
             }
         })
         .collect();
@@ -154,11 +176,7 @@ mod tests {
         liar_row.set(NodeId::new(1), false); // frame-up attempt
         let mut accuse2 = Syndrome::all_ok(3);
         accuse2.set(NodeId::new(2), false);
-        let m = DiagnosticMatrix::new(vec![
-            Some(accuse2.clone()),
-            Some(liar_row),
-            Some(accuse2.clone()),
-        ]);
+        let m = DiagnosticMatrix::new(vec![Some(accuse2), Some(liar_row), Some(accuse2)]);
         // Column 2 votes exclude row 2 entirely.
         assert_eq!(
             m.column_votes(NodeId::new(2)),

@@ -8,10 +8,12 @@
 //! dissemination.
 
 use std::collections::VecDeque;
+use std::mem;
 
+use bytes::Bytes;
 use tt_sim::{JobCtx, RoundIndex};
 
-use crate::alignment::{read_align, send_align, SendChoice};
+use crate::alignment::{send_align, SendChoice};
 use crate::syndrome::{Syndrome, SyndromeRow};
 
 /// How many disseminated syndromes are remembered (the analysis needs only
@@ -47,6 +49,16 @@ pub struct AlignmentBuffers {
     prev_ls: Vec<bool>,
     prev_al_ls: Syndrome,
     own_tx: VecDeque<(RoundIndex, Syndrome)>,
+    /// Recycled backing storage for the next activation's [`Aligned`]:
+    /// [`AlignmentBuffers::commit`] returns the consumed vectors here so
+    /// steady-state rounds never touch the allocator.
+    spare_dm: Vec<SyndromeRow>,
+    spare_ls: Vec<bool>,
+    spare_al: Vec<SyndromeRow>,
+    /// Wire encoding of the last disseminated syndrome. In steady state the
+    /// outgoing syndrome rarely changes, so the payload `Bytes` is reused
+    /// (a reference-count bump) instead of re-encoded.
+    tx_cache: Option<(Syndrome, Bytes)>,
 }
 
 impl AlignmentBuffers {
@@ -58,25 +70,45 @@ impl AlignmentBuffers {
             prev_ls: vec![false; n],
             prev_al_ls: Syndrome::all_ok(n),
             own_tx: VecDeque::with_capacity(OWN_TX_HISTORY),
+            spare_dm: Vec::with_capacity(n),
+            spare_ls: Vec::with_capacity(n),
+            spare_al: Vec::with_capacity(n),
+            tx_cache: None,
         }
     }
 
     /// Phases 1 & 3: read interface variables and validity bits, decode
     /// syndromes (ε for invalid rows) and apply read alignment.
-    pub fn read_and_align(&self, ctx: &JobCtx<'_>) -> Aligned {
-        let iface = ctx.read_iface();
-        let curr_ls = ctx.validity_bits();
-        let curr_dm: Vec<SyndromeRow> = (0..self.n)
-            .map(|j| {
-                if curr_ls[j] {
-                    iface[j].as_ref().map(|p| Syndrome::decode(p, self.n))
-                } else {
-                    None
-                }
-            })
-            .collect();
-        let al_dm = read_align(&self.prev_dm, &curr_dm, ctx.l());
-        let al_ls = Syndrome::from_bits(read_align(&self.prev_ls, &curr_ls, ctx.l()));
+    ///
+    /// The returned [`Aligned`] borrows nothing but is backed by this
+    /// instance's recycled scratch vectors; hand it back via
+    /// [`AlignmentBuffers::commit`] to keep the round allocation-free.
+    pub fn read_and_align(&mut self, ctx: &JobCtx<'_>) -> Aligned {
+        let iface = ctx.iface();
+        let vbits = ctx.validity();
+        let l = ctx.l();
+        let mut curr_dm = mem::take(&mut self.spare_dm);
+        curr_dm.clear();
+        curr_dm.extend((0..self.n).map(|j| {
+            if vbits[j] {
+                iface[j].as_ref().map(|p| Syndrome::decode(p, self.n))
+            } else {
+                None
+            }
+        }));
+        let mut curr_ls = mem::take(&mut self.spare_ls);
+        curr_ls.clear();
+        curr_ls.extend_from_slice(vbits);
+        // Read alignment (Alg. 1, lines 3–6): previous-activation values for
+        // the slots already refreshed this round, current values for the rest.
+        let mut al_dm = mem::take(&mut self.spare_al);
+        al_dm.clear();
+        al_dm.extend_from_slice(&self.prev_dm[..l]);
+        al_dm.extend_from_slice(&curr_dm[l..]);
+        let al_ls =
+            Syndrome::from_bits(
+                (0..self.n).map(|j| if j < l { self.prev_ls[j] } else { curr_ls[j] }),
+            );
         Aligned {
             al_dm,
             al_ls,
@@ -101,11 +133,19 @@ impl AlignmentBuffers {
     ) -> RoundIndex {
         let choice = send_align(all_send_curr_round, ctx.send_curr_round());
         let mut to_send = match choice {
-            SendChoice::Current => al_ls.clone(),
-            SendChoice::Previous => self.prev_al_ls.clone(),
+            SendChoice::Current => *al_ls,
+            SendChoice::Previous => self.prev_al_ls,
         };
         mutate(&mut to_send);
-        ctx.write_iface(to_send.encode());
+        let payload = match &self.tx_cache {
+            Some((cached, bytes)) if *cached == to_send => bytes.clone(),
+            _ => {
+                let bytes = to_send.encode();
+                self.tx_cache = Some((to_send, bytes.clone()));
+                bytes
+            }
+        };
+        ctx.write_iface(payload);
         let tx_round = if ctx.send_curr_round() {
             ctx.round()
         } else {
@@ -126,13 +166,15 @@ impl AlignmentBuffers {
             .iter()
             .rev()
             .find(|(r, _)| *r == round)
-            .map(|(_, s)| s.clone())
+            .map(|(_, s)| *s)
     }
 
     /// Lines 16–17 of Alg. 1: buffer this activation's reads for the next.
+    /// The vectors backing `aligned` return to the scratch pool.
     pub fn commit(&mut self, aligned: Aligned) {
-        self.prev_dm = aligned.curr_dm;
-        self.prev_ls = aligned.curr_ls;
+        self.spare_dm = mem::replace(&mut self.prev_dm, aligned.curr_dm);
+        self.spare_ls = mem::replace(&mut self.prev_ls, aligned.curr_ls);
+        self.spare_al = aligned.al_dm;
         self.prev_al_ls = aligned.al_ls;
     }
 }
@@ -163,7 +205,7 @@ mod tests {
             Reception::Valid(s.encode()),
         );
         c.deliver(NodeId::new(3), RoundIndex::new(0), Reception::Detected);
-        let bufs = AlignmentBuffers::new(4);
+        let mut bufs = AlignmentBuffers::new(4);
         let ctx = ctx_for(&mut c, node, 0, 1);
         let aligned = bufs.read_and_align(&ctx);
         assert_eq!(aligned.al_dm[1], Some(s));
@@ -185,10 +227,7 @@ mod tests {
             assert_eq!(tx, RoundIndex::new(6), "returned tx round");
         }
         assert!(bufs.own_row_for_tx_round(RoundIndex::new(5)).is_none());
-        assert_eq!(
-            bufs.own_row_for_tx_round(RoundIndex::new(6)),
-            Some(al.clone())
-        );
+        assert_eq!(bufs.own_row_for_tx_round(RoundIndex::new(6)), Some(al));
         // offset 0 <= slot 0: sends this round. With mixed alignment the
         // *previous* aligned syndrome ships.
         let node4 = NodeId::new(4);

@@ -276,6 +276,10 @@ pub struct DiagJob {
     log_health: bool,
     log_counters: bool,
     activations: u64,
+    /// Recycled row storage for the per-activation [`DiagnosticMatrix`].
+    matrix_scratch: Vec<SyndromeRow>,
+    /// Recycled buffer for the per-activation consistent health vector.
+    hv_scratch: Vec<bool>,
 }
 
 impl DiagJob {
@@ -304,6 +308,8 @@ impl DiagJob {
             log_health,
             log_counters: false,
             activations: 0,
+            matrix_scratch: Vec::with_capacity(n),
+            hv_scratch: Vec::with_capacity(n),
             config,
         }
     }
@@ -377,7 +383,7 @@ impl DiagJob {
     }
 
     /// Phases 4–5: voting, health vector, counters, isolation.
-    fn analyze_and_update(&mut self, ctx: &mut JobCtx<'_>, mut al_dm: Vec<SyndromeRow>) {
+    fn analyze_and_update(&mut self, ctx: &mut JobCtx<'_>, al_dm: &[SyndromeRow]) {
         let k = ctx.round();
         let lag = diagnosis_lag(self.config.all_send_curr_round());
         let Some(diagnosed) = k.checked_sub(lag) else {
@@ -386,15 +392,17 @@ impl DiagJob {
         if self.activations < lag {
             return; // pipeline not yet full: no complete instance exists
         }
+        self.matrix_scratch.clear();
+        self.matrix_scratch.extend_from_slice(al_dm);
         // The node's own row comes from its local buffer, not the bus.
         if let Some(prev_round) = k.checked_sub(1) {
             if let Some(own) = self.bufs.own_row_for_tx_round(prev_round) {
-                al_dm[self.node.index()] = Some(own);
+                self.matrix_scratch[self.node.index()] = Some(own);
             }
         }
-        let matrix = DiagnosticMatrix::new(al_dm);
+        let matrix = DiagnosticMatrix::new(std::mem::take(&mut self.matrix_scratch));
         let node = self.node;
-        let cons_hv = matrix.consistent_health_vector(|j| {
+        matrix.consistent_health_vector_into(&mut self.hv_scratch, |j| {
             if j == node {
                 ctx.collision_ok(diagnosed)
             } else {
@@ -411,7 +419,7 @@ impl DiagJob {
         if tracing_on {
             emit_vote_spans(tracer, &matrix, node, k, diagnosed);
         }
-        let newly_isolated = self.pr.update_observed(&cons_hv, |t| {
+        let newly_isolated = self.pr.update_observed(&self.hv_scratch, |t| {
             sink.counter("core.pr_transitions", 1);
             if metrics_on {
                 emit_pr_transition(sink, t, node, k, diagnosed);
@@ -444,9 +452,11 @@ impl DiagJob {
             self.health_log.push(HealthRecord {
                 diagnosed,
                 decided_at: k,
-                health: cons_hv,
+                health: self.hv_scratch.clone(),
             });
         }
+        // Reclaim the matrix's row storage for the next activation.
+        self.matrix_scratch = matrix.into_rows();
     }
 }
 
@@ -494,7 +504,7 @@ impl Job for DiagJob {
             );
         }
         // Phases 4 & 5: analysis + counter update.
-        self.analyze_and_update(ctx, aligned.al_dm.clone());
+        self.analyze_and_update(ctx, &aligned.al_dm);
         // Buffering for the next activation (Alg. 1, lines 16–17).
         self.bufs.commit(aligned);
         self.activations += 1;

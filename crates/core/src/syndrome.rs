@@ -17,63 +17,100 @@ use serde::{Deserialize, Serialize};
 
 use tt_sim::NodeId;
 
+/// The largest cluster a [`Syndrome`] can cover (one bit per node in the
+/// packed representation).
+pub const MAX_SYNDROME_NODES: usize = 64;
+
 /// A local syndrome: one boolean opinion per node, `true` = "message
 /// received correctly" (the paper's 1), `false` = "faulty" (the paper's 0).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Stored as a packed bitmask so syndromes are `Copy`: the simulation hot
+/// path clones, aligns and decodes one syndrome per node per round, and a
+/// heap-backed representation would make every such step allocate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Syndrome {
-    bits: Vec<bool>,
+    n: u8,
+    mask: u64,
 }
 
 impl Syndrome {
     /// An all-ones syndrome ("everyone correct") for an `n`-node cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds [`MAX_SYNDROME_NODES`].
     pub fn all_ok(n: usize) -> Self {
-        Syndrome {
-            bits: vec![true; n],
-        }
+        assert!(n <= MAX_SYNDROME_NODES, "cluster too large for a syndrome");
+        let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        Syndrome { n: n as u8, mask }
     }
 
     /// Builds a syndrome from per-node opinions (index = node index).
-    pub fn from_bits(bits: Vec<bool>) -> Self {
-        Syndrome { bits }
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_SYNDROME_NODES`] opinions are given.
+    pub fn from_bits(bits: impl IntoIterator<Item = bool>) -> Self {
+        let mut n = 0usize;
+        let mut mask = 0u64;
+        for ok in bits {
+            assert!(n < MAX_SYNDROME_NODES, "cluster too large for a syndrome");
+            if ok {
+                mask |= 1 << n;
+            }
+            n += 1;
+        }
+        Syndrome { n: n as u8, mask }
     }
 
     /// Number of nodes covered.
     pub fn len(&self) -> usize {
-        self.bits.len()
+        self.n as usize
     }
 
     /// True if the syndrome covers zero nodes (never valid in a cluster,
     /// but kept total for robustness).
     pub fn is_empty(&self) -> bool {
-        self.bits.is_empty()
+        self.n == 0
     }
 
     /// The opinion on `node`: `true` = correct, `false` = faulty.
     pub fn opinion(&self, node: NodeId) -> bool {
-        self.bits[node.index()]
+        self.get(node.index())
     }
 
     /// The opinion at 0-based index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range, like the indexing it replaced.
     pub fn get(&self, idx: usize) -> bool {
-        self.bits[idx]
+        assert!(idx < self.n as usize, "syndrome index out of range");
+        self.mask & (1 << idx) != 0
     }
 
     /// Sets the opinion on `node` (used for minority accusations).
     pub fn set(&mut self, node: NodeId, ok: bool) {
-        self.bits[node.index()] = ok;
+        let idx = node.index();
+        assert!(idx < self.n as usize, "syndrome index out of range");
+        if ok {
+            self.mask |= 1 << idx;
+        } else {
+            self.mask &= !(1 << idx);
+        }
     }
 
     /// Iterates over the opinions in node order.
     pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
-        self.bits.iter().copied()
+        let mask = self.mask;
+        (0..self.n as usize).map(move |j| mask & (1 << j) != 0)
     }
 
     /// The nodes accused as faulty by this syndrome.
     pub fn accused(&self) -> Vec<NodeId> {
-        self.bits
-            .iter()
+        self.iter()
             .enumerate()
-            .filter(|(_, &ok)| !ok)
+            .filter(|(_, ok)| !ok)
             .map(|(i, _)| NodeId::from_slot(i))
             .collect()
     }
@@ -82,12 +119,10 @@ impl Syndrome {
     /// (LSB-first bit packing: bit `j` of byte `j / 8` is the opinion on
     /// node `j+1`).
     pub fn encode(&self) -> Bytes {
-        let n = self.bits.len();
+        let n = self.n as usize;
         let mut out = vec![0u8; n.div_ceil(8)];
-        for (j, &ok) in self.bits.iter().enumerate() {
-            if ok {
-                out[j / 8] |= 1 << (j % 8);
-            }
+        for (i, byte) in out.iter_mut().enumerate() {
+            *byte = (self.mask >> (i * 8)) as u8;
         }
         Bytes::from(out)
     }
@@ -98,22 +133,26 @@ impl Syndrome {
     /// payloads truncated. This mirrors the fault model — a malicious
     /// diagnostic message is *not locally detectable*, so whatever bits
     /// arrive are interpreted as a syndrome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds [`MAX_SYNDROME_NODES`].
     pub fn decode(payload: &[u8], n: usize) -> Self {
-        let bits = (0..n)
-            .map(|j| {
-                payload
-                    .get(j / 8)
-                    .map(|b| b & (1 << (j % 8)) != 0)
-                    .unwrap_or(false)
-            })
-            .collect();
-        Syndrome { bits }
+        assert!(n <= MAX_SYNDROME_NODES, "cluster too large for a syndrome");
+        let mut mask = 0u64;
+        for (i, &b) in payload.iter().take(n.div_ceil(8)).enumerate() {
+            mask |= u64::from(b) << (i * 8);
+        }
+        if n < 64 {
+            mask &= (1u64 << n) - 1;
+        }
+        Syndrome { n: n as u8, mask }
     }
 }
 
 impl std::fmt::Display for Syndrome {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        for &b in &self.bits {
+        for b in self.iter() {
             write!(f, "{}", if b { '1' } else { '0' })?;
         }
         Ok(())

@@ -24,7 +24,7 @@ use serde::{Deserialize, Serialize};
 
 use tt_core::properties::{check_diag_cluster, checkable_rounds, PropertyReport};
 use tt_core::{DiagJob, MembershipJob, ProtocolConfig};
-use tt_sim::{Cluster, ClusterBuilder, NodeId, RoundIndex};
+use tt_sim::{CancellationToken, Cluster, ClusterBuilder, NodeId, RoundIndex};
 
 use crate::burst::Burst;
 use crate::injector::DisturbanceNode;
@@ -249,9 +249,18 @@ fn round_for(n: usize) -> tt_sim::Nanos {
 }
 
 fn diag_cluster(n: usize, pipeline: DisturbanceNode) -> Cluster {
+    diag_cluster_cancellable(n, pipeline, CancellationToken::new())
+}
+
+fn diag_cluster_cancellable(
+    n: usize,
+    pipeline: DisturbanceNode,
+    token: CancellationToken,
+) -> Cluster {
     let cfg = base_config(n);
     ClusterBuilder::new(n)
         .round_length(round_for(n))
+        .cancel_token(token)
         .build_with_jobs(
             move |id| Box::new(DiagJob::new(id, cfg.clone())),
             Box::new(pipeline),
@@ -260,6 +269,41 @@ fn diag_cluster(n: usize, pipeline: DisturbanceNode) -> Cluster {
 
 /// Runs one experiment and checks its expectations.
 pub fn run_experiment(class: ExperimentClass, n: usize, seed: u64) -> ExperimentOutcome {
+    run_experiment_cancellable(class, n, seed, &CancellationToken::new())
+        .expect("a fresh token never cancels")
+}
+
+/// The outcome recorded in place of an experiment whose execution
+/// panicked: failed, with the panic message and reproduction seed in the
+/// notes. Worker pools record this instead of letting the panic poison the
+/// pool; the experiment never produced a verdict, so `passed` is `false`
+/// and the oracle report is empty.
+pub fn quarantined_outcome(
+    class: ExperimentClass,
+    seed: u64,
+    panic_msg: &str,
+) -> ExperimentOutcome {
+    ExperimentOutcome {
+        label: class.label(),
+        seed,
+        passed: false,
+        report: PropertyReport::default(),
+        notes: vec![format!("quarantined: panic: {panic_msg}")],
+        mean_detection_latency: None,
+    }
+}
+
+/// Like [`run_experiment`], but observing `token` at round granularity:
+/// once the token is cancelled the simulation stops at the next round
+/// boundary and `None` is returned (a partially executed experiment has no
+/// meaningful verdict). Supervisors use this to enforce watchdog deadlines
+/// on hung or oversized experiments without killing the hosting thread.
+pub fn run_experiment_cancellable(
+    class: ExperimentClass,
+    n: usize,
+    seed: u64,
+    token: &CancellationToken,
+) -> Option<ExperimentOutcome> {
     let mut rng = StdRng::seed_from_u64(seed);
     let fault_round = RoundIndex::new(rng.gen_range(5..15));
     let lag = 3; // conservative send alignment in all campaign configs
@@ -277,9 +321,11 @@ pub fn run_experiment(class: ExperimentClass, n: usize, seed: u64) -> Experiment
                 len_slots,
                 n,
             ));
-            let mut cluster = diag_cluster(n, pipeline);
+            let mut cluster = diag_cluster_cancellable(n, pipeline, token.clone());
             let total = fault_round.as_u64() + len_slots.div_ceil(n as u64) + 10;
-            cluster.run_rounds(total);
+            if cluster.run_rounds(total) < total {
+                return None;
+            }
             let report = check_diag_cluster(&cluster, &all, checkable_rounds(total, lag));
             let mut passed = report.ok();
             // The burst must actually have been detected: every benign slot
@@ -307,14 +353,14 @@ pub fn run_experiment(class: ExperimentClass, n: usize, seed: u64) -> Experiment
                 passed = false;
                 notes.push("no rounds checked".into());
             }
-            ExperimentOutcome {
+            Some(ExperimentOutcome {
                 label: class.label(),
                 seed,
                 passed,
                 report,
                 notes,
                 mean_detection_latency,
-            }
+            })
         }
         ExperimentClass::PenaltyRewardStepping { node } => {
             // A fault in `node`'s slot every second round for 20 rounds.
@@ -326,9 +372,11 @@ pub fn run_experiment(class: ExperimentClass, n: usize, seed: u64) -> Experiment
                     .then_some(tt_sim::SlotEffect::Benign)
             };
             let pipeline = DisturbanceNode::new(seed).with(stepper);
-            let mut cluster = diag_cluster(n, pipeline);
+            let mut cluster = diag_cluster_cancellable(n, pipeline, token.clone());
             let total = first.as_u64() + 20 + 10;
-            cluster.run_rounds(total);
+            if cluster.run_rounds(total) < total {
+                return None;
+            }
             let report = check_diag_cluster(&cluster, &all, checkable_rounds(total, lag));
             let mut passed = report.ok();
             for &obs in &all {
@@ -354,20 +402,21 @@ pub fn run_experiment(class: ExperimentClass, n: usize, seed: u64) -> Experiment
                     }
                 }
             }
-            ExperimentOutcome {
+            Some(ExperimentOutcome {
                 label: class.label(),
                 seed,
                 passed,
                 report,
                 notes,
                 mean_detection_latency: None,
-            }
+            })
         }
         ExperimentClass::MaliciousSyndromes { node } => {
             let cfg = base_config(n);
             let mal_seed = rng.gen();
             let mut cluster = ClusterBuilder::new(n)
                 .round_length(round_for(n))
+                .cancel_token(token.clone())
                 .build_with_jobs(
                     |id| {
                         if id == node {
@@ -379,7 +428,9 @@ pub fn run_experiment(class: ExperimentClass, n: usize, seed: u64) -> Experiment
                     Box::new(DisturbanceNode::new(seed)),
                 );
             let total = 30;
-            cluster.run_rounds(total);
+            if cluster.run_rounds(total) < total {
+                return None;
+            }
             let obedient: Vec<NodeId> = all.iter().copied().filter(|&x| x != node).collect();
             let report = check_diag_cluster(&cluster, &obedient, checkable_rounds(total, lag));
             let mut passed = report.ok();
@@ -392,14 +443,14 @@ pub fn run_experiment(class: ExperimentClass, n: usize, seed: u64) -> Experiment
                     notes.push(format!("{obs}: convicted a correct node"));
                 }
             }
-            ExperimentOutcome {
+            Some(ExperimentOutcome {
                 label: class.label(),
                 seed,
                 passed,
                 report,
                 notes,
                 mean_detection_latency: None,
-            }
+            })
         }
         ExperimentClass::CliqueFormation { victim } => {
             let cfg = base_config(n);
@@ -407,12 +458,15 @@ pub fn run_experiment(class: ExperimentClass, n: usize, seed: u64) -> Experiment
                 DisturbanceNode::new(seed).with(CliquePartition::new(victim, fault_round, 1));
             let mut cluster = ClusterBuilder::new(n)
                 .round_length(round_for(n))
+                .cancel_token(token.clone())
                 .build_with_jobs(
                     |id| Box::new(MembershipJob::new(id, cfg.clone())),
                     Box::new(pipeline),
                 );
             let total = fault_round.as_u64() + 2 * lag + 6;
-            cluster.run_rounds(total);
+            if cluster.run_rounds(total) < total {
+                return None;
+            }
             let mut passed = true;
             let majority: Vec<NodeId> = all.iter().copied().filter(|&x| x != victim).collect();
             let mut views = Vec::new();
@@ -444,14 +498,14 @@ pub fn run_experiment(class: ExperimentClass, n: usize, seed: u64) -> Experiment
                     }
                 }
             }
-            ExperimentOutcome {
+            Some(ExperimentOutcome {
                 label: class.label(),
                 seed,
                 passed,
                 report: PropertyReport::default(),
                 notes,
                 mean_detection_latency: None,
-            }
+            })
         }
     }
 }

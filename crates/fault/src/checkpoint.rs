@@ -1,0 +1,257 @@
+//! Atomic checkpoint/resume snapshots for campaigns and the explorer.
+//!
+//! A 100k-round soak or explorer session interrupted at 99% should not
+//! restart from zero. Checkpoints capture everything a run needs to
+//! continue *byte-identically to an uninterrupted run*:
+//!
+//! * a campaign checkpoint records the completed experiment outcomes (by
+//!   deterministic work-list index), the quarantine records and the retry
+//!   count — experiments are independent and seeded per index, so the
+//!   missing indices can be re-run in any order;
+//! * an explorer checkpoint additionally records the coverage set, the
+//!   mutation frontier, the not-yet-executed seed schedules and the exact
+//!   RNG stream position ([`RngState`]) — the resumed generator continues
+//!   drawing the same schedules the uninterrupted run would have drawn.
+//!
+//! Snapshots are written atomically (temp file + rename in the target
+//! directory), so a crash mid-write leaves the previous checkpoint intact
+//! rather than a torn file.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use rand::rngs::{StdRng, StdRngState};
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+
+use crate::campaign::{ExperimentClass, ExperimentOutcome};
+use crate::explore::{ExploreConfig, ExploreReport, FaultSchedule};
+use crate::harness::QuarantineRecord;
+
+/// Version tag embedded in every checkpoint; bumped on incompatible
+/// format changes so a resume never silently misreads an old snapshot.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// The serializable form of an [`StdRng`] stream position.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RngState {
+    /// ChaCha key words (always exactly 8; a `Vec` only because the
+    /// vendored serde shim has no fixed-size array support).
+    pub key: Vec<u32>,
+    /// Block counter of the buffered block run.
+    pub counter: u64,
+    /// ChaCha stream id.
+    pub stream: u64,
+    /// Read position in the buffered words.
+    pub index: u64,
+}
+
+impl RngState {
+    /// Captures `rng`'s exact position.
+    pub fn capture(rng: &StdRng) -> Self {
+        let s = rng.save_state();
+        RngState {
+            key: s.key.to_vec(),
+            counter: s.counter,
+            stream: s.stream,
+            index: s.index as u64,
+        }
+    }
+
+    /// Rebuilds a generator continuing the captured stream exactly.
+    /// A malformed key (wrong word count) restores as an all-zero key
+    /// rather than panicking; [`RngState::is_well_formed`] lets callers
+    /// reject such snapshots up front.
+    pub fn restore(&self) -> StdRng {
+        let mut key = [0u32; 8];
+        if self.is_well_formed() {
+            key.copy_from_slice(&self.key);
+        }
+        StdRng::restore_state(&StdRngState {
+            key,
+            counter: self.counter,
+            stream: self.stream,
+            index: self.index as usize,
+        })
+    }
+
+    /// Whether the snapshot carries a structurally valid key.
+    pub fn is_well_formed(&self) -> bool {
+        self.key.len() == 8
+    }
+}
+
+/// Progress snapshot of a (possibly supervised) experiment campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignCheckpoint {
+    /// Format version ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// Cluster size of the campaign.
+    pub n: usize,
+    /// Repetitions per class.
+    pub reps: u64,
+    /// The campaign's base seed.
+    pub base_seed: u64,
+    /// The experiment classes, in work-list order.
+    pub classes: Vec<ExperimentClass>,
+    /// Completed outcomes, keyed by work-list index, sorted by index.
+    pub completed: Vec<(usize, ExperimentOutcome)>,
+    /// Experiments quarantined so far (terminal — not re-run on resume).
+    pub quarantined: Vec<QuarantineRecord>,
+    /// Retry attempts spent so far.
+    pub retries: u64,
+}
+
+impl CampaignCheckpoint {
+    /// An empty checkpoint for a campaign over `classes`.
+    pub fn new(classes: &[ExperimentClass], n: usize, reps: u64, base_seed: u64) -> Self {
+        CampaignCheckpoint {
+            version: CHECKPOINT_VERSION,
+            n,
+            reps,
+            base_seed,
+            classes: classes.to_vec(),
+            completed: Vec::new(),
+            quarantined: Vec::new(),
+            retries: 0,
+        }
+    }
+
+    /// Whether this checkpoint belongs to the given campaign parameters.
+    /// A resume against a mismatching checkpoint must be rejected, not
+    /// silently merged.
+    pub fn matches(
+        &self,
+        classes: &[ExperimentClass],
+        n: usize,
+        reps: u64,
+        base_seed: u64,
+    ) -> bool {
+        self.version == CHECKPOINT_VERSION
+            && self.n == n
+            && self.reps == reps
+            && self.base_seed == base_seed
+            && self.classes == classes
+    }
+
+    /// Work-list indices already settled (completed or quarantined).
+    pub fn settled(&self) -> impl Iterator<Item = usize> + '_ {
+        self.completed
+            .iter()
+            .map(|(i, _)| *i)
+            .chain(self.quarantined.iter().map(|q| q.item))
+    }
+}
+
+/// Progress snapshot of an explorer session.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExploreCheckpoint {
+    /// Format version ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// The exploration parameters the session runs under.
+    pub cfg: ExploreConfig,
+    /// Seed schedules not yet executed (in execution order).
+    pub pending: Vec<FaultSchedule>,
+    /// The coverage set: every protocol-state fingerprint seen, sorted.
+    pub seen: Vec<u64>,
+    /// The mutation frontier, in discovery order.
+    pub frontier: Vec<FaultSchedule>,
+    /// The report accumulated so far (corpus, counterexamples, counters).
+    pub report: ExploreReport,
+    /// The generator's exact stream position.
+    pub rng: RngState,
+}
+
+/// Serializes `value` as pretty-printed JSON into `path`, atomically: the
+/// bytes are first written to a sibling temp file, then renamed over the
+/// target, so readers only ever observe a complete snapshot.
+pub fn write_json_atomic<T: Serialize>(path: &Path, value: &T) -> io::Result<()> {
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut json = serde_json::to_string_pretty(value)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    json.push('\n');
+    let tmp = tmp_path(path);
+    std::fs::write(&tmp, json.as_bytes())?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Reads a JSON value previously written by [`write_json_atomic`].
+pub fn read_json<T: DeserializeOwned>(path: &Path) -> io::Result<T> {
+    let data = std::fs::read_to_string(path)?;
+    serde_json::from_str(&data).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: {e}", path.display()),
+        )
+    })
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn rng_state_roundtrips_through_serde() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let _: u64 = rng.gen();
+        }
+        let state = RngState::capture(&rng);
+        let json = serde_json::to_string(&state).unwrap();
+        let back: RngState = serde_json::from_str(&json).unwrap();
+        assert_eq!(state, back);
+        let mut restored = back.restore();
+        let mut original = rng;
+        for _ in 0..500 {
+            assert_eq!(original.gen::<u64>(), restored.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn campaign_checkpoint_matches_its_parameters() {
+        let classes = crate::campaign::sec8_classes(4);
+        let cp = CampaignCheckpoint::new(&classes, 4, 3, 42);
+        assert!(cp.matches(&classes, 4, 3, 42));
+        assert!(!cp.matches(&classes, 4, 3, 43));
+        assert!(!cp.matches(&classes, 5, 3, 42));
+        assert!(!cp.matches(&classes[..4], 4, 3, 42));
+        assert_eq!(cp.settled().count(), 0);
+    }
+
+    #[test]
+    fn atomic_write_roundtrips_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join("tt-fault-checkpoint-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("cp.json");
+        let classes = crate::campaign::sec8_classes(4);
+        let cp = CampaignCheckpoint::new(&classes, 4, 2, 7);
+        write_json_atomic(&path, &cp).unwrap();
+        let back: CampaignCheckpoint = read_json(&path).unwrap();
+        assert_eq!(cp, back);
+        assert!(!tmp_path(&path).exists(), "temp file must be renamed away");
+        // Overwrite works (checkpoint every N experiments).
+        write_json_atomic(&path, &cp).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_json_reports_the_offending_path() {
+        let dir = std::env::temp_dir().join("tt-fault-checkpoint-bad");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, b"{ not json").unwrap();
+        let err = read_json::<CampaignCheckpoint>(&path).unwrap_err();
+        assert!(err.to_string().contains("bad.json"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -473,32 +473,140 @@ pub fn explore_with(
     seeds: &[FaultSchedule],
     extra: ExtraOracle<'_>,
 ) -> ExploreReport {
-    assert!(cfg.n >= 4, "explorer needs n >= 4");
-    assert!(
-        cfg.rounds > 2 * LAG + 4,
-        "rounds too short to check anything"
-    );
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut seen: HashSet<u64> = HashSet::new();
-    let mut frontier: Vec<FaultSchedule> = Vec::new();
-    let mut report = ExploreReport::default();
-    let mut pending: Vec<FaultSchedule> = seeds.to_vec();
-    pending.reverse();
-    while report.executed < cfg.budget {
-        let schedule = match pending.pop() {
+    let mut session = Explorer::new(cfg, seeds);
+    while session.step(extra) {}
+    session.into_report()
+}
+
+/// A resumable exploration session: the explicit loop state behind
+/// [`explore_with`], one schedule execution per [`Explorer::step`].
+///
+/// The session can be snapshotted between steps with
+/// [`Explorer::checkpoint`] and rebuilt with [`Explorer::from_checkpoint`];
+/// because the snapshot carries the exact RNG stream position alongside
+/// the coverage set, frontier and report, a resumed session continues
+/// *byte-identically* to one that was never interrupted.
+pub struct Explorer {
+    cfg: ExploreConfig,
+    rng: StdRng,
+    seen: HashSet<u64>,
+    frontier: Vec<FaultSchedule>,
+    /// Not-yet-executed seed schedules, as a stack (last = next).
+    pending: Vec<FaultSchedule>,
+    report: ExploreReport,
+}
+
+impl std::fmt::Debug for Explorer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Explorer")
+            .field("executed", &self.report.executed)
+            .field("budget", &self.cfg.budget)
+            .field("unique_states", &self.seen.len())
+            .finish()
+    }
+}
+
+impl Explorer {
+    /// Starts a fresh session over `cfg`, priming the queue with `seeds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on configurations too small to check anything (`n < 4` or
+    /// `rounds <= 2 * LAG + 4`), exactly like [`explore_with`].
+    pub fn new(cfg: &ExploreConfig, seeds: &[FaultSchedule]) -> Self {
+        assert!(cfg.n >= 4, "explorer needs n >= 4");
+        assert!(
+            cfg.rounds > 2 * LAG + 4,
+            "rounds too short to check anything"
+        );
+        let mut pending = seeds.to_vec();
+        pending.reverse();
+        Explorer {
+            cfg: cfg.clone(),
+            rng: StdRng::seed_from_u64(cfg.seed),
+            seen: HashSet::new(),
+            frontier: Vec::new(),
+            pending,
+            report: ExploreReport::default(),
+        }
+    }
+
+    /// Rebuilds a session from a snapshot taken by [`Explorer::checkpoint`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects snapshots with an unknown version or a malformed RNG state
+    /// (both indicate a checkpoint from an incompatible build).
+    pub fn from_checkpoint(cp: &crate::checkpoint::ExploreCheckpoint) -> Result<Self, String> {
+        if cp.version != crate::checkpoint::CHECKPOINT_VERSION {
+            return Err(format!(
+                "checkpoint version {} unsupported (expected {})",
+                cp.version,
+                crate::checkpoint::CHECKPOINT_VERSION
+            ));
+        }
+        if !cp.rng.is_well_formed() {
+            return Err("checkpoint RNG state is malformed".into());
+        }
+        Ok(Explorer {
+            cfg: cp.cfg.clone(),
+            rng: cp.rng.restore(),
+            seen: cp.seen.iter().copied().collect(),
+            frontier: cp.frontier.clone(),
+            pending: cp.pending.clone(),
+            report: cp.report.clone(),
+        })
+    }
+
+    /// Snapshots the complete session state between steps.
+    pub fn checkpoint(&self) -> crate::checkpoint::ExploreCheckpoint {
+        let mut seen: Vec<u64> = self.seen.iter().copied().collect();
+        seen.sort_unstable();
+        crate::checkpoint::ExploreCheckpoint {
+            version: crate::checkpoint::CHECKPOINT_VERSION,
+            cfg: self.cfg.clone(),
+            pending: self.pending.clone(),
+            seen,
+            frontier: self.frontier.clone(),
+            report: self.report.clone(),
+            rng: crate::checkpoint::RngState::capture(&self.rng),
+        }
+    }
+
+    /// Schedule executions completed so far (shrinking excluded).
+    pub fn executed(&self) -> u64 {
+        self.report.executed
+    }
+
+    /// Whether the execution budget has been spent.
+    pub fn done(&self) -> bool {
+        self.report.executed >= self.cfg.budget
+    }
+
+    /// Executes one schedule (drawn from the seed queue, the frontier, or
+    /// fresh at random, per the strategy) and folds its coverage and
+    /// verdict into the report. Returns `false` — without executing — once
+    /// the budget is spent.
+    pub fn step(&mut self, extra: ExtraOracle<'_>) -> bool {
+        if self.done() {
+            return false;
+        }
+        let cfg = &self.cfg;
+        let schedule = match self.pending.pop() {
             Some(s) => s,
             None => match cfg.strategy {
-                Strategy::Random => random_schedule(cfg, &mut rng),
+                Strategy::Random => random_schedule(cfg, &mut self.rng),
                 Strategy::CoverageGuided => {
                     // Mostly mutate the frontier (stacking a few operators
                     // for diversity), but keep a slice of fresh random
                     // schedules so the search never fixates on one basin.
-                    if frontier.is_empty() || rng.gen_range(0..5u32) == 0 {
-                        random_schedule(cfg, &mut rng)
+                    if self.frontier.is_empty() || self.rng.gen_range(0..5u32) == 0 {
+                        random_schedule(cfg, &mut self.rng)
                     } else {
-                        let mut child = frontier[rng.gen_range(0..frontier.len())].clone();
-                        for _ in 0..rng.gen_range(1..=3u32) {
-                            child = mutate_schedule(&child, cfg, &mut rng);
+                        let mut child =
+                            self.frontier[self.rng.gen_range(0..self.frontier.len())].clone();
+                        for _ in 0..self.rng.gen_range(1..=3u32) {
+                            child = mutate_schedule(&child, cfg, &mut self.rng);
                         }
                         child
                     }
@@ -506,18 +614,23 @@ pub fn explore_with(
             },
         };
         let exec = execute_schedule_with_oracle(&schedule, extra);
-        report.executed += 1;
+        self.report.executed += 1;
         let new_states = exec
             .fingerprints
             .iter()
-            .filter(|&&fp| seen.insert(fp))
+            .filter(|&&fp| self.seen.insert(fp))
             .count();
         if !exec.verdict.ok() {
             let (shrunk, steps) = shrink_schedule(&schedule, extra);
-            report.shrink_steps += steps;
+            self.report.shrink_steps += steps;
             let shrunk_exec = execute_schedule_with_oracle(&shrunk, extra);
-            if !report.counterexamples.iter().any(|c| c.shrunk == shrunk) {
-                report.counterexamples.push(Counterexample {
+            if !self
+                .report
+                .counterexamples
+                .iter()
+                .any(|c| c.shrunk == shrunk)
+            {
+                self.report.counterexamples.push(Counterexample {
                     original: schedule.clone(),
                     shrunk,
                     violations: shrunk_exec.verdict.all(),
@@ -526,14 +639,20 @@ pub fn explore_with(
             }
         }
         if new_states > 0 {
-            report.corpus.push(schedule.clone());
+            self.report.corpus.push(schedule.clone());
             if cfg.strategy == Strategy::CoverageGuided {
-                frontier.push(schedule);
+                self.frontier.push(schedule);
             }
         }
+        self.report.unique_states = self.seen.len() as u64;
+        true
     }
-    report.unique_states = seen.len() as u64;
-    report
+
+    /// Consumes the session and returns the final report.
+    pub fn into_report(mut self) -> ExploreReport {
+        self.report.unique_states = self.seen.len() as u64;
+        self.report
+    }
 }
 
 /// Delta-debugs a failing schedule down to a minimal one that still fails:
@@ -952,5 +1071,85 @@ mod tests {
         assert_eq!(a.executed, 25);
         assert!(a.unique_states > 0);
         assert!(a.counterexamples.is_empty(), "{:?}", a.counterexamples);
+    }
+
+    #[test]
+    fn checkpointed_resume_is_byte_identical() {
+        let cfg = ExploreConfig {
+            budget: 20,
+            ..cfg()
+        };
+        let uninterrupted = explore(&cfg);
+        // Interrupt after every possible number of steps; resuming from
+        // the snapshot must reproduce the uninterrupted report exactly.
+        for interrupt_at in [0u64, 1, 7, 10, 19, 20] {
+            let mut session = Explorer::new(&cfg, &[]);
+            for _ in 0..interrupt_at {
+                assert!(session.step(&no_extra_oracle));
+            }
+            let cp = session.checkpoint();
+            drop(session); // the "crash"
+            let mut resumed = Explorer::from_checkpoint(&cp).expect("valid checkpoint");
+            while resumed.step(&no_extra_oracle) {}
+            assert_eq!(
+                resumed.into_report(),
+                uninterrupted,
+                "interrupted after {interrupt_at} steps"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_through_json() {
+        let cfg = ExploreConfig {
+            budget: 10,
+            ..cfg()
+        };
+        let mut session = Explorer::new(&cfg, &[]);
+        for _ in 0..4 {
+            session.step(&no_extra_oracle);
+        }
+        let cp = session.checkpoint();
+        let json = serde_json::to_string(&cp).unwrap();
+        let back: crate::checkpoint::ExploreCheckpoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(cp, back);
+        let mut a = Explorer::from_checkpoint(&cp).unwrap();
+        let mut b = Explorer::from_checkpoint(&back).unwrap();
+        while a.step(&no_extra_oracle) {
+            assert!(b.step(&no_extra_oracle));
+        }
+        assert_eq!(a.into_report(), b.into_report());
+    }
+
+    #[test]
+    fn incompatible_checkpoints_are_rejected() {
+        let cfg = ExploreConfig { budget: 5, ..cfg() };
+        let mut cp = Explorer::new(&cfg, &[]).checkpoint();
+        cp.version += 1;
+        assert!(Explorer::from_checkpoint(&cp).is_err());
+        let mut cp = Explorer::new(&cfg, &[]).checkpoint();
+        cp.rng.key.pop();
+        assert!(Explorer::from_checkpoint(&cp).is_err());
+    }
+
+    #[test]
+    fn seeded_session_resumes_with_pending_seeds_intact() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let cfg = ExploreConfig {
+            budget: 12,
+            ..cfg()
+        };
+        let seeds: Vec<FaultSchedule> = (0..6).map(|_| random_schedule(&cfg, &mut rng)).collect();
+        let uninterrupted = explore_with(&cfg, &seeds, &no_extra_oracle);
+        // Interrupt while seed schedules are still pending.
+        let mut session = Explorer::new(&cfg, &seeds);
+        for _ in 0..3 {
+            session.step(&no_extra_oracle);
+        }
+        let cp = session.checkpoint();
+        assert_eq!(cp.pending.len(), 3, "three seeds still queued");
+        let mut resumed = Explorer::from_checkpoint(&cp).unwrap();
+        while resumed.step(&no_extra_oracle) {}
+        assert_eq!(resumed.into_report(), uninterrupted);
     }
 }

@@ -20,7 +20,16 @@
 //! * [`scenario`] — the abnormal transient scenarios of Table 3 (automotive
 //!   blinking light, aerospace lightning bolt);
 //! * [`campaign`] — the Sec. 8 validation campaign: experiment classes,
-//!   seeded repetitions, and property-oracle verdicts.
+//!   seeded repetitions, and property-oracle verdicts;
+//! * [`mod@explore`] — coverage-guided exploration of bounded fault schedules
+//!   with counterexample shrinking and a replayable corpus;
+//! * [`harness`] — faults injected into the *harness itself* (panicking,
+//!   hanging, transiently failing experiments) plus the supervision
+//!   vocabulary: retry/backoff policy, Alg. 2-style worker health,
+//!   quarantine records;
+//! * [`checkpoint`] — atomic progress snapshots for campaigns and
+//!   explorer sessions, including exact RNG stream position, so resumed
+//!   runs are byte-identical to uninterrupted ones.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,7 +37,9 @@
 pub mod bitflip;
 pub mod burst;
 pub mod campaign;
+pub mod checkpoint;
 pub mod explore;
+pub mod harness;
 pub mod injector;
 pub mod malicious;
 pub mod noise;
@@ -37,13 +48,23 @@ pub mod scenario;
 pub use bitflip::{BitNoise, CrcForger, ReceiverLocalBitNoise};
 pub use burst::{Burst, ContinuousFault, IntermittentFault, SenderBurst};
 pub use campaign::{
-    experiment_seed, extended_classes, run_campaign, run_experiment, run_extended, sec8_classes,
-    CampaignResult, ExperimentClass, ExperimentOutcome, ExtendedClass,
+    experiment_seed, extended_classes, quarantined_outcome, run_campaign, run_experiment,
+    run_experiment_cancellable, run_extended, sec8_classes, CampaignResult, ExperimentClass,
+    ExperimentOutcome, ExtendedClass,
+};
+pub use checkpoint::{
+    read_json, write_json_atomic, CampaignCheckpoint, ExploreCheckpoint, RngState,
+    CHECKPOINT_VERSION,
 };
 pub use explore::{
     execute_schedule, execute_schedule_with_oracle, explore, explore_with, load_corpus,
     no_extra_oracle, save_schedule, shrink_schedule, Counterexample, ExploreConfig, ExploreReport,
-    FaultSchedule, ScheduleExec, ScheduleVerdict, ScheduledClass, ScheduledFault, Strategy,
+    Explorer, FaultSchedule, ScheduleExec, ScheduleVerdict, ScheduledClass, ScheduledFault,
+    Strategy,
+};
+pub use harness::{
+    BackoffPolicy, ChaosPlan, HarnessFault, HarnessFaultHook, NoHarnessFaults, QuarantineReason,
+    QuarantineRecord, SupervisionSummary, WorkerHealth, WorkerStats,
 };
 pub use injector::{Disturbance, DisturbanceNode};
 pub use malicious::{AsymmetricDisturbance, CliquePartition, RandomSyndromeJob};

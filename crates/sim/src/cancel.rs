@@ -1,0 +1,89 @@
+//! Cooperative, round-granularity cancellation.
+//!
+//! A [`CancellationToken`] is a cheaply cloneable flag shared between a
+//! supervisor (which decides to cancel) and a running simulation (which
+//! observes the flag between rounds). The engine checks the token at the
+//! start of every [`crate::Cluster::run_round`], so a cancelled cluster
+//! stops at the next round boundary — never mid-slot — keeping all state
+//! it has produced so far consistent and inspectable.
+//!
+//! Cancellation is level-triggered and permanent: once set, the token
+//! stays cancelled for its lifetime. Supervisors that retry an experiment
+//! hand the rerun a fresh token.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag checked by the engine at round granularity.
+///
+/// Clones share the flag: cancelling any clone cancels them all.
+///
+/// ```
+/// use tt_sim::CancellationToken;
+/// let token = CancellationToken::new();
+/// let watcher = token.clone();
+/// assert!(!watcher.is_cancelled());
+/// token.cancel();
+/// assert!(watcher.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancellationToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancellationToken {
+    /// A fresh, not-yet-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested on this token (or any
+    /// clone of it).
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live() {
+        assert!(!CancellationToken::new().is_cancelled());
+        assert!(!CancellationToken::default().is_cancelled());
+    }
+
+    #[test]
+    fn cancel_is_shared_and_idempotent() {
+        let a = CancellationToken::new();
+        let b = a.clone();
+        a.cancel();
+        a.cancel();
+        assert!(a.is_cancelled());
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn tokens_are_independent_across_new() {
+        let a = CancellationToken::new();
+        let b = CancellationToken::new();
+        a.cancel();
+        assert!(!b.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_crosses_threads() {
+        let token = CancellationToken::new();
+        let remote = token.clone();
+        std::thread::spawn(move || remote.cancel())
+            .join()
+            .expect("cancel thread");
+        assert!(token.is_cancelled());
+    }
+}

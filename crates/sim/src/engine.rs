@@ -12,6 +12,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 
 use crate::bus::{FaultPipeline, SlotFaultClass, SlotOutcome, TxCtx};
+use crate::cancel::CancellationToken;
 use crate::controller::Controller;
 use crate::error::SimError;
 use crate::job::{Job, JobCtx};
@@ -41,6 +42,9 @@ pub struct Cluster {
     /// Provenance-trace sink shared with every job context (a
     /// [`NoopTraceSink`] by default, same zero-overhead contract).
     trace_sink: Arc<dyn TraceSink>,
+    /// Cooperative cancellation flag, observed at round granularity: one
+    /// relaxed-cost atomic load per round, nothing on the slot path.
+    cancel: CancellationToken,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -171,9 +175,23 @@ impl Cluster {
         Ok(())
     }
 
+    /// The cancellation token this cluster observes between rounds.
+    /// Cancelling it (from any thread) stops the simulation at the next
+    /// round boundary.
+    pub fn cancel_token(&self) -> &CancellationToken {
+        &self.cancel
+    }
+
     /// Executes exactly one TDMA round (all `N` slots, plus the job
     /// activations interleaved between them).
-    pub fn run_round(&mut self) {
+    ///
+    /// Returns `false` — without executing anything — once the cluster's
+    /// [`CancellationToken`] has been cancelled; the cluster state then
+    /// stays frozen at the last completed round boundary.
+    pub fn run_round(&mut self) -> bool {
+        if self.cancel.is_cancelled() {
+            return false;
+        }
         let k = self.round;
         let n = self.schedule.n_nodes();
         // With a `NoopSink` the whole observability block reduces to one
@@ -274,20 +292,29 @@ impl Cluster {
                 .emit(&MetricsEvent::RoundCompleted { round: k, wall_ns });
         }
         self.round = k.next();
+        true
     }
 
-    /// Executes `rounds` consecutive TDMA rounds.
-    pub fn run_rounds(&mut self, rounds: u64) {
-        for _ in 0..rounds {
-            self.run_round();
+    /// Executes up to `rounds` consecutive TDMA rounds, stopping early if
+    /// the cluster's [`CancellationToken`] is cancelled. Returns the number
+    /// of rounds actually executed.
+    pub fn run_rounds(&mut self, rounds: u64) -> u64 {
+        for executed in 0..rounds {
+            if !self.run_round() {
+                return executed;
+            }
         }
+        rounds
     }
 
-    /// Runs rounds until `stop` returns true (checked after each round) or
-    /// `max_rounds` have executed. Returns the number of rounds executed.
+    /// Runs rounds until `stop` returns true (checked after each round),
+    /// `max_rounds` have executed, or the cluster's cancellation token is
+    /// cancelled. Returns the number of rounds executed.
     pub fn run_until(&mut self, max_rounds: u64, mut stop: impl FnMut(&Cluster) -> bool) -> u64 {
         for executed in 0..max_rounds {
-            self.run_round();
+            if !self.run_round() {
+                return executed;
+            }
             if stop(self) {
                 return executed + 1;
             }
@@ -313,6 +340,7 @@ pub struct ClusterBuilder {
     trace_mode: TraceMode,
     metrics: Option<Arc<dyn MetricsSink>>,
     trace_sink: Option<Arc<dyn TraceSink>>,
+    cancel: Option<CancellationToken>,
 }
 
 impl std::fmt::Debug for ClusterBuilder {
@@ -337,7 +365,17 @@ impl ClusterBuilder {
             trace_mode: TraceMode::default(),
             metrics: None,
             trace_sink: None,
+            cancel: None,
         }
+    }
+
+    /// Installs a cancellation token observed between rounds (defaults to
+    /// a fresh, never-cancelled token). Supervisors keep a clone and
+    /// cancel it to stop the simulation cooperatively at the next round
+    /// boundary.
+    pub fn cancel_token(mut self, token: CancellationToken) -> Self {
+        self.cancel = Some(token);
+        self
     }
 
     /// Installs an observability sink shared by the engine and every job
@@ -394,6 +432,7 @@ impl ClusterBuilder {
             slot_out: SlotOutcome::with_capacity(self.n_nodes),
             metrics: self.metrics.unwrap_or_else(|| Arc::new(NoopSink)),
             trace_sink: self.trace_sink.unwrap_or_else(|| Arc::new(NoopTraceSink)),
+            cancel: self.cancel.unwrap_or_default(),
         })
     }
 
@@ -528,6 +567,42 @@ mod tests {
         assert_eq!(executed, 5);
         let executed = cluster.run_until(7, |_| false);
         assert_eq!(executed, 7);
+    }
+
+    #[test]
+    fn cancelled_token_freezes_cluster_at_round_boundary() {
+        let token = CancellationToken::new();
+        let mut cluster = ClusterBuilder::new(4)
+            .cancel_token(token.clone())
+            .build_with_jobs(|_| probe(), Box::new(NoFaults));
+        assert_eq!(cluster.run_rounds(3), 3);
+        token.cancel();
+        assert!(!cluster.run_round());
+        assert_eq!(cluster.run_rounds(5), 0);
+        assert_eq!(cluster.run_until(5, |_| false), 0);
+        assert_eq!(cluster.round(), RoundIndex::new(3));
+        // State is frozen, not corrupted: the last completed round's
+        // deliveries are all still visible.
+        let job: &Probe = cluster.job_as(NodeId::new(1)).unwrap();
+        assert_eq!(job.valid_history.len(), 3);
+    }
+
+    #[test]
+    fn mid_run_cancellation_stops_via_stop_hook() {
+        let token = CancellationToken::new();
+        let mut cluster = ClusterBuilder::new(4)
+            .cancel_token(token.clone())
+            .build_with_jobs(|_| probe(), Box::new(NoFaults));
+        // Cancel from inside the stop predicate after round 2 completes:
+        // the next run_round call observes it.
+        let executed = cluster.run_until(100, |c| {
+            if c.round() == RoundIndex::new(2) {
+                token.cancel();
+            }
+            false
+        });
+        assert_eq!(executed, 2);
+        assert_eq!(cluster.round(), RoundIndex::new(2));
     }
 
     #[test]

@@ -120,7 +120,7 @@ impl<'a> JobCtx<'a> {
 
     /// Cluster size `N`.
     pub fn n_nodes(&self) -> usize {
-        self.controller.validity_snapshot().len()
+        self.controller.validity().len()
     }
 
     /// The paper's `l_i` for this node's schedule.
@@ -140,9 +140,21 @@ impl<'a> JobCtx<'a> {
         self.controller.iface_snapshot()
     }
 
+    /// Borrows all interface variables without copying (the allocation-free
+    /// counterpart of [`JobCtx::read_iface`]).
+    pub fn iface(&self) -> &[Option<Bytes>] {
+        self.controller.iface()
+    }
+
     /// Reads all validity bits (`read_vbits` in Alg. 1).
     pub fn validity_bits(&self) -> Vec<bool> {
         self.controller.validity_snapshot()
+    }
+
+    /// Borrows all validity bits without copying (the allocation-free
+    /// counterpart of [`JobCtx::validity_bits`]).
+    pub fn validity(&self) -> &[bool] {
+        self.controller.validity()
     }
 
     /// Writes the node's outgoing interface variable (`write_iface`).

@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod bus;
+pub mod cancel;
 pub mod channels;
 pub mod clock;
 pub mod controller;
@@ -69,6 +70,7 @@ pub use bus::{
     apply_effect, apply_effect_into, classify_receptions, FaultPipeline, NoFaults, Reception,
     SlotEffect, SlotFaultClass, SlotOutcome, TxCtx, TxOutcome,
 };
+pub use cancel::CancellationToken;
 pub use channels::ReplicatedBus;
 pub use clock::{ClockConfig, ClockDrivenPipeline, ClockEnsemble};
 pub use controller::{CollisionDetectorMode, CollisionRecord, Controller};

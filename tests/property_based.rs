@@ -429,10 +429,8 @@ proptest! {
                 } else if !hv[i] {
                     let np = pp + crit; // conviction
                     (np, 0, np <= p)
-                } else if pp == 0 {
-                    (0, 0, true) // healthy and clean: untouched
-                } else if pw + 1 >= r {
-                    (0, 0, true) // forgiveness at exactly R
+                } else if pp == 0 || pw + 1 >= r {
+                    (0, 0, true) // clean already, or forgiveness at exactly R
                 } else {
                     (pp, pw + 1, true) // reward climbs
                 };

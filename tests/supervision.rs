@@ -1,0 +1,260 @@
+//! Integration tests of the supervised campaign executor and the
+//! explorer's checkpoint/resume guarantees: supervision must never change
+//! *what* a campaign computes, only *how reliably* it computes it. The
+//! proptest blocks interrupt runs at arbitrary points and require the
+//! resumed result to be identical to an uninterrupted run's.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use tt_bench::{SupervisedCampaign, SupervisorConfig};
+use tt_fault::{
+    no_extra_oracle, run_campaign, BackoffPolicy, CampaignCheckpoint, ChaosPlan, ExperimentClass,
+    ExploreConfig, Explorer, HarnessFault, HarnessFaultHook, QuarantineReason, WorkerHealth,
+};
+
+fn classes() -> Vec<ExperimentClass> {
+    vec![
+        ExperimentClass::Burst {
+            len_slots: 1,
+            start_slot: 0,
+        },
+        ExperimentClass::Burst {
+            len_slots: 2,
+            start_slot: 3,
+        },
+        ExperimentClass::Burst {
+            len_slots: 1,
+            start_slot: 2,
+        },
+    ]
+}
+
+fn fast_backoff(max_retries: u32) -> BackoffPolicy {
+    BackoffPolicy {
+        base: Duration::from_millis(1),
+        cap: Duration::from_millis(2),
+        max_retries,
+    }
+}
+
+/// A hand-written fault script: item 0 always panics, item 1 always
+/// hangs, item 2 fails transiently on its first attempt only. Everything
+/// else runs untouched.
+struct ScriptedFaults;
+
+impl HarnessFaultHook for ScriptedFaults {
+    fn fault(&self, item: usize, attempt: u32) -> Option<HarnessFault> {
+        match (item, attempt) {
+            (0, _) => Some(HarnessFault::Panic),
+            (1, _) => Some(HarnessFault::Hang),
+            (2, 0) => Some(HarnessFault::Transient),
+            _ => None,
+        }
+    }
+}
+
+/// The retry delay follows bounded exponential backoff: it doubles per
+/// attempt and saturates at the cap, and the retry budget is enforced at
+/// the documented boundary.
+#[test]
+fn backoff_delay_doubles_and_saturates_at_the_cap() {
+    let policy = BackoffPolicy {
+        base: Duration::from_millis(10),
+        cap: Duration::from_millis(80),
+        max_retries: 3,
+    };
+    assert_eq!(policy.delay(0), Duration::from_millis(10));
+    assert_eq!(policy.delay(1), Duration::from_millis(20));
+    assert_eq!(policy.delay(2), Duration::from_millis(40));
+    assert_eq!(policy.delay(3), Duration::from_millis(80));
+    assert_eq!(policy.delay(4), Duration::from_millis(80), "capped");
+    assert_eq!(policy.delay(63), Duration::from_millis(80), "shift-safe");
+    // The initial attempt counts as the first failure; `max_retries`
+    // retries are allowed beyond it.
+    assert!(policy.allows_retry(1));
+    assert!(policy.allows_retry(3));
+    assert!(!policy.allows_retry(4));
+}
+
+/// The per-worker Alg. 2 mirror: `P` failures isolate, `R` consecutive
+/// successes earn one penalty point back (forgiveness), and a success
+/// streak broken by a failure restarts the reward counter.
+#[test]
+fn worker_health_isolates_at_the_penalty_threshold_and_forgives() {
+    let mut h = WorkerHealth::new(3, 2);
+    assert!(!h.record_failure());
+    assert!(!h.record_failure());
+    assert!(!h.is_isolated(), "below the threshold");
+    assert!(h.record_failure(), "third failure crosses P");
+    assert!(h.is_isolated());
+
+    let mut h = WorkerHealth::new(3, 2);
+    h.record_failure();
+    h.record_failure();
+    h.record_success();
+    h.record_success();
+    assert_eq!(h.penalty(), 1, "R consecutive successes forgive one");
+    // An interleaved failure resets the success streak: two more
+    // successes are needed before the next forgiveness.
+    h.record_failure();
+    h.record_success();
+    h.record_failure();
+    assert_eq!(h.penalty(), 3);
+    assert!(h.is_isolated());
+}
+
+/// Scripted faults settle with the documented reasons: a persistent
+/// panic and a persistent hang exhaust their retries and are quarantined
+/// (with the panic message and the timeout reason respectively), a
+/// first-attempt transient recovers, and untouched items match the
+/// sequential reference bit for bit.
+#[test]
+fn scripted_faults_quarantine_with_the_right_reasons() {
+    let classes = classes();
+    let campaign = SupervisedCampaign {
+        classes: &classes,
+        n: 4,
+        reps: 1,
+        base_seed: 42,
+        config: SupervisorConfig {
+            threads: 2,
+            watchdog: Some(Duration::from_millis(30)),
+            backoff: fast_backoff(1),
+            ..SupervisorConfig::default()
+        },
+    };
+    let sup = campaign.run(&ScriptedFaults).expect("no checkpoint I/O");
+    assert_eq!(sup.supervision.quarantined.len(), 2);
+    let panic_q = &sup.supervision.quarantined[0];
+    assert_eq!(panic_q.item, 0);
+    assert_eq!(panic_q.attempts, 2, "initial attempt + one retry");
+    assert!(
+        matches!(&panic_q.reason, QuarantineReason::Panic(msg) if msg.contains("injected")),
+        "{panic_q:?}"
+    );
+    let hang_q = &sup.supervision.quarantined[1];
+    assert_eq!(hang_q.item, 1);
+    assert_eq!(hang_q.reason, QuarantineReason::Timeout, "{hang_q:?}");
+    // Item 2 recovered on its retry; its outcome matches the sequential
+    // reference for the same (class, seed).
+    let seq = run_campaign(&classes, 4, 1, 42);
+    assert_eq!(sup.result.outcomes, vec![seq.outcomes[2].clone()]);
+    assert_eq!(sup.supervision.retries, 1 + 1 + 1, "one per failed attempt");
+    let timeouts: u64 = sup.supervision.workers.iter().map(|w| w.timeouts).sum();
+    let panics: u64 = sup.supervision.workers.iter().map(|w| w.panics).sum();
+    assert_eq!((panics, timeouts), (2, 2));
+}
+
+fn unique_checkpoint_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("tt-supervision-{}-{tag}.json", std::process::id()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Interrupting a chaos-ridden campaign after an arbitrary number of
+    /// settled experiments and resuming from the on-disk checkpoint
+    /// reproduces the uninterrupted run exactly: same outcomes, same
+    /// quarantine records, same retry count.
+    #[test]
+    fn campaign_resume_matches_uninterrupted_at_any_interrupt_point(
+        halt_after in 1usize..9,
+        chaos_seed in 0u64..64,
+    ) {
+        let classes = classes();
+        let plan = ChaosPlan {
+            seed: chaos_seed,
+            panic_per_mille: 150,
+            hang_per_mille: 0,
+            transient_per_mille: 150,
+            first_attempt_only: false,
+        };
+        let config = SupervisorConfig {
+            threads: 2,
+            backoff: fast_backoff(1),
+            checkpoint_every: 1,
+            ..SupervisorConfig::default()
+        };
+        let uninterrupted = SupervisedCampaign {
+            classes: &classes,
+            n: 4,
+            reps: 3,
+            base_seed: 42,
+            config: config.clone(),
+        }
+        .run(&plan)
+        .unwrap();
+
+        let path = unique_checkpoint_path(&format!("{halt_after}-{chaos_seed}"));
+        let halted = SupervisedCampaign {
+            classes: &classes,
+            n: 4,
+            reps: 3,
+            base_seed: 42,
+            config: SupervisorConfig {
+                checkpoint_path: Some(path.clone()),
+                halt_after: Some(halt_after),
+                ..config.clone()
+            },
+        }
+        .run(&plan)
+        .unwrap();
+        prop_assert!(halted.halted);
+        let cp: CampaignCheckpoint = tt_fault::read_json(&path).unwrap();
+        prop_assert!(cp.settled().count() >= halt_after);
+
+        let resumed = SupervisedCampaign {
+            classes: &classes,
+            n: 4,
+            reps: 3,
+            base_seed: 42,
+            config: SupervisorConfig {
+                checkpoint_path: Some(path.clone()),
+                ..config
+            },
+        }
+        .run_resumed(&plan, &cp)
+        .unwrap();
+        let _ = std::fs::remove_file(&path);
+        prop_assert!(!resumed.halted);
+        prop_assert_eq!(&resumed.result.outcomes, &uninterrupted.result.outcomes);
+        prop_assert_eq!(
+            &resumed.supervision.quarantined,
+            &uninterrupted.supervision.quarantined
+        );
+        prop_assert_eq!(resumed.supervision.retries, uninterrupted.supervision.retries);
+    }
+
+    /// An explorer session snapshotted after an arbitrary number of steps
+    /// — with the checkpoint round-tripped through its JSON wire form —
+    /// continues byte-identically to a session that was never
+    /// interrupted: the snapshot carries the exact RNG stream position,
+    /// coverage set and frontier.
+    #[test]
+    fn explorer_resume_matches_uninterrupted_at_any_step(
+        interrupt in 0u64..24,
+        seed in 0u64..1024,
+    ) {
+        let cfg = ExploreConfig {
+            budget: 24,
+            seed,
+            ..ExploreConfig::default()
+        };
+        let mut straight = Explorer::new(&cfg, &[]);
+        while straight.step(&no_extra_oracle) {}
+        let reference = straight.into_report();
+
+        let mut first = Explorer::new(&cfg, &[]);
+        for _ in 0..interrupt {
+            first.step(&no_extra_oracle);
+        }
+        let wire = serde_json::to_string(&first.checkpoint()).unwrap();
+        let cp = serde_json::from_str(&wire).unwrap();
+        let mut resumed = Explorer::from_checkpoint(&cp).unwrap();
+        while resumed.step(&no_extra_oracle) {}
+        prop_assert_eq!(resumed.into_report(), reference);
+    }
+}

@@ -20,6 +20,20 @@ pub struct ChaCha12Core {
 }
 
 impl ChaCha12Core {
+    /// The raw core state `(key, counter, stream)`.
+    pub fn state(&self) -> ([u32; 8], u64, u64) {
+        (self.key, self.counter, self.stream)
+    }
+
+    /// Rebuilds a core from raw state words (see [`ChaCha12Core::state`]).
+    pub fn from_state(key: [u32; 8], counter: u64, stream: u64) -> Self {
+        ChaCha12Core {
+            key,
+            counter,
+            stream,
+        }
+    }
+
     /// Builds the core from a 32-byte key (counter and stream start at 0).
     pub fn from_seed(seed: [u8; 32]) -> Self {
         let mut key = [0u32; 8];
