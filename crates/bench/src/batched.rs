@@ -1,0 +1,480 @@
+//! Batched (lockstep) Monte Carlo campaign execution.
+//!
+//! The Sec. 8 validation campaign runs one cluster per experiment; the
+//! Sec. 9 tuning use case runs *thousands* of independent clusters that
+//! differ only in their seeded fault schedule. A [`BatchedCampaign`]
+//! exploits that shape: the work list is a range of experiment indices,
+//! each index derives a [`FaultSchedule`] through
+//! [`seeded_schedule`]/[`experiment_seed`], and workers claim whole
+//! *batches* of indices instead of single experiments. Every batch runs as
+//! lanes of one structure-of-arrays [`tt_sim::BatchCluster`] driven by a
+//! [`tt_core::BatchDiagJob`] — the lockstep engine — so one core simulates
+//! hundreds of clusters at once.
+//!
+//! Correctness story, in layers:
+//!
+//! * each lane's protocol-state fingerprint stream is byte-identical to a
+//!   scalar [`execute_schedule`] run of the same schedule (enforced by
+//!   `tests/batch_equivalence.rs` and the corpus replay);
+//! * [`matches_scalar`] re-derives every outcome sequentially on the
+//!   scalar path and compares digests — the batched analogue of the
+//!   pooled runner's `matches_sequential` cross-check;
+//! * outcomes are a pure function of the campaign definition: thread
+//!   count, batch claiming order and batch width all cancel out, and the
+//!   checkpoint/resume tests pin byte-identical results after a halt.
+//!
+//! Supervision composes with the PR-5 vocabulary where it applies to
+//! batches: evaluation runs under `catch_unwind`, a poisoned batch
+//! degrades to per-lane scalar execution, and a lane whose scalar
+//! execution also fails becomes a quarantined outcome instead of killing
+//! the worker. Checkpoints record the settled per-lane outcomes (in work
+//! order) through the same [`write_json_atomic`] snapshots the supervised
+//! executor uses.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use serde::{Deserialize, Serialize};
+
+use tt_core::digest_fingerprints;
+use tt_fault::{
+    execute_schedule, execute_schedules_batched, experiment_seed, seeded_schedule,
+    write_json_atomic, ExploreConfig, FaultSchedule, CHECKPOINT_VERSION,
+};
+
+/// A batched Monte Carlo campaign: `experiments` seeded fault schedules,
+/// evaluated `batch_size` lanes at a time by `threads` lockstep workers.
+#[derive(Debug, Clone)]
+pub struct BatchedCampaign {
+    /// Schedule shape (cluster size, rounds, Alg. 2 thresholds, fault
+    /// budget). The generator's own `seed`/`budget`/`strategy` fields are
+    /// unused here — per-experiment randomness comes from `base_seed`.
+    pub schedule: ExploreConfig,
+    /// Number of experiments (work-list length).
+    pub experiments: usize,
+    /// Lanes per lockstep batch (clamped to ≥ 1).
+    pub batch_size: usize,
+    /// Worker threads (clamped to ≥ 1).
+    pub threads: usize,
+    /// Base seed; per-experiment seeds derive via [`experiment_seed`].
+    pub base_seed: u64,
+}
+
+/// One settled experiment of a batched campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaneOutcome {
+    /// Work-list index.
+    pub index: usize,
+    /// The index-derived schedule seed (reproduces the experiment).
+    pub seed: u64,
+    /// FNV digest of the protocol-state fingerprint stream
+    /// ([`digest_fingerprints`]); 0 for quarantined lanes.
+    pub digest: u64,
+    /// Fingerprints in the stream (one per diagnosed round).
+    pub prints: usize,
+    /// True when both the lockstep batch and the per-lane scalar fallback
+    /// failed; the seed reproduces the failure.
+    pub quarantined: bool,
+}
+
+/// The result of a batched campaign run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchedResult {
+    /// Settled outcomes in work-list order (a prefix when `halted`).
+    pub outcomes: Vec<LaneOutcome>,
+    /// Whether the run stopped early at
+    /// [`halt_after_batches`](BatchedSupervisor::halt_after_batches).
+    pub halted: bool,
+}
+
+/// Checkpoint/halt policy for a batched campaign run.
+#[derive(Debug, Clone, Default)]
+pub struct BatchedSupervisor {
+    /// Where to write checkpoints; `None` disables checkpointing.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Write a checkpoint every this many settled batches (0 disables
+    /// periodic snapshots; a final one is still written when
+    /// `checkpoint_path` is set).
+    pub checkpoint_every_batches: usize,
+    /// Stop (with a checkpoint) after this many newly settled batches —
+    /// the controlled "interrupt" the resume tests use.
+    pub halt_after_batches: Option<usize>,
+}
+
+/// Atomic progress snapshot of a batched campaign: the settled outcome
+/// prefix plus the campaign identity it belongs to.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchedCheckpoint {
+    /// Snapshot format version ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// Cluster size of the campaign's schedules.
+    pub n: usize,
+    /// Rounds per schedule.
+    pub rounds: u64,
+    /// Work-list length.
+    pub experiments: usize,
+    /// Lanes per lockstep batch.
+    pub batch_size: usize,
+    /// Base seed of the campaign.
+    pub base_seed: u64,
+    /// Settled outcomes, in work-list order. Always a whole number of
+    /// batches (or the full campaign), so resume restarts on a batch
+    /// boundary.
+    pub completed: Vec<LaneOutcome>,
+}
+
+impl BatchedCheckpoint {
+    /// An empty checkpoint for `campaign`.
+    pub fn new(campaign: &BatchedCampaign) -> Self {
+        BatchedCheckpoint {
+            version: CHECKPOINT_VERSION,
+            n: campaign.schedule.n,
+            rounds: campaign.schedule.rounds,
+            experiments: campaign.experiments,
+            batch_size: campaign.batch_size.max(1),
+            base_seed: campaign.base_seed,
+            completed: Vec::new(),
+        }
+    }
+
+    /// Whether this snapshot belongs to `campaign` and is resumable (its
+    /// prefix ends on a batch boundary).
+    pub fn matches(&self, campaign: &BatchedCampaign) -> bool {
+        self.version == CHECKPOINT_VERSION
+            && self.n == campaign.schedule.n
+            && self.rounds == campaign.schedule.rounds
+            && self.experiments == campaign.experiments
+            && self.batch_size == campaign.batch_size.max(1)
+            && self.base_seed == campaign.base_seed
+            && (self.completed.len().is_multiple_of(self.batch_size.max(1))
+                || self.completed.len() == self.experiments)
+            && self.completed.len() <= self.experiments
+    }
+}
+
+/// Evaluates one slate of schedules: the lockstep engine first, scalar
+/// per-lane execution as the degraded path if the whole batch fails, and
+/// `None` for lanes where even the scalar run panics.
+fn lane_digests(schedules: &[FaultSchedule]) -> Vec<Option<(u64, usize)>> {
+    if let Ok(Ok(streams)) = catch_unwind(AssertUnwindSafe(|| execute_schedules_batched(schedules)))
+    {
+        return streams
+            .into_iter()
+            .map(|fps| Some((digest_fingerprints(&fps), fps.len())))
+            .collect();
+    }
+    schedules
+        .iter()
+        .map(|s| {
+            catch_unwind(AssertUnwindSafe(|| execute_schedule(s)))
+                .ok()
+                .map(|exec| {
+                    (
+                        digest_fingerprints(&exec.fingerprints),
+                        exec.fingerprints.len(),
+                    )
+                })
+        })
+        .collect()
+}
+
+impl BatchedCampaign {
+    /// The seeded schedule of work-list item `index`.
+    pub fn schedule_for(&self, index: usize) -> FaultSchedule {
+        seeded_schedule(&self.schedule, self.seed_for(index))
+    }
+
+    /// The index-derived seed of work-list item `index`.
+    pub fn seed_for(&self, index: usize) -> u64 {
+        experiment_seed(self.base_seed, 0, index as u64)
+    }
+
+    /// Runs the whole campaign with checkpointing disabled (so I/O cannot
+    /// fail) and no halt.
+    pub fn run(&self) -> BatchedResult {
+        self.run_supervised(&BatchedSupervisor::default())
+            .expect("no checkpoint I/O configured")
+    }
+
+    /// Runs the campaign from scratch under `sup`.
+    ///
+    /// # Errors
+    ///
+    /// Only checkpoint I/O can fail; experiment failures degrade to
+    /// quarantined outcomes instead.
+    pub fn run_supervised(&self, sup: &BatchedSupervisor) -> io::Result<BatchedResult> {
+        self.run_from(sup, Vec::new())
+    }
+
+    /// Resumes the campaign from a checkpoint: settled batches are not
+    /// re-run, and the final outcome is byte-identical to an
+    /// uninterrupted run's.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`io::ErrorKind::InvalidInput`] if the checkpoint does
+    /// not belong to this campaign, plus any checkpoint I/O error.
+    pub fn run_resumed(
+        &self,
+        sup: &BatchedSupervisor,
+        checkpoint: &BatchedCheckpoint,
+    ) -> io::Result<BatchedResult> {
+        if !checkpoint.matches(self) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "checkpoint does not match this campaign's schedule/experiments/batch/seed",
+            ));
+        }
+        self.run_from(sup, checkpoint.completed.clone())
+    }
+
+    /// One batch of settled outcomes (the worker body, also used by the
+    /// single-threaded fast path).
+    fn settle_batch(&self, batch: usize) -> Vec<LaneOutcome> {
+        let batch_size = self.batch_size.max(1);
+        let lo = batch * batch_size;
+        let hi = (lo + batch_size).min(self.experiments);
+        let schedules: Vec<FaultSchedule> = (lo..hi).map(|i| self.schedule_for(i)).collect();
+        lane_digests(&schedules)
+            .into_iter()
+            .zip(lo..hi)
+            .map(|(digest, index)| match digest {
+                Some((digest, prints)) => LaneOutcome {
+                    index,
+                    seed: self.seed_for(index),
+                    digest,
+                    prints,
+                    quarantined: false,
+                },
+                None => LaneOutcome {
+                    index,
+                    seed: self.seed_for(index),
+                    digest: 0,
+                    prints: 0,
+                    quarantined: true,
+                },
+            })
+            .collect()
+    }
+
+    fn run_from(
+        &self,
+        sup: &BatchedSupervisor,
+        mut completed: Vec<LaneOutcome>,
+    ) -> io::Result<BatchedResult> {
+        let batch_size = self.batch_size.max(1);
+        let n_batches = self.experiments.div_ceil(batch_size);
+        let start_batch = completed.len().div_ceil(batch_size);
+        let end_batch = match sup.halt_after_batches {
+            Some(k) => (start_batch + k).min(n_batches),
+            None => n_batches,
+        };
+        let halted = end_batch < n_batches;
+
+        let write_checkpoint = |completed: &[LaneOutcome]| -> io::Result<()> {
+            let Some(path) = &sup.checkpoint_path else {
+                return Ok(());
+            };
+            let cp = BatchedCheckpoint {
+                completed: completed.to_vec(),
+                ..BatchedCheckpoint::new(self)
+            };
+            write_json_atomic(path, &cp)
+        };
+
+        let mut checkpoint_io: io::Result<()> = Ok(());
+        let cursor = AtomicUsize::new(start_batch);
+        std::thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel::<(usize, Vec<LaneOutcome>)>();
+            for _ in 0..self.threads.max(1) {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                scope.spawn(move || loop {
+                    let batch = cursor.fetch_add(1, Ordering::Relaxed);
+                    if batch >= end_batch {
+                        return;
+                    }
+                    if tx.send((batch, self.settle_batch(batch))).is_err() {
+                        return; // supervisor gone; nothing left to report to
+                    }
+                });
+            }
+            drop(tx);
+
+            // Batches settle in claim order but may finish out of order;
+            // stash early arrivals so `completed` (and every checkpoint)
+            // stays an in-order prefix of the work list.
+            let mut stash: BTreeMap<usize, Vec<LaneOutcome>> = BTreeMap::new();
+            let mut next = start_batch;
+            let mut settled_batches = 0usize;
+            for (batch, outcomes) in rx {
+                stash.insert(batch, outcomes);
+                while let Some(outcomes) = stash.remove(&next) {
+                    completed.extend(outcomes);
+                    next += 1;
+                    settled_batches += 1;
+                    let every = sup.checkpoint_every_batches;
+                    if every > 0 && settled_batches.is_multiple_of(every) {
+                        if let Err(e) = write_checkpoint(&completed) {
+                            checkpoint_io = Err(e);
+                        }
+                    }
+                }
+            }
+            debug_assert_eq!(next, end_batch, "every claimed batch settles");
+        });
+        checkpoint_io?;
+        // Final snapshot: the artifact resume starts from.
+        write_checkpoint(&completed)?;
+        Ok(BatchedResult {
+            outcomes: completed,
+            halted,
+        })
+    }
+}
+
+/// Re-derives every outcome on the sequential scalar path and compares
+/// digests — the batched campaign's `matches_sequential` analogue. True
+/// iff the run is complete, nothing was quarantined, and every lane's
+/// fingerprint digest equals its scalar [`execute_schedule`] digest.
+pub fn matches_scalar(campaign: &BatchedCampaign, outcomes: &[LaneOutcome]) -> bool {
+    outcomes.len() == campaign.experiments
+        && outcomes.iter().enumerate().all(|(i, o)| {
+            if o.index != i || o.quarantined {
+                return false;
+            }
+            let exec = execute_schedule(&campaign.schedule_for(i));
+            o.digest == digest_fingerprints(&exec.fingerprints)
+                && o.prints == exec.fingerprints.len()
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_fault::read_json;
+
+    fn campaign() -> BatchedCampaign {
+        BatchedCampaign {
+            schedule: ExploreConfig {
+                n: 5,
+                rounds: 16,
+                ..ExploreConfig::default()
+            },
+            experiments: 23,
+            batch_size: 5,
+            threads: 3,
+            base_seed: 2_007,
+        }
+    }
+
+    #[test]
+    fn batched_campaign_matches_the_scalar_path() {
+        let campaign = campaign();
+        let result = campaign.run();
+        assert!(!result.halted);
+        assert_eq!(result.outcomes.len(), 23);
+        assert!(matches_scalar(&campaign, &result.outcomes));
+        // Schedules differ, so the digests do too (no accidental
+        // constant-stream degeneration).
+        let distinct: std::collections::HashSet<u64> =
+            result.outcomes.iter().map(|o| o.digest).collect();
+        assert!(distinct.len() > 1, "digests distinguish schedules");
+    }
+
+    #[test]
+    fn outcomes_are_independent_of_threads_and_batch_width() {
+        let base = campaign();
+        let reference = base.run().outcomes;
+        for (threads, batch_size) in [(1usize, 23usize), (2, 1), (4, 7), (8, 256)] {
+            let variant = BatchedCampaign {
+                threads,
+                batch_size,
+                ..base.clone()
+            };
+            assert_eq!(
+                variant.run().outcomes,
+                reference,
+                "threads={threads} batch={batch_size}"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_is_byte_identical() {
+        let campaign = campaign();
+        let dir = std::env::temp_dir().join("tt-bench-batched-resume");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("batched.json");
+        let uninterrupted = campaign.run();
+
+        let halted = campaign
+            .run_supervised(&BatchedSupervisor {
+                checkpoint_path: Some(path.clone()),
+                checkpoint_every_batches: 1,
+                halt_after_batches: Some(2),
+            })
+            .unwrap();
+        assert!(halted.halted);
+        assert_eq!(halted.outcomes.len(), 10, "two batches of five settled");
+
+        let cp: BatchedCheckpoint = read_json(&path).unwrap();
+        assert!(cp.matches(&campaign));
+        assert_eq!(cp.completed, halted.outcomes);
+
+        let resumed = campaign
+            .run_resumed(
+                &BatchedSupervisor {
+                    checkpoint_path: Some(path.clone()),
+                    ..BatchedSupervisor::default()
+                },
+                &cp,
+            )
+            .unwrap();
+        assert!(!resumed.halted);
+        assert_eq!(resumed.outcomes, uninterrupted.outcomes);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_checkpoint_is_rejected() {
+        let campaign = campaign();
+        let mut cp = BatchedCheckpoint::new(&campaign);
+        cp.base_seed ^= 1;
+        let err = campaign
+            .run_resumed(&BatchedSupervisor::default(), &cp)
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+
+        // A prefix off a batch boundary is not resumable either.
+        let mut cp = BatchedCheckpoint::new(&campaign);
+        cp.completed = campaign.run().outcomes[..3].to_vec();
+        assert!(!cp.matches(&campaign));
+    }
+
+    #[test]
+    fn poisoned_slates_degrade_to_scalar_lanes_not_panics() {
+        // An oversized cluster makes the whole lockstep batch refuse to
+        // run; the degraded path settles each lane individually on the
+        // scalar executor, so the valid batch-mates still produce their
+        // exact scalar digests.
+        let good = campaign().schedule_for(0);
+        let mut oversized = good.clone();
+        oversized.n = tt_sim::MAX_BATCH_NODES + 1;
+        let slate = vec![good.clone(), oversized];
+        let digests = lane_digests(&slate);
+        assert_eq!(digests.len(), 2);
+        let scalar = execute_schedule(&good);
+        assert_eq!(
+            digests[0],
+            Some((
+                digest_fingerprints(&scalar.fingerprints),
+                scalar.fingerprints.len()
+            ))
+        );
+    }
+}

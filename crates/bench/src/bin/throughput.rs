@@ -2,7 +2,7 @@
 //! `BENCH_throughput.json` (run from the repository root:
 //! `cargo run --release -p tt-bench --bin throughput`).
 //!
-//! Three families of numbers:
+//! Four families of numbers:
 //!
 //! * **rounds/sec** of the substrate hot path (`Cluster::run_round` with a
 //!   healthy bus and `TraceMode::Off`) for N ∈ {4, 8, 16} nodes;
@@ -10,23 +10,29 @@
 //!   issued the way sensitivity/tuning sweeps do, on the persistent
 //!   [`tt_bench::CampaignExecutor`] pool versus the legacy
 //!   spawn-per-campaign runner, at 8 worker threads;
+//! * with `--batched`, **experiments/sec** of the lockstep
+//!   [`tt_bench::BatchedCampaign`] engine on a *single* worker thread at
+//!   N=8 — structure-of-arrays lanes versus one-cluster-per-experiment
+//!   pooling — cross-checked digest-for-digest against the sequential
+//!   scalar path;
 //! * the **instrumented-vs-noop overhead** of the observability layer on a
 //!   full diagnostic cluster ([`tt_bench::measure_overhead`]).
 //!
 //! With `--gate BASELINE.json` the run additionally compares its N=8
-//! rounds/sec against the committed baseline and exits non-zero on a
-//! regression beyond [`tt_bench::GATE_MAX_REGRESSION`] — this is the CI
-//! bench gate.
+//! rounds/sec (and, like-for-like, its batched sample) against the
+//! committed baseline and exits non-zero on a regression beyond
+//! [`tt_bench::GATE_MAX_REGRESSION`] — this is the CI bench gate.
 
 use std::time::Instant;
 
 use serde::Serialize;
 
 use tt_bench::{
-    check_rounds_gate, measure_overhead, run_parallel_campaign, run_parallel_campaign_legacy,
-    OverheadSample, RoundsSample, ThroughputBaseline, GATE_N_NODES,
+    check_batched_gate, check_rounds_gate, matches_scalar, measure_overhead, run_parallel_campaign,
+    run_parallel_campaign_legacy, BatchedCampaign, BatchedSample, OverheadSample, RoundsSample,
+    ThroughputBaseline, GATE_N_NODES,
 };
-use tt_fault::{run_campaign, sec8_classes};
+use tt_fault::{execute_schedule, run_campaign, sec8_classes, ExploreConfig};
 use tt_sim::{ClusterBuilder, NoFaults, TraceMode};
 
 #[derive(Serialize)]
@@ -41,10 +47,20 @@ struct CampaignSample {
     matches_sequential: bool,
 }
 
+/// The machine the numbers were measured on — recorded so a baseline's
+/// provenance is visible when comparing reports across hosts.
+#[derive(Serialize)]
+struct HostSample {
+    logical_cores: usize,
+}
+
 #[derive(Serialize)]
 struct ThroughputReport {
+    host: HostSample,
     rounds: Vec<RoundsSample>,
     campaign: CampaignSample,
+    /// `null` when the run was invoked without `--batched`.
+    batched: Option<BatchedSample>,
     overhead: OverheadSample,
 }
 
@@ -105,14 +121,74 @@ fn campaign_sample() -> CampaignSample {
     }
 }
 
+/// Experiments/sec of the single-threaded lockstep engine at the gated
+/// cluster size, with a sequential scalar cross-check as warm-up and a
+/// one-cluster-per-experiment run of the identical workload as the pooled
+/// reference.
+fn batched_sample() -> BatchedSample {
+    let campaign = BatchedCampaign {
+        schedule: ExploreConfig {
+            n: GATE_N_NODES,
+            rounds: 24,
+            ..ExploreConfig::default()
+        },
+        experiments: 4_096,
+        batch_size: 256,
+        threads: 1,
+        base_seed: 2_007,
+    };
+    let iterations = 8usize;
+
+    // Correctness cross-check doubles as warm-up: a smaller slice of the
+    // same work list is re-derived experiment by experiment on the scalar
+    // path and compared digest for digest.
+    let check = BatchedCampaign {
+        experiments: 512,
+        ..campaign.clone()
+    };
+    let matches = matches_scalar(&check, &check.run().outcomes);
+
+    // The pooled reference: the same experiment list, one scalar cluster
+    // per experiment, on the same single worker thread.
+    let start = Instant::now();
+    for index in 0..check.experiments {
+        std::hint::black_box(execute_schedule(&check.schedule_for(index)));
+    }
+    let pooled_experiments_per_sec = check.experiments as f64 / start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    for _ in 0..iterations {
+        std::hint::black_box(campaign.run());
+    }
+    let experiments = (iterations * campaign.experiments) as f64;
+    let batched_experiments_per_sec = experiments / start.elapsed().as_secs_f64();
+
+    BatchedSample {
+        n_nodes: campaign.schedule.n,
+        rounds_per_experiment: campaign.schedule.rounds,
+        experiments: campaign.experiments,
+        batch_size: campaign.batch_size,
+        threads: campaign.threads,
+        iterations,
+        batched_experiments_per_sec,
+        pooled_experiments_per_sec,
+        batched_over_pooled: batched_experiments_per_sec / pooled_experiments_per_sec,
+        matches_scalar: matches,
+    }
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut gate: Option<String> = None;
+    let mut batched = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--gate" => gate = Some(args.next().expect("--gate needs a baseline path")),
+            "--batched" => batched = true,
             other => {
-                eprintln!("unknown flag {other:?} (usage: throughput [--gate BASELINE.json])");
+                eprintln!(
+                    "unknown flag {other:?} (usage: throughput [--batched] [--gate BASELINE.json])"
+                );
                 std::process::exit(2);
             }
         }
@@ -143,6 +219,23 @@ fn main() {
         campaign.matches_sequential
     );
 
+    let batched = batched.then(|| {
+        let b = batched_sample();
+        println!(
+            "batched lockstep campaign (N={}, {} rounds, batch {}, {} thread, {} iterations):",
+            b.n_nodes, b.rounds_per_experiment, b.batch_size, b.threads, b.iterations
+        );
+        println!(
+            "  batched {:>9.1} exp/sec | pooled {:>9.1} exp/sec | ratio {:.2}x | \
+             matches scalar: {}",
+            b.batched_experiments_per_sec,
+            b.pooled_experiments_per_sec,
+            b.batched_over_pooled,
+            b.matches_scalar
+        );
+        b
+    });
+
     let overhead = measure_overhead(GATE_N_NODES, 20_000);
     println!(
         "observability overhead (N={}, {} rounds): noop {:>9.0} r/s | recording {:>9.0} r/s \
@@ -166,8 +259,12 @@ fn main() {
     );
 
     let report = ThroughputReport {
+        host: HostSample {
+            logical_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        },
         rounds,
         campaign,
+        batched,
         overhead,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
@@ -185,6 +282,16 @@ fn main() {
                 eprintln!("{verdict}");
                 std::process::exit(1);
             }
+        }
+        match &report.batched {
+            None => println!("batched gate: run without --batched — skipping"),
+            Some(current) => match check_batched_gate(baseline.batched.as_ref(), current) {
+                Ok(verdict) => println!("{verdict}"),
+                Err(verdict) => {
+                    eprintln!("{verdict}");
+                    std::process::exit(1);
+                }
+            },
         }
     }
 }

@@ -13,6 +13,10 @@
 //!   `tests/golden/metrics_events.json` snapshot;
 //! * [`parallel`] — the lock-free persistent campaign worker pool (with
 //!   panic quarantine, so one crashing experiment cannot poison the pool);
+//! * [`batched`] — the lockstep Monte Carlo campaign: workers claim whole
+//!   batches of seeded fault schedules and evaluate them as lanes of one
+//!   structure-of-arrays [`tt_sim::BatchCluster`], with checkpoint/resume
+//!   and a scalar byte-identity cross-check;
 //! * [`supervised`] — fault-tolerant campaign execution: watchdog
 //!   deadlines, retry/backoff, Alg. 2-style worker health and isolation,
 //!   and atomic checkpoint/resume;
@@ -24,18 +28,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batched;
 pub mod comparison;
 pub mod experiments;
 pub mod observability;
 pub mod parallel;
 pub mod supervised;
 
+pub use batched::{
+    matches_scalar, BatchedCampaign, BatchedCheckpoint, BatchedResult, BatchedSupervisor,
+    LaneOutcome,
+};
 pub use comparison::comparison_report;
 pub use experiments::*;
 pub use observability::{
-    canonical_metrics_report, check_rounds_gate, lightning_metrics_report, measure_overhead,
-    normalize_report, OverheadSample, RoundsSample, ThroughputBaseline, GATE_MAX_REGRESSION,
-    GATE_N_NODES,
+    canonical_metrics_report, check_batched_gate, check_rounds_gate, lightning_metrics_report,
+    measure_overhead, normalize_report, BatchedSample, OverheadSample, RoundsSample,
+    ThroughputBaseline, GATE_MAX_REGRESSION, GATE_N_NODES,
 };
 pub use parallel::{run_parallel_campaign, run_parallel_campaign_legacy, CampaignExecutor};
 pub use supervised::{SupervisedCampaign, SupervisedOutcome, SupervisorConfig};

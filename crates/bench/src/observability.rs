@@ -25,13 +25,74 @@ pub struct RoundsSample {
     pub rounds_per_sec: f64,
 }
 
+/// One batched-campaign throughput measurement, as written to
+/// `BENCH_throughput.json` by `throughput --batched` (and read back by
+/// [`check_batched_gate`]). The workload fields exist so the gate can
+/// refuse to compare measurements of different shapes — the schema-drift
+/// fix: a number without its `threads`/`batch_size`/cluster-size context
+/// is not comparable across commits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchedSample {
+    /// Cluster size of every lane.
+    pub n_nodes: usize,
+    /// Rounds per experiment (schedule round budget).
+    pub rounds_per_experiment: u64,
+    /// Experiments per timed campaign run.
+    pub experiments: usize,
+    /// Lanes per lockstep batch.
+    pub batch_size: usize,
+    /// Worker threads the sample was measured with.
+    pub threads: usize,
+    /// Timed campaign repetitions.
+    pub iterations: usize,
+    /// Experiments/sec through the lockstep engine.
+    pub batched_experiments_per_sec: f64,
+    /// Experiments/sec of the *same* workload run one-cluster-per-
+    /// experiment (the pooled architecture) on the same single worker
+    /// thread — the like-for-like denominator of
+    /// [`Self::batched_over_pooled`]. The Sec. 8 campaign numbers elsewhere
+    /// in the report measure a different workload (N=4 classes) and are not
+    /// comparable.
+    pub pooled_experiments_per_sec: f64,
+    /// `batched / pooled` — lockstep lanes versus one scalar cluster per
+    /// experiment over the identical experiment list.
+    pub batched_over_pooled: f64,
+    /// Whether the warm-up campaign's digests matched a sequential scalar
+    /// re-derivation ([`crate::matches_scalar`]).
+    pub matches_scalar: bool,
+}
+
 /// The subset of `BENCH_throughput.json` the CI gate needs. Extra fields
 /// in the committed baseline are ignored on deserialization, so the gate
 /// keeps working as the report grows.
-#[derive(Debug, Clone, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ThroughputBaseline {
     /// The per-cluster-size hot-path samples.
     pub rounds: Vec<RoundsSample>,
+    /// The batched-campaign sample; absent in baselines committed before
+    /// the lockstep engine existed (the gate then skips the comparison).
+    pub batched: Option<BatchedSample>,
+}
+
+// Hand-written so a baseline written before the lockstep engine existed —
+// no `batched` key at all — still parses as `batched: None` (the derive
+// treats every missing field as an error, even `Option`s).
+impl serde::Deserialize for ThroughputBaseline {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::DeError::custom("expected map for ThroughputBaseline"))?;
+        let rounds = serde::Value::get_field(map, "rounds").ok_or_else(|| {
+            serde::DeError::custom("missing field `rounds` in ThroughputBaseline")
+        })?;
+        Ok(ThroughputBaseline {
+            rounds: serde::Deserialize::from_value(rounds)?,
+            batched: match serde::Value::get_field(map, "batched") {
+                Some(v) => serde::Deserialize::from_value(v)?,
+                None => None,
+            },
+        })
+    }
 }
 
 /// The regression budget of the CI bench gate: a PR fails if rounds/sec at
@@ -74,6 +135,74 @@ pub fn check_rounds_gate(
         floor
     );
     if cur.rounds_per_sec < floor {
+        Err(format!("{verdict} — REGRESSION beyond 25% budget"))
+    } else {
+        Ok(verdict)
+    }
+}
+
+/// Compares a fresh batched-campaign measurement against the committed
+/// baseline, like for like.
+///
+/// Returns `Ok` with a skip notice when the baseline has no batched
+/// sample or was measured with a different workload shape (cluster size,
+/// rounds, batch width or thread count) — numbers from different shapes
+/// must not gate each other. Otherwise applies the same
+/// [`GATE_MAX_REGRESSION`] budget as the rounds gate, and additionally
+/// fails if the current run's scalar cross-check failed.
+pub fn check_batched_gate(
+    baseline: Option<&BatchedSample>,
+    current: &BatchedSample,
+) -> Result<String, String> {
+    if !current.matches_scalar {
+        return Err(
+            "batched gate: current run diverged from the scalar protocol \
+             (matches_scalar=false)"
+                .to_string(),
+        );
+    }
+    let Some(base) = baseline else {
+        return Ok("batched gate: baseline has no batched sample — skipping".to_string());
+    };
+    let same_shape = (
+        base.n_nodes,
+        base.rounds_per_experiment,
+        base.batch_size,
+        base.threads,
+    ) == (
+        current.n_nodes,
+        current.rounds_per_experiment,
+        current.batch_size,
+        current.threads,
+    );
+    if !same_shape {
+        return Ok(format!(
+            "batched gate: baseline shape (N={}, {} rounds, batch {}, {} threads) differs from \
+             current (N={}, {} rounds, batch {}, {} threads) — not like-for-like, skipping",
+            base.n_nodes,
+            base.rounds_per_experiment,
+            base.batch_size,
+            base.threads,
+            current.n_nodes,
+            current.rounds_per_experiment,
+            current.batch_size,
+            current.threads,
+        ));
+    }
+    let floor = base.batched_experiments_per_sec * (1.0 - GATE_MAX_REGRESSION);
+    let ratio = current.batched_experiments_per_sec / base.batched_experiments_per_sec;
+    let verdict = format!(
+        "batched gate (N={}, batch {}, {} threads): {:.0} exp/sec vs baseline {:.0} \
+         ({:.0}% of baseline, floor {:.0})",
+        current.n_nodes,
+        current.batch_size,
+        current.threads,
+        current.batched_experiments_per_sec,
+        base.batched_experiments_per_sec,
+        ratio * 100.0,
+        floor
+    );
+    if current.batched_experiments_per_sec < floor {
         Err(format!("{verdict} — REGRESSION beyond 25% budget"))
     } else {
         Ok(verdict)
@@ -350,6 +479,64 @@ mod tests {
         }"#;
         let base: ThroughputBaseline = serde_json::from_str(json).unwrap();
         assert_eq!(base.rounds.len(), 2);
+        assert!(base.batched.is_none(), "pre-lockstep baselines still parse");
         assert!(check_rounds_gate(&base.rounds, &base.rounds).is_ok());
+    }
+
+    fn batched_sample(eps: f64) -> BatchedSample {
+        BatchedSample {
+            n_nodes: GATE_N_NODES,
+            rounds_per_experiment: 24,
+            experiments: 4096,
+            batch_size: 256,
+            threads: 1,
+            iterations: 8,
+            batched_experiments_per_sec: eps,
+            pooled_experiments_per_sec: eps / 5.0,
+            batched_over_pooled: 5.0,
+            matches_scalar: true,
+        }
+    }
+
+    #[test]
+    fn batched_gate_passes_within_budget_and_fails_beyond() {
+        let base = batched_sample(100_000.0);
+        let gate = |eps: f64| check_batched_gate(Some(&base), &batched_sample(eps));
+        assert!(gate(100_000.0).is_ok());
+        assert!(gate(80_000.0).is_ok(), "within the 25% budget");
+        assert!(gate(150_000.0).is_ok(), "faster is always fine");
+        assert!(gate(70_000.0).is_err(), "beyond the 25% budget");
+    }
+
+    #[test]
+    fn batched_gate_skips_unless_like_for_like() {
+        let base = batched_sample(100_000.0);
+        let current = batched_sample(10.0); // would fail if compared
+        let verdict = check_batched_gate(None, &current).unwrap();
+        assert!(verdict.contains("skipping"), "{verdict}");
+        for reshape in [
+            |s: &mut BatchedSample| s.n_nodes += 1,
+            |s: &mut BatchedSample| s.rounds_per_experiment += 1,
+            |s: &mut BatchedSample| s.batch_size *= 2,
+            |s: &mut BatchedSample| s.threads += 1,
+        ] {
+            let mut moved = base.clone();
+            reshape(&mut moved);
+            let verdict = check_batched_gate(Some(&moved), &current).unwrap();
+            assert!(verdict.contains("not like-for-like"), "{verdict}");
+        }
+        // Experiment count and iterations scale the measurement, not the
+        // per-experiment shape — they do not break comparability.
+        let mut longer = base.clone();
+        longer.experiments *= 4;
+        longer.iterations += 1;
+        assert!(check_batched_gate(Some(&longer), &batched_sample(90_000.0)).is_ok());
+    }
+
+    #[test]
+    fn batched_gate_rejects_scalar_divergence_outright() {
+        let mut current = batched_sample(1_000_000.0);
+        current.matches_scalar = false;
+        assert!(check_batched_gate(None, &current).is_err());
     }
 }

@@ -63,6 +63,7 @@
 
 pub mod alignment;
 pub mod bandwidth;
+pub mod batch;
 pub mod config;
 pub mod error;
 pub mod lowlat;
@@ -75,6 +76,7 @@ pub mod protocol;
 pub mod syndrome;
 pub mod voting;
 
+pub use batch::{digest_fingerprints, BatchDiagJob, BatchLaneParams};
 pub use config::{ProtocolConfig, ProtocolConfigBuilder};
 pub use error::ProtocolError;
 pub use matrix::DiagnosticMatrix;

@@ -583,16 +583,11 @@ impl Explorer {
         self.report.executed >= self.cfg.budget
     }
 
-    /// Executes one schedule (drawn from the seed queue, the frontier, or
-    /// fresh at random, per the strategy) and folds its coverage and
-    /// verdict into the report. Returns `false` — without executing — once
-    /// the budget is spent.
-    pub fn step(&mut self, extra: ExtraOracle<'_>) -> bool {
-        if self.done() {
-            return false;
-        }
+    /// Draws the next candidate: the seed queue first, then the frontier
+    /// or a fresh random schedule, per the strategy.
+    fn draw_schedule(&mut self) -> FaultSchedule {
         let cfg = &self.cfg;
-        let schedule = match self.pending.pop() {
+        match self.pending.pop() {
             Some(s) => s,
             None => match cfg.strategy {
                 Strategy::Random => random_schedule(cfg, &mut self.rng),
@@ -612,9 +607,11 @@ impl Explorer {
                     }
                 }
             },
-        };
-        let exec = execute_schedule_with_oracle(&schedule, extra);
-        self.report.executed += 1;
+        }
+    }
+
+    /// Folds one executed schedule's coverage and verdict into the report.
+    fn absorb(&mut self, schedule: FaultSchedule, exec: &ScheduleExec, extra: ExtraOracle<'_>) {
         let new_states = exec
             .fingerprints
             .iter()
@@ -640,9 +637,70 @@ impl Explorer {
         }
         if new_states > 0 {
             self.report.corpus.push(schedule.clone());
-            if cfg.strategy == Strategy::CoverageGuided {
+            if self.cfg.strategy == Strategy::CoverageGuided {
                 self.frontier.push(schedule);
             }
+        }
+        self.report.unique_states = self.seen.len() as u64;
+    }
+
+    /// Executes one schedule (drawn from the seed queue, the frontier, or
+    /// fresh at random, per the strategy) and folds its coverage and
+    /// verdict into the report. Returns `false` — without executing — once
+    /// the budget is spent.
+    pub fn step(&mut self, extra: ExtraOracle<'_>) -> bool {
+        if self.done() {
+            return false;
+        }
+        let schedule = self.draw_schedule();
+        let exec = execute_schedule_with_oracle(&schedule, extra);
+        self.report.executed += 1;
+        self.absorb(schedule, &exec, extra);
+        true
+    }
+
+    /// Evaluates a whole generation of candidate schedules through the
+    /// lockstep engine ([`crate::batch_eval::execute_schedules_batched`])
+    /// and spends scalar executions — with the full oracle stack — only on
+    /// the candidates whose batched fingerprints reached a state the
+    /// session has not seen. Returns `false` once the budget is spent.
+    ///
+    /// Two deliberate differences from calling [`Explorer::step`] in a
+    /// loop, both consequences of generation-at-a-time evaluation:
+    ///
+    /// * the whole generation is drawn against one frontier/coverage
+    ///   snapshot (candidates cannot build on siblings of the same
+    ///   generation), so the exploration trajectory differs from the
+    ///   sequential mode's — the coverage is equally valid, just a
+    ///   different deterministic walk;
+    /// * candidates whose every fingerprint is already known are *not*
+    ///   oracle-checked (that is the point: novelty triage at batch
+    ///   throughput). A violation on an already-covered trajectory would
+    ///   have tripped the oracles when that coverage was first discovered.
+    ///
+    /// Every novel candidate's scalar re-execution asserts the batched
+    /// lanes reproduced the scalar fingerprint stream exactly, so the
+    /// triage can never silently diverge from ground truth.
+    pub fn step_generation(&mut self, generation: usize, extra: ExtraOracle<'_>) -> bool {
+        if self.done() {
+            return false;
+        }
+        let budget_left = (self.cfg.budget - self.report.executed) as usize;
+        let take = generation.clamp(1, budget_left);
+        let candidates: Vec<FaultSchedule> = (0..take).map(|_| self.draw_schedule()).collect();
+        let batched = crate::batch_eval::execute_schedules_batched(&candidates)
+            .expect("explorer schedules are engine-valid");
+        self.report.executed += take as u64;
+        for (schedule, lane_fps) in candidates.into_iter().zip(batched) {
+            if lane_fps.iter().all(|fp| self.seen.contains(fp)) {
+                continue;
+            }
+            let exec = execute_schedule_with_oracle(&schedule, extra);
+            assert_eq!(
+                exec.fingerprints, lane_fps,
+                "lockstep lane diverged from the scalar protocol"
+            );
+            self.absorb(schedule, &exec, extra);
         }
         self.report.unique_states = self.seen.len() as u64;
         true
@@ -718,6 +776,14 @@ pub fn shrink_schedule(schedule: &FaultSchedule, extra: ExtraOracle<'_>) -> (Fau
             return (best, steps);
         }
     }
+}
+
+/// Draws the deterministic random schedule of `seed` within the config's
+/// bounds — the public seeded generator behind campaign workers and the
+/// batched-equivalence tests (`seed` indexes an independent RNG stream, so
+/// consecutive seeds give independent schedules).
+pub fn seeded_schedule(cfg: &ExploreConfig, seed: u64) -> FaultSchedule {
+    random_schedule(cfg, &mut StdRng::seed_from_u64(seed))
 }
 
 /// Draws a fresh random schedule within the config's bounds.
@@ -1071,6 +1137,44 @@ mod tests {
         assert_eq!(a.executed, 25);
         assert!(a.unique_states > 0);
         assert!(a.counterexamples.is_empty(), "{:?}", a.counterexamples);
+    }
+
+    #[test]
+    fn generation_stepping_is_deterministic_and_covers_states() {
+        let cfg = ExploreConfig {
+            budget: 40,
+            ..cfg()
+        };
+        let run = || {
+            let mut session = Explorer::new(&cfg, &[]);
+            while session.step_generation(16, &no_extra_oracle) {}
+            session.into_report()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert_eq!(a.executed, 40, "budget fully spent in generations");
+        assert!(a.unique_states > 0);
+        assert!(a.counterexamples.is_empty(), "{:?}", a.counterexamples);
+        assert!(!a.corpus.is_empty(), "novel schedules reached the corpus");
+    }
+
+    #[test]
+    fn generation_stepping_respects_the_budget_tail() {
+        let cfg = ExploreConfig { budget: 5, ..cfg() };
+        let mut session = Explorer::new(&cfg, &[]);
+        assert!(session.step_generation(3, &no_extra_oracle));
+        assert_eq!(session.executed(), 3);
+        assert!(session.step_generation(16, &no_extra_oracle), "clamps to 2");
+        assert_eq!(session.executed(), 5);
+        assert!(!session.step_generation(16, &no_extra_oracle));
+    }
+
+    #[test]
+    fn seeded_schedules_are_stable_and_distinct() {
+        let cfg = cfg();
+        assert_eq!(seeded_schedule(&cfg, 7), seeded_schedule(&cfg, 7));
+        assert_ne!(seeded_schedule(&cfg, 7), seeded_schedule(&cfg, 8));
     }
 
     #[test]

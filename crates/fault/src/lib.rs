@@ -23,6 +23,8 @@
 //!   seeded repetitions, and property-oracle verdicts;
 //! * [`mod@explore`] — coverage-guided exploration of bounded fault schedules
 //!   with counterexample shrinking and a replayable corpus;
+//! * [`batch_eval`] — lockstep (structure-of-arrays) evaluation of whole
+//!   slates of fault schedules, byte-identical to the scalar path;
 //! * [`harness`] — faults injected into the *harness itself* (panicking,
 //!   hanging, transiently failing experiments) plus the supervision
 //!   vocabulary: retry/backoff policy, Alg. 2-style worker health,
@@ -34,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch_eval;
 pub mod bitflip;
 pub mod burst;
 pub mod campaign;
@@ -45,6 +48,7 @@ pub mod malicious;
 pub mod noise;
 pub mod scenario;
 
+pub use batch_eval::{execute_schedules_batched, lane_params, lane_plan};
 pub use bitflip::{BitNoise, CrcForger, ReceiverLocalBitNoise};
 pub use burst::{Burst, ContinuousFault, IntermittentFault, SenderBurst};
 pub use campaign::{
@@ -58,9 +62,9 @@ pub use checkpoint::{
 };
 pub use explore::{
     execute_schedule, execute_schedule_with_oracle, explore, explore_with, load_corpus,
-    no_extra_oracle, save_schedule, shrink_schedule, Counterexample, ExploreConfig, ExploreReport,
-    Explorer, FaultSchedule, ScheduleExec, ScheduleVerdict, ScheduledClass, ScheduledFault,
-    Strategy,
+    no_extra_oracle, save_schedule, seeded_schedule, shrink_schedule, Counterexample,
+    ExploreConfig, ExploreReport, Explorer, FaultSchedule, ScheduleExec, ScheduleVerdict,
+    ScheduledClass, ScheduledFault, Strategy,
 };
 pub use harness::{
     BackoffPolicy, ChaosPlan, HarnessFault, HarnessFaultHook, NoHarnessFaults, QuarantineReason,

@@ -50,10 +50,12 @@ impl Default for Fnv1a64 {
 }
 
 impl Hasher for Fnv1a64 {
+    #[inline]
     fn finish(&self) -> u64 {
         self.0
     }
 
+    #[inline]
     fn write(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= u64::from(b);

@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod bus;
 pub mod cancel;
 pub mod channels;
@@ -66,6 +67,9 @@ pub mod timeline;
 pub mod trace;
 pub mod tracing;
 
+pub use batch::{
+    BatchCluster, BatchFaultPlan, BatchLanes, LaneEffect, LaneFault, LockstepJob, MAX_BATCH_NODES,
+};
 pub use bus::{
     apply_effect, apply_effect_into, classify_receptions, FaultPipeline, NoFaults, Reception,
     SlotEffect, SlotFaultClass, SlotOutcome, TxCtx, TxOutcome,

@@ -14,10 +14,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use std::sync::Arc;
 
-use tt_core::{DiagJob, ProtocolConfig};
+use tt_core::{BatchDiagJob, BatchLaneParams, DiagJob, ProtocolConfig};
 use tt_sim::{
-    ClusterBuilder, NoFaults, NoopSink, NoopTraceSink, RecordingSink, RecordingTraceSink,
-    RoundIndex, SlotEffect, TraceMode, TxCtx,
+    BatchCluster, BatchFaultPlan, ClusterBuilder, LaneEffect, LaneFault, NoFaults, NoopSink,
+    NoopTraceSink, RecordingSink, RecordingTraceSink, RoundIndex, SlotEffect, TraceMode, TxCtx,
 };
 
 struct CountingAllocator;
@@ -265,6 +265,75 @@ fn steady_state_run_round_allocates_nothing_with_trace_off() {
     assert!(
         allocations() > before,
         "anomaly tracing of faulty rounds is expected to allocate"
+    );
+
+    // The lockstep batch engine inherits the contract: a warmed
+    // BatchCluster steady state allocates nothing across all lanes at
+    // once, even in the campaign configuration (fingerprints enabled, the
+    // streams pre-reserved up front) and with heterogeneous faults
+    // streaming — fault effects are pure bitset arithmetic on the
+    // structure-of-arrays state.
+    let plans: Vec<BatchFaultPlan> = (0..64)
+        .map(|lane| {
+            BatchFaultPlan::new(match lane % 4 {
+                0 => Vec::new(),
+                1 => vec![LaneFault {
+                    slot: 2,
+                    first_round: 8,
+                    hits: u64::MAX,
+                    stride: 3,
+                    effect: LaneEffect::Benign,
+                }],
+                2 => vec![LaneFault {
+                    slot: 1,
+                    first_round: 10,
+                    hits: u64::MAX,
+                    stride: 2,
+                    effect: LaneEffect::Malicious { mask: 0b0000_0010 },
+                }],
+                _ => vec![LaneFault {
+                    slot: 4,
+                    first_round: 6,
+                    hits: u64::MAX,
+                    stride: 1,
+                    effect: LaneEffect::Asymmetric {
+                        detected_by: 0b0000_0101,
+                        collision_ok: true,
+                    },
+                }],
+            })
+        })
+        .collect();
+    let params = BatchLaneParams {
+        penalty_threshold: 1_000_000,
+        reward_threshold: 1_000_000,
+    };
+    let mut batch = BatchCluster::new(8, plans.clone()).expect("valid batch");
+    let mut batch_job = BatchDiagJob::new(8, &[params; 64]).with_fingerprints(32 + 256);
+    batch.run_rounds(32, &mut batch_job);
+    let before = allocations();
+    batch.run_rounds(256, &mut batch_job);
+    assert_eq!(
+        allocations() - before,
+        0,
+        "batched steady-state rounds must not allocate (256 rounds x 64 faulty lanes)"
+    );
+
+    // Positive control: the batched recording mode (the equivalence tests'
+    // inspection path) pushes health records and counter samples, proving
+    // the counter sees the batched job's traffic too.
+    let mut batch = BatchCluster::new(8, plans).expect("valid batch");
+    let mut recording_job = BatchDiagJob::new(8, &[params; 64]).with_recording();
+    batch.run_rounds(32, &mut recording_job);
+    let before = allocations();
+    batch.run_rounds(256, &mut recording_job);
+    assert!(
+        allocations() > before,
+        "batched recording mode is expected to allocate while capturing logs"
+    );
+    assert!(
+        !recording_job.health_log(0, 0).is_empty(),
+        "recording mode captured health records"
     );
 
     // And a live RecordingSink allocates too (events are captured), proving

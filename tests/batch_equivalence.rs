@@ -1,0 +1,255 @@
+//! Property-based equivalence of the lockstep batch engine and the scalar
+//! cluster: every lane of a [`BatchCluster`] must reproduce a scalar
+//! [`Cluster`] run of the same fault schedule byte for byte — health
+//! vectors, counter samples, isolation events, penalty/reward counters and
+//! state fingerprints — at every required batch size B ∈ {1, 7, 64, 256}.
+//!
+//! Two layers of the stack are exercised:
+//!
+//! * the fault-crate conversion path ([`seeded_schedule`] →
+//!   [`execute_schedules_batched`] vs [`execute_schedule`]), which is the
+//!   one the explorer and the batched campaign actually run; and
+//! * the raw engine ([`BatchCluster`] + [`BatchDiagJob::with_recording`])
+//!   against a hand-driven scalar fault pipeline, comparing full protocol
+//!   state rather than just its fingerprint stream.
+
+use proptest::prelude::*;
+
+use bytes::Bytes;
+use tt_core::{BatchDiagJob, BatchLaneParams, DiagJob, ProtocolConfig};
+use tt_fault::{execute_schedule, execute_schedules_batched, seeded_schedule, ExploreConfig};
+use tt_sim::{
+    BatchCluster, BatchFaultPlan, Cluster, ClusterBuilder, LaneEffect, LaneFault, NodeId,
+    SlotEffect, TxCtx,
+};
+
+/// The batch sizes the lockstep engine must be exact at: a single lane, a
+/// ragged non-power-of-two, a full SWAR word multiple and the campaign's
+/// production width.
+const BATCH_SIZES: [usize; 4] = [1, 7, 64, 256];
+
+/// A lane's fault plan plus the thresholds it runs under.
+#[derive(Debug, Clone)]
+struct LaneCase {
+    faults: Vec<LaneFault>,
+    penalty_threshold: u64,
+    reward_threshold: u64,
+}
+
+fn effect_strategy(n: usize) -> impl Strategy<Value = LaneEffect> {
+    let full = (1u64 << n) - 1;
+    prop_oneof![
+        Just(LaneEffect::Benign),
+        (0..=full).prop_map(|mask| LaneEffect::Malicious { mask }),
+        (0..=full, any::<bool>()).prop_map(|(detected_by, collision_ok)| {
+            LaneEffect::Asymmetric {
+                detected_by,
+                collision_ok,
+            }
+        }),
+    ]
+}
+
+fn fault_strategy(n: usize, rounds: u64) -> impl Strategy<Value = LaneFault> {
+    (
+        (0..n, 0..rounds),
+        (prop_oneof![1u64..6, Just(u64::MAX)], 1u64..4),
+        effect_strategy(n),
+    )
+        .prop_map(|((slot, first_round), (hits, stride), effect)| LaneFault {
+            slot,
+            first_round,
+            hits,
+            stride,
+            effect,
+        })
+}
+
+fn lane_case_strategy(n: usize, rounds: u64) -> impl Strategy<Value = LaneCase> {
+    (
+        proptest::collection::vec(fault_strategy(n, rounds), 0..4),
+        1u64..5,
+        1u64..5,
+    )
+        .prop_map(|(faults, penalty_threshold, reward_threshold)| LaneCase {
+            faults,
+            penalty_threshold,
+            reward_threshold,
+        })
+}
+
+/// Replays a lane's fault plan through the scalar fault pipeline with the
+/// engine's first-match-wins resolution, mapping each [`LaneEffect`] to
+/// the [`SlotEffect`] it was pre-decoded from.
+fn scalar_pipeline(faults: Vec<LaneFault>) -> impl FnMut(&TxCtx) -> SlotEffect + Send + 'static {
+    move |ctx: &TxCtx| {
+        let (round, slot) = (ctx.round.as_u64(), ctx.sender.index());
+        match faults.iter().find(|f| f.covers(round, slot)) {
+            None => SlotEffect::Correct,
+            Some(f) => match f.effect {
+                LaneEffect::Benign => SlotEffect::Benign,
+                LaneEffect::Malicious { mask } => SlotEffect::SymmetricMalicious {
+                    payload: Bytes::from(vec![mask as u8]),
+                },
+                LaneEffect::Asymmetric {
+                    detected_by,
+                    collision_ok,
+                } => SlotEffect::Asymmetric {
+                    detected_by: (0..64).filter(|i| detected_by & (1 << i) != 0).collect(),
+                    collision_ok,
+                },
+            },
+        }
+    }
+}
+
+/// Asserts lane `lane` of the batched run matches the scalar cluster's
+/// protocol state exactly.
+fn assert_lane_matches(job: &BatchDiagJob, cluster: &Cluster, lane: usize) {
+    let n = job.n_nodes();
+    for i in 0..n {
+        let scalar: &DiagJob = cluster.job_as(NodeId::from_slot(i)).expect("diag job");
+        assert_eq!(
+            job.health_log(lane, i),
+            scalar.health_log(),
+            "health log of observer {i} in lane {lane}"
+        );
+        assert_eq!(
+            job.counter_trace(lane, i),
+            scalar.counter_trace(),
+            "counter trace of observer {i} in lane {lane}"
+        );
+        assert_eq!(
+            job.isolation_events(lane, i),
+            scalar.isolations(),
+            "isolations of observer {i} in lane {lane}"
+        );
+        for j in 0..n {
+            let node = NodeId::from_slot(j);
+            assert_eq!(job.penalty(lane, i, j), scalar.penalty(node));
+            assert_eq!(job.reward(lane, i, j), scalar.reward(node));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random lane plans at every required batch size: the full recorded
+    /// protocol state of each lane equals an independent scalar run of the
+    /// same plan under the same thresholds. Lanes are deliberately
+    /// heterogeneous (plan and thresholds both vary per lane) so divergent
+    /// control flow inside one SIMD batch is exercised, not just replicated
+    /// uniform work.
+    #[test]
+    fn every_lane_matches_scalar_state(
+        n in 4usize..7,
+        seeds in proptest::collection::vec(lane_case_strategy(6, 24), 8),
+    ) {
+        let rounds = 24u64;
+        let cases: Vec<LaneCase> = seeds
+            .into_iter()
+            .map(|mut c| {
+                // Clamp out-of-range slots/masks drawn for the widest n.
+                c.faults.retain(|f| f.slot < n);
+                for f in &mut c.faults {
+                    if let LaneEffect::Malicious { mask } = &mut f.effect {
+                        *mask &= (1 << n) - 1;
+                    }
+                    if let LaneEffect::Asymmetric { detected_by, .. } = &mut f.effect {
+                        *detected_by &= (1 << n) - 1;
+                    }
+                }
+                c
+            })
+            .collect();
+        for &b in &BATCH_SIZES {
+            let lanes: Vec<&LaneCase> = (0..b).map(|l| &cases[l % cases.len()]).collect();
+            let plans = lanes
+                .iter()
+                .map(|c| BatchFaultPlan::new(c.faults.clone()))
+                .collect();
+            let params: Vec<BatchLaneParams> = lanes
+                .iter()
+                .map(|c| BatchLaneParams {
+                    penalty_threshold: c.penalty_threshold,
+                    reward_threshold: c.reward_threshold,
+                })
+                .collect();
+            let mut batch = BatchCluster::new(n, plans).expect("valid batch");
+            let mut job = BatchDiagJob::new(n, &params).with_recording();
+            batch.run_rounds(rounds, &mut job);
+
+            // Distinct lane cases is all that needs scalar re-execution:
+            // the engine is deterministic per (plan, params), so lane l
+            // compares against the scalar run of cases[l % cases.len()].
+            let scalars: Vec<Cluster> = cases
+                .iter()
+                .map(|c| {
+                    let cfg = ProtocolConfig::builder(n)
+                        .penalty_threshold(c.penalty_threshold)
+                        .reward_threshold(c.reward_threshold)
+                        .build()
+                        .expect("valid config");
+                    // Round length must divide into n equal slots (its
+                    // absolute value is irrelevant to the diagnosis state).
+                    let round = tt_sim::Nanos::from_nanos(2_520_000);
+                    let mut cluster = ClusterBuilder::new(n).round_length(round).build_with_jobs(
+                        move |id| Box::new(DiagJob::new(id, cfg.clone()).with_counter_trace()),
+                        Box::new(scalar_pipeline(c.faults.clone())),
+                    );
+                    cluster.run_rounds(rounds);
+                    cluster
+                })
+                .collect();
+            for lane in 0..b {
+                assert_lane_matches(&job, &scalars[lane % cases.len()], lane);
+            }
+        }
+    }
+
+    /// The production conversion path: explorer-grade random schedules
+    /// (mixed fault classes, strides, budgets) run through
+    /// [`execute_schedules_batched`] yield the exact scalar
+    /// [`execute_schedule`] fingerprint stream, at every batch size.
+    #[test]
+    fn batched_fingerprints_match_scalar_at_all_batch_sizes(seed in any::<u64>()) {
+        let cfg = ExploreConfig::default();
+        for &b in &BATCH_SIZES {
+            let schedules: Vec<_> = (0..b as u64)
+                .map(|i| seeded_schedule(&cfg, seed.wrapping_add(i)))
+                .collect();
+            let batched = execute_schedules_batched(&schedules).expect("valid schedules");
+            for (s, fps) in schedules.iter().zip(&batched) {
+                prop_assert_eq!(
+                    &execute_schedule(s).fingerprints,
+                    fps,
+                    "B={} schedule {:?}",
+                    b,
+                    s
+                );
+            }
+        }
+    }
+}
+
+/// Lane results are independent of batch width: running 256 random plans
+/// as one batch and as 256 single-lane batches yields identical
+/// fingerprint streams (so campaign results can't depend on how the work
+/// was chunked).
+#[test]
+fn batch_width_does_not_change_lane_results() {
+    let cfg = ExploreConfig {
+        n: 5,
+        rounds: 20,
+        ..ExploreConfig::default()
+    };
+    let schedules: Vec<_> = (0..256)
+        .map(|i| seeded_schedule(&cfg, 0xB_A7C4 + i))
+        .collect();
+    let wide = execute_schedules_batched(&schedules).expect("valid schedules");
+    for (s, fps) in schedules.iter().zip(&wide) {
+        let narrow = execute_schedules_batched(std::slice::from_ref(s)).expect("valid schedule");
+        assert_eq!(&narrow[0], fps, "{s:?}");
+    }
+}

@@ -35,6 +35,26 @@ fn corpus_replays_clean_against_all_oracles() {
     }
 }
 
+/// The lockstep batch engine replays the whole committed corpus in one
+/// batched pass with the exact scalar fingerprint stream per schedule —
+/// the corpus doubles as a regression suite for the batched/scalar
+/// equivalence on real explorer-discovered states, not just random ones.
+#[test]
+fn corpus_replays_identically_through_batched_engine() {
+    let corpus = load_corpus(&corpus_dir()).expect("corpus directory readable");
+    assert!(!corpus.is_empty(), "the seed corpus is non-empty");
+    let schedules: Vec<_> = corpus.iter().map(|(_, s)| s.clone()).collect();
+    let batched = tt_fault::execute_schedules_batched(&schedules).expect("corpus is batchable");
+    for ((path, schedule), fps) in corpus.iter().zip(&batched) {
+        assert_eq!(
+            &execute_schedule(schedule).fingerprints,
+            fps,
+            "{}: batched replay diverged from scalar",
+            path.display(),
+        );
+    }
+}
+
 /// Stored filenames embed the schedule's content hash; a hand-edited or
 /// corrupted corpus entry is caught before it silently weakens the suite.
 #[test]
