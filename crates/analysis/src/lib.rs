@@ -25,6 +25,10 @@
 //!   explorer: frontier summaries for `ttdiag explore`;
 //! * [`supervision`] — the quarantine/retry/worker-health section of
 //!   supervised campaign reports;
+//! * [`sweep`] — campaign-scale Monte Carlo tuning sweeps over
+//!   `(N, P, R, s, λ)` grids behind `ttdiag tune sweep`: measured Fig. 3
+//!   boundaries with Wilson confidence intervals, time-to-isolation
+//!   distributions, and byte-identical halt/resume;
 //! * [`stats`] — summary statistics for repeated seeded experiments;
 //! * [`table`] — paper-style ASCII table rendering;
 //! * [`report`] — serializable paper-vs-measured records backing
@@ -44,6 +48,7 @@ pub mod report;
 pub mod sensitivity;
 pub mod stats;
 pub mod supervision;
+pub mod sweep;
 pub mod table;
 pub mod tuning;
 
@@ -59,8 +64,14 @@ pub use provenance::{
 };
 pub use report::{ExperimentRecord, ReportBuilder};
 pub use sensitivity::{burst_length_sweep, penalty_sweep, reward_sweep};
-pub use stats::Summary;
+pub use stats::{percentile, wilson_interval, Summary};
 pub use supervision::render_supervision_summary;
+pub use sweep::{
+    analytic_agreement, check_analytic_agreement, fig3_csv, isolation_csv, render_sweep_summary,
+    resume_sweep, run_sweep, safety_curve_csv, sweep_json, AgreementRow, CellEstimate, CellReport,
+    CorrelationEstimate, IsolationLatency, Proportion, SweepCell, SweepCheckpoint, SweepConfig,
+    SweepOutcome, SweepReport, SweepSupervisor, SWEEP_Z,
+};
 pub use table::Table;
 pub use tuning::{
     aerospace_setup, automotive_setup, tune, CriticalityClass, DomainSetup, TunedClass,

@@ -96,6 +96,36 @@ impl Extend<f64> for Summary {
     }
 }
 
+/// The Wilson score interval for a binomial proportion: the `(lo, hi)`
+/// confidence bounds on the true success probability after observing
+/// `successes` out of `trials`, at normal quantile `z` (1.96 ≈ 95 %).
+///
+/// Unlike the normal approximation, the Wilson interval stays inside
+/// `[0, 1]` and remains usable at 0 or `trials` successes — exactly the
+/// regimes the false-isolation sweeps probe. Returns `(0, 1)` for an
+/// empty sample.
+///
+/// # Panics
+///
+/// Panics if `successes > trials` or `z` is not positive and finite.
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    assert!(successes <= trials, "more successes than trials");
+    assert!(z.is_finite() && z > 0.0, "invalid z: {z}");
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = p + z2 / (2.0 * n);
+    let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    (
+        ((center - half) / denom).max(0.0),
+        ((center + half) / denom).min(1.0),
+    )
+}
+
 /// The `q`-th percentile (0..=100, nearest-rank) of a sample.
 ///
 /// Returns `None` for an empty sample.
@@ -163,5 +193,39 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn percentile_rejects_bad_q() {
         let _ = percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn wilson_matches_hand_computed_textbook_values() {
+        // 3/10 at 95 %: the classic worked example, (0.1078, 0.6032).
+        let (lo, hi) = wilson_interval(3, 10, 1.96);
+        assert!((lo - 0.107_787).abs() < 1e-5, "lo = {lo}");
+        assert!((hi - 0.603_227).abs() < 1e-5, "hi = {hi}");
+        // 0/20 at 95 %: lo pinned to 0, hi = z²/(n + z²) = 0.16113.
+        let (lo, hi) = wilson_interval(0, 20, 1.96);
+        assert_eq!(lo, 0.0);
+        assert!((hi - 0.161_131).abs() < 1e-5, "hi = {hi}");
+        // n/n mirrors 0/n around 1/2.
+        let (lo, hi) = wilson_interval(20, 20, 1.96);
+        assert!((hi - 1.0).abs() < 1e-12, "hi = {hi}");
+        assert!((lo - (1.0 - 0.161_131)).abs() < 1e-5, "lo = {lo}");
+    }
+
+    #[test]
+    fn wilson_interval_contains_the_point_estimate_and_shrinks() {
+        for (s, t) in [(1u64, 8u64), (50, 100), (499, 500)] {
+            let p = s as f64 / t as f64;
+            let (lo, hi) = wilson_interval(s, t, 1.96);
+            assert!(lo <= p && p <= hi);
+            let (lo10, hi10) = wilson_interval(s * 10, t * 10, 1.96);
+            assert!(hi10 - lo10 < hi - lo, "more trials tighten the interval");
+        }
+        assert_eq!(wilson_interval(0, 0, 1.96), (0.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "more successes than trials")]
+    fn wilson_rejects_impossible_counts() {
+        let _ = wilson_interval(5, 4, 1.96);
     }
 }

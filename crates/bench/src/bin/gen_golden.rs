@@ -20,6 +20,16 @@ fn main() {
             let report = tt_bench::lightning_metrics_report();
             serde_json::to_string_pretty(&report).unwrap() + "\n"
         }),
+        ("tune_sweep_small.json", {
+            // The pinned small grid behind CI's tune-goldens job: the
+            // default `SweepConfig` IS the golden grid.
+            let outcome = tt_analysis::run_sweep(
+                &tt_analysis::SweepConfig::default(),
+                &tt_analysis::SweepSupervisor::default(),
+            )
+            .unwrap();
+            tt_analysis::sweep_json(&outcome.report)
+        }),
     ] {
         std::fs::write(dir.join(name), content).unwrap();
         println!("wrote {name}");

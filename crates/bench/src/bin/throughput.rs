@@ -29,8 +29,8 @@ use serde::Serialize;
 
 use tt_bench::{
     check_batched_gate, check_rounds_gate, matches_scalar, measure_overhead, run_parallel_campaign,
-    run_parallel_campaign_legacy, BatchedCampaign, BatchedSample, OverheadSample, RoundsSample,
-    ThroughputBaseline, GATE_N_NODES,
+    run_parallel_campaign_legacy, BatchedCampaign, BatchedSample, HostFingerprint, OverheadSample,
+    RoundsSample, ThroughputBaseline, GATE_N_NODES,
 };
 use tt_fault::{execute_schedule, run_campaign, sec8_classes, ExploreConfig};
 use tt_sim::{ClusterBuilder, NoFaults, TraceMode};
@@ -47,16 +47,12 @@ struct CampaignSample {
     matches_sequential: bool,
 }
 
-/// The machine the numbers were measured on — recorded so a baseline's
-/// provenance is visible when comparing reports across hosts.
-#[derive(Serialize)]
-struct HostSample {
-    logical_cores: usize,
-}
-
 #[derive(Serialize)]
 struct ThroughputReport {
-    host: HostSample,
+    /// The machine the numbers were measured on — recorded so a
+    /// baseline's provenance is visible (and machine-checkable by the
+    /// batched gate) when comparing reports across hosts.
+    host: HostFingerprint,
     rounds: Vec<RoundsSample>,
     campaign: CampaignSample,
     /// `null` when the run was invoked without `--batched`.
@@ -125,7 +121,7 @@ fn campaign_sample() -> CampaignSample {
 /// cluster size, with a sequential scalar cross-check as warm-up and a
 /// one-cluster-per-experiment run of the identical workload as the pooled
 /// reference.
-fn batched_sample() -> BatchedSample {
+fn batched_sample(host: &HostFingerprint) -> BatchedSample {
     let campaign = BatchedCampaign {
         schedule: ExploreConfig {
             n: GATE_N_NODES,
@@ -174,6 +170,7 @@ fn batched_sample() -> BatchedSample {
         pooled_experiments_per_sec,
         batched_over_pooled: batched_experiments_per_sec / pooled_experiments_per_sec,
         matches_scalar: matches,
+        host: Some(host.clone()),
     }
 }
 
@@ -193,6 +190,12 @@ fn main() {
             }
         }
     }
+
+    let host = HostFingerprint::detect();
+    println!(
+        "host: {} logical cores, {}, target {}",
+        host.logical_cores, host.cpu_model, host.target_cpu
+    );
 
     let rounds: Vec<RoundsSample> = [4usize, 8, 16]
         .into_iter()
@@ -220,7 +223,7 @@ fn main() {
     );
 
     let batched = batched.then(|| {
-        let b = batched_sample();
+        let b = batched_sample(&host);
         println!(
             "batched lockstep campaign (N={}, {} rounds, batch {}, {} thread, {} iterations):",
             b.n_nodes, b.rounds_per_experiment, b.batch_size, b.threads, b.iterations
@@ -259,9 +262,7 @@ fn main() {
     );
 
     let report = ThroughputReport {
-        host: HostSample {
-            logical_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
-        },
+        host,
         rounds,
         campaign,
         batched,

@@ -43,8 +43,8 @@ pub use comparison::comparison_report;
 pub use experiments::*;
 pub use observability::{
     canonical_metrics_report, check_batched_gate, check_rounds_gate, lightning_metrics_report,
-    measure_overhead, normalize_report, BatchedSample, OverheadSample, RoundsSample,
-    ThroughputBaseline, GATE_MAX_REGRESSION, GATE_N_NODES,
+    measure_overhead, normalize_report, BatchedSample, HostFingerprint, OverheadSample,
+    RoundsSample, ThroughputBaseline, GATE_MAX_REGRESSION, GATE_N_NODES,
 };
 pub use parallel::{run_parallel_campaign, run_parallel_campaign_legacy, CampaignExecutor};
 pub use supervised::{SupervisedCampaign, SupervisedOutcome, SupervisorConfig};

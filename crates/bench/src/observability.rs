@@ -25,13 +25,75 @@ pub struct RoundsSample {
     pub rounds_per_sec: f64,
 }
 
+/// The machine a benchmark sample was measured on. Throughput numbers are
+/// only comparable between identical hosts, so the fingerprint joins the
+/// workload shape in [`check_batched_gate`]'s like-for-like test: a
+/// baseline measured on different silicon (or with a different
+/// `target-cpu`) skips the comparison instead of mis-gating it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostFingerprint {
+    /// Logical CPU count visible to the process.
+    pub logical_cores: usize,
+    /// The kernel-reported CPU model (`model name` in `/proc/cpuinfo`),
+    /// `"unknown"` where unavailable.
+    pub cpu_model: String,
+    /// The compile-time target: architecture plus the SIMD features the
+    /// binary was built with (e.g. `x86_64[avx2+sse4.2]`).
+    pub target_cpu: String,
+}
+
+impl HostFingerprint {
+    /// Fingerprints the current host and binary.
+    pub fn detect() -> Self {
+        HostFingerprint {
+            logical_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            cpu_model: cpu_model(),
+            target_cpu: target_cpu(),
+        }
+    }
+}
+
+/// The first `model name` entry of `/proc/cpuinfo`, or `"unknown"`.
+fn cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|body| {
+            body.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split_once(':'))
+                .map(|(_, model)| model.trim().to_string())
+        })
+        .filter(|m| !m.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The compile-time architecture and SIMD feature set of this binary —
+/// the observable trace of `-C target-cpu`.
+fn target_cpu() -> String {
+    let features: Vec<&str> = [
+        ("avx512f", cfg!(target_feature = "avx512f")),
+        ("avx2", cfg!(target_feature = "avx2")),
+        ("avx", cfg!(target_feature = "avx")),
+        ("sse4.2", cfg!(target_feature = "sse4.2")),
+        ("neon", cfg!(target_feature = "neon")),
+    ]
+    .into_iter()
+    .filter_map(|(name, on)| on.then_some(name))
+    .collect();
+    if features.is_empty() {
+        std::env::consts::ARCH.to_string()
+    } else {
+        format!("{}[{}]", std::env::consts::ARCH, features.join("+"))
+    }
+}
+
 /// One batched-campaign throughput measurement, as written to
 /// `BENCH_throughput.json` by `throughput --batched` (and read back by
 /// [`check_batched_gate`]). The workload fields exist so the gate can
 /// refuse to compare measurements of different shapes — the schema-drift
 /// fix: a number without its `threads`/`batch_size`/cluster-size context
 /// is not comparable across commits.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct BatchedSample {
     /// Cluster size of every lane.
     pub n_nodes: usize,
@@ -60,6 +122,45 @@ pub struct BatchedSample {
     /// Whether the warm-up campaign's digests matched a sequential scalar
     /// re-derivation ([`crate::matches_scalar`]).
     pub matches_scalar: bool,
+    /// The host the sample was measured on; `None` in baselines committed
+    /// before fingerprints existed (the gate then skips the comparison).
+    pub host: Option<HostFingerprint>,
+}
+
+// Hand-written so a baseline written before host fingerprints existed —
+// no `host` key at all — still parses as `host: None` (the derive treats
+// every missing field as an error, even `Option`s).
+impl serde::Deserialize for BatchedSample {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::DeError::custom("expected map for BatchedSample"))?;
+        let field = |name: &str| {
+            serde::Value::get_field(map, name).ok_or_else(|| {
+                serde::DeError::custom(format!("missing field `{name}` in BatchedSample"))
+            })
+        };
+        Ok(BatchedSample {
+            n_nodes: serde::Deserialize::from_value(field("n_nodes")?)?,
+            rounds_per_experiment: serde::Deserialize::from_value(field("rounds_per_experiment")?)?,
+            experiments: serde::Deserialize::from_value(field("experiments")?)?,
+            batch_size: serde::Deserialize::from_value(field("batch_size")?)?,
+            threads: serde::Deserialize::from_value(field("threads")?)?,
+            iterations: serde::Deserialize::from_value(field("iterations")?)?,
+            batched_experiments_per_sec: serde::Deserialize::from_value(field(
+                "batched_experiments_per_sec",
+            )?)?,
+            pooled_experiments_per_sec: serde::Deserialize::from_value(field(
+                "pooled_experiments_per_sec",
+            )?)?,
+            batched_over_pooled: serde::Deserialize::from_value(field("batched_over_pooled")?)?,
+            matches_scalar: serde::Deserialize::from_value(field("matches_scalar")?)?,
+            host: match serde::Value::get_field(map, "host") {
+                Some(v) => serde::Deserialize::from_value(v)?,
+                None => None,
+            },
+        })
+    }
 }
 
 /// The subset of `BENCH_throughput.json` the CI gate needs. Extra fields
@@ -145,11 +246,13 @@ pub fn check_rounds_gate(
 /// baseline, like for like.
 ///
 /// Returns `Ok` with a skip notice when the baseline has no batched
-/// sample or was measured with a different workload shape (cluster size,
-/// rounds, batch width or thread count) — numbers from different shapes
-/// must not gate each other. Otherwise applies the same
-/// [`GATE_MAX_REGRESSION`] budget as the rounds gate, and additionally
-/// fails if the current run's scalar cross-check failed.
+/// sample, was measured with a different workload shape (cluster size,
+/// rounds, batch width or thread count), or on a different host
+/// ([`HostFingerprint`]: core count, CPU model, `target-cpu` — including
+/// a baseline from before fingerprints existed) — numbers from different
+/// shapes or machines must not gate each other. Otherwise applies the
+/// same [`GATE_MAX_REGRESSION`] budget as the rounds gate, and
+/// additionally fails if the current run's scalar cross-check failed.
 pub fn check_batched_gate(
     baseline: Option<&BatchedSample>,
     current: &BatchedSample,
@@ -188,6 +291,32 @@ pub fn check_batched_gate(
             current.batch_size,
             current.threads,
         ));
+    }
+    // The host fingerprint joins the shape: throughput measured on
+    // different silicon, with a different `target-cpu`, or on a host with
+    // a different core count is not comparable, and a baseline from
+    // before fingerprints existed has unknown provenance.
+    match (&base.host, &current.host) {
+        (Some(b), Some(c)) if b == c => {}
+        (Some(b), Some(c)) => {
+            return Ok(format!(
+                "batched gate: baseline host ({} cores, {:?}, {}) differs from current \
+                 ({} cores, {:?}, {}) — not like-for-like, skipping",
+                b.logical_cores,
+                b.cpu_model,
+                b.target_cpu,
+                c.logical_cores,
+                c.cpu_model,
+                c.target_cpu,
+            ));
+        }
+        _ => {
+            return Ok(
+                "batched gate: baseline or current run lacks a host fingerprint — \
+                 not like-for-like, skipping"
+                    .to_string(),
+            );
+        }
     }
     let floor = base.batched_experiments_per_sec * (1.0 - GATE_MAX_REGRESSION);
     let ratio = current.batched_experiments_per_sec / base.batched_experiments_per_sec;
@@ -483,6 +612,14 @@ mod tests {
         assert!(check_rounds_gate(&base.rounds, &base.rounds).is_ok());
     }
 
+    fn test_host() -> HostFingerprint {
+        HostFingerprint {
+            logical_cores: 8,
+            cpu_model: "Test CPU 3000".into(),
+            target_cpu: "x86_64[avx2]".into(),
+        }
+    }
+
     fn batched_sample(eps: f64) -> BatchedSample {
         BatchedSample {
             n_nodes: GATE_N_NODES,
@@ -495,6 +632,7 @@ mod tests {
             pooled_experiments_per_sec: eps / 5.0,
             batched_over_pooled: 5.0,
             matches_scalar: true,
+            host: Some(test_host()),
         }
     }
 
@@ -531,6 +669,57 @@ mod tests {
         longer.experiments *= 4;
         longer.iterations += 1;
         assert!(check_batched_gate(Some(&longer), &batched_sample(90_000.0)).is_ok());
+    }
+
+    #[test]
+    fn batched_gate_skips_across_hosts() {
+        let base = batched_sample(100_000.0);
+        let current = batched_sample(10.0); // would fail if compared
+        for rehost in [
+            |h: &mut HostFingerprint| h.logical_cores = 1,
+            |h: &mut HostFingerprint| h.cpu_model = "Other CPU".into(),
+            |h: &mut HostFingerprint| h.target_cpu = "x86_64".into(),
+        ] {
+            let mut moved = base.clone();
+            rehost(moved.host.as_mut().unwrap());
+            let verdict = check_batched_gate(Some(&moved), &current).unwrap();
+            assert!(verdict.contains("host"), "{verdict}");
+            assert!(verdict.contains("skipping"), "{verdict}");
+        }
+        // A baseline from before fingerprints existed has unknown
+        // provenance — skip rather than gate.
+        let mut legacy = base.clone();
+        legacy.host = None;
+        let verdict = check_batched_gate(Some(&legacy), &current).unwrap();
+        assert!(verdict.contains("fingerprint"), "{verdict}");
+        // Same host on both sides compares (and here, fails on merit).
+        assert!(check_batched_gate(Some(&base), &current).is_err());
+    }
+
+    #[test]
+    fn batched_sample_parses_with_and_without_host() {
+        let with = serde_json::to_string(&batched_sample(1_000.0)).unwrap();
+        let parsed: BatchedSample = serde_json::from_str(&with).unwrap();
+        assert_eq!(parsed.host, Some(test_host()));
+        // A baseline committed before the `host` field existed.
+        let legacy = r#"{
+            "n_nodes": 8, "rounds_per_experiment": 24, "experiments": 4096,
+            "batch_size": 256, "threads": 1, "iterations": 8,
+            "batched_experiments_per_sec": 100000.0,
+            "pooled_experiments_per_sec": 20000.0,
+            "batched_over_pooled": 5.0, "matches_scalar": true
+        }"#;
+        let parsed: BatchedSample = serde_json::from_str(legacy).unwrap();
+        assert_eq!(parsed.host, None);
+    }
+
+    #[test]
+    fn host_fingerprint_detects_this_machine() {
+        let h = HostFingerprint::detect();
+        assert!(h.logical_cores >= 1);
+        assert!(!h.cpu_model.is_empty());
+        assert!(h.target_cpu.contains(std::env::consts::ARCH));
+        assert_eq!(h, HostFingerprint::detect(), "detection is stable");
     }
 
     #[test]

@@ -113,8 +113,31 @@ pub enum Command {
     },
     /// Print the Table 2 tuning for a domain.
     Tune {
-        /// `"automotive"` or `"aerospace"`.
+        /// `"automotive"` or `"aerospace"` (validated at execution, so
+        /// unknown domains share one error path with `isolation`).
         domain: String,
+    },
+    /// Run a campaign-scale Monte Carlo tuning sweep over a
+    /// `(N, P, R, s, λ)` grid.
+    TuneSweep {
+        /// The grid and sampling parameters.
+        config: tt_analysis::SweepConfig,
+        /// JSON report output path, if any.
+        json: Option<String>,
+        /// Directory for the CSV table exports (Fig. 3 boundary,
+        /// isolation estimators, safety curves), if any.
+        csv_dir: Option<String>,
+        /// Fail (exit 1) when a measured Fig. 3 boundary disagrees with
+        /// the analytic model beyond its Wilson interval.
+        check: bool,
+        /// Checkpoint file path, if checkpointing is enabled.
+        checkpoint: Option<String>,
+        /// Resume from the checkpoint (which carries the grid) instead
+        /// of starting fresh.
+        resume: bool,
+        /// Halt (with a checkpoint) after this many newly completed
+        /// cells.
+        halt_after: Option<u64>,
     },
     /// Print the Table 4 time-to-isolation rows for a domain.
     Isolation {
@@ -297,6 +320,11 @@ fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, ParseError>
         .map_err(|_| ParseError(format!("invalid {what}: {s:?}")))
 }
 
+/// Parses a comma-separated axis value (`--reward 2,8,24`).
+fn parse_list<T: std::str::FromStr>(s: &str, what: &str) -> Result<Vec<T>, ParseError> {
+    s.split(',').map(|v| parse_num(v.trim(), what)).collect()
+}
+
 /// Parses `NODE@ROUND` into `(node, round)`.
 fn parse_at(s: &str, what: &str) -> Result<(u32, u64), ParseError> {
     let (node, round) = s
@@ -390,22 +418,72 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     let rest = &args[1..];
     match cmd.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
-        "tune" | "isolation" => {
-            let domain = match rest.first().map(String::as_str) {
-                None | Some("automotive") => "automotive",
-                Some("aerospace") => "aerospace",
-                Some(other) => {
-                    return err(format!("unknown domain {other:?} (automotive|aerospace)"))
+        "tune" if rest.first().map(String::as_str) == Some("sweep") => {
+            let mut config = tt_analysis::SweepConfig::default();
+            let mut json = None;
+            let mut csv_dir = None;
+            let mut check = false;
+            let mut checkpoint = None;
+            let mut resume = false;
+            let mut halt_after = None;
+            let mut it = rest[1..].iter();
+            while let Some(a) = it.next() {
+                let mut val = |name: &str| -> Result<&String, ParseError> {
+                    it.next()
+                        .ok_or_else(|| ParseError(format!("{name} needs a value")))
+                };
+                match a.as_str() {
+                    "--nodes" => config.nodes = parse_list(val("--nodes")?, "nodes")?,
+                    "--rounds" => config.rounds = parse_list(val("--rounds")?, "rounds")?,
+                    "--penalty" => {
+                        config.penalty_thresholds = parse_list(val("--penalty")?, "penalty")?
+                    }
+                    "--reward" => {
+                        config.reward_thresholds = parse_list(val("--reward")?, "reward")?
+                    }
+                    "--crit" => config.criticalities = parse_list(val("--crit")?, "criticality")?,
+                    "--rate" => config.rates_per_hour = parse_list(val("--rate")?, "rate")?,
+                    "--intermittent" => {
+                        config.intermittent_periods =
+                            parse_list(val("--intermittent")?, "intermittent period")?
+                    }
+                    "--experiments" => {
+                        config.experiments = parse_num(val("--experiments")?, "experiments")?
+                    }
+                    "--batch" => config.batch_size = parse_num(val("--batch")?, "batch size")?,
+                    "--seed" => config.base_seed = parse_num(val("--seed")?, "seed")?,
+                    "--json" => json = Some(val("--json")?.clone()),
+                    "--csv-dir" => csv_dir = Some(val("--csv-dir")?.clone()),
+                    "--check" => check = true,
+                    "--checkpoint" => checkpoint = Some(val("--checkpoint")?.clone()),
+                    "--resume" => resume = true,
+                    "--halt-after" => {
+                        halt_after = Some(parse_num(val("--halt-after")?, "halt count")?)
+                    }
+                    other => return err(format!("unknown tune sweep flag {other:?}")),
                 }
-            };
+            }
+            if resume && checkpoint.is_none() {
+                return err("--resume needs --checkpoint PATH");
+            }
+            Ok(Command::TuneSweep {
+                config,
+                json,
+                csv_dir,
+                check,
+                checkpoint,
+                resume,
+                halt_after,
+            })
+        }
+        "tune" | "isolation" => {
+            // Any domain token parses; `commands::domain_setup` rejects
+            // unknown ones so `tune` and `isolation` share one error path.
+            let domain = rest.first().cloned().unwrap_or_else(|| "automotive".into());
             if cmd == "tune" {
-                Ok(Command::Tune {
-                    domain: domain.into(),
-                })
+                Ok(Command::Tune { domain })
             } else {
-                Ok(Command::Isolation {
-                    domain: domain.into(),
-                })
+                Ok(Command::Isolation { domain })
             }
         }
         "campaign" => {
@@ -732,6 +810,21 @@ USAGE:
                   [--seed S] [--fault SPEC]... [--format jsonl|perfetto|summary]
                   [--out PATH]             provenance spans for each diagnosis
   ttdiag tune [automotive|aerospace]       regenerate the Table 2 tuning
+  ttdiag tune sweep [--nodes LIST] [--rounds LIST] [--penalty LIST]
+                  [--reward LIST] [--crit LIST] [--rate LIST]
+                  [--intermittent LIST] [--experiments N] [--batch N]
+                  [--seed S] [--json PATH] [--csv-dir DIR] [--check]
+                  [--checkpoint PATH] [--resume] [--halt-after CELLS]
+                                           Monte Carlo tuning sweep over the
+                                           (N, P, R, s, lambda) grid: per-cell
+                                           false-isolation probability with
+                                           Wilson CIs, time-to-isolation
+                                           distributions, forgiveness counts;
+                                           measures the Fig. 3 boundary and
+                                           (--check) cross-checks it against
+                                           the analytic model; LIST values are
+                                           comma-separated; checkpointed runs
+                                           halt/resume byte-identically
   ttdiag isolation [automotive|aerospace]  Table 4 time-to-isolation rows
   ttdiag campaign [--reps N] [--json PATH] [--threads T]
                   [--checkpoint PATH] [--checkpoint-every N] [--resume]
@@ -784,6 +877,7 @@ EXAMPLES:
   ttdiag replay trace.json --penalty 10
   ttdiag simulate --nodes 6 --rounds 200 --fault noise:0.05 --penalty 10 --reward 50
   ttdiag tune aerospace
+  ttdiag tune sweep --reward 2,8,24 --rate 72000 --json sweep.json --check
   ttdiag campaign --reps 100 --json results.json
   ttdiag explore --budget 150 --seed 7 --corpus tests/corpus --repro repros/
 ";
@@ -1022,7 +1116,76 @@ mod tests {
                 domain: "aerospace".into()
             }
         );
-        assert!(parse(&args("tune maritime")).is_err());
+        // Unknown domains parse; `commands::domain_setup` rejects them with
+        // a usage error so `tune` and `isolation` share one error path.
+        assert_eq!(
+            parse(&args("tune maritime")).unwrap(),
+            Command::Tune {
+                domain: "maritime".into()
+            }
+        );
+        assert_eq!(
+            parse(&args("isolation maritime")).unwrap(),
+            Command::Isolation {
+                domain: "maritime".into()
+            }
+        );
+    }
+
+    #[test]
+    fn tune_sweep_defaults_and_flags() {
+        let c = parse(&args("tune sweep")).unwrap();
+        assert_eq!(
+            c,
+            Command::TuneSweep {
+                config: tt_analysis::SweepConfig::default(),
+                json: None,
+                csv_dir: None,
+                check: false,
+                checkpoint: None,
+                resume: false,
+                halt_after: None,
+            }
+        );
+        let c = parse(&args(
+            "tune sweep --nodes 4 --rounds 48 --penalty 1 --reward 2,8 --crit 1 \
+             --rate 72000,1400 --intermittent 0 --experiments 32 --batch 8 --seed 3 \
+             --json s.json --csv-dir tables/ --check --checkpoint cp.json --halt-after 2",
+        ))
+        .unwrap();
+        match c {
+            Command::TuneSweep {
+                config,
+                json,
+                csv_dir,
+                check,
+                checkpoint,
+                resume,
+                halt_after,
+            } => {
+                assert_eq!(config.nodes, vec![4]);
+                assert_eq!(config.rounds, vec![48]);
+                assert_eq!(config.penalty_thresholds, vec![1]);
+                assert_eq!(config.reward_thresholds, vec![2, 8]);
+                assert_eq!(config.criticalities, vec![1]);
+                assert_eq!(config.rates_per_hour, vec![72_000.0, 1_400.0]);
+                assert_eq!(config.intermittent_periods, vec![0]);
+                assert_eq!((config.experiments, config.batch_size), (32, 8));
+                assert_eq!(config.base_seed, 3);
+                assert_eq!(json, Some("s.json".into()));
+                assert_eq!(csv_dir, Some("tables/".into()));
+                assert!(check);
+                assert_eq!(checkpoint, Some("cp.json".into()));
+                assert!(!resume);
+                assert_eq!(halt_after, Some(2));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&args("tune sweep --rate bogus")).is_err());
+        assert!(parse(&args("tune sweep --reward")).is_err());
+        assert!(parse(&args("tune sweep --warp 9")).is_err());
+        assert!(parse(&args("tune sweep --resume")).is_err());
+        assert!(parse(&args("tune sweep --resume --checkpoint cp.json")).is_ok());
     }
 
     #[test]

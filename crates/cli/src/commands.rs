@@ -5,9 +5,11 @@ use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use tt_analysis::{
-    aerospace_setup, automotive_setup, availability_of, group_chains, measure_time_to_isolation,
-    render_explore_summary, render_provenance_summary, render_supervision_summary, spans_to_jsonl,
-    spans_to_perfetto, tune, LatencySummary, Table, LATENCY_BOUND_ROUNDS,
+    aerospace_setup, automotive_setup, availability_of, check_analytic_agreement, fig3_csv,
+    group_chains, isolation_csv, measure_time_to_isolation, render_explore_summary,
+    render_provenance_summary, render_supervision_summary, render_sweep_summary, resume_sweep,
+    run_sweep, safety_curve_csv, spans_to_jsonl, spans_to_perfetto, sweep_json, tune, DomainSetup,
+    LatencySummary, SweepCheckpoint, SweepConfig, SweepSupervisor, Table, LATENCY_BOUND_ROUNDS,
 };
 use tt_bench::{SupervisedCampaign, SupervisorConfig};
 use tt_core::properties::{check_diag_cluster, checkable_rounds};
@@ -73,8 +75,25 @@ fn internal(msg: impl Into<String>) -> CliError {
 pub fn run(cmd: Command) -> Result<String, CliError> {
     match cmd {
         Command::Help => Ok(crate::args::USAGE.to_string()),
-        Command::Tune { domain } => Ok(tune_report(&domain)),
-        Command::Isolation { domain } => Ok(isolation_report(&domain)),
+        Command::Tune { domain } => tune_report(&domain),
+        Command::Isolation { domain } => isolation_report(&domain),
+        Command::TuneSweep {
+            config,
+            json,
+            csv_dir,
+            check,
+            checkpoint,
+            resume,
+            halt_after,
+        } => tune_sweep(TuneSweepOpts {
+            config,
+            json,
+            csv_dir,
+            check,
+            checkpoint,
+            resume,
+            halt_after,
+        }),
         Command::Campaign {
             reps,
             json,
@@ -471,12 +490,21 @@ fn trace(
     }
 }
 
-fn tune_report(domain: &str) -> String {
-    let setup = if domain == "aerospace" {
-        aerospace_setup()
-    } else {
-        automotive_setup()
-    };
+/// The one domain-token validation behind `tune` and `isolation`: the
+/// parser passes any token through, and an unknown one fails here as a
+/// usage error (exit 2) rather than silently falling back to a default.
+fn domain_setup(domain: &str) -> Result<DomainSetup, CliError> {
+    match domain {
+        "automotive" => Ok(automotive_setup()),
+        "aerospace" => Ok(aerospace_setup()),
+        other => Err(usage(format!(
+            "unknown domain {other:?} (automotive|aerospace)"
+        ))),
+    }
+}
+
+fn tune_report(domain: &str) -> Result<String, CliError> {
+    let setup = domain_setup(domain)?;
     let tuned = tune(&setup);
     let mut out = format!("{} tuning (paper Table 2 procedure):\n\n", tuned.domain);
     let mut t = Table::new(vec![
@@ -498,19 +526,15 @@ fn tune_report(domain: &str) -> String {
         "\nP = {}   R = {:.0e}   T = {}\n",
         tuned.penalty_threshold, tuned.reward_threshold as f64, tuned.round
     ));
-    out
+    Ok(out)
 }
 
-fn isolation_report(domain: &str) -> String {
-    let (setup, scenario, paper) = if domain == "aerospace" {
-        (
-            aerospace_setup(),
-            TransientScenario::lightning_bolt(),
-            vec!["0.205 s"],
-        )
+fn isolation_report(domain: &str) -> Result<String, CliError> {
+    let setup = domain_setup(domain)?;
+    let (scenario, paper) = if domain == "aerospace" {
+        (TransientScenario::lightning_bolt(), vec!["0.205 s"])
     } else {
         (
-            automotive_setup(),
             TransientScenario::blinking_light(),
             vec!["0.518 s", "4.595 s", "24.475 s"],
         )
@@ -541,7 +565,79 @@ fn isolation_report(domain: &str) -> String {
         ]);
     }
     out.push_str(&t.render());
-    out
+    Ok(out)
+}
+
+/// The tune-sweep command's flag surface, bundled.
+struct TuneSweepOpts {
+    config: SweepConfig,
+    json: Option<String>,
+    csv_dir: Option<String>,
+    check: bool,
+    checkpoint: Option<String>,
+    resume: bool,
+    halt_after: Option<u64>,
+}
+
+fn tune_sweep(opts: TuneSweepOpts) -> Result<String, CliError> {
+    let supervisor = SweepSupervisor {
+        checkpoint_path: opts.checkpoint.as_ref().map(PathBuf::from),
+        halt_after_cells: opts.halt_after,
+    };
+    let map_sweep_err = |e: std::io::Error| match e.kind() {
+        std::io::ErrorKind::InvalidInput | std::io::ErrorKind::InvalidData => usage(e.to_string()),
+        _ => internal(e.to_string()),
+    };
+    // A resumed sweep carries its grid in the checkpoint; command-line grid
+    // flags apply only to fresh runs (mirroring `campaign` and `explore`).
+    let outcome = if opts.resume {
+        let path = opts
+            .checkpoint
+            .as_ref()
+            .expect("the parser rejects --resume without --checkpoint");
+        let cp: SweepCheckpoint = tt_fault::read_json(Path::new(path))
+            .map_err(|e| internal(format!("reading checkpoint {path}: {e}")))?;
+        resume_sweep(cp, &supervisor).map_err(map_sweep_err)?
+    } else {
+        run_sweep(&opts.config, &supervisor).map_err(map_sweep_err)?
+    };
+    let report = &outcome.report;
+    let mut out = render_sweep_summary(report);
+    if let Some(path) = &opts.json {
+        std::fs::write(path, sweep_json(report))
+            .map_err(|e| internal(format!("writing {path}: {e}")))?;
+        out.push_str(&format!("\nwrote sweep report to {path}\n"));
+    }
+    if let Some(dir) = &opts.csv_dir {
+        let dir = Path::new(dir);
+        std::fs::create_dir_all(dir)
+            .map_err(|e| internal(format!("creating {}: {e}", dir.display())))?;
+        for (name, body) in [
+            ("fig3_boundary.csv", fig3_csv(report)),
+            ("isolation.csv", isolation_csv(report)),
+            ("safety_curves.csv", safety_curve_csv(report)),
+        ] {
+            let path = dir.join(name);
+            std::fs::write(&path, body)
+                .map_err(|e| internal(format!("writing {}: {e}", path.display())))?;
+        }
+        out.push_str(&format!("\nwrote CSV tables to {}\n", dir.display()));
+    }
+    if outcome.halted {
+        out.push_str(&format!(
+            "\nhalted after {}/{} cells; resume with --resume --checkpoint PATH\n",
+            report.cells.len(),
+            outcome.total_cells
+        ));
+        // An incomplete grid has nothing final to check against.
+        return Ok(out);
+    }
+    if opts.check {
+        if let Err(disagreement) = check_analytic_agreement(report) {
+            return Err(CliError::Counterexample(format!("{out}\n{disagreement}")));
+        }
+    }
+    Ok(out)
 }
 
 /// The campaign command's flag surface, bundled.
@@ -835,6 +931,146 @@ mod tests {
         })
         .unwrap();
         assert!(aero.contains("P = 17"), "{aero}");
+    }
+
+    #[test]
+    fn unknown_domains_are_usage_errors_in_both_commands() {
+        for cmd in [
+            Command::Tune {
+                domain: "maritime".into(),
+            },
+            Command::Isolation {
+                domain: "maritime".into(),
+            },
+        ] {
+            let e = run(cmd).unwrap_err();
+            assert_eq!(e.exit_code(), 2, "{e}");
+            assert!(e.to_string().contains("unknown domain"), "{e}");
+        }
+    }
+
+    /// A one-cell sweep small enough for a unit test.
+    fn tiny_sweep_cmd() -> Command {
+        Command::TuneSweep {
+            config: SweepConfig {
+                nodes: vec![4],
+                rounds: vec![32],
+                penalty_thresholds: vec![1],
+                reward_thresholds: vec![4],
+                criticalities: vec![1],
+                rates_per_hour: vec![72_000.0],
+                intermittent_periods: vec![0],
+                experiments: 32,
+                batch_size: 16,
+                base_seed: 11,
+            },
+            json: None,
+            csv_dir: None,
+            check: false,
+            checkpoint: None,
+            resume: false,
+            halt_after: None,
+        }
+    }
+
+    #[test]
+    fn tune_sweep_renders_and_exports() {
+        let dir = std::env::temp_dir().join("ttdiag_cli_test_sweep");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let json = dir.join("sweep.json");
+        let Command::TuneSweep { config, .. } = tiny_sweep_cmd() else {
+            unreachable!()
+        };
+        let out = run(Command::TuneSweep {
+            config,
+            json: Some(json.to_string_lossy().into_owned()),
+            csv_dir: Some(dir.to_string_lossy().into_owned()),
+            check: false,
+            checkpoint: None,
+            resume: false,
+            halt_after: None,
+        })
+        .unwrap();
+        assert!(out.contains("tune sweep: 1 cells"), "{out}");
+        let report: tt_analysis::SweepReport =
+            serde_json::from_str(&std::fs::read_to_string(&json).unwrap()).unwrap();
+        assert_eq!(report.cells.len(), 1);
+        for table in ["fig3_boundary.csv", "isolation.csv", "safety_curves.csv"] {
+            assert!(dir.join(table).is_file(), "{table} written");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tune_sweep_rejects_invalid_grids_as_usage_errors() {
+        let Command::TuneSweep { mut config, .. } = tiny_sweep_cmd() else {
+            unreachable!()
+        };
+        config.nodes = vec![3];
+        let e = run(Command::TuneSweep {
+            config,
+            json: None,
+            csv_dir: None,
+            check: false,
+            checkpoint: None,
+            resume: false,
+            halt_after: None,
+        })
+        .unwrap_err();
+        assert_eq!(e.exit_code(), 2, "{e}");
+    }
+
+    #[test]
+    fn tune_sweep_halt_then_resume_matches_uninterrupted() {
+        let dir = std::env::temp_dir().join("ttdiag_cli_test_sweep_halt");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let cp = dir.join("cp.json");
+        let full_json = dir.join("full.json");
+        let resumed_json = dir.join("resumed.json");
+        let Command::TuneSweep { mut config, .. } = tiny_sweep_cmd() else {
+            unreachable!()
+        };
+        config.intermittent_periods = vec![0, 3]; // two cells to halt between
+        let uninterrupted = run(Command::TuneSweep {
+            config: config.clone(),
+            json: Some(full_json.to_string_lossy().into_owned()),
+            csv_dir: None,
+            check: false,
+            checkpoint: None,
+            resume: false,
+            halt_after: None,
+        })
+        .unwrap();
+        assert!(!uninterrupted.contains("halted"), "{uninterrupted}");
+        let halted = run(Command::TuneSweep {
+            config: config.clone(),
+            json: None,
+            csv_dir: None,
+            check: false,
+            checkpoint: Some(cp.to_string_lossy().into_owned()),
+            resume: false,
+            halt_after: Some(1),
+        })
+        .unwrap();
+        assert!(halted.contains("halted after 1/2 cells"), "{halted}");
+        run(Command::TuneSweep {
+            config,
+            json: Some(resumed_json.to_string_lossy().into_owned()),
+            csv_dir: None,
+            check: false,
+            checkpoint: Some(cp.to_string_lossy().into_owned()),
+            resume: true,
+            halt_after: None,
+        })
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&full_json).unwrap(),
+            std::fs::read(&resumed_json).unwrap(),
+            "resumed sweep is byte-identical to the uninterrupted one"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// A `Command::Campaign` with every supervision flag at its default.

@@ -38,6 +38,60 @@ fn bad_flag_value_is_a_usage_error() {
 }
 
 #[test]
+fn unknown_domain_is_a_usage_error_in_tune_and_isolation() {
+    // Both commands route through the same `domain_setup` validation, so
+    // an unknown domain is a usage error (2) — not a silent default.
+    for cmd in ["tune", "isolation"] {
+        let out = ttdiag()
+            .args([cmd, "maritime"])
+            .output()
+            .expect("spawn ttdiag");
+        assert_eq!(out.status.code(), Some(2), "{cmd}: {out:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("unknown domain"), "{cmd}: {stderr}");
+    }
+}
+
+#[test]
+fn bad_tune_sweep_axis_is_a_usage_error() {
+    let out = ttdiag()
+        .args(["tune", "sweep", "--rate", "bogus"])
+        .output()
+        .expect("spawn ttdiag");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn tiny_tune_sweep_exits_zero() {
+    let out = ttdiag()
+        .args([
+            "tune",
+            "sweep",
+            "--nodes",
+            "4",
+            "--rounds",
+            "32",
+            "--penalty",
+            "1",
+            "--reward",
+            "4",
+            "--crit",
+            "1",
+            "--intermittent",
+            "0",
+            "--experiments",
+            "16",
+            "--batch",
+            "8",
+        ])
+        .output()
+        .expect("spawn ttdiag");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("tune sweep: 1 cells"), "{stdout}");
+}
+
+#[test]
 fn missing_replay_trace_is_an_internal_error() {
     let out = ttdiag()
         .args(["replay", "/nonexistent/ttdiag-no-such.json"])

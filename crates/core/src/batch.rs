@@ -72,6 +72,8 @@ pub struct BatchDiagJob {
     row_prev: Vec<u64>,
     /// Isolation decisions per `[lane * n + observer]`.
     isolations: Vec<Vec<IsolationEvent>>,
+    /// Forgiveness events per lane, summed over observers and subjects.
+    fgv: Vec<u64>,
     record: bool,
     /// Health vectors per `[lane * n + observer]` (recording mode only).
     health_logs: Vec<Vec<HealthRecord>>,
@@ -137,6 +139,7 @@ impl BatchDiagJob {
             row_tx: vec![all_ok; n * b],
             row_prev: vec![0; n * b],
             isolations: vec![Vec::new(); n * b],
+            fgv: vec![0; b],
             record: false,
             health_logs: vec![Vec::new(); n * b],
             counter_logs: vec![Vec::new(); n * b],
@@ -208,6 +211,13 @@ impl BatchDiagJob {
     /// order (always tracked, in every mode).
     pub fn isolation_events(&self, lane: usize, i: usize) -> &[IsolationEvent] {
         &self.isolations[lane * self.n + i]
+    }
+
+    /// Forgiveness events in `lane` — every reward run reaching `R` and
+    /// zeroing a pending penalty, summed over all observers and subjects
+    /// (always tracked, in every mode).
+    pub fn forgiveness(&self, lane: usize) -> u64 {
+        self.fgv[lane]
     }
 
     /// Observer `i`'s health-vector log in `lane` (recording mode only;
@@ -415,6 +425,7 @@ impl BatchDiagJob {
                 let live = &lanes.live()[..b];
                 let hv = &self.hv[..b];
                 let iso = &mut self.iso[..b];
+                let fgv = &mut self.fgv[..b];
                 let pthresh = &self.pthresh[..b];
                 let rthresh = &self.rthresh[..b];
                 for j in 0..n {
@@ -437,6 +448,7 @@ impl BatchDiagJob {
                         let keep = 0u64.wrapping_sub(forgive ^ 1);
                         pen[lane] = p1 & keep;
                         rew[lane] = r1 & keep;
+                        fgv[lane] += forgive;
                         iso[lane] |= (faulty & (p1 > pthresh[lane]) as u64) << j;
                     }
                 }

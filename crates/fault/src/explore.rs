@@ -52,11 +52,11 @@ use tt_sim::{
 
 /// The diagnosis lag of the conservative send alignment used throughout
 /// the campaign configs (and by this explorer).
-const LAG: u64 = 3;
+pub const LAG: u64 = 3;
 
 /// The first round in which a scheduled fault may fire (earlier rounds are
 /// still filling the diagnosis pipeline).
-const MIN_FAULT_ROUND: u64 = 4;
+pub const MIN_FAULT_ROUND: u64 = 4;
 
 /// The class of one scheduled fault, mirroring the paper's fault taxonomy
 /// (benign / symmetric malicious / asymmetric).
@@ -222,6 +222,15 @@ pub fn no_extra_oracle(_: &Cluster) -> Vec<String> {
     Vec::new()
 }
 
+/// A bus pipeline injecting `schedule`'s fault list verbatim (first
+/// matching fault wins per slot), for callers building their own clusters
+/// around a schedule — e.g. the sampled-workload observers.
+pub fn schedule_pipeline(schedule: &FaultSchedule) -> Box<dyn FaultPipeline> {
+    Box::new(SchedulePipeline {
+        faults: schedule.faults.clone(),
+    })
+}
+
 /// Executes `schedule` and checks it against the built-in oracle stack.
 pub fn execute_schedule(schedule: &FaultSchedule) -> ScheduleExec {
     execute_schedule_with_oracle(schedule, &no_extra_oracle)
@@ -280,7 +289,7 @@ pub fn execute_schedule_with_oracle(
 }
 
 /// A round length close to the paper's 2.5 ms that divides into `n` slots.
-fn round_for(n: usize) -> tt_sim::Nanos {
+pub fn round_for(n: usize) -> tt_sim::Nanos {
     tt_sim::Nanos::from_nanos(2_500_000 - (2_500_000 % n as u64))
 }
 
@@ -425,8 +434,15 @@ impl Default for ExploreConfig {
 impl ExploreConfig {
     /// The last round a fault may fire in.
     fn max_fault_round(&self) -> u64 {
-        self.rounds.saturating_sub(LAG + 2).max(MIN_FAULT_ROUND)
+        max_fault_round(self.rounds)
     }
+}
+
+/// The last round a fault may fire in so that its diagnosis (and any
+/// isolation decision `LAG` rounds later) still lands within a `rounds`
+/// budget.
+pub fn max_fault_round(rounds: u64) -> u64 {
+    rounds.saturating_sub(LAG + 2).max(MIN_FAULT_ROUND)
 }
 
 /// A violation found by the explorer, with its delta-debugged reproducer.

@@ -46,6 +46,7 @@ pub mod harness;
 pub mod injector;
 pub mod malicious;
 pub mod noise;
+pub mod sampled;
 pub mod scenario;
 
 pub use batch_eval::{execute_schedules_batched, lane_params, lane_plan};
@@ -62,9 +63,9 @@ pub use checkpoint::{
 };
 pub use explore::{
     execute_schedule, execute_schedule_with_oracle, explore, explore_with, load_corpus,
-    no_extra_oracle, save_schedule, seeded_schedule, shrink_schedule, Counterexample,
-    ExploreConfig, ExploreReport, Explorer, FaultSchedule, ScheduleExec, ScheduleVerdict,
-    ScheduledClass, ScheduledFault, Strategy,
+    max_fault_round, no_extra_oracle, round_for, save_schedule, schedule_pipeline, seeded_schedule,
+    shrink_schedule, Counterexample, ExploreConfig, ExploreReport, Explorer, FaultSchedule,
+    ScheduleExec, ScheduleVerdict, ScheduledClass, ScheduledFault, Strategy, LAG, MIN_FAULT_ROUND,
 };
 pub use harness::{
     BackoffPolicy, ChaosPlan, HarnessFault, HarnessFaultHook, NoHarnessFaults, QuarantineReason,
@@ -73,4 +74,9 @@ pub use harness::{
 pub use injector::{Disturbance, DisturbanceNode};
 pub use malicious::{AsymmetricDisturbance, CliquePartition, RandomSyndromeJob};
 pub use noise::{RandomNoise, Spike};
+pub use sampled::{
+    first_victim_arrival, observe_schedule, observe_schedules_batched, sampled_schedule,
+    victim_arrivals, ObservedIsolation, ScheduleObservation, TransientCell, DECISION_LAG,
+    INTERMITTENT_NODE, VICTIM_NODE,
+};
 pub use scenario::TransientScenario;

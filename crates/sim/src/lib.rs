@@ -61,6 +61,7 @@ pub mod hash;
 pub mod job;
 pub mod metrics;
 pub mod node;
+pub mod poisson;
 pub mod schedule;
 pub mod time;
 pub mod timeline;
@@ -88,6 +89,7 @@ pub use metrics::{
     NamedHistogram, NoopSink, RecordingSink, NOOP_SINK,
 };
 pub use node::{JobSlot, Node, ScheduleSource};
+pub use poisson::{per_round_probability, sample_arrival_rounds};
 pub use schedule::{CommunicationSchedule, NodeSchedule, SlotPosition};
 pub use time::{Nanos, NodeId, RoundIndex};
 // The ground-truth *injected-fault* trace (what the fault pipeline did to

@@ -1,0 +1,106 @@
+//! Seeded Poisson transient arrivals, discretized to TDMA rounds.
+//!
+//! The Sec. 9 trade-off model treats independent external transients as a
+//! Poisson process with rate `λ`. On a time-triggered bus a transient is
+//! only observable at slot/round granularity, so the Monte Carlo tuning
+//! sweeps discretize the process to one Bernoulli trial per round with
+//! success probability `p = 1 − exp(−λ·T)` — the probability of at least
+//! one arrival within a round of length `T`.
+//!
+//! The discretization is *exact* for the quantity the tuning studies
+//! estimate: the probability that another arrival falls within `R` rounds
+//! of a given one is `1 − (1 − p)^R = 1 − exp(−λ·R·T)`, precisely the
+//! analytic false-correlation probability of the Fig. 3 model
+//! (`tt_analysis::correlation_probability`). Sampling per round rather
+//! than drawing exponential gaps keeps the draw count — and therefore the
+//! RNG stream position — a pure function of the sampled round range, which
+//! the sweep checkpoints rely on for byte-identical halt/resume.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::time::Nanos;
+
+/// Probability of at least one Poisson arrival at `rate_per_hour` within
+/// one round of length `round`.
+///
+/// # Panics
+///
+/// Panics if `rate_per_hour` is negative or not finite.
+pub fn per_round_probability(rate_per_hour: f64, round: Nanos) -> f64 {
+    assert!(
+        rate_per_hour.is_finite() && rate_per_hour >= 0.0,
+        "invalid rate: {rate_per_hour}"
+    );
+    1.0 - (-rate_per_hour * round.as_secs_f64() / 3600.0).exp()
+}
+
+/// Samples which rounds in `first..=last` contain at least one Poisson
+/// arrival, as one Bernoulli trial per round under a generator seeded with
+/// `seed`. Returns the arrival rounds in increasing order (empty when
+/// `first > last`).
+///
+/// Deterministic: the same `(rate, round, first, last, seed)` always
+/// yields the same arrivals.
+pub fn sample_arrival_rounds(
+    rate_per_hour: f64,
+    round: Nanos,
+    first: u64,
+    last: u64,
+    seed: u64,
+) -> Vec<u64> {
+    let p = per_round_probability(rate_per_hour, round);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    if first > last {
+        return out;
+    }
+    for r in first..=last {
+        if rng.gen_bool(p) {
+            out.push(r);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: Nanos = Nanos::from_micros(2_500);
+
+    #[test]
+    fn per_round_probability_matches_closed_form() {
+        // λ·T in hours for λ = 72 000/h, T = 2.5 ms: 0.05.
+        let p = per_round_probability(72_000.0, T);
+        assert!((p - (1.0 - (-0.05f64).exp())).abs() < 1e-15);
+        assert_eq!(per_round_probability(0.0, T), 0.0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_in_range() {
+        let a = sample_arrival_rounds(72_000.0, T, 4, 200, 7);
+        let b = sample_arrival_rounds(72_000.0, T, 4, 200, 7);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+        assert!(a.iter().all(|&r| (4..=200).contains(&r)));
+        let c = sample_arrival_rounds(72_000.0, T, 4, 200, 8);
+        assert_ne!(a, c, "different seeds draw different arrivals");
+    }
+
+    #[test]
+    fn zero_rate_never_arrives_and_empty_range_is_empty() {
+        assert!(sample_arrival_rounds(0.0, T, 4, 1_000, 1).is_empty());
+        assert!(sample_arrival_rounds(1e9, T, 10, 9, 1).is_empty());
+    }
+
+    #[test]
+    fn empirical_rate_tracks_p() {
+        // 20 000 rounds at p ≈ 0.0488 ⇒ ~976 arrivals; loose 3σ band.
+        let p = per_round_probability(72_000.0, T);
+        let n = sample_arrival_rounds(72_000.0, T, 0, 19_999, 42).len() as f64;
+        let expect = 20_000.0 * p;
+        let sigma = (20_000.0 * p * (1.0 - p)).sqrt();
+        assert!((n - expect).abs() < 3.0 * sigma, "n = {n}, expect {expect}");
+    }
+}
