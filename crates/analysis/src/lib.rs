@@ -23,6 +23,9 @@
 //!   and JSONL/Perfetto export for `ttdiag trace`;
 //! * [`exploration`] — consumers of the `tt-fault` coverage-guided fault
 //!   explorer: frontier summaries for `ttdiag explore`;
+//! * [`live`] — incremental aggregation of the `ttdiag serve` live feeds:
+//!   sequence-gap accounting and the one-line job summaries behind
+//!   `ttdiag watch`;
 //! * [`supervision`] — the quarantine/retry/worker-health section of
 //!   supervised campaign reports;
 //! * [`sweep`] — campaign-scale Monte Carlo tuning sweeps over
@@ -42,6 +45,7 @@ pub mod chart;
 pub mod correlation;
 pub mod exploration;
 pub mod isolation;
+pub mod live;
 pub mod observability;
 pub mod provenance;
 pub mod report;
@@ -57,10 +61,11 @@ pub use chart::{line_chart, step_chart};
 pub use correlation::{correlation_probability, max_reward_threshold, CorrelationPoint};
 pub use exploration::render_explore_summary;
 pub use isolation::{measure_time_to_isolation, IsolationMeasurement};
+pub use live::{GapTracker, LiveJobView};
 pub use observability::{events_to_csv, render_summary, EventSummary, EVENTS_CSV_HEADER};
 pub use provenance::{
-    group_chains, render_provenance_summary, spans_to_jsonl, spans_to_perfetto, LatencySummary,
-    ProvenanceChain, LATENCY_BOUND_ROUNDS,
+    group_chains, parse_spans_jsonl, render_provenance_summary, spans_to_jsonl, spans_to_perfetto,
+    LatencySummary, ProvenanceChain, LATENCY_BOUND_ROUNDS,
 };
 pub use report::{ExperimentRecord, ReportBuilder};
 pub use sensitivity::{burst_length_sweep, penalty_sweep, reward_sweep};

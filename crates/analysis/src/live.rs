@@ -1,0 +1,296 @@
+//! Incremental aggregation of live feeds for `ttdiag watch` and
+//! `ttdiag tail`.
+//!
+//! A live subscriber consumes [`Framed`] events from a `StreamHub` feed
+//! (possibly with gaps, if it fell behind and the hub evicted frames from
+//! its ring). [`GapTracker`] verifies sequence continuity and accounts for
+//! any gap, and [`LiveJobView`] folds the `progress` feed into a one-line
+//! terminal summary per update — the incremental counterpart of the batch
+//! report renderers.
+
+use tt_sim::{Framed, ProgressEvent};
+
+/// Sequence-continuity accounting for one feed subscription.
+///
+/// Feed sequence numbers are feed-global and monotone, so a subscriber
+/// that keeps up sees consecutive `seq` values; any jump is exactly the
+/// number of frames the hub evicted for that subscriber.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GapTracker {
+    next: Option<u64>,
+    /// Frames observed.
+    pub seen: u64,
+    /// Frames skipped over (sum of all observed seq gaps).
+    pub missed: u64,
+}
+
+impl GapTracker {
+    /// A tracker that has seen nothing yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one observed sequence number; returns the gap before it
+    /// (0 when contiguous).
+    pub fn observe(&mut self, seq: u64) -> u64 {
+        let gap = match self.next {
+            Some(expected) => seq.saturating_sub(expected),
+            // The first frame a late subscriber sees is not a drop.
+            None => 0,
+        };
+        self.next = Some(seq + 1);
+        self.seen += 1;
+        self.missed += gap;
+        gap
+    }
+
+    /// Whether every observed frame was contiguous.
+    pub fn gap_free(&self) -> bool {
+        self.missed == 0
+    }
+}
+
+/// Incremental state of one job, folded from the `progress` feed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LiveJobView {
+    /// The job id this view follows.
+    pub job: u64,
+    /// Job kind label, once a `job_started` event was seen.
+    pub kind: String,
+    /// Items settled so far.
+    pub completed: u64,
+    /// Total items (0 until the first event carrying it).
+    pub total: u64,
+    /// Items quarantined so far.
+    pub quarantined: u64,
+    /// Checkpoints written so far.
+    pub checkpoint_seq: u64,
+    /// Most recent per-chunk throughput (items/s).
+    pub items_per_sec: f64,
+    /// Terminal verdict, once `job_finished` was seen.
+    pub passed: Option<bool>,
+    /// Whether the job halted (resumable) rather than finished.
+    pub halted: bool,
+    /// Sequence continuity of the watched feed.
+    pub gaps: GapTracker,
+}
+
+impl LiveJobView {
+    /// A view following job `job`.
+    pub fn new(job: u64) -> Self {
+        LiveJobView {
+            job,
+            ..LiveJobView::default()
+        }
+    }
+
+    /// Whether the job reached a terminal or parked state.
+    pub fn done(&self) -> bool {
+        self.passed.is_some() || self.halted
+    }
+
+    /// Folds one framed progress event into the view. Frames for other
+    /// jobs are counted for gap accounting but otherwise ignored; returns
+    /// whether the view changed (i.e. the frame was for this job).
+    pub fn apply(&mut self, frame: &Framed<ProgressEvent>) -> bool {
+        self.gaps.observe(frame.seq);
+        if frame.event.job() != self.job {
+            return false;
+        }
+        match &frame.event {
+            ProgressEvent::JobStarted {
+                kind,
+                total,
+                resumed_from,
+                ..
+            } => {
+                self.kind = kind.clone();
+                self.total = *total;
+                self.completed = *resumed_from;
+                self.halted = false;
+            }
+            ProgressEvent::Settled {
+                completed,
+                total,
+                quarantined,
+                ..
+            } => {
+                self.completed = *completed;
+                self.total = *total;
+                self.quarantined = *quarantined;
+            }
+            ProgressEvent::Chunk {
+                completed,
+                total,
+                quarantined,
+                checkpoint_seq,
+                items_per_sec,
+                ..
+            } => {
+                self.completed = *completed;
+                self.total = *total;
+                self.quarantined = *quarantined;
+                self.checkpoint_seq = *checkpoint_seq;
+                self.items_per_sec = *items_per_sec;
+            }
+            ProgressEvent::Halted {
+                completed,
+                checkpoint_seq,
+                ..
+            } => {
+                self.completed = *completed;
+                self.checkpoint_seq = *checkpoint_seq;
+                self.halted = true;
+            }
+            ProgressEvent::JobFinished {
+                completed,
+                total,
+                quarantined,
+                passed,
+                ..
+            } => {
+                self.completed = *completed;
+                self.total = *total;
+                self.quarantined = *quarantined;
+                self.passed = Some(*passed);
+            }
+        }
+        true
+    }
+
+    /// The one-line terminal summary `ttdiag watch` redraws per update.
+    pub fn render_line(&self) -> String {
+        let kind = if self.kind.is_empty() {
+            "job"
+        } else {
+            &self.kind
+        };
+        let mut line = format!(
+            "job {} [{kind}] {}/{} settled",
+            self.job, self.completed, self.total
+        );
+        if self.quarantined > 0 {
+            line.push_str(&format!(", {} quarantined", self.quarantined));
+        }
+        if self.checkpoint_seq > 0 {
+            line.push_str(&format!(", checkpoint #{}", self.checkpoint_seq));
+        }
+        if self.items_per_sec > 0.0 {
+            line.push_str(&format!(", {:.1} items/s", self.items_per_sec));
+        }
+        match self.passed {
+            Some(true) => line.push_str(" — PASS"),
+            Some(false) => line.push_str(" — FAIL"),
+            None if self.halted => line.push_str(" — halted (resumable)"),
+            None => {}
+        }
+        if self.gaps.missed > 0 {
+            line.push_str(&format!(" [{} frames missed]", self.gaps.missed));
+        }
+        line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(seq: u64, event: ProgressEvent) -> Framed<ProgressEvent> {
+        Framed { seq, event }
+    }
+
+    #[test]
+    fn gap_tracker_counts_exact_gaps() {
+        let mut t = GapTracker::new();
+        // A late joiner's first frame is not a gap.
+        assert_eq!(t.observe(5), 0);
+        assert_eq!(t.observe(6), 0);
+        assert_eq!(t.observe(9), 2);
+        assert_eq!(t.observe(10), 0);
+        assert_eq!(t.seen, 4);
+        assert_eq!(t.missed, 2);
+        assert!(!t.gap_free());
+        assert!(GapTracker::new().gap_free());
+    }
+
+    #[test]
+    fn view_folds_a_job_lifecycle() {
+        let mut view = LiveJobView::new(3);
+        assert!(view.apply(&frame(
+            0,
+            ProgressEvent::JobStarted {
+                job: 3,
+                kind: "campaign".into(),
+                total: 18,
+                resumed_from: 0,
+            }
+        )));
+        // Another job's frame: gap-accounted, not folded.
+        assert!(!view.apply(&frame(
+            1,
+            ProgressEvent::Settled {
+                job: 4,
+                completed: 1,
+                total: 9,
+                quarantined: 0,
+            }
+        )));
+        view.apply(&frame(
+            2,
+            ProgressEvent::Chunk {
+                job: 3,
+                completed: 7,
+                total: 18,
+                quarantined: 1,
+                checkpoint_seq: 1,
+                items_per_sec: 42.5,
+            },
+        ));
+        assert!(!view.done());
+        let line = view.render_line();
+        assert!(line.contains("7/18"), "{line}");
+        assert!(line.contains("1 quarantined"), "{line}");
+        assert!(line.contains("checkpoint #1"), "{line}");
+        view.apply(&frame(
+            3,
+            ProgressEvent::JobFinished {
+                job: 3,
+                completed: 18,
+                total: 18,
+                quarantined: 1,
+                passed: false,
+            },
+        ));
+        assert!(view.done());
+        assert!(view.render_line().contains("FAIL"));
+        assert!(view.gaps.gap_free());
+    }
+
+    #[test]
+    fn halted_view_renders_resumable() {
+        let mut view = LiveJobView::new(1);
+        view.apply(&frame(
+            0,
+            ProgressEvent::Halted {
+                job: 1,
+                completed: 6,
+                checkpoint_seq: 2,
+            },
+        ));
+        assert!(view.done());
+        assert!(view.render_line().contains("halted (resumable)"));
+        // A resumed job starts a fresh lifecycle on the same id.
+        view.apply(&frame(
+            4,
+            ProgressEvent::JobStarted {
+                job: 1,
+                kind: "campaign".into(),
+                total: 18,
+                resumed_from: 6,
+            },
+        ));
+        assert!(!view.done());
+        assert_eq!(view.completed, 6);
+        assert_eq!(view.gaps.missed, 3);
+    }
+}

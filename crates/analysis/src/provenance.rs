@@ -22,7 +22,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use serde::Value;
-use tt_sim::{CauseId, Nanos, RoundIndex, SpanEvent, TracePhase};
+use tt_sim::{CauseId, Framed, Nanos, RoundIndex, SpanEvent, TracePhase};
 
 use crate::table::Table;
 
@@ -280,15 +280,39 @@ pub fn render_provenance_summary(chains: &[ProvenanceChain]) -> String {
     out
 }
 
-/// Serializes a span stream as JSON lines: one [`SpanEvent`] per line, in
-/// emission order (`ttdiag trace --format jsonl`).
+/// Serializes a span stream as JSON lines: one framed [`SpanEvent`] per
+/// line, in emission order (`ttdiag trace --format jsonl`).
+///
+/// Each line is `{"seq": N, "event": {...}}` with a monotone `seq` equal to
+/// the span's stream position — the same [`Framed`] unit the live feeds of
+/// `ttdiag serve` use — so consumers can detect gaps. [`parse_spans_jsonl`]
+/// also accepts the pre-framing format (bare span objects).
 pub fn spans_to_jsonl(spans: &[SpanEvent]) -> String {
-    let mut out = String::with_capacity(spans.len() * 96);
-    for s in spans {
-        out.push_str(&serde_json::to_string(s).expect("span serialization is infallible"));
+    let mut out = String::with_capacity(spans.len() * 112);
+    for (seq, &event) in spans.iter().enumerate() {
+        let framed = Framed {
+            seq: seq as u64,
+            event,
+        };
+        out.push_str(&serde_json::to_string(&framed).expect("span serialization is infallible"));
         out.push('\n');
     }
     out
+}
+
+/// Parses a span JSONL stream back into spans, accepting both the framed
+/// format written by [`spans_to_jsonl`] and the pre-framing format (one
+/// bare [`SpanEvent`] object per line).
+///
+/// # Errors
+///
+/// Returns the underlying JSON error for the first unparseable line.
+pub fn parse_spans_jsonl(jsonl: &str) -> Result<Vec<SpanEvent>, serde_json::Error> {
+    jsonl
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| serde_json::from_str::<Framed<SpanEvent>>(l).map(|f| f.event))
+        .collect()
 }
 
 /// Converts a span stream into Chrome trace-event JSON for Perfetto or
@@ -489,14 +513,24 @@ mod tests {
     }
 
     #[test]
-    fn jsonl_round_trips_spans() {
+    fn jsonl_round_trips_spans_with_contiguous_seq() {
         let spans = chain_spans(2, 10, 3);
         let jsonl = spans_to_jsonl(&spans);
-        let parsed: Vec<SpanEvent> = jsonl
-            .lines()
-            .map(|l| serde_json::from_str(l).unwrap())
+        for (i, line) in jsonl.lines().enumerate() {
+            let framed: Framed<SpanEvent> = serde_json::from_str(line).unwrap();
+            assert_eq!(framed.seq, i as u64, "seq must equal stream position");
+        }
+        assert_eq!(parse_spans_jsonl(&jsonl).unwrap(), spans);
+    }
+
+    #[test]
+    fn jsonl_parser_accepts_preframing_bare_spans() {
+        let spans = chain_spans(2, 10, 3);
+        let bare: String = spans
+            .iter()
+            .map(|s| serde_json::to_string(s).unwrap() + "\n")
             .collect();
-        assert_eq!(parsed, spans);
+        assert_eq!(parse_spans_jsonl(&bare).unwrap(), spans);
     }
 
     fn field<'a>(v: &'a Value, key: &str) -> &'a Value {

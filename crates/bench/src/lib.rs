@@ -20,6 +20,10 @@
 //! * [`supervised`] — fault-tolerant campaign execution: watchdog
 //!   deadlines, retry/backoff, Alg. 2-style worker health and isolation,
 //!   and atomic checkpoint/resume;
+//! * [`service`] — the long-lived diagnosis job service behind
+//!   `ttdiag serve`: a queue of campaign/explore/tune-sweep jobs executed
+//!   in halt/resumable checkpointed chunks with live metrics, span and
+//!   progress feeds;
 //! * the criterion benches under `benches/` (one per table/figure plus
 //!   scaling and ablation benches);
 //! * the workspace-level integration tests under `tests/` and the runnable
@@ -33,6 +37,7 @@ pub mod comparison;
 pub mod experiments;
 pub mod observability;
 pub mod parallel;
+pub mod service;
 pub mod supervised;
 
 pub use batched::{
@@ -47,4 +52,5 @@ pub use observability::{
     RoundsSample, ThroughputBaseline, GATE_MAX_REGRESSION, GATE_N_NODES,
 };
 pub use parallel::{run_parallel_campaign, run_parallel_campaign_legacy, CampaignExecutor};
-pub use supervised::{SupervisedCampaign, SupervisedOutcome, SupervisorConfig};
+pub use service::{DiagService, FeedHubs, JobSpec, JobState, JobStatus};
+pub use supervised::{LiveFeeds, SupervisedCampaign, SupervisedOutcome, SupervisorConfig};

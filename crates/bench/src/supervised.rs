@@ -34,14 +34,31 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::mpsc;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use tt_fault::{
-    experiment_seed, run_experiment_cancellable, BackoffPolicy, CampaignCheckpoint, CampaignResult,
-    ExperimentClass, ExperimentOutcome, HarnessFault, HarnessFaultHook, QuarantineReason,
-    QuarantineRecord, SupervisionSummary, WorkerHealth, WorkerStats,
+    experiment_seed, run_experiment_observed, BackoffPolicy, CampaignCheckpoint, CampaignResult,
+    ExperimentClass, ExperimentOutcome, ExperimentSinks, HarnessFault, HarnessFaultHook,
+    QuarantineReason, QuarantineRecord, SupervisionSummary, WorkerHealth, WorkerStats,
 };
-use tt_sim::CancellationToken;
+use tt_sim::{CancellationToken, ProgressEvent, StreamHub};
+
+/// Live observability attachments for `ttdiag serve`: streaming sinks
+/// cloned into every experiment cluster plus a progress hub the supervisor
+/// publishes a [`ProgressEvent::Settled`] to each time a work item settles.
+///
+/// `None` (the default) keeps the supervisor exactly as before; attached
+/// but subscriber-less feeds cost one relaxed load per settle.
+#[derive(Debug, Clone)]
+pub struct LiveFeeds {
+    /// Service-assigned job id stamped into every progress event.
+    pub job: u64,
+    /// Sinks attached to every experiment cluster.
+    pub sinks: ExperimentSinks,
+    /// Hub per-settle progress events are published to.
+    pub progress: Arc<StreamHub<ProgressEvent>>,
+}
 
 /// Supervision policy for one campaign run.
 #[derive(Debug, Clone)]
@@ -67,6 +84,9 @@ pub struct SupervisorConfig {
     /// — the controlled "interrupt" used by resume tests and the chaos CI
     /// job.
     pub halt_after: Option<usize>,
+    /// Live streaming attachments (`ttdiag serve`); `None` outside serve
+    /// mode.
+    pub live: Option<LiveFeeds>,
 }
 
 impl Default for SupervisorConfig {
@@ -80,6 +100,7 @@ impl Default for SupervisorConfig {
             checkpoint_every: 25,
             checkpoint_path: None,
             halt_after: None,
+            live: None,
         }
     }
 }
@@ -155,7 +176,7 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-fn run_attempt(a: &Assignment, n: usize) -> AttemptOutcome {
+fn run_attempt(a: &Assignment, n: usize, sinks: &ExperimentSinks) -> AttemptOutcome {
     match a.inject {
         Some(HarnessFault::Hang) => {
             // A simulated hang: spins until the watchdog cancels it. A
@@ -172,7 +193,7 @@ fn run_attempt(a: &Assignment, n: usize) -> AttemptOutcome {
                 if inject == Some(HarnessFault::Panic) {
                     panic!("injected harness panic");
                 }
-                run_experiment_cancellable(a.class, n, a.seed, &a.token)
+                run_experiment_observed(a.class, n, a.seed, &a.token, sinks)
             }));
             match result {
                 Ok(Some(outcome)) => AttemptOutcome::Completed(Box::new(outcome)),
@@ -183,7 +204,12 @@ fn run_attempt(a: &Assignment, n: usize) -> AttemptOutcome {
     }
 }
 
-fn worker_loop(n: usize, assignments: Receiver<Assignment>, events: Sender<Event>) {
+fn worker_loop(
+    n: usize,
+    sinks: ExperimentSinks,
+    assignments: Receiver<Assignment>,
+    events: Sender<Event>,
+) {
     while let Ok(a) = assignments.recv() {
         if !a.delay.is_zero() {
             std::thread::sleep(a.delay);
@@ -191,7 +217,7 @@ fn worker_loop(n: usize, assignments: Receiver<Assignment>, events: Sender<Event
         let event = Event {
             worker: a.worker,
             item: a.item,
-            outcome: run_attempt(&a, n),
+            outcome: run_attempt(&a, n, &sinks),
         };
         if events.send(event).is_err() {
             return; // supervisor gone; nothing left to report to
@@ -324,7 +350,13 @@ impl SupervisedCampaign<'_> {
                 assignment_txs.push(tx);
                 let events = event_tx.clone();
                 let n = self.n;
-                scope.spawn(move || worker_loop(n, rx, events));
+                let sinks = self
+                    .config
+                    .live
+                    .as_ref()
+                    .map(|l| l.sinks.clone())
+                    .unwrap_or_default();
+                scope.spawn(move || worker_loop(n, sinks, rx, events));
             }
             drop(event_tx);
 
@@ -429,6 +461,7 @@ impl SupervisedCampaign<'_> {
                 debug_assert_eq!(flight.item, event.item);
                 idle.push(event.worker);
                 let attempt_no = *failures.get(&event.item).unwrap_or(&0);
+                let settled_before = newly_settled;
                 match event.outcome {
                     AttemptOutcome::Completed(outcome) => {
                         health[event.worker].record_success();
@@ -487,6 +520,20 @@ impl SupervisedCampaign<'_> {
                             });
                             retries += u64::from(n_failures - 1);
                             newly_settled += 1;
+                        }
+                    }
+                }
+                // Live progress: one event per settled item, published only
+                // when somebody is watching (one relaxed load otherwise).
+                if newly_settled > settled_before {
+                    if let Some(live) = &self.config.live {
+                        if live.progress.has_subscribers() {
+                            live.progress.publish(ProgressEvent::Settled {
+                                job: live.job,
+                                completed: (completed.len() + quarantined.len()) as u64,
+                                total: items.len() as u64,
+                                quarantined: quarantined.len() as u64,
+                            });
                         }
                     }
                 }

@@ -247,8 +247,97 @@ pub enum Command {
         /// parameters) instead of starting fresh.
         resume: bool,
     },
+    /// Run the long-lived diagnosis service on a Unix admin socket.
+    Serve {
+        /// Admin socket path.
+        socket: String,
+        /// Directory for per-job checkpoints.
+        state: String,
+    },
+    /// Submit a job to a running service and print its id.
+    Submit {
+        /// Admin socket path.
+        socket: String,
+        /// The job to enqueue.
+        spec: tt_bench::JobSpec,
+    },
+    /// Query or control jobs on a running service.
+    Job {
+        /// Admin socket path.
+        socket: String,
+        /// The operation.
+        op: JobOp,
+    },
+    /// Live one-line progress summary of one job.
+    Watch {
+        /// Admin socket path.
+        socket: String,
+        /// The job id to follow.
+        job: u64,
+    },
+    /// Stream one live feed as raw JSONL.
+    Tail {
+        /// Admin socket path.
+        socket: String,
+        /// Which feed to subscribe to.
+        feed: FeedName,
+        /// Stop after this many frames (0 = until server shutdown).
+        max: u64,
+        /// Subscriber ring capacity (frames buffered server-side).
+        capacity: u64,
+    },
+    /// Ask a running service to halt its jobs, checkpoint, and exit.
+    Shutdown {
+        /// Admin socket path.
+        socket: String,
+    },
     /// Print usage.
     Help,
+}
+
+/// A `ttdiag job` operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobOp {
+    /// Status of every known job.
+    List,
+    /// Status of one job.
+    Status(u64),
+    /// Request a halt (checkpointed, resumable).
+    Halt(u64),
+    /// Requeue a halted job from its checkpoint.
+    Resume(u64),
+}
+
+/// A live feed name (`ttdiag tail --feed ...`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeedName {
+    /// The `MetricsEvent` feed.
+    Metrics,
+    /// The `SpanEvent` provenance feed.
+    Spans,
+    /// The `ProgressEvent` job-lifecycle feed.
+    Progress,
+}
+
+impl FeedName {
+    /// Parses a `--feed` value.
+    pub fn parse(s: &str) -> Result<Self, ParseError> {
+        match s {
+            "metrics" => Ok(FeedName::Metrics),
+            "spans" => Ok(FeedName::Spans),
+            "progress" => Ok(FeedName::Progress),
+            other => err(format!("unknown feed {other:?} (metrics|spans|progress)")),
+        }
+    }
+
+    /// The wire name of the feed.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FeedName::Metrics => "metrics",
+            FeedName::Spans => "spans",
+            FeedName::Progress => "progress",
+        }
+    }
 }
 
 /// Output format of `ttdiag metrics`.
@@ -789,9 +878,194 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 timeline,
             })
         }
+        "serve" => {
+            let mut socket = DEFAULT_SOCKET.to_string();
+            let mut state = DEFAULT_STATE.to_string();
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                let mut val = |name: &str| -> Result<&String, ParseError> {
+                    it.next()
+                        .ok_or_else(|| ParseError(format!("{name} needs a value")))
+                };
+                match a.as_str() {
+                    "--socket" => socket = val("--socket")?.clone(),
+                    "--state" => state = val("--state")?.clone(),
+                    other => return err(format!("unknown serve flag {other:?}")),
+                }
+            }
+            Ok(Command::Serve { socket, state })
+        }
+        "submit" => {
+            let Some(kind) = rest.first() else {
+                return err("submit needs a job kind (campaign|explore|tune-sweep)");
+            };
+            let mut socket = DEFAULT_SOCKET.to_string();
+            // Per-kind knobs, defaulted to small service-friendly jobs.
+            let mut nodes = 4usize;
+            let mut reps = 10u64;
+            let mut rounds = 24u64;
+            let mut budget = 150u64;
+            let mut seed = 0xD1A6_05E5u64;
+            let mut threads = 4usize;
+            let mut chunk = 25u64;
+            let mut it = rest[1..].iter();
+            while let Some(a) = it.next() {
+                let mut val = |name: &str| -> Result<&String, ParseError> {
+                    it.next()
+                        .ok_or_else(|| ParseError(format!("{name} needs a value")))
+                };
+                match a.as_str() {
+                    "--socket" => socket = val("--socket")?.clone(),
+                    "--nodes" => nodes = parse_num(val("--nodes")?, "nodes")?,
+                    "--reps" => reps = parse_num(val("--reps")?, "reps")?,
+                    "--rounds" => rounds = parse_num(val("--rounds")?, "rounds")?,
+                    "--budget" => budget = parse_num(val("--budget")?, "budget")?,
+                    "--seed" => seed = parse_num(val("--seed")?, "seed")?,
+                    "--threads" => threads = parse_num(val("--threads")?, "threads")?,
+                    "--chunk" => chunk = parse_num(val("--chunk")?, "chunk")?,
+                    other => return err(format!("unknown submit flag {other:?}")),
+                }
+            }
+            if chunk == 0 {
+                return err("--chunk must be positive");
+            }
+            let spec = match kind.as_str() {
+                "campaign" => tt_bench::JobSpec::Campaign {
+                    nodes,
+                    reps,
+                    base_seed: seed,
+                    threads,
+                    chunk,
+                },
+                "explore" => tt_bench::JobSpec::Explore {
+                    nodes,
+                    rounds,
+                    budget,
+                    seed,
+                    chunk,
+                },
+                "tune-sweep" => tt_bench::JobSpec::TuneSweep { chunk },
+                other => {
+                    return err(format!(
+                        "unknown job kind {other:?} (campaign|explore|tune-sweep)"
+                    ))
+                }
+            };
+            Ok(Command::Submit { socket, spec })
+        }
+        "job" => {
+            let Some(op) = rest.first() else {
+                return err("job needs an operation (list|status|halt|resume)");
+            };
+            let mut operand = None;
+            let mut socket = DEFAULT_SOCKET.to_string();
+            let mut it = rest[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--socket" => {
+                        socket = it
+                            .next()
+                            .ok_or_else(|| ParseError("--socket needs a value".into()))?
+                            .clone()
+                    }
+                    other if operand.is_none() && !other.starts_with('-') => {
+                        operand = Some(parse_num::<u64>(other, "job id")?)
+                    }
+                    other => return err(format!("unknown job argument {other:?}")),
+                }
+            }
+            let need_id = |op: &str| -> Result<u64, ParseError> {
+                operand.ok_or_else(|| ParseError(format!("job {op} needs a job id")))
+            };
+            let op = match op.as_str() {
+                "list" => JobOp::List,
+                "status" => JobOp::Status(need_id("status")?),
+                "halt" => JobOp::Halt(need_id("halt")?),
+                "resume" => JobOp::Resume(need_id("resume")?),
+                other => {
+                    return err(format!(
+                        "unknown job operation {other:?} (list|status|halt|resume)"
+                    ))
+                }
+            };
+            Ok(Command::Job { socket, op })
+        }
+        "watch" => {
+            let Some(job) = rest.first() else {
+                return err("watch needs a job id");
+            };
+            let job = parse_num(job, "job id")?;
+            let mut socket = DEFAULT_SOCKET.to_string();
+            let mut it = rest[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--socket" => {
+                        socket = it
+                            .next()
+                            .ok_or_else(|| ParseError("--socket needs a value".into()))?
+                            .clone()
+                    }
+                    other => return err(format!("unknown watch flag {other:?}")),
+                }
+            }
+            Ok(Command::Watch { socket, job })
+        }
+        "tail" => {
+            let mut socket = DEFAULT_SOCKET.to_string();
+            let mut feed = None;
+            let mut max = 0u64;
+            let mut capacity = 4096u64;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                let mut val = |name: &str| -> Result<&String, ParseError> {
+                    it.next()
+                        .ok_or_else(|| ParseError(format!("{name} needs a value")))
+                };
+                match a.as_str() {
+                    "--socket" => socket = val("--socket")?.clone(),
+                    "--feed" => feed = Some(FeedName::parse(val("--feed")?)?),
+                    "--max" => max = parse_num(val("--max")?, "frame count")?,
+                    "--capacity" => capacity = parse_num(val("--capacity")?, "capacity")?,
+                    other => return err(format!("unknown tail flag {other:?}")),
+                }
+            }
+            let Some(feed) = feed else {
+                return err("tail needs --feed metrics|spans|progress");
+            };
+            if capacity == 0 {
+                return err("--capacity must be positive");
+            }
+            Ok(Command::Tail {
+                socket,
+                feed,
+                max,
+                capacity,
+            })
+        }
+        "shutdown" => {
+            let mut socket = DEFAULT_SOCKET.to_string();
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--socket" => {
+                        socket = it
+                            .next()
+                            .ok_or_else(|| ParseError("--socket needs a value".into()))?
+                            .clone()
+                    }
+                    other => return err(format!("unknown shutdown flag {other:?}")),
+                }
+            }
+            Ok(Command::Shutdown { socket })
+        }
         other => err(format!("unknown command {other:?} (try `ttdiag help`)")),
     }
 }
+
+/// Default admin socket path of `ttdiag serve` and its clients.
+pub const DEFAULT_SOCKET: &str = "ttdiag.sock";
+/// Default per-job checkpoint directory of `ttdiag serve`.
+pub const DEFAULT_STATE: &str = "ttdiag-state";
 
 /// The usage text.
 pub const USAGE: &str = "\
@@ -848,6 +1122,30 @@ USAGE:
                                            --resume continues from the
                                            checkpoint's parameters and RNG
                                            position, byte-identically
+  ttdiag serve [--socket PATH] [--state DIR]
+                                           long-lived diagnosis service on a
+                                           Unix admin socket: queued campaign/
+                                           explore/tune-sweep jobs run in
+                                           checkpointed chunks (halt/resume
+                                           over the socket) with live metrics,
+                                           span and progress feeds fanned out
+                                           to concurrent subscribers
+  ttdiag submit (campaign|explore|tune-sweep)
+                  [--nodes N] [--reps N] [--rounds R] [--budget ITERS]
+                  [--seed S] [--threads T] [--chunk K] [--socket PATH]
+                                           enqueue a job, print its id plus
+                                           the serving host's fingerprint
+  ttdiag job (list|status ID|halt ID|resume ID) [--socket PATH]
+                                           query or control submitted jobs
+  ttdiag watch ID [--socket PATH]          live one-line progress summary
+                                           (exit 1 if the job fails)
+  ttdiag tail --feed (metrics|spans|progress)
+                  [--max N] [--capacity N] [--socket PATH]
+                                           stream one feed as raw JSONL; the
+                                           final line reports delivered/
+                                           dropped frame counts
+  ttdiag shutdown [--socket PATH]          halt jobs (checkpointed), then stop
+                                           the service cleanly
   ttdiag help
 
 EXIT CODES:
@@ -880,6 +1178,11 @@ EXAMPLES:
   ttdiag tune sweep --reward 2,8,24 --rate 72000 --json sweep.json --check
   ttdiag campaign --reps 100 --json results.json
   ttdiag explore --budget 150 --seed 7 --corpus tests/corpus --repro repros/
+  ttdiag serve --socket /tmp/ttdiag.sock --state /tmp/ttdiag-state &
+  ttdiag submit campaign --reps 5 --chunk 10 --socket /tmp/ttdiag.sock
+  ttdiag watch 1 --socket /tmp/ttdiag.sock
+  ttdiag tail --feed progress --max 50 --socket /tmp/ttdiag.sock
+  ttdiag shutdown --socket /tmp/ttdiag.sock
 ";
 
 #[cfg(test)]

@@ -75,6 +75,17 @@ fn internal(msg: impl Into<String>) -> CliError {
 pub fn run(cmd: Command) -> Result<String, CliError> {
     match cmd {
         Command::Help => Ok(crate::args::USAGE.to_string()),
+        Command::Serve { socket, state } => crate::serve::serve(&socket, &state),
+        Command::Submit { socket, spec } => crate::serve::submit(&socket, spec),
+        Command::Job { socket, op } => crate::serve::job(&socket, op),
+        Command::Watch { socket, job } => crate::serve::watch(&socket, job),
+        Command::Tail {
+            socket,
+            feed,
+            max,
+            capacity,
+        } => crate::serve::tail(&socket, feed, max, capacity),
+        Command::Shutdown { socket } => crate::serve::shutdown(&socket),
         Command::Tune { domain } => tune_report(&domain),
         Command::Isolation { domain } => isolation_report(&domain),
         Command::TuneSweep {

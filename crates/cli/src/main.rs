@@ -4,6 +4,7 @@
 
 mod args;
 mod commands;
+mod serve;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();

@@ -120,3 +120,70 @@ fn chaos_campaign_with_quarantines_still_exits_zero() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("quarantined"), "{stdout}");
 }
+
+#[test]
+fn unknown_feed_name_is_a_usage_error() {
+    let out = ttdiag()
+        .args(["tail", "--feed", "flamegraphs"])
+        .output()
+        .expect("spawn ttdiag");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown feed"), "{stderr}");
+}
+
+#[test]
+fn missing_tail_feed_is_a_usage_error() {
+    let out = ttdiag().arg("tail").output().expect("spawn ttdiag");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn connecting_to_a_dead_server_is_a_usage_error() {
+    // The socket path names nothing listening — for every client command.
+    let sock = "/tmp/ttdiag-no-such-server.sock";
+    let _ = std::fs::remove_file(sock);
+    for args in [
+        vec!["submit", "campaign"],
+        vec!["job", "list"],
+        vec!["job", "status", "1"],
+        vec!["watch", "1"],
+        vec!["tail", "--feed", "progress"],
+        vec!["shutdown"],
+    ] {
+        let mut full = args.clone();
+        full.extend(["--socket", sock]);
+        let out = ttdiag().args(&full).output().expect("spawn ttdiag");
+        assert_eq!(out.status.code(), Some(2), "{args:?}: {out:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("cannot connect"), "{args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn unbindable_socket_path_is_a_usage_error() {
+    let out = ttdiag()
+        .args([
+            "serve",
+            "--socket",
+            "/nonexistent-dir/ttdiag.sock",
+            "--state",
+            "/tmp/ttdiag-exitcode-state",
+        ])
+        .output()
+        .expect("spawn ttdiag");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot bind"), "{stderr}");
+}
+
+#[test]
+fn bad_submit_job_kind_is_a_usage_error() {
+    let out = ttdiag()
+        .args(["submit", "bake-cookies"])
+        .output()
+        .expect("spawn ttdiag");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown job kind"), "{stderr}");
+}

@@ -1,0 +1,238 @@
+//! End-to-end checks of `ttdiag serve` over a real Unix admin socket:
+//! submit → watch → tail round trips, halt + checkpoint-resume of a job
+//! submitted over the socket, and a clean shutdown.
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn ttdiag() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ttdiag"))
+}
+
+/// A serve process bound to its own socket/state pair, killed on drop so
+/// a failing test cannot leak a server.
+struct Server {
+    child: Child,
+    socket: String,
+    dir: PathBuf,
+}
+
+impl Server {
+    fn start(tag: &str) -> Server {
+        let dir = std::env::temp_dir().join(format!("ttdiag-serve-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let socket = dir.join("admin.sock").to_string_lossy().into_owned();
+        let state = dir.join("state").to_string_lossy().into_owned();
+        let child = ttdiag()
+            .args(["serve", "--socket", &socket, "--state", &state])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn ttdiag serve");
+        let server = Server { child, socket, dir };
+        // The socket appears once the listener is bound.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while !std::path::Path::new(&server.socket).exists() {
+            assert!(Instant::now() < deadline, "serve never bound its socket");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        server
+    }
+
+    fn client(&self, args: &[&str]) -> std::process::Output {
+        let mut full = args.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        full.extend(["--socket".to_string(), self.socket.clone()]);
+        ttdiag().args(&full).output().expect("spawn ttdiag client")
+    }
+
+    /// Runs a client command, asserting exit 0 and returning stdout.
+    fn ok(&self, args: &[&str]) -> String {
+        let out = self.client(args);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{args:?}: stdout={} stderr={}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    }
+
+    fn shutdown_and_wait(mut self) {
+        let out = self.client(&["shutdown"]);
+        assert_eq!(out.status.code(), Some(0), "{out:?}");
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            match self.child.try_wait().expect("poll serve") {
+                Some(status) => {
+                    assert!(status.success(), "serve exited {status:?}");
+                    break;
+                }
+                None => {
+                    assert!(
+                        Instant::now() < deadline,
+                        "serve never exited after shutdown"
+                    );
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+        assert!(
+            !std::path::Path::new(&self.socket).exists(),
+            "socket not cleaned up"
+        );
+        let _ = std::fs::remove_dir_all(&self.dir);
+        // Disarm the drop guard: the child has already exited.
+        std::mem::forget(self);
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Extracts the job id from a `job N [...]` submit/status line.
+fn job_id(line: &str) -> u64 {
+    let rest = line.strip_prefix("job ").expect("job line");
+    rest.split_whitespace()
+        .next()
+        .unwrap()
+        .parse()
+        .expect("job id")
+}
+
+#[test]
+fn submit_watch_tail_round_trip() {
+    let server = Server::start("roundtrip");
+    // Tail the progress feed concurrently with the job so live events (not
+    // just the ring backlog) flow through the subscription.
+    let tail_socket = server.socket.clone();
+    let tail = std::thread::spawn(move || {
+        ttdiag()
+            .args(["tail", "--feed", "progress", "--socket", &tail_socket])
+            .output()
+            .expect("spawn tail")
+    });
+    // Give the tail subscriber time to attach: events published with no
+    // subscriber are (by design) not retained anywhere.
+    std::thread::sleep(Duration::from_secs(2));
+    let submitted = server.ok(&["submit", "campaign", "--reps", "1", "--chunk", "7"]);
+    assert!(submitted.contains("[campaign] queued"), "{submitted}");
+    assert!(submitted.contains("host:"), "{submitted}");
+    let id = job_id(&submitted);
+
+    let watched = server.ok(&["watch", &id.to_string()]);
+    assert!(watched.contains("PASS"), "{watched}");
+
+    let status = server.ok(&["job", "status", &id.to_string()]);
+    assert!(status.contains("[campaign] done"), "{status}");
+    assert!(status.contains("18/18 settled"), "{status}");
+    // Satellite: the chunked executor wrote checkpoints and the status
+    // response carries the sequence number.
+    assert!(status.contains("checkpoint #"), "{status}");
+    let listed = server.ok(&["job", "list"]);
+    assert!(listed.contains(&format!("job {id}")), "{listed}");
+
+    server.shutdown_and_wait();
+
+    let out = tail.join().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().filter(|l| !l.is_empty()).collect();
+    // The progress feed carried the whole job lifecycle...
+    assert!(lines.iter().any(|l| l.contains("JobStarted")), "{stdout}");
+    assert!(lines.iter().any(|l| l.contains("JobFinished")), "{stdout}");
+    // ...every frame is seq-framed, and the keeping-up subscriber dropped
+    // nothing (asserted from the end accounting line).
+    assert!(
+        lines
+            .iter()
+            .all(|l| l.contains("\"seq\"") || l.starts_with("{\"end\"")),
+        "{stdout}"
+    );
+    let end = lines.last().expect("end line");
+    assert!(end.starts_with("{\"end\""), "{stdout}");
+    assert!(end.contains("\"dropped\":0"), "{end}");
+}
+
+#[test]
+fn halt_and_resume_over_the_socket() {
+    let server = Server::start("haltresume");
+    // A long job (34 classes x 4 reps at n=8) in tiny chunks, so a halt
+    // request reliably lands before completion.
+    let submitted = server.ok(&[
+        "submit",
+        "campaign",
+        "--nodes",
+        "8",
+        "--reps",
+        "4",
+        "--chunk",
+        "2",
+        "--threads",
+        "2",
+    ]);
+    let id = job_id(&submitted).to_string();
+    // Wait until it is running, then halt.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let status = server.ok(&["job", "status", &id]);
+        if status.contains("running") {
+            break;
+        }
+        assert!(
+            !status.contains("done") && Instant::now() < deadline,
+            "job finished before the halt could land: {status}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let halted = server.ok(&["job", "halt", &id]);
+    assert!(
+        halted.contains("halt requested") || halted.contains("halted"),
+        "{halted}"
+    );
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let status = server.ok(&["job", "status", &id]);
+        if status.contains("[campaign] halted") {
+            assert!(status.contains("checkpoint #"), "{status}");
+            break;
+        }
+        assert!(Instant::now() < deadline, "job never halted: {status}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // Resume from the checkpoint over the socket and watch it finish.
+    server.ok(&["job", "resume", &id]);
+    let watched = server.ok(&["watch", &id]);
+    assert!(watched.contains("PASS"), "{watched}");
+    let status = server.ok(&["job", "status", &id]);
+    assert!(status.contains("136/136 settled"), "{status}");
+    server.shutdown_and_wait();
+}
+
+#[test]
+fn server_side_rejections_are_usage_errors() {
+    let server = Server::start("rejections");
+    // Unknown job id.
+    let out = server.client(&["job", "status", "99"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown job"),
+        "{out:?}"
+    );
+    // Resuming a job that is not halted.
+    let submitted = server.ok(&["submit", "explore", "--budget", "6", "--chunk", "3"]);
+    let id = job_id(&submitted).to_string();
+    let out = server.client(&["job", "resume", "999"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    // The submitted job still completes.
+    let watched = server.ok(&["watch", &id]);
+    assert!(watched.contains("PASS"), "{watched}");
+    server.shutdown_and_wait();
+}

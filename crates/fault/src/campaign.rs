@@ -22,9 +22,14 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use std::sync::{Arc, OnceLock};
+
 use tt_core::properties::{check_diag_cluster, checkable_rounds, PropertyReport};
 use tt_core::{DiagJob, MembershipJob, ProtocolConfig};
-use tt_sim::{CancellationToken, Cluster, ClusterBuilder, NodeId, RoundIndex};
+use tt_sim::{
+    CancellationToken, Cluster, ClusterBuilder, MetricsSink, NodeId, NoopSink, NoopTraceSink,
+    RoundIndex, TraceSink,
+};
 
 use crate::burst::Burst;
 use crate::injector::DisturbanceNode;
@@ -248,19 +253,68 @@ fn round_for(n: usize) -> tt_sim::Nanos {
     tt_sim::Nanos::from_nanos(2_500_000 - (2_500_000 % n as u64))
 }
 
+/// The observability sinks attached to every cluster an experiment runner
+/// builds. [`ExperimentSinks::noop`] (the default) keeps the campaign hot
+/// path exactly as before — disabled sinks cost nothing; `ttdiag serve`
+/// passes streaming sinks here so campaign experiments feed the live
+/// `metrics`/`spans` subscribers.
+#[derive(Clone)]
+pub struct ExperimentSinks {
+    /// Metrics sink cloned into every experiment cluster.
+    pub metrics: Arc<dyn MetricsSink>,
+    /// Trace sink cloned into every experiment cluster.
+    pub trace: Arc<dyn TraceSink>,
+}
+
+impl std::fmt::Debug for ExperimentSinks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExperimentSinks")
+            .field("metrics_enabled", &self.metrics.enabled())
+            .field("trace_enabled", &self.trace.enabled())
+            .finish()
+    }
+}
+
+impl ExperimentSinks {
+    /// Disabled sinks (shared process-wide, so per-experiment cost is two
+    /// reference-count bumps).
+    pub fn noop() -> Self {
+        static NOOP: OnceLock<ExperimentSinks> = OnceLock::new();
+        NOOP.get_or_init(|| ExperimentSinks {
+            metrics: Arc::new(NoopSink),
+            trace: Arc::new(NoopTraceSink),
+        })
+        .clone()
+    }
+}
+
+impl Default for ExperimentSinks {
+    fn default() -> Self {
+        Self::noop()
+    }
+}
+
 fn diag_cluster(n: usize, pipeline: DisturbanceNode) -> Cluster {
-    diag_cluster_cancellable(n, pipeline, CancellationToken::new())
+    diag_cluster_cancellable(
+        n,
+        pipeline,
+        CancellationToken::new(),
+        &ExperimentSinks::noop(),
+    )
 }
 
 fn diag_cluster_cancellable(
     n: usize,
     pipeline: DisturbanceNode,
     token: CancellationToken,
+    sinks: &ExperimentSinks,
 ) -> Cluster {
     let cfg = base_config(n);
     ClusterBuilder::new(n)
         .round_length(round_for(n))
         .cancel_token(token)
+        .metrics_sink(sinks.metrics.clone())
+        .trace_sink(sinks.trace.clone())
         .build_with_jobs(
             move |id| Box::new(DiagJob::new(id, cfg.clone())),
             Box::new(pipeline),
@@ -304,6 +358,20 @@ pub fn run_experiment_cancellable(
     seed: u64,
     token: &CancellationToken,
 ) -> Option<ExperimentOutcome> {
+    run_experiment_observed(class, n, seed, token, &ExperimentSinks::noop())
+}
+
+/// Like [`run_experiment_cancellable`], but attaching `sinks` to the
+/// experiment cluster so metrics events and provenance spans stream out
+/// while the experiment runs (`ttdiag serve` live feeds). With
+/// [`ExperimentSinks::noop`] this is exactly [`run_experiment_cancellable`].
+pub fn run_experiment_observed(
+    class: ExperimentClass,
+    n: usize,
+    seed: u64,
+    token: &CancellationToken,
+    sinks: &ExperimentSinks,
+) -> Option<ExperimentOutcome> {
     let mut rng = StdRng::seed_from_u64(seed);
     let fault_round = RoundIndex::new(rng.gen_range(5..15));
     let lag = 3; // conservative send alignment in all campaign configs
@@ -321,7 +389,7 @@ pub fn run_experiment_cancellable(
                 len_slots,
                 n,
             ));
-            let mut cluster = diag_cluster_cancellable(n, pipeline, token.clone());
+            let mut cluster = diag_cluster_cancellable(n, pipeline, token.clone(), sinks);
             let total = fault_round.as_u64() + len_slots.div_ceil(n as u64) + 10;
             if cluster.run_rounds(total) < total {
                 return None;
@@ -372,7 +440,7 @@ pub fn run_experiment_cancellable(
                     .then_some(tt_sim::SlotEffect::Benign)
             };
             let pipeline = DisturbanceNode::new(seed).with(stepper);
-            let mut cluster = diag_cluster_cancellable(n, pipeline, token.clone());
+            let mut cluster = diag_cluster_cancellable(n, pipeline, token.clone(), sinks);
             let total = first.as_u64() + 20 + 10;
             if cluster.run_rounds(total) < total {
                 return None;
@@ -417,6 +485,8 @@ pub fn run_experiment_cancellable(
             let mut cluster = ClusterBuilder::new(n)
                 .round_length(round_for(n))
                 .cancel_token(token.clone())
+                .metrics_sink(sinks.metrics.clone())
+                .trace_sink(sinks.trace.clone())
                 .build_with_jobs(
                     |id| {
                         if id == node {
@@ -459,6 +529,8 @@ pub fn run_experiment_cancellable(
             let mut cluster = ClusterBuilder::new(n)
                 .round_length(round_for(n))
                 .cancel_token(token.clone())
+                .metrics_sink(sinks.metrics.clone())
+                .trace_sink(sinks.trace.clone())
                 .build_with_jobs(
                     |id| Box::new(MembershipJob::new(id, cfg.clone())),
                     Box::new(pipeline),

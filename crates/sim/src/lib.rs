@@ -63,6 +63,7 @@ pub mod metrics;
 pub mod node;
 pub mod poisson;
 pub mod schedule;
+pub mod stream;
 pub mod time;
 pub mod timeline;
 pub mod trace;
@@ -91,6 +92,10 @@ pub use metrics::{
 pub use node::{JobSlot, Node, ScheduleSource};
 pub use poisson::{per_round_probability, sample_arrival_rounds};
 pub use schedule::{CommunicationSchedule, NodeSchedule, SlotPosition};
+pub use stream::{
+    Framed, ProgressEvent, StreamHub, StreamingSink, StreamingTraceSink, SubscriberStats,
+    Subscription,
+};
 pub use time::{Nanos, NodeId, RoundIndex};
 // The ground-truth *injected-fault* trace (what the fault pipeline did to
 // the bus). `FaultTrace` is an alias that disambiguates it from the

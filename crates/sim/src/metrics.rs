@@ -332,7 +332,18 @@ pub struct NamedHistogram {
 ///
 /// Counters, gauges and histograms are sorted by name; events are in
 /// emission (simulation) order.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+///
+/// # Serialized stream framing
+///
+/// `Serialize`/`Deserialize` are hand-written: each event in the `events`
+/// array is framed as `{"seq": N, "event": {...}}` with a monotone `seq`
+/// equal to its position in the stream (the same [`crate::stream::Framed`]
+/// unit the live feeds of `ttdiag serve` use), so any consumer of a
+/// serialized report or feed can detect gaps. Deserialization is
+/// back-compatible: a report written before framing existed — bare event
+/// objects in `events` — still parses, and seq numbers are re-derived from
+/// stream position.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct MetricsReport {
     /// All counters, sorted by name.
     pub counters: Vec<NamedCounter>,
@@ -342,6 +353,57 @@ pub struct MetricsReport {
     pub histograms: Vec<NamedHistogram>,
     /// The structured event stream, in emission order.
     pub events: Vec<MetricsEvent>,
+}
+
+impl Serialize for MetricsReport {
+    fn to_value(&self) -> serde::Value {
+        use crate::stream::Framed;
+        use serde::Value;
+        let events = self
+            .events
+            .iter()
+            .enumerate()
+            .map(|(i, event)| {
+                Framed {
+                    seq: i as u64,
+                    event: event.clone(),
+                }
+                .to_value()
+            })
+            .collect();
+        Value::Map(vec![
+            ("counters".to_string(), self.counters.to_value()),
+            ("gauges".to_string(), self.gauges.to_value()),
+            ("histograms".to_string(), self.histograms.to_value()),
+            ("events".to_string(), Value::Seq(events)),
+        ])
+    }
+}
+
+impl Deserialize for MetricsReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        use crate::stream::Framed;
+        use serde::{DeError, Value};
+        let map = v
+            .as_map()
+            .ok_or_else(|| DeError::custom("MetricsReport: expected map"))?;
+        let field = |key: &str| {
+            Value::get_field(map, key)
+                .ok_or_else(|| DeError::custom(format!("MetricsReport: missing field `{key}`")))
+        };
+        let events = field("events")?
+            .as_seq()
+            .ok_or_else(|| DeError::custom("MetricsReport: `events` must be a sequence"))?
+            .iter()
+            .map(|e| Framed::<MetricsEvent>::from_value(e).map(|f| f.event))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(MetricsReport {
+            counters: Deserialize::from_value(field("counters")?)?,
+            gauges: Deserialize::from_value(field("gauges")?)?,
+            histograms: Deserialize::from_value(field("histograms")?)?,
+            events,
+        })
+    }
 }
 
 #[derive(Debug, Default)]

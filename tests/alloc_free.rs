@@ -17,7 +17,8 @@ use std::sync::Arc;
 use tt_core::{BatchDiagJob, BatchLaneParams, DiagJob, ProtocolConfig};
 use tt_sim::{
     BatchCluster, BatchFaultPlan, ClusterBuilder, LaneEffect, LaneFault, NoFaults, NoopSink,
-    NoopTraceSink, RecordingSink, RecordingTraceSink, RoundIndex, SlotEffect, TraceMode, TxCtx,
+    NoopTraceSink, RecordingSink, RecordingTraceSink, RoundIndex, SlotEffect, StreamHub,
+    StreamingSink, StreamingTraceSink, TraceMode, TxCtx,
 };
 
 struct CountingAllocator;
@@ -335,6 +336,48 @@ fn steady_state_run_round_allocates_nothing_with_trace_off() {
         !recording_job.health_log(0, 0).is_empty(),
         "recording mode captured health records"
     );
+
+    // A serve-capable cluster — streaming metrics AND trace sinks wired to
+    // live hubs — with ZERO subscribers attached is exactly as free as the
+    // noop configuration: `StreamHub::has_subscribers` is a single relaxed
+    // atomic load, so an unobserved `ttdiag serve` job pays nothing on the
+    // hot path. No event is built, no lock taken, no frame cloned.
+    let metrics_hub = Arc::new(StreamHub::new());
+    let spans_hub = Arc::new(StreamHub::new());
+    let mut serveable = ClusterBuilder::new(8)
+        .trace_mode(TraceMode::Off)
+        .metrics_sink(Arc::new(StreamingSink::new(metrics_hub.clone())))
+        .trace_sink(Arc::new(StreamingTraceSink::new(spans_hub.clone())))
+        .build(Box::new(faulty))
+        .expect("valid cluster");
+    serveable.run_rounds(32);
+    let delta = min_allocation_delta(|| {
+        let before = allocations();
+        serveable.run_rounds(256);
+        allocations() - before
+    });
+    assert_eq!(
+        delta, 0,
+        "streaming sinks with zero subscribers must not allocate (2048 slots ran)"
+    );
+
+    // Positive control: the moment a subscriber attaches, the same cluster
+    // starts delivering framed events — and because the subscriber ring is
+    // preallocated at subscribe time and `MetricsEvent` is `Copy`, even
+    // the *observed* hot path stays allocation-free while frames flow.
+    let subscription = metrics_hub.subscribe(1024);
+    let delta = min_allocation_delta(|| {
+        let before = allocations();
+        serveable.run_rounds(16);
+        allocations() - before
+    });
+    assert_eq!(
+        delta, 0,
+        "publishing into a preallocated subscriber ring must not allocate"
+    );
+    let frames = subscription.drain(usize::MAX);
+    assert!(!frames.is_empty(), "the subscriber received live frames");
+    drop(subscription);
 
     // And a live RecordingSink allocates too (events are captured), proving
     // the instrumentation points are actually wired into the engine.
