@@ -21,7 +21,8 @@ pub fn render_explore_summary(
 ) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "fault-schedule exploration — n={} rounds={} P={} R={} seed={:#x} ({})\n\n",
+        "fault-schedule exploration — protocol={} n={} rounds={} P={} R={} seed={:#x} ({})\n\n",
+        cfg.protocol.as_str(),
         cfg.n,
         cfg.rounds,
         cfg.penalty_threshold,
@@ -93,6 +94,19 @@ mod tests {
         assert!(s.contains("schedules/sec"));
         assert!(s.contains(&report.unique_states.to_string()));
         assert!(s.contains("coverage-guided"));
+        assert!(s.contains("protocol=diag"));
+    }
+
+    #[test]
+    fn summary_labels_the_variant_under_test() {
+        let cfg = ExploreConfig {
+            budget: 5,
+            protocol: tt_fault::ProtocolUnderTest::Membership,
+            ..ExploreConfig::default()
+        };
+        let report = explore(&cfg);
+        let s = render_explore_summary(&cfg, &report, 0.0);
+        assert!(s.contains("protocol=membership"), "{s}");
     }
 
     #[test]

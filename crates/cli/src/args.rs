@@ -214,6 +214,8 @@ pub enum Command {
     },
     /// Run the coverage-guided fault-schedule explorer.
     Explore {
+        /// The protocol variant the explorer drives and checks.
+        protocol: tt_fault::ProtocolUnderTest,
         /// Cluster size.
         nodes: usize,
         /// Rounds per explored schedule.
@@ -649,6 +651,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             })
         }
         "explore" => {
+            let mut protocol = tt_fault::ProtocolUnderTest::Diag;
             let mut nodes = 4usize;
             let mut rounds = 24u64;
             let mut penalty = 3u64;
@@ -671,6 +674,14 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         .ok_or_else(|| ParseError(format!("{name} needs a value")))
                 };
                 match a.as_str() {
+                    "--protocol" => {
+                        let v = val("--protocol")?;
+                        protocol = tt_fault::ProtocolUnderTest::parse_cli(v).ok_or_else(|| {
+                            ParseError(format!(
+                                "unknown protocol {v:?} (expected diag, membership or lowlat)"
+                            ))
+                        })?;
+                    }
                     "--nodes" => nodes = parse_num(val("--nodes")?, "nodes")?,
                     "--rounds" => rounds = parse_num(val("--rounds")?, "rounds")?,
                     "--penalty" => penalty = parse_num(val("--penalty")?, "penalty")?,
@@ -702,6 +713,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 return err("--resume needs --checkpoint PATH");
             }
             Ok(Command::Explore {
+                protocol,
                 nodes,
                 rounds,
                 penalty,
@@ -1112,16 +1124,19 @@ USAGE:
                                            atomically; a resumed run is
                                            byte-identical to an uninterrupted
                                            one (chaos rates are per-mille)
-  ttdiag explore [--nodes N] [--rounds R] [--penalty P] [--reward R]
+  ttdiag explore [--protocol diag|membership|lowlat] [--nodes N] [--rounds R]
+                  [--penalty P] [--reward R]
                   [--seed S] [--budget ITERS] [--max-faults K] [--random]
                   [--corpus DIR] [--corpus-out DIR] [--repro DIR] [--json PATH]
                   [--checkpoint PATH] [--checkpoint-every N] [--resume]
                                            coverage-guided fault-schedule
                                            search with shrinking (exit 1 on
                                            any surviving counterexample);
-                                           --resume continues from the
-                                           checkpoint's parameters and RNG
-                                           position, byte-identically
+                                           --protocol picks the variant under
+                                           test (Sec. 7 membership, Sec. 10
+                                           low latency); --resume continues
+                                           from the checkpoint's parameters
+                                           and RNG position, byte-identically
   ttdiag serve [--socket PATH] [--state DIR]
                                            long-lived diagnosis service on a
                                            Unix admin socket: queued campaign/
@@ -1565,6 +1580,7 @@ mod tests {
         assert_eq!(
             c,
             Command::Explore {
+                protocol: tt_fault::ProtocolUnderTest::Diag,
                 nodes: 4,
                 rounds: 24,
                 penalty: 3,
@@ -1583,13 +1599,15 @@ mod tests {
             }
         );
         let c = parse(&args(
-            "explore --nodes 5 --rounds 30 --penalty 4 --reward 3 --seed 9 --budget 50 \
+            "explore --protocol membership --nodes 5 --rounds 30 --penalty 4 --reward 3 \
+             --seed 9 --budget 50 \
              --max-faults 3 --random --corpus in/ --corpus-out out/ --repro rep/ --json r.json \
              --checkpoint cp.json --checkpoint-every 5",
         ))
         .unwrap();
         match c {
             Command::Explore {
+                protocol,
                 nodes,
                 rounds,
                 penalty,
@@ -1606,6 +1624,7 @@ mod tests {
                 checkpoint_every,
                 resume,
             } => {
+                assert_eq!(protocol, tt_fault::ProtocolUnderTest::Membership);
                 assert_eq!((nodes, rounds, penalty, reward), (5, 30, 4, 3));
                 assert_eq!((seed, budget, max_faults, random), (9, 50, 3, true));
                 assert_eq!(corpus, Some("in/".into()));
@@ -1621,6 +1640,9 @@ mod tests {
         assert!(parse(&args("explore --nodes 3")).is_err());
         assert!(parse(&args("explore --budget 0")).is_err());
         assert!(parse(&args("explore --warp 9")).is_err());
+        assert!(parse(&args("explore --protocol lowlat")).is_ok());
+        assert!(parse(&args("explore --protocol quorum")).is_err());
+        assert!(parse(&args("explore --protocol")).is_err());
         assert!(parse(&args("explore --resume")).is_err());
         assert!(parse(&args("explore --resume --checkpoint cp.json")).is_ok());
     }

@@ -178,6 +178,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             trace(nodes, rounds, penalty, reward, pipeline, format, out)
         }
         Command::Explore {
+            protocol,
             nodes,
             rounds,
             penalty,
@@ -194,6 +195,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             checkpoint_every,
             resume,
         } => explore_cmd(ExploreOpts {
+            protocol,
             nodes,
             rounds,
             penalty,
@@ -756,6 +758,7 @@ fn campaign(opts: CampaignOpts) -> Result<String, CliError> {
 
 /// The explore command's flag surface, bundled.
 struct ExploreOpts {
+    protocol: tt_fault::ProtocolUnderTest,
     nodes: usize,
     rounds: u64,
     penalty: u64,
@@ -779,6 +782,7 @@ fn explore_cmd(opts: ExploreOpts) -> Result<String, CliError> {
     };
     use tt_fault::{write_json_atomic, ExploreCheckpoint};
     let cli_cfg = ExploreConfig {
+        protocol: opts.protocol,
         n: opts.nodes,
         rounds: opts.rounds,
         penalty_threshold: opts.penalty,
@@ -1429,6 +1433,7 @@ mod tests {
         let corpus_out = std::env::temp_dir().join("ttdiag_cli_test_explore_corpus");
         let json = std::env::temp_dir().join("ttdiag_cli_test_explore.json");
         let out = run(Command::Explore {
+            protocol: tt_fault::ProtocolUnderTest::Diag,
             nodes: 4,
             rounds: 24,
             penalty: 3,

@@ -178,6 +178,33 @@ fn unbindable_socket_path_is_a_usage_error() {
 }
 
 #[test]
+fn unknown_explore_protocol_is_a_usage_error() {
+    let out = ttdiag()
+        .args(["explore", "--protocol", "bogus"])
+        .output()
+        .expect("spawn ttdiag");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown protocol"), "{stderr}");
+}
+
+#[test]
+fn explore_accepts_every_documented_protocol() {
+    for protocol in ["diag", "membership", "lowlat"] {
+        let out = ttdiag()
+            .args(["explore", "--protocol", protocol, "--budget", "10"])
+            .output()
+            .expect("spawn ttdiag");
+        assert_eq!(out.status.code(), Some(0), "{protocol}: {out:?}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains(&format!("protocol={protocol}")),
+            "{protocol}: {stdout}"
+        );
+    }
+}
+
+#[test]
 fn bad_submit_job_kind_is_a_usage_error() {
     let out = ttdiag()
         .args(["submit", "bake-cookies"])

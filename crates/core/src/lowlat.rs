@@ -479,6 +479,133 @@ impl LowLatCluster {
         violations
     }
 
+    /// Whether the 2-round membership composition is active.
+    pub fn membership_enabled(&self) -> bool {
+        self.nodes.first().is_some_and(|nd| nd.membership)
+    }
+
+    /// Absolute slots executed so far.
+    pub fn slots(&self) -> u64 {
+        self.abs
+    }
+
+    /// The Sec. 10 latency oracle: every verdict is decided exactly one
+    /// TDMA round (N slots) after its slot, and every node decides every
+    /// past slot (no verdict is skipped or delayed). These are structural
+    /// bounds of the per-slot pipeline, so they hold unconditionally —
+    /// no fault hypothesis gates them.
+    pub fn check_latency(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        let n = self.n as u64;
+        let expected = self.abs.saturating_sub(n);
+        for id in NodeId::all(self.n) {
+            let vs = &self.nodes[id.index()].verdicts;
+            if vs.len() as u64 != expected {
+                violations.push(format!("{id}: {} verdicts, expected {expected}", vs.len()));
+            }
+            for v in vs {
+                if v.latency_slots() != n {
+                    violations.push(format!(
+                        "{id}: slot {} decided after {} slots, bound is {n}",
+                        v.abs_slot,
+                        v.latency_slots()
+                    ));
+                }
+            }
+        }
+        violations
+    }
+
+    /// The view-synchrony oracle for the 2-round membership composition:
+    /// when the whole run stays within the benign hypothesis (every slot's
+    /// ground truth is `Correct` or `Benign`), all nodes install the exact
+    /// same view sequence, and every excluded node really sent a benign
+    /// slot earlier. Vacuous outside the hypothesis or when membership is
+    /// off.
+    pub fn check_view_synchrony(&self) -> Vec<String> {
+        use tt_sim::SlotFaultClass;
+        let mut violations = Vec::new();
+        if !self.membership_enabled() {
+            return violations;
+        }
+        let benign_only = self
+            .ground_truth
+            .iter()
+            .all(|c| matches!(c, SlotFaultClass::Correct | SlotFaultClass::Benign));
+        if !benign_only {
+            return violations;
+        }
+        let reference = self.view_log(NodeId::new(1));
+        for id in NodeId::all(self.n).skip(1) {
+            if self.view_log(id) != reference {
+                violations.push(format!("{id} installed a different view sequence"));
+            }
+        }
+        // Wrongful exclusion: a node may only leave a view after sending a
+        // benign slot.
+        let n = self.n as u64;
+        for (installed, members) in reference {
+            for x in NodeId::all(self.n) {
+                if members.contains(&x) {
+                    continue;
+                }
+                let sent_benign = (0..*installed).any(|a| {
+                    (a % n) as usize == x.slot()
+                        && matches!(
+                            self.ground_truth.get(a as usize),
+                            Some(SlotFaultClass::Benign)
+                        )
+                });
+                if !sent_benign {
+                    violations.push(format!("view at slot {installed} excludes obedient {x}"));
+                }
+            }
+        }
+        violations
+    }
+
+    /// The membership-liveness oracle: a locally detectable (benign) faulty
+    /// slot whose collection round is clean yields a view excluding its
+    /// sender within two executions — 2·N slots (Sec. 10). Slots whose
+    /// deadline falls past the end of the run are skipped.
+    pub fn check_membership_liveness(&self) -> Vec<String> {
+        use tt_sim::SlotFaultClass;
+        let mut violations = Vec::new();
+        if !self.membership_enabled() {
+            return violations;
+        }
+        let n = self.n as u64;
+        for (a, class) in self.ground_truth.iter().enumerate() {
+            let a = a as u64;
+            if !matches!(class, SlotFaultClass::Benign) || a + 2 * n >= self.abs {
+                continue;
+            }
+            // The conviction at a + N needs every opinion on `a` delivered.
+            let clean_collection = (a + 1..=a + n).all(|s| {
+                matches!(
+                    self.ground_truth.get(s as usize),
+                    Some(SlotFaultClass::Correct)
+                )
+            });
+            if !clean_collection {
+                continue;
+            }
+            let sender = NodeId::from_slot((a % n) as usize);
+            for id in NodeId::all(self.n) {
+                let excluded = self
+                    .view_log(id)
+                    .iter()
+                    .any(|(s, members)| *s <= a + 2 * n && !members.contains(&sender));
+                if !excluded {
+                    violations.push(format!(
+                        "{id} never excluded {sender} within 2 rounds of benign slot {a}"
+                    ));
+                }
+            }
+        }
+        violations
+    }
+
     /// The verdict of `node` on absolute slot `abs`, if decided.
     fn verdict_at(&self, node: NodeId, abs: u64) -> Option<&SlotVerdict> {
         self.nodes[node.index()]

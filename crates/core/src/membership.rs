@@ -138,6 +138,16 @@ impl MembershipJob {
         self.pr.is_active(node)
     }
 
+    /// The current Alg. 2 penalty counter this instance keeps for `node`.
+    pub fn penalty(&self, node: NodeId) -> u64 {
+        self.pr.penalty(node)
+    }
+
+    /// The current Alg. 2 reward counter this instance keeps for `node`.
+    pub fn reward(&self, node: NodeId) -> u64 {
+        self.pr.reward(node)
+    }
+
     /// Detects the minority clique: nodes whose disseminated syndrome
     /// disagrees with the consistent health vector on some *other* node's
     /// health (their self-opinion is ignored, as in the voting).

@@ -89,8 +89,24 @@ fn decode_mask(payload: u8, n: usize) -> u64 {
 /// # Errors
 ///
 /// Propagates the engine's validation errors for schedules the explorer
-/// can't produce (cluster size outside `2..=64`, fault slot out of range).
+/// can't produce (cluster size outside `2..=64`, fault slot out of range),
+/// and rejects schedules targeting a protocol variant other than
+/// [`ProtocolUnderTest::Diag`](crate::explore::ProtocolUnderTest) — the
+/// lockstep engine models `DiagJob` lanes only, and silently producing
+/// diag fingerprints for a membership or lowlat schedule would corrupt
+/// the explorer's novelty triage (the explorer itself falls back to the
+/// scalar path for non-diag generations).
 pub fn execute_schedules_batched(schedules: &[FaultSchedule]) -> Result<Vec<Vec<u64>>, SimError> {
+    use crate::explore::ProtocolUnderTest;
+    if let Some(s) = schedules
+        .iter()
+        .find(|s| s.protocol != ProtocolUnderTest::Diag)
+    {
+        return Err(SimError::InvalidConfig(format!(
+            "batched evaluation is DiagJob-only; got a {} schedule",
+            s.protocol.as_str()
+        )));
+    }
     let mut out: Vec<Vec<u64>> = vec![Vec::new(); schedules.len()];
     let mut by_n: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
     for (idx, s) in schedules.iter().enumerate() {
@@ -115,7 +131,9 @@ pub fn execute_schedules_batched(schedules: &[FaultSchedule]) -> Result<Vec<Vec<
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::explore::{execute_schedule, seeded_schedule, ExploreConfig, ScheduledFault};
+    use crate::explore::{
+        execute_schedule, seeded_schedule, ExploreConfig, ProtocolUnderTest, ScheduledFault,
+    };
 
     #[test]
     fn batched_fingerprints_match_scalar_on_random_schedules() {
@@ -160,9 +178,24 @@ mod tests {
                 stride: 3,
                 class: ScheduledClass::Benign,
             }],
+            protocol: ProtocolUnderTest::Diag,
         };
         let batched = execute_schedules_batched(std::slice::from_ref(&s)).unwrap();
         assert_eq!(execute_schedule(&s).fingerprints, batched[0]);
+    }
+
+    #[test]
+    fn variant_schedules_are_rejected_not_misfingerprinted() {
+        let s = FaultSchedule {
+            n: 4,
+            rounds: 12,
+            penalty_threshold: 3,
+            reward_threshold: 2,
+            faults: Vec::new(),
+            protocol: ProtocolUnderTest::Membership,
+        };
+        let err = execute_schedules_batched(std::slice::from_ref(&s)).unwrap_err();
+        assert!(err.to_string().contains("membership"), "{err}");
     }
 
     #[test]
@@ -173,6 +206,7 @@ mod tests {
             penalty_threshold: 3,
             reward_threshold: 2,
             faults: Vec::new(),
+            protocol: ProtocolUnderTest::Diag,
         };
         assert!(execute_schedules_batched(std::slice::from_ref(&s)).is_err());
     }

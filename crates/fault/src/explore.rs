@@ -31,6 +31,14 @@
 //! Everything is deterministic under a fixed seed: the generator draws from
 //! the vendored `StdRng`, schedule execution itself is RNG-free, and the
 //! fingerprints are platform-stable.
+//!
+//! The search is **protocol-generic**: a [`ProtocolUnderTest`] selector on
+//! every schedule picks the base diagnosis ([`DiagJob`]), the Sec. 7
+//! membership variant or the Sec. 10 low-latency variant; the membership
+//! and low-latency execution paths and their oracle stacks (view
+//! synchrony, clique liveness, latency bounds) live in [`crate::oracles`].
+//! Generation, mutation, shrinking and the corpus format are shared by all
+//! three variants.
 
 use std::collections::HashSet;
 use std::hash::Hasher;
@@ -57,6 +65,49 @@ pub const LAG: u64 = 3;
 /// The first round in which a scheduled fault may fire (earlier rounds are
 /// still filling the diagnosis pipeline).
 pub const MIN_FAULT_ROUND: u64 = 4;
+
+/// Which protocol variant a schedule executes against.
+///
+/// The selector travels *on the schedule* (not just the session config) so
+/// a corpus can mix variants and every file replays against the oracles
+/// that produced it. `Diag` schedules serialize without the selector,
+/// keeping the ids (and corpus file names) of every pre-variant schedule
+/// unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProtocolUnderTest {
+    /// The base diagnosis protocol ([`DiagJob`]): Theorem 1, cross-node
+    /// counter agreement and the Alg. 2 invariants.
+    Diag,
+    /// The Sec. 7 membership variant ([`tt_core::MembershipJob`]):
+    /// Theorem 2 view synchrony, wrongful-exclusion, membership liveness
+    /// and clique exclusion (see [`crate::oracles`]).
+    Membership,
+    /// The Sec. 10 low-latency variant ([`tt_core::lowlat::LowLatCluster`]):
+    /// 1-round diagnostic / 2-round membership latency bounds plus the
+    /// per-slot Theorem 1 analogue.
+    Lowlat,
+}
+
+impl ProtocolUnderTest {
+    /// The CLI spelling (`--protocol diag|membership|lowlat`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ProtocolUnderTest::Diag => "diag",
+            ProtocolUnderTest::Membership => "membership",
+            ProtocolUnderTest::Lowlat => "lowlat",
+        }
+    }
+
+    /// Parses the CLI spelling; `None` for anything else.
+    pub fn parse_cli(s: &str) -> Option<Self> {
+        match s {
+            "diag" => Some(ProtocolUnderTest::Diag),
+            "membership" => Some(ProtocolUnderTest::Membership),
+            "lowlat" => Some(ProtocolUnderTest::Lowlat),
+            _ => None,
+        }
+    }
+}
 
 /// The class of one scheduled fault, mirroring the paper's fault taxonomy
 /// (benign / symmetric malicious / asymmetric).
@@ -128,7 +179,7 @@ impl ScheduledFault {
 
 /// A bounded, fully deterministic fault scenario: the protocol parameters
 /// it runs under plus the faults injected on the bus.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultSchedule {
     /// Cluster size.
     pub n: usize,
@@ -140,6 +191,8 @@ pub struct FaultSchedule {
     pub reward_threshold: u64,
     /// The injected faults (first matching fault wins per slot).
     pub faults: Vec<ScheduledFault>,
+    /// The protocol variant this schedule executes against.
+    pub protocol: ProtocolUnderTest,
 }
 
 impl FaultSchedule {
@@ -148,6 +201,58 @@ impl FaultSchedule {
     pub fn id(&self) -> u64 {
         let json = serde_json::to_string(self).expect("schedule serializes");
         Fnv1a64::hash_bytes(json.as_bytes())
+    }
+}
+
+// Hand-written (de)serialization: `Diag` schedules omit the `protocol`
+// field entirely so their serialized form — and therefore [`FaultSchedule::
+// id`] and every committed corpus file name — is byte-identical to the
+// pre-variant format, and pre-variant JSON deserializes as `Diag`.
+impl Serialize for FaultSchedule {
+    fn to_value(&self) -> serde::Value {
+        use serde::Value;
+        let mut fields = vec![
+            ("n".to_string(), self.n.to_value()),
+            ("rounds".to_string(), self.rounds.to_value()),
+            (
+                "penalty_threshold".to_string(),
+                self.penalty_threshold.to_value(),
+            ),
+            (
+                "reward_threshold".to_string(),
+                self.reward_threshold.to_value(),
+            ),
+            ("faults".to_string(), self.faults.to_value()),
+        ];
+        if self.protocol != ProtocolUnderTest::Diag {
+            fields.push(("protocol".to_string(), self.protocol.to_value()));
+        }
+        Value::Map(fields)
+    }
+}
+
+impl Deserialize for FaultSchedule {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        use serde::{DeError, Value};
+        let map = v
+            .as_map()
+            .ok_or_else(|| DeError::custom("FaultSchedule: expected map"))?;
+        let field = |key: &str| {
+            Value::get_field(map, key)
+                .ok_or_else(|| DeError::custom(format!("FaultSchedule: missing field `{key}`")))
+        };
+        let protocol = match Value::get_field(map, "protocol") {
+            Some(p) => Deserialize::from_value(p)?,
+            None => ProtocolUnderTest::Diag,
+        };
+        Ok(FaultSchedule {
+            n: Deserialize::from_value(field("n")?)?,
+            rounds: Deserialize::from_value(field("rounds")?)?,
+            penalty_threshold: Deserialize::from_value(field("penalty_threshold")?)?,
+            reward_threshold: Deserialize::from_value(field("reward_threshold")?)?,
+            faults: Deserialize::from_value(field("faults")?)?,
+            protocol,
+        })
     }
 }
 
@@ -168,15 +273,26 @@ impl FaultPipeline for SchedulePipeline {
     }
 }
 
-/// The verdict of the full oracle stack on one executed schedule.
+/// The verdict of the full oracle stack on one executed schedule. Each
+/// field names the oracle that produced it, so a counterexample's
+/// violation strings say exactly which oracle fired.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ScheduleVerdict {
-    /// Theorem 1 violations ([`check_diag_cluster`]), formatted.
+    /// Theorem 1 violations ([`check_diag_cluster`] or its membership /
+    /// per-slot analogues), formatted.
     pub theorem1: Vec<String>,
     /// Cross-node counter divergences ([`check_counter_consistency`]).
     pub counter_divergence: Vec<String>,
     /// Alg. 2 invariant violations ([`check_alg2_cluster`]), formatted.
     pub alg2: Vec<String>,
+    /// Theorem 2 view-synchrony violations (identical view sequences, no
+    /// wrongful exclusion, clique agreement) — membership and lowlat runs.
+    pub view_synchrony: Vec<String>,
+    /// Membership- / clique-liveness violations (detectable fault ⇒ new
+    /// view within two executions; minority clique accused and excluded).
+    pub liveness: Vec<String>,
+    /// Sec. 10 latency-bound violations (1-round diagnostic, per chain).
+    pub latency: Vec<String>,
     /// Violations reported by a caller-provided extra oracle.
     pub extra: Vec<String>,
 }
@@ -187,6 +303,9 @@ impl ScheduleVerdict {
         self.theorem1.is_empty()
             && self.counter_divergence.is_empty()
             && self.alg2.is_empty()
+            && self.view_synchrony.is_empty()
+            && self.liveness.is_empty()
+            && self.latency.is_empty()
             && self.extra.is_empty()
     }
 
@@ -198,6 +317,9 @@ impl ScheduleVerdict {
         let mut out = tag("theorem1", &self.theorem1);
         out.extend(tag("counter-divergence", &self.counter_divergence));
         out.extend(tag("alg2", &self.alg2));
+        out.extend(tag("view-synchrony", &self.view_synchrony));
+        out.extend(tag("liveness", &self.liveness));
+        out.extend(tag("latency", &self.latency));
         out.extend(tag("extra", &self.extra));
         out
     }
@@ -237,10 +359,27 @@ pub fn execute_schedule(schedule: &FaultSchedule) -> ScheduleExec {
 }
 
 /// Like [`execute_schedule`], with an additional caller-provided oracle.
+///
+/// Dispatches on the schedule's [`ProtocolUnderTest`]. The extra oracle
+/// receives the round-granular [`Cluster`] for the diag and membership
+/// variants; the slot-granular lowlat variant runs no extra oracle (its
+/// cluster is a different type).
 pub fn execute_schedule_with_oracle(
     schedule: &FaultSchedule,
     extra: ExtraOracle<'_>,
 ) -> ScheduleExec {
+    match schedule.protocol {
+        ProtocolUnderTest::Diag => execute_diag_schedule(schedule, extra),
+        ProtocolUnderTest::Membership => {
+            crate::oracles::execute_membership_schedule(schedule, extra)
+        }
+        ProtocolUnderTest::Lowlat => crate::oracles::execute_lowlat_schedule(schedule),
+    }
+}
+
+/// The base-protocol execution path: a cluster of [`DiagJob`]s checked by
+/// the Theorem 1 / counter-agreement / Alg. 2 stack.
+fn execute_diag_schedule(schedule: &FaultSchedule, extra: ExtraOracle<'_>) -> ScheduleExec {
     let cfg = ProtocolConfig::builder(schedule.n)
         .penalty_threshold(schedule.penalty_threshold)
         .reward_threshold(schedule.reward_threshold)
@@ -280,6 +419,9 @@ pub fn execute_schedule_with_oracle(
             .iter()
             .map(|v| format!("{v:?}"))
             .collect(),
+        view_synchrony: Vec::new(),
+        liveness: Vec::new(),
+        latency: Vec::new(),
         extra: extra(&cluster),
     };
     ScheduleExec {
@@ -315,7 +457,6 @@ pub fn round_for(n: usize) -> tt_sim::Nanos {
 ///   and the paper claims no self-stabilization — the divergence persists
 ///   after the bus is quiet again, so no later round is attributable.
 fn effective_hypothesis_rounds(cluster: &Cluster, schedule: &FaultSchedule) -> Vec<RoundIndex> {
-    let trace = cluster.trace();
     let n = schedule.n;
     // Earliest isolation decision per subject, across all observers (they
     // can disagree once the hypothesis has been left).
@@ -327,8 +468,25 @@ fn effective_hypothesis_rounds(cluster: &Cluster, schedule: &FaultSchedule) -> V
             *e = (*e).min(ev.decided_at.as_u64());
         }
     }
+    hypothesis_prefix(cluster, n, schedule.rounds, &iso)
+}
+
+/// The shared core of the hypothesis-prefix computation: given the
+/// earliest isolation decision per subject (each isolated node counts as
+/// one standing benign faulty sender from that decision on), walks the
+/// checkable rounds and stops at the first whose execution window leaves
+/// the fault hypothesis. Used by the diag path above and by the membership
+/// oracle stack ([`crate::oracles`]), which collects the isolation map
+/// from [`tt_core::MembershipJob`]s instead.
+pub(crate) fn hypothesis_prefix(
+    cluster: &Cluster,
+    n: usize,
+    rounds: u64,
+    iso: &std::collections::BTreeMap<usize, u64>,
+) -> Vec<RoundIndex> {
+    let trace = cluster.trace();
     let mut out = Vec::new();
-    for r in checkable_rounds(schedule.rounds, LAG) {
+    for r in checkable_rounds(rounds, LAG) {
         let mut counts = FaultCounts::default();
         for d in 0..=LAG {
             counts.accumulate(FaultCounts::of_round(trace, r + d));
@@ -394,7 +552,7 @@ pub enum Strategy {
 /// Exploration parameters. All bounds are inclusive of protocol warm-up:
 /// faults fire in `[MIN_FAULT_ROUND, rounds - LAG - 2]` so every injection
 /// lands in an oracle-checkable round.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct ExploreConfig {
     /// Cluster size (≥ 4).
     pub n: usize,
@@ -412,6 +570,8 @@ pub struct ExploreConfig {
     pub seed: u64,
     /// Generation strategy.
     pub strategy: Strategy,
+    /// The protocol variant generated schedules execute against.
+    pub protocol: ProtocolUnderTest,
 }
 
 impl Default for ExploreConfig {
@@ -427,7 +587,38 @@ impl Default for ExploreConfig {
             budget: 150,
             seed: 0xD1A6_05E5,
             strategy: Strategy::CoverageGuided,
+            protocol: ProtocolUnderTest::Diag,
         }
+    }
+}
+
+// Hand-written so checkpoints written before the protocol selector existed
+// (no `protocol` field) keep resuming: a missing field means `Diag`.
+impl Deserialize for ExploreConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        use serde::{DeError, Value};
+        let map = v
+            .as_map()
+            .ok_or_else(|| DeError::custom("ExploreConfig: expected map"))?;
+        let field = |key: &str| {
+            Value::get_field(map, key)
+                .ok_or_else(|| DeError::custom(format!("ExploreConfig: missing field `{key}`")))
+        };
+        let protocol = match Value::get_field(map, "protocol") {
+            Some(p) => Deserialize::from_value(p)?,
+            None => ProtocolUnderTest::Diag,
+        };
+        Ok(ExploreConfig {
+            n: Deserialize::from_value(field("n")?)?,
+            rounds: Deserialize::from_value(field("rounds")?)?,
+            penalty_threshold: Deserialize::from_value(field("penalty_threshold")?)?,
+            reward_threshold: Deserialize::from_value(field("reward_threshold")?)?,
+            max_faults: Deserialize::from_value(field("max_faults")?)?,
+            budget: Deserialize::from_value(field("budget")?)?,
+            seed: Deserialize::from_value(field("seed")?)?,
+            strategy: Deserialize::from_value(field("strategy")?)?,
+            protocol,
+        })
     }
 }
 
@@ -704,9 +895,24 @@ impl Explorer {
         let budget_left = (self.cfg.budget - self.report.executed) as usize;
         let take = generation.clamp(1, budget_left);
         let candidates: Vec<FaultSchedule> = (0..take).map(|_| self.draw_schedule()).collect();
+        self.report.executed += take as u64;
+        // The lockstep engine simulates `DiagJob` lanes only; a generation
+        // containing membership or lowlat schedules (from the config or a
+        // mixed seed corpus) is evaluated scalar, one schedule at a time,
+        // with the same absorb semantics.
+        if candidates
+            .iter()
+            .any(|s| s.protocol != ProtocolUnderTest::Diag)
+        {
+            for schedule in candidates {
+                let exec = execute_schedule_with_oracle(&schedule, extra);
+                self.absorb(schedule, &exec, extra);
+            }
+            self.report.unique_states = self.seen.len() as u64;
+            return true;
+        }
         let batched = crate::batch_eval::execute_schedules_batched(&candidates)
             .expect("explorer schedules are engine-valid");
-        self.report.executed += take as u64;
         for (schedule, lane_fps) in candidates.into_iter().zip(batched) {
             if lane_fps.iter().all(|fp| self.seen.contains(fp)) {
                 continue;
@@ -812,7 +1018,42 @@ fn random_schedule(cfg: &ExploreConfig, rng: &mut StdRng) -> FaultSchedule {
         penalty_threshold: cfg.penalty_threshold,
         reward_threshold: cfg.reward_threshold,
         faults,
+        protocol: cfg.protocol,
     }
+}
+
+/// The `CliquePartition` fault list (cf. [`crate::malicious::CliquePartition`])
+/// as schedule faults: every sender *outside* the clique is hit by an
+/// asymmetric fault detected only by the clique members, so the clique
+/// perceives the rest of the cluster as faulty while the majority sees a
+/// clean bus — the adversarial scenario behind Sec. 7's minority-clique
+/// exclusion. `clique` holds 0-based node indices; it must be a nonempty
+/// strict subset of the cluster.
+pub fn clique_partition_faults(
+    n: usize,
+    clique: &[usize],
+    round: u64,
+    hits: u64,
+) -> Vec<ScheduledFault> {
+    assert!(
+        !clique.is_empty() && clique.len() < n,
+        "clique must be a nonempty strict subset"
+    );
+    let mut clique = clique.to_vec();
+    clique.sort_unstable();
+    clique.dedup();
+    (1..=n as u32)
+        .filter(|&s| !clique.contains(&((s - 1) as usize)))
+        .map(|s| ScheduledFault {
+            node: s,
+            round,
+            hits,
+            stride: 1,
+            class: ScheduledClass::Asymmetric {
+                detected_by: clique.clone(),
+            },
+        })
+        .collect()
 }
 
 fn random_fault(cfg: &ExploreConfig, rng: &mut StdRng) -> ScheduledFault {
@@ -1041,10 +1282,21 @@ mod tests {
             penalty_threshold: 100,
             reward_threshold: 100,
             faults: Vec::new(),
+            protocol: ProtocolUnderTest::Diag,
         };
-        let exec = execute_schedule(&s);
-        assert!(exec.verdict.ok(), "{:?}", exec.verdict.all());
-        assert!(!exec.fingerprints.is_empty());
+        for protocol in [
+            ProtocolUnderTest::Diag,
+            ProtocolUnderTest::Membership,
+            ProtocolUnderTest::Lowlat,
+        ] {
+            let s = FaultSchedule {
+                protocol,
+                ..s.clone()
+            };
+            let exec = execute_schedule(&s);
+            assert!(exec.verdict.ok(), "{protocol:?}: {:?}", exec.verdict.all());
+            assert!(!exec.fingerprints.is_empty(), "{protocol:?}");
+        }
     }
 
     #[test]
@@ -1079,9 +1331,80 @@ mod tests {
                 stride: 1,
                 class: ScheduledClass::Benign,
             }],
+            protocol: ProtocolUnderTest::Diag,
         };
         let exec = execute_schedule(&s);
         assert!(exec.verdict.ok(), "{:?}", exec.verdict.all());
+    }
+
+    #[test]
+    fn diag_schedules_keep_the_pre_variant_serialized_form() {
+        // Diag schedules must omit the `protocol` field so every committed
+        // corpus file name (id = hash of the JSON) stays valid.
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = random_schedule(&cfg(), &mut rng);
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(!json.contains("protocol"), "{json}");
+        // And pre-variant JSON (no `protocol` field) loads as Diag.
+        let back: FaultSchedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.protocol, ProtocolUnderTest::Diag);
+    }
+
+    #[test]
+    fn variant_schedules_roundtrip_with_their_protocol() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for protocol in [ProtocolUnderTest::Membership, ProtocolUnderTest::Lowlat] {
+            let s = FaultSchedule {
+                protocol,
+                ..random_schedule(&cfg(), &mut rng)
+            };
+            let json = serde_json::to_string(&s).unwrap();
+            assert!(json.contains("protocol"), "{json}");
+            let back: FaultSchedule = serde_json::from_str(&json).unwrap();
+            assert_eq!(s, back);
+            assert_eq!(s.id(), back.id());
+        }
+    }
+
+    #[test]
+    fn variant_execution_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for protocol in [ProtocolUnderTest::Membership, ProtocolUnderTest::Lowlat] {
+            let s = FaultSchedule {
+                protocol,
+                ..random_schedule(&cfg(), &mut rng)
+            };
+            assert_eq!(execute_schedule(&s), execute_schedule(&s));
+        }
+    }
+
+    #[test]
+    fn protocol_cli_spellings_roundtrip() {
+        for p in [
+            ProtocolUnderTest::Diag,
+            ProtocolUnderTest::Membership,
+            ProtocolUnderTest::Lowlat,
+        ] {
+            assert_eq!(ProtocolUnderTest::parse_cli(p.as_str()), Some(p));
+        }
+        assert_eq!(ProtocolUnderTest::parse_cli("quorum"), None);
+    }
+
+    #[test]
+    fn clique_partition_faults_build_the_asymmetric_pattern() {
+        let faults = clique_partition_faults(5, &[2], 8, 2);
+        assert_eq!(faults.len(), 4, "every sender outside the clique");
+        for f in &faults {
+            assert_ne!(f.node, 3, "clique member 2 (node 3) is not a sender");
+            assert_eq!(f.round, 8);
+            assert_eq!(f.hits, 2);
+            assert_eq!(
+                f.class,
+                ScheduledClass::Asymmetric {
+                    detected_by: vec![2]
+                }
+            );
+        }
     }
 
     #[test]

@@ -22,7 +22,12 @@
 //! * [`campaign`] — the Sec. 8 validation campaign: experiment classes,
 //!   seeded repetitions, and property-oracle verdicts;
 //! * [`mod@explore`] — coverage-guided exploration of bounded fault schedules
-//!   with counterexample shrinking and a replayable corpus;
+//!   with counterexample shrinking and a replayable corpus, generic over
+//!   the protocol under test (base diagnosis, Sec. 7 membership, Sec. 10
+//!   low latency);
+//! * [`oracles`] — the membership and low-latency oracle stacks the
+//!   explorer checks: view synchrony, wrongful exclusion, membership /
+//!   clique liveness, and the Sec. 10 latency bound;
 //! * [`batch_eval`] — lockstep (structure-of-arrays) evaluation of whole
 //!   slates of fault schedules, byte-identical to the scalar path;
 //! * [`harness`] — faults injected into the *harness itself* (panicking,
@@ -46,6 +51,7 @@ pub mod harness;
 pub mod injector;
 pub mod malicious;
 pub mod noise;
+pub mod oracles;
 pub mod sampled;
 pub mod scenario;
 
@@ -62,10 +68,11 @@ pub use checkpoint::{
     CHECKPOINT_VERSION,
 };
 pub use explore::{
-    execute_schedule, execute_schedule_with_oracle, explore, explore_with, load_corpus,
-    max_fault_round, no_extra_oracle, round_for, save_schedule, schedule_pipeline, seeded_schedule,
-    shrink_schedule, Counterexample, ExploreConfig, ExploreReport, Explorer, FaultSchedule,
-    ScheduleExec, ScheduleVerdict, ScheduledClass, ScheduledFault, Strategy, LAG, MIN_FAULT_ROUND,
+    clique_partition_faults, execute_schedule, execute_schedule_with_oracle, explore, explore_with,
+    load_corpus, max_fault_round, no_extra_oracle, round_for, save_schedule, schedule_pipeline,
+    seeded_schedule, shrink_schedule, Counterexample, ExploreConfig, ExploreReport, Explorer,
+    FaultSchedule, ProtocolUnderTest, ScheduleExec, ScheduleVerdict, ScheduledClass,
+    ScheduledFault, Strategy, LAG, MIN_FAULT_ROUND,
 };
 pub use harness::{
     BackoffPolicy, ChaosPlan, HarnessFault, HarnessFaultHook, NoHarnessFaults, QuarantineReason,
@@ -74,6 +81,7 @@ pub use harness::{
 pub use injector::{Disturbance, DisturbanceNode};
 pub use malicious::{AsymmetricDisturbance, CliquePartition, RandomSyndromeJob};
 pub use noise::{RandomNoise, Spike};
+pub use oracles::{execute_lowlat_schedule, execute_membership_schedule};
 pub use sampled::{
     first_victim_arrival, observe_schedule, observe_schedules_batched, sampled_schedule,
     victim_arrivals, ObservedIsolation, ScheduleObservation, TransientCell, DECISION_LAG,

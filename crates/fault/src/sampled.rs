@@ -25,7 +25,8 @@ use tt_sim::{ClusterBuilder, NodeId, SimError};
 
 use crate::batch_eval::{lane_params, lane_plan};
 use crate::explore::{
-    max_fault_round, round_for, FaultSchedule, ScheduledClass, ScheduledFault, LAG, MIN_FAULT_ROUND,
+    max_fault_round, round_for, FaultSchedule, ProtocolUnderTest, ScheduledClass, ScheduledFault,
+    LAG, MIN_FAULT_ROUND,
 };
 
 /// The node struck by the sampled external transients (1-based). Its
@@ -104,6 +105,7 @@ pub fn sampled_schedule(cell: &TransientCell, seed: u64) -> FaultSchedule {
         penalty_threshold: cell.penalty_threshold,
         reward_threshold: cell.reward_threshold,
         faults,
+        protocol: ProtocolUnderTest::Diag,
     }
 }
 
@@ -313,6 +315,7 @@ mod tests {
                     class: ScheduledClass::Benign,
                 })
                 .collect(),
+            protocol: ProtocolUnderTest::Diag,
         }
     }
 

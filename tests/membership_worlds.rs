@@ -1,0 +1,260 @@
+//! Exhaustive model-checking-style verification of the Sec. 7 membership
+//! variant on small worlds: instead of sampling fault patterns, enumerate
+//! *every* pattern in a bounded window and run the full membership oracle
+//! stack (Theorem 1 with accusation exemptions, counter agreement,
+//! Theorem 2 view synchrony, wrongful exclusion, membership liveness,
+//! clique accusation/exclusion) on each world. The membership-variant
+//! sibling of `tests/exhaustive_small_worlds.rs`.
+//!
+//! Enumerations are parameterized over the cluster size `N ∈ {4, 5}` and
+//! the window shape; the N = 5 two-round benign enumeration is
+//! `#[ignore]`d and run by the weekly soak job (`cargo test -- --ignored`).
+
+use tt_fault::explore::{
+    clique_partition_faults, execute_schedule, FaultSchedule, ProtocolUnderTest, ScheduledClass,
+    ScheduledFault,
+};
+
+const TOTAL_ROUNDS: u64 = 16;
+
+/// One world shape under enumeration: the cluster size and the bounded
+/// window of rounds whose slots the enumerated pattern drives.
+#[derive(Clone, Copy)]
+struct World {
+    n: usize,
+    window_start: u64,
+    window_rounds: u64,
+}
+
+/// N = 4 with a two-round window starting at round 8.
+const W4: World = World {
+    n: 4,
+    window_start: 8,
+    window_rounds: 2,
+};
+
+/// N = 4, window shifted earlier — alignment must not matter.
+const W4_EARLY: World = World {
+    n: 4,
+    window_start: 6,
+    window_rounds: 2,
+};
+
+/// N = 5, single-round window (fast enough for every PR).
+const W5: World = World {
+    n: 5,
+    window_start: 8,
+    window_rounds: 1,
+};
+
+/// N = 5, two-round window — 2^10 benign worlds; weekly soak only.
+const W5_WIDE: World = World {
+    n: 5,
+    window_start: 8,
+    window_rounds: 2,
+};
+
+impl World {
+    const fn slots(&self) -> u64 {
+        self.window_rounds * self.n as u64
+    }
+
+    /// The world as an empty membership schedule; patterns add faults.
+    fn schedule(&self) -> FaultSchedule {
+        FaultSchedule {
+            n: self.n,
+            rounds: TOTAL_ROUNDS,
+            penalty_threshold: 3,
+            reward_threshold: 2,
+            faults: Vec::new(),
+            protocol: ProtocolUnderTest::Membership,
+        }
+    }
+
+    /// The (1-based node, round) the window's `idx`-th slot belongs to.
+    fn slot(&self, idx: u64) -> (u32, u64) {
+        let node = (idx % self.n as u64) as u32 + 1;
+        let round = self.window_start + idx / self.n as u64;
+        (node, round)
+    }
+}
+
+/// Runs one world through the full membership oracle stack and asserts
+/// every oracle stays silent; the failure message names the schedule.
+fn assert_world_ok(schedule: &FaultSchedule, label: &str) {
+    let exec = execute_schedule(schedule);
+    assert!(
+        exec.verdict.ok(),
+        "{label}: {:?}\nschedule: {schedule:?}",
+        exec.verdict.all(),
+    );
+}
+
+/// Every benign/correct pattern over the window: 2^slots worlds, each
+/// checked against the whole membership stack. View synchrony must hold in
+/// every one of them (identical view sequences, exclusions only of benign
+/// senders), and membership liveness must exclude every benign sender that
+/// fires inside the hypothesis prefix.
+fn check_benign_patterns(world: World) {
+    let slots = world.slots() as u32;
+    let clean = execute_schedule(&world.schedule());
+    let mut views_changed = 0u32;
+    for mask in 0u32..(1 << slots) {
+        let mut s = world.schedule();
+        for idx in 0..u64::from(slots) {
+            if mask & (1 << idx) != 0 {
+                let (node, round) = world.slot(idx);
+                s.faults.push(ScheduledFault {
+                    node,
+                    round,
+                    hits: 1,
+                    stride: 1,
+                    class: ScheduledClass::Benign,
+                });
+            }
+        }
+        let exec = execute_schedule(&s);
+        assert!(
+            exec.verdict.ok(),
+            "n={} mask {mask:#012b}: {:?}",
+            world.n,
+            exec.verdict.all(),
+        );
+        // Non-vacuity: every non-empty pattern perturbs the fingerprinted
+        // membership state (view churn and accusations are coverage).
+        if mask != 0 && exec.fingerprints != clean.fingerprints {
+            views_changed += 1;
+        }
+    }
+    assert!(
+        views_changed > 0,
+        "n={}: no benign pattern ever changed membership state — the \
+         oracle run is vacuous",
+        world.n,
+    );
+}
+
+#[test]
+fn all_benign_patterns_over_two_rounds() {
+    check_benign_patterns(W4);
+}
+
+#[test]
+fn all_benign_patterns_over_an_early_window() {
+    check_benign_patterns(W4_EARLY);
+}
+
+#[test]
+fn all_benign_patterns_at_n5() {
+    check_benign_patterns(W5);
+}
+
+#[test]
+#[ignore = "N = 5 two-round benign membership enumeration (1024 worlds): weekly soak"]
+fn all_benign_patterns_at_n5_over_two_rounds() {
+    check_benign_patterns(W5_WIDE);
+}
+
+/// One asymmetric sender — every non-trivial detector subset — combined
+/// with every placement of one additional benign slot in the window. The
+/// membership stack must stay silent on all of them: the detecting
+/// minority's accusations either convict the sender (in hypothesis) or the
+/// prefix gating keeps the oracles vacuous, but no world may produce
+/// divergent view sequences among the nodes every view retains.
+fn check_one_asymmetric_with_benign(world: World) {
+    let n = world.n;
+    let slots = world.slots();
+    for subset in 1u8..(1 << (n - 1)) - 1 {
+        // Receiver indices (0-based) of the asymmetric fault's detectors:
+        // the window's first sender is node 1 (index 0), so detectors are
+        // drawn from indices 1..n.
+        let detected_by: Vec<usize> = (1..n).filter(|&r| subset & (1 << (r - 1)) != 0).collect();
+        // `benign_at == slots` places no extra benign fault.
+        for benign_at in 1..=slots {
+            let mut s = world.schedule();
+            let (node, round) = world.slot(0);
+            s.faults.push(ScheduledFault {
+                node,
+                round,
+                hits: 1,
+                stride: 1,
+                class: ScheduledClass::Asymmetric {
+                    detected_by: detected_by.clone(),
+                },
+            });
+            if benign_at < slots {
+                let (node, round) = world.slot(benign_at);
+                s.faults.push(ScheduledFault {
+                    node,
+                    round,
+                    hits: 1,
+                    stride: 1,
+                    class: ScheduledClass::Benign,
+                });
+            }
+            assert_world_ok(
+                &s,
+                &format!("n={n} subset {subset:#06b} benign at {benign_at}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn one_asymmetric_sender_with_optional_benign_slot() {
+    check_one_asymmetric_with_benign(W4);
+}
+
+#[test]
+fn one_asymmetric_sender_with_optional_benign_slot_at_n5() {
+    check_one_asymmetric_with_benign(W5);
+}
+
+/// Every minority clique partition: for each detector set `D` that can
+/// never win a vote (`2·|D| < N - 1`), every majority sender transmits an
+/// asymmetric frame only `D` detects — the paper's clique scenario. The
+/// clique-mode oracle additionally requires every clique member to be
+/// accused by every majority observer and excluded within two executions,
+/// so this enumeration exercises the clique-liveness check on every world,
+/// across window placements and burst lengths.
+fn check_clique_partitions(world: World) {
+    let n = world.n;
+    for clique_mask in 1u8..(1 << n) {
+        let clique: Vec<usize> = (0..n).filter(|&i| clique_mask & (1 << i) != 0).collect();
+        if 2 * clique.len() >= n - 1 {
+            continue;
+        }
+        for hits in 1..=world.window_rounds {
+            let mut s = world.schedule();
+            s.faults = clique_partition_faults(n, &clique, world.window_start, hits);
+            assert_world_ok(&s, &format!("n={n} clique {clique:?} hits {hits}"));
+        }
+    }
+}
+
+#[test]
+fn every_minority_clique_partition() {
+    check_clique_partitions(W4);
+}
+
+#[test]
+fn every_minority_clique_partition_at_n5() {
+    check_clique_partitions(W5);
+}
+
+/// The clique-liveness oracle has bite: a clique partition at N = 5
+/// actually produces accusations and a view excluding the clique (the
+/// fingerprint stream differs from the fault-free run), so the silent
+/// verdicts above are not vacuous truth.
+#[test]
+fn clique_partitions_actually_move_membership_state() {
+    let mut s = W5.schedule();
+    s.faults = clique_partition_faults(5, &[2], W5.window_start, 1);
+    let exec = execute_schedule(&s);
+    assert!(exec.verdict.ok(), "{:?}", exec.verdict.all());
+    let clean = execute_schedule(&W5.schedule());
+    assert_ne!(
+        exec.fingerprints, clean.fingerprints,
+        "clique partition left no trace in membership state"
+    );
+}
