@@ -293,6 +293,68 @@ pub enum Command {
         /// Admin socket path.
         socket: String,
     },
+    /// Run an N-node UDP cluster on loopback threads (`ttdiag net run`).
+    NetRun {
+        /// Cluster size (one TDMA slot per node).
+        nodes: usize,
+        /// Rounds to run.
+        rounds: u64,
+        /// TDMA slot duration in microseconds.
+        slot_us: u64,
+        /// Reception grace in microseconds (default: half a slot).
+        grace_us: Option<u64>,
+        /// Penalty threshold `P`.
+        penalty: u64,
+        /// Reward threshold `R`.
+        reward: u64,
+        /// Reintegrate an isolated node after this many consecutive
+        /// rewards (0 = never reintegrate).
+        reintegrate_after: u64,
+        /// Chaos seed (the injected loss pattern is a pure function of
+        /// seed and topology).
+        seed: u64,
+        /// Per-mille of frames dropped per directed link.
+        drop: u16,
+        /// Per-mille of frames duplicated.
+        duplicate: u16,
+        /// Per-mille of frames held back one round.
+        reorder: u16,
+        /// Per-mille of frames with one byte flipped.
+        corrupt: u16,
+        /// Kill `(node, at_round, down_rounds)` mid-run and restart it.
+        crash: Option<(u32, u64, u64)>,
+        /// Write the full JSON report (with host fingerprint) here.
+        json: Option<String>,
+        /// Exit 1 unless the run converged and the simulator replay
+        /// agrees.
+        check: bool,
+    },
+    /// Run one UDP peer of a multi-process cluster (`ttdiag net node`).
+    NetNode {
+        /// This peer's 1-based id (slot = id - 1).
+        id: u32,
+        /// Bind address (default: the own entry of `--peers`).
+        bind: Option<String>,
+        /// All peer addresses in slot order, comma-separated.
+        peers: Vec<String>,
+        /// Rounds to run.
+        rounds: u64,
+        /// TDMA slot duration in microseconds.
+        slot_us: u64,
+        /// Reception grace in microseconds (default: half a slot).
+        grace_us: Option<u64>,
+        /// Penalty threshold `P`.
+        penalty: u64,
+        /// Reward threshold `R`.
+        reward: u64,
+        /// Reintegrate after this many consecutive rewards (0 = never).
+        reintegrate_after: u64,
+        /// Epoch delay in milliseconds: all peers must start within this
+        /// window for their slot clocks to align.
+        start_delay_ms: u64,
+        /// Write this node's JSON segment report here.
+        json: Option<String>,
+    },
     /// Print usage.
     Help,
 }
@@ -422,6 +484,19 @@ fn parse_at(s: &str, what: &str) -> Result<(u32, u64), ParseError> {
         .split_once('@')
         .ok_or_else(|| ParseError(format!("{what} must be NODE@ROUND, got {s:?}")))?;
     Ok((parse_num(node, "node")?, parse_num(round, "round")?))
+}
+
+/// Parses `NODE@ROUND+DOWN` into `(node, at_round, down_rounds)`.
+fn parse_crash(s: &str) -> Result<(u32, u64, u64), ParseError> {
+    let (at, down) = s
+        .split_once('+')
+        .ok_or_else(|| ParseError(format!("--crash must be NODE@ROUND+DOWN, got {s:?}")))?;
+    let (node, round) = parse_at(at, "--crash")?;
+    let down: u64 = parse_num(down, "down rounds")?;
+    if down == 0 {
+        return err("--crash needs at least one down round");
+    }
+    Ok((node, round, down))
 }
 
 impl FaultSpec {
@@ -1054,6 +1129,169 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 capacity,
             })
         }
+        "net" => {
+            let Some(sub) = rest.first() else {
+                return err("net needs a subcommand (run|node)");
+            };
+            let rest = &rest[1..];
+            match sub.as_str() {
+                "run" => {
+                    let mut nodes = 5usize;
+                    let mut rounds = 40u64;
+                    let mut slot_us = 3000u64;
+                    let mut grace_us = None;
+                    let mut penalty = 6u64;
+                    let mut reward = 1_000_000u64;
+                    let mut reintegrate_after = 4u64;
+                    let mut seed = 0u64;
+                    let mut drop = 0u16;
+                    let mut duplicate = 0u16;
+                    let mut reorder = 0u16;
+                    let mut corrupt = 0u16;
+                    let mut crash = None;
+                    let mut json = None;
+                    let mut check = false;
+                    let mut it = rest.iter();
+                    while let Some(a) = it.next() {
+                        let mut val = |name: &str| -> Result<&String, ParseError> {
+                            it.next()
+                                .ok_or_else(|| ParseError(format!("{name} needs a value")))
+                        };
+                        match a.as_str() {
+                            "--nodes" => nodes = parse_num(val("--nodes")?, "nodes")?,
+                            "--rounds" => rounds = parse_num(val("--rounds")?, "rounds")?,
+                            "--slot-us" => slot_us = parse_num(val("--slot-us")?, "slot")?,
+                            "--grace-us" => {
+                                grace_us = Some(parse_num(val("--grace-us")?, "grace")?)
+                            }
+                            "--penalty" => penalty = parse_num(val("--penalty")?, "penalty")?,
+                            "--reward" => reward = parse_num(val("--reward")?, "reward")?,
+                            "--reintegrate-after" => {
+                                reintegrate_after =
+                                    parse_num(val("--reintegrate-after")?, "reward count")?
+                            }
+                            "--seed" => seed = parse_num(val("--seed")?, "seed")?,
+                            "--drop" => drop = parse_num(val("--drop")?, "drop per-mille")?,
+                            "--duplicate" => {
+                                duplicate = parse_num(val("--duplicate")?, "duplicate per-mille")?
+                            }
+                            "--reorder" => {
+                                reorder = parse_num(val("--reorder")?, "reorder per-mille")?
+                            }
+                            "--corrupt" => {
+                                corrupt = parse_num(val("--corrupt")?, "corrupt per-mille")?
+                            }
+                            "--crash" => crash = Some(parse_crash(val("--crash")?)?),
+                            "--json" => json = Some(val("--json")?.clone()),
+                            "--check" => check = true,
+                            other => return err(format!("unknown net run flag {other:?}")),
+                        }
+                    }
+                    if !(2..=64).contains(&nodes) {
+                        return err(format!("net run needs 2..=64 nodes, got {nodes}"));
+                    }
+                    if rounds == 0 {
+                        return err("net run needs at least one round");
+                    }
+                    if u32::from(drop)
+                        + u32::from(duplicate)
+                        + u32::from(reorder)
+                        + u32::from(corrupt)
+                        > 1000
+                    {
+                        return err("chaos per-mille rates must sum to at most 1000");
+                    }
+                    if let Some((node, at_round, _)) = crash {
+                        if node == 0 || node as usize > nodes {
+                            return err(format!("--crash node {node} outside the cluster"));
+                        }
+                        if at_round == 0 || at_round >= rounds {
+                            return err("--crash round must fall inside the run");
+                        }
+                    }
+                    Ok(Command::NetRun {
+                        nodes,
+                        rounds,
+                        slot_us,
+                        grace_us,
+                        penalty,
+                        reward,
+                        reintegrate_after,
+                        seed,
+                        drop,
+                        duplicate,
+                        reorder,
+                        corrupt,
+                        crash,
+                        json,
+                        check,
+                    })
+                }
+                "node" => {
+                    let mut id = 1u32;
+                    let mut bind = None;
+                    let mut peers = Vec::new();
+                    let mut rounds = 40u64;
+                    let mut slot_us = 3000u64;
+                    let mut grace_us = None;
+                    let mut penalty = 6u64;
+                    let mut reward = 1_000_000u64;
+                    let mut reintegrate_after = 4u64;
+                    let mut start_delay_ms = 500u64;
+                    let mut json = None;
+                    let mut it = rest.iter();
+                    while let Some(a) = it.next() {
+                        let mut val = |name: &str| -> Result<&String, ParseError> {
+                            it.next()
+                                .ok_or_else(|| ParseError(format!("{name} needs a value")))
+                        };
+                        match a.as_str() {
+                            "--id" => id = parse_num(val("--id")?, "node id")?,
+                            "--bind" => bind = Some(val("--bind")?.clone()),
+                            "--peers" => {
+                                peers = val("--peers")?
+                                    .split(',')
+                                    .map(|p| p.trim().to_string())
+                                    .collect()
+                            }
+                            "--rounds" => rounds = parse_num(val("--rounds")?, "rounds")?,
+                            "--slot-us" => slot_us = parse_num(val("--slot-us")?, "slot")?,
+                            "--grace-us" => {
+                                grace_us = Some(parse_num(val("--grace-us")?, "grace")?)
+                            }
+                            "--penalty" => penalty = parse_num(val("--penalty")?, "penalty")?,
+                            "--reward" => reward = parse_num(val("--reward")?, "reward")?,
+                            "--reintegrate-after" => {
+                                reintegrate_after =
+                                    parse_num(val("--reintegrate-after")?, "reward count")?
+                            }
+                            "--start-delay-ms" => {
+                                start_delay_ms = parse_num(val("--start-delay-ms")?, "start delay")?
+                            }
+                            "--json" => json = Some(val("--json")?.clone()),
+                            other => return err(format!("unknown net node flag {other:?}")),
+                        }
+                    }
+                    if peers.is_empty() {
+                        return err("net node needs --peers ADDR,ADDR,...");
+                    }
+                    Ok(Command::NetNode {
+                        id,
+                        bind,
+                        peers,
+                        rounds,
+                        slot_us,
+                        grace_us,
+                        penalty,
+                        reward,
+                        reintegrate_after,
+                        start_delay_ms,
+                        json,
+                    })
+                }
+                other => err(format!("unknown net subcommand {other:?} (run|node)")),
+            }
+        }
         "shutdown" => {
             let mut socket = DEFAULT_SOCKET.to_string();
             let mut it = rest.iter();
@@ -1161,6 +1399,27 @@ USAGE:
                                            dropped frame counts
   ttdiag shutdown [--socket PATH]          halt jobs (checkpointed), then stop
                                            the service cleanly
+  ttdiag net run [--nodes N] [--rounds R] [--slot-us US] [--grace-us US]
+                  [--penalty P] [--reward R] [--reintegrate-after K]
+                  [--seed S] [--drop PM] [--duplicate PM] [--reorder PM]
+                  [--corrupt PM] [--crash NODE@ROUND+DOWN] [--json PATH]
+                  [--check]                run the certified protocol as a
+                                           distributed system: N node threads
+                                           exchange real UDP datagrams on an
+                                           emulated TDMA schedule (loopback),
+                                           with seeded chaos, optional
+                                           mid-run crash/restart, and a
+                                           simulator-replay cross-check of
+                                           every surviving node's verdict
+                                           (--check exits 1 on divergence;
+                                           chaos rates are per-mille)
+  ttdiag net node --peers A1,A2,... [--id I] [--bind ADDR] [--rounds R]
+                  [--slot-us US] [--grace-us US] [--penalty P] [--reward R]
+                  [--reintegrate-after K] [--start-delay-ms MS] [--json PATH]
+                                           run one peer of a multi-process
+                                           cluster; all peers need the same
+                                           peer list (slot order) and must
+                                           start within the epoch window
   ttdiag help
 
 EXIT CODES:
@@ -1651,5 +1910,110 @@ mod tests {
     fn unknown_command_rejected() {
         assert!(parse(&args("launch")).is_err());
         assert!(parse(&args("simulate --warp 9")).is_err());
+    }
+
+    #[test]
+    fn net_run_defaults_and_flags() {
+        let c = parse(&args("net run")).unwrap();
+        assert_eq!(
+            c,
+            Command::NetRun {
+                nodes: 5,
+                rounds: 40,
+                slot_us: 3000,
+                grace_us: None,
+                penalty: 6,
+                reward: 1_000_000,
+                reintegrate_after: 4,
+                seed: 0,
+                drop: 0,
+                duplicate: 0,
+                reorder: 0,
+                corrupt: 0,
+                crash: None,
+                json: None,
+                check: false,
+            }
+        );
+        let c = parse(&args(
+            "net run --nodes 4 --rounds 60 --slot-us 5000 --grace-us 2000 --penalty 3 \
+             --reward 8 --reintegrate-after 6 --seed 7 --drop 50 --duplicate 5 --reorder 5 \
+             --corrupt 5 --crash 3@12+10 --json report.json --check",
+        ))
+        .unwrap();
+        match c {
+            Command::NetRun {
+                nodes,
+                rounds,
+                slot_us,
+                grace_us,
+                penalty,
+                reward,
+                reintegrate_after,
+                seed,
+                drop,
+                duplicate,
+                reorder,
+                corrupt,
+                crash,
+                json,
+                check,
+            } => {
+                assert_eq!(
+                    (nodes, rounds, slot_us, grace_us),
+                    (4, 60, 5000, Some(2000))
+                );
+                assert_eq!((penalty, reward, reintegrate_after, seed), (3, 8, 6, 7));
+                assert_eq!((drop, duplicate, reorder, corrupt), (50, 5, 5, 5));
+                assert_eq!(crash, Some((3, 12, 10)));
+                assert_eq!(json, Some("report.json".into()));
+                assert!(check);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn net_usage_errors() {
+        // The exit-code taxonomy: every one of these is a usage error
+        // (exit 2), checked end to end in crates/cli/tests/exit_codes.rs.
+        assert!(parse(&args("net")).is_err());
+        assert!(parse(&args("net frobnicate")).is_err());
+        assert!(parse(&args("net run --nodes 1")).is_err());
+        assert!(parse(&args("net run --nodes 65")).is_err());
+        assert!(parse(&args("net run --rounds 0")).is_err());
+        assert!(parse(&args("net run --warp 9")).is_err());
+        assert!(parse(&args("net run --drop 600 --corrupt 600")).is_err());
+        assert!(parse(&args("net run --crash 3@12")).is_err());
+        assert!(parse(&args("net run --crash 3@12+0")).is_err());
+        assert!(parse(&args("net run --crash 9@12+4")).is_err());
+        assert!(parse(&args("net run --crash 3@0+4")).is_err());
+        assert!(parse(&args("net run --rounds 10 --crash 3@10+4")).is_err());
+        assert!(parse(&args("net node")).is_err());
+        assert!(parse(&args("net node --id 1")).is_err(), "peers required");
+    }
+
+    #[test]
+    fn net_node_flags() {
+        let c = parse(&args(
+            "net node --id 2 --peers 127.0.0.1:9001,127.0.0.1:9002 --rounds 8 --start-delay-ms 200",
+        ))
+        .unwrap();
+        match c {
+            Command::NetNode {
+                id,
+                bind,
+                peers,
+                rounds,
+                start_delay_ms,
+                ..
+            } => {
+                assert_eq!(id, 2);
+                assert_eq!(bind, None);
+                assert_eq!(peers, vec!["127.0.0.1:9001", "127.0.0.1:9002"]);
+                assert_eq!((rounds, start_delay_ms), (8, 200));
+            }
+            other => panic!("{other:?}"),
+        }
     }
 }

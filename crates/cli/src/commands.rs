@@ -63,11 +63,11 @@ impl fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
-fn usage(msg: impl Into<String>) -> CliError {
+pub(crate) fn usage(msg: impl Into<String>) -> CliError {
     CliError::Usage(msg.into())
 }
 
-fn internal(msg: impl Into<String>) -> CliError {
+pub(crate) fn internal(msg: impl Into<String>) -> CliError {
     CliError::Internal(msg.into())
 }
 
@@ -86,6 +86,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             capacity,
         } => crate::serve::tail(&socket, feed, max, capacity),
         Command::Shutdown { socket } => crate::serve::shutdown(&socket),
+        cmd @ (Command::NetRun { .. } | Command::NetNode { .. }) => crate::net::run(cmd),
         Command::Tune { domain } => tune_report(&domain),
         Command::Isolation { domain } => isolation_report(&domain),
         Command::TuneSweep {

@@ -4,6 +4,7 @@
 
 mod args;
 mod commands;
+mod net;
 mod serve;
 
 fn main() {

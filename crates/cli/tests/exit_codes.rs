@@ -205,6 +205,145 @@ fn explore_accepts_every_documented_protocol() {
 }
 
 #[test]
+fn net_without_a_subcommand_is_a_usage_error() {
+    let out = ttdiag().arg("net").output().expect("spawn ttdiag");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("needs a subcommand"), "{stderr}");
+}
+
+#[test]
+fn unknown_net_subcommand_is_a_usage_error() {
+    let out = ttdiag()
+        .args(["net", "frobnicate"])
+        .output()
+        .expect("spawn ttdiag");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown net subcommand"), "{stderr}");
+}
+
+#[test]
+fn undersized_net_cluster_is_a_usage_error() {
+    let out = ttdiag()
+        .args(["net", "run", "--nodes", "1"])
+        .output()
+        .expect("spawn ttdiag");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn bad_net_peer_address_is_a_usage_error() {
+    let out = ttdiag()
+        .args([
+            "net",
+            "node",
+            "--id",
+            "1",
+            "--peers",
+            "not-an-addr,127.0.0.1:9",
+        ])
+        .output()
+        .expect("spawn ttdiag");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad peer address"), "{stderr}");
+}
+
+#[test]
+fn bad_net_bind_address_is_a_usage_error() {
+    let out = ttdiag()
+        .args([
+            "net",
+            "node",
+            "--id",
+            "1",
+            "--bind",
+            "999.999.999.999:77777",
+            "--peers",
+            "127.0.0.1:19901,127.0.0.1:19902",
+        ])
+        .output()
+        .expect("spawn ttdiag");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad bind address"), "{stderr}");
+}
+
+#[test]
+fn duplicate_net_peers_are_a_usage_error() {
+    let out = ttdiag()
+        .args([
+            "net",
+            "node",
+            "--id",
+            "1",
+            "--peers",
+            "127.0.0.1:19903,127.0.0.1:19903",
+        ])
+        .output()
+        .expect("spawn ttdiag");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("inconsistent peer list"), "{stderr}");
+}
+
+#[test]
+fn out_of_range_net_node_id_is_a_usage_error() {
+    let out = ttdiag()
+        .args([
+            "net",
+            "node",
+            "--id",
+            "3",
+            "--peers",
+            "127.0.0.1:19904,127.0.0.1:19905",
+        ])
+        .output()
+        .expect("spawn ttdiag");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("outside the peer list"), "{stderr}");
+}
+
+#[test]
+fn net_node_port_in_use_is_a_usage_error() {
+    // Hold the port so the node's bind fails.
+    let holder = std::net::UdpSocket::bind("127.0.0.1:0").expect("bind holder");
+    let addr = holder.local_addr().expect("holder addr").to_string();
+    let peers = format!("{addr},127.0.0.1:19906");
+    let out = ttdiag()
+        .args(["net", "node", "--id", "1", "--peers", &peers])
+        .output()
+        .expect("spawn ttdiag");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("binding"), "{stderr}");
+}
+
+#[test]
+fn small_net_run_exits_zero_and_reports_agreement() {
+    let out = ttdiag()
+        .args([
+            "net",
+            "run",
+            "--nodes",
+            "3",
+            "--rounds",
+            "10",
+            "--penalty",
+            "4",
+            "--check",
+        ])
+        .output()
+        .expect("spawn ttdiag");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("convergence: ok"), "{stdout}");
+    assert!(stdout.contains("verdict cross-check: agree"), "{stdout}");
+}
+
+#[test]
 fn bad_submit_job_kind_is_a_usage_error() {
     let out = ttdiag()
         .args(["submit", "bake-cookies"])

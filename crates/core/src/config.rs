@@ -67,6 +67,28 @@ impl ProtocolConfig {
     pub fn reintegration(&self) -> ReintegrationPolicy {
         self.reintegration
     }
+
+    /// The diagnosis lag in rounds: a fault in round `k` is voted on in
+    /// round `k + 2` when every node disseminates in the fault round
+    /// itself, `k + 3` under conservative send alignment (Sec. 5).
+    pub fn diagnosis_lag(&self) -> u64 {
+        if self.all_send_curr_round {
+            2
+        } else {
+            3
+        }
+    }
+
+    /// The worst-case number of rounds between a previously isolated node
+    /// turning healthy again and every observer readmitting it: the
+    /// reward streak demanded by [`ReintegrationPolicy::AfterRewards`]
+    /// plus the diagnosis lag. `None` when reintegration is disabled.
+    pub fn reintegration_bound(&self) -> Option<u64> {
+        match self.reintegration {
+            ReintegrationPolicy::Never => None,
+            ReintegrationPolicy::AfterRewards(t) => Some(t + self.diagnosis_lag()),
+        }
+    }
 }
 
 /// Builder for [`ProtocolConfig`].

@@ -23,6 +23,17 @@ use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
+/// SplitMix64 over `(seed, index)`: cheap, stable, well-mixed — the
+/// deterministic per-item draw shared by the harness [`ChaosPlan`] and the
+/// network chaos injector (`tt_net`). Pure, so every consumer that derives
+/// decisions from it is reproducible from its seed alone.
+pub fn splitmix64(seed: u64, index: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// A fault injected into the *harness* (not the simulated bus): what goes
 /// wrong with the execution of one experiment attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -95,14 +106,7 @@ impl ChaosPlan {
 
     /// The deterministic per-item draw in `0..1000`.
     fn draw(&self, item: usize) -> u64 {
-        // SplitMix64 over (seed, item): cheap, stable, well-mixed.
-        let mut z = self
-            .seed
-            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(item as u64 + 1));
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        z % 1000
+        splitmix64(self.seed, item as u64) % 1000
     }
 
     /// The fault class this plan assigns to `item`, independent of the

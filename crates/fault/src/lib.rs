@@ -75,8 +75,8 @@ pub use explore::{
     ScheduledFault, Strategy, LAG, MIN_FAULT_ROUND,
 };
 pub use harness::{
-    BackoffPolicy, ChaosPlan, HarnessFault, HarnessFaultHook, NoHarnessFaults, QuarantineReason,
-    QuarantineRecord, SupervisionSummary, WorkerHealth, WorkerStats,
+    splitmix64, BackoffPolicy, ChaosPlan, HarnessFault, HarnessFaultHook, NoHarnessFaults,
+    QuarantineReason, QuarantineRecord, SupervisionSummary, WorkerHealth, WorkerStats,
 };
 pub use injector::{Disturbance, DisturbanceNode};
 pub use malicious::{AsymmetricDisturbance, CliquePartition, RandomSyndromeJob};

@@ -1,0 +1,262 @@
+//! Deterministic seeded chaos for the UDP transport.
+//!
+//! [`NetChaos`] decides, per directed link and round, whether the frame is
+//! delivered, dropped, duplicated, held back one round (reorder), or
+//! corrupted on the wire. Every decision is a pure function of
+//! `(seed, sender, receiver, round)` via the same SplitMix64 draw the
+//! harness [`tt_fault::ChaosPlan`] uses, so a run's injected fault pattern
+//! is byte-identical across repetitions of the same seed and topology —
+//! the property the `net-smoke` CI job and the determinism proptests pin.
+//!
+//! Chaos is injected on the *sender* side (see
+//! [`crate::transport::LossyUdp`]), on top of whatever loss the real
+//! socket path adds; genuine UDP loss shows up in the observed fault
+//! pattern but never in the planned one.
+
+use serde::{Deserialize, Serialize};
+use tt_fault::splitmix64;
+use tt_sim::Fnv1a64;
+
+/// Per-link injection rates, in per-mille of transmitted frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkRates {
+    /// Frames silently discarded.
+    pub drop_per_mille: u16,
+    /// Frames sent twice back-to-back.
+    pub duplicate_per_mille: u16,
+    /// Frames held back and released just before the next round's
+    /// transmission — they arrive one round stale.
+    pub reorder_per_mille: u16,
+    /// Frames with one byte flipped on the wire (the CRC rejects them at
+    /// the receiver: a corrupted frame is an *invalid* reception).
+    pub corrupt_per_mille: u16,
+}
+
+impl LinkRates {
+    /// No injection at all.
+    pub const QUIET: LinkRates = LinkRates {
+        drop_per_mille: 0,
+        duplicate_per_mille: 0,
+        reorder_per_mille: 0,
+        corrupt_per_mille: 0,
+    };
+
+    /// Pure loss at the given rate.
+    pub fn loss(drop_per_mille: u16) -> Self {
+        LinkRates {
+            drop_per_mille,
+            ..LinkRates::QUIET
+        }
+    }
+
+    /// Sum of all rates (must stay `<= 1000` to leave room for delivery).
+    pub fn total(&self) -> u32 {
+        u32::from(self.drop_per_mille)
+            + u32::from(self.duplicate_per_mille)
+            + u32::from(self.reorder_per_mille)
+            + u32::from(self.corrupt_per_mille)
+    }
+}
+
+/// One per-link override inside a [`NetChaos`] plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkOverride {
+    /// Sender's 0-based slot.
+    pub from_slot: u8,
+    /// Receiver's 0-based slot.
+    pub to_slot: u8,
+    /// Rates for this directed link.
+    pub rates: LinkRates,
+}
+
+/// What the injector does to one frame on one directed link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Send unmodified.
+    Deliver,
+    /// Discard.
+    Drop,
+    /// Send twice.
+    Duplicate,
+    /// Hold back; release just before the next round's transmission.
+    Reorder,
+    /// Flip `mask` into the byte at `byte % wire_len` before sending.
+    Corrupt {
+        /// Raw byte position (caller reduces modulo the wire length).
+        byte: u16,
+        /// Non-zero XOR mask.
+        mask: u8,
+    },
+}
+
+/// A seeded, topology-wide chaos plan.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetChaos {
+    /// Seed of every per-(link, round) decision.
+    pub seed: u64,
+    /// Rates applied to links without an override.
+    pub default_rates: LinkRates,
+    /// Directed-link overrides (first match wins).
+    pub links: Vec<LinkOverride>,
+}
+
+impl NetChaos {
+    /// A plan injecting nothing.
+    pub fn quiet(seed: u64) -> Self {
+        NetChaos {
+            seed,
+            default_rates: LinkRates::QUIET,
+            links: Vec::new(),
+        }
+    }
+
+    /// A plan applying `rates` uniformly to every directed link.
+    pub fn uniform(seed: u64, rates: LinkRates) -> Self {
+        NetChaos {
+            seed,
+            default_rates: rates,
+            links: Vec::new(),
+        }
+    }
+
+    /// The rates in force on the `from -> to` link.
+    pub fn rates(&self, from_slot: u8, to_slot: u8) -> LinkRates {
+        self.links
+            .iter()
+            .find(|l| l.from_slot == from_slot && l.to_slot == to_slot)
+            .map(|l| l.rates)
+            .unwrap_or(self.default_rates)
+    }
+
+    /// The deterministic decision for the frame `from -> to` in `round`.
+    ///
+    /// Exactly one frame crosses each directed link per round, so
+    /// `(link, round)` identifies the frame; the decision never depends on
+    /// wall-clock state.
+    pub fn action(&self, from_slot: u8, to_slot: u8, round: u64) -> ChaosAction {
+        let rates = self.rates(from_slot, to_slot);
+        if rates.total() == 0 {
+            return ChaosAction::Deliver;
+        }
+        // Mix the link into the index so sibling links draw independently.
+        let idx = round
+            .wrapping_mul(0x10000)
+            .wrapping_add(u64::from(from_slot) << 8)
+            .wrapping_add(u64::from(to_slot));
+        let r = splitmix64(self.seed, idx);
+        let d = r % 1000;
+        let drop = u64::from(rates.drop_per_mille);
+        let dup = drop + u64::from(rates.duplicate_per_mille);
+        let reorder = dup + u64::from(rates.reorder_per_mille);
+        let corrupt = reorder + u64::from(rates.corrupt_per_mille);
+        if d < drop {
+            ChaosAction::Drop
+        } else if d < dup {
+            ChaosAction::Duplicate
+        } else if d < reorder {
+            ChaosAction::Reorder
+        } else if d < corrupt {
+            ChaosAction::Corrupt {
+                byte: (r >> 16) as u16,
+                mask: ((r >> 32) as u8) | 1,
+            }
+        } else {
+            ChaosAction::Deliver
+        }
+    }
+
+    /// A stable digest of the full decision table for `n_nodes` over
+    /// `rounds` rounds: the reproducibility witness the CI job compares
+    /// across repeated runs of the same seed.
+    pub fn digest(&self, n_nodes: u8, rounds: u64) -> u64 {
+        use std::hash::Hasher;
+        let mut h = Fnv1a64::new();
+        for round in 0..rounds {
+            for from in 0..n_nodes {
+                for to in 0..n_nodes {
+                    let code: [u8; 4] = match self.action(from, to, round) {
+                        ChaosAction::Deliver => [0, 0, 0, 0],
+                        ChaosAction::Drop => [1, 0, 0, 0],
+                        ChaosAction::Duplicate => [2, 0, 0, 0],
+                        ChaosAction::Reorder => [3, 0, 0, 0],
+                        ChaosAction::Corrupt { byte, mask } => {
+                            [4, (byte & 0xFF) as u8, (byte >> 8) as u8, mask]
+                        }
+                    };
+                    h.write(&code);
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_plan_always_delivers() {
+        let c = NetChaos::quiet(9);
+        for round in 0..64 {
+            assert_eq!(c.action(0, 1, round), ChaosAction::Deliver);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let a = NetChaos::uniform(7, LinkRates::loss(100));
+        let b = NetChaos::uniform(7, LinkRates::loss(100));
+        for round in 0..128 {
+            for from in 0..5u8 {
+                for to in 0..5u8 {
+                    assert_eq!(a.action(from, to, round), b.action(from, to, round));
+                }
+            }
+        }
+        assert_eq!(a.digest(5, 128), b.digest(5, 128));
+    }
+
+    #[test]
+    fn loss_rate_is_roughly_respected() {
+        let c = NetChaos::uniform(3, LinkRates::loss(100));
+        let mut dropped = 0;
+        let total = 4000;
+        for round in 0..total {
+            if c.action(1, 2, round) == ChaosAction::Drop {
+                dropped += 1;
+            }
+        }
+        // 10% nominal; allow a wide deterministic band.
+        assert!((200..=600).contains(&dropped), "dropped {dropped}/{total}");
+    }
+
+    #[test]
+    fn link_overrides_shadow_the_default() {
+        let mut c = NetChaos::uniform(1, LinkRates::loss(1000));
+        c.links.push(LinkOverride {
+            from_slot: 2,
+            to_slot: 0,
+            rates: LinkRates::QUIET,
+        });
+        assert_eq!(c.action(2, 0, 5), ChaosAction::Deliver);
+        assert_eq!(c.action(2, 1, 5), ChaosAction::Drop);
+    }
+
+    #[test]
+    fn corrupt_mask_is_never_zero() {
+        let c = NetChaos::uniform(
+            11,
+            LinkRates {
+                corrupt_per_mille: 1000,
+                ..LinkRates::QUIET
+            },
+        );
+        for round in 0..256 {
+            match c.action(0, 1, round) {
+                ChaosAction::Corrupt { mask, .. } => assert_ne!(mask, 0),
+                other => panic!("expected corrupt, got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Wire format of the emulated-TDMA UDP transport.
+//!
+//! One datagram carries one [`NetFrame`]: the sender's slot, the TDMA
+//! round, a per-sender sequence number, and the dissemination payload —
+//! exactly the bytes the simulator's `FaultPipeline` carries (an encoded
+//! `tt_core::Syndrome`), so the certified job code never sees the
+//! difference between the two substrates.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic  u16 = 0x5444 ("TD")
+//! ver    u8  = 1
+//! slot   u8     sender's 0-based sending slot
+//! round  u64    TDMA round the frame belongs to
+//! seq    u64    per-sender monotone datagram counter
+//! len    u16    payload length in bytes
+//! payload      `len` bytes
+//! crc    u32    CRC-32 (IEEE) over everything before it
+//! ```
+//!
+//! Local error detection *is* the CRC check, mirroring
+//! [`tt_sim::frame`]: a frame that fails to decode for any reason maps to
+//! an invalid reception (validity bit 0) at the receiving controller.
+
+use bytes::Bytes;
+use tt_sim::crc32;
+
+/// First two bytes of every frame.
+pub const MAGIC: u16 = 0x5444;
+/// Wire format version.
+pub const VERSION: u8 = 1;
+/// Fixed bytes before the payload.
+pub const HEADER_LEN: usize = 2 + 1 + 1 + 8 + 8 + 2;
+/// Trailing checksum bytes.
+pub const CRC_LEN: usize = 4;
+/// Ceiling on payload size: a syndrome for `N <= 64` nodes is at most 8
+/// bytes, so anything near the loopback MTU is already garbage.
+pub const MAX_PAYLOAD: usize = 1200;
+
+/// A decoded TDMA frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetFrame {
+    /// The sender's 0-based sending slot (= `NodeId::slot()`).
+    pub slot: u8,
+    /// The TDMA round this frame was transmitted in.
+    pub round: u64,
+    /// Per-sender monotone sequence number.
+    pub seq: u64,
+    /// Dissemination payload (encoded local syndrome).
+    pub payload: Bytes,
+}
+
+/// Why a received datagram failed frame decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Shorter than header + CRC.
+    Truncated,
+    /// First two bytes are not [`MAGIC`].
+    BadMagic,
+    /// Unknown wire format version.
+    BadVersion,
+    /// Declared payload length exceeds [`MAX_PAYLOAD`].
+    Oversize,
+    /// Datagram length disagrees with the declared payload length.
+    LengthMismatch,
+    /// CRC-32 mismatch: corruption detected.
+    CrcMismatch,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "frame truncated"),
+            FrameError::BadMagic => write!(f, "bad magic"),
+            FrameError::BadVersion => write!(f, "unknown frame version"),
+            FrameError::Oversize => write!(f, "payload too large"),
+            FrameError::LengthMismatch => write!(f, "length mismatch"),
+            FrameError::CrcMismatch => write!(f, "crc mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl NetFrame {
+    /// Encodes the frame for the wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds [`MAX_PAYLOAD`] — callers only ever
+    /// encode syndromes, which are orders of magnitude smaller.
+    pub fn encode(&self) -> Vec<u8> {
+        assert!(self.payload.len() <= MAX_PAYLOAD, "oversize payload");
+        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len() + CRC_LEN);
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.push(VERSION);
+        out.push(self.slot);
+        out.extend_from_slice(&self.round.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u16).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Decodes and verifies one datagram.
+    ///
+    /// # Errors
+    ///
+    /// Any structural or checksum failure rejects the frame; the caller
+    /// maps every rejection to an invalid reception.
+    pub fn decode(wire: &[u8]) -> Result<NetFrame, FrameError> {
+        if wire.len() < HEADER_LEN + CRC_LEN {
+            return Err(FrameError::Truncated);
+        }
+        let (body, crc_bytes) = wire.split_at(wire.len() - CRC_LEN);
+        let wire_crc = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+        if crc32(body) != wire_crc {
+            return Err(FrameError::CrcMismatch);
+        }
+        if u16::from_le_bytes(body[0..2].try_into().expect("2 bytes")) != MAGIC {
+            return Err(FrameError::BadMagic);
+        }
+        if body[2] != VERSION {
+            return Err(FrameError::BadVersion);
+        }
+        let len = u16::from_le_bytes(body[20..22].try_into().expect("2 bytes")) as usize;
+        if len > MAX_PAYLOAD {
+            return Err(FrameError::Oversize);
+        }
+        if body.len() != HEADER_LEN + len {
+            return Err(FrameError::LengthMismatch);
+        }
+        Ok(NetFrame {
+            slot: body[3],
+            round: u64::from_le_bytes(body[4..12].try_into().expect("8 bytes")),
+            seq: u64::from_le_bytes(body[12..20].try_into().expect("8 bytes")),
+            payload: Bytes::copy_from_slice(&body[HEADER_LEN..]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> NetFrame {
+        NetFrame {
+            slot: 3,
+            round: 0x1122_3344_5566,
+            seq: 42,
+            payload: Bytes::from_static(&[0xAB, 0x01, 0x00, 0xFF]),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let f = sample();
+        let wire = f.encode();
+        assert_eq!(NetFrame::decode(&wire).unwrap(), f);
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let f = NetFrame {
+            slot: 0,
+            round: 0,
+            seq: 0,
+            payload: Bytes::new(),
+        };
+        assert_eq!(NetFrame::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let wire = sample().encode();
+        for byte in 0..wire.len() {
+            for bit in 0..8 {
+                let mut w = wire.clone();
+                w[byte] ^= 1 << bit;
+                assert!(
+                    NetFrame::decode(&w).is_err(),
+                    "flip at byte {byte} bit {bit} accepted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let wire = sample().encode();
+        for len in 0..wire.len() {
+            assert!(NetFrame::decode(&wire[..len]).is_err(), "prefix {len}");
+        }
+    }
+
+    #[test]
+    fn trailing_junk_is_rejected() {
+        let mut wire = sample().encode();
+        wire.push(0);
+        assert!(NetFrame::decode(&wire).is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! `tt-net`: the certified diagnostic protocol over a real UDP transport.
+//!
+//! The simulator (`tt-sim`) models the time-triggered bus as a
+//! discrete-event abstraction; this crate replaces that abstraction with
+//! `std::net::UdpSocket` datagrams on an **emulated TDMA schedule** while
+//! running the *same certified `DiagJob` code unchanged*: each node owns
+//! one slot of a shared round schedule (slot duration × one slot per node,
+//! anchored at an epoch `Instant`), transmits its dissemination payload in
+//! its slot, and listens otherwise.
+//!
+//! The mapping from network reality to the paper's fault model:
+//!
+//! * a timely, CRC-valid frame → `Reception::Valid` (correct slot);
+//! * a missing, late, or stale frame → `Reception::Detected` (benign
+//!   fault, exactly like a silent or noise-hit slot);
+//! * a corrupt frame (CRC reject) → `Reception::Detected` (invalid);
+//! * the sender's own loopback self-reception is the local collision
+//!   detector: the own slot is `ok` iff the frame comes back carrying
+//!   exactly the transmitted bytes.
+//!
+//! Layers, bottom up: [`frame`] (wire format), [`tdma`] (slot clock),
+//! [`chaos`] (seeded deterministic loss/duplication/reorder/corruption),
+//! [`transport`] (UDP socket + lossy wrapper), [`node`] (the
+//! deadline-driven per-node event loop), [`runner`] (loopback cluster
+//! orchestration incl. crash/restart), and [`replay`] (verdict
+//! cross-check against the discrete-event simulator).
+//!
+//! Everything is `std`-only — threads and monotonic clocks, no async
+//! runtime — so the crate adds no dependency beyond the workspace's
+//! vendored set.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod frame;
+pub mod node;
+pub mod replay;
+pub mod runner;
+pub mod tdma;
+pub mod transport;
+
+pub use chaos::{ChaosAction, LinkOverride, LinkRates, NetChaos};
+pub use frame::{FrameError, NetFrame, MAX_PAYLOAD};
+pub use node::{run_node, JitterStats, NodeParams, NodeSegment, ObservedRound, SlotTiming};
+pub use replay::{replay_cross_check, ReplayVerdict};
+pub use runner::{
+    run_cluster, ConvergenceSummary, CrashSpec, NetError, NodeTrajectory, RunConfig, RunReport,
+};
+pub use tdma::SlotClock;
+pub use transport::{ChaosStats, LossyUdp, SlotTransport, UdpTransport};

@@ -1,0 +1,349 @@
+//! One TDMA node: the certified `DiagJob` running over a real socket.
+//!
+//! [`run_node`] is a deadline-driven event loop over three event streams,
+//! processed strictly in scheduled-time order:
+//!
+//! * **classify** — at `slot end + grace` (capped `delta` before the next
+//!   round), slot `s` of round `r` is settled: a timely, CRC-valid frame
+//!   becomes a `Reception::Valid` at the local controller, everything else
+//!   (missing, late, stale, corrupt) a `Reception::Detected` — the benign
+//!   `/` invalid observations of the paper. The node's own slot settles
+//!   through the collision detector instead: the loopback self-reception
+//!   must come back carrying exactly the transmitted bytes.
+//! * **job** — once the previous round is fully classified, the diagnosis
+//!   job executes. Its `NodeSchedule` is *measured*, not configured: the
+//!   exec offset handed to `JobCtx` is the number of current-round slots
+//!   that had already settled when the job actually ran, so `l_i` and
+//!   `send_curr_round_i` reflect real clock position (a starved node that
+//!   wakes after its own slot genuinely loses `send_curr_round`).
+//! * **send** — at the start of the node's own slot, whatever the transmit
+//!   buffer holds goes out; if the job has not run yet this round (its
+//!   measured offset exceeded the sending slot), that is last round's
+//!   dissemination — exactly the simulator's buffer semantics.
+//!
+//! The loop receives between events, stamping every datagram's arrival
+//! against the frame's nominal slot start (the measured inter-peer latency
+//! statistics in the report). Cancellation is cooperative through the
+//! simulator's [`CancellationToken`], checked once per event wake-up; a
+//! killed node simply stops mid-schedule and its silence becomes benign
+//! faults at every peer until a fresh incarnation rejoins.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::time::Instant;
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use tt_core::{DiagJob, HealthRecord, IsolationEvent, ProtocolConfig};
+use tt_sim::{
+    CancellationToken, Controller, Job, JobCtx, NodeId, NodeSchedule, Reception, RoundIndex,
+};
+
+use crate::frame::NetFrame;
+use crate::tdma::SlotClock;
+use crate::transport::{ChaosStats, SlotTransport};
+
+/// Static configuration of one node.
+#[derive(Debug, Clone)]
+pub struct NodeParams {
+    /// This node's identity (1-based; slot = id - 1).
+    pub node: NodeId,
+    /// The protocol configuration shared by the whole cluster.
+    pub protocol: ProtocolConfig,
+    /// Extra reception grace after a slot's nominal end.
+    pub grace: std::time::Duration,
+    /// The slot offset at which the diagnosis job is scheduled each round
+    /// (0 = just before the round's first slot, as in the paper's
+    /// conservative layout).
+    pub exec_offset_slots: u32,
+    /// First round that is *not* processed.
+    pub end_round: u64,
+}
+
+/// Min/mean/max accumulator over signed microsecond samples.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct JitterStats {
+    /// Number of samples.
+    pub count: u64,
+    /// Smallest sample (0 when empty).
+    pub min_us: i64,
+    /// Largest sample (0 when empty).
+    pub max_us: i64,
+    /// Mean sample (0 when empty).
+    pub mean_us: f64,
+}
+
+impl JitterStats {
+    /// Folds one sample in.
+    pub fn add(&mut self, us: i64) {
+        if self.count == 0 {
+            self.min_us = us;
+            self.max_us = us;
+        } else {
+            self.min_us = self.min_us.min(us);
+            self.max_us = self.max_us.max(us);
+        }
+        let n = self.count as f64;
+        self.mean_us = (self.mean_us * n + us as f64) / (n + 1.0);
+        self.count += 1;
+    }
+}
+
+/// Slot-timing error statistics of one node incarnation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SlotTiming {
+    /// CRC-valid frames received.
+    pub frames: u64,
+    /// Frames that arrived after their classification deadline.
+    pub late: u64,
+    /// Frames for slots that were already classified (or malformed slots).
+    pub stale: u64,
+    /// Datagrams that failed frame decoding.
+    pub corrupt: u64,
+    /// Frames for a slot that already had one (chaos duplicates).
+    pub duplicate: u64,
+    /// Slots classified with no frame at all.
+    pub missing: u64,
+    /// Frame arrival minus nominal slot start — the measured one-way
+    /// latency plus scheduling skew, per fresh frame.
+    pub arrival_error: JitterStats,
+    /// Job execution minus its scheduled instant.
+    pub exec_lag: JitterStats,
+}
+
+/// What one node observed in one round: validity per sending slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObservedRound {
+    /// The round.
+    pub round: u64,
+    /// Bit `s` set iff slot `s` produced a valid, timely reception (the
+    /// own slot's bit mirrors `collision_ok`).
+    pub valid_mask: u64,
+    /// The local collision detector's verdict on the own transmission.
+    pub collision_ok: bool,
+    /// The measured exec offset the diagnosis job ran at.
+    pub exec_offset: u8,
+}
+
+/// The full report of one node incarnation (a restart produces a second
+/// segment for the same node id).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSegment {
+    /// Node id (1-based).
+    pub node: u32,
+    /// First round this incarnation processed.
+    pub start_round: u64,
+    /// First round it did *not* process.
+    pub end_round: u64,
+    /// Per-round observations, in round order.
+    pub observed: Vec<ObservedRound>,
+    /// Measured timing statistics.
+    pub timing: SlotTiming,
+    /// What the outbound chaos injector did (all-zero without one).
+    pub chaos: ChaosStats,
+    /// The diagnosis trajectory: every consistent health vector.
+    pub health_log: Vec<HealthRecord>,
+    /// Isolation decisions taken by Alg. 2.
+    pub isolations: Vec<IsolationEvent>,
+    /// Final ACTIVE view (index = node index).
+    pub final_active: Vec<bool>,
+    /// Final penalty counters.
+    pub penalties: Vec<u64>,
+    /// Final reward counters.
+    pub rewards: Vec<u64>,
+    /// Protocol activations executed.
+    pub activations: u64,
+}
+
+/// `a - b` in microseconds, signed.
+fn signed_us(a: Instant, b: Instant) -> i64 {
+    match a.checked_duration_since(b) {
+        Some(d) => d.as_micros() as i64,
+        None => -(b.duration_since(a).as_micros() as i64),
+    }
+}
+
+/// Runs one node incarnation from `start_round` until `params.end_round`
+/// or cancellation, and returns everything it measured and diagnosed.
+///
+/// A restarted node passes the round its clock says comes next; the fresh
+/// `DiagJob` then re-enters the cluster through the Alg. 2 reintegration
+/// path of every survivor.
+pub fn run_node(
+    params: &NodeParams,
+    clock: SlotClock,
+    transport: &mut dyn SlotTransport,
+    cancel: &CancellationToken,
+    start_round: u64,
+) -> NodeSegment {
+    let n = params.protocol.n_nodes();
+    debug_assert_eq!(clock.n_slots() as usize, n, "one slot per node");
+    let own = params.node.slot();
+    let end = params.end_round;
+    let delta = clock.delta();
+
+    let mut controller = Controller::new(params.node, n);
+    let mut job = DiagJob::with_logging(params.node, params.protocol.clone(), true);
+
+    let mut stash: HashMap<(u64, u8), (Bytes, Instant)> = HashMap::new();
+    let mut timing = SlotTiming::default();
+    let mut observed: Vec<ObservedRound> = Vec::new();
+    let mut offsets: HashMap<u64, u8> = HashMap::new();
+
+    // Event cursors: next slot to classify, next round to transmit in,
+    // next round whose job runs.
+    let mut cls_round = start_round;
+    let mut cls_slot: u32 = 0;
+    let mut send_round = start_round;
+    let mut job_round = start_round;
+    let mut seq: u64 = 0;
+    // What the last send event actually put on the wire (the collision
+    // detector compares the loopback against this, not against a transmit
+    // buffer a later job may have overwritten).
+    let mut last_sent: Option<(u64, Bytes)> = None;
+    // Accumulators for the round being classified.
+    let mut mask: u64 = 0;
+    let mut coll = false;
+
+    while !cancel.is_cancelled() {
+        // Next due time of each live event stream.
+        let t_cls =
+            (cls_round < end).then(|| clock.classify_deadline(cls_round, cls_slot, params.grace));
+        let t_job = (job_round < end).then(|| {
+            clock.slot_start(job_round, params.exec_offset_slots.min(n as u32 - 1)) - delta
+        });
+        let t_send = (send_round < end).then(|| clock.slot_start(send_round, own as u32));
+        // Earliest event; ties break classify > job > send so a job never
+        // outruns the classification that completes its input round, and a
+        // send never outruns the job scheduled ahead of it.
+        let Some(next) = [t_cls, t_job, t_send].iter().flatten().min().copied() else {
+            break;
+        };
+
+        let now = Instant::now();
+        if now < next {
+            // Receive until the next event is due.
+            if let Some((wire, arrival)) = transport.recv_until(next) {
+                match NetFrame::decode(&wire) {
+                    Err(_) => timing.corrupt += 1,
+                    Ok(f) if (f.slot as usize) < n => {
+                        timing.frames += 1;
+                        if f.round < cls_round
+                            || (f.round == cls_round && u32::from(f.slot) < cls_slot)
+                        {
+                            timing.stale += 1;
+                        } else {
+                            match stash.entry((f.round, f.slot)) {
+                                Entry::Occupied(_) => timing.duplicate += 1,
+                                Entry::Vacant(slot) => {
+                                    timing.arrival_error.add(signed_us(
+                                        arrival,
+                                        clock.slot_start(f.round, f.slot.into()),
+                                    ));
+                                    slot.insert((f.payload, arrival));
+                                }
+                            }
+                        }
+                    }
+                    Ok(_) => timing.stale += 1,
+                }
+            }
+            continue;
+        }
+
+        if t_cls == Some(next) {
+            // Settle (cls_round, cls_slot).
+            let deadline = next;
+            let timely = match stash.remove(&(cls_round, cls_slot as u8)) {
+                Some((payload, arrival)) if arrival <= deadline => Some(payload),
+                Some(_) => {
+                    timing.late += 1;
+                    None
+                }
+                None => {
+                    timing.missing += 1;
+                    None
+                }
+            };
+            let round = RoundIndex::new(cls_round);
+            if cls_slot as usize == own {
+                let ok = matches!(
+                    (&timely, &last_sent),
+                    (Some(got), Some((r, sent))) if *r == cls_round && got == sent
+                );
+                controller.record_collision(round, ok);
+                coll = ok;
+                if ok {
+                    mask |= 1 << own;
+                }
+            } else {
+                let sender = NodeId::from_slot(cls_slot as usize);
+                match timely {
+                    Some(p) => {
+                        controller.deliver(sender, round, Reception::Valid(p));
+                        mask |= 1 << cls_slot;
+                    }
+                    None => controller.deliver(sender, round, Reception::Detected),
+                }
+            }
+            cls_slot += 1;
+            if cls_slot as usize == n {
+                observed.push(ObservedRound {
+                    round: cls_round,
+                    valid_mask: mask,
+                    collision_ok: coll,
+                    exec_offset: offsets.get(&cls_round).copied().unwrap_or(0),
+                });
+                mask = 0;
+                coll = false;
+                cls_slot = 0;
+                cls_round += 1;
+            }
+        } else if t_job == Some(next) {
+            // The measured exec offset: current-round slots already
+            // settled when the job actually runs.
+            debug_assert!(cls_round >= job_round, "job outran classification");
+            let measured = if cls_round == job_round {
+                cls_slot
+            } else {
+                n as u32 - 1
+            };
+            timing.exec_lag.add(signed_us(Instant::now(), next));
+            offsets.insert(job_round, measured as u8);
+            let sched = NodeSchedule::new(params.node, measured as usize, n)
+                .expect("measured offset is < n");
+            let mut ctx = JobCtx::new(&mut controller, sched, RoundIndex::new(job_round));
+            job.execute(&mut ctx);
+            job_round += 1;
+        } else {
+            // Transmit in the own slot of send_round.
+            let payload = controller.tx_payload();
+            let frame = NetFrame {
+                slot: own as u8,
+                round: send_round,
+                seq,
+                payload: payload.clone(),
+            };
+            transport.broadcast(&frame.encode(), send_round);
+            last_sent = Some((send_round, payload));
+            seq += 1;
+            send_round += 1;
+        }
+    }
+
+    NodeSegment {
+        node: params.node.get(),
+        start_round,
+        end_round: cls_round,
+        observed,
+        timing,
+        chaos: transport.chaos_stats(),
+        health_log: job.health_log().to_vec(),
+        isolations: job.isolations().to_vec(),
+        final_active: job.active().to_vec(),
+        penalties: (0..n).map(|i| job.penalty(NodeId::from_slot(i))).collect(),
+        rewards: (0..n).map(|i| job.reward(NodeId::from_slot(i))).collect(),
+        activations: job.activations(),
+    }
+}

@@ -1,0 +1,172 @@
+//! Simulator replay of an observed network run: the verdict cross-check.
+//!
+//! The distributed run records, per node and round, which sending slots
+//! produced a valid reception ([`crate::node::ObservedRound`]). This
+//! module folds those
+//! observations into a per-`(round, slot)` [`SlotEffect`] table — each
+//! transmission is detected exactly by the observers whose validity bit is
+//! clear, with the sender's recorded collision verdict — and replays the
+//! whole run through the discrete-event simulator with fresh `DiagJob`s on
+//! every node, scheduled at the *measured* per-round exec offsets.
+//!
+//! If the transport adapter is faithful, every survivor's isolation
+//! sequence and final ACTIVE view must come out identical. Only survivors
+//! are compared: a crashed-and-restarted node re-enters the real run as a
+//! fresh incarnation, while its replay twin keeps continuous state through
+//! the blackout (its slot effects there are benign, so its divergent
+//! syndromes never reach the survivors' votes).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use tt_core::{DiagJob, ProtocolConfig};
+use tt_sim::{ClusterBuilder, NodeId, SlotEffect, TxCtx};
+
+use crate::runner::{CrashSpec, NodeTrajectory};
+
+/// The outcome of replaying the observed fault pattern in the simulator.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplayVerdict {
+    /// Every compared node's verdict matched the simulator's.
+    pub agree: bool,
+    /// Rounds replayed.
+    pub replayed_rounds: u64,
+    /// Node ids (1-based) whose verdicts were compared (the survivors).
+    pub compared_nodes: Vec<u32>,
+    /// Human-readable description of every divergence found.
+    pub mismatches: Vec<String>,
+}
+
+/// Replays the run's observed fault pattern through the simulator and
+/// compares every survivor's verdict against its network twin.
+pub fn replay_cross_check(
+    protocol: &ProtocolConfig,
+    rounds: u64,
+    nodes: &[NodeTrajectory],
+    crash: Option<&CrashSpec>,
+) -> ReplayVerdict {
+    let n = protocol.n_nodes();
+    let crash_idx = crash.map(|c| c.node as usize - 1);
+
+    // Index every incarnation's observations by (node, round). A later
+    // segment shadows an earlier one (it re-observed nothing in practice:
+    // segments of one node cover disjoint round ranges).
+    let mut observed: Vec<HashMap<u64, crate::node::ObservedRound>> = vec![HashMap::new(); n];
+    let mut offsets: Vec<HashMap<u64, usize>> = vec![HashMap::new(); n];
+    for t in nodes {
+        let idx = t.node as usize - 1;
+        for seg in &t.segments {
+            for o in &seg.observed {
+                observed[idx].insert(o.round, *o);
+                offsets[idx].insert(o.round, usize::from(o.exec_offset));
+            }
+        }
+    }
+
+    // Fold the observations into one SlotEffect per (round, slot).
+    let mut effects: Vec<Vec<SlotEffect>> = Vec::with_capacity(rounds as usize);
+    for round in 0..rounds {
+        let mut per_slot = Vec::with_capacity(n);
+        for slot in 0..n {
+            let detected_by: Vec<usize> = (0..n)
+                .filter(|&j| j != slot)
+                .filter(|&j| match observed[j].get(&round) {
+                    // An observer that was down contributes no vote; its
+                    // replay twin receives the true payload instead.
+                    None => false,
+                    Some(o) => o.valid_mask & (1 << slot) == 0,
+                })
+                .collect();
+            let collision_ok = observed[slot]
+                .get(&round)
+                .map(|o| o.collision_ok)
+                .unwrap_or(false);
+            let effect = if detected_by.is_empty() && collision_ok {
+                SlotEffect::Correct
+            } else {
+                SlotEffect::Asymmetric {
+                    detected_by,
+                    collision_ok,
+                }
+            };
+            per_slot.push(effect);
+        }
+        effects.push(per_slot);
+    }
+
+    // Replay with fresh DiagJobs at the measured per-round offsets.
+    let pipeline = move |ctx: &TxCtx| -> SlotEffect {
+        effects
+            .get(ctx.round.as_u64() as usize)
+            .map(|slots| slots[ctx.sender.slot()].clone())
+            .unwrap_or(SlotEffect::Correct)
+    };
+    let mut cluster = ClusterBuilder::new(n)
+        .round_length_ns(n as u64 * 1_000)
+        .build(Box::new(pipeline))
+        .expect("replay cluster configuration is valid");
+    for (i, node_offsets) in offsets.iter_mut().enumerate() {
+        let id = NodeId::from_slot(i);
+        let per_round = std::mem::take(node_offsets);
+        cluster
+            .add_dynamic_job(
+                id,
+                move |k| per_round.get(&k.as_u64()).copied().unwrap_or(0),
+                Box::new(DiagJob::with_logging(id, protocol.clone(), true)),
+            )
+            .expect("node ids are in range");
+    }
+    for _ in 0..rounds {
+        cluster.run_round();
+    }
+
+    // Compare every survivor against its replay twin.
+    let mut compared = Vec::new();
+    let mut mismatches = Vec::new();
+    for t in nodes {
+        let idx = t.node as usize - 1;
+        if Some(idx) == crash_idx {
+            continue;
+        }
+        let Some(seg) = t.segments.last() else {
+            continue;
+        };
+        compared.push(t.node);
+        let twin = cluster
+            .job_as::<DiagJob>(NodeId::from_slot(idx))
+            .expect("replay twin exists");
+
+        let real_iso: Vec<(u32, u64, u64)> = seg
+            .isolations
+            .iter()
+            .map(|e| (e.node.get(), e.decided_at.as_u64(), e.diagnosed.as_u64()))
+            .collect();
+        let twin_iso: Vec<(u32, u64, u64)> = twin
+            .isolations()
+            .iter()
+            .map(|e| (e.node.get(), e.decided_at.as_u64(), e.diagnosed.as_u64()))
+            .collect();
+        if real_iso != twin_iso {
+            mismatches.push(format!(
+                "node {}: isolations diverge (net {:?} vs sim {:?})",
+                t.node, real_iso, twin_iso
+            ));
+        }
+        if seg.final_active != twin.active() {
+            mismatches.push(format!(
+                "node {}: final ACTIVE view diverges (net {:?} vs sim {:?})",
+                t.node,
+                seg.final_active,
+                twin.active()
+            ));
+        }
+    }
+
+    ReplayVerdict {
+        agree: mismatches.is_empty(),
+        replayed_rounds: rounds,
+        compared_nodes: compared,
+        mismatches,
+    }
+}

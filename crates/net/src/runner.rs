@@ -1,0 +1,375 @@
+//! Loopback cluster runner: N node threads, one shared epoch, optional
+//! mid-run crash/restart, and the aggregated run report.
+//!
+//! The runner binds one UDP socket per node on ephemeral loopback ports,
+//! anchors a shared [`SlotClock`] epoch slightly in the future, and spawns
+//! one thread per node running [`run_node`]. A [`CrashSpec`] kills one
+//! node cooperatively (its private [`CancellationToken`]) at a given round
+//! and restarts a *fresh* incarnation — new controller, new `DiagJob`, no
+//! memory — on the same address after a configurable blackout, exercising
+//! the Alg. 2 reintegration path end to end over real sockets.
+//!
+//! After the threads join, the runner cross-checks the distributed verdict
+//! by replaying the *observed* fault pattern through the discrete-event
+//! simulator ([`crate::replay`]) and summarizes convergence.
+
+use std::net::UdpSocket;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use tt_core::ProtocolConfig;
+use tt_sim::{CancellationToken, NodeId};
+
+use crate::chaos::NetChaos;
+use crate::node::{run_node, NodeParams, NodeSegment};
+use crate::replay::{replay_cross_check, ReplayVerdict};
+use crate::tdma::SlotClock;
+use crate::transport::{LossyUdp, SlotTransport, UdpTransport};
+
+/// Everything that can go wrong before the first frame is sent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// Invalid run configuration.
+    Config(String),
+    /// Socket setup failed.
+    Io(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Config(m) => write!(f, "invalid net configuration: {m}"),
+            NetError::Io(m) => write!(f, "socket error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Kill one node mid-run and restart it after a blackout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashSpec {
+    /// The node to kill (1-based id).
+    pub node: u32,
+    /// The round at which its cancellation token fires.
+    pub at_round: u64,
+    /// Rounds of blackout before the fresh incarnation starts.
+    pub down_rounds: u64,
+}
+
+/// Configuration of a loopback cluster run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Shared protocol configuration (fixes `N`).
+    pub protocol: ProtocolConfig,
+    /// Rounds to run.
+    pub rounds: u64,
+    /// TDMA slot duration.
+    pub slot: Duration,
+    /// Reception grace after a slot's nominal end.
+    pub grace: Duration,
+    /// Configured job phase, in slots (the *measured* offset lands in the
+    /// report).
+    pub exec_offset_slots: u32,
+    /// Seeded chaos plan, if any.
+    pub chaos: Option<NetChaos>,
+    /// Optional mid-run crash/restart.
+    pub crash: Option<CrashSpec>,
+    /// How far in the future to anchor the epoch (start-up slack for
+    /// thread spawning).
+    pub start_delay: Duration,
+}
+
+impl RunConfig {
+    /// A run with sensible defaults for loopback experiments.
+    pub fn new(protocol: ProtocolConfig, rounds: u64, slot: Duration) -> Self {
+        RunConfig {
+            protocol,
+            rounds,
+            slot,
+            grace: slot / 2,
+            exec_offset_slots: 0,
+            chaos: None,
+            crash: None,
+            start_delay: Duration::from_millis(50),
+        }
+    }
+}
+
+/// One node's full trajectory: one segment per incarnation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeTrajectory {
+    /// Node id (1-based).
+    pub node: u32,
+    /// Incarnations in start order (two for a crashed-and-restarted node).
+    pub segments: Vec<NodeSegment>,
+}
+
+/// Convergence summary over the surviving nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConvergenceSummary {
+    /// Isolation decisions naming a node other than the crashed one.
+    pub wrongful_isolations: u64,
+    /// Every survivor's final ACTIVE view marks every survivor active.
+    pub survivors_active: bool,
+    /// Every survivor's final health record marks every survivor healthy.
+    pub survivors_healthy: bool,
+    /// With a crash: every survivor isolated the crashed node.
+    pub crash_isolated: bool,
+    /// With a crash: every survivor re-admitted it by the final round.
+    pub crash_reintegrated: bool,
+    /// The headline verdict: all of the above that apply.
+    pub converged: bool,
+}
+
+/// The aggregated report of one loopback run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Cluster size.
+    pub n_nodes: usize,
+    /// Rounds run.
+    pub rounds: u64,
+    /// Slot duration in nanoseconds.
+    pub slot_ns: u64,
+    /// Reception grace in nanoseconds.
+    pub grace_ns: u64,
+    /// The chaos plan, if one was injected.
+    pub chaos: Option<NetChaos>,
+    /// Digest of the full planned chaos decision table — byte-identical
+    /// across runs of the same seed and topology.
+    pub chaos_digest: Option<u64>,
+    /// The crash/restart schedule, if any.
+    pub crash: Option<CrashSpec>,
+    /// Per-node trajectories.
+    pub nodes: Vec<NodeTrajectory>,
+    /// The simulator replay of the observed fault pattern.
+    pub replay: ReplayVerdict,
+    /// Convergence of the distributed verdict.
+    pub convergence: ConvergenceSummary,
+}
+
+/// Runs `N` loopback node threads for `rounds` rounds and aggregates the
+/// report.
+///
+/// # Errors
+///
+/// [`NetError::Config`] on an invalid configuration, [`NetError::Io`] when
+/// socket setup fails.
+pub fn run_cluster(cfg: RunConfig) -> Result<RunReport, NetError> {
+    let n = cfg.protocol.n_nodes();
+    if !(2..=64).contains(&n) {
+        return Err(NetError::Config(format!("need 2..=64 nodes, got {n}")));
+    }
+    if cfg.rounds == 0 {
+        return Err(NetError::Config("need at least one round".into()));
+    }
+    if cfg.slot < Duration::from_micros(200) {
+        return Err(NetError::Config("slot must be at least 200us".into()));
+    }
+    if let Some(c) = cfg.crash {
+        if c.node == 0 || c.node as usize > n {
+            return Err(NetError::Config(format!(
+                "crash node {} out of range",
+                c.node
+            )));
+        }
+        if c.at_round == 0 || c.at_round >= cfg.rounds {
+            return Err(NetError::Config("crash round outside the run".into()));
+        }
+    }
+    if let Some(chaos) = &cfg.chaos {
+        let worst = std::iter::once(chaos.default_rates)
+            .chain(chaos.links.iter().map(|l| l.rates))
+            .map(|r| r.total())
+            .max()
+            .unwrap_or(0);
+        if worst > 1000 {
+            return Err(NetError::Config("chaos rates exceed 1000 per mille".into()));
+        }
+    }
+
+    // Bind one ephemeral loopback socket per node.
+    let mut sockets = Vec::with_capacity(n);
+    let mut peers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let s = UdpSocket::bind("127.0.0.1:0").map_err(|e| NetError::Io(e.to_string()))?;
+        peers.push(s.local_addr().map_err(|e| NetError::Io(e.to_string()))?);
+        sockets.push(s);
+    }
+
+    let epoch = Instant::now() + cfg.start_delay;
+    let clock = SlotClock::new(epoch, cfg.slot, n as u32);
+    let tokens: Vec<CancellationToken> = (0..n).map(|_| CancellationToken::new()).collect();
+
+    let spawn_node = |socket: UdpSocket, id: usize, token: CancellationToken, start_round: u64| {
+        let params = NodeParams {
+            node: NodeId::new(id as u32 + 1),
+            protocol: cfg.protocol.clone(),
+            grace: cfg.grace,
+            exec_offset_slots: cfg.exec_offset_slots,
+            end_round: cfg.rounds,
+        };
+        let peers = peers.clone();
+        let chaos = cfg.chaos.clone();
+        thread::spawn(move || {
+            let udp = UdpTransport::new(socket, peers, id as u8);
+            let mut transport: Box<dyn SlotTransport> = match chaos {
+                Some(c) => Box::new(LossyUdp::new(udp, c)),
+                None => Box::new(udp),
+            };
+            run_node(&params, clock, transport.as_mut(), &token, start_round)
+        })
+    };
+
+    let mut handles: Vec<Option<thread::JoinHandle<NodeSegment>>> = Vec::with_capacity(n);
+    for (i, socket) in sockets.into_iter().enumerate() {
+        handles.push(Some(spawn_node(socket, i, tokens[i].clone(), 0)));
+    }
+
+    let mut segments: Vec<Vec<NodeSegment>> = vec![Vec::new(); n];
+
+    // Crash orchestration: cancel at the crash round, rebind after the
+    // blackout, restart a fresh incarnation on the same address.
+    if let Some(crash) = cfg.crash {
+        let idx = crash.node as usize - 1;
+        sleep_until(clock.round_start(crash.at_round));
+        tokens[idx].cancel();
+        let first = handles[idx]
+            .take()
+            .expect("crash handle present")
+            .join()
+            .expect("crashed node thread");
+        segments[idx].push(first);
+        sleep_until(clock.round_start(crash.at_round + crash.down_rounds));
+        // The port frees when the dead incarnation's socket drops; retry
+        // briefly in case the join raced the drop.
+        let addr = peers[idx];
+        let mut socket = None;
+        for _ in 0..50 {
+            match UdpSocket::bind(addr) {
+                Ok(s) => {
+                    socket = Some(s);
+                    break;
+                }
+                Err(_) => thread::sleep(Duration::from_millis(5)),
+            }
+        }
+        let socket =
+            socket.ok_or_else(|| NetError::Io(format!("cannot rebind {addr} after restart")))?;
+        let start_round = clock.round_at(Instant::now()) + 1;
+        let token = CancellationToken::new();
+        handles[idx] = Some(spawn_node(socket, idx, token, start_round));
+    }
+
+    for (i, handle) in handles.into_iter().enumerate() {
+        if let Some(h) = handle {
+            segments[i].push(h.join().expect("node thread"));
+        }
+    }
+
+    let nodes: Vec<NodeTrajectory> = segments
+        .into_iter()
+        .enumerate()
+        .map(|(i, segments)| NodeTrajectory {
+            node: i as u32 + 1,
+            segments,
+        })
+        .collect();
+
+    let replay = replay_cross_check(&cfg.protocol, cfg.rounds, &nodes, cfg.crash.as_ref());
+    let convergence = summarize_convergence(&nodes, cfg.crash.as_ref());
+    let chaos_digest = cfg.chaos.as_ref().map(|c| c.digest(n as u8, cfg.rounds));
+
+    Ok(RunReport {
+        n_nodes: n,
+        rounds: cfg.rounds,
+        slot_ns: cfg.slot.as_nanos() as u64,
+        grace_ns: cfg.grace.as_nanos() as u64,
+        chaos: cfg.chaos,
+        chaos_digest,
+        crash: cfg.crash,
+        nodes,
+        replay,
+        convergence,
+    })
+}
+
+/// Coarse absolute-deadline sleep (the runner needs round, not slot,
+/// precision).
+fn sleep_until(t: Instant) {
+    loop {
+        let now = Instant::now();
+        let Some(left) = t.checked_duration_since(now) else {
+            return;
+        };
+        if left.is_zero() {
+            return;
+        }
+        thread::sleep(left.min(Duration::from_millis(20)));
+    }
+}
+
+/// The survivors' final verdicts, condensed.
+fn summarize_convergence(
+    nodes: &[NodeTrajectory],
+    crash: Option<&CrashSpec>,
+) -> ConvergenceSummary {
+    let crash_idx = crash.map(|c| c.node as usize - 1);
+    let survivors: Vec<&NodeSegment> = nodes
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| Some(*i) != crash_idx)
+        .filter_map(|(_, t)| t.segments.last())
+        .collect();
+
+    let mut wrongful = 0u64;
+    for t in nodes {
+        for seg in &t.segments {
+            for iso in &seg.isolations {
+                if Some(iso.node.index()) != crash_idx {
+                    wrongful += 1;
+                }
+            }
+        }
+    }
+
+    let survivor_ok = |check: &dyn Fn(&NodeSegment, usize) -> bool| {
+        survivors.iter().all(|seg| {
+            (0..seg.final_active.len())
+                .filter(|i| Some(*i) != crash_idx)
+                .all(|i| check(seg, i))
+        })
+    };
+    let survivors_active = survivor_ok(&|seg, i| seg.final_active[i]);
+    let survivors_healthy = survivors.iter().all(|seg| match seg.health_log.last() {
+        Some(rec) => (0..rec.health.len())
+            .filter(|i| Some(*i) != crash_idx)
+            .all(|i| rec.health[i]),
+        None => false,
+    });
+    let crash_isolated = match crash_idx {
+        None => true,
+        Some(idx) => survivors
+            .iter()
+            .all(|seg| seg.isolations.iter().any(|iso| iso.node.index() == idx)),
+    };
+    let crash_reintegrated = match crash_idx {
+        None => true,
+        Some(idx) => survivors.iter().all(|seg| seg.final_active[idx]),
+    };
+
+    ConvergenceSummary {
+        wrongful_isolations: wrongful,
+        survivors_active,
+        survivors_healthy,
+        crash_isolated,
+        crash_reintegrated,
+        converged: wrongful == 0
+            && survivors_active
+            && survivors_healthy
+            && crash_isolated
+            && crash_reintegrated,
+    }
+}

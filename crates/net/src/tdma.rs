@@ -1,0 +1,158 @@
+//! The emulated TDMA timing model: monotonic wall-clock slot boundaries.
+//!
+//! A [`SlotClock`] anchors a round schedule (slot duration × one slot per
+//! node) at an **epoch** `Instant` shared by every node of a run. All
+//! timing decisions — when to transmit, when a peer's slot has elapsed,
+//! when a frame is *late* — derive from `Instant::now()` against this
+//! anchor; there is no global coordinator once the epoch is agreed.
+//!
+//! The classification deadline of slot `s` in round `r` is
+//! `slot_end + grace`, capped at `delta = slot/8` **before** the next
+//! round starts: the diagnosis job of round `r + 1` must observe a settled
+//! round `r`, so the final slot of each round closes one `delta` early. A
+//! frame that misses its deadline is a benign-fault observation, exactly
+//! like a silent slot.
+
+use std::time::{Duration, Instant};
+
+/// Shared TDMA timing: epoch anchor, slot duration, slots per round.
+#[derive(Debug, Clone, Copy)]
+pub struct SlotClock {
+    epoch: Instant,
+    slot: Duration,
+    n_slots: u32,
+}
+
+impl SlotClock {
+    /// A clock with `n_slots` slots of `slot` each, anchored at `epoch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero slot duration or zero slot count.
+    pub fn new(epoch: Instant, slot: Duration, n_slots: u32) -> Self {
+        assert!(!slot.is_zero(), "slot duration must be positive");
+        assert!(n_slots > 0, "need at least one slot per round");
+        SlotClock {
+            epoch,
+            slot,
+            n_slots,
+        }
+    }
+
+    /// The epoch anchor (start of round 0, slot 0).
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// One slot.
+    pub fn slot_len(&self) -> Duration {
+        self.slot
+    }
+
+    /// One full round (`n_slots * slot`).
+    pub fn round_len(&self) -> Duration {
+        self.slot * self.n_slots
+    }
+
+    /// Slots per round.
+    pub fn n_slots(&self) -> u32 {
+        self.n_slots
+    }
+
+    /// When round `round` begins.
+    pub fn round_start(&self, round: u64) -> Instant {
+        self.epoch + mul(self.round_len(), round)
+    }
+
+    /// When slot `slot` of round `round` begins (transmission time).
+    pub fn slot_start(&self, round: u64, slot: u32) -> Instant {
+        debug_assert!(slot < self.n_slots);
+        self.round_start(round) + self.slot * slot
+    }
+
+    /// The round in progress at `t` (0 before the epoch).
+    pub fn round_at(&self, t: Instant) -> u64 {
+        match t.checked_duration_since(self.epoch) {
+            None => 0,
+            Some(d) => (d.as_nanos() / self.round_len().as_nanos()) as u64,
+        }
+    }
+
+    /// The margin by which each round's final slot closes early.
+    pub fn delta(&self) -> Duration {
+        self.slot / 8
+    }
+
+    /// The classification deadline for `(round, slot)`: `slot end + grace`,
+    /// capped [`delta`](Self::delta) before the next round starts.
+    pub fn classify_deadline(&self, round: u64, slot: u32, grace: Duration) -> Instant {
+        let natural = self.slot_start(round, slot) + self.slot + grace;
+        let cap = self.round_start(round + 1) - self.delta();
+        natural.min(cap)
+    }
+}
+
+/// `d * k` for a `u64` factor (std only scales by `u32`).
+fn mul(d: Duration, k: u64) -> Duration {
+    Duration::from_nanos((d.as_nanos() as u64).saturating_mul(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clock() -> SlotClock {
+        SlotClock::new(Instant::now(), Duration::from_millis(2), 5)
+    }
+
+    #[test]
+    fn round_and_slot_boundaries() {
+        let c = clock();
+        assert_eq!(c.round_len(), Duration::from_millis(10));
+        assert_eq!(
+            c.slot_start(3, 2) - c.epoch(),
+            Duration::from_millis(3 * 10 + 2 * 2)
+        );
+        assert_eq!(c.round_start(0), c.epoch());
+    }
+
+    #[test]
+    fn round_at_inverts_round_start() {
+        let c = clock();
+        for r in [0u64, 1, 7, 1000] {
+            assert_eq!(c.round_at(c.round_start(r) + Duration::from_micros(1)), r);
+        }
+        // Before the epoch clamps to round 0.
+        assert_eq!(c.round_at(c.epoch() - Duration::from_secs(1)), 0);
+    }
+
+    #[test]
+    fn deadline_is_capped_before_the_next_round() {
+        let c = clock();
+        let grace = Duration::from_micros(500);
+        // An early slot keeps its natural grace.
+        assert_eq!(
+            c.classify_deadline(2, 0, grace),
+            c.slot_start(2, 0) + c.slot_len() + grace
+        );
+        // The final slot closes delta before the boundary.
+        assert_eq!(
+            c.classify_deadline(2, 4, grace),
+            c.round_start(3) - c.delta()
+        );
+    }
+
+    #[test]
+    fn deadlines_are_strictly_ordered_within_a_round() {
+        let c = clock();
+        let grace = Duration::from_millis(1);
+        let mut prev = None;
+        for s in 0..5 {
+            let d = c.classify_deadline(9, s, grace);
+            if let Some(p) = prev {
+                assert!(d > p, "slot {s} deadline not after slot {}", s - 1);
+            }
+            prev = Some(d);
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! UDP slot transport: a plain socket wrapper and its lossy twin.
+//!
+//! [`UdpTransport`] broadcasts one encoded frame per round to every peer —
+//! including the sender's own socket: the loopback self-reception is the
+//! transport's analogue of the simulator's local collision detector (a
+//! node whose own frame does not come back readable observes a collision).
+//!
+//! [`LossyUdp`] wraps it with deterministic seeded chaos
+//! ([`NetChaos`]): per directed link it drops, duplicates, holds back
+//! (reorder) or corrupts frames *before* they reach the socket, on top of
+//! whatever loss the genuine UDP path adds.
+
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use crate::chaos::{ChaosAction, NetChaos};
+
+/// Largest datagram the receiver accepts (comfortably above
+/// [`crate::frame::MAX_PAYLOAD`] + framing).
+const RECV_BUF: usize = 2048;
+
+/// Counters of what a [`LossyUdp`] injector actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChaosStats {
+    /// Frames sent unmodified.
+    pub delivered: u64,
+    /// Frames discarded.
+    pub dropped: u64,
+    /// Frames sent twice.
+    pub duplicated: u64,
+    /// Frames held one round.
+    pub reordered: u64,
+    /// Frames sent with a flipped byte.
+    pub corrupted: u64,
+}
+
+/// A node's view of the bus: broadcast in the own slot, receive otherwise.
+pub trait SlotTransport: Send {
+    /// Sends one encoded frame to every peer (self included) for `round`.
+    fn broadcast(&mut self, wire: &[u8], round: u64);
+
+    /// Blocks for the next datagram until `deadline`; `None` on timeout.
+    /// Returns the raw bytes with their arrival timestamp.
+    fn recv_until(&mut self, deadline: Instant) -> Option<(Vec<u8>, Instant)>;
+
+    /// What the chaos injector did so far (all-zero without one).
+    fn chaos_stats(&self) -> ChaosStats {
+        ChaosStats::default()
+    }
+}
+
+/// The plain UDP transport: one socket, a full peer list, no injection.
+///
+/// Reception runs on a dedicated blocking reader thread feeding an
+/// in-process channel: `recv_until` then waits with
+/// [`mpsc::Receiver::recv_timeout`], whose futex-based deadline has
+/// microsecond precision, whereas a socket read timeout (`SO_RCVTIMEO`)
+/// only has scheduler-tick granularity — milliseconds of overshoot, fatal
+/// for millisecond TDMA slots.
+pub struct UdpTransport {
+    socket: UdpSocket,
+    peers: Vec<SocketAddr>,
+    slot: u8,
+    inbox: mpsc::Receiver<(Vec<u8>, Instant)>,
+    stop: Arc<AtomicBool>,
+    reader: Option<JoinHandle<()>>,
+}
+
+impl UdpTransport {
+    /// Wraps an already-bound socket. `slot` is the owner's sending slot;
+    /// `peers[i]` is the address of the node owning slot `i` (the owner's
+    /// own address appears at `peers[slot]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the socket cannot be cloned for the reader thread.
+    pub fn new(socket: UdpSocket, peers: Vec<SocketAddr>, slot: u8) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, inbox) = mpsc::channel();
+        let reader_socket = socket.try_clone().expect("clone UDP socket for reader");
+        let reader_stop = Arc::clone(&stop);
+        let reader = std::thread::spawn(move || {
+            // The coarse read timeout here only bounds shutdown latency;
+            // arrival timestamps are taken immediately after each recv.
+            let _ = reader_socket.set_read_timeout(Some(Duration::from_millis(25)));
+            let mut buf = [0u8; RECV_BUF];
+            while !reader_stop.load(Ordering::Relaxed) {
+                match reader_socket.recv_from(&mut buf) {
+                    Ok((n, _)) => {
+                        if tx.send((buf[..n].to_vec(), Instant::now())).is_err() {
+                            break;
+                        }
+                    }
+                    // Timeout, interrupt, or ICMP-induced ECONNREFUSED on
+                    // loopback when a peer is down: treat as loss.
+                    Err(_) => continue,
+                }
+            }
+        });
+        UdpTransport {
+            socket,
+            peers,
+            slot,
+            inbox,
+            stop,
+            reader: Some(reader),
+        }
+    }
+
+    /// Binds `addr` and wraps the socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (bad address, port in use).
+    pub fn bind(addr: SocketAddr, peers: Vec<SocketAddr>, slot: u8) -> io::Result<Self> {
+        Ok(UdpTransport::new(UdpSocket::bind(addr)?, peers, slot))
+    }
+
+    /// The socket's bound address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// The owner's sending slot.
+    pub fn slot(&self) -> u8 {
+        self.slot
+    }
+
+    /// The peer table (index = slot).
+    pub fn peers(&self) -> &[SocketAddr] {
+        &self.peers
+    }
+
+    fn send_raw(&self, wire: &[u8], dest: SocketAddr) {
+        // Best effort, like a bus: a send error is indistinguishable from
+        // loss and surfaces as a benign fault at the receiver.
+        let _ = self.socket.send_to(wire, dest);
+    }
+}
+
+impl SlotTransport for UdpTransport {
+    fn broadcast(&mut self, wire: &[u8], _round: u64) {
+        for &peer in &self.peers {
+            self.send_raw(wire, peer);
+        }
+    }
+
+    fn recv_until(&mut self, deadline: Instant) -> Option<(Vec<u8>, Instant)> {
+        let left = deadline.checked_duration_since(Instant::now())?;
+        if left.is_zero() {
+            return None;
+        }
+        self.inbox.recv_timeout(left).ok()
+    }
+}
+
+impl Drop for UdpTransport {
+    fn drop(&mut self) {
+        // Stop the reader so its cloned socket closes and the port frees
+        // (a restarted incarnation rebinds the same address).
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.reader.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A held-back frame awaiting its delayed release.
+struct HeldFrame {
+    dest: SocketAddr,
+    wire: Vec<u8>,
+}
+
+/// [`UdpTransport`] plus deterministic seeded chaos on the send path.
+pub struct LossyUdp {
+    inner: UdpTransport,
+    chaos: NetChaos,
+    held: Vec<HeldFrame>,
+    stats: ChaosStats,
+}
+
+impl LossyUdp {
+    /// Wraps `inner`, injecting per `chaos`.
+    pub fn new(inner: UdpTransport, chaos: NetChaos) -> Self {
+        LossyUdp {
+            inner,
+            chaos,
+            held: Vec::new(),
+            stats: ChaosStats::default(),
+        }
+    }
+
+    /// The chaos plan in force.
+    pub fn chaos(&self) -> &NetChaos {
+        &self.chaos
+    }
+}
+
+impl SlotTransport for LossyUdp {
+    fn broadcast(&mut self, wire: &[u8], round: u64) {
+        // Release frames held for reordering: they leave a round late,
+        // just ahead of the current frame.
+        for held in self.held.drain(..) {
+            self.inner.send_raw(&held.wire, held.dest);
+        }
+        let from = self.inner.slot();
+        for (to, &peer) in self.inner.peers().iter().enumerate() {
+            match self.chaos.action(from, to as u8, round) {
+                ChaosAction::Deliver => {
+                    self.stats.delivered += 1;
+                    self.inner.send_raw(wire, peer);
+                }
+                ChaosAction::Drop => self.stats.dropped += 1,
+                ChaosAction::Duplicate => {
+                    self.stats.duplicated += 1;
+                    self.inner.send_raw(wire, peer);
+                    self.inner.send_raw(wire, peer);
+                }
+                ChaosAction::Reorder => {
+                    self.stats.reordered += 1;
+                    self.held.push(HeldFrame {
+                        dest: peer,
+                        wire: wire.to_vec(),
+                    });
+                }
+                ChaosAction::Corrupt { byte, mask } => {
+                    self.stats.corrupted += 1;
+                    let mut bad = wire.to_vec();
+                    if !bad.is_empty() {
+                        let i = usize::from(byte) % bad.len();
+                        bad[i] ^= mask;
+                    }
+                    self.inner.send_raw(&bad, peer);
+                }
+            }
+        }
+    }
+
+    fn recv_until(&mut self, deadline: Instant) -> Option<(Vec<u8>, Instant)> {
+        self.inner.recv_until(deadline)
+    }
+
+    fn chaos_stats(&self) -> ChaosStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::LinkRates;
+    use std::time::Duration;
+
+    fn pair() -> (UdpTransport, UdpTransport) {
+        let a = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let b = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let peers = vec![a.local_addr().unwrap(), b.local_addr().unwrap()];
+        (
+            UdpTransport::new(a, peers.clone(), 0),
+            UdpTransport::new(b, peers, 1),
+        )
+    }
+
+    fn recv_soon(t: &mut dyn SlotTransport) -> Option<Vec<u8>> {
+        t.recv_until(Instant::now() + Duration::from_millis(500))
+            .map(|(w, _)| w)
+    }
+
+    #[test]
+    fn plain_broadcast_reaches_every_peer_including_self() {
+        let (mut a, mut b) = pair();
+        a.broadcast(b"hello", 0);
+        assert_eq!(recv_soon(&mut a).as_deref(), Some(&b"hello"[..]));
+        assert_eq!(recv_soon(&mut b).as_deref(), Some(&b"hello"[..]));
+    }
+
+    #[test]
+    fn recv_times_out_when_nothing_arrives() {
+        let (mut a, _b) = pair();
+        assert!(a
+            .recv_until(Instant::now() + Duration::from_millis(20))
+            .is_none());
+    }
+
+    #[test]
+    fn dropped_frames_never_leave_the_sender() {
+        let (a, mut b) = pair();
+        let mut lossy = LossyUdp::new(a, NetChaos::uniform(1, LinkRates::loss(1000)));
+        lossy.broadcast(b"gone", 0);
+        assert!(recv_soon(&mut b).is_none());
+        assert_eq!(lossy.chaos_stats().dropped, 2);
+    }
+
+    #[test]
+    fn reordered_frames_arrive_one_broadcast_late() {
+        let (a, mut b) = pair();
+        let chaos = NetChaos::uniform(
+            1,
+            LinkRates {
+                reorder_per_mille: 1000,
+                ..LinkRates::QUIET
+            },
+        );
+        let mut lossy = LossyUdp::new(a, chaos);
+        lossy.broadcast(b"first", 0);
+        assert!(recv_soon(&mut b).is_none(), "held back");
+        lossy.broadcast(b"second", 1);
+        // The held round-0 frame is released ahead of (the also-held)
+        // round-1 frame.
+        assert_eq!(recv_soon(&mut b).as_deref(), Some(&b"first"[..]));
+    }
+
+    #[test]
+    fn corrupted_frames_differ_from_the_original() {
+        let (a, mut b) = pair();
+        let chaos = NetChaos::uniform(
+            1,
+            LinkRates {
+                corrupt_per_mille: 1000,
+                ..LinkRates::QUIET
+            },
+        );
+        let mut lossy = LossyUdp::new(a, chaos);
+        lossy.broadcast(b"payload", 3);
+        let got = recv_soon(&mut b).expect("corrupted frame still arrives");
+        assert_ne!(got, b"payload");
+        assert_eq!(got.len(), b"payload".len());
+    }
+}

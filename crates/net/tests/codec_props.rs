@@ -1,0 +1,146 @@
+//! Property tests: frame codec round-trip and chaos-plan determinism.
+
+use proptest::prelude::*;
+
+use tt_net::{ChaosAction, FrameError, LinkRates, NetChaos, NetFrame, MAX_PAYLOAD};
+use tt_sim::crc32;
+
+/// An arbitrary well-formed frame.
+fn frame_strategy() -> impl Strategy<Value = NetFrame> {
+    (
+        0u8..64,
+        any::<u64>(),
+        (
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), 0..=256usize),
+        ),
+    )
+        .prop_map(|(slot, round, (seq, payload))| NetFrame {
+            slot,
+            round,
+            seq,
+            payload: payload.into(),
+        })
+}
+
+/// Recomputes the trailing CRC so structural checks run after the splice.
+fn fix_crc(wire: &mut [u8]) {
+    let body_len = wire.len() - 4;
+    let crc = crc32(&wire[..body_len]);
+    wire[body_len..].copy_from_slice(&crc.to_le_bytes());
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_round_trips(frame in frame_strategy()) {
+        let wire = frame.encode();
+        let back = NetFrame::decode(&wire).expect("well-formed frame decodes");
+        prop_assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn any_single_byte_flip_is_rejected(
+        frame in frame_strategy(),
+        pos in any::<u16>(),
+        mask in 1u8..=255,
+    ) {
+        let mut wire = frame.encode();
+        let i = usize::from(pos) % wire.len();
+        wire[i] ^= mask;
+        prop_assert!(
+            NetFrame::decode(&wire).is_err(),
+            "flipping byte {} must not decode",
+            i
+        );
+    }
+
+    #[test]
+    fn any_truncation_is_rejected(frame in frame_strategy(), cut in any::<u16>()) {
+        let wire = frame.encode();
+        let keep = usize::from(cut) % wire.len();
+        prop_assert!(NetFrame::decode(&wire[..keep]).is_err());
+    }
+
+    #[test]
+    fn oversize_length_fields_are_rejected(extra in 1usize..=64) {
+        // Splice an over-limit length into an otherwise valid frame and
+        // re-CRC, so the structural check itself must catch it.
+        let frame = NetFrame {
+            slot: 0,
+            round: 1,
+            seq: 2,
+            payload: vec![0u8; 16].into(),
+        };
+        let mut wire = frame.encode();
+        let bad_len = (MAX_PAYLOAD + extra) as u16;
+        // The length field sits at bytes 20..22 (see docs/NETWORKING.md).
+        wire[20..22].copy_from_slice(&bad_len.to_le_bytes());
+        fix_crc(&mut wire);
+        prop_assert_eq!(NetFrame::decode(&wire), Err(FrameError::Oversize));
+    }
+
+    #[test]
+    fn chaos_decisions_are_a_pure_function_of_seed_and_topology(
+        seed in any::<u64>(),
+        n in 2u8..10,
+        rates in (0u16..250, 0u16..250, (0u16..250, 0u16..250)).prop_map(
+            |(drop, dup, (reorder, corrupt))| LinkRates {
+                drop_per_mille: drop,
+                duplicate_per_mille: dup,
+                reorder_per_mille: reorder,
+                corrupt_per_mille: corrupt,
+            }
+        ),
+    ) {
+        let a = NetChaos::uniform(seed, rates);
+        let b = NetChaos::uniform(seed, rates);
+        // Byte-identical drop/duplicate/reorder/corrupt pattern: every
+        // (link, round) decision matches, and so does the digest.
+        for round in 0..64u64 {
+            for from in 0..n {
+                for to in 0..n {
+                    prop_assert_eq!(
+                        a.action(from, to, round),
+                        b.action(from, to, round)
+                    );
+                }
+            }
+        }
+        prop_assert_eq!(a.digest(n, 64), b.digest(n, 64));
+    }
+
+    #[test]
+    fn distinct_seeds_disagree_somewhere(seed in any::<u64>()) {
+        let rates = LinkRates::loss(500);
+        let a = NetChaos::uniform(seed, rates);
+        let b = NetChaos::uniform(seed.wrapping_add(1), rates);
+        let mut differs = false;
+        'outer: for round in 0..256u64 {
+            for from in 0..4u8 {
+                for to in 0..4u8 {
+                    if a.action(from, to, round) != b.action(from, to, round) {
+                        differs = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        prop_assert!(differs, "adjacent seeds produced identical plans");
+    }
+
+    #[test]
+    fn corrupt_actions_always_carry_a_nonzero_mask(seed in any::<u64>()) {
+        let c = NetChaos::uniform(
+            seed,
+            LinkRates {
+                corrupt_per_mille: 500,
+                ..LinkRates::QUIET
+            },
+        );
+        for round in 0..128u64 {
+            if let ChaosAction::Corrupt { mask, .. } = c.action(0, 1, round) {
+                prop_assert_ne!(mask, 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! End-to-end loopback cluster runs: clean convergence, seeded loss with
+//! simulator-replay agreement, and crash/restart reintegration.
+
+use std::time::Duration;
+
+use tt_core::{ProtocolConfig, ReintegrationPolicy};
+use tt_net::{run_cluster, CrashSpec, LinkRates, NetChaos, RunConfig, RunReport};
+
+fn protocol(n: usize, penalty: u64, reint_rewards: u64) -> ProtocolConfig {
+    ProtocolConfig::builder(n)
+        .penalty_threshold(penalty)
+        .reward_threshold(1_000_000)
+        .reintegration(ReintegrationPolicy::AfterRewards(reint_rewards))
+        .build()
+        .expect("valid protocol config")
+}
+
+fn total_isolations(report: &RunReport) -> usize {
+    report
+        .nodes
+        .iter()
+        .flat_map(|t| &t.segments)
+        .map(|s| s.isolations.len())
+        .sum()
+}
+
+#[test]
+fn three_node_clean_run_converges_and_matches_the_simulator() {
+    let cfg = RunConfig::new(protocol(3, 4, 4), 20, Duration::from_millis(3));
+    let report = run_cluster(cfg).expect("clean run");
+
+    assert!(
+        report.convergence.converged,
+        "clean run must converge: {:?}",
+        report.convergence
+    );
+    assert_eq!(total_isolations(&report), 0, "no isolations without faults");
+    assert!(
+        report.replay.agree,
+        "simulator replay diverged: {:?}",
+        report.replay.mismatches
+    );
+    assert!(report.chaos_digest.is_none());
+    // Every node produced a diagnosis trajectory.
+    for t in &report.nodes {
+        let seg = t.segments.last().expect("one segment per node");
+        assert!(
+            !seg.health_log.is_empty(),
+            "node {} recorded no health vectors",
+            t.node
+        );
+        assert!(seg.health_log.iter().all(|h| h.health.iter().all(|&b| b)));
+    }
+}
+
+#[test]
+fn five_node_lossy_run_agrees_with_the_replay() {
+    let chaos = NetChaos::uniform(7, LinkRates::loss(50));
+    let mut cfg = RunConfig::new(protocol(5, 6, 4), 40, Duration::from_millis(3));
+    cfg.chaos = Some(chaos.clone());
+    let report = run_cluster(cfg).expect("lossy run");
+
+    assert!(
+        report.replay.agree,
+        "simulator replay diverged: {:?}",
+        report.replay.mismatches
+    );
+    assert_eq!(
+        report.convergence.wrongful_isolations, 0,
+        "5% loss must not isolate a healthy node"
+    );
+    assert!(report.convergence.survivors_active);
+    // The digest is a pure function of seed and topology.
+    assert_eq!(report.chaos_digest, Some(chaos.digest(5, 40)));
+    // The injector actually did something across the cluster.
+    let dropped: u64 = report
+        .nodes
+        .iter()
+        .flat_map(|t| &t.segments)
+        .map(|s| s.chaos.dropped)
+        .sum();
+    assert!(
+        dropped > 0,
+        "a 5% plan over 5x5x40 sends should drop frames"
+    );
+}
+
+#[test]
+fn crashed_node_is_isolated_and_reintegrates_within_the_bound() {
+    // Crash node 3 at round 10 for 8 rounds. Survivors see benign faults
+    // on its slot, cross the penalty threshold (2), and isolate it; the
+    // fresh incarnation restarting at ~round 19 stays fault-free, earns
+    // AfterRewards(6) rewards, and must re-enter ACTIVE within the paper's
+    // reintegration bound (6 rewards + 3 rounds diagnosis lag) of its
+    // first fully observed round. Run length: restart (18) + first full
+    // round slack (3) + bound (9) + decision slack (4).
+    let protocol = protocol(5, 2, 6);
+    let bound = protocol
+        .reintegration_bound()
+        .expect("AfterRewards has a bound");
+    let crash = CrashSpec {
+        node: 3,
+        at_round: 10,
+        down_rounds: 8,
+    };
+    let restart = crash.at_round + crash.down_rounds;
+    let rounds = restart + 3 + bound + 4;
+
+    let mut cfg = RunConfig::new(protocol, rounds, Duration::from_millis(3));
+    cfg.crash = Some(crash);
+    let report = run_cluster(cfg).expect("crash run");
+
+    let crash_idx = crash.node as usize - 1;
+    for t in &report.nodes {
+        if t.node == crash.node {
+            assert_eq!(t.segments.len(), 2, "crashed node runs two incarnations");
+            continue;
+        }
+        let seg = t.segments.last().expect("survivor segment");
+        let isolated: Vec<u32> = seg.isolations.iter().map(|e| e.node.get()).collect();
+        assert_eq!(
+            isolated,
+            vec![crash.node],
+            "node {} must isolate exactly the crashed node once",
+            t.node
+        );
+        assert!(
+            seg.final_active[crash_idx],
+            "node {} did not reintegrate the crashed node within {} rounds of restart",
+            t.node,
+            rounds - restart
+        );
+        assert!(
+            seg.final_active.iter().all(|&a| a),
+            "node {} wrongly isolated a survivor",
+            t.node
+        );
+    }
+    assert!(
+        report.convergence.converged,
+        "crash run must converge: {:?}",
+        report.convergence
+    );
+    assert!(
+        report.replay.agree,
+        "simulator replay diverged: {:?}",
+        report.replay.mismatches
+    );
+}
